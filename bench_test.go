@@ -1,0 +1,400 @@
+package ccpfs
+
+import (
+	"testing"
+	"time"
+)
+
+// This file regenerates every table and figure of the paper's
+// evaluation as Go benchmarks. Each benchmark runs the corresponding
+// experiment at the scaled-down default configuration (paper-scale
+// parameters are documented on each Run* function), logs the full table
+// (visible with -v), and reports the figure's headline numbers as
+// benchmark metrics. Absolute values reflect the simulated testbed; the
+// shapes — who wins and by roughly what factor — are the reproduction
+// target recorded in EXPERIMENTS.md.
+
+// report exposes a bandwidth (B/s) row value as a MB/s metric.
+func mbs(b *testing.B, name string, bps float64) {
+	b.ReportMetric(bps/1e6, name+"_MB/s")
+}
+
+func secs(b *testing.B, name string, d time.Duration) {
+	b.ReportMetric(d.Seconds(), name+"_s")
+}
+
+// BenchmarkFig04_PatternGap — §II-B Fig. 4: N-N and N-1 segmented reach
+// cache speed while N-1 strided collapses under a traditional DLM.
+func BenchmarkFig04_PatternGap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp, err := RunFig4(DefaultFig4())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", exp)
+		ws := int64(256 << 10)
+		find := func(pattern string) float64 {
+			r, _ := exp.Find(func(r Row) bool { return r.Pattern == pattern && r.WriteSize == ws })
+			return r.Bandwidth
+		}
+		nn, seg, str := find("N-N"), find("N-1 segmented"), find("N-1 strided")
+		mbs(b, "NN", nn)
+		mbs(b, "segmented", seg)
+		mbs(b, "strided", str)
+		if str > 0 {
+			b.ReportMetric(seg/str, "seg/strided_gap")
+		}
+	}
+}
+
+// BenchmarkFig05_FlushReduction — §II-C Fig. 5: cheaper data flushing
+// directly recovers strided bandwidth, identifying flushing as the
+// bottleneck.
+func BenchmarkFig05_FlushReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp, err := RunFig5(DefaultFig5())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", exp)
+		mbs(b, "full", exp.Bandwidth("full flush", 0, 0))
+		mbs(b, "reduced", exp.Bandwidth("1/16 flush (first-page hack)", 0, 0))
+		mbs(b, "none", exp.Bandwidth("no flush (fakeWrite)", 0, 0))
+	}
+}
+
+// BenchmarkTableI_Model — §II-C: the analytic Equations (1)–(2) with
+// Table I parameters.
+func BenchmarkTableI_Model(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp := RunModel()
+		b.Logf("\n%s", exp)
+		mbs(b, "Btotal_1MB", exp.Bandwidth("", 1e6, 0))
+	}
+}
+
+// BenchmarkFig17_Breakdown — §V-B2 Fig. 17: for PW the lock conflict
+// resolution dominates total time and is itself dominated by the cancel
+// (data flushing) part; NBW removes it via early grant.
+func BenchmarkFig17_Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp, err := RunFig17(DefaultFig17())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", exp)
+		ws := int64(256 << 10)
+		pw, _ := exp.Find(func(r Row) bool { return r.Variant == "PW" && r.WriteSize == ws })
+		nbw, _ := exp.Find(func(r Row) bool { return r.Variant == "NBW" && r.WriteSize == ws })
+		secs(b, "PW_total", pw.PIO)
+		secs(b, "NBW_total", nbw.PIO)
+		if pw.PIO > 0 {
+			b.ReportMetric(float64(pw.Revocation+pw.Cancel)/float64(pw.PIO), "PW_resolution_share")
+		}
+		if nbw.PIO > 0 {
+			b.ReportMetric(float64(pw.PIO)/float64(nbw.PIO), "NBW_speedup")
+		}
+	}
+}
+
+// BenchmarkFig18a_Throughput — §V-B2 Fig. 18(a): one-resource write
+// throughput; paper: NBW+ER over PW is 12.9× (64 KB) and 40.2× (1 MB).
+func BenchmarkFig18a_Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp, err := RunFig18(DefaultFig18())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", exp)
+		big := int64(256 << 10)
+		get := func(v string) float64 {
+			r, _ := exp.Find(func(r Row) bool { return r.Variant == v && r.WriteSize == big })
+			return r.Throughput
+		}
+		pw, nbwER, nbw := get("PW"), get("NBW"), get("NBW w/o ER")
+		b.ReportMetric(pw, "PW_ops")
+		b.ReportMetric(nbwER, "NBW+ER_ops")
+		b.ReportMetric(nbw, "NBW-ER_ops")
+		if pw > 0 {
+			b.ReportMetric(nbwER/pw, "NBW+ER_over_PW")
+		}
+	}
+}
+
+// BenchmarkFig18b_LockRatio — §V-B2 Fig. 18(b): the locking/IO time
+// ratio on one client falls for NBW as write size grows.
+func BenchmarkFig18b_LockRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp, err := RunFig18(DefaultFig18())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", exp)
+		for _, v := range []string{"PW", "NBW"} {
+			for _, ws := range []int64{64 << 10, 256 << 10} {
+				r, ok := exp.Find(func(r Row) bool { return r.Variant == v && r.WriteSize == ws })
+				if ok {
+					b.ReportMetric(r.LockRatio, v+"_"+fmtSize(ws)+"_ratio")
+				}
+			}
+		}
+	}
+}
+
+func fmtSize(ws int64) string {
+	if ws >= 1<<20 {
+		return "1MB"
+	}
+	if ws >= 256<<10 {
+		return "256KB"
+	}
+	return "64KB"
+}
+
+// BenchmarkFig19a_Upgrading — §V-B3 Fig. 19(a): with upgrading, NBW
+// matches PW on interleaved reads/writes; without it, self-conflicts
+// collapse throughput.
+func BenchmarkFig19a_Upgrading(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp, err := RunFig19a(DefaultFig19a())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", exp)
+		get := func(v string) float64 {
+			r, _ := exp.Find(func(r Row) bool { return r.Variant == v })
+			return r.Throughput
+		}
+		b.ReportMetric(get("PW"), "PW_ops")
+		b.ReportMetric(get("NBW"), "NBW_ops")
+		b.ReportMetric(get("NBW+U"), "NBW+U_ops")
+	}
+}
+
+// BenchmarkFig19b_Downgrading — §V-B3 Fig. 19(b): BW with downgrading
+// beats PW on two-stripe spanning writes (paper: 2.48×/9.40×).
+func BenchmarkFig19b_Downgrading(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp, err := RunFig19b(DefaultFig19b())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", exp)
+		ws := int64(256 << 10)
+		pw := exp.Bandwidth("PW", ws, 0)
+		bwd := exp.Bandwidth("BW+D", ws, 0)
+		bwnd := exp.Bandwidth("BW-D", ws, 0)
+		mbs(b, "PW", pw)
+		mbs(b, "BW+D", bwd)
+		mbs(b, "BW-D", bwnd)
+		if pw > 0 {
+			b.ReportMetric(bwd/pw, "BW+D_over_PW")
+		}
+	}
+}
+
+// BenchmarkTable3_Segmented — §V-C1 Table III: under low contention the
+// three DLMs perform alike (SeqDLM keeps the traditional advantage).
+func BenchmarkTable3_Segmented(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp, err := RunTable3(DefaultFig20())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", exp)
+		mbs(b, "SeqDLM", exp.Bandwidth("SeqDLM", 0, 0))
+		mbs(b, "DLM-basic", exp.Bandwidth("DLM-basic", 0, 0))
+		mbs(b, "DLM-Lustre", exp.Bandwidth("DLM-Lustre", 0, 0))
+	}
+}
+
+// BenchmarkFig20a_Strided1 — §V-C1 Fig. 20(a): N-1 strided bandwidth on
+// one stripe; paper: SeqDLM up to 18.1× over the traditional DLMs and
+// 81.7–96.9% of its own segmented reference.
+func BenchmarkFig20a_Strided1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp, err := RunFig20(DefaultFig20())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", exp)
+		ws := int64(256 << 10)
+		seq := exp.Bandwidth("SeqDLM", ws, 0)
+		basic := exp.Bandwidth("DLM-basic", ws, 0)
+		lustre := exp.Bandwidth("DLM-Lustre", ws, 0)
+		ref := exp.Bandwidth("SeqDLM segmented (ref)", ws, 0)
+		mbs(b, "SeqDLM", seq)
+		mbs(b, "DLM-basic", basic)
+		mbs(b, "DLM-Lustre", lustre)
+		if basic > 0 {
+			b.ReportMetric(seq/basic, "SeqDLM_over_basic")
+		}
+		if ref > 0 {
+			b.ReportMetric(seq/ref, "strided_over_segmented")
+		}
+		_ = lustre
+	}
+}
+
+// BenchmarkFig20b_PIOSplit — §V-C1 Fig. 20(b): SeqDLM's PIO time is a
+// small share of total IO time (paper ~5%) while the baselines' PIO is
+// up to 99% — flushing decoupled vs on the critical path.
+func BenchmarkFig20b_PIOSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp, err := RunFig20(DefaultFig20())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", exp)
+		ws := int64(256 << 10)
+		share := func(v string) float64 {
+			r, ok := exp.Find(func(r Row) bool { return r.Variant == v && r.WriteSize == ws })
+			if !ok || r.PIO+r.Flush <= 0 {
+				return 0
+			}
+			return float64(r.PIO) / float64(r.PIO+r.Flush)
+		}
+		b.ReportMetric(share("SeqDLM"), "SeqDLM_PIO_share")
+		b.ReportMetric(share("DLM-basic"), "basic_PIO_share")
+	}
+}
+
+// BenchmarkFig21_MultiStripe — §V-C2 Fig. 21: strided unaligned writes
+// on 4/8 stripes; paper: SeqDLM over DLM-Lustre 3.6–10.3× (4 stripes),
+// 2.0–6.2× (8 stripes).
+func BenchmarkFig21_MultiStripe(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp, err := RunFig21(DefaultFig21())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", exp)
+		big := int64(188032)
+		seq4 := exp.Bandwidth("SeqDLM", big, 4)
+		lus4 := exp.Bandwidth("DLM-Lustre", big, 4)
+		seq8 := exp.Bandwidth("SeqDLM", big, 8)
+		lus8 := exp.Bandwidth("DLM-Lustre", big, 8)
+		mbs(b, "SeqDLM_4str", seq4)
+		mbs(b, "Lustre_4str", lus4)
+		if lus4 > 0 {
+			b.ReportMetric(seq4/lus4, "speedup_4str")
+		}
+		if lus8 > 0 {
+			b.ReportMetric(seq8/lus8, "speedup_8str")
+		}
+	}
+}
+
+// BenchmarkFig22_MultiStripeTime — §V-C2 Fig. 22: total IO time split
+// for the multi-stripe runs; SeqDLM's PIO share stays small.
+func BenchmarkFig22_MultiStripeTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp, err := RunFig21(DefaultFig21())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", exp)
+		big := int64(188032)
+		seq, _ := exp.Find(func(r Row) bool { return r.Variant == "SeqDLM" && r.WriteSize == big && r.Stripes == 4 })
+		lus, _ := exp.Find(func(r Row) bool { return r.Variant == "DLM-Lustre" && r.WriteSize == big && r.Stripes == 4 })
+		secs(b, "SeqDLM_PIO", seq.PIO)
+		secs(b, "SeqDLM_F", seq.Flush)
+		secs(b, "Lustre_PIO", lus.PIO)
+		secs(b, "Lustre_F", lus.Flush)
+	}
+}
+
+// BenchmarkFig23_TileIO — §V-D Fig. 23: atomic non-contiguous tile
+// writes; paper: SeqDLM over DLM-datatype 51×→4.1× as stripes go 1→16.
+func BenchmarkFig23_TileIO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp, err := RunFig23(DefaultFig23())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", exp)
+		for _, stripes := range []uint32{1, 4, 16} {
+			seq := exp.Bandwidth("SeqDLM", 0, stripes)
+			dt := exp.Bandwidth("DLM-datatype", 0, stripes)
+			if dt > 0 {
+				b.ReportMetric(seq/dt, fmtStripes(stripes)+"_speedup")
+			}
+		}
+	}
+}
+
+func fmtStripes(s uint32) string {
+	switch s {
+	case 1:
+		return "1str"
+	case 4:
+		return "4str"
+	default:
+		return "16str"
+	}
+}
+
+// BenchmarkFig24_VPIC — §V-E Fig. 24: VPIC-IO write bandwidth; paper:
+// ccPFS-S over ccPFS-L 6.2×/1.5× (small writes, 1/16 stripes) and
+// 34.8×/8.8× (large writes).
+func BenchmarkFig24_VPIC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp, err := RunFig24(DefaultFig24())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", exp)
+		for _, stripes := range []uint32{1, 16} {
+			ws := int64(65536 * 4)
+			s := exp.Bandwidth("ccPFS-S", ws, stripes)
+			l := exp.Bandwidth("ccPFS-L", ws, stripes)
+			if l > 0 {
+				b.ReportMetric(s/l, fmtStripes(stripes)+"_speedup")
+			}
+		}
+	}
+}
+
+// BenchmarkFig25_VPICTime — §V-E Fig. 25: PIO and F split of the VPIC
+// runs; SeqDLM's win is a shorter PIO, and the extent cache does not
+// inflate total time.
+func BenchmarkFig25_VPICTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp, err := RunFig24(DefaultFig24())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", exp)
+		ws := int64(65536 * 4)
+		s, _ := exp.Find(func(r Row) bool { return r.Variant == "ccPFS-S" && r.WriteSize == ws && r.Stripes == 4 })
+		l, _ := exp.Find(func(r Row) bool { return r.Variant == "ccPFS-L" && r.WriteSize == ws && r.Stripes == 4 })
+		secs(b, "ccPFS-S_PIO", s.PIO)
+		secs(b, "ccPFS-S_F", s.Flush)
+		secs(b, "ccPFS-L_PIO", l.PIO)
+		secs(b, "ccPFS-L_F", l.Flush)
+	}
+}
+
+// BenchmarkAblation — design-choice decomposition (not a paper figure):
+// the strided workload with each SeqDLM mechanism disabled in turn.
+// Early grant carries most of the win.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp, err := RunAblation(DefaultAblation())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", exp)
+		full := exp.Bandwidth("SeqDLM (full)", 0, 0)
+		noEG := exp.Bandwidth("- early grant", 0, 0)
+		noER := exp.Bandwidth("- early revocation", 0, 0)
+		floor := exp.Bandwidth("DLM-basic (floor)", 0, 0)
+		mbs(b, "full", full)
+		mbs(b, "no_early_grant", noEG)
+		mbs(b, "no_early_revocation", noER)
+		mbs(b, "basic_floor", floor)
+		if noEG > 0 {
+			b.ReportMetric(full/noEG, "early_grant_gain")
+		}
+	}
+}

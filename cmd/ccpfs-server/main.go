@@ -1,0 +1,93 @@
+// Command ccpfs-server runs a standalone ccPFS data server (IO service +
+// DLM service, optionally the namespace service) over real TCP — the
+// same code paths the simulated cluster runs, on a real fabric.
+//
+// A two-server deployment hosting the namespace on the first:
+//
+//	ccpfs-server -listen :9040 -meta -data /var/ccpfs0 &
+//	ccpfs-server -listen :9041 -data /var/ccpfs1 &
+//	ccpfs-cli -servers localhost:9040,localhost:9041 put /etc/hosts /hosts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ccpfs/internal/dataserver"
+	"ccpfs/internal/dlm"
+	"ccpfs/internal/meta"
+	"ccpfs/internal/storage"
+	"ccpfs/internal/transport/tcpnet"
+)
+
+func policyByName(name string) (dlm.Policy, error) {
+	switch name {
+	case "seqdlm":
+		return dlm.SeqDLM(), nil
+	case "basic":
+		return dlm.Basic(), nil
+	case "lustre":
+		return dlm.Lustre(), nil
+	case "datatype":
+		return dlm.Datatype(), nil
+	}
+	return dlm.Policy{}, fmt.Errorf("unknown policy %q (seqdlm|basic|lustre|datatype)", name)
+}
+
+func main() {
+	listen := flag.String("listen", ":9040", "TCP listen address")
+	dataDir := flag.String("data", "", "stripe store directory (in-memory when empty)")
+	policy := flag.String("policy", "seqdlm", "DLM policy: seqdlm|basic|lustre|datatype")
+	hostMeta := flag.Bool("meta", false, "also host the namespace service (exactly one server per deployment)")
+	extentLog := flag.Bool("extent-log", false, "keep per-stripe extent logs for recovery")
+	cleanup := flag.Duration("cleanup", 100*time.Millisecond, "extent cache cleanup interval (0 disables)")
+	flag.Parse()
+
+	pol, err := policyByName(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := dataserver.Config{
+		Name:            *listen,
+		Policy:          pol,
+		ExtentLog:       *extentLog,
+		CleanupInterval: *cleanup,
+	}
+	if *dataDir != "" {
+		fs, err := storage.NewFileStore(*dataDir)
+		if err != nil {
+			log.Fatalf("opening store: %v", err)
+		}
+		defer fs.Close()
+		cfg.Store = fs
+		if *extentLog {
+			// Persist the extent log next to the data so recovery works
+			// across real restarts.
+			cfg.ExtentLogDir = *dataDir
+		}
+	}
+	if *hostMeta {
+		cfg.Meta = meta.NewService()
+	}
+
+	l, err := tcpnet.New().Listen(*listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	srv := dataserver.New(cfg)
+	srv.Serve(l)
+	log.Printf("ccpfs-server: policy=%s meta=%v data=%q listening on %s",
+		pol.Name, *hostMeta, *dataDir, l.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("ccpfs-server: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,146 @@
+// Command seqbench runs the SeqDLM/ccPFS experiment suite and prints
+// every table and figure series of the paper's evaluation.
+//
+// Usage:
+//
+//	seqbench                 # run every experiment at the default scale
+//	seqbench -exp fig20      # run one experiment
+//	seqbench -list           # list experiment IDs
+//	seqbench -scale 2        # halve simulated device speeds (slower,
+//	                         # sharper contention shapes)
+//
+// Experiment IDs: fig4, fig5, model, fig17, fig18, fig19a, fig19b,
+// table3, fig20, fig21, fig23, fig24, ablation (fig22 and fig25 are the
+// time columns of fig21 and fig24).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ccpfs"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(ccpfs.Hardware) (*ccpfs.Experiment, error)
+}
+
+func suite() []experiment {
+	return []experiment{
+		{"fig4", "IO pattern gap under a traditional DLM (motivation)", func(hw ccpfs.Hardware) (*ccpfs.Experiment, error) {
+			cfg := ccpfs.DefaultFig4()
+			cfg.Hardware = hw
+			return ccpfs.RunFig4(cfg)
+		}},
+		{"fig5", "bandwidth vs data flushing cost (motivation)", func(hw ccpfs.Hardware) (*ccpfs.Experiment, error) {
+			cfg := ccpfs.DefaultFig5()
+			cfg.Hardware = hw
+			return ccpfs.RunFig5(cfg)
+		}},
+		{"model", "analytic bottleneck model, Table I / Eq. (1)-(2)", func(ccpfs.Hardware) (*ccpfs.Experiment, error) {
+			return ccpfs.RunModel(), nil
+		}},
+		{"fig17", "sequential conflicting writes: time breakdown", func(hw ccpfs.Hardware) (*ccpfs.Experiment, error) {
+			cfg := ccpfs.DefaultFig17()
+			cfg.Hardware = hw
+			return ccpfs.RunFig17(cfg)
+		}},
+		{"fig18", "parallel throughput ± early revocation + lock ratio", func(hw ccpfs.Hardware) (*ccpfs.Experiment, error) {
+			cfg := ccpfs.DefaultFig18()
+			cfg.Hardware = hw
+			return ccpfs.RunFig18(cfg)
+		}},
+		{"fig19a", "lock upgrading: interleaved reads/writes", func(hw ccpfs.Hardware) (*ccpfs.Experiment, error) {
+			cfg := ccpfs.DefaultFig19a()
+			cfg.Hardware = hw
+			return ccpfs.RunFig19a(cfg)
+		}},
+		{"fig19b", "lock downgrading: two-stripe spanning writes", func(hw ccpfs.Hardware) (*ccpfs.Experiment, error) {
+			cfg := ccpfs.DefaultFig19b()
+			cfg.Hardware = hw
+			return ccpfs.RunFig19b(cfg)
+		}},
+		{"table3", "IOR N-1 segmented, low contention", func(hw ccpfs.Hardware) (*ccpfs.Experiment, error) {
+			cfg := ccpfs.DefaultFig20()
+			cfg.Hardware = hw
+			return ccpfs.RunTable3(cfg)
+		}},
+		{"fig20", "IOR N-1 strided on one stripe (+ fig20b PIO split)", func(hw ccpfs.Hardware) (*ccpfs.Experiment, error) {
+			cfg := ccpfs.DefaultFig20()
+			cfg.Hardware = hw
+			return ccpfs.RunFig20(cfg)
+		}},
+		{"fig21", "N-1 strided on 4/8 stripes (+ fig22 times)", func(hw ccpfs.Hardware) (*ccpfs.Experiment, error) {
+			cfg := ccpfs.DefaultFig21()
+			cfg.Hardware = hw
+			return ccpfs.RunFig21(cfg)
+		}},
+		{"fig23", "Tile-IO: SeqDLM vs DLM-datatype", func(hw ccpfs.Hardware) (*ccpfs.Experiment, error) {
+			cfg := ccpfs.DefaultFig23()
+			cfg.Hardware = hw
+			return ccpfs.RunFig23(cfg)
+		}},
+		{"fig24", "VPIC-IO: ccPFS-SeqDLM vs ccPFS-Lustre (+ fig25 times)", func(hw ccpfs.Hardware) (*ccpfs.Experiment, error) {
+			cfg := ccpfs.DefaultFig24()
+			cfg.Hardware = hw
+			return ccpfs.RunFig24(cfg)
+		}},
+		{"ablation", "SeqDLM mechanisms disabled one at a time", func(hw ccpfs.Hardware) (*ccpfs.Experiment, error) {
+			cfg := ccpfs.DefaultAblation()
+			cfg.Hardware = hw
+			return ccpfs.RunAblation(cfg)
+		}},
+	}
+}
+
+func main() {
+	expFlag := flag.String("exp", "", "run a single experiment (see -list)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	scale := flag.Float64("scale", 1, "slow simulated devices by this factor")
+	csv := flag.Bool("csv", false, "emit CSV rows instead of tables")
+	flag.Parse()
+
+	exps := suite()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-8s %s\n", e.id, e.desc)
+		}
+		return
+	}
+
+	hw := ccpfs.BenchHardware()
+	if *scale > 0 && *scale != 1 {
+		hw.RTT = time.Duration(float64(hw.RTT) * *scale)
+		hw.NetBandwidth /= *scale
+		hw.DiskBandwidth /= *scale
+		hw.ServerOPS /= *scale
+	}
+
+	ran := 0
+	for _, e := range exps {
+		if *expFlag != "" && !strings.EqualFold(*expFlag, e.id) {
+			continue
+		}
+		ran++
+		start := time.Now()
+		exp, err := e.run(hw)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(exp.CSV())
+		} else {
+			fmt.Printf("=== %s (%s, %.1fs)\n%s\n", exp.ID, exp.Title, time.Since(start).Seconds(), exp.Text)
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *expFlag)
+		os.Exit(1)
+	}
+}

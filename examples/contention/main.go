@@ -1,0 +1,50 @@
+// Contention: the paper's headline scenario. Many clients write
+// interleaved (N-1 strided) blocks of one shared file — the pattern that
+// nearly serializes a traditional DLM — under simulated Table-I-style
+// hardware, once with SeqDLM and once with DLM-basic, and print the
+// bandwidth gap (Fig. 20 of the paper, in miniature).
+//
+//	go run ./examples/contention
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccpfs"
+)
+
+func main() {
+	const clients = 8
+	const writeSize = 64 << 10
+	const writesPerClient = 16
+
+	for _, policy := range []ccpfs.Policy{ccpfs.SeqDLM(), ccpfs.DLMBasic()} {
+		c, err := ccpfs.NewCluster(ccpfs.Options{
+			Servers:  1,
+			Policy:   policy,
+			Hardware: ccpfs.BenchHardware(), // simulated NVMe + fabric
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := ccpfs.RunIOR(c, ccpfs.IORConfig{
+			Pattern:         ccpfs.PatternN1Strided,
+			Clients:         clients,
+			WriteSize:       writeSize,
+			WritesPerClient: writesPerClient,
+			StripeSize:      1 << 20,
+			StripeCount:     1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s N-1 strided, %d clients x %d x 64KB: %7.1f MB/s (PIO %v, flush %v)\n",
+			policy.Name, clients, writesPerClient,
+			res.BandwidthPIO()/1e6, res.PIO.Round(1e6), res.Flush.Round(1e6))
+		c.Close()
+	}
+	fmt.Println("\nSeqDLM's early grant decouples data flushing from lock conflict")
+	fmt.Println("resolution, so the strided writes stay cache-speed while the")
+	fmt.Println("traditional DLM serializes on flushes.")
+}

@@ -1,0 +1,161 @@
+// Custom embedding: the paper's future-work direction — SeqDLM as a
+// general distributed coherent-cache layer, outside any file system.
+// This example builds a tiny replicated counter service: N nodes cache
+// a shared page of counters, bump them locally at memory speed, and let
+// SeqDLM's early grant keep the hand-offs cheap while the SN machinery
+// makes the write-backs land in order.
+//
+//	go run ./examples/customdlm
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"sync"
+
+	"ccpfs/seqdlm"
+)
+
+const (
+	resource = seqdlm.ResourceID(1)
+	counters = 8
+	pageSize = counters * 8
+)
+
+// page is the shared durable state: an array of counters plus the SN
+// tree that orders write-backs.
+type page struct {
+	mu   sync.Mutex
+	tree seqdlm.Tree
+	buf  [pageSize]byte
+}
+
+func (p *page) writeBack(rng seqdlm.Extent, sn seqdlm.SN, data []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, won := range p.tree.Insert(rng, sn) {
+		copy(p.buf[won.Start:won.End], data[won.Start-rng.Start:won.End-rng.Start])
+	}
+}
+
+func (p *page) snapshot() [pageSize]byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.buf
+}
+
+// node caches the page under SeqDLM locks.
+type node struct {
+	id    seqdlm.ClientID
+	lc    *seqdlm.LockClient
+	store *page
+
+	mu    sync.Mutex
+	local [pageSize]byte
+	dirty bool
+	sn    seqdlm.SN
+}
+
+// bump increments counter idx. The whole page is one resource; under
+// contention every bump is a lock hand-off — exactly the workload early
+// grant accelerates.
+func (n *node) bump(idx int) error {
+	// PW: we read the page and update it (atomic read-update, Fig. 10).
+	h, err := n.lc.Acquire(resource, seqdlm.PW, seqdlm.NewExtent(0, pageSize))
+	if err != nil {
+		return err
+	}
+	defer n.lc.Unlock(h)
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	// First use under a fresh lock: our cache may be stale; re-read the
+	// durable page (the PW grant guarantees all older writers flushed).
+	if n.sn != h.SN() {
+		n.local = n.store.snapshot()
+		n.sn = h.SN()
+	}
+	v := binary.LittleEndian.Uint64(n.local[idx*8:])
+	binary.LittleEndian.PutUint64(n.local[idx*8:], v+1)
+	n.dirty = true
+	return nil
+}
+
+// flushForCancel is the Flusher hook SeqDLM's cancel path calls.
+func (n *node) flushForCancel(res seqdlm.ResourceID, rng seqdlm.Extent, sn seqdlm.SN) error {
+	n.mu.Lock()
+	dirty, buf, wsn := n.dirty, n.local, n.sn
+	n.dirty = false
+	n.mu.Unlock()
+	if dirty && wsn <= sn {
+		n.store.writeBack(seqdlm.NewExtent(0, pageSize), wsn, buf[:])
+	}
+	return nil
+}
+
+type directConn struct{ srv *seqdlm.Server }
+
+func (d directConn) Lock(req seqdlm.Request) (seqdlm.Grant, error) { return d.srv.Lock(req) }
+func (d directConn) Release(res seqdlm.ResourceID, id seqdlm.LockID) error {
+	d.srv.Release(res, id)
+	return nil
+}
+func (d directConn) Downgrade(res seqdlm.ResourceID, id seqdlm.LockID, m seqdlm.Mode) error {
+	return d.srv.Downgrade(res, id, m)
+}
+
+func main() {
+	store := &page{}
+	srv := seqdlm.NewServer(seqdlm.SeqDLM(), nil)
+	nodes := map[seqdlm.ClientID]*node{}
+	srv.SetNotifier(seqdlm.NotifierFunc(func(rv seqdlm.Revocation) {
+		if n, ok := nodes[rv.Client]; ok {
+			n.lc.OnRevoke(rv.Resource, rv.Lock)
+		}
+		srv.RevokeAck(rv.Resource, rv.Lock)
+	}))
+	router := func(seqdlm.ResourceID) seqdlm.ServerConn { return directConn{srv} }
+
+	const nnodes = 4
+	const bumpsEach = 500
+	for id := seqdlm.ClientID(1); id <= nnodes; id++ {
+		n := &node{id: id, store: store}
+		n.lc = seqdlm.NewLockClient(id, seqdlm.SeqDLM(), router, seqdlm.FlusherFunc(n.flushForCancel))
+		nodes[id] = n
+	}
+
+	var wg sync.WaitGroup
+	for _, n := range nodes {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			for k := 0; k < bumpsEach; k++ {
+				if err := n.bump(k % counters); err != nil {
+					log.Fatalf("node %d: %v", n.id, err)
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	for _, n := range nodes {
+		n.lc.ReleaseAll()
+	}
+
+	final := store.snapshot()
+	var total uint64
+	for i := 0; i < counters; i++ {
+		v := binary.LittleEndian.Uint64(final[i*8:])
+		fmt.Printf("counter %d = %d\n", i, v)
+		total += v
+	}
+	want := uint64(nnodes * bumpsEach)
+	fmt.Printf("total = %d (want %d)\n", total, want)
+	if total != want {
+		log.Fatal("counters diverged — coherence broken")
+	}
+	st := srv.Stats.Snapshot()
+	fmt.Printf("grants=%d revocations=%d upgrades=%d early-revocations=%d\n",
+		st.Grants, st.Revocations, st.Upgrades, st.EarlyRevocations)
+	fmt.Println("ok: SeqDLM kept a non-filesystem cache coherent")
+}

@@ -1,0 +1,101 @@
+// TCP cluster: the same SeqDLM/ccPFS stack over real TCP sockets
+// instead of the simulated fabric — two data servers and two clients in
+// one process, wired through localhost. This is what the standalone
+// ccpfs-server / ccpfs-cli binaries do across machines.
+//
+//	go run ./examples/tcpcluster
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+
+	"ccpfs/internal/client"
+	"ccpfs/internal/dataserver"
+	"ccpfs/internal/dlm"
+	"ccpfs/internal/meta"
+	"ccpfs/internal/rpc"
+	"ccpfs/internal/transport/tcpnet"
+)
+
+func main() {
+	net := tcpnet.New()
+	pol := dlm.SeqDLM()
+
+	// Two data servers on ephemeral localhost ports; the first hosts the
+	// namespace.
+	var addrs []string
+	ns := meta.NewService()
+	for i := 0; i < 2; i++ {
+		cfg := dataserver.Config{Name: fmt.Sprintf("srv-%d", i), Policy: pol}
+		if i == 0 {
+			cfg.Meta = ns
+		}
+		l, err := net.Listen("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := dataserver.New(cfg)
+		srv.Serve(l)
+		defer srv.Close()
+		addrs = append(addrs, l.Addr())
+		fmt.Printf("server %d listening on %s (meta=%v)\n", i, l.Addr(), i == 0)
+	}
+
+	newClient := func(name string, id dlm.ClientID) *client.Client {
+		conns := client.Conns{}
+		for i, addr := range addrs {
+			conn, err := net.Dial(addr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ep := rpc.NewEndpoint(conn, rpc.Options{})
+			conns.Data = append(conns.Data, ep)
+			if i == 0 {
+				conns.Meta = ep
+			}
+			bconn, err := net.Dial(addr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			conns.Bulk = append(conns.Bulk, rpc.NewEndpoint(bconn, rpc.Options{}))
+		}
+		cl, err := client.New(client.Config{Name: name, ID: id, Policy: pol}, conns)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return cl
+	}
+
+	writer := newClient("writer", 1)
+	defer writer.Close()
+	reader := newClient("reader", 2)
+	defer reader.Close()
+
+	f, err := writer.Create("/tcp-demo", 64<<10, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("over real TCP "), 20_000)
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("writer: %d bytes cached over TCP connections\n", len(payload))
+
+	g, err := reader.Open("/tcp-demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, len(payload))
+	n, err := g.ReadAt(buf, 0)
+	if err != nil && err != io.EOF {
+		log.Fatal(err)
+	}
+	if n != len(payload) || !bytes.Equal(buf, payload) {
+		log.Fatalf("mismatch: n=%d", n)
+	}
+	fmt.Printf("reader: verified %d bytes — revocation, flush, and read all over TCP\n", n)
+	fmt.Println("ok")
+}

@@ -1,0 +1,51 @@
+// Tile-IO: atomic non-contiguous writes, the §V-D workload. Each client
+// owns one tile of a 2-D array stored row-major in a shared file; a tile
+// write is hundreds of non-contiguous row writes that must land
+// atomically, and neighbouring tiles overlap, so clients genuinely
+// conflict. Runs both SeqDLM (covering-range locks + early grant) and
+// DLM-datatype (exact extent-list locks) and prints the comparison.
+//
+//	go run ./examples/tileio
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccpfs"
+)
+
+func main() {
+	cfg := ccpfs.TileConfig{
+		TilesX: 3, TilesY: 2, // 6 clients, one tile each
+		TileDim:     64, // 64x64 pixels per tile
+		OverlapPx:   8,  // neighbouring tiles overlap by 8 pixels
+		ElementSize: 4,  // 4-byte pixels
+		StripeSize:  32 << 10,
+		StripeCount: 4,
+	}
+	w, h := cfg.ArrayDim()
+	fmt.Printf("tile grid %dx%d, array %dx%d px, %d bytes per tile\n\n",
+		cfg.TilesX, cfg.TilesY, w, h, cfg.TileBytes())
+
+	for _, policy := range []ccpfs.Policy{ccpfs.SeqDLM(), ccpfs.DLMDatatype()} {
+		c, err := ccpfs.NewCluster(ccpfs.Options{
+			Servers:  4,
+			Policy:   policy,
+			Hardware: ccpfs.BenchHardware(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := ccpfs.RunTileIO(c, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s %7.2f MB/s (PIO %v + flush %v)\n",
+			policy.Name, res.BandwidthPIO()/1e6, res.PIO.Round(1e6), res.Flush.Round(1e6))
+		c.Close()
+	}
+	fmt.Println("\nSeqDLM takes one covering-range lock per stripe — more conflicts")
+	fmt.Println("than datatype locking's exact extents, but early grant makes the")
+	fmt.Println("conflicts cheap, which is the paper's Fig. 23 result.")
+}

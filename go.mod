@@ -1,0 +1,3 @@
+module ccpfs
+
+go 1.24

@@ -1,0 +1,103 @@
+// Package analysis implements the lock conflict resolution overhead
+// model of §II-C: Equations (1) and (2) and the three bottleneck terms
+// ① 1/(OPS·D), ② RTT/D, ③ 1/B_flush, evaluated with the Table I
+// hardware parameters. The model predicts that data flushing (term ③)
+// dominates the bandwidth of N totally-conflicting writes, and that once
+// flushing is removed from the critical path (early grant), revocation
+// (term ②) becomes the next bottleneck — the two observations SeqDLM's
+// design is built on.
+package analysis
+
+import "fmt"
+
+// Params are the model inputs.
+type Params struct {
+	// N is the number of conflicting writes.
+	N float64
+	// D is the write size in bytes.
+	D float64
+	// OPS is the lock server's RPC processing rate (op/s).
+	OPS float64
+	// RTT is the network round-trip time in seconds.
+	RTT float64
+	// BNet is the network bandwidth (B/s).
+	BNet float64
+	// BDisk is the disk bandwidth (B/s).
+	BDisk float64
+}
+
+// TableI returns the paper's Table I parameters with the given write
+// size and write count.
+func TableI(n, d float64) Params {
+	return Params{
+		N:     n,
+		D:     d,
+		OPS:   1e7,
+		RTT:   1e-6,
+		BNet:  12.5e9,
+		BDisk: 3e9,
+	}
+}
+
+// BFlush evaluates Equation (2): the serialized flush bandwidth through
+// the network and the disk.
+func (p Params) BFlush() float64 {
+	return p.BNet * p.BDisk / (p.BNet + p.BDisk)
+}
+
+// BTotal evaluates Equation (1): the aggregate bandwidth of N
+// conflicting writes of size D under a traditional DLM.
+func (p Params) BTotal() float64 {
+	t := p.N/p.OPS + (p.N-1)*p.RTT + (p.N-1)*p.D/p.BFlush()
+	if t <= 0 {
+		return 0
+	}
+	return p.N * p.D / t
+}
+
+// Terms returns the three per-byte cost terms of the simplified
+// Equation (1): ① 1/(OPS·D), ② RTT/D, ③ 1/B_flush, in seconds per byte.
+func (p Params) Terms() (t1, t2, t3 float64) {
+	return 1 / (p.OPS * p.D), p.RTT / p.D, 1 / p.BFlush()
+}
+
+// Bottleneck names the dominating term.
+func (p Params) Bottleneck() string {
+	t1, t2, t3 := p.Terms()
+	switch {
+	case t3 >= t1 && t3 >= t2:
+		return "data flushing"
+	case t2 >= t1:
+		return "lock revocation"
+	default:
+		return "lock server OPS"
+	}
+}
+
+// WithoutFlush evaluates Equation (1) with term ③ removed — the model
+// of early grant decoupling data flushing from conflict resolution.
+func (p Params) WithoutFlush() float64 {
+	t := p.N/p.OPS + (p.N-1)*p.RTT
+	if t <= 0 {
+		return 0
+	}
+	return p.N * p.D / t
+}
+
+// WithoutFlushAndRevocation also removes the revocation RTT — the model
+// of early grant plus early revocation, leaving only the OPS bound.
+func (p Params) WithoutFlushAndRevocation() float64 {
+	t := p.N / p.OPS
+	if t <= 0 {
+		return 0
+	}
+	return p.N * p.D / t
+}
+
+// String summarizes the model evaluation.
+func (p Params) String() string {
+	t1, t2, t3 := p.Terms()
+	return fmt.Sprintf(
+		"N=%.0f D=%.0fB: ①=%.2e ②=%.2e ③=%.2e s/B, bottleneck=%s, Btotal=%.2f MB/s",
+		p.N, p.D, t1, t2, t3, p.Bottleneck(), p.BTotal()/1e6)
+}

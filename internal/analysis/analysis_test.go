@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTableIBottleneck reproduces the §II-C numerical evaluation: with
+// D = 1e6 bytes, ① ≈ 1.0e-13, ② ≈ 1.0e-12, ③ ≈ 4.1e-10 s/B, and data
+// flushing dominates.
+func TestTableIBottleneck(t *testing.T) {
+	p := TableI(16, 1e6)
+	t1, t2, t3 := p.Terms()
+	approx := func(got, want float64) bool {
+		return math.Abs(got-want)/want < 0.05
+	}
+	if !approx(t1, 1.0e-13) {
+		t.Fatalf("term ① = %.3e, want ~1.0e-13", t1)
+	}
+	if !approx(t2, 1.0e-12) {
+		t.Fatalf("term ② = %.3e, want ~1.0e-12", t2)
+	}
+	if !approx(t3, 4.1e-10) {
+		t.Fatalf("term ③ = %.3e, want ~4.1e-10", t3)
+	}
+	if p.Bottleneck() != "data flushing" {
+		t.Fatalf("bottleneck = %s, want data flushing", p.Bottleneck())
+	}
+}
+
+func TestBFlush(t *testing.T) {
+	p := TableI(16, 1e6)
+	want := 12.5e9 * 3e9 / (12.5e9 + 3e9)
+	if math.Abs(p.BFlush()-want) > 1 {
+		t.Fatalf("BFlush = %e, want %e", p.BFlush(), want)
+	}
+	// Flush bandwidth is below both component bandwidths.
+	if p.BFlush() >= p.BDisk || p.BFlush() >= p.BNet {
+		t.Fatal("serialized flush bandwidth must be below both links")
+	}
+}
+
+// TestRemovingFlushShiftsBottleneck verifies the §II-C observation that
+// once flushing is removed, revocation becomes the bottleneck — each
+// removal must raise the modelled bandwidth substantially.
+func TestRemovingFlushShiftsBottleneck(t *testing.T) {
+	p := TableI(16, 1e6)
+	b0 := p.BTotal()
+	b1 := p.WithoutFlush()
+	b2 := p.WithoutFlushAndRevocation()
+	if !(b0 < b1 && b1 < b2) {
+		t.Fatalf("bandwidth ordering wrong: %e, %e, %e", b0, b1, b2)
+	}
+	if b1/b0 < 10 {
+		t.Fatalf("removing flush only gained %.1fx; the model says it dominates", b1/b0)
+	}
+	// With flushing gone, the RTT term should dominate the OPS term.
+	t1, t2, _ := p.Terms()
+	if t2 <= t1 {
+		t.Fatal("revocation term does not dominate OPS term")
+	}
+}
+
+// TestBandwidthGrowsWithWriteSize: under the model, larger writes
+// amortize the per-operation costs but converge to B_flush.
+func TestBandwidthGrowsWithWriteSize(t *testing.T) {
+	prev := 0.0
+	for _, d := range []float64{16e3, 64e3, 256e3, 1e6, 4e6} {
+		b := TableI(16, d).BTotal()
+		if b <= prev {
+			t.Fatalf("bandwidth not increasing at D=%.0f: %e <= %e", d, b, prev)
+		}
+		prev = b
+	}
+	// The asymptote is N/(N-1) · B_flush: N writes but only N-1
+	// serialized flushes (the last one stays cached).
+	p := TableI(16, 1e9)
+	if limit := p.BTotal(); limit > 16.0/15.0*p.BFlush()*1.001 {
+		t.Fatalf("bandwidth %e exceeded the model's flush asymptote", limit)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	p := Params{N: 1, D: 1, OPS: 1, RTT: 0, BNet: 1, BDisk: 1}
+	if b := p.BTotal(); b <= 0 {
+		t.Fatalf("BTotal = %e", b)
+	}
+	if p.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestSmallWritesBottleneckCanShift(t *testing.T) {
+	// With tiny writes and huge flush bandwidth, OPS dominates.
+	p := Params{N: 100, D: 1, OPS: 1e3, RTT: 1e-9, BNet: 1e12, BDisk: 1e12}
+	if p.Bottleneck() != "lock server OPS" {
+		t.Fatalf("bottleneck = %s", p.Bottleneck())
+	}
+	p.RTT = 1
+	if p.Bottleneck() != "lock revocation" {
+		t.Fatalf("bottleneck = %s", p.Bottleneck())
+	}
+}

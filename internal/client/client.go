@@ -1,0 +1,846 @@
+// Package client implements libccPFS, the ccPFS client library: a
+// POSIX-like API (Create/Open, WriteAt, ReadAt, Append, Truncate, Fsync,
+// Close) whose locking is implicit and transparent, exactly as in the
+// paper's prototype. Every IO operation selects a lock mode with the
+// Fig. 10 rules, acquires byte-range locks on the stripes it touches (in
+// ascending stripe order for multi-stripe atomicity), writes through the
+// SN-tagged page cache, and lets the lock client's cancel path flush and
+// release on revocation.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccpfs/internal/dlm"
+	"ccpfs/internal/extent"
+	"ccpfs/internal/meta"
+	"ccpfs/internal/pagecache"
+	"ccpfs/internal/rpc"
+	"ccpfs/internal/wire"
+)
+
+// DefaultLockAlign is the lock range alignment (the paper's DLMs align
+// lock ranges with 4 KB, which is why adjacent unaligned writes
+// conflict).
+const DefaultLockAlign = 4096
+
+// maxFlushRPC bounds the payload of one flush RPC; larger flushes are
+// split (the prototype similarly batches cache pages per RPC).
+const maxFlushRPC = 8 << 20
+
+// Config describes one ccPFS client.
+type Config struct {
+	// Name labels the client.
+	Name string
+	// ID is the cluster-assigned lock client identifier (must be unique
+	// across the cluster and nonzero).
+	ID dlm.ClientID
+	// Policy must match the servers' DLM policy.
+	Policy dlm.Policy
+	// PageCache sizes the client cache.
+	PageCache pagecache.Config
+	// FlushInterval runs the voluntary flush daemon when > 0 (the
+	// best-effort durability strategy of §IV-C1).
+	FlushInterval time.Duration
+	// LockAlign is the lock range alignment (DefaultLockAlign when 0;
+	// ignored by the datatype policy, which locks exact ranges).
+	LockAlign int64
+}
+
+// Conns carries the client's established RPC endpoints. Meta may equal
+// one of the Data endpoints (a data server hosting the namespace).
+// Bulk, when set, provides dedicated per-server connections for flush
+// and read traffic so bulk transfers never delay lock RPCs — mirroring
+// the prototype's split between CaRT RPCs and RDMA bulk transfers. When
+// nil, Data carries everything.
+type Conns struct {
+	Meta *rpc.Endpoint
+	Data []*rpc.Endpoint
+	Bulk []*rpc.Endpoint
+}
+
+// Stats aggregates client-side IO accounting.
+type Stats struct {
+	// LockNs is time spent acquiring locks inside IO calls.
+	LockNs atomic.Int64
+	// IONs is total time spent inside IO calls.
+	IONs atomic.Int64
+	// FlushedBytes counts bytes sent in flush RPCs.
+	FlushedBytes atomic.Int64
+	// ReadRPCs and WriteOps count operations.
+	ReadRPCs atomic.Int64
+	WriteOps atomic.Int64
+}
+
+// Client is a ccPFS client node.
+type Client struct {
+	cfg   Config
+	conns Conns
+	lc    *dlm.LockClient
+	pc    *pagecache.Cache
+
+	mu    sync.Mutex
+	sizes map[uint64]int64 // local size watermark per FID
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	daemonWG sync.WaitGroup
+
+	// Stats aggregates client-side IO accounting.
+	Stats Stats
+}
+
+// New builds a client over established connections. It registers the
+// revocation handler on every data connection and sends Hello to each.
+func New(cfg Config, conns Conns) (*Client, error) {
+	if cfg.ID == 0 {
+		return nil, errors.New("client: ID must be nonzero")
+	}
+	if cfg.LockAlign == 0 {
+		cfg.LockAlign = DefaultLockAlign
+	}
+	c := &Client{
+		cfg:   cfg,
+		conns: conns,
+		pc:    pagecache.New(cfg.PageCache),
+		sizes: make(map[uint64]int64),
+		stop:  make(chan struct{}),
+	}
+	c.lc = dlm.NewLockClient(cfg.ID, cfg.Policy, c.route, dlm.FlusherFunc(c.flushForCancel))
+
+	// Endpoints arrive unstarted: register the revocation handler on
+	// every data connection first, then start the read loops, then
+	// announce the client identity to every server.
+	for i, ep := range conns.Data {
+		ep.Handle(wire.MRevoke, c.handleRevoke)
+		ep.Handle(wire.MReport, c.reportHandler(i))
+	}
+	started := make(map[*rpc.Endpoint]bool, 2*len(conns.Data)+1)
+	start := func(ep *rpc.Endpoint) {
+		if ep != nil && !started[ep] {
+			started[ep] = true
+			ep.Start()
+		}
+	}
+	for _, ep := range conns.Data {
+		start(ep)
+	}
+	for _, ep := range conns.Bulk {
+		start(ep)
+	}
+	start(conns.Meta)
+	for _, ep := range conns.Data {
+		var rep wire.HelloReply
+		if err := ep.Call(wire.MHello, &wire.HelloRequest{NodeName: cfg.Name, ClientID: uint32(cfg.ID)}, &rep); err != nil {
+			return nil, fmt.Errorf("client: hello: %w", err)
+		}
+	}
+	for _, ep := range conns.Bulk {
+		var rep wire.HelloReply
+		if err := ep.Call(wire.MHello, &wire.HelloRequest{NodeName: cfg.Name, ClientID: uint32(cfg.ID), Bulk: true}, &rep); err != nil {
+			return nil, fmt.Errorf("client: bulk hello: %w", err)
+		}
+	}
+	if cfg.FlushInterval > 0 {
+		c.daemonWG.Add(1)
+		go c.flushDaemon()
+	}
+	return c, nil
+}
+
+// Locks exposes the lock client (stats and tests).
+func (c *Client) Locks() *dlm.LockClient { return c.lc }
+
+// PageCache exposes the page cache (stats and tests).
+func (c *Client) PageCache() *pagecache.Cache { return c.pc }
+
+// Close flushes and releases every cached lock, stops the daemon, and
+// closes the connections. It is idempotent.
+func (c *Client) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.daemonWG.Wait()
+	c.lc.ReleaseAll()
+	c.pushAllSizes()
+	c.closeConns()
+}
+
+// Kill abruptly severs the client's connections without flushing or
+// releasing anything — the client-crash model of §IV-C1. All dirty
+// cached data is lost; the servers force-release this client's locks
+// when the next conflicting request revokes them.
+func (c *Client) Kill() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.daemonWG.Wait()
+	c.closeConns()
+}
+
+func (c *Client) closeConns() {
+	for _, ep := range c.conns.Data {
+		ep.Close()
+	}
+	for _, ep := range c.conns.Bulk {
+		ep.Close()
+	}
+	if c.conns.Meta != nil && !c.isDataEndpoint(c.conns.Meta) {
+		c.conns.Meta.Close()
+	}
+}
+
+func (c *Client) isDataEndpoint(ep *rpc.Endpoint) bool {
+	for _, d := range c.conns.Data {
+		if d == ep {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Client) handleRevoke(p []byte) (wire.Msg, error) {
+	var req wire.RevokeRequest
+	if err := wire.Unmarshal(p, &req); err != nil {
+		return nil, err
+	}
+	c.lc.OnRevoke(dlm.ResourceID(req.Resource), dlm.LockID(req.LockID))
+	return &wire.Ack{}, nil
+}
+
+// reportHandler answers a recovering server's lock-state gather
+// (§IV-C2) with the locks placed on that server.
+func (c *Client) reportHandler(serverIdx int) func([]byte) (wire.Msg, error) {
+	return func([]byte) (wire.Msg, error) {
+		records := c.lc.Export(func(res dlm.ResourceID) bool {
+			return meta.PlaceStripe(uint64(res), len(c.conns.Data)) == serverIdx
+		})
+		rep := &wire.LockReport{}
+		for _, r := range records {
+			rep.Locks = append(rep.Locks, wire.LockRecord{
+				Resource: uint64(r.Resource),
+				Client:   uint32(r.Client),
+				LockID:   uint64(r.LockID),
+				Mode:     uint8(r.Mode),
+				Range:    r.Range,
+				SN:       r.SN,
+				State:    uint8(r.State),
+			})
+		}
+		return rep, nil
+	}
+}
+
+// endpointFor returns the control endpoint of the server owning a
+// resource (lock traffic).
+func (c *Client) endpointFor(rid uint64) *rpc.Endpoint {
+	return c.conns.Data[meta.PlaceStripe(rid, len(c.conns.Data))]
+}
+
+// bulkFor returns the bulk endpoint of the server owning a resource
+// (flush and read traffic); without dedicated bulk connections it is the
+// control endpoint.
+func (c *Client) bulkFor(rid uint64) *rpc.Endpoint {
+	if len(c.conns.Bulk) == len(c.conns.Data) && len(c.conns.Bulk) > 0 {
+		return c.conns.Bulk[meta.PlaceStripe(rid, len(c.conns.Data))]
+	}
+	return c.endpointFor(rid)
+}
+
+// route implements the lock client's resource → server mapping.
+func (c *Client) route(res dlm.ResourceID) dlm.ServerConn {
+	return rpcConn{ep: c.endpointFor(uint64(res))}
+}
+
+// rpcConn adapts an RPC endpoint to dlm.ServerConn.
+type rpcConn struct{ ep *rpc.Endpoint }
+
+// Lock implements dlm.ServerConn.
+func (c rpcConn) Lock(req dlm.Request) (dlm.Grant, error) {
+	w := &wire.LockRequest{
+		Resource: uint64(req.Resource),
+		Client:   uint32(req.Client),
+		Mode:     uint8(req.Mode),
+		Range:    req.Range,
+		Extents:  req.Extents,
+	}
+	var rep wire.LockGrant
+	if err := c.ep.Call(wire.MLock, w, &rep); err != nil {
+		return dlm.Grant{}, err
+	}
+	g := dlm.Grant{
+		LockID: dlm.LockID(rep.LockID),
+		Mode:   dlm.Mode(rep.Mode),
+		Range:  rep.Range,
+		SN:     rep.SN,
+		State:  dlm.State(rep.State),
+	}
+	for _, id := range rep.Absorbed {
+		g.Absorbed = append(g.Absorbed, dlm.LockID(id))
+	}
+	return g, nil
+}
+
+// Release implements dlm.ServerConn.
+func (c rpcConn) Release(res dlm.ResourceID, id dlm.LockID) error {
+	return c.ep.Call(wire.MRelease, &wire.ReleaseRequest{Resource: uint64(res), LockID: uint64(id)}, nil)
+}
+
+// Downgrade implements dlm.ServerConn.
+func (c rpcConn) Downgrade(res dlm.ResourceID, id dlm.LockID, m dlm.Mode) error {
+	return c.ep.Call(wire.MDowngrade, &wire.DowngradeRequest{Resource: uint64(res), LockID: uint64(id), NewMode: uint8(m)}, nil)
+}
+
+// flushForCancel is the lock client's data path: flush dirty data under
+// the canceling lock, push the size watermark, and drop the cached pages
+// that lose their lock protection.
+func (c *Client) flushForCancel(res dlm.ResourceID, rng extent.Extent, sn extent.SN) error {
+	// Redo failed flush RPCs a few times (the recovery convention of
+	// §IV-C2) before giving up with the ephemeral-cache semantics.
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if err = c.flushRange(res, rng, sn); err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fid, _ := meta.SplitResource(uint64(res))
+	c.pushSize(fid)
+	// Only drop cache coverage the canceling lock was protecting; data
+	// with newer SNs belongs to still-granted locks whose expanded
+	// ranges may overlap this one.
+	c.pc.InvalidateUpTo(uint64(res), rng, sn)
+	return nil
+}
+
+// flushRange sends the dirty blocks of res within rng with SN <= sn.
+func (c *Client) flushRange(res dlm.ResourceID, rng extent.Extent, sn extent.SN) error {
+	blocks := c.pc.CollectDirty(uint64(res), rng, sn)
+	if len(blocks) == 0 {
+		return nil
+	}
+	ep := c.bulkFor(uint64(res))
+	req := &wire.FlushRequest{Resource: uint64(res), Client: uint32(c.cfg.ID)}
+	var size int64
+	flush := func() error {
+		if len(req.Blocks) == 0 {
+			return nil
+		}
+		err := ep.Call(wire.MFlush, req, nil)
+		if err == nil {
+			c.Stats.FlushedBytes.Add(size)
+		}
+		req.Blocks = req.Blocks[:0]
+		size = 0
+		return err
+	}
+	for _, b := range blocks {
+		if size+int64(len(b.Data)) > maxFlushRPC {
+			if err := flush(); err != nil {
+				c.pc.Redirty(uint64(res), blocks)
+				return err
+			}
+		}
+		req.Blocks = append(req.Blocks, wire.Block{Range: b.Range, SN: b.SN, Data: b.Data})
+		size += int64(len(b.Data))
+	}
+	if err := flush(); err != nil {
+		c.pc.Redirty(uint64(res), blocks)
+		return err
+	}
+	return nil
+}
+
+// flushDaemon implements the voluntary flush of §IV-C1: once dirty data
+// crosses the MinDirty threshold, it is pushed to data servers in the
+// background without releasing any lock.
+func (c *Client) flushDaemon() {
+	defer c.daemonWG.Done()
+	ticker := time.NewTicker(c.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+		}
+		if !c.pc.NeedsFlush() {
+			continue
+		}
+		for _, rid := range c.pc.DirtyStripes() {
+			c.flushRange(dlm.ResourceID(rid), extent.New(0, extent.Inf), ^extent.SN(0))
+		}
+	}
+}
+
+// noteSize records a local file size watermark.
+func (c *Client) noteSize(fid uint64, size int64) {
+	c.mu.Lock()
+	if size > c.sizes[fid] {
+		c.sizes[fid] = size
+	}
+	c.mu.Unlock()
+}
+
+// pushSize publishes the local watermark to the metadata service so
+// readers that acquire the lock after a release observe the size.
+func (c *Client) pushSize(fid uint64) {
+	c.mu.Lock()
+	size := c.sizes[fid]
+	c.mu.Unlock()
+	if size == 0 {
+		return
+	}
+	c.conns.Meta.Call(wire.MSetSize, &wire.SetSizeRequest{FID: fid, Size: size}, nil)
+}
+
+func (c *Client) pushAllSizes() {
+	c.mu.Lock()
+	fids := make([]uint64, 0, len(c.sizes))
+	for fid := range c.sizes {
+		fids = append(fids, fid)
+	}
+	c.mu.Unlock()
+	for _, fid := range fids {
+		c.pushSize(fid)
+	}
+}
+
+// Create creates a file with the given stripe layout and opens it.
+func (c *Client) Create(path string, stripeSize int64, stripeCount uint32) (*File, error) {
+	var rep wire.FileReply
+	err := c.conns.Meta.Call(wire.MCreate, &wire.CreateRequest{
+		Path: path, StripeSize: stripeSize, StripeCount: stripeCount,
+	}, &rep)
+	if err != nil {
+		return nil, err
+	}
+	return c.fileOf(path, &rep), nil
+}
+
+// Open opens an existing file.
+func (c *Client) Open(path string) (*File, error) {
+	var rep wire.FileReply
+	if err := c.conns.Meta.Call(wire.MOpen, &wire.OpenRequest{Path: path}, &rep); err != nil {
+		return nil, err
+	}
+	return c.fileOf(path, &rep), nil
+}
+
+// OpenOrCreate opens path, creating it with the layout if absent.
+func (c *Client) OpenOrCreate(path string, stripeSize int64, stripeCount uint32) (*File, error) {
+	f, err := c.Open(path)
+	if err == nil {
+		return f, nil
+	}
+	f, err = c.Create(path, stripeSize, stripeCount)
+	if err == nil {
+		return f, nil
+	}
+	return c.Open(path) // lost a create race; open what won
+}
+
+// Remove deletes a file from the namespace.
+func (c *Client) Remove(path string) error {
+	return c.conns.Meta.Call(wire.MRemove, &wire.OpenRequest{Path: path}, nil)
+}
+
+// List returns every path in the namespace.
+func (c *Client) List() ([]string, error) {
+	var rep wire.ListReply
+	if err := c.conns.Meta.Call(wire.MList, &wire.Ack{}, &rep); err != nil {
+		return nil, err
+	}
+	return rep.Paths, nil
+}
+
+func (c *Client) fileOf(path string, rep *wire.FileReply) *File {
+	c.noteSize(rep.FID, rep.Size)
+	return &File{
+		c:           c,
+		path:        path,
+		fid:         rep.FID,
+		stripeSize:  rep.StripeSize,
+		stripeCount: rep.StripeCount,
+	}
+}
+
+// File is an open ccPFS file.
+type File struct {
+	c           *Client
+	path        string
+	fid         uint64
+	stripeSize  int64
+	stripeCount uint32
+}
+
+// Path returns the file path.
+func (f *File) Path() string { return f.path }
+
+// FID returns the file identifier.
+func (f *File) FID() uint64 { return f.fid }
+
+// Layout returns the stripe layout.
+func (f *File) Layout() (stripeSize int64, stripeCount uint32) {
+	return f.stripeSize, f.stripeCount
+}
+
+// Resource returns the lock resource of one stripe.
+func (f *File) Resource(stripe uint32) dlm.ResourceID {
+	return dlm.ResourceID(meta.ResourceID(f.fid, stripe))
+}
+
+// Size returns the file size, refreshing from the metadata service.
+func (f *File) Size() (int64, error) {
+	var rep wire.FileReply
+	if err := f.c.conns.Meta.Call(wire.MStat, &wire.OpenRequest{Path: f.path}, &rep); err != nil {
+		return 0, err
+	}
+	f.c.noteSize(f.fid, rep.Size)
+	f.c.mu.Lock()
+	size := f.c.sizes[f.fid]
+	f.c.mu.Unlock()
+	return size, nil
+}
+
+// WriteOptions tune a write for experiments; the zero value follows the
+// paper's deterministic selection rules.
+type WriteOptions struct {
+	// Mode forces a lock mode (must cover the write); ModeNone selects
+	// automatically per Fig. 10.
+	Mode dlm.Mode
+	// LockWholeStripe acquires [0, EOF) on each touched stripe instead
+	// of the write's own range — the totally-conflicting workload of the
+	// microbenchmarks (Fig. 16).
+	LockWholeStripe bool
+}
+
+// WriteAt writes p at file offset off, returning once the data is in
+// the client cache (the PIO semantics the paper measures).
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	return f.WriteAtOpts(p, off, WriteOptions{})
+}
+
+// WriteAtOpts is WriteAt with experiment controls.
+func (f *File) WriteAtOpts(p []byte, off int64, o WriteOptions) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("client: negative offset")
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	start := time.Now()
+	defer func() {
+		f.c.Stats.IONs.Add(time.Since(start).Nanoseconds())
+		f.c.Stats.WriteOps.Add(1)
+	}()
+
+	segs := meta.SplitRange(off, int64(len(p)), f.stripeSize, f.stripeCount)
+	stripes := meta.StripesOf(segs)
+	mode := o.Mode
+	if mode == dlm.ModeNone {
+		mode = dlm.SelectMode(false, false, len(stripes) > 1)
+	}
+
+	handles, err := f.acquireStripes(stripes, segs, mode, o.LockWholeStripe)
+	if err != nil {
+		return 0, err
+	}
+	for _, seg := range segs {
+		h := handles[seg.Stripe]
+		f.c.pc.Write(uint64(f.Resource(seg.Stripe)), seg.Off, p[seg.FileOff-off:seg.FileOff-off+seg.Len], h.SN())
+	}
+	f.c.noteSize(f.fid, off+int64(len(p)))
+	f.unlockAll(handles)
+	return len(p), nil
+}
+
+// acquireStripes obtains one lock per touched stripe in ascending stripe
+// order, timing the locking part.
+func (f *File) acquireStripes(stripes []uint32, segs []meta.Segment, mode dlm.Mode, whole bool) (map[uint32]*dlm.Handle, error) {
+	lockStart := time.Now()
+	defer func() { f.c.Stats.LockNs.Add(time.Since(lockStart).Nanoseconds()) }()
+	handles := make(map[uint32]*dlm.Handle, len(stripes))
+	for _, st := range stripes {
+		lo, hi, _ := meta.StripeRange(segs, st)
+		rng := f.lockRange(lo, hi, whole)
+		h, err := f.c.lc.Acquire(f.Resource(st), mode, rng)
+		if err != nil {
+			f.unlockAll(handles)
+			return nil, err
+		}
+		handles[st] = h
+	}
+	return handles, nil
+}
+
+func (f *File) lockRange(lo, hi int64, whole bool) extent.Extent {
+	if whole {
+		return extent.New(0, extent.Inf)
+	}
+	if f.c.cfg.Policy.Expand == dlm.ExpandNone {
+		return extent.New(lo, hi) // datatype: exact, unaligned ranges
+	}
+	a := f.c.cfg.LockAlign
+	return extent.New(extent.AlignDown(lo, a), extent.AlignUp(hi, a))
+}
+
+func (f *File) unlockAll(handles map[uint32]*dlm.Handle) {
+	for _, h := range handles {
+		f.c.lc.Unlock(h)
+	}
+}
+
+// ReadAt reads into p from file offset off. It returns io.EOF when off
+// is at or beyond the file size, and a short count when the file ends
+// inside p.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("client: negative offset")
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	start := time.Now()
+	defer func() { f.c.Stats.IONs.Add(time.Since(start).Nanoseconds()) }()
+
+	// Lock the full requested range first: acquiring the PR locks is
+	// what forces conflicting writers to flush their data *and* publish
+	// their size watermark, so the size check below observes them.
+	segsAll := meta.SplitRange(off, int64(len(p)), f.stripeSize, f.stripeCount)
+	stripes := meta.StripesOf(segsAll)
+	handles, err := f.acquireStripes(stripes, segsAll, dlm.SelectMode(true, false, false), false)
+	if err != nil {
+		return 0, err
+	}
+	defer f.unlockAll(handles)
+
+	f.c.mu.Lock()
+	known := f.c.sizes[f.fid]
+	f.c.mu.Unlock()
+	if off+int64(len(p)) > known {
+		if known, err = f.Size(); err != nil {
+			return 0, err
+		}
+	}
+	if off >= known {
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	if off+n > known {
+		n = known - off
+	}
+
+	segs := meta.SplitRange(off, n, f.stripeSize, f.stripeCount)
+	for _, seg := range segs {
+		rid := uint64(f.Resource(seg.Stripe))
+		if !f.c.pc.Covered(rid, seg.Off, seg.Len) {
+			if err := f.fetch(rid, seg, handles[seg.Stripe]); err != nil {
+				return 0, err
+			}
+		}
+		f.c.pc.Read(rid, seg.Off, p[seg.FileOff-off:seg.FileOff-off+seg.Len])
+	}
+	if n < int64(len(p)) {
+		return int(n), io.EOF
+	}
+	return int(n), nil
+}
+
+// fetch reads a segment from its data server and fills the cache as
+// clean data under the read lock's SN.
+func (f *File) fetch(rid uint64, seg meta.Segment, h *dlm.Handle) error {
+	ep := f.c.bulkFor(rid)
+	var rep wire.ReadReply
+	err := ep.Call(wire.MRead, &wire.ReadRequest{
+		Resource: rid,
+		Range:    extent.Span(seg.Off, seg.Len),
+	}, &rep)
+	if err != nil {
+		return err
+	}
+	f.c.Stats.ReadRPCs.Add(1)
+	for _, b := range rep.Blocks {
+		// Tag the fill with the SN the server reported for the range,
+		// not the read lock's SN: a fill must represent how new the
+		// server's bytes actually are, so it can never clobber newer
+		// (possibly dirty) cached data.
+		f.c.pc.Fill(rid, b.Range.Start, b.Data, b.SN)
+	}
+	return nil
+}
+
+// Append atomically appends p at the end of the file and returns the
+// offset it landed at. The size read-and-bump is the implicit read that
+// makes append select PW under the Fig. 10 rules.
+func (f *File) Append(p []byte) (int64, error) {
+	var rep wire.SizeReply
+	err := f.c.conns.Meta.Call(wire.MReserve, &wire.SetSizeRequest{FID: f.fid, Size: int64(len(p))}, &rep)
+	if err != nil {
+		return 0, err
+	}
+	off := rep.Size
+	_, err = f.WriteAtOpts(p, off, WriteOptions{Mode: f.appendMode()})
+	if err != nil {
+		return 0, err
+	}
+	return off, nil
+}
+
+func (f *File) appendMode() dlm.Mode {
+	return dlm.SelectMode(false, true, false) // PW: implicit read
+}
+
+// Truncate sets the file size exactly, invalidating cached data beyond
+// it. It takes PW locks over every stripe's whole range, serializing
+// with all in-flight IO.
+func (f *File) Truncate(size int64) error {
+	if size < 0 {
+		return fmt.Errorf("client: negative size")
+	}
+	var handles []*dlm.Handle
+	for st := uint32(0); st < f.stripeCount; st++ {
+		h, err := f.c.lc.Acquire(f.Resource(st), dlm.PW, extent.New(0, extent.Inf))
+		if err != nil {
+			for _, g := range handles {
+				f.c.lc.Unlock(g)
+			}
+			return err
+		}
+		handles = append(handles, h)
+	}
+	defer func() {
+		for _, h := range handles {
+			f.c.lc.Unlock(h)
+		}
+	}()
+	var rep wire.SizeReply
+	if err := f.c.conns.Meta.Call(wire.MSetSize, &wire.SetSizeRequest{FID: f.fid, Size: size, Truncate: true}, &rep); err != nil {
+		return err
+	}
+	f.c.mu.Lock()
+	f.c.sizes[f.fid] = size
+	f.c.mu.Unlock()
+	// Drop cached data beyond the new size on every stripe; reads are
+	// gated by the size register, so on-device stale bytes are inert.
+	for st := uint32(0); st < f.stripeCount; st++ {
+		f.c.pc.Invalidate(uint64(f.Resource(st)), extent.New(0, extent.Inf))
+	}
+	return nil
+}
+
+// Fsync flushes all of the file's dirty data to data servers and
+// publishes the size, without releasing any lock (§IV-C1).
+func (f *File) Fsync() error {
+	for st := uint32(0); st < f.stripeCount; st++ {
+		rid := f.Resource(st)
+		if err := f.c.flushRange(rid, extent.New(0, extent.Inf), ^extent.SN(0)); err != nil {
+			return err
+		}
+	}
+	f.c.pushSize(f.fid)
+	return nil
+}
+
+// Close flushes the file. Locks stay cached for reuse until revoked or
+// the client closes.
+func (f *File) Close() error { return f.Fsync() }
+
+// WriteOp is one piece of a vectored write.
+type WriteOp struct {
+	Off  int64
+	Data []byte
+}
+
+// WriteMulti writes a batch of (possibly non-contiguous, possibly
+// overlapping-with-other-clients) pieces atomically: one lock per
+// touched stripe covers all of that stripe's pieces, every lock is held
+// until all pieces land in the cache, and locks are taken in ascending
+// stripe order. Under SeqDLM the per-stripe lock is the minimum covering
+// range (more conflicts, but early grant absorbs them — §V-D); under
+// DLM-datatype it is the exact extent list.
+func (f *File) WriteMulti(ops []WriteOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	start := time.Now()
+	defer func() {
+		f.c.Stats.IONs.Add(time.Since(start).Nanoseconds())
+		f.c.Stats.WriteOps.Add(1)
+	}()
+
+	// Map every piece to stripe-local segments, grouped by stripe.
+	type piece struct {
+		seg  meta.Segment
+		data []byte
+	}
+	perStripe := make(map[uint32][]piece)
+	var maxEnd int64
+	for _, op := range ops {
+		if op.Off+int64(len(op.Data)) > maxEnd {
+			maxEnd = op.Off + int64(len(op.Data))
+		}
+		for _, seg := range meta.SplitRange(op.Off, int64(len(op.Data)), f.stripeSize, f.stripeCount) {
+			rel := seg.FileOff - op.Off
+			perStripe[seg.Stripe] = append(perStripe[seg.Stripe], piece{seg: seg, data: op.Data[rel : rel+seg.Len]})
+		}
+	}
+	stripes := make([]uint32, 0, len(perStripe))
+	for st := range perStripe {
+		stripes = append(stripes, st)
+	}
+	for i := 1; i < len(stripes); i++ {
+		for j := i; j > 0 && stripes[j] < stripes[j-1]; j-- {
+			stripes[j], stripes[j-1] = stripes[j-1], stripes[j]
+		}
+	}
+
+	mode := dlm.SelectMode(false, false, len(stripes) > 1)
+	lockStart := time.Now()
+	handles := make(map[uint32]*dlm.Handle, len(stripes))
+	for _, st := range stripes {
+		var h *dlm.Handle
+		var err error
+		if f.c.cfg.Policy.Expand == dlm.ExpandNone {
+			// Datatype locking: describe the non-contiguous ranges
+			// exactly.
+			var exts []extent.Extent
+			for _, pc := range perStripe[st] {
+				exts = append(exts, extent.Span(pc.seg.Off, pc.seg.Len))
+			}
+			h, err = f.c.lc.AcquireExtents(f.Resource(st), mode, extent.NewSet(exts...))
+		} else {
+			lo, hi := int64(-1), int64(-1)
+			for _, pc := range perStripe[st] {
+				if lo < 0 || pc.seg.Off < lo {
+					lo = pc.seg.Off
+				}
+				if pc.seg.Off+pc.seg.Len > hi {
+					hi = pc.seg.Off + pc.seg.Len
+				}
+			}
+			h, err = f.c.lc.Acquire(f.Resource(st), mode, f.lockRange(lo, hi, false))
+		}
+		if err != nil {
+			f.unlockAll(handles)
+			f.c.Stats.LockNs.Add(time.Since(lockStart).Nanoseconds())
+			return err
+		}
+		handles[st] = h
+	}
+	f.c.Stats.LockNs.Add(time.Since(lockStart).Nanoseconds())
+
+	for _, st := range stripes {
+		h := handles[st]
+		rid := uint64(f.Resource(st))
+		for _, pc := range perStripe[st] {
+			f.c.pc.Write(rid, pc.seg.Off, pc.data, h.SN())
+		}
+	}
+	f.c.noteSize(f.fid, maxEnd)
+	f.unlockAll(handles)
+	return nil
+}

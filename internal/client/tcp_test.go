@@ -1,0 +1,95 @@
+package client
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"ccpfs/internal/dataserver"
+	"ccpfs/internal/dlm"
+	"ccpfs/internal/meta"
+	"ccpfs/internal/rpc"
+	"ccpfs/internal/transport/tcpnet"
+)
+
+// TestFullStackOverTCP drives the complete coherence flow — cached
+// write, cross-client read forcing revocation and flush — over real TCP
+// sockets with separate control and bulk connections, proving the wire
+// protocol works outside the simulated fabric.
+func TestFullStackOverTCP(t *testing.T) {
+	tn := tcpnet.New()
+	pol := dlm.SeqDLM()
+	ns := meta.NewService()
+
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		cfg := dataserver.Config{Name: fmt.Sprintf("tcp-%d", i), Policy: pol}
+		if i == 0 {
+			cfg.Meta = ns
+		}
+		l, err := tn.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := dataserver.New(cfg)
+		srv.Serve(l)
+		t.Cleanup(srv.Close)
+		addrs = append(addrs, l.Addr())
+	}
+
+	mk := func(name string, id dlm.ClientID) *Client {
+		conns := Conns{}
+		for i, addr := range addrs {
+			conn, err := tn.Dial(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ep := rpc.NewEndpoint(conn, rpc.Options{})
+			conns.Data = append(conns.Data, ep)
+			if i == 0 {
+				conns.Meta = ep
+			}
+			bconn, err := tn.Dial(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			conns.Bulk = append(conns.Bulk, rpc.NewEndpoint(bconn, rpc.Options{}))
+		}
+		cl, err := New(Config{Name: name, ID: id, Policy: pol}, conns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(cl.Close)
+		return cl
+	}
+
+	writer := mk("w", 1)
+	reader := mk("r", 2)
+
+	f, err := writer.Create("/tcp", 64<<10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x5A}, 200_000)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	// No fsync: the reader's PR locks must revoke the writer's cached
+	// locks over TCP and force the flush.
+	g, err := reader.Open("/tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	n, err := g.ReadAt(got, 0)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if n != len(data) || !bytes.Equal(got, data) {
+		t.Fatalf("TCP coherence broken: n=%d", n)
+	}
+	if writer.Locks().Stats.Revocations.Load() == 0 {
+		t.Fatal("no revocation crossed the TCP fabric")
+	}
+}

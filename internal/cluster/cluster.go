@@ -1,0 +1,198 @@
+// Package cluster assembles an in-process ccPFS deployment — N data
+// servers (one hosting the namespace) and any number of clients — wired
+// through the simulated memnet fabric. It is the reproduction's stand-in
+// for the paper's 96-node testbed: every node is a real server or client
+// running the full RPC/lock/data paths; only the wires and devices are
+// simulated.
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"ccpfs/internal/client"
+	"ccpfs/internal/dataserver"
+	"ccpfs/internal/dlm"
+	"ccpfs/internal/meta"
+	"ccpfs/internal/pagecache"
+	"ccpfs/internal/rpc"
+	"ccpfs/internal/sim"
+	"ccpfs/internal/transport/memnet"
+)
+
+// Options configure a cluster.
+type Options struct {
+	// Servers is the number of data servers (1 when 0).
+	Servers int
+	// Policy selects the DLM every node runs.
+	Policy dlm.Policy
+	// Hardware models the fabric and devices (sim.Fast() when zero).
+	Hardware sim.Hardware
+	// PageCache configures each client's cache.
+	PageCache pagecache.Config
+	// FlushInterval enables each client's voluntary flush daemon.
+	FlushInterval time.Duration
+	// ExtCacheThreshold overrides the servers' extent cache budget.
+	ExtCacheThreshold int
+	// ExtentLog enables the servers' extent logs.
+	ExtentLog bool
+	// CleanupInterval enables the servers' extent cache cleanup daemon.
+	CleanupInterval time.Duration
+	// LockAlign overrides the clients' lock range alignment.
+	LockAlign int64
+}
+
+// Cluster is a running in-process deployment.
+type Cluster struct {
+	opts    Options
+	net     *memnet.Network
+	Meta    *meta.Service
+	Servers []*dataserver.Server
+
+	nextClient atomic.Uint32
+}
+
+// New builds and starts a cluster.
+func New(opts Options) (*Cluster, error) {
+	if opts.Servers <= 0 {
+		opts.Servers = 1
+	}
+	c := &Cluster{
+		opts: opts,
+		net:  memnet.New(opts.Hardware),
+		Meta: meta.NewService(),
+	}
+	for i := 0; i < opts.Servers; i++ {
+		cfg := dataserver.Config{
+			Name:              fmt.Sprintf("server-%d", i),
+			Policy:            opts.Policy,
+			Hardware:          opts.Hardware,
+			ExtCacheThreshold: opts.ExtCacheThreshold,
+			ExtentLog:         opts.ExtentLog,
+			CleanupInterval:   opts.CleanupInterval,
+		}
+		if i == 0 {
+			cfg.Meta = c.Meta
+		}
+		srv := dataserver.New(cfg)
+		l, err := c.net.Listen(cfg.Name)
+		if err != nil {
+			return nil, err
+		}
+		srv.Serve(l)
+		c.Servers = append(c.Servers, srv)
+	}
+	return c, nil
+}
+
+// NewClient adds a client node with a cluster-unique identity.
+func (c *Cluster) NewClient(name string) (*client.Client, error) {
+	id := dlm.ClientID(c.nextClient.Add(1))
+	conns := client.Conns{}
+	for i := range c.Servers {
+		conn, err := c.net.Dial(fmt.Sprintf("server-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		ep := rpc.NewEndpoint(conn, rpc.Options{})
+		conns.Data = append(conns.Data, ep)
+		if i == 0 {
+			conns.Meta = ep
+		}
+		// A second connection per server for bulk transfers, so flushes
+		// never delay lock round trips (the prototype's RPC/RDMA split).
+		bconn, err := c.net.Dial(fmt.Sprintf("server-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		conns.Bulk = append(conns.Bulk, rpc.NewEndpoint(bconn, rpc.Options{}))
+	}
+	pcCfg := c.opts.PageCache
+	if pcCfg.CacheBandwidth == 0 {
+		pcCfg.CacheBandwidth = c.opts.Hardware.CacheBandwidth
+	}
+	return client.New(client.Config{
+		Name:          name,
+		ID:            id,
+		Policy:        c.opts.Policy,
+		PageCache:     pcCfg,
+		FlushInterval: c.opts.FlushInterval,
+		LockAlign:     c.opts.LockAlign,
+	}, conns)
+}
+
+// Clients builds n clients named with a prefix.
+func (c *Cluster) Clients(n int, prefix string) ([]*client.Client, error) {
+	out := make([]*client.Client, 0, n)
+	for i := 0; i < n; i++ {
+		cl, err := c.NewClient(fmt.Sprintf("%s-%d", prefix, i))
+		if err != nil {
+			for _, done := range out {
+				done.Close()
+			}
+			return nil, err
+		}
+		out = append(out, cl)
+	}
+	return out, nil
+}
+
+// Close stops the servers. Clients must be closed first by their owners.
+func (c *Cluster) Close() {
+	for _, s := range c.Servers {
+		s.Close()
+	}
+}
+
+// Hardware returns the cluster's hardware model.
+func (c *Cluster) Hardware() sim.Hardware { return c.opts.Hardware }
+
+// Policy returns the cluster's DLM policy.
+func (c *Cluster) Policy() dlm.Policy { return c.opts.Policy }
+
+// DLMStats aggregates lock-server statistics across servers.
+func (c *Cluster) DLMStats() dlm.Snapshot {
+	var total dlm.Snapshot
+	for _, s := range c.Servers {
+		snap := s.DLM.Stats.Snapshot()
+		total.Grants += snap.Grants
+		total.Releases += snap.Releases
+		total.Revocations += snap.Revocations
+		total.EarlyGrants += snap.EarlyGrants
+		total.EarlyRevocations += snap.EarlyRevocations
+		total.Upgrades += snap.Upgrades
+		total.Downgrades += snap.Downgrades
+		total.GrantWait += snap.GrantWait
+		total.RevocationWait += snap.RevocationWait
+		total.CancelWait += snap.CancelWait
+	}
+	return total
+}
+
+// FlushedBytes sums bytes landed on all server devices.
+func (c *Cluster) FlushedBytes() int64 {
+	var n int64
+	for _, s := range c.Servers {
+		n += s.FlushedBytes.Load()
+	}
+	return n
+}
+
+// DiscardedBytes sums stale flushed bytes dropped by extent caches.
+func (c *Cluster) DiscardedBytes() int64 {
+	var n int64
+	for _, s := range c.Servers {
+		n += s.DiscardedBytes.Load()
+	}
+	return n
+}
+
+// ExtCacheEntries sums extent cache entries across servers.
+func (c *Cluster) ExtCacheEntries() int {
+	n := 0
+	for _, s := range c.Servers {
+		n += s.Cache.Entries()
+	}
+	return n
+}

@@ -1,0 +1,672 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"ccpfs/internal/client"
+	"ccpfs/internal/dlm"
+	"ccpfs/internal/extent"
+	"ccpfs/internal/pagecache"
+	"ccpfs/internal/sim"
+)
+
+func newCluster(t *testing.T, opts Options) *Cluster {
+	t.Helper()
+	if opts.Hardware == (sim.Hardware{}) {
+		opts.Hardware = sim.Fast()
+	}
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func newClients(t *testing.T, c *Cluster, n int) []*client.Client {
+	t.Helper()
+	cls, err := c.Clients(n, "client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, cl := range cls {
+			cl.Close()
+		}
+	})
+	return cls
+}
+
+// pattern produces deterministic content distinguishable by seed.
+func pattern(seed byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = seed ^ byte(i*7)
+	}
+	return out
+}
+
+func TestWriteReadSingleClient(t *testing.T) {
+	for _, pol := range []dlm.Policy{dlm.SeqDLM(), dlm.Basic(), dlm.Lustre()} {
+		t.Run(pol.Name, func(t *testing.T) {
+			c := newCluster(t, Options{Servers: 2, Policy: pol})
+			cl := newClients(t, c, 1)[0]
+			f, err := cl.Create("/f", 64<<10, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := pattern(1, 200_000) // spans both stripes
+			if _, err := f.WriteAt(data, 0); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, len(data))
+			if _, err := f.ReadAt(got, 0); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("read back mismatch (same client, cached)")
+			}
+			if sz, _ := f.Size(); sz != 0 {
+				// Size is published at flush time; before any flush the
+				// register may still be zero — that's the documented
+				// client-cache visibility rule. Force it now.
+				if err := f.Fsync(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := f.Fsync(); err != nil {
+				t.Fatal(err)
+			}
+			if sz, _ := f.Size(); sz != int64(len(data)) {
+				t.Fatalf("size = %d, want %d", sz, len(data))
+			}
+		})
+	}
+}
+
+func TestCoherenceAcrossClients(t *testing.T) {
+	for _, pol := range []dlm.Policy{dlm.SeqDLM(), dlm.Basic()} {
+		t.Run(pol.Name, func(t *testing.T) {
+			c := newCluster(t, Options{Servers: 2, Policy: pol})
+			cls := newClients(t, c, 2)
+			a, b := cls[0], cls[1]
+			fa, err := a.Create("/shared", 64<<10, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := pattern(9, 100_000)
+			if _, err := fa.WriteAt(data, 0); err != nil {
+				t.Fatal(err)
+			}
+			// No fsync: B's read lock must force A's flush (coherence via
+			// the DLM, the whole point of the system).
+			fb, err := b.Open("/shared")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, len(data))
+			n, err := fb.ReadAt(got, 0)
+			if err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if n != len(data) || !bytes.Equal(got[:n], data) {
+				t.Fatalf("cross-client read: n=%d, mismatch=%v", n, !bytes.Equal(got[:n], data[:n]))
+			}
+		})
+	}
+}
+
+// TestDataSafetyOverlap is the paper's §V-B1 overlapping-writes check
+// (Fig. 7 workload): every client performs two full-range writes with
+// distinct contents; after a barrier, every client reads the range back.
+// All reads must agree, and the winning content must be some client's
+// SECOND write — the traditional lock semantics SeqDLM promises to keep.
+func TestDataSafetyOverlap(t *testing.T) {
+	cases := []struct {
+		name    string
+		stripes uint32
+	}{
+		{"1stripe_NBW", 1},
+		{"2stripes_BW_conversion", 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const nclients = 8
+			const size = 128 << 10
+			c := newCluster(t, Options{Servers: int(tc.stripes), Policy: dlm.SeqDLM()})
+			cls := newClients(t, c, nclients)
+			f0, err := cls[0].Create("/overlap", 64<<10, tc.stripes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = f0
+			var wg sync.WaitGroup
+			for i, cl := range cls {
+				wg.Add(1)
+				go func(i int, cl *client.Client) {
+					defer wg.Done()
+					f, err := cl.Open("/overlap")
+					if err != nil {
+						t.Errorf("open: %v", err)
+						return
+					}
+					for w := 0; w < 2; w++ {
+						// Seed encodes (client, write index); second writes
+						// have odd seeds.
+						seed := byte(i*2 + w + 1)
+						if _, err := f.WriteAt(pattern(seed, size), 0); err != nil {
+							t.Errorf("write: %v", err)
+							return
+						}
+					}
+				}(i, cl)
+			}
+			wg.Wait() // the MPI_Barrier of the paper's test
+
+			var first []byte
+			for i, cl := range cls {
+				f, err := cl.Open("/overlap")
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := make([]byte, size)
+				n, err := f.ReadAt(got, 0)
+				if err != nil && err != io.EOF {
+					t.Fatal(err)
+				}
+				if n != size {
+					t.Fatalf("client %d read %d bytes, want %d", i, n, size)
+				}
+				if first == nil {
+					first = got
+					continue
+				}
+				if !bytes.Equal(first, got) {
+					t.Fatalf("client %d read different content than client 0", i)
+				}
+			}
+			// The winner must be some client's second write (seed odd →
+			// seeds 2,4,...  are w=1: seed = i*2+w+1 → w=1 gives even?).
+			// seed = i*2 + w + 1: w=1 → i*2+2, always even; w=0 → odd.
+			matched := false
+			for i := 0; i < nclients; i++ {
+				if bytes.Equal(first, pattern(byte(i*2+2), size)) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				// Diagnose: was it a first write?
+				for i := 0; i < nclients; i++ {
+					if bytes.Equal(first, pattern(byte(i*2+1), size)) {
+						t.Fatalf("final content is client %d's FIRST write — ordering broken", i)
+					}
+				}
+				t.Fatal("final content matches no client's write — data corrupted")
+			}
+		})
+	}
+}
+
+// TestIORHardReadback is the paper's §V-B1 first data-safety check: the
+// IO500 IOR-hard pattern (N-1 strided, 47,008-byte unaligned writes)
+// written concurrently and read back from different clients.
+func TestIORHardReadback(t *testing.T) {
+	const writeSize = 47008
+	const nclients = 4
+	const perClient = 8
+	for _, stripes := range []uint32{1, 2, 4} {
+		t.Run(fmt.Sprintf("%dstripes", stripes), func(t *testing.T) {
+			c := newCluster(t, Options{Servers: 2, Policy: dlm.SeqDLM()})
+			cls := newClients(t, c, nclients)
+			if _, err := cls[0].Create("/ior", 1<<20, stripes); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for i, cl := range cls {
+				wg.Add(1)
+				go func(i int, cl *client.Client) {
+					defer wg.Done()
+					f, err := cl.Open("/ior")
+					if err != nil {
+						t.Errorf("open: %v", err)
+						return
+					}
+					for k := 0; k < perClient; k++ {
+						// N-1 strided: iteration k, rank i.
+						off := int64(k*nclients+i) * writeSize
+						if _, err := f.WriteAt(pattern(byte(i+1), writeSize), off); err != nil {
+							t.Errorf("write: %v", err)
+							return
+						}
+					}
+				}(i, cl)
+			}
+			wg.Wait()
+
+			// Read back from a different client than wrote each block.
+			for k := 0; k < perClient; k++ {
+				for i := 0; i < nclients; i++ {
+					reader := cls[(i+1)%nclients]
+					f, err := reader.Open("/ior")
+					if err != nil {
+						t.Fatal(err)
+					}
+					off := int64(k*nclients+i) * writeSize
+					got := make([]byte, writeSize)
+					if _, err := f.ReadAt(got, off); err != nil && err != io.EOF {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got, pattern(byte(i+1), writeSize)) {
+						t.Fatalf("stripes=%d block (k=%d rank=%d) corrupted", stripes, k, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestMultiStripeSpanningWrite(t *testing.T) {
+	c := newCluster(t, Options{Servers: 4, Policy: dlm.SeqDLM()})
+	cl := newClients(t, c, 1)[0]
+	f, err := cl.Create("/span", 4096, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One write spanning all four stripes twice over.
+	data := pattern(3, 4096*9)
+	if _, err := f.WriteAt(data, 100); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 100); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("spanning write round trip failed")
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	c := newCluster(t, Options{Servers: 2, Policy: dlm.SeqDLM()})
+	const nclients = 4
+	const appends = 10
+	const chunk = 5000
+	cls := newClients(t, c, nclients)
+	if _, err := cls[0].Create("/log", 64<<10, 2); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i, cl := range cls {
+		wg.Add(1)
+		go func(i int, cl *client.Client) {
+			defer wg.Done()
+			f, err := cl.Open("/log")
+			if err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+			for k := 0; k < appends; k++ {
+				if _, err := f.Append(pattern(byte(i+1), chunk)); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+	f, err := cls[0].Open("/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Fsync()
+	size, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != nclients*appends*chunk {
+		t.Fatalf("size = %d, want %d (appends lost or overlapped)", size, nclients*appends*chunk)
+	}
+	// Every chunk boundary must contain exactly one client's pattern.
+	buf := make([]byte, chunk)
+	for off := int64(0); off < size; off += chunk {
+		if _, err := f.ReadAt(buf, off); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		ok := false
+		for i := 0; i < nclients; i++ {
+			if bytes.Equal(buf, pattern(byte(i+1), chunk)) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("chunk at %d is interleaved garbage — append not atomic", off)
+		}
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	c := newCluster(t, Options{Servers: 1, Policy: dlm.SeqDLM()})
+	cl := newClients(t, c, 1)[0]
+	f, err := cl.Create("/t", 64<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt(pattern(1, 10000), 0)
+	if err := f.Truncate(5000); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10000)
+	n, err := f.ReadAt(buf, 0)
+	if n != 5000 || err != io.EOF {
+		t.Fatalf("post-truncate read n=%d err=%v, want 5000, EOF", n, err)
+	}
+	if _, err := f.ReadAt(buf, 5000); err != io.EOF {
+		t.Fatalf("read at truncated offset: err=%v, want EOF", err)
+	}
+	if err := f.Truncate(-1); err == nil {
+		t.Fatal("negative truncate accepted")
+	}
+}
+
+func TestReadAtEOFSemantics(t *testing.T) {
+	c := newCluster(t, Options{Servers: 1, Policy: dlm.SeqDLM()})
+	cl := newClients(t, c, 1)[0]
+	f, _ := cl.Create("/e", 64<<10, 1)
+	f.WriteAt(pattern(1, 100), 0)
+	f.Fsync()
+	buf := make([]byte, 200)
+	n, err := f.ReadAt(buf, 0)
+	if n != 100 || err != io.EOF {
+		t.Fatalf("short read: n=%d err=%v", n, err)
+	}
+	if _, err := f.ReadAt(buf, 100); err != io.EOF {
+		t.Fatalf("read at EOF: %v", err)
+	}
+	if n, err := f.ReadAt(nil, 0); n != 0 || err != nil {
+		t.Fatalf("empty read: n=%d err=%v", n, err)
+	}
+}
+
+func TestVoluntaryFlushDaemon(t *testing.T) {
+	c := newCluster(t, Options{
+		Servers:       1,
+		Policy:        dlm.SeqDLM(),
+		PageCache:     pagecache.Config{MinDirty: 1024},
+		FlushInterval: 5 * time.Millisecond,
+	})
+	cl := newClients(t, c, 1)[0]
+	f, _ := cl.Create("/d", 64<<10, 1)
+	f.WriteAt(pattern(1, 50_000), 0)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && c.FlushedBytes() < 50_000 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c.FlushedBytes() < 50_000 {
+		t.Fatalf("daemon flushed %d bytes, want 50000", c.FlushedBytes())
+	}
+	// The lock must still be cached (voluntary flush releases nothing).
+	if cl.Locks().CachedLocks(f.Resource(0)) == 0 {
+		t.Fatal("voluntary flush dropped the lock")
+	}
+}
+
+func TestDatatypeWriteMulti(t *testing.T) {
+	c := newCluster(t, Options{Servers: 2, Policy: dlm.Datatype()})
+	cls := newClients(t, c, 2)
+	if _, err := cls[0].Create("/dt", 64<<10, 2); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i, cl := range cls {
+		wg.Add(1)
+		go func(i int, cl *client.Client) {
+			defer wg.Done()
+			f, err := cl.Open("/dt")
+			if err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+			var ops []client.WriteOp
+			for k := 0; k < 10; k++ {
+				off := int64(k*2+i) * 1000
+				ops = append(ops, client.WriteOp{Off: off, Data: pattern(byte(i+1), 1000)})
+			}
+			if err := f.WriteMulti(ops); err != nil {
+				t.Errorf("WriteMulti: %v", err)
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+	f, _ := cls[0].Open("/dt")
+	buf := make([]byte, 1000)
+	for k := 0; k < 10; k++ {
+		for i := 0; i < 2; i++ {
+			off := int64(k*2+i) * 1000
+			if _, err := f.ReadAt(buf, off); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, pattern(byte(i+1), 1000)) {
+				t.Fatalf("datatype block (k=%d, i=%d) corrupted", k, i)
+			}
+		}
+	}
+}
+
+func TestWriteMultiSeqDLM(t *testing.T) {
+	c := newCluster(t, Options{Servers: 2, Policy: dlm.SeqDLM()})
+	cl := newClients(t, c, 1)[0]
+	f, _ := cl.Create("/wm", 4096, 2)
+	ops := []client.WriteOp{
+		{Off: 0, Data: pattern(1, 1000)},
+		{Off: 5000, Data: pattern(2, 1000)},
+		{Off: 9000, Data: pattern(3, 1000)},
+	}
+	if err := f.WriteMulti(ops); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		buf := make([]byte, len(op.Data))
+		if _, err := f.ReadAt(buf, op.Off); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, op.Data) {
+			t.Fatalf("piece at %d corrupted", op.Off)
+		}
+	}
+}
+
+func TestOpenMissingAndRemove(t *testing.T) {
+	c := newCluster(t, Options{Servers: 1, Policy: dlm.SeqDLM()})
+	cl := newClients(t, c, 1)[0]
+	if _, err := cl.Open("/missing"); err == nil {
+		t.Fatal("open of missing file succeeded")
+	}
+	if _, err := cl.Create("/x", 4096, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Create("/x", 4096, 1); err == nil {
+		t.Fatal("duplicate create succeeded")
+	}
+	if f, err := cl.OpenOrCreate("/x", 4096, 1); err != nil || f == nil {
+		t.Fatalf("OpenOrCreate existing: %v", err)
+	}
+	if f, err := cl.OpenOrCreate("/y", 4096, 1); err != nil || f == nil {
+		t.Fatalf("OpenOrCreate new: %v", err)
+	}
+	if err := cl.Remove("/x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Open("/x"); err == nil {
+		t.Fatal("open after remove succeeded")
+	}
+}
+
+func TestExtentCacheDrainsAfterRelease(t *testing.T) {
+	c := newCluster(t, Options{Servers: 1, Policy: dlm.SeqDLM()})
+	cls := newClients(t, c, 2)
+	f0, _ := cls[0].Create("/cc", 64<<10, 1)
+	f1, err := cls[1].Open("/cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conflicting writes populate the extent cache.
+	for k := 0; k < 5; k++ {
+		f0.WriteAt(pattern(1, 5000), int64(k*10000))
+		f1.WriteAt(pattern(2, 5000), int64(k*10000+5000))
+	}
+	cls[0].Locks().ReleaseAll()
+	cls[1].Locks().ReleaseAll()
+	if c.ExtCacheEntries() == 0 {
+		t.Fatal("extent cache empty after conflicting flushes (nothing recorded?)")
+	}
+	// With all locks released, cleanup sweeps backed by the real DLM
+	// mSN query can drop every entry.
+	srv := c.Servers[0]
+	minSN := func(stripe uint64, rng extent.Extent) (extent.SN, bool) {
+		return srv.DLM.MinSN(dlm.ResourceID(stripe), rng)
+	}
+	for i := 0; i < 20 && srv.Cache.Entries() > 0; i++ {
+		srv.Cache.CleanupRound(minSN)
+	}
+	if got := srv.Cache.Entries(); got != 0 {
+		t.Fatalf("%d extent cache entries survived cleanup with no locks held", got)
+	}
+}
+
+func TestClientIDsUnique(t *testing.T) {
+	c := newCluster(t, Options{Servers: 1, Policy: dlm.SeqDLM()})
+	a, err := c.NewClient("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := c.NewClient("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if a.Locks().ID() == b.Locks().ID() {
+		t.Fatal("cluster assigned duplicate client IDs")
+	}
+}
+
+// TestExtCacheDaemonBoundsEntries keeps the server extent cache under
+// its entry budget while early-granted conflicting writes hammer it:
+// the cleanup task (and, if entries are pinned, forced synchronization)
+// must hold the line — the §IV-B size-control mechanism end to end.
+func TestExtCacheDaemonBoundsEntries(t *testing.T) {
+	c := newCluster(t, Options{
+		Servers:           1,
+		Policy:            dlm.SeqDLM(),
+		ExtCacheThreshold: 64,
+		CleanupInterval:   2 * time.Millisecond,
+	})
+	cls := newClients(t, c, 4)
+	if _, err := cls[0].Create("/bound", 1<<20, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Non-contiguous conflicting writes create many distinct extents.
+	var wg sync.WaitGroup
+	for i, cl := range cls {
+		wg.Add(1)
+		go func(i int, cl *client.Client) {
+			defer wg.Done()
+			f, err := cl.Open("/bound")
+			if err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+			for k := 0; k < 60; k++ {
+				off := int64(k*len(cls)+i) * 9000
+				if _, err := f.WriteAt(pattern(byte(i+1), 5000), off); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+	for _, cl := range cls {
+		cl.Locks().ReleaseAll()
+	}
+	// With all locks released, the daemon must get the cache under
+	// budget.
+	srv := c.Servers[0]
+	waitFor(t, "extent cache under budget", func() bool {
+		return srv.Cache.Entries() <= 64
+	})
+	ins, cleaned, _ := srv.Cache.Stats()
+	if ins == 0 || cleaned == 0 {
+		t.Fatalf("daemon idle: inserts=%d cleaned=%d", ins, cleaned)
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// TestAbruptClientDeath: a client dies holding cached write locks with
+// unflushed data. Its dirty cache is lost (the §IV-C1 convention), but
+// the system must keep serving: conflicting requests get force-released
+// grants and other clients' data stays intact.
+func TestAbruptClientDeath(t *testing.T) {
+	c := newCluster(t, Options{Servers: 1, Policy: dlm.SeqDLM()})
+	survivorList := newClients(t, c, 1)
+	survivor := survivorList[0]
+
+	doomed, err := c.NewClient("doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := survivor.Create("/abrupt", 64<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.WriteAt(pattern(1, 20_000), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Fsync(); err != nil {
+		t.Fatal(err)
+	}
+	survivor.Locks().ReleaseAll()
+
+	fd, err := doomed.Open("/abrupt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Doomed writes over part of the survivor's data but never flushes.
+	if _, err := fd.WriteAt(pattern(9, 10_000), 5_000); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the connections without flushing or releasing.
+	doomed.Kill()
+
+	// The survivor can still lock and read the file; the doomed client's
+	// unflushed overwrite is gone, the original data intact.
+	got := make([]byte, 20_000)
+	if _, err := fs.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pattern(1, 20_000)) {
+		t.Fatal("survivor data corrupted by dead client")
+	}
+	// And new writes proceed (the dead client's locks were force-released).
+	if _, err := fs.WriteAt(pattern(3, 1_000), 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,466 @@
+// Package dataserver implements a ccPFS data server node: an IO service
+// that lands SN-tagged flushes through the extent cache onto the stripe
+// store, a colocated DLM service for the stripes the node owns (the
+// paper's architecture in Fig. 13), an optional metadata service, and
+// the revocation-callback plumbing back to clients.
+package dataserver
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccpfs/internal/dlm"
+	"ccpfs/internal/extcache"
+	"ccpfs/internal/extent"
+	"ccpfs/internal/meta"
+	"ccpfs/internal/rpc"
+	"ccpfs/internal/sim"
+	"ccpfs/internal/storage"
+	"ccpfs/internal/transport"
+	"ccpfs/internal/wire"
+)
+
+// MaxReadBytes bounds a single read RPC.
+const MaxReadBytes = 64 << 20
+
+// Config describes one data server.
+type Config struct {
+	// Name labels the server in logs.
+	Name string
+	// Policy selects the DLM the node runs.
+	Policy dlm.Policy
+	// Hardware is the simulated device/fabric model; the store is
+	// wrapped with a simulated disk when DiskBandwidth or DiskLatency is
+	// set.
+	Hardware sim.Hardware
+	// Store is the stripe store (a fresh MemStore when nil).
+	Store storage.Store
+	// Meta, when non-nil, makes this node also serve the namespace.
+	Meta *meta.Service
+	// ExtCacheThreshold overrides the extent cache entry budget.
+	ExtCacheThreshold int
+	// ExtentLog enables the per-stripe extent log for recovery.
+	ExtentLog bool
+	// ExtentLogDir, when set (with ExtentLog), persists the log to an
+	// append-only file in this directory and replays it at startup, so
+	// recovery works across real process restarts.
+	ExtentLogDir string
+	// CleanupInterval runs the extent-cache cleanup daemon when > 0.
+	CleanupInterval time.Duration
+}
+
+// Server is a running data server.
+type Server struct {
+	cfg   Config
+	DLM   *dlm.Server
+	Cache *extcache.Cache
+	store storage.Store
+	lockL *sim.RateLimiter
+
+	rpcSrv *rpc.Server
+
+	mu      sync.Mutex
+	clients map[dlm.ClientID]*rpc.Endpoint
+
+	// gate quiesces state-mutating operations during recovery: Recover
+	// holds the write side while gathering and restoring lock records,
+	// so a racing release cannot land before its lock is restored.
+	gate sync.RWMutex
+
+	stopCleanup chan struct{}
+	closeOnce   sync.Once
+	logFile     *extcache.LogFile
+
+	// FlushedBytes counts bytes actually written to the device (after
+	// stale-data discard).
+	FlushedBytes atomic.Int64
+	// DiscardedBytes counts flushed bytes dropped as stale by the extent
+	// cache.
+	DiscardedBytes atomic.Int64
+}
+
+// New builds a server; call Serve with a listener to start it.
+func New(cfg Config) *Server {
+	st := cfg.Store
+	if st == nil {
+		st = storage.NewMemStore()
+	}
+	if cfg.Hardware.DiskBandwidth > 0 || cfg.Hardware.DiskLatency > 0 {
+		st = storage.NewSimStore(st, cfg.Hardware)
+	}
+	s := &Server{
+		cfg:         cfg,
+		store:       st,
+		Cache:       extcache.New(cfg.ExtCacheThreshold, cfg.ExtentLog),
+		lockL:       sim.NewRateLimiter(cfg.Hardware.ServerOPS),
+		clients:     make(map[dlm.ClientID]*rpc.Endpoint),
+		stopCleanup: make(chan struct{}),
+	}
+	s.DLM = dlm.NewServer(cfg.Policy, notifier{s})
+	if cfg.ExtentLog && cfg.ExtentLogDir != "" {
+		if lf, err := extcache.OpenLogFile(cfg.ExtentLogDir); err == nil {
+			s.Cache.ReplayLogFile(lf)
+			s.Cache.AttachLogFile(lf)
+			s.logFile = lf
+		}
+	}
+	return s
+}
+
+// Serve starts accepting RPC connections on l and, if configured, the
+// extent-cache cleanup daemon. It returns immediately.
+func (s *Server) Serve(l transport.Listener) {
+	s.rpcSrv = rpc.NewServer(l, rpc.Options{OnClose: s.dropEndpoint}, s.setup)
+	go s.rpcSrv.Serve()
+	if s.cfg.CleanupInterval > 0 {
+		go s.Cache.Daemon(s.cfg.CleanupInterval, s.minSN, s.forceSync, s.stopCleanup)
+	}
+}
+
+// Close stops the server. It is idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.stopCleanup)
+		if s.rpcSrv != nil {
+			s.rpcSrv.Close()
+		}
+		if s.logFile != nil {
+			s.logFile.Sync()
+			s.logFile.Close()
+		}
+	})
+}
+
+// Addr returns the RPC listen address.
+func (s *Server) Addr() string { return s.rpcSrv.Addr() }
+
+func (s *Server) dropEndpoint(ep *rpc.Endpoint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, e := range s.clients {
+		if e == ep {
+			delete(s.clients, id)
+		}
+	}
+}
+
+// notifier delivers revocation callbacks over the client's RPC
+// connection and acks to the DLM when the reply returns. A vanished
+// client's locks are acked and force-released so the queue never wedges
+// on a dead holder.
+type notifier struct{ s *Server }
+
+// Revoke implements dlm.Notifier.
+func (n notifier) Revoke(rv dlm.Revocation) {
+	n.s.mu.Lock()
+	ep := n.s.clients[rv.Client]
+	n.s.mu.Unlock()
+	if ep == nil {
+		n.s.DLM.RevokeAck(rv.Resource, rv.Lock)
+		n.s.DLM.Release(rv.Resource, rv.Lock)
+		return
+	}
+	err := ep.Call(wire.MRevoke, &wire.RevokeRequest{Resource: uint64(rv.Resource), LockID: uint64(rv.Lock)}, nil)
+	n.s.DLM.RevokeAck(rv.Resource, rv.Lock)
+	if err != nil {
+		// The holder is gone; its dirty data is lost by the client-cache
+		// durability convention (§IV-C1). Release so waiters proceed.
+		n.s.DLM.Release(rv.Resource, rv.Lock)
+	}
+}
+
+// minSN is the extent-cache cleanup task's DLM query.
+func (s *Server) minSN(stripe uint64, rng extent.Extent) (extent.SN, bool) {
+	return s.DLM.MinSN(dlm.ResourceID(stripe), rng)
+}
+
+// forceSync reclaims every outstanding write lock of a stripe by taking
+// (and releasing) a whole-range read lock as the server-local client 0.
+func (s *Server) forceSync(stripe uint64) {
+	mode := s.cfg.Policy.MapMode(dlm.PR)
+	g, err := s.DLM.Lock(dlm.Request{
+		Resource: dlm.ResourceID(stripe),
+		Client:   0,
+		Mode:     mode,
+		Range:    extent.New(0, extent.Inf),
+	})
+	if err != nil {
+		return
+	}
+	s.DLM.Release(dlm.ResourceID(stripe), g.LockID)
+}
+
+// Recover rebuilds the DLM state after a crash by gathering lock
+// records from every connected client (§IV-C2) and restoring them into
+// the engine. The extent cache is rebuilt separately by replaying the
+// extent log (Cache.Replay). It must run before new lock traffic is
+// admitted.
+func (s *Server) Recover() error {
+	s.gate.Lock()
+	defer s.gate.Unlock()
+	s.mu.Lock()
+	eps := make([]*rpc.Endpoint, 0, len(s.clients))
+	for _, ep := range s.clients {
+		eps = append(eps, ep)
+	}
+	s.mu.Unlock()
+
+	var records []dlm.LockRecord
+	for _, ep := range eps {
+		var rep wire.LockReport
+		if err := ep.Call(wire.MReport, &wire.Ack{}, &rep); err != nil {
+			// A client that vanished since the crash simply loses its
+			// locks, like the paper's aborted-job convention.
+			continue
+		}
+		for _, l := range rep.Locks {
+			records = append(records, dlm.LockRecord{
+				Resource: dlm.ResourceID(l.Resource),
+				Client:   dlm.ClientID(l.Client),
+				LockID:   dlm.LockID(l.LockID),
+				Mode:     dlm.Mode(l.Mode),
+				Range:    l.Range,
+				SN:       l.SN,
+				State:    dlm.State(l.State),
+			})
+		}
+	}
+	return s.DLM.Restore(records)
+}
+
+// setup registers the RPC handlers on a new endpoint.
+func (s *Server) setup(ep *rpc.Endpoint) {
+	ep.Handle(wire.MHello, func(p []byte) (wire.Msg, error) {
+		var req wire.HelloRequest
+		if err := wire.Unmarshal(p, &req); err != nil {
+			return nil, err
+		}
+		if req.ClientID == 0 {
+			return nil, errors.New("dataserver: client must bring a cluster-assigned ID")
+		}
+		if !req.Bulk {
+			// Only the control connection receives revocation callbacks;
+			// bulk connections carry flush and read traffic.
+			s.mu.Lock()
+			s.clients[dlm.ClientID(req.ClientID)] = ep
+			s.mu.Unlock()
+		}
+		return &wire.HelloReply{ClientID: req.ClientID}, nil
+	})
+
+	ep.Handle(wire.MLock, func(p []byte) (wire.Msg, error) {
+		var req wire.LockRequest
+		if err := wire.Unmarshal(p, &req); err != nil {
+			return nil, err
+		}
+		// Barrier only: a request must not enter the engine mid-recovery
+		// (it would be resolved against missing state), but the gate
+		// cannot be held across the blocking grant wait — the grant may
+		// need a release, which itself passes the gate.
+		s.gate.RLock()
+		s.gate.RUnlock() //nolint:staticcheck // empty critical section is the barrier
+		s.lockL.Wait()   // the lock server's OPS bound
+		var set extent.Set
+		if len(req.Extents) > 0 {
+			set = extent.NewSet(req.Extents...)
+		}
+		g, err := s.DLM.Lock(dlm.Request{
+			Resource: dlm.ResourceID(req.Resource),
+			Client:   dlm.ClientID(req.Client),
+			Mode:     dlm.Mode(req.Mode),
+			Range:    req.Range,
+			Extents:  set,
+		})
+		if err != nil {
+			return nil, err
+		}
+		reply := &wire.LockGrant{
+			LockID: uint64(g.LockID),
+			Mode:   uint8(g.Mode),
+			Range:  g.Range,
+			SN:     g.SN,
+			State:  uint8(g.State),
+		}
+		for _, id := range g.Absorbed {
+			reply.Absorbed = append(reply.Absorbed, uint64(id))
+		}
+		return reply, nil
+	})
+
+	ep.Handle(wire.MRelease, func(p []byte) (wire.Msg, error) {
+		var req wire.ReleaseRequest
+		if err := wire.Unmarshal(p, &req); err != nil {
+			return nil, err
+		}
+		s.gate.RLock()
+		defer s.gate.RUnlock()
+		s.lockL.Wait()
+		s.DLM.Release(dlm.ResourceID(req.Resource), dlm.LockID(req.LockID))
+		return &wire.Ack{}, nil
+	})
+
+	ep.Handle(wire.MDowngrade, func(p []byte) (wire.Msg, error) {
+		var req wire.DowngradeRequest
+		if err := wire.Unmarshal(p, &req); err != nil {
+			return nil, err
+		}
+		s.gate.RLock()
+		defer s.gate.RUnlock()
+		s.lockL.Wait()
+		if err := s.DLM.Downgrade(dlm.ResourceID(req.Resource), dlm.LockID(req.LockID), dlm.Mode(req.NewMode)); err != nil {
+			return nil, err
+		}
+		return &wire.Ack{}, nil
+	})
+
+	ep.Handle(wire.MFlush, func(p []byte) (wire.Msg, error) {
+		var req wire.FlushRequest
+		if err := wire.Unmarshal(p, &req); err != nil {
+			return nil, err
+		}
+		s.gate.RLock()
+		defer s.gate.RUnlock()
+		return s.handleFlush(&req)
+	})
+
+	ep.Handle(wire.MRead, func(p []byte) (wire.Msg, error) {
+		var req wire.ReadRequest
+		if err := wire.Unmarshal(p, &req); err != nil {
+			return nil, err
+		}
+		return s.handleRead(&req)
+	})
+
+	ep.Handle(wire.MMinSN, func(p []byte) (wire.Msg, error) {
+		var req wire.MinSNRequest
+		if err := wire.Unmarshal(p, &req); err != nil {
+			return nil, err
+		}
+		sn, ok := s.DLM.MinSN(dlm.ResourceID(req.Resource), req.Range)
+		return &wire.MinSNReply{HasLocks: ok, MinSN: sn}, nil
+	})
+
+	if s.cfg.Meta != nil {
+		s.setupMeta(ep)
+	}
+	ep.Start()
+}
+
+// handleFlush is the server-side write routine of Fig. 15: merge each
+// block's SN into the extent cache, write the surviving update set to
+// the device, discard the rest.
+func (s *Server) handleFlush(req *wire.FlushRequest) (wire.Msg, error) {
+	for _, b := range req.Blocks {
+		if b.Range.Len() != int64(len(b.Data)) {
+			return nil, fmt.Errorf("dataserver: block range %v does not match %d data bytes", b.Range, len(b.Data))
+		}
+		won := s.Cache.Apply(req.Resource, b.Range, b.SN)
+		var wrote int64
+		for _, w := range won {
+			data := b.Data[w.Start-b.Range.Start : w.End-b.Range.Start]
+			if err := s.store.WriteAt(req.Resource, w.Start, data); err != nil {
+				return nil, err
+			}
+			wrote += w.Len()
+		}
+		s.FlushedBytes.Add(wrote)
+		s.DiscardedBytes.Add(b.Range.Len() - wrote)
+	}
+	return &wire.Ack{}, nil
+}
+
+func (s *Server) handleRead(req *wire.ReadRequest) (wire.Msg, error) {
+	if req.Range.Empty() || req.Range.End == extent.Inf || req.Range.Len() > MaxReadBytes {
+		return nil, fmt.Errorf("dataserver: invalid read range %v", req.Range)
+	}
+	buf := make([]byte, req.Range.Len())
+	if err := s.store.ReadAt(req.Resource, req.Range.Start, buf); err != nil {
+		return nil, err
+	}
+	sn, _ := s.Cache.MaxSN(req.Resource, req.Range)
+	return &wire.ReadReply{Blocks: []wire.Block{{Range: req.Range, SN: sn, Data: buf}}}, nil
+}
+
+func (s *Server) setupMeta(ep *rpc.Endpoint) {
+	m := s.cfg.Meta
+	ep.Handle(wire.MCreate, func(p []byte) (wire.Msg, error) {
+		var req wire.CreateRequest
+		if err := wire.Unmarshal(p, &req); err != nil {
+			return nil, err
+		}
+		f, err := m.Create(req.Path, req.StripeSize, req.StripeCount)
+		if err != nil {
+			return nil, err
+		}
+		return fileReply(f), nil
+	})
+	ep.Handle(wire.MOpen, func(p []byte) (wire.Msg, error) {
+		var req wire.OpenRequest
+		if err := wire.Unmarshal(p, &req); err != nil {
+			return nil, err
+		}
+		f, err := m.Open(req.Path)
+		if err != nil {
+			return nil, err
+		}
+		return fileReply(f), nil
+	})
+	ep.Handle(wire.MStat, func(p []byte) (wire.Msg, error) {
+		var req wire.OpenRequest
+		if err := wire.Unmarshal(p, &req); err != nil {
+			return nil, err
+		}
+		f, err := m.Open(req.Path)
+		if err != nil {
+			return nil, err
+		}
+		return fileReply(f), nil
+	})
+	ep.Handle(wire.MSetSize, func(p []byte) (wire.Msg, error) {
+		var req wire.SetSizeRequest
+		if err := wire.Unmarshal(p, &req); err != nil {
+			return nil, err
+		}
+		sz, err := m.SetSize(req.FID, req.Size, req.Truncate)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.SizeReply{Size: sz}, nil
+	})
+	ep.Handle(wire.MReserve, func(p []byte) (wire.Msg, error) {
+		var req wire.SetSizeRequest
+		if err := wire.Unmarshal(p, &req); err != nil {
+			return nil, err
+		}
+		off, err := m.Reserve(req.FID, req.Size)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.SizeReply{Size: off}, nil
+	})
+	ep.Handle(wire.MList, func(p []byte) (wire.Msg, error) {
+		return &wire.ListReply{Paths: m.List()}, nil
+	})
+	ep.Handle(wire.MRemove, func(p []byte) (wire.Msg, error) {
+		var req wire.OpenRequest
+		if err := wire.Unmarshal(p, &req); err != nil {
+			return nil, err
+		}
+		if err := m.Remove(req.Path); err != nil {
+			return nil, err
+		}
+		return &wire.Ack{}, nil
+	})
+}
+
+func fileReply(f meta.File) *wire.FileReply {
+	return &wire.FileReply{
+		FID:         f.FID,
+		Size:        f.Size,
+		StripeSize:  f.StripeSize,
+		StripeCount: f.StripeCount,
+	}
+}

@@ -1,0 +1,444 @@
+package dlm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccpfs/internal/extent"
+)
+
+// ServerConn is how a lock client reaches one lock server. The cluster
+// layer implements it over RPC; unit tests implement it in-process.
+type ServerConn interface {
+	Lock(req Request) (Grant, error)
+	Release(res ResourceID, id LockID) error
+	Downgrade(res ResourceID, id LockID, m Mode) error
+}
+
+// Flusher is the client's data path: canceling a lock flushes the dirty
+// data written under it (and under locks it absorbed) before release.
+type Flusher interface {
+	// FlushForCancel writes back all dirty data of res within rng whose
+	// sequence number is at most sn, returning once it is durable on the
+	// data server.
+	FlushForCancel(res ResourceID, rng extent.Extent, sn extent.SN) error
+}
+
+// FlusherFunc adapts a function to Flusher.
+type FlusherFunc func(ResourceID, extent.Extent, extent.SN) error
+
+// FlushForCancel implements Flusher.
+func (f FlusherFunc) FlushForCancel(res ResourceID, rng extent.Extent, sn extent.SN) error {
+	return f(res, rng, sn)
+}
+
+// Handle is a client's reference to a granted lock. Handles are obtained
+// from Acquire and returned with Unlock; the client caches GRANTED
+// handles for reuse.
+type Handle struct {
+	c   *LockClient
+	res ResourceID
+	id  LockID
+	sn  extent.SN
+
+	// Guarded by c.mu.
+	mode        Mode
+	rng         extent.Extent
+	state       State
+	holds       int
+	wrote       bool
+	canceling   bool
+	releaseSent bool // the Release RPC has been (or is being) issued
+	merged      *Handle
+	released    chan struct{}
+}
+
+// Resource returns the lock's resource.
+func (h *Handle) Resource() ResourceID { return h.res }
+
+// ID returns the server-assigned lock ID.
+func (h *Handle) ID() LockID { return h.id }
+
+// SN returns the sequence number writes under this lock carry.
+func (h *Handle) SN() extent.SN { return h.sn }
+
+// Mode returns the current mode (it may change by conversion).
+func (h *Handle) Mode() Mode {
+	h.c.mu.Lock()
+	defer h.c.mu.Unlock()
+	return h.mode
+}
+
+// Range returns the granted (possibly expanded) range.
+func (h *Handle) Range() extent.Extent {
+	h.c.mu.Lock()
+	defer h.c.mu.Unlock()
+	return h.rng
+}
+
+// State returns the lock's client-side state.
+func (h *Handle) State() State {
+	h.c.mu.Lock()
+	defer h.c.mu.Unlock()
+	return h.state
+}
+
+// Released returns a channel closed once the lock is fully canceled
+// (flushed and released).
+func (h *Handle) Released() <-chan struct{} { return h.released }
+
+// ClientStats counts client-side lock activity.
+type ClientStats struct {
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+	Revocations atomic.Int64
+	Cancels     atomic.Int64
+	LockWaitNs  atomic.Int64 // time blocked in Acquire RPCs
+	CancelNs    atomic.Int64 // time spent flushing + releasing
+}
+
+// LockClient is the client half of the DLM: it caches grants, answers
+// revocation callbacks, and runs the cancel path (downgrade → flush →
+// release) of §III-D2.
+type LockClient struct {
+	id      ClientID
+	policy  Policy
+	router  func(ResourceID) ServerConn
+	flusher Flusher
+
+	mu    sync.Mutex
+	cache map[ResourceID][]*Handle
+	acq   map[ResourceID]*sync.Mutex
+	// pendingRevokes records revocation callbacks that arrived before
+	// the corresponding grant reply was processed (the callback and the
+	// reply race on different goroutines); the handle is created
+	// directly in CANCELING state. tombstones records locks already
+	// released or absorbed so late revocations for them are ignored.
+	// Both are keyed by (resource, lock ID): lock IDs are unique only
+	// within one server, and a client talks to many servers.
+	pendingRevokes map[lockKey]bool
+	tombstones     map[lockKey]bool
+
+	// Stats counts client-side lock activity.
+	Stats ClientStats
+}
+
+// lockKey globally identifies a lock: IDs are per-server, resources map
+// to exactly one server.
+type lockKey struct {
+	res ResourceID
+	id  LockID
+}
+
+// NewLockClient returns a lock client. router maps a resource to the
+// connection of the server owning it; flusher is the data path used at
+// cancel time.
+func NewLockClient(id ClientID, policy Policy, router func(ResourceID) ServerConn, flusher Flusher) *LockClient {
+	return &LockClient{
+		id:             id,
+		policy:         policy,
+		router:         router,
+		flusher:        flusher,
+		cache:          make(map[ResourceID][]*Handle),
+		acq:            make(map[ResourceID]*sync.Mutex),
+		pendingRevokes: make(map[lockKey]bool),
+		tombstones:     make(map[lockKey]bool),
+	}
+}
+
+// ID returns the client identifier.
+func (c *LockClient) ID() ClientID { return c.id }
+
+// Policy returns the client's policy.
+func (c *LockClient) Policy() Policy { return c.policy }
+
+func (c *LockClient) acquireMu(res ResourceID) *sync.Mutex {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.acq[res]
+	if m == nil {
+		m = &sync.Mutex{}
+		c.acq[res] = m
+	}
+	return m
+}
+
+// Acquire obtains a lock covering rng in a mode that covers need,
+// reusing a cached grant when possible. It blocks until granted.
+func (c *LockClient) Acquire(res ResourceID, need Mode, rng extent.Extent) (*Handle, error) {
+	return c.acquire(res, need, rng, nil)
+}
+
+// AcquireExtents obtains a lock over an exact non-contiguous extent set
+// (DLM-datatype). rng must be the set's bounds.
+func (c *LockClient) AcquireExtents(res ResourceID, need Mode, set extent.Set) (*Handle, error) {
+	b, ok := set.Bounds()
+	if !ok {
+		return nil, fmt.Errorf("dlm: empty extent set")
+	}
+	return c.acquire(res, need, b, set)
+}
+
+func (c *LockClient) acquire(res ResourceID, need Mode, rng extent.Extent, set extent.Set) (*Handle, error) {
+	need = c.policy.MapMode(need)
+	am := c.acquireMu(res)
+	am.Lock()
+	defer am.Unlock()
+
+	c.mu.Lock()
+	if h := c.lookupLocked(res, need, rng); h != nil {
+		h.holds++
+		if need.IsWrite() {
+			h.wrote = true
+		}
+		c.mu.Unlock()
+		c.Stats.CacheHits.Add(1)
+		return h, nil
+	}
+	c.mu.Unlock()
+	c.Stats.CacheMisses.Add(1)
+
+	start := time.Now()
+	g, err := c.router(res).Lock(Request{
+		Resource: res,
+		Client:   c.id,
+		Mode:     need,
+		Range:    rng,
+		Extents:  set,
+	})
+	c.Stats.LockWaitNs.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		return nil, err
+	}
+
+	h := &Handle{
+		c:        c,
+		res:      res,
+		id:       g.LockID,
+		sn:       g.SN,
+		mode:     g.Mode,
+		rng:      g.Range,
+		state:    g.State,
+		holds:    1,
+		wrote:    need.IsWrite(),
+		released: make(chan struct{}),
+	}
+	c.mu.Lock()
+	// A revocation callback may have raced ahead of this grant reply;
+	// honour it now.
+	if k := (lockKey{res, g.LockID}); c.pendingRevokes[k] {
+		delete(c.pendingRevokes, k)
+		h.state = Canceling
+	}
+	// Merge locks the server absorbed during upgrading: transfer their
+	// active holds and dirty-write flags, and forward their handles.
+	for _, aid := range g.Absorbed {
+		old := c.findByIDLocked(res, aid)
+		if old == nil || old.canceling {
+			continue
+		}
+		h.holds += old.holds
+		if old.wrote {
+			h.wrote = true
+		}
+		old.merged = h
+		c.removeLocked(old)
+		// The absorbed lock will never be canceled on its own; its
+		// users now hold h, and its released channel tracks h's.
+		go func(old *Handle) {
+			<-h.released
+			close(old.released)
+		}(old)
+	}
+	c.cache[res] = append(c.cache[res], h)
+	c.mu.Unlock()
+	return h, nil
+}
+
+// lookupLocked finds a reusable cached handle. Datatype-style policies
+// do not reuse cached locks.
+func (c *LockClient) lookupLocked(res ResourceID, need Mode, rng extent.Extent) *Handle {
+	if !c.policy.CacheLocks {
+		return nil
+	}
+	for _, h := range c.cache[res] {
+		if h.state == Granted && !h.canceling && h.merged == nil &&
+			h.mode.Covers(need) && h.rng.Contains(rng) {
+			return h
+		}
+	}
+	return nil
+}
+
+func (c *LockClient) findByIDLocked(res ResourceID, id LockID) *Handle {
+	for _, h := range c.cache[res] {
+		if h.id == id {
+			return h
+		}
+	}
+	return nil
+}
+
+func (c *LockClient) removeLocked(h *Handle) {
+	k := lockKey{h.res, h.id}
+	c.tombstones[k] = true
+	delete(c.pendingRevokes, k)
+	list := c.cache[h.res]
+	for i, x := range list {
+		if x == h {
+			c.cache[h.res] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// Unlock returns a handle after use. If the lock is CANCELING (or the
+// policy does not cache locks) and this was the last user, the cancel
+// path starts in the background: downgrade, flush, release.
+func (c *LockClient) Unlock(h *Handle) {
+	c.mu.Lock()
+	for h.merged != nil {
+		h = h.merged
+	}
+	if h.holds <= 0 {
+		c.mu.Unlock()
+		panic("dlm: Unlock without matching Acquire")
+	}
+	h.holds--
+	if h.holds == 0 && !c.policy.CacheLocks && h.state == Granted {
+		h.state = Canceling
+	}
+	start := h.holds == 0 && h.state == Canceling && !h.canceling
+	if start {
+		h.canceling = true
+	}
+	c.mu.Unlock()
+	if start {
+		go c.cancel(h)
+	}
+}
+
+// OnRevoke handles a server revocation callback: the lock enters
+// CANCELING immediately (blocking reuse); returning from OnRevoke is the
+// revocation reply. The cancel path runs once ongoing operations finish.
+func (c *LockClient) OnRevoke(res ResourceID, id LockID) {
+	c.Stats.Revocations.Add(1)
+	c.mu.Lock()
+	h := c.findByIDLocked(res, id)
+	if h == nil {
+		// Either the grant reply has not been processed yet (remember
+		// the revocation for when it is) or the lock is already gone
+		// (tombstoned: ignore). Acking both cases is correct.
+		if k := (lockKey{res, id}); !c.tombstones[k] {
+			c.pendingRevokes[k] = true
+		}
+		c.mu.Unlock()
+		return
+	}
+	if h.merged != nil {
+		c.mu.Unlock()
+		return // absorbed into an upgraded lock; nothing to cancel
+	}
+	h.state = Canceling
+	start := h.holds == 0 && !h.canceling
+	if start {
+		h.canceling = true
+	}
+	c.mu.Unlock()
+	if start {
+		go c.cancel(h)
+	}
+}
+
+// cancel runs the lock cancel path of §III-D2: automatic downgrade to
+// the least restrictive mode (re-enabling early grant for waiters), data
+// flushing tagged with the lock's SN, then release.
+func (c *LockClient) cancel(h *Handle) {
+	start := time.Now()
+	c.Stats.Cancels.Add(1)
+	conn := c.router(h.res)
+
+	c.mu.Lock()
+	mode, wrote, rng := h.mode, h.wrote, h.rng
+	c.mu.Unlock()
+
+	flushed := false
+	if c.policy.Conversion {
+		switch d := Downgrade(mode, wrote); d {
+		case NBW:
+			if err := conn.Downgrade(h.res, h.id, NBW); err == nil {
+				c.mu.Lock()
+				h.mode = NBW
+				c.mu.Unlock()
+			}
+		case PR:
+			// A PW held only by readers: flush first so readers granted
+			// after the downgrade observe current data, then downgrade.
+			c.flusher.FlushForCancel(h.res, rng, h.sn)
+			flushed = true
+			if err := conn.Downgrade(h.res, h.id, PR); err == nil {
+				c.mu.Lock()
+				h.mode = PR
+				c.mu.Unlock()
+			}
+		}
+	}
+	if !flushed {
+		c.flusher.FlushForCancel(h.res, rng, h.sn)
+	}
+	// Once the release is in flight the lock must no longer be exported
+	// for server recovery: its data flushing is complete (flush strictly
+	// precedes release), so a recovering server that never hears about
+	// it loses nothing — while restoring it after the release landed
+	// would leave a zombie lock no one will ever release.
+	c.mu.Lock()
+	h.releaseSent = true
+	c.mu.Unlock()
+	conn.Release(h.res, h.id)
+
+	c.mu.Lock()
+	c.removeLocked(h)
+	c.mu.Unlock()
+	close(h.released)
+	c.Stats.CancelNs.Add(time.Since(start).Nanoseconds())
+}
+
+// CachedLocks returns the number of cached handles for a resource.
+func (c *LockClient) CachedLocks(res ResourceID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cache[res])
+}
+
+// ReleaseAll cancels every idle cached lock and waits for the cancels to
+// finish — the client's shutdown barrier. Handles with active holds are
+// marked CANCELING and will cancel at their final Unlock.
+func (c *LockClient) ReleaseAll() {
+	c.mu.Lock()
+	var toStart, toWait []*Handle
+	for _, list := range c.cache {
+		for _, h := range list {
+			if h.merged != nil {
+				continue
+			}
+			h.state = Canceling
+			if h.holds > 0 {
+				continue
+			}
+			if !h.canceling {
+				h.canceling = true
+				toStart = append(toStart, h)
+			}
+			toWait = append(toWait, h)
+		}
+	}
+	c.mu.Unlock()
+	for _, h := range toStart {
+		go c.cancel(h)
+	}
+	for _, h := range toWait {
+		<-h.released
+	}
+}

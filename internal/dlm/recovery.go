@@ -1,0 +1,121 @@
+package dlm
+
+import (
+	"fmt"
+	"sort"
+
+	"ccpfs/internal/extent"
+)
+
+// This file implements the server-recovery half of §IV-C2: "the server
+// recovers lock states by gathering them from all clients". Clients
+// export their held locks as LockRecords; a recovering server restores
+// them wholesale, re-seeding each resource's sequencer and the lock-ID
+// allocator above everything it has seen. (The other half — extent-log
+// replay — lives in package extcache; flush-RPC redo is the client
+// cache's redirty-on-error behaviour.)
+
+// LockRecord is the wire-friendly description of one granted lock, as a
+// client reports it during server recovery.
+type LockRecord struct {
+	Resource ResourceID
+	Client   ClientID
+	LockID   LockID
+	Mode     Mode
+	Range    extent.Extent
+	SN       extent.SN
+	State    State
+}
+
+// Export returns records for every lock the client currently holds or
+// is canceling, optionally filtered (filter nil = all). Canceling locks
+// are reported too: their data flushing may still be in flight and the
+// recovered server must keep ordering them.
+func (c *LockClient) Export(filter func(ResourceID) bool) []LockRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []LockRecord
+	for res, list := range c.cache {
+		if filter != nil && !filter(res) {
+			continue
+		}
+		for _, h := range list {
+			if h.merged != nil || h.releaseSent {
+				continue
+			}
+			out = append(out, LockRecord{
+				Resource: res,
+				Client:   c.id,
+				LockID:   h.id,
+				Mode:     h.mode,
+				Range:    h.rng,
+				SN:       h.sn,
+				State:    h.state,
+			})
+		}
+	}
+	return out
+}
+
+// Reset drops all lock state. It models the state loss of a server
+// crash (the recovery tests crash and rebuild an engine in place) and
+// must not be called while requests are in flight.
+func (s *Server) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resources = make(map[ResourceID]*resource)
+}
+
+// Restore reinstalls client-reported locks into a fresh engine. Records
+// are trusted (they were granted by the pre-crash server, so they are
+// mutually compatible); each resource's sequencer resumes above the
+// largest restored SN and the lock-ID allocator above the largest
+// restored ID, so post-recovery grants can never collide with or order
+// below pre-crash ones. Restoring onto a non-empty resource fails.
+func (s *Server) Restore(records []LockRecord) error {
+	// Stable order keeps restoration deterministic for tests/logs.
+	sort.Slice(records, func(i, j int) bool {
+		if records[i].Resource != records[j].Resource {
+			return records[i].Resource < records[j].Resource
+		}
+		return records[i].LockID < records[j].LockID
+	})
+	var maxID LockID
+	for _, r := range records {
+		if !r.Mode.Valid() {
+			return fmt.Errorf("dlm: restore: invalid mode %v", r.Mode)
+		}
+		if r.Range.Empty() {
+			return fmt.Errorf("dlm: restore: empty range for lock %d", r.LockID)
+		}
+		res := s.resource(r.Resource)
+		res.mu.Lock()
+		if len(res.queue) > 0 {
+			res.mu.Unlock()
+			return fmt.Errorf("dlm: restore: resource %d has queued requests", r.Resource)
+		}
+		res.granted = append(res.granted, &lock{
+			id:         r.LockID,
+			client:     r.Client,
+			mode:       r.Mode,
+			rng:        r.Range,
+			state:      r.State,
+			sn:         r.SN,
+			revokeSent: r.State == Canceling,
+		})
+		res.grants++
+		if r.Mode.IsWrite() && r.SN >= res.nextSN {
+			res.nextSN = r.SN + 1
+		}
+		res.mu.Unlock()
+		if r.LockID > maxID {
+			maxID = r.LockID
+		}
+	}
+	s.mu.Lock()
+	if maxID > s.nextLock {
+		s.nextLock = maxID
+	}
+	s.mu.Unlock()
+	return nil
+}

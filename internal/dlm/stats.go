@@ -1,0 +1,74 @@
+package dlm
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stats holds protocol counters for a lock server. The wait-time
+// attribution implements the Fig. 17 breakdown: for every grant that had
+// to resolve conflicts, the time from enqueue until every conflicting
+// lock reached CANCELING is revocation wait (part ① of the paper's
+// breakdown), and the remainder until grant is cancel wait — data
+// flushing plus lock release (part ②). Everything else in an operation
+// (lock request, grant reply, cache copy) is part ③.
+type Stats struct {
+	Grants           atomic.Int64
+	Releases         atomic.Int64
+	Revocations      atomic.Int64
+	EarlyGrants      atomic.Int64
+	EarlyRevocations atomic.Int64
+	Upgrades         atomic.Int64
+	Downgrades       atomic.Int64
+
+	GrantWaitNs      atomic.Int64
+	RevocationWaitNs atomic.Int64
+	CancelWaitNs     atomic.Int64
+}
+
+// Snapshot is a plain-value copy of Stats.
+type Snapshot struct {
+	Grants           int64
+	Releases         int64
+	Revocations      int64
+	EarlyGrants      int64
+	EarlyRevocations int64
+	Upgrades         int64
+	Downgrades       int64
+
+	GrantWait      time.Duration
+	RevocationWait time.Duration
+	CancelWait     time.Duration
+}
+
+// Snapshot returns a consistent-enough copy for reporting.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		Grants:           s.Grants.Load(),
+		Releases:         s.Releases.Load(),
+		Revocations:      s.Revocations.Load(),
+		EarlyGrants:      s.EarlyGrants.Load(),
+		EarlyRevocations: s.EarlyRevocations.Load(),
+		Upgrades:         s.Upgrades.Load(),
+		Downgrades:       s.Downgrades.Load(),
+		GrantWait:        time.Duration(s.GrantWaitNs.Load()),
+		RevocationWait:   time.Duration(s.RevocationWaitNs.Load()),
+		CancelWait:       time.Duration(s.CancelWaitNs.Load()),
+	}
+}
+
+// Sub returns the difference s - o, for windowed measurements.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		Grants:           s.Grants - o.Grants,
+		Releases:         s.Releases - o.Releases,
+		Revocations:      s.Revocations - o.Revocations,
+		EarlyGrants:      s.EarlyGrants - o.EarlyGrants,
+		EarlyRevocations: s.EarlyRevocations - o.EarlyRevocations,
+		Upgrades:         s.Upgrades - o.Upgrades,
+		Downgrades:       s.Downgrades - o.Downgrades,
+		GrantWait:        s.GrantWait - o.GrantWait,
+		RevocationWait:   s.RevocationWait - o.RevocationWait,
+		CancelWait:       s.CancelWait - o.CancelWait,
+	}
+}

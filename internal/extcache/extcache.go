@@ -1,0 +1,290 @@
+// Package extcache implements the data server's extent cache of §IV-B:
+// a per-stripe interval structure recording the newest sequence number
+// written to each byte range, which makes out-of-order data flushing
+// from early-granted locks land correctly on the storage device.
+//
+// It also implements the two cache-size controls of the paper: an
+// asynchronous cleanup task that removes entries whose SN is no larger
+// than the minimum SN of unreleased write locks overlapping them (mSN),
+// processing at most BatchLimit entries per round at lower priority than
+// IO; and a forced-synchronization fallback that reclaims every
+// outstanding write lock when cleanup cannot keep the cache under its
+// entry budget.
+package extcache
+
+import (
+	"sync"
+	"time"
+
+	"ccpfs/internal/extent"
+)
+
+// Defaults from the paper.
+const (
+	// DefaultThreshold is the entry count that triggers cleanup (256 K).
+	DefaultThreshold = 256 * 1024
+	// BatchLimit is the maximum entries one cleanup round processes so
+	// the task never blocks normal IO for long (1,024).
+	BatchLimit = 1024
+)
+
+// MinSNFunc queries the DLM service for the minimum SN among unreleased
+// write locks overlapping rng on a stripe; the boolean is false when no
+// such lock exists (every cached entry in rng is then removable).
+type MinSNFunc func(stripe uint64, rng extent.Extent) (extent.SN, bool)
+
+// ForceSyncFunc forces the data flushing of all clients for a stripe by
+// acquiring a whole-range read lock (and releasing it).
+type ForceSyncFunc func(stripe uint64)
+
+// Cache is the extent cache for all stripes a data server owns.
+type Cache struct {
+	mu        sync.Mutex
+	stripes   map[uint64]*stripeCache
+	threshold int
+	logging   bool
+	logFile   *LogFile // optional durable mirror of the in-memory logs
+
+	// Stats.
+	inserts     int64
+	cleaned     int64
+	forcedSyncs int64
+}
+
+type stripeCache struct {
+	tree   extent.Tree
+	cursor int64 // cleanup scan position
+	log    []extent.SNExtent
+}
+
+// New returns a cache with the given entry threshold (DefaultThreshold
+// when <= 0). When logging is true an extent log is kept per stripe so
+// the cache can be rebuilt after a server restart (§IV-C2).
+func New(threshold int, logging bool) *Cache {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	return &Cache{
+		stripes:   make(map[uint64]*stripeCache),
+		threshold: threshold,
+		logging:   logging,
+	}
+}
+
+func (c *Cache) stripe(id uint64) *stripeCache {
+	sc := c.stripes[id]
+	if sc == nil {
+		sc = &stripeCache{}
+		c.stripes[id] = sc
+	}
+	return sc
+}
+
+// Apply merges an incoming flushed block (rng, sn) into the cache and
+// returns the update set: the sub-ranges where the incoming data is
+// newest and must be written to the device. Ranges absent from the
+// update set lost to newer cached data and their bytes are discarded.
+func (c *Cache) Apply(stripe uint64, rng extent.Extent, sn extent.SN) []extent.SNExtent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sc := c.stripe(stripe)
+	won := sc.tree.Insert(rng, sn)
+	c.inserts++
+	if c.logging && len(won) > 0 {
+		sc.log = append(sc.log, won...)
+	}
+	if c.logFile != nil && len(won) > 0 {
+		// Mirror to the durable log while holding c.mu so record order
+		// matches apply order.
+		c.logFile.Append(stripe, won)
+	}
+	return won
+}
+
+// MaxSN returns the newest SN recorded for any byte of rng.
+func (c *Cache) MaxSN(stripe uint64, rng extent.Extent) (extent.SN, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stripe(stripe).tree.MaxSNOverlapping(rng)
+}
+
+// Entries returns the total entry count across stripes.
+func (c *Cache) Entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, sc := range c.stripes {
+		n += sc.tree.Len()
+	}
+	return n
+}
+
+// Bytes returns the modelled memory footprint (48 bytes per entry).
+func (c *Cache) Bytes() int {
+	return c.Entries() * extent.EntrySize
+}
+
+// NeedsCleanup reports whether the entry budget is exceeded.
+func (c *Cache) NeedsCleanup() bool { return c.Entries() > c.threshold }
+
+// CleanupRound runs one bounded cleanup pass: it picks up to BatchLimit
+// entries round-robin across stripes (resuming each stripe's scan where
+// the previous round stopped), queries the mSN for each entry's range,
+// and removes entries whose SN is no larger than the mSN — those can
+// never be superseded by in-flight flushes because SeqDLM guarantees
+// data with smaller SNs is already on the device. It returns the number
+// of entries removed.
+func (c *Cache) CleanupRound(minSN MinSNFunc) int {
+	type job struct {
+		stripe uint64
+		ents   []extent.SNExtent
+	}
+	var jobs []job
+	c.mu.Lock()
+	budget := BatchLimit
+	for id, sc := range c.stripes {
+		if budget <= 0 {
+			break
+		}
+		batch, next := sc.tree.PickBatch(sc.cursor, budget)
+		if len(batch) == 0 {
+			// Wrap the scan for the next round.
+			sc.cursor = 0
+			continue
+		}
+		sc.cursor = next
+		budget -= len(batch)
+		jobs = append(jobs, job{stripe: id, ents: batch})
+	}
+	c.mu.Unlock()
+
+	removed := 0
+	for _, j := range jobs {
+		// Query the mSN per entry outside the cache lock (the DLM call
+		// can block behind lock traffic). An entry is removable when its
+		// SN is no larger than the mSN — SeqDLM guarantees data with
+		// smaller SNs has already been written to the device, so nothing
+		// in flight can still need this entry for ordering. With no
+		// unreleased write lock overlapping the range, every entry is
+		// removable.
+		for _, ent := range j.ents {
+			msn, hasLocks := minSN(j.stripe, ent.Extent)
+			limit := ent.SN // no locks: the entry itself is the bound
+			if hasLocks {
+				limit = msn
+			}
+			if ent.SN > limit {
+				continue
+			}
+			c.mu.Lock()
+			if sc := c.stripes[j.stripe]; sc != nil {
+				removed += sc.tree.RemoveLE([]extent.SNExtent{ent}, limit)
+			}
+			c.mu.Unlock()
+		}
+	}
+	c.mu.Lock()
+	c.cleaned += int64(removed)
+	c.mu.Unlock()
+	return removed
+}
+
+// ForceSync runs the fallback of §IV-B when cleanup cannot keep the
+// cache under budget: for every stripe still over its share, it forces
+// all clients to flush by taking a whole-range read lock, after which
+// every entry (and the extent log) can be dropped.
+func (c *Cache) ForceSync(sync ForceSyncFunc) {
+	c.mu.Lock()
+	var ids []uint64
+	for id, sc := range c.stripes {
+		if sc.tree.Len() > 0 {
+			ids = append(ids, id)
+		}
+	}
+	c.forcedSyncs++
+	c.mu.Unlock()
+
+	for _, id := range ids {
+		sync(id) // all conflicting writes are durable once this returns
+		c.mu.Lock()
+		if sc := c.stripes[id]; sc != nil {
+			sc.tree.Clear()
+			sc.log = nil
+			sc.cursor = 0
+		}
+		c.mu.Unlock()
+	}
+	c.mu.Lock()
+	lf := c.logFile
+	c.mu.Unlock()
+	if lf != nil {
+		// Every logged entry is now redundant: the forced sync flushed
+		// all clients and the cache restarts empty.
+		lf.Truncate()
+	}
+}
+
+// Log returns a copy of a stripe's extent log (empty when logging is
+// disabled).
+func (c *Cache) Log(stripe uint64) []extent.SNExtent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sc := c.stripes[stripe]
+	if sc == nil {
+		return nil
+	}
+	out := make([]extent.SNExtent, len(sc.log))
+	copy(out, sc.log)
+	return out
+}
+
+// Replay rebuilds a stripe's cache from an extent log, the server
+// recovery path of §IV-C2.
+func (c *Cache) Replay(stripe uint64, log []extent.SNExtent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sc := c.stripe(stripe)
+	sc.tree.Clear()
+	sc.log = nil
+	for _, e := range log {
+		sc.tree.Insert(e.Extent, e.SN)
+		if c.logging {
+			sc.log = append(sc.log, e)
+		}
+	}
+}
+
+// Stats reports cache activity counters.
+func (c *Cache) Stats() (inserts, cleaned, forcedSyncs int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inserts, c.cleaned, c.forcedSyncs
+}
+
+// Daemon runs the periodic cleanup task until stop is closed: each tick
+// it runs cleanup rounds while the cache is over budget, and falls back
+// to forced synchronization when a full sweep cannot get it under.
+func (c *Cache) Daemon(interval time.Duration, minSN MinSNFunc, force ForceSyncFunc, stop <-chan struct{}) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		if !c.NeedsCleanup() {
+			continue
+		}
+		// A full sweep is at most Entries/BatchLimit rounds; if the
+		// cache is still over budget afterwards, the remaining entries
+		// are pinned by unreleased early-granted locks — force flushing.
+		rounds := c.Entries()/BatchLimit + 1
+		for i := 0; i < rounds && c.NeedsCleanup(); i++ {
+			c.CleanupRound(minSN)
+		}
+		if c.NeedsCleanup() && force != nil {
+			c.ForceSync(force)
+		}
+	}
+}

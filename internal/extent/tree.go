@@ -1,0 +1,394 @@
+package extent
+
+// Tree is a balanced (AVL) interval tree of non-overlapping SN-tagged
+// extents, keyed by extent start. It implements the data server's extent
+// cache from §IV-B of the paper: each entry records the newest sequence
+// number seen for a byte range, overlapping inserts keep the larger SN,
+// continuous extents with the same SN are merged, and inserts report the
+// update set — the sub-ranges where the incoming write won and must be
+// applied to the storage device.
+//
+// Entries are approximately 48 bytes each (the paper's figure); EntryBytes
+// reports the modelled footprint.
+//
+// Tree is not safe for concurrent use; callers synchronize externally.
+type Tree struct {
+	root *node
+	size int
+}
+
+// EntrySize is the modelled per-entry footprint in bytes (paper §IV-B:
+// "each entry ... has a size of 48 bytes").
+const EntrySize = 48
+
+type node struct {
+	ent         SNExtent
+	left, right *node
+	height      int
+}
+
+// Len returns the number of entries in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// EntryBytes returns the modelled memory footprint of the cache.
+func (t *Tree) EntryBytes() int { return t.size * EntrySize }
+
+// Clear removes all entries.
+func (t *Tree) Clear() { t.root, t.size = nil, 0 }
+
+func height(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func (n *node) fix() *node {
+	n.height = 1 + max(height(n.left), height(n.right))
+	switch bf := height(n.left) - height(n.right); {
+	case bf > 1:
+		if height(n.left.left) < height(n.left.right) {
+			n.left = n.left.rotateLeft()
+		}
+		return n.rotateRight()
+	case bf < -1:
+		if height(n.right.right) < height(n.right.left) {
+			n.right = n.right.rotateRight()
+		}
+		return n.rotateLeft()
+	}
+	return n
+}
+
+func (n *node) rotateRight() *node {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.height = 1 + max(height(n.left), height(n.right))
+	l.height = 1 + max(height(l.left), height(l.right))
+	return l
+}
+
+func (n *node) rotateLeft() *node {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.height = 1 + max(height(n.left), height(n.right))
+	r.height = 1 + max(height(r.left), height(r.right))
+	return r
+}
+
+func (t *Tree) insertRaw(ent SNExtent) {
+	if ent.Empty() {
+		return
+	}
+	t.root = insertNode(t.root, ent)
+	t.size++
+}
+
+func insertNode(n *node, ent SNExtent) *node {
+	if n == nil {
+		return &node{ent: ent, height: 1}
+	}
+	if ent.Start < n.ent.Start {
+		n.left = insertNode(n.left, ent)
+	} else {
+		n.right = insertNode(n.right, ent)
+	}
+	return n.fix()
+}
+
+func (t *Tree) deleteStart(start int64) bool {
+	var deleted bool
+	t.root, deleted = deleteNode(t.root, start)
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+func deleteNode(n *node, start int64) (*node, bool) {
+	if n == nil {
+		return nil, false
+	}
+	var deleted bool
+	switch {
+	case start < n.ent.Start:
+		n.left, deleted = deleteNode(n.left, start)
+	case start > n.ent.Start:
+		n.right, deleted = deleteNode(n.right, start)
+	default:
+		deleted = true
+		if n.left == nil {
+			return n.right, true
+		}
+		if n.right == nil {
+			return n.left, true
+		}
+		succ := n.right
+		for succ.left != nil {
+			succ = succ.left
+		}
+		n.ent = succ.ent
+		n.right, _ = deleteNode(n.right, succ.ent.Start)
+	}
+	return n.fix(), deleted
+}
+
+// Visit calls fn for every entry in ascending order. Returning false from
+// fn stops the walk.
+func (t *Tree) Visit(fn func(SNExtent) bool) {
+	t.visitFrom(minInt64, fn)
+}
+
+// VisitFrom calls fn for every entry whose Start >= from, in ascending
+// order. Returning false from fn stops the walk.
+func (t *Tree) VisitFrom(from int64, fn func(SNExtent) bool) {
+	t.visitFrom(from, fn)
+}
+
+const minInt64 = -1 << 63
+
+func (t *Tree) visitFrom(from int64, fn func(SNExtent) bool) {
+	// Iterative in-order traversal skipping subtrees entirely before from.
+	var stack []*node
+	n := t.root
+	for n != nil || len(stack) > 0 {
+		for n != nil {
+			if n.ent.Start >= from {
+				stack = append(stack, n)
+				n = n.left
+			} else {
+				n = n.right
+			}
+		}
+		if len(stack) == 0 {
+			return
+		}
+		n = stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !fn(n.ent) {
+			return
+		}
+		n = n.right
+	}
+}
+
+// overlapping returns the entries overlapping e in ascending order.
+func (t *Tree) overlapping(e Extent) []SNExtent {
+	var out []SNExtent
+	// An overlapping entry can start before e.Start (it must then end
+	// after it). Find the rightmost entry starting at or before e.Start
+	// first, then ascend.
+	from := e.Start
+	if p, ok := t.floorStart(e.Start); ok && p.End > e.Start {
+		from = p.Start
+	}
+	t.visitFrom(from, func(ent SNExtent) bool {
+		if ent.Start >= e.End {
+			return false
+		}
+		if ent.Overlaps(e) {
+			out = append(out, ent)
+		}
+		return true
+	})
+	return out
+}
+
+// floorStart returns the entry with the greatest Start <= start.
+func (t *Tree) floorStart(start int64) (SNExtent, bool) {
+	var best SNExtent
+	found := false
+	n := t.root
+	for n != nil {
+		if n.ent.Start <= start {
+			best, found = n.ent, true
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return best, found
+}
+
+// Insert merges the write (e, sn) into the cache following the paper's
+// rule: for overlapping parts the larger SN wins, with ties going to the
+// incoming write. It returns the update set — the sub-ranges of e where
+// the incoming data is newest and must be written to the device — merged
+// and in ascending order. Sub-ranges of e that lost to newer cached data
+// are absent from the update set and the caller discards those bytes.
+func (t *Tree) Insert(e Extent, sn SN) []SNExtent {
+	if e.Empty() {
+		return nil
+	}
+	olds := t.overlapping(e)
+	for _, o := range olds {
+		t.deleteStart(o.Start)
+	}
+
+	var pieces []SNExtent // replacement entries covering the affected span
+	var won []SNExtent    // update set
+	pend := SNExtent{Extent: e, SN: sn}
+	consumed := false
+	for _, old := range olds {
+		if old.SN > sn {
+			if !consumed && pend.Start < old.Start {
+				seg := SNExtent{Extent: Extent{pend.Start, old.Start}, SN: sn}
+				pieces = appendMerge(pieces, seg)
+				won = appendMerge(won, seg)
+			}
+			pieces = appendMerge(pieces, old)
+			if old.End >= pend.End {
+				consumed = true
+			} else if !consumed {
+				pend.Start = old.End
+			}
+			continue
+		}
+		if old.Start < e.Start {
+			pieces = appendMerge(pieces, SNExtent{Extent: Extent{old.Start, e.Start}, SN: old.SN})
+		}
+		if old.End > e.End {
+			seg := SNExtent{Extent: Extent{pend.Start, e.End}, SN: sn}
+			pieces = appendMerge(pieces, seg)
+			won = appendMerge(won, seg)
+			pieces = appendMerge(pieces, SNExtent{Extent: Extent{e.End, old.End}, SN: old.SN})
+			consumed = true
+		}
+	}
+	if !consumed && !pend.Empty() {
+		pieces = appendMerge(pieces, pend)
+		won = appendMerge(won, pend)
+	}
+
+	// Coalesce with untouched neighbors sharing an SN at the span edges.
+	if len(pieces) > 0 {
+		first := &pieces[0]
+		if p, ok := t.floorStart(first.Start - 1); ok && p.End == first.Start && p.SN == first.SN {
+			t.deleteStart(p.Start)
+			first.Start = p.Start
+		}
+		last := &pieces[len(pieces)-1]
+		if s, ok := t.ceilStart(last.End); ok && s.Start == last.End && s.SN == last.SN {
+			t.deleteStart(s.Start)
+			last.End = s.End
+		}
+	}
+	for _, p := range pieces {
+		t.insertRaw(p)
+	}
+	return won
+}
+
+// ceilStart returns the entry with the smallest Start >= start.
+func (t *Tree) ceilStart(start int64) (SNExtent, bool) {
+	var best SNExtent
+	found := false
+	n := t.root
+	for n != nil {
+		if n.ent.Start >= start {
+			best, found = n.ent, true
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return best, found
+}
+
+// MaxSNOverlapping returns the largest SN among entries overlapping e,
+// or (0, false) when nothing overlaps.
+func (t *Tree) MaxSNOverlapping(e Extent) (SN, bool) {
+	var m SN
+	found := false
+	for _, ent := range t.overlapping(e) {
+		found = true
+		if ent.SN > m {
+			m = ent.SN
+		}
+	}
+	return m, found
+}
+
+// Overlapping returns the entries overlapping e, clipped to e, in order.
+func (t *Tree) Overlapping(e Extent) []SNExtent {
+	ents := t.overlapping(e)
+	out := ents[:0]
+	for _, ent := range ents {
+		if iv, ok := ent.Intersect(e); ok {
+			out = append(out, SNExtent{Extent: iv, SN: ent.SN})
+		}
+	}
+	return out
+}
+
+// PickBatch returns up to n entries whose Start >= from, together with
+// the start cursor to resume from next time (one past the last returned
+// entry). It is the scan primitive behind the cleanup task, which
+// processes at most 1,024 entries per round.
+func (t *Tree) PickBatch(from int64, n int) (batch []SNExtent, next int64) {
+	next = from
+	t.visitFrom(from, func(ent SNExtent) bool {
+		if len(batch) >= n {
+			return false
+		}
+		batch = append(batch, ent)
+		next = ent.Start + 1
+		return true
+	})
+	return batch, next
+}
+
+// RemoveLE deletes the given entries from the tree when their SN is no
+// larger than msn and they are still present verbatim. It returns the
+// number of entries removed. This is the cleanup rule of §IV-B: entries
+// whose SN <= mSN (the minimum SN of unreleased write locks overlapping
+// them) can never be superseded by in-flight data and are dropped.
+func (t *Tree) RemoveLE(ents []SNExtent, msn SN) int {
+	removed := 0
+	for _, ent := range ents {
+		if ent.SN > msn {
+			continue
+		}
+		if cur, ok := t.floorStart(ent.Start); ok && cur == ent {
+			t.deleteStart(ent.Start)
+			removed++
+		}
+	}
+	return removed
+}
+
+// check verifies structural invariants (used by tests).
+func (t *Tree) check() error {
+	var prev *SNExtent
+	var err error
+	count := 0
+	t.Visit(func(ent SNExtent) bool {
+		count++
+		if ent.Empty() {
+			err = errEmptyEntry
+			return false
+		}
+		if prev != nil && prev.End > ent.Start {
+			err = errOverlapEntry
+			return false
+		}
+		prev = &SNExtent{Extent: ent.Extent, SN: ent.SN}
+		return true
+	})
+	if err == nil && count != t.size {
+		err = errSizeMismatch
+	}
+	return err
+}
+
+type treeError string
+
+func (e treeError) Error() string { return string(e) }
+
+const (
+	errEmptyEntry   = treeError("extent: empty entry in tree")
+	errOverlapEntry = treeError("extent: overlapping entries in tree")
+	errSizeMismatch = treeError("extent: size counter mismatch")
+)

@@ -1,0 +1,114 @@
+package meta
+
+// This file defines the stripe layout conventions shared by clients and
+// data servers: how file bytes map onto stripes, how a stripe maps onto
+// a lock resource, and how resources are placed on servers by hashing
+// their IDs (§IV of the paper).
+
+// ResourceID packs (FID, stripe index) into the identifier shared by a
+// stripe and its lock resource. Stripe indexes are bounded well below
+// 2^16 in practice (the paper evaluates up to 16).
+func ResourceID(fid uint64, stripe uint32) uint64 {
+	return fid<<16 | uint64(stripe&0xFFFF)
+}
+
+// SplitResource is the inverse of ResourceID.
+func SplitResource(rid uint64) (fid uint64, stripe uint32) {
+	return rid >> 16, uint32(rid & 0xFFFF)
+}
+
+// PlaceStripe maps a resource to one of n data servers by hashing the
+// ID, as ccPFS distributes stripes (and their lock resources) among
+// servers.
+func PlaceStripe(rid uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// Fibonacci hashing spreads consecutive stripe indexes of one file
+	// across servers.
+	h := rid * 0x9E3779B97F4A7C15
+	return int(h % uint64(n))
+}
+
+// Segment is a contiguous piece of a file-level byte range mapped onto
+// one stripe.
+type Segment struct {
+	Stripe uint32
+	// Off is the stripe-local offset; locks and storage are addressed in
+	// stripe-local bytes.
+	Off int64
+	// FileOff is the original file-level offset of this piece.
+	FileOff int64
+	// Len is the piece length in bytes.
+	Len int64
+}
+
+// SplitRange maps the file-level range [off, off+n) onto stripe-local
+// segments under the round-robin striping layout: file byte b lives in
+// stripe (b/stripeSize) mod stripeCount at stripe-local offset
+// (b/(stripeSize*stripeCount))*stripeSize + b mod stripeSize.
+// Segments are returned in ascending file offset order.
+func SplitRange(off, n, stripeSize int64, stripeCount uint32) []Segment {
+	if n <= 0 {
+		return nil
+	}
+	if stripeCount <= 1 {
+		return []Segment{{Stripe: 0, Off: off, FileOff: off, Len: n}}
+	}
+	var segs []Segment
+	sc := int64(stripeCount)
+	for n > 0 {
+		chunk := off / stripeSize // global chunk index
+		stripe := uint32(chunk % sc)
+		local := (chunk/sc)*stripeSize + off%stripeSize
+		l := stripeSize - off%stripeSize
+		if l > n {
+			l = n
+		}
+		segs = append(segs, Segment{Stripe: stripe, Off: local, FileOff: off, Len: l})
+		off += l
+		n -= l
+	}
+	return segs
+}
+
+// StripesOf returns the distinct stripes touched by the segments, in
+// ascending stripe order — the lock acquisition order that avoids
+// deadlocks for multi-stripe writes.
+func StripesOf(segs []Segment) []uint32 {
+	seen := make(map[uint32]bool, 2)
+	var out []uint32
+	for _, s := range segs {
+		if !seen[s.Stripe] {
+			seen[s.Stripe] = true
+			out = append(out, s.Stripe)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// StripeRange returns the smallest stripe-local range covering every
+// segment of the given stripe.
+func StripeRange(segs []Segment, stripe uint32) (start, end int64, ok bool) {
+	for _, s := range segs {
+		if s.Stripe != stripe {
+			continue
+		}
+		if !ok {
+			start, end, ok = s.Off, s.Off+s.Len, true
+			continue
+		}
+		if s.Off < start {
+			start = s.Off
+		}
+		if s.Off+s.Len > end {
+			end = s.Off + s.Len
+		}
+	}
+	return start, end, ok
+}

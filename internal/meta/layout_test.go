@@ -1,0 +1,160 @@
+package meta
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceIDRoundTrip(t *testing.T) {
+	fid, stripe := SplitResource(ResourceID(42, 7))
+	if fid != 42 || stripe != 7 {
+		t.Fatalf("round trip = %d, %d", fid, stripe)
+	}
+}
+
+func TestQuickResourceIDRoundTrip(t *testing.T) {
+	f := func(fid uint32, stripe uint16) bool {
+		g, s := SplitResource(ResourceID(uint64(fid), uint32(stripe)))
+		return g == uint64(fid) && s == uint32(stripe)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceStripeBounds(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		for rid := uint64(0); rid < 1000; rid++ {
+			p := PlaceStripe(rid, n)
+			if p < 0 || p >= n {
+				t.Fatalf("PlaceStripe(%d, %d) = %d out of range", rid, n, p)
+			}
+		}
+	}
+	if PlaceStripe(123, 0) != 0 {
+		t.Fatal("degenerate server count must map to 0")
+	}
+}
+
+func TestPlaceStripeSpreads(t *testing.T) {
+	// Consecutive stripes of one file should not all land on one server.
+	counts := map[int]int{}
+	for stripe := uint32(0); stripe < 16; stripe++ {
+		counts[PlaceStripe(ResourceID(1, stripe), 4)]++
+	}
+	if len(counts) < 3 {
+		t.Fatalf("16 stripes landed on only %d of 4 servers: %v", len(counts), counts)
+	}
+}
+
+func TestSplitRangeSingleStripe(t *testing.T) {
+	segs := SplitRange(100, 50, 1<<20, 1)
+	if len(segs) != 1 || segs[0] != (Segment{Stripe: 0, Off: 100, FileOff: 100, Len: 50}) {
+		t.Fatalf("segs = %+v", segs)
+	}
+	if SplitRange(0, 0, 1<<20, 1) != nil {
+		t.Fatal("empty range produced segments")
+	}
+}
+
+func TestSplitRangeRoundRobin(t *testing.T) {
+	// stripeSize 100, 4 stripes: file bytes 0-99 → stripe 0 local 0-99,
+	// 100-199 → stripe 1 local 0-99, ..., 400-499 → stripe 0 local
+	// 100-199.
+	segs := SplitRange(50, 500, 100, 4)
+	want := []Segment{
+		{Stripe: 0, Off: 50, FileOff: 50, Len: 50},
+		{Stripe: 1, Off: 0, FileOff: 100, Len: 100},
+		{Stripe: 2, Off: 0, FileOff: 200, Len: 100},
+		{Stripe: 3, Off: 0, FileOff: 300, Len: 100},
+		{Stripe: 0, Off: 100, FileOff: 400, Len: 100},
+		{Stripe: 1, Off: 100, FileOff: 500, Len: 50},
+	}
+	if len(segs) != len(want) {
+		t.Fatalf("segs = %+v", segs)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("seg %d = %+v, want %+v", i, segs[i], want[i])
+		}
+	}
+}
+
+// TestQuickSplitRangeInvariants checks, for arbitrary layouts and
+// ranges: segments cover the file range exactly and in order, segment
+// lengths sum to n, no segment crosses a stripe boundary, and the
+// (stripe, local offset) mapping is injective.
+func TestQuickSplitRangeInvariants(t *testing.T) {
+	f := func(off32 uint32, n16, ss16 uint16, sc8 uint8) bool {
+		off := int64(off32 % 100000)
+		n := int64(n16%5000) + 1
+		stripeSize := int64(ss16%512) + 1
+		stripeCount := uint32(sc8%8) + 1
+		segs := SplitRange(off, n, stripeSize, stripeCount)
+
+		fileOff := off
+		type key struct {
+			stripe uint32
+			local  int64
+		}
+		seen := map[key]bool{}
+		for _, s := range segs {
+			if s.FileOff != fileOff || s.Len <= 0 {
+				return false
+			}
+			if s.Stripe >= stripeCount {
+				return false
+			}
+			if stripeCount > 1 {
+				// A segment must not cross a stripe-size boundary in
+				// local offsets.
+				if s.Off/stripeSize != (s.Off+s.Len-1)/stripeSize {
+					return false
+				}
+				// Verify the byte-level mapping at segment start.
+				chunk := s.FileOff / stripeSize
+				if uint32(chunk%int64(stripeCount)) != s.Stripe {
+					return false
+				}
+				wantLocal := (chunk/int64(stripeCount))*stripeSize + s.FileOff%stripeSize
+				if wantLocal != s.Off {
+					return false
+				}
+			}
+			k := key{s.Stripe, s.Off}
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+			fileOff += s.Len
+		}
+		return fileOff == off+n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStripesOfSortedUnique(t *testing.T) {
+	segs := SplitRange(0, 1000, 100, 4)
+	stripes := StripesOf(segs)
+	for i := 1; i < len(stripes); i++ {
+		if stripes[i] <= stripes[i-1] {
+			t.Fatalf("stripes not sorted/unique: %v", stripes)
+		}
+	}
+	if len(stripes) != 4 {
+		t.Fatalf("stripes = %v, want all 4", stripes)
+	}
+}
+
+func TestStripeRange(t *testing.T) {
+	segs := SplitRange(50, 500, 100, 4)
+	lo, hi, ok := StripeRange(segs, 0)
+	if !ok || lo != 50 || hi != 200 {
+		t.Fatalf("stripe 0 range = [%d, %d), %v", lo, hi, ok)
+	}
+	if _, _, ok := StripeRange(segs, 9); ok {
+		t.Fatal("untouched stripe reported a range")
+	}
+}

@@ -1,0 +1,140 @@
+package meta
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestCreateOpenStat(t *testing.T) {
+	s := NewService()
+	f, err := s.Create("/a", 1<<20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.FID == 0 || f.StripeCount != 4 || f.StripeSize != 1<<20 || f.Size != 0 {
+		t.Fatalf("created = %+v", f)
+	}
+	g, err := s.Open("/a")
+	if err != nil || g != f {
+		t.Fatalf("Open = %+v, %v", g, err)
+	}
+	h, err := s.Stat(f.FID)
+	if err != nil || h != f {
+		t.Fatalf("Stat = %+v, %v", h, err)
+	}
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	s := NewService()
+	s.Create("/a", 4096, 1)
+	if _, err := s.Create("/a", 4096, 1); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v, want ErrExists", err)
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	s := NewService()
+	if _, err := s.Create("", 4096, 1); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if _, err := s.Create("/b", 0, 1); err == nil {
+		t.Fatal("zero stripe size accepted")
+	}
+	if _, err := s.Create("/b", 4096, 0); err == nil {
+		t.Fatal("zero stripe count accepted")
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	s := NewService()
+	if _, err := s.Open("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if _, err := s.Stat(99); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestSetSizeWatermark(t *testing.T) {
+	s := NewService()
+	f, _ := s.Create("/a", 4096, 1)
+	if sz, _ := s.SetSize(f.FID, 100, false); sz != 100 {
+		t.Fatalf("size = %d", sz)
+	}
+	// Smaller watermark updates lose.
+	if sz, _ := s.SetSize(f.FID, 50, false); sz != 100 {
+		t.Fatalf("size = %d, want 100 (watermark)", sz)
+	}
+	// Truncate sets exactly.
+	if sz, _ := s.SetSize(f.FID, 50, true); sz != 50 {
+		t.Fatalf("size = %d, want 50 after truncate", sz)
+	}
+	if _, err := s.SetSize(f.FID, -1, false); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	if _, err := s.SetSize(12345, 1, false); !errors.Is(err, ErrNotFound) {
+		t.Fatal("unknown FID accepted")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s := NewService()
+	f, _ := s.Create("/a", 4096, 1)
+	if err := s.Remove("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Open("/a"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("file survived Remove")
+	}
+	if _, err := s.Stat(f.FID); !errors.Is(err, ErrNotFound) {
+		t.Fatal("FID survived Remove")
+	}
+	if err := s.Remove("/a"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestList(t *testing.T) {
+	s := NewService()
+	s.Create("/a", 4096, 1)
+	s.Create("/b", 4096, 1)
+	if got := s.List(); len(got) != 2 {
+		t.Fatalf("List = %v", got)
+	}
+}
+
+func TestConcurrentSizeUpdates(t *testing.T) {
+	s := NewService()
+	f, _ := s.Create("/a", 4096, 1)
+	var wg sync.WaitGroup
+	for g := 1; g <= 16; g++ {
+		wg.Add(1)
+		go func(g int64) {
+			defer wg.Done()
+			for i := int64(1); i <= 100; i++ {
+				s.SetSize(f.FID, g*i, false)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	got, _ := s.Stat(f.FID)
+	if got.Size != 1600 {
+		t.Fatalf("size = %d, want 1600 (max watermark)", got.Size)
+	}
+}
+
+func TestFIDsAreUnique(t *testing.T) {
+	s := NewService()
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		f, err := s.Create(string(rune('a'+i%26))+string(rune('0'+i/26)), 4096, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[f.FID] {
+			t.Fatalf("duplicate FID %d", f.FID)
+		}
+		seen[f.FID] = true
+	}
+}

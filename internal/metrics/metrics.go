@@ -1,0 +1,98 @@
+// Package metrics provides the small formatting and tabulation helpers
+// the benchmark harness uses to print paper-style tables and series.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Bandwidth formats bytes/second with a binary-ish scale matching how
+// the paper reports (MB/s, GB/s).
+func Bandwidth(bps float64) string {
+	switch {
+	case bps >= 1e9:
+		return fmt.Sprintf("%.2f GB/s", bps/1e9)
+	case bps >= 1e6:
+		return fmt.Sprintf("%.2f MB/s", bps/1e6)
+	case bps >= 1e3:
+		return fmt.Sprintf("%.2f KB/s", bps/1e3)
+	}
+	return fmt.Sprintf("%.2f B/s", bps)
+}
+
+// Size formats a byte count (1,024-based, as write sizes are quoted in
+// the paper: 64KB, 1,024KB, ...).
+func Size(n int64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dGB", n>>30)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+// Seconds formats a duration in seconds with two decimals.
+func Seconds(d time.Duration) string { return fmt.Sprintf("%.2fs", d.Seconds()) }
+
+// Ratio formats a speedup factor.
+func Ratio(x float64) string { return fmt.Sprintf("%.1fx", x) }
+
+// Table accumulates rows and renders them with aligned columns, the
+// output format of the seqbench tool and the benchmark logs.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with a header row.
+func NewTable(cols ...string) *Table { return &Table{header: cols} }
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		row[i] = fmt.Sprintf("%v", v)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

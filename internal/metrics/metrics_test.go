@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBandwidth(t *testing.T) {
+	cases := map[float64]string{
+		2.5e9: "2.50 GB/s",
+		33e6:  "33.00 MB/s",
+		1.5e3: "1.50 KB/s",
+		12:    "12.00 B/s",
+	}
+	for in, want := range cases {
+		if got := Bandwidth(in); got != want {
+			t.Errorf("Bandwidth(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSize(t *testing.T) {
+	cases := map[int64]string{
+		64 << 10: "64KB",
+		1 << 20:  "1024KB",
+		1 << 30:  "1GB",
+		47008:    "47008B",
+	}
+	for in, want := range cases {
+		if got := Size(in); got != want {
+			t.Errorf("Size(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSecondsAndRatio(t *testing.T) {
+	if got := Seconds(1500 * time.Millisecond); got != "1.50s" {
+		t.Fatalf("Seconds = %q", got)
+	}
+	if got := Ratio(18.06); got != "18.1x" {
+		t.Fatalf("Ratio = %q", got)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("DLM", "Bandwidth", "Time")
+	tb.Row("SeqDLM", "33.2 GB/s", 18.1)
+	tb.Row("DLM-basic", "33.8 GB/s", 19.1)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: "Bandwidth" starts at the same offset everywhere.
+	idx := strings.Index(lines[0], "Bandwidth")
+	if !strings.HasPrefix(lines[2][idx:], "33.2") || !strings.HasPrefix(lines[3][idx:], "33.8") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	tb := NewTable("A")
+	if out := tb.String(); !strings.Contains(out, "A") {
+		t.Fatalf("header missing: %q", out)
+	}
+}

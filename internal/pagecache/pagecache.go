@@ -1,0 +1,455 @@
+// Package pagecache implements the ccPFS client cache of §IV-A: data is
+// divided into pages (4 KB by default) drawn from a fixed memory pool
+// (modelling the pre-registered RDMA page pool of the prototype), and
+// each page keeps an extent list recording which byte ranges hold valid
+// data and under which lock sequence number they were written. Written
+// data with a larger SN overwrites smaller ones on insert, which is what
+// keeps the cache coherent when early grant lets conflicting writes from
+// the same client overlap in flight.
+package pagecache
+
+import (
+	"fmt"
+	"sync"
+
+	"ccpfs/internal/extent"
+	"ccpfs/internal/sim"
+)
+
+// DefaultPageSize matches the paper's 4 KB management unit.
+const DefaultPageSize = 4096
+
+// Block is an SN-tagged data block collected for flushing or filled by a
+// read.
+type Block struct {
+	Range extent.Extent
+	SN    extent.SN
+	Data  []byte
+}
+
+// Config sizes a cache.
+type Config struct {
+	// PageSize is the page granularity (DefaultPageSize when 0).
+	PageSize int64
+	// PoolBytes bounds total cached bytes (dirty + clean). Clean pages
+	// are reclaimed to the pool when the bound is exceeded; writers
+	// block when dirty data alone exceeds it. Zero means unbounded.
+	PoolBytes int64
+	// MinDirty is the dirty-bytes threshold at which the voluntary flush
+	// daemon should start flushing (256 MB in the paper).
+	MinDirty int64
+	// MaxDirty is the dirty-bytes threshold at which writers block until
+	// flushing frees space (4 GB in the paper). Zero means unbounded.
+	MaxDirty int64
+	// CacheBandwidth, when set, charges simulated memory-copy time
+	// (bytes/second) for every write into the cache — the cache-speed
+	// bound the paper's N-N results converge to. Zero disables it.
+	CacheBandwidth float64
+}
+
+type page struct {
+	buf   []byte
+	valid extent.List // page-relative ranges holding cached data
+	dirty extent.List // subset not yet flushed
+
+	// cachedBytes/dirtyBytes mirror the lists' total lengths so global
+	// accounting updates are O(touched pages), not O(all pages).
+	cachedBytes int64
+	dirtyBytes  int64
+}
+
+type stripePages struct {
+	pages map[int64]*page // keyed by page index
+}
+
+// Cache is one client's page cache across all stripes it touches.
+// Ranges are stripe-local byte offsets keyed by lock resource.
+type Cache struct {
+	cfg Config
+	mem sim.Device // serializes simulated cache-copy time
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	stripes map[uint64]*stripePages
+	dirty   int64
+	cached  int64
+}
+
+// New returns a cache with cfg.
+func New(cfg Config) *Cache {
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = DefaultPageSize
+	}
+	c := &Cache{cfg: cfg, stripes: make(map[uint64]*stripePages)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// PageSize returns the configured page size.
+func (c *Cache) PageSize() int64 { return c.cfg.PageSize }
+
+// DirtyBytes returns the current dirty byte count.
+func (c *Cache) DirtyBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dirty
+}
+
+// CachedBytes returns the total valid bytes cached (dirty + clean).
+func (c *Cache) CachedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cached
+}
+
+// NeedsFlush reports whether dirty data has crossed the voluntary-flush
+// threshold.
+func (c *Cache) NeedsFlush() bool {
+	if c.cfg.MinDirty <= 0 {
+		return false
+	}
+	return c.DirtyBytes() >= c.cfg.MinDirty
+}
+
+func (c *Cache) stripe(id uint64) *stripePages {
+	sp := c.stripes[id]
+	if sp == nil {
+		sp = &stripePages{pages: make(map[int64]*page)}
+		c.stripes[id] = sp
+	}
+	return sp
+}
+
+// Write copies data into the cache at off within stripe, tagged with sn.
+// It blocks while dirty bytes exceed MaxDirty (the forced-flush
+// backpressure of §IV-C1); the flush daemon is responsible for draining.
+func (c *Cache) Write(stripe uint64, off int64, data []byte, sn extent.SN) {
+	if len(data) == 0 {
+		return
+	}
+	c.mem.UseBytes(int64(len(data)), c.cfg.CacheBandwidth, 0)
+	c.mu.Lock()
+	for c.cfg.MaxDirty > 0 && c.dirty+int64(len(data)) > c.cfg.MaxDirty {
+		c.cond.Wait()
+	}
+	c.writeLocked(stripe, off, data, sn, true)
+	c.mu.Unlock()
+}
+
+// Fill inserts clean data read from a data server, tagged with the SN
+// the server reported for it. Filled bytes lose ties: cached data with
+// an equal or newer SN (in particular, unflushed dirty data) is at least
+// as new as the server's copy and must never be replaced by it.
+func (c *Cache) Fill(stripe uint64, off int64, data []byte, sn extent.SN) {
+	if len(data) == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.writeLocked(stripe, off, data, sn, false)
+	c.reclaimLocked()
+	c.mu.Unlock()
+}
+
+func (c *Cache) writeLocked(stripe uint64, off int64, data []byte, sn extent.SN, markDirty bool) {
+	sp := c.stripe(stripe)
+	ps := c.cfg.PageSize
+	for len(data) > 0 {
+		pi := off / ps
+		po := off % ps
+		n := int64(len(data))
+		if n > ps-po {
+			n = ps - po
+		}
+		pg := sp.pages[pi]
+		if pg == nil {
+			pg = &page{buf: make([]byte, ps)}
+			sp.pages[pi] = pg
+		}
+		rng := extent.Extent{Start: po, End: po + n}
+		// The SN-overwrite rule: only the sub-ranges where sn wins
+		// actually replace cached bytes. Local writes win ties (the
+		// holder's operations are locally ordered); clean fills lose
+		// them (the cached copy is at least as new as the server's).
+		var won []extent.SNExtent
+		if markDirty {
+			won = pg.valid.Insert(rng, sn)
+		} else {
+			won = pg.valid.InsertNewer(rng, sn)
+		}
+		for _, w := range won {
+			copy(pg.buf[w.Start:w.End], data[w.Start-po:w.End-po])
+		}
+		if markDirty {
+			for _, w := range won {
+				pg.dirty.Insert(w.Extent, w.SN)
+			}
+		}
+		c.refreshPageLocked(pg)
+		data = data[n:]
+		off += n
+	}
+	c.cond.Broadcast()
+}
+
+// refreshPageLocked recomputes one page's byte counts from its extent
+// lists (a handful of entries) and applies the delta to the cache
+// totals. Every mutation of a page's lists must be followed by a call.
+func (c *Cache) refreshPageLocked(pg *page) {
+	var dirty, cached int64
+	for _, e := range pg.dirty.Entries() {
+		dirty += e.Len()
+	}
+	for _, e := range pg.valid.Entries() {
+		cached += e.Len()
+	}
+	c.dirty += dirty - pg.dirtyBytes
+	c.cached += cached - pg.cachedBytes
+	pg.dirtyBytes, pg.cachedBytes = dirty, cached
+}
+
+// Read copies cached data overlapping [off, off+len(buf)) into buf and
+// returns the stripe-local ranges that were satisfied from cache.
+func (c *Cache) Read(stripe uint64, off int64, buf []byte) []extent.Extent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sp := c.stripes[stripe]
+	if sp == nil {
+		return nil
+	}
+	ps := c.cfg.PageSize
+	var got []extent.Extent
+	want := extent.Span(off, int64(len(buf)))
+	for pi := want.Start / ps; pi*ps < want.End; pi++ {
+		pg := sp.pages[pi]
+		if pg == nil {
+			continue
+		}
+		pageRng := extent.Extent{Start: pi * ps, End: (pi + 1) * ps}
+		iv, ok := pageRng.Intersect(want)
+		if !ok {
+			continue
+		}
+		local := extent.Extent{Start: iv.Start - pi*ps, End: iv.End - pi*ps}
+		for _, e := range pg.valid.Overlapping(local) {
+			abs := extent.Extent{Start: e.Start + pi*ps, End: e.End + pi*ps}
+			copy(buf[abs.Start-off:abs.End-off], pg.buf[e.Start:e.End])
+			got = append(got, abs)
+		}
+	}
+	return got
+}
+
+// Covered reports whether [off, off+n) is fully cached.
+func (c *Cache) Covered(stripe uint64, off, n int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sp := c.stripes[stripe]
+	if sp == nil {
+		return false
+	}
+	ps := c.cfg.PageSize
+	want := extent.Span(off, n)
+	for pi := want.Start / ps; pi*ps < want.End; pi++ {
+		pg := sp.pages[pi]
+		if pg == nil {
+			return false
+		}
+		pageRng := extent.Extent{Start: pi * ps, End: (pi + 1) * ps}
+		iv, _ := pageRng.Intersect(want)
+		local := extent.Extent{Start: iv.Start - pi*ps, End: iv.End - pi*ps}
+		if !pg.valid.Covered(local) {
+			return false
+		}
+	}
+	return true
+}
+
+// CollectDirty removes and returns the dirty blocks of stripe within rng
+// whose SN is at most maxSN, merged into per-SN contiguous blocks ready
+// for a flush RPC. The data is copied; a concurrent write re-dirties its
+// range and will be flushed again later.
+func (c *Cache) CollectDirty(stripe uint64, rng extent.Extent, maxSN extent.SN) []Block {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sp := c.stripes[stripe]
+	if sp == nil {
+		return nil
+	}
+	ps := c.cfg.PageSize
+	var blocks []Block
+	for pi, pg := range sp.pages {
+		pageAbs := extent.Extent{Start: pi * ps, End: (pi + 1) * ps}
+		iv, ok := pageAbs.Intersect(rng)
+		if !ok {
+			continue
+		}
+		local := extent.Extent{Start: iv.Start - pi*ps, End: iv.End - pi*ps}
+		for _, e := range pg.dirty.Overlapping(local) {
+			if e.SN > maxSN {
+				continue
+			}
+			data := make([]byte, e.Len())
+			copy(data, pg.buf[e.Start:e.End])
+			blocks = append(blocks, Block{
+				Range: extent.Extent{Start: e.Start + pi*ps, End: e.End + pi*ps},
+				SN:    e.SN,
+				Data:  data,
+			})
+			pg.dirty.Remove(e.Extent)
+		}
+		c.refreshPageLocked(pg)
+	}
+	c.cond.Broadcast()
+	mergeBlocks(&blocks)
+	return blocks
+}
+
+// Redirty reinstates blocks whose flush failed.
+func (c *Cache) Redirty(stripe uint64, blocks []Block) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sp := c.stripe(stripe)
+	ps := c.cfg.PageSize
+	for _, b := range blocks {
+		off := b.Range.Start
+		data := b.Data
+		for len(data) > 0 {
+			pi := off / ps
+			po := off % ps
+			n := int64(len(data))
+			if n > ps-po {
+				n = ps - po
+			}
+			if pg := sp.pages[pi]; pg != nil {
+				pg.dirty.Insert(extent.Extent{Start: po, End: po + n}, b.SN)
+				c.refreshPageLocked(pg)
+			}
+			data = data[n:]
+			off += n
+		}
+	}
+	c.cond.Broadcast()
+}
+
+// Invalidate drops cached data (clean and dirty) of stripe within rng.
+// It is called when a lock is released: without the lock, cached copies
+// may go stale the moment another client writes.
+func (c *Cache) Invalidate(stripe uint64, rng extent.Extent) {
+	c.invalidate(stripe, rng, ^extent.SN(0))
+}
+
+// InvalidateUpTo drops cached data of stripe within rng whose SN is at
+// most sn. Cancel paths use it so that data written under a NEWER lock
+// of the same client — whose (expanded) range can overlap the canceling
+// lock's — keeps its cache protection.
+func (c *Cache) InvalidateUpTo(stripe uint64, rng extent.Extent, sn extent.SN) {
+	c.invalidate(stripe, rng, sn)
+}
+
+func (c *Cache) invalidate(stripe uint64, rng extent.Extent, sn extent.SN) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sp := c.stripes[stripe]
+	if sp == nil {
+		return
+	}
+	ps := c.cfg.PageSize
+	for pi, pg := range sp.pages {
+		pageAbs := extent.Extent{Start: pi * ps, End: (pi + 1) * ps}
+		iv, ok := pageAbs.Intersect(rng)
+		if !ok {
+			continue
+		}
+		local := extent.Extent{Start: iv.Start - pi*ps, End: iv.End - pi*ps}
+		pg.valid.RemoveLE(local, sn)
+		pg.dirty.RemoveLE(local, sn)
+		c.refreshPageLocked(pg)
+		if pg.valid.Len() == 0 {
+			delete(sp.pages, pi)
+		}
+	}
+	c.cond.Broadcast()
+}
+
+// DirtyStripes returns the stripes currently holding dirty data.
+func (c *Cache) DirtyStripes() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []uint64
+	for id, sp := range c.stripes {
+		for _, pg := range sp.pages {
+			if pg.dirty.Len() > 0 {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// reclaimLocked evicts clean pages when the pool bound is exceeded,
+// modelling the prototype's reclamation of cached pages back to the
+// registered memory pool.
+func (c *Cache) reclaimLocked() {
+	if c.cfg.PoolBytes <= 0 {
+		return
+	}
+	var total int64
+	for _, sp := range c.stripes {
+		total += int64(len(sp.pages)) * c.cfg.PageSize
+	}
+	if total <= c.cfg.PoolBytes {
+		return
+	}
+	for _, sp := range c.stripes {
+		for pi, pg := range sp.pages {
+			if pg.dirty.Len() > 0 {
+				continue
+			}
+			pg.valid.Reset()
+			pg.dirty.Reset()
+			c.refreshPageLocked(pg)
+			delete(sp.pages, pi)
+			total -= c.cfg.PageSize
+			if total <= c.cfg.PoolBytes {
+				return
+			}
+		}
+	}
+}
+
+// String summarizes the cache for debugging.
+func (c *Cache) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pages := 0
+	for _, sp := range c.stripes {
+		pages += len(sp.pages)
+	}
+	return fmt.Sprintf("pagecache{pages=%d dirty=%dB cached=%dB}", pages, c.dirty, c.cached)
+}
+
+// mergeBlocks coalesces adjacent same-SN blocks to shrink flush RPCs.
+func mergeBlocks(blocks *[]Block) {
+	bs := *blocks
+	if len(bs) < 2 {
+		return
+	}
+	// Insertion sort by start: block counts per flush are small.
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && bs[j].Range.Start < bs[j-1].Range.Start; j-- {
+			bs[j], bs[j-1] = bs[j-1], bs[j]
+		}
+	}
+	out := bs[:1]
+	for _, b := range bs[1:] {
+		last := &out[len(out)-1]
+		if last.SN == b.SN && last.Range.End == b.Range.Start {
+			last.Range.End = b.Range.End
+			last.Data = append(last.Data, b.Data...)
+			continue
+		}
+		out = append(out, b)
+	}
+	*blocks = out
+}

@@ -1,0 +1,315 @@
+// Package rpc provides a bidirectional request/response protocol on top
+// of a transport.Conn. Both ends of a connection can originate calls:
+// ccPFS clients call lock and IO methods on servers, and lock servers
+// call revocation callbacks back into clients over the same connection —
+// mirroring how the paper's prototype uses CaRT's client/server RPC in
+// both directions.
+//
+// Inbound requests are dispatched each in its own goroutine, so a lock
+// request that blocks inside the server (waiting for conflict resolution)
+// never stalls an unrelated message on the same connection.
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ccpfs/internal/sim"
+	"ccpfs/internal/transport"
+	"ccpfs/internal/wire"
+)
+
+// RemoteError is an error returned by the remote handler, carried back
+// to the caller as a string.
+type RemoteError string
+
+func (e RemoteError) Error() string { return string(e) }
+
+// Handler serves one method. It receives the request payload and returns
+// the reply message. Returning an error sends a RemoteError instead.
+type Handler func(payload []byte) (wire.Msg, error)
+
+const (
+	kindRequest  = 0
+	kindResponse = 1
+
+	statusOK  = 0
+	statusErr = 1
+
+	headerLen = 1 + 8 + 1 + 1 // kind, id, method, status
+)
+
+// Endpoint is one end of an RPC connection.
+type Endpoint struct {
+	conn     transport.Conn
+	limiter  *sim.RateLimiter
+	handlers map[wire.Method]Handler
+
+	nextID  atomic.Uint64
+	mu      sync.Mutex
+	pending map[uint64]chan response
+	closed  bool
+	onClose func(*Endpoint)
+
+	// Tag carries endpoint-scoped state for handlers, e.g. the client
+	// session a server associates with this connection.
+	Tag atomic.Value
+}
+
+type response struct {
+	payload []byte
+	err     error
+}
+
+// Options configure an endpoint.
+type Options struct {
+	// Limiter, when non-nil, caps the rate at which inbound requests are
+	// admitted — the lock server's OPS bound from Table I.
+	Limiter *sim.RateLimiter
+	// OnClose runs once when the endpoint's read loop exits.
+	OnClose func(*Endpoint)
+}
+
+// NewEndpoint wraps conn. Register handlers with Handle, then call Start
+// to begin serving. Handle must not be called after Start.
+func NewEndpoint(conn transport.Conn, opts Options) *Endpoint {
+	return &Endpoint{
+		conn:     conn,
+		limiter:  opts.Limiter,
+		handlers: make(map[wire.Method]Handler),
+		pending:  make(map[uint64]chan response),
+		onClose:  opts.OnClose,
+	}
+}
+
+// Handle registers a handler for method.
+func (ep *Endpoint) Handle(method wire.Method, h Handler) {
+	ep.handlers[method] = h
+}
+
+// Start launches the read loop.
+func (ep *Endpoint) Start() {
+	go ep.readLoop()
+}
+
+// Close tears down the connection; in-flight calls fail with ErrClosed.
+func (ep *Endpoint) Close() error { return ep.conn.Close() }
+
+// Call sends a request and blocks until the reply arrives, decoding it
+// into reply (which may be nil to discard the payload).
+func (ep *Endpoint) Call(method wire.Method, req wire.Msg, reply wire.Msg) error {
+	id := ep.nextID.Add(1)
+	ch := make(chan response, 1)
+
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return transport.ErrClosed
+	}
+	ep.pending[id] = ch
+	ep.mu.Unlock()
+
+	if err := ep.send(kindRequest, id, method, statusOK, req); err != nil {
+		ep.mu.Lock()
+		delete(ep.pending, id)
+		ep.mu.Unlock()
+		return err
+	}
+	resp := <-ch
+	if resp.err != nil {
+		return resp.err
+	}
+	if reply == nil {
+		return nil
+	}
+	if err := wire.Unmarshal(resp.payload, reply); err != nil {
+		return fmt.Errorf("rpc: decoding %T reply: %w", reply, err)
+	}
+	return nil
+}
+
+func (ep *Endpoint) send(kind byte, id uint64, method wire.Method, status byte, m wire.Msg) error {
+	enc := wire.NewEncoder(headerLen + 64)
+	enc.U8(kind)
+	enc.U64(id)
+	enc.U8(uint8(method))
+	enc.U8(status)
+	if m != nil {
+		m.Encode(enc)
+	}
+	return ep.conn.Send(enc.Bytes())
+}
+
+func (ep *Endpoint) sendErr(id uint64, method wire.Method, err error) error {
+	enc := wire.NewEncoder(headerLen + len(err.Error()))
+	enc.U8(kindResponse)
+	enc.U64(id)
+	enc.U8(uint8(method))
+	enc.U8(statusErr)
+	enc.String(err.Error())
+	return ep.conn.Send(enc.Bytes())
+}
+
+func (ep *Endpoint) readLoop() {
+	var err error
+	for {
+		var frame []byte
+		frame, err = ep.conn.Recv()
+		if err != nil {
+			break
+		}
+		if len(frame) < headerLen {
+			err = fmt.Errorf("rpc: short frame (%d bytes)", len(frame))
+			break
+		}
+		kind := frame[0]
+		id := binary.LittleEndian.Uint64(frame[1:9])
+		method := wire.Method(frame[9])
+		status := frame[10]
+		payload := frame[headerLen:]
+
+		switch kind {
+		case kindRequest:
+			ep.dispatch(id, method, payload)
+		case kindResponse:
+			ep.complete(id, status, payload)
+		default:
+			err = fmt.Errorf("rpc: unknown frame kind %d", kind)
+		}
+		if err != nil {
+			break
+		}
+	}
+	ep.shutdown()
+}
+
+func (ep *Endpoint) dispatch(id uint64, method wire.Method, payload []byte) {
+	h, ok := ep.handlers[method]
+	if !ok {
+		go ep.sendErr(id, method, fmt.Errorf("rpc: no handler for method %d", method))
+		return
+	}
+	if ep.limiter != nil {
+		ep.limiter.Wait()
+	}
+	go func() {
+		reply, err := h(payload)
+		if err != nil {
+			ep.sendErr(id, method, err)
+			return
+		}
+		ep.send(kindResponse, id, method, statusOK, reply)
+	}()
+}
+
+func (ep *Endpoint) complete(id uint64, status byte, payload []byte) {
+	ep.mu.Lock()
+	ch, ok := ep.pending[id]
+	delete(ep.pending, id)
+	ep.mu.Unlock()
+	if !ok {
+		return // stale or duplicate response
+	}
+	if status == statusErr {
+		d := wire.NewDecoder(payload)
+		msg := d.String()
+		if d.Err() != nil {
+			msg = "malformed remote error"
+		}
+		ch <- response{err: RemoteError(msg)}
+		return
+	}
+	// The payload aliases the frame, which is private to this endpoint
+	// after Recv; handing it to the caller is safe.
+	ch <- response{payload: payload}
+}
+
+func (ep *Endpoint) shutdown() {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return
+	}
+	ep.closed = true
+	pend := ep.pending
+	ep.pending = map[uint64]chan response{}
+	ep.mu.Unlock()
+	for _, ch := range pend {
+		ch <- response{err: transport.ErrClosed}
+	}
+	ep.conn.Close()
+	if ep.onClose != nil {
+		ep.onClose(ep)
+	}
+}
+
+// Server accepts connections from a listener and builds an endpoint for
+// each via a setup callback that registers the handlers.
+type Server struct {
+	listener transport.Listener
+	setup    func(*Endpoint)
+	opts     Options
+
+	mu   sync.Mutex
+	eps  map[*Endpoint]struct{}
+	done chan struct{}
+}
+
+// NewServer returns a server that will accept on l, configuring every
+// inbound endpoint with setup before starting it.
+func NewServer(l transport.Listener, opts Options, setup func(*Endpoint)) *Server {
+	return &Server{
+		listener: l,
+		setup:    setup,
+		opts:     opts,
+		eps:      make(map[*Endpoint]struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve() {
+	defer close(s.done)
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		opts := s.opts
+		userClose := opts.OnClose
+		opts.OnClose = func(ep *Endpoint) {
+			s.mu.Lock()
+			delete(s.eps, ep)
+			s.mu.Unlock()
+			if userClose != nil {
+				userClose(ep)
+			}
+		}
+		ep := NewEndpoint(conn, opts)
+		s.setup(ep)
+		s.mu.Lock()
+		s.eps[ep] = struct{}{}
+		s.mu.Unlock()
+		ep.Start()
+	}
+}
+
+// Close stops accepting and closes all live endpoints.
+func (s *Server) Close() {
+	s.listener.Close()
+	s.mu.Lock()
+	eps := make([]*Endpoint, 0, len(s.eps))
+	for ep := range s.eps {
+		eps = append(eps, ep)
+	}
+	s.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+	<-s.done
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() string { return s.listener.Addr() }

@@ -1,0 +1,276 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ccpfs/internal/sim"
+	"ccpfs/internal/transport"
+	"ccpfs/internal/transport/memnet"
+	"ccpfs/internal/wire"
+)
+
+// newPair returns connected client endpoint and a server whose endpoints
+// are configured by setup.
+func newPair(t *testing.T, setup func(*Endpoint)) (*Endpoint, *Server) {
+	t.Helper()
+	net := memnet.New(sim.Fast())
+	l, err := net.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(l, Options{}, setup)
+	go srv.Serve()
+	conn, err := net.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewEndpoint(conn, Options{})
+	cli.Start()
+	t.Cleanup(func() {
+		cli.Close()
+		srv.Close()
+	})
+	return cli, srv
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	cli, _ := newPair(t, func(ep *Endpoint) {
+		ep.Handle(wire.MHello, func(p []byte) (wire.Msg, error) {
+			var req wire.HelloRequest
+			if err := wire.Unmarshal(p, &req); err != nil {
+				return nil, err
+			}
+			return &wire.HelloReply{ClientID: req.ClientID + 1}, nil
+		})
+	})
+	var rep wire.HelloReply
+	if err := cli.Call(wire.MHello, &wire.HelloRequest{NodeName: "c", ClientID: 41}, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ClientID != 42 {
+		t.Fatalf("ClientID = %d, want 42", rep.ClientID)
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	cli, _ := newPair(t, func(ep *Endpoint) {
+		ep.Handle(wire.MOpen, func(p []byte) (wire.Msg, error) {
+			return nil, errors.New("no such file")
+		})
+	})
+	err := cli.Call(wire.MOpen, &wire.OpenRequest{Path: "/x"}, &wire.FileReply{})
+	var re RemoteError
+	if !errors.As(err, &re) || re.Error() != "no such file" {
+		t.Fatalf("err = %v, want RemoteError(no such file)", err)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	cli, _ := newPair(t, func(ep *Endpoint) {})
+	err := cli.Call(wire.MRead, &wire.ReadRequest{}, nil)
+	if err == nil {
+		t.Fatal("call to unregistered method succeeded")
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	cli, _ := newPair(t, func(ep *Endpoint) {
+		ep.Handle(wire.MHello, func(p []byte) (wire.Msg, error) {
+			var req wire.HelloRequest
+			if err := wire.Unmarshal(p, &req); err != nil {
+				return nil, err
+			}
+			return &wire.HelloReply{ClientID: req.ClientID * 2}, nil
+		})
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i uint32) {
+			defer wg.Done()
+			var rep wire.HelloReply
+			if err := cli.Call(wire.MHello, &wire.HelloRequest{ClientID: i}, &rep); err != nil {
+				errs <- err
+				return
+			}
+			if rep.ClientID != i*2 {
+				errs <- fmt.Errorf("call %d: got %d", i, rep.ClientID)
+			}
+		}(uint32(i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockedHandlerDoesNotStallOthers(t *testing.T) {
+	release := make(chan struct{})
+	cli, _ := newPair(t, func(ep *Endpoint) {
+		ep.Handle(wire.MLock, func(p []byte) (wire.Msg, error) {
+			<-release // simulates a lock request waiting for conflict resolution
+			return &wire.Ack{}, nil
+		})
+		ep.Handle(wire.MHello, func(p []byte) (wire.Msg, error) {
+			return &wire.HelloReply{}, nil
+		})
+	})
+	slow := make(chan error, 1)
+	go func() {
+		slow <- cli.Call(wire.MLock, &wire.LockRequest{}, nil)
+	}()
+	// The fast call must complete while the slow one is still blocked.
+	done := make(chan error, 1)
+	go func() { done <- cli.Call(wire.MHello, &wire.HelloRequest{}, nil) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("fast call stalled behind blocked handler")
+	}
+	close(release)
+	if err := <-slow; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerCallbackToClient(t *testing.T) {
+	// Server calls MRevoke back into the client over the same connection
+	// while handling the client's request — the revocation pattern.
+	revoked := make(chan uint64, 1)
+	cli, _ := newPair(t, func(ep *Endpoint) {
+		ep.Handle(wire.MLock, func(p []byte) (wire.Msg, error) {
+			if err := ep.Call(wire.MRevoke, &wire.RevokeRequest{LockID: 7}, nil); err != nil {
+				return nil, err
+			}
+			return &wire.Ack{}, nil
+		})
+	})
+	cli.Handle(wire.MRevoke, func(p []byte) (wire.Msg, error) {
+		var req wire.RevokeRequest
+		if err := wire.Unmarshal(p, &req); err != nil {
+			return nil, err
+		}
+		revoked <- req.LockID
+		return &wire.Ack{}, nil
+	})
+	if err := cli.Call(wire.MLock, &wire.LockRequest{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case id := <-revoked:
+		if id != 7 {
+			t.Fatalf("revoked lock %d, want 7", id)
+		}
+	default:
+		t.Fatal("callback did not reach client")
+	}
+}
+
+func TestCallAfterCloseFails(t *testing.T) {
+	cli, _ := newPair(t, func(ep *Endpoint) {})
+	cli.Close()
+	time.Sleep(10 * time.Millisecond)
+	if err := cli.Call(wire.MHello, &wire.HelloRequest{}, nil); err == nil {
+		t.Fatal("call on closed endpoint succeeded")
+	}
+}
+
+func TestPendingCallsFailOnPeerClose(t *testing.T) {
+	started := make(chan struct{})
+	var srvEp *Endpoint
+	var mu sync.Mutex
+	cli, srv := newPair(t, func(ep *Endpoint) {
+		mu.Lock()
+		srvEp = ep
+		mu.Unlock()
+		ep.Handle(wire.MLock, func(p []byte) (wire.Msg, error) {
+			close(started)
+			select {} // never replies
+		})
+	})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- cli.Call(wire.MLock, &wire.LockRequest{}, nil)
+	}()
+	<-started
+	mu.Lock()
+	srvEp.Close()
+	mu.Unlock()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("pending call survived peer close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending call not failed after peer close")
+	}
+	srv.Close()
+}
+
+func TestOnCloseRuns(t *testing.T) {
+	closed := make(chan struct{})
+	net := memnet.New(sim.Fast())
+	l, _ := net.Listen("s")
+	srv := NewServer(l, Options{}, func(ep *Endpoint) {})
+	go srv.Serve()
+	conn, err := net.Dial("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewEndpoint(conn, Options{OnClose: func(*Endpoint) { close(closed) }})
+	cli.Start()
+	cli.Close()
+	select {
+	case <-closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnClose never ran")
+	}
+	srv.Close()
+}
+
+func TestServerLimiterThrottles(t *testing.T) {
+	net := memnet.New(sim.Fast())
+	l, _ := net.Listen("s")
+	srv := NewServer(l, Options{Limiter: sim.NewRateLimiter(1000)}, func(ep *Endpoint) {
+		ep.Handle(wire.MHello, func(p []byte) (wire.Msg, error) {
+			return &wire.HelloReply{}, nil
+		})
+	})
+	go srv.Serve()
+	defer srv.Close()
+	conn, err := net.Dial("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewEndpoint(conn, Options{})
+	cli.Start()
+	defer cli.Close()
+	start := time.Now()
+	for i := 0; i < 30; i++ {
+		if err := cli.Call(wire.MHello, &wire.HelloRequest{}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("30 calls at 1000 op/s finished in %v", elapsed)
+	}
+}
+
+func TestEndpointTag(t *testing.T) {
+	var ep Endpoint
+	ep.Tag.Store("session-7")
+	if got := ep.Tag.Load(); got != "session-7" {
+		t.Fatalf("Tag = %v", got)
+	}
+}
+
+var _ transport.Conn = (transport.Conn)(nil) // interface sanity

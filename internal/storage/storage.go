@@ -1,0 +1,240 @@
+// Package storage provides the per-stripe block stores data servers
+// write flushed data into. Three implementations share one interface:
+// an in-memory sparse store, the same store wrapped with a simulated
+// NVMe device (bandwidth + latency, serialized like a real disk queue),
+// and a file-backed store for the standalone server binary.
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"ccpfs/internal/sim"
+)
+
+// Store is a stripe-addressed byte store. Offsets are stripe-local.
+type Store interface {
+	// WriteAt stores data at off within stripe.
+	WriteAt(stripe uint64, off int64, data []byte) error
+	// ReadAt fills buf from off within stripe. Never-written ranges read
+	// as zeros.
+	ReadAt(stripe uint64, off int64, buf []byte) error
+	// Remove drops a stripe's data.
+	Remove(stripe uint64) error
+}
+
+// chunkSize is the allocation unit of the sparse in-memory store.
+const chunkSize = 64 << 10
+
+// MemStore is a sparse in-memory Store. It is safe for concurrent use.
+type MemStore struct {
+	mu      sync.RWMutex
+	stripes map[uint64]map[int64][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{stripes: make(map[uint64]map[int64][]byte)}
+}
+
+// WriteAt implements Store.
+func (m *MemStore) WriteAt(stripe uint64, off int64, data []byte) error {
+	if off < 0 {
+		return fmt.Errorf("storage: negative offset %d", off)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	chunks := m.stripes[stripe]
+	if chunks == nil {
+		chunks = make(map[int64][]byte)
+		m.stripes[stripe] = chunks
+	}
+	for len(data) > 0 {
+		ci := off / chunkSize
+		co := off % chunkSize
+		n := int64(len(data))
+		if n > chunkSize-co {
+			n = chunkSize - co
+		}
+		c := chunks[ci]
+		if c == nil {
+			c = make([]byte, chunkSize)
+			chunks[ci] = c
+		}
+		copy(c[co:co+n], data[:n])
+		data = data[n:]
+		off += n
+	}
+	return nil
+}
+
+// ReadAt implements Store.
+func (m *MemStore) ReadAt(stripe uint64, off int64, buf []byte) error {
+	if off < 0 {
+		return fmt.Errorf("storage: negative offset %d", off)
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	chunks := m.stripes[stripe]
+	for len(buf) > 0 {
+		ci := off / chunkSize
+		co := off % chunkSize
+		n := int64(len(buf))
+		if n > chunkSize-co {
+			n = chunkSize - co
+		}
+		if c := chunks[ci]; c != nil {
+			copy(buf[:n], c[co:co+n])
+		} else {
+			for i := int64(0); i < n; i++ {
+				buf[i] = 0
+			}
+		}
+		buf = buf[n:]
+		off += n
+	}
+	return nil
+}
+
+// Remove implements Store.
+func (m *MemStore) Remove(stripe uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.stripes, stripe)
+	return nil
+}
+
+// Bytes returns the number of chunk bytes allocated (tests/introspection).
+func (m *MemStore) Bytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var n int64
+	for _, chunks := range m.stripes {
+		n += int64(len(chunks)) * chunkSize
+	}
+	return n
+}
+
+// SimStore wraps a Store with a simulated storage device: every
+// operation is serialized through the device and charged transfer time
+// at the configured bandwidth plus fixed latency — the B_disk term of
+// Equation (1).
+type SimStore struct {
+	inner Store
+	dev   sim.Device
+	bw    float64
+	lat   time.Duration
+}
+
+// NewSimStore wraps inner with a device of hw.DiskBandwidth and
+// hw.DiskLatency.
+func NewSimStore(inner Store, hw sim.Hardware) *SimStore {
+	return &SimStore{inner: inner, bw: hw.DiskBandwidth, lat: hw.DiskLatency}
+}
+
+// WriteAt implements Store, charging simulated device time.
+func (s *SimStore) WriteAt(stripe uint64, off int64, data []byte) error {
+	s.dev.UseBytes(int64(len(data)), s.bw, s.lat)
+	return s.inner.WriteAt(stripe, off, data)
+}
+
+// ReadAt implements Store, charging simulated device time.
+func (s *SimStore) ReadAt(stripe uint64, off int64, buf []byte) error {
+	s.dev.UseBytes(int64(len(buf)), s.bw, s.lat)
+	return s.inner.ReadAt(stripe, off, buf)
+}
+
+// Remove implements Store.
+func (s *SimStore) Remove(stripe uint64) error { return s.inner.Remove(stripe) }
+
+// Busy reports the device's committed backlog (flow control input).
+func (s *SimStore) Busy() time.Duration { return s.dev.Busy() }
+
+// FileStore keeps each stripe in its own file under a directory.
+type FileStore struct {
+	dir string
+	mu  sync.Mutex
+	fds map[uint64]*os.File
+}
+
+// NewFileStore returns a store rooted at dir, creating it if needed.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &FileStore{dir: dir, fds: make(map[uint64]*os.File)}, nil
+}
+
+func (f *FileStore) file(stripe uint64) (*os.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fd, ok := f.fds[stripe]; ok {
+		return fd, nil
+	}
+	fd, err := os.OpenFile(filepath.Join(f.dir, fmt.Sprintf("stripe-%d", stripe)), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	f.fds[stripe] = fd
+	return fd, nil
+}
+
+// WriteAt implements Store.
+func (f *FileStore) WriteAt(stripe uint64, off int64, data []byte) error {
+	fd, err := f.file(stripe)
+	if err != nil {
+		return err
+	}
+	_, err = fd.WriteAt(data, off)
+	return err
+}
+
+// ReadAt implements Store. Short reads past EOF are zero-filled.
+func (f *FileStore) ReadAt(stripe uint64, off int64, buf []byte) error {
+	fd, err := f.file(stripe)
+	if err != nil {
+		return err
+	}
+	n, err := fd.ReadAt(buf, off)
+	if err != nil && n < len(buf) {
+		for i := n; i < len(buf); i++ {
+			buf[i] = 0
+		}
+	}
+	return nil
+}
+
+// Remove implements Store.
+func (f *FileStore) Remove(stripe uint64) error {
+	f.mu.Lock()
+	fd, ok := f.fds[stripe]
+	if ok {
+		delete(f.fds, stripe)
+	}
+	f.mu.Unlock()
+	if ok {
+		fd.Close()
+	}
+	err := os.Remove(filepath.Join(f.dir, fmt.Sprintf("stripe-%d", stripe)))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Close closes all open stripe files.
+func (f *FileStore) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var first error
+	for _, fd := range f.fds {
+		if err := fd.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	f.fds = make(map[uint64]*os.File)
+	return first
+}

@@ -1,0 +1,183 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ccpfs/internal/sim"
+)
+
+func testStoreRoundTrip(t *testing.T, s Store) {
+	t.Helper()
+	data := []byte("hello stripe world")
+	if err := s.WriteAt(1, 100, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	if err := s.ReadAt(1, 100, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatalf("read back %q, want %q", buf, data)
+	}
+	// Unwritten ranges read as zeros.
+	zero := make([]byte, 8)
+	if err := s.ReadAt(1, 1<<20, zero); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range zero {
+		if b != 0 {
+			t.Fatal("hole did not read as zeros")
+		}
+	}
+	// Stripes are independent.
+	other := make([]byte, len(data))
+	if err := s.ReadAt(2, 100, other); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range other {
+		if b != 0 {
+			t.Fatal("write leaked across stripes")
+		}
+	}
+}
+
+func TestMemStoreRoundTrip(t *testing.T) { testStoreRoundTrip(t, NewMemStore()) }
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	testStoreRoundTrip(t, fs)
+}
+
+func TestSimStoreRoundTrip(t *testing.T) {
+	testStoreRoundTrip(t, NewSimStore(NewMemStore(), sim.Fast()))
+}
+
+func TestMemStoreChunkBoundaries(t *testing.T) {
+	m := NewMemStore()
+	// Write straddling a chunk boundary.
+	data := make([]byte, 3*chunkSize)
+	rand.New(rand.NewSource(1)).Read(data)
+	off := int64(chunkSize - 100)
+	if err := m.WriteAt(7, off, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	if err := m.ReadAt(7, off, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("cross-chunk round trip corrupted data")
+	}
+}
+
+func TestMemStoreNegativeOffset(t *testing.T) {
+	m := NewMemStore()
+	if err := m.WriteAt(1, -1, []byte{1}); err == nil {
+		t.Fatal("negative write offset accepted")
+	}
+	if err := m.ReadAt(1, -1, make([]byte, 1)); err == nil {
+		t.Fatal("negative read offset accepted")
+	}
+}
+
+func TestMemStoreRemove(t *testing.T) {
+	m := NewMemStore()
+	m.WriteAt(3, 0, []byte{1, 2, 3})
+	if m.Bytes() == 0 {
+		t.Fatal("no bytes accounted")
+	}
+	m.Remove(3)
+	buf := make([]byte, 3)
+	m.ReadAt(3, 0, buf)
+	if buf[0] != 0 {
+		t.Fatal("data survived Remove")
+	}
+}
+
+func TestFileStoreRemoveAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.WriteAt(1, 0, []byte("abc"))
+	if err := fs.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(99); err != nil {
+		t.Fatal("removing a nonexistent stripe must be a no-op")
+	}
+	buf := make([]byte, 3)
+	fs.ReadAt(1, 0, buf)
+	if buf[0] != 0 {
+		t.Fatal("data survived Remove")
+	}
+	fs.Close()
+}
+
+func TestSimStoreChargesTime(t *testing.T) {
+	hw := sim.Hardware{DiskBandwidth: 10e6, DiskLatency: time.Millisecond}
+	s := NewSimStore(NewMemStore(), hw)
+	start := time.Now()
+	// 1 MB at 10 MB/s = 100 ms + 1 ms latency.
+	if err := s.WriteAt(1, 0, make([]byte, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("write took %v, want >= ~100ms of simulated disk time", elapsed)
+	}
+	if s.Busy() > time.Second {
+		t.Fatalf("backlog = %v after synchronous write", s.Busy())
+	}
+}
+
+// Property: random writes then reads agree with an in-memory reference.
+func TestQuickMemStoreMatchesReference(t *testing.T) {
+	f := func(ops []struct {
+		Off  uint32
+		Data []byte
+	}) bool {
+		m := NewMemStore()
+		ref := make(map[int64]byte)
+		for _, op := range ops {
+			off := int64(op.Off % (1 << 20))
+			if len(op.Data) > 4096 {
+				op.Data = op.Data[:4096]
+			}
+			if err := m.WriteAt(1, off, op.Data); err != nil {
+				return false
+			}
+			for i, b := range op.Data {
+				ref[off+int64(i)] = b
+			}
+		}
+		for off, want := range ref {
+			buf := make([]byte, 1)
+			if err := m.ReadAt(1, off, buf); err != nil || buf[0] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMemStoreWrite64K(b *testing.B) {
+	m := NewMemStore()
+	data := make([]byte, 64<<10)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.WriteAt(1, int64(i%1024)*int64(len(data)), data)
+	}
+}

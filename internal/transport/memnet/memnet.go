@@ -1,0 +1,197 @@
+// Package memnet is an in-process implementation of transport.Network
+// with simulated link latency and bandwidth. It stands in for the
+// paper's InfiniBand fabric: each connection direction is a reliable
+// ordered queue whose messages are serialized through a per-direction
+// bandwidth device (sim.Device) and delivered half an RTT after they
+// finish transmitting, so lock round trips and bulk flushes cost what
+// Equation (1) of the paper says they should.
+package memnet
+
+import (
+	"sync"
+	"time"
+
+	"ccpfs/internal/sim"
+	"ccpfs/internal/transport"
+)
+
+// Network is an in-process fabric. Nodes listen on arbitrary string
+// addresses and dial each other by those names.
+type Network struct {
+	hw        sim.Hardware
+	mu        sync.Mutex
+	listeners map[string]*listener
+}
+
+// New returns a fabric with the given hardware model.
+func New(hw sim.Hardware) *Network {
+	return &Network{hw: hw, listeners: make(map[string]*listener)}
+}
+
+// Hardware returns the fabric's hardware model.
+func (n *Network) Hardware() sim.Hardware { return n.hw }
+
+// Listen registers addr. It fails if the address is taken.
+func (n *Network) Listen(addr string) (transport.Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.listeners[addr]; ok {
+		return nil, errAddrInUse
+	}
+	l := &listener{net: n, addr: addr, backlog: make(chan *conn, 128)}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to a listening address.
+func (n *Network) Dial(addr string) (transport.Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, errNoListener
+	}
+	a, b := n.pair()
+	select {
+	case l.backlog <- b:
+		return a, nil
+	default:
+		b.Close()
+		a.Close()
+		return nil, errBacklogFull
+	}
+}
+
+// pair creates the two endpoints of a connection.
+func (n *Network) pair() (*conn, *conn) {
+	ab := newPipe(n.hw)
+	ba := newPipe(n.hw)
+	a := &conn{send: ab, recv: ba}
+	b := &conn{send: ba, recv: ab}
+	return a, b
+}
+
+type memErr string
+
+func (e memErr) Error() string { return string(e) }
+
+const (
+	errAddrInUse   = memErr("memnet: address in use")
+	errNoListener  = memErr("memnet: no listener at address")
+	errBacklogFull = memErr("memnet: accept backlog full")
+)
+
+type listener struct {
+	net     *Network
+	addr    string
+	backlog chan *conn
+	mu      sync.Mutex
+	closed  bool
+}
+
+func (l *listener) Accept() (transport.Conn, error) {
+	c, ok := <-l.backlog
+	if !ok {
+		return nil, transport.ErrClosed
+	}
+	return c, nil
+}
+
+func (l *listener) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	l.net.mu.Lock()
+	delete(l.net.listeners, l.addr)
+	l.net.mu.Unlock()
+	close(l.backlog)
+	return nil
+}
+
+func (l *listener) Addr() string { return l.addr }
+
+// pipe is one direction of a connection: an unbounded ordered queue with
+// simulated transmission (bandwidth) and propagation (latency) delays.
+type pipe struct {
+	hw     sim.Hardware
+	nic    sim.Device // serializes this direction's transmissions
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []timedMsg
+	closed bool
+}
+
+type timedMsg struct {
+	deliverAt time.Time
+	data      []byte
+}
+
+func newPipe(hw sim.Hardware) *pipe {
+	p := &pipe{hw: hw}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *pipe) send(msg []byte) error {
+	// Block the sender for the serialization time (sharing the link with
+	// earlier messages), then schedule delivery half an RTT later. This
+	// lets small control messages pipeline behind bulk transfers exactly
+	// like a real NIC queue pair.
+	p.nic.UseBytes(int64(len(msg)), p.hw.NetBandwidth, 0)
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	deliverAt := time.Now().Add(p.hw.RTT / 2)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return transport.ErrClosed
+	}
+	p.queue = append(p.queue, timedMsg{deliverAt: deliverAt, data: cp})
+	p.cond.Signal()
+	return nil
+}
+
+func (p *pipe) recv() ([]byte, error) {
+	p.mu.Lock()
+	for len(p.queue) == 0 && !p.closed {
+		p.cond.Wait()
+	}
+	if len(p.queue) == 0 && p.closed {
+		p.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	m := p.queue[0]
+	p.queue = p.queue[1:]
+	p.mu.Unlock()
+	if d := time.Until(m.deliverAt); d > 0 {
+		time.Sleep(d)
+	}
+	return m.data, nil
+}
+
+func (p *pipe) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.closed {
+		p.closed = true
+		p.cond.Broadcast()
+	}
+}
+
+type conn struct {
+	send *pipe
+	recv *pipe
+}
+
+func (c *conn) Send(msg []byte) error { return c.send.send(msg) }
+
+func (c *conn) Recv() ([]byte, error) { return c.recv.recv() }
+
+func (c *conn) Close() error {
+	c.send.close()
+	c.recv.close()
+	return nil
+}

@@ -1,0 +1,120 @@
+// Package tcpnet implements transport.Network over real TCP sockets with
+// length-prefixed frames. It is what the standalone ccpfs-server and
+// ccpfs-cli binaries use, demonstrating that the reproduction is a real
+// networked system and not only a simulation harness.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"ccpfs/internal/transport"
+)
+
+// MaxFrame bounds a single message; larger frames indicate corruption
+// (or a hostile peer) and fail the connection.
+const MaxFrame = 256 << 20
+
+// Network dials and listens on TCP.
+type Network struct{}
+
+// New returns the TCP fabric.
+func New() *Network { return &Network{} }
+
+// Listen binds a TCP listener at addr (host:port; ":0" picks a port).
+func (*Network) Listen(addr string) (transport.Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &listener{nl: nl}, nil
+}
+
+// Dial connects to a TCP address.
+func (*Network) Dial(addr string) (transport.Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &conn{nc: nc}, nil
+}
+
+type listener struct{ nl net.Listener }
+
+func (l *listener) Accept() (transport.Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return nil, transport.ErrClosed
+		}
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &conn{nc: nc}, nil
+}
+
+func (l *listener) Close() error { return l.nl.Close() }
+
+func (l *listener) Addr() string { return l.nl.Addr().String() }
+
+// conn frames messages as a 4-byte big-endian length followed by the
+// payload.
+type conn struct {
+	nc      net.Conn
+	sendMu  sync.Mutex
+	recvBuf [4]byte
+}
+
+func (c *conn) Send(msg []byte) error {
+	if len(msg) > MaxFrame {
+		return fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", len(msg))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if _, err := c.nc.Write(hdr[:]); err != nil {
+		return mapErr(err)
+	}
+	if _, err := c.nc.Write(msg); err != nil {
+		return mapErr(err)
+	}
+	return nil
+}
+
+func (c *conn) Recv() ([]byte, error) {
+	if _, err := io.ReadFull(c.nc, c.recvBuf[:]); err != nil {
+		return nil, mapErr(err)
+	}
+	n := binary.BigEndian.Uint32(c.recvBuf[:])
+	if n > MaxFrame {
+		c.nc.Close()
+		return nil, fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", n)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(c.nc, msg); err != nil {
+		return nil, mapErr(err)
+	}
+	return msg, nil
+}
+
+func (c *conn) Close() error { return c.nc.Close() }
+
+func mapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return transport.ErrClosed
+	}
+	return err
+}

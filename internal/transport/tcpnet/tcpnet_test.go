@@ -1,0 +1,127 @@
+package tcpnet
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"ccpfs/internal/transport"
+)
+
+func TestOversizedSendRejected(t *testing.T) {
+	tn := New()
+	l, err := tn.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go l.Accept()
+	c, err := tn.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	huge := make([]byte, MaxFrame+1)
+	if err := c.Send(huge); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestOversizedInboundFrameFailsConnection(t *testing.T) {
+	tn := New()
+	l, err := tn.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	recvErr := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			recvErr <- err
+			return
+		}
+		_, err = c.Recv()
+		recvErr <- err
+	}()
+	// A raw TCP client declaring a hostile frame length.
+	raw, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	raw.Write(hdr[:])
+	select {
+	case err := <-recvErr:
+		if err == nil {
+			t.Fatal("hostile frame length accepted")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not reject hostile frame")
+	}
+}
+
+func TestDialRefused(t *testing.T) {
+	tn := New()
+	if _, err := tn.Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestListenerCloseMapsToErrClosed(t *testing.T) {
+	tn := New()
+	l, err := tn.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	l.Close()
+	select {
+	case err := <-done:
+		if err != transport.ErrClosed {
+			t.Fatalf("Accept after close = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Accept not unblocked")
+	}
+}
+
+func TestEmptyFrame(t *testing.T) {
+	tn := New()
+	l, _ := tn.Listen("127.0.0.1:0")
+	defer l.Close()
+	got := make(chan []byte, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		m, err := c.Recv()
+		if err == nil {
+			got <- m
+		}
+	}()
+	c, err := tn.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if len(m) != 0 {
+			t.Fatalf("empty frame read as %d bytes", len(m))
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("empty frame not delivered")
+	}
+}

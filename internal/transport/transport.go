@@ -1,0 +1,48 @@
+// Package transport abstracts the message fabric ccPFS runs on. The
+// paper's prototype uses CaRT/Mercury over InfiniBand verbs; this
+// reproduction provides two interchangeable fabrics behind one interface:
+//
+//   - memnet: an in-process network with simulated latency, per-link
+//     bandwidth, and deterministic delivery order, used by the test and
+//     benchmark cluster harness;
+//   - tcpnet: real TCP with length-prefixed frames, used by the
+//     standalone server and CLI binaries.
+//
+// Both fabrics carry the exact same wire messages through the exact same
+// RPC, lock, and data paths.
+package transport
+
+import "errors"
+
+// ErrClosed is returned by operations on a closed connection, listener,
+// or network.
+var ErrClosed = errors.New("transport: closed")
+
+// Conn is a reliable, ordered, message-oriented duplex connection.
+// Send and Recv are safe for concurrent use with each other; multiple
+// concurrent Senders are allowed, multiple concurrent Recvs are not.
+type Conn interface {
+	// Send transmits one message. It may block for simulated or real
+	// transmission time.
+	Send(msg []byte) error
+	// Recv returns the next message. It blocks until a message arrives
+	// or the connection closes, in which case it returns ErrClosed.
+	Recv() ([]byte, error)
+	// Close tears the connection down; pending and future operations on
+	// both ends fail with ErrClosed.
+	Close() error
+}
+
+// Listener accepts inbound connections at an address.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	Addr() string
+}
+
+// Network creates listeners and dials peers. Addresses are opaque
+// strings; memnet uses node names, tcpnet uses host:port.
+type Network interface {
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Conn, error)
+}

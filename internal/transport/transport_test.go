@@ -1,0 +1,351 @@
+package transport_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ccpfs/internal/sim"
+	"ccpfs/internal/transport"
+	"ccpfs/internal/transport/memnet"
+	"ccpfs/internal/transport/tcpnet"
+)
+
+// fabric constructs a network and returns a dialable address for it.
+type fabric struct {
+	name string
+	mk   func(t *testing.T) transport.Network
+}
+
+func fabrics() []fabric {
+	return []fabric{
+		{"memnet", func(t *testing.T) transport.Network { return memnet.New(sim.Fast()) }},
+		{"tcpnet", func(t *testing.T) transport.Network { return tcpnet.New() }},
+	}
+}
+
+func listenAddr(f fabric) string {
+	if f.name == "tcpnet" {
+		return "127.0.0.1:0"
+	}
+	return "server"
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, f := range fabrics() {
+		t.Run(f.name, func(t *testing.T) {
+			net := f.mk(t)
+			l, err := net.Listen(listenAddr(f))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			done := make(chan error, 1)
+			go func() {
+				c, err := l.Accept()
+				if err != nil {
+					done <- err
+					return
+				}
+				defer c.Close()
+				msg, err := c.Recv()
+				if err != nil {
+					done <- err
+					return
+				}
+				done <- c.Send(append([]byte("echo:"), msg...))
+			}()
+			c, err := net.Dial(l.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if err := c.Send([]byte("hello")); err != nil {
+				t.Fatal(err)
+			}
+			reply, err := c.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(reply) != "echo:hello" {
+				t.Fatalf("reply = %q", reply)
+			}
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestOrderingPreserved(t *testing.T) {
+	for _, f := range fabrics() {
+		t.Run(f.name, func(t *testing.T) {
+			net := f.mk(t)
+			l, err := net.Listen(listenAddr(f))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			const n = 200
+			recvd := make(chan []byte, n)
+			go func() {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				defer c.Close()
+				for i := 0; i < n; i++ {
+					m, err := c.Recv()
+					if err != nil {
+						return
+					}
+					recvd <- m
+				}
+			}()
+			c, err := net.Dial(l.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			for i := 0; i < n; i++ {
+				if err := c.Send([]byte(fmt.Sprintf("msg-%04d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < n; i++ {
+				m := <-recvd
+				want := fmt.Sprintf("msg-%04d", i)
+				if string(m) != want {
+					t.Fatalf("message %d = %q, want %q", i, m, want)
+				}
+			}
+		})
+	}
+}
+
+func TestSenderBufferReuse(t *testing.T) {
+	for _, f := range fabrics() {
+		t.Run(f.name, func(t *testing.T) {
+			net := f.mk(t)
+			l, err := net.Listen(listenAddr(f))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			got := make(chan []byte, 2)
+			go func() {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				defer c.Close()
+				for i := 0; i < 2; i++ {
+					m, err := c.Recv()
+					if err != nil {
+						return
+					}
+					got <- m
+				}
+			}()
+			c, err := net.Dial(l.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			buf := []byte("first")
+			if err := c.Send(buf); err != nil {
+				t.Fatal(err)
+			}
+			copy(buf, "XXXXX") // mutate after send; receiver must see original
+			if err := c.Send([]byte("second")); err != nil {
+				t.Fatal(err)
+			}
+			if m := <-got; !bytes.Equal(m, []byte("first")) {
+				t.Fatalf("first message corrupted: %q", m)
+			}
+			<-got
+		})
+	}
+}
+
+func TestRecvAfterCloseReturnsErrClosed(t *testing.T) {
+	for _, f := range fabrics() {
+		t.Run(f.name, func(t *testing.T) {
+			net := f.mk(t)
+			l, err := net.Listen(listenAddr(f))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			accepted := make(chan transport.Conn, 1)
+			go func() {
+				c, err := l.Accept()
+				if err == nil {
+					accepted <- c
+				}
+			}()
+			c, err := net.Dial(l.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := <-accepted
+			srv.Close()
+			// Peer close surfaces as ErrClosed on our Recv, possibly after
+			// draining nothing.
+			deadline := time.After(2 * time.Second)
+			errc := make(chan error, 1)
+			go func() {
+				_, err := c.Recv()
+				errc <- err
+			}()
+			select {
+			case err := <-errc:
+				if err != transport.ErrClosed {
+					t.Fatalf("Recv error = %v, want ErrClosed", err)
+				}
+			case <-deadline:
+				t.Fatal("Recv did not observe peer close")
+			}
+		})
+	}
+}
+
+func TestDialUnknownAddressFails(t *testing.T) {
+	net := memnet.New(sim.Fast())
+	if _, err := net.Dial("nobody"); err == nil {
+		t.Fatal("dialing unknown memnet address succeeded")
+	}
+}
+
+func TestMemnetDuplicateListen(t *testing.T) {
+	net := memnet.New(sim.Fast())
+	l, err := net.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Listen("a"); err == nil {
+		t.Fatal("duplicate listen succeeded")
+	}
+	l.Close()
+	// Address is free again after close.
+	if _, err := net.Listen("a"); err != nil {
+		t.Fatalf("re-listen after close failed: %v", err)
+	}
+}
+
+func TestMemnetLatency(t *testing.T) {
+	hw := sim.Hardware{RTT: 20 * time.Millisecond}
+	net := memnet.New(hw)
+	l, _ := net.Listen("s")
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				return
+			}
+			if err := c.Send(m); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := net.Dial("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	c.Send([]byte("ping"))
+	if _, err := c.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	rtt := time.Since(start)
+	if rtt < 18*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= ~20ms", rtt)
+	}
+}
+
+func TestMemnetBandwidth(t *testing.T) {
+	// 1 MB at 10 MB/s should take ~100ms to transmit.
+	hw := sim.Hardware{NetBandwidth: 10e6}
+	net := memnet.New(hw)
+	l, _ := net.Listen("s")
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		for {
+			if _, err := c.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := net.Dial("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := c.Send(make([]byte, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("1 MB at 10 MB/s transmitted in %v", elapsed)
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	for _, f := range fabrics() {
+		t.Run(f.name, func(t *testing.T) {
+			net := f.mk(t)
+			l, err := net.Listen(listenAddr(f))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			const senders, each = 8, 50
+			counts := make(chan int, 1)
+			go func() {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				defer c.Close()
+				seen := 0
+				for seen < senders*each {
+					if _, err := c.Recv(); err != nil {
+						break
+					}
+					seen++
+				}
+				counts <- seen
+			}()
+			c, err := net.Dial(l.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			var wg sync.WaitGroup
+			for s := 0; s < senders; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					for i := 0; i < each; i++ {
+						if err := c.Send([]byte(fmt.Sprintf("%d:%d", s, i))); err != nil {
+							t.Errorf("send: %v", err)
+							return
+						}
+					}
+				}(s)
+			}
+			wg.Wait()
+			if got := <-counts; got != senders*each {
+				t.Fatalf("received %d messages, want %d", got, senders*each)
+			}
+		})
+	}
+}

@@ -1,0 +1,543 @@
+package wire
+
+import "ccpfs/internal/extent"
+
+// Method identifies an RPC handler. Methods below 128 are client→server;
+// methods at or above 128 are server→client callbacks.
+type Method uint8
+
+// RPC methods.
+const (
+	// Lock service.
+	MLock      Method = 1 // LockRequest -> LockGrant
+	MRelease   Method = 2 // ReleaseRequest -> Ack
+	MDowngrade Method = 3 // DowngradeRequest -> Ack
+	// IO service.
+	MFlush Method = 10 // FlushRequest -> Ack
+	MRead  Method = 11 // ReadRequest -> ReadReply
+	MMinSN Method = 12 // MinSNRequest -> MinSNReply
+	// Metadata service.
+	MCreate  Method = 20 // CreateRequest -> FileReply
+	MOpen    Method = 21 // OpenRequest -> FileReply
+	MStat    Method = 22 // OpenRequest -> FileReply
+	MSetSize Method = 23 // SetSizeRequest -> SizeReply
+	MRemove  Method = 24 // OpenRequest -> Ack
+	MReserve Method = 25 // SetSizeRequest (Size = byte count) -> SizeReply (reserved offset)
+	MList    Method = 26 // Ack -> ListReply
+	// Session.
+	MHello Method = 30 // HelloRequest -> HelloReply
+	// Server→client callbacks.
+	MRevoke Method = 128 // RevokeRequest -> Ack
+	MReport Method = 129 // Ack -> LockReport (server recovery, §IV-C2)
+)
+
+// Msg is the interface all wire messages implement.
+type Msg interface {
+	Encode(e *Encoder)
+	Decode(d *Decoder)
+}
+
+// Marshal encodes m into a fresh frame.
+func Marshal(m Msg) []byte {
+	e := NewEncoder(64)
+	m.Encode(e)
+	return e.Bytes()
+}
+
+// Unmarshal decodes a frame into m, requiring full consumption.
+func Unmarshal(b []byte, m Msg) error {
+	d := NewDecoder(b)
+	m.Decode(d)
+	return d.Finish()
+}
+
+func encodeExtent(e *Encoder, x extent.Extent) {
+	e.I64(x.Start)
+	e.I64(x.End)
+}
+
+func decodeExtent(d *Decoder) extent.Extent {
+	return extent.Extent{Start: d.I64(), End: d.I64()}
+}
+
+// Ack is the empty reply used by methods that only signal completion.
+type Ack struct{}
+
+// Encode implements Msg.
+func (Ack) Encode(*Encoder) {}
+
+// Decode implements Msg.
+func (*Ack) Decode(*Decoder) {}
+
+// LockRequest asks a lock server for a byte-range lock on a resource.
+type LockRequest struct {
+	Resource uint64
+	Client   uint32
+	Mode     uint8
+	Range    extent.Extent
+	// Extents carries the non-contiguous lock range of the DLM-datatype
+	// baseline; empty for interval-based policies.
+	Extents []extent.Extent
+}
+
+// Encode implements Msg.
+func (m *LockRequest) Encode(e *Encoder) {
+	e.U64(m.Resource)
+	e.U32(m.Client)
+	e.U8(m.Mode)
+	encodeExtent(e, m.Range)
+	e.U32(uint32(len(m.Extents)))
+	for _, x := range m.Extents {
+		encodeExtent(e, x)
+	}
+}
+
+// Decode implements Msg.
+func (m *LockRequest) Decode(d *Decoder) {
+	m.Resource = d.U64()
+	m.Client = d.U32()
+	m.Mode = d.U8()
+	m.Range = decodeExtent(d)
+	n := d.Len32(16)
+	if n > 0 {
+		m.Extents = make([]extent.Extent, n)
+		for i := range m.Extents {
+			m.Extents[i] = decodeExtent(d)
+		}
+	}
+}
+
+// LockGrant is the reply to a LockRequest. The server may expand the
+// range, upgrade the mode (automatic lock conversion), tag the lock
+// CANCELING (early revocation), and list same-client lock IDs the grant
+// absorbed during upgrading.
+type LockGrant struct {
+	LockID   uint64
+	Mode     uint8
+	Range    extent.Extent
+	SN       uint64
+	State    uint8
+	Absorbed []uint64
+}
+
+// Encode implements Msg.
+func (m *LockGrant) Encode(e *Encoder) {
+	e.U64(m.LockID)
+	e.U8(m.Mode)
+	encodeExtent(e, m.Range)
+	e.U64(m.SN)
+	e.U8(m.State)
+	e.U32(uint32(len(m.Absorbed)))
+	for _, id := range m.Absorbed {
+		e.U64(id)
+	}
+}
+
+// Decode implements Msg.
+func (m *LockGrant) Decode(d *Decoder) {
+	m.LockID = d.U64()
+	m.Mode = d.U8()
+	m.Range = decodeExtent(d)
+	m.SN = d.U64()
+	m.State = d.U8()
+	n := d.Len32(8)
+	if n > 0 {
+		m.Absorbed = make([]uint64, n)
+		for i := range m.Absorbed {
+			m.Absorbed[i] = d.U64()
+		}
+	}
+}
+
+// ReleaseRequest returns a fully canceled lock to the server.
+type ReleaseRequest struct {
+	Resource uint64
+	LockID   uint64
+}
+
+// Encode implements Msg.
+func (m *ReleaseRequest) Encode(e *Encoder) {
+	e.U64(m.Resource)
+	e.U64(m.LockID)
+}
+
+// Decode implements Msg.
+func (m *ReleaseRequest) Decode(d *Decoder) {
+	m.Resource = d.U64()
+	m.LockID = d.U64()
+}
+
+// DowngradeRequest converts a granted lock to a less restrictive mode
+// (BW→NBW, PW→NBW or PW→PR) so conflicting requests can be early
+// granted (§III-D2).
+type DowngradeRequest struct {
+	Resource uint64
+	LockID   uint64
+	NewMode  uint8
+}
+
+// Encode implements Msg.
+func (m *DowngradeRequest) Encode(e *Encoder) {
+	e.U64(m.Resource)
+	e.U64(m.LockID)
+	e.U8(m.NewMode)
+}
+
+// Decode implements Msg.
+func (m *DowngradeRequest) Decode(d *Decoder) {
+	m.Resource = d.U64()
+	m.LockID = d.U64()
+	m.NewMode = d.U8()
+}
+
+// RevokeRequest is the server→client callback asking the holder to
+// cancel a cached lock. The reply (Ack) is the revocation reply that
+// moves the lock to CANCELING on the server and unlocks early grant.
+type RevokeRequest struct {
+	Resource uint64
+	LockID   uint64
+}
+
+// Encode implements Msg.
+func (m *RevokeRequest) Encode(e *Encoder) {
+	e.U64(m.Resource)
+	e.U64(m.LockID)
+}
+
+// Decode implements Msg.
+func (m *RevokeRequest) Decode(d *Decoder) {
+	m.Resource = d.U64()
+	m.LockID = d.U64()
+}
+
+// Block is one SN-tagged extent of data in a flush or read message.
+type Block struct {
+	Range extent.Extent
+	SN    uint64
+	Data  []byte
+}
+
+// FlushRequest carries dirty client-cache blocks to a data server. Blocks
+// from multiple locks may be batched; each block carries the SN of the
+// lock it was written under (§IV-A).
+type FlushRequest struct {
+	Resource uint64
+	Client   uint32
+	Blocks   []Block
+}
+
+// Encode implements Msg.
+func (m *FlushRequest) Encode(e *Encoder) {
+	e.U64(m.Resource)
+	e.U32(m.Client)
+	e.U32(uint32(len(m.Blocks)))
+	for i := range m.Blocks {
+		encodeExtent(e, m.Blocks[i].Range)
+		e.U64(m.Blocks[i].SN)
+		e.Bytes32(m.Blocks[i].Data)
+	}
+}
+
+// Decode implements Msg.
+func (m *FlushRequest) Decode(d *Decoder) {
+	m.Resource = d.U64()
+	m.Client = d.U32()
+	n := d.Len32(28)
+	if n > 0 {
+		m.Blocks = make([]Block, n)
+		for i := range m.Blocks {
+			m.Blocks[i].Range = decodeExtent(d)
+			m.Blocks[i].SN = d.U64()
+			m.Blocks[i].Data = d.Bytes32()
+		}
+	}
+}
+
+// ReadRequest fetches a byte range of a stripe resource.
+type ReadRequest struct {
+	Resource uint64
+	Range    extent.Extent
+}
+
+// Encode implements Msg.
+func (m *ReadRequest) Encode(e *Encoder) {
+	e.U64(m.Resource)
+	encodeExtent(e, m.Range)
+}
+
+// Decode implements Msg.
+func (m *ReadRequest) Decode(d *Decoder) {
+	m.Resource = d.U64()
+	m.Range = decodeExtent(d)
+}
+
+// ReadReply returns the stored blocks covering the requested range;
+// holes (never-written ranges) are omitted and read as zeros.
+type ReadReply struct {
+	Blocks []Block
+}
+
+// Encode implements Msg.
+func (m *ReadReply) Encode(e *Encoder) {
+	e.U32(uint32(len(m.Blocks)))
+	for i := range m.Blocks {
+		encodeExtent(e, m.Blocks[i].Range)
+		e.U64(m.Blocks[i].SN)
+		e.Bytes32(m.Blocks[i].Data)
+	}
+}
+
+// Decode implements Msg.
+func (m *ReadReply) Decode(d *Decoder) {
+	n := d.Len32(28)
+	if n > 0 {
+		m.Blocks = make([]Block, n)
+		for i := range m.Blocks {
+			m.Blocks[i].Range = decodeExtent(d)
+			m.Blocks[i].SN = d.U64()
+			m.Blocks[i].Data = d.Bytes32()
+		}
+	}
+}
+
+// MinSNRequest asks the DLM service for the minimum SN among unreleased
+// write locks overlapping a range — the mSN of the extent-cache cleanup
+// task (§IV-B).
+type MinSNRequest struct {
+	Resource uint64
+	Range    extent.Extent
+}
+
+// Encode implements Msg.
+func (m *MinSNRequest) Encode(e *Encoder) {
+	e.U64(m.Resource)
+	encodeExtent(e, m.Range)
+}
+
+// Decode implements Msg.
+func (m *MinSNRequest) Decode(d *Decoder) {
+	m.Resource = d.U64()
+	m.Range = decodeExtent(d)
+}
+
+// MinSNReply returns the mSN. When no unreleased write lock overlaps the
+// range, HasLocks is false and every cached entry for the range is
+// removable.
+type MinSNReply struct {
+	HasLocks bool
+	MinSN    uint64
+}
+
+// Encode implements Msg.
+func (m *MinSNReply) Encode(e *Encoder) {
+	e.Bool(m.HasLocks)
+	e.U64(m.MinSN)
+}
+
+// Decode implements Msg.
+func (m *MinSNReply) Decode(d *Decoder) {
+	m.HasLocks = d.Bool()
+	m.MinSN = d.U64()
+}
+
+// CreateRequest creates a file in the namespace with a stripe layout.
+type CreateRequest struct {
+	Path        string
+	StripeSize  int64
+	StripeCount uint32
+}
+
+// Encode implements Msg.
+func (m *CreateRequest) Encode(e *Encoder) {
+	e.String(m.Path)
+	e.I64(m.StripeSize)
+	e.U32(m.StripeCount)
+}
+
+// Decode implements Msg.
+func (m *CreateRequest) Decode(d *Decoder) {
+	m.Path = d.String()
+	m.StripeSize = d.I64()
+	m.StripeCount = d.U32()
+}
+
+// OpenRequest opens, stats, or removes a file by path.
+type OpenRequest struct {
+	Path string
+}
+
+// Encode implements Msg.
+func (m *OpenRequest) Encode(e *Encoder) { e.String(m.Path) }
+
+// Decode implements Msg.
+func (m *OpenRequest) Decode(d *Decoder) { m.Path = d.String() }
+
+// FileReply describes a file: identifier, size, and stripe layout.
+type FileReply struct {
+	FID         uint64
+	Size        int64
+	StripeSize  int64
+	StripeCount uint32
+}
+
+// Encode implements Msg.
+func (m *FileReply) Encode(e *Encoder) {
+	e.U64(m.FID)
+	e.I64(m.Size)
+	e.I64(m.StripeSize)
+	e.U32(m.StripeCount)
+}
+
+// Decode implements Msg.
+func (m *FileReply) Decode(d *Decoder) {
+	m.FID = d.U64()
+	m.Size = d.I64()
+	m.StripeSize = d.I64()
+	m.StripeCount = d.U32()
+}
+
+// SetSizeRequest updates a file's size register. With Truncate false the
+// size only grows (the max of the current and new value, the common case
+// for writes past EOF); with Truncate true it is set exactly.
+type SetSizeRequest struct {
+	FID      uint64
+	Size     int64
+	Truncate bool
+}
+
+// Encode implements Msg.
+func (m *SetSizeRequest) Encode(e *Encoder) {
+	e.U64(m.FID)
+	e.I64(m.Size)
+	e.Bool(m.Truncate)
+}
+
+// Decode implements Msg.
+func (m *SetSizeRequest) Decode(d *Decoder) {
+	m.FID = d.U64()
+	m.Size = d.I64()
+	m.Truncate = d.Bool()
+}
+
+// SizeReply returns the post-update file size.
+type SizeReply struct {
+	Size int64
+}
+
+// Encode implements Msg.
+func (m *SizeReply) Encode(e *Encoder) { e.I64(m.Size) }
+
+// Decode implements Msg.
+func (m *SizeReply) Decode(d *Decoder) { m.Size = d.I64() }
+
+// ListReply enumerates the namespace.
+type ListReply struct {
+	Paths []string
+}
+
+// Encode implements Msg.
+func (m *ListReply) Encode(e *Encoder) {
+	e.U32(uint32(len(m.Paths)))
+	for _, p := range m.Paths {
+		e.String(p)
+	}
+}
+
+// Decode implements Msg.
+func (m *ListReply) Decode(d *Decoder) {
+	n := d.Len32(4)
+	if n > 0 {
+		m.Paths = make([]string, n)
+		for i := range m.Paths {
+			m.Paths[i] = d.String()
+		}
+	}
+}
+
+// LockRecord describes one granted lock a client reports during server
+// recovery (§IV-C2).
+type LockRecord struct {
+	Resource uint64
+	Client   uint32
+	LockID   uint64
+	Mode     uint8
+	Range    extent.Extent
+	SN       uint64
+	State    uint8
+}
+
+// LockReport is the client's reply to a recovery gather request.
+type LockReport struct {
+	Locks []LockRecord
+}
+
+// Encode implements Msg.
+func (m *LockReport) Encode(e *Encoder) {
+	e.U32(uint32(len(m.Locks)))
+	for i := range m.Locks {
+		l := &m.Locks[i]
+		e.U64(l.Resource)
+		e.U32(l.Client)
+		e.U64(l.LockID)
+		e.U8(l.Mode)
+		encodeExtent(e, l.Range)
+		e.U64(l.SN)
+		e.U8(l.State)
+	}
+}
+
+// Decode implements Msg.
+func (m *LockReport) Decode(d *Decoder) {
+	n := d.Len32(46)
+	if n > 0 {
+		m.Locks = make([]LockRecord, n)
+		for i := range m.Locks {
+			l := &m.Locks[i]
+			l.Resource = d.U64()
+			l.Client = d.U32()
+			l.LockID = d.U64()
+			l.Mode = d.U8()
+			l.Range = decodeExtent(d)
+			l.SN = d.U64()
+			l.State = d.U8()
+		}
+	}
+}
+
+// HelloRequest registers a connection with a node. Clients announce a
+// name; the server assigns the client identifier used in lock requests.
+type HelloRequest struct {
+	NodeName string
+	// ClientID lets a client reuse one identity across connections to
+	// multiple servers; zero asks the server to assign one.
+	ClientID uint32
+	// Bulk marks a data-path connection (flush/read traffic). Bulk
+	// connections are not used for revocation callbacks, mirroring the
+	// prototype's split between CaRT RPCs and RDMA bulk transfers.
+	Bulk bool
+}
+
+// Encode implements Msg.
+func (m *HelloRequest) Encode(e *Encoder) {
+	e.String(m.NodeName)
+	e.U32(m.ClientID)
+	e.Bool(m.Bulk)
+}
+
+// Decode implements Msg.
+func (m *HelloRequest) Decode(d *Decoder) {
+	m.NodeName = d.String()
+	m.ClientID = d.U32()
+	m.Bulk = d.Bool()
+}
+
+// HelloReply confirms registration.
+type HelloReply struct {
+	ClientID uint32
+}
+
+// Encode implements Msg.
+func (m *HelloReply) Encode(e *Encoder) { e.U32(m.ClientID) }
+
+// Decode implements Msg.
+func (m *HelloReply) Decode(d *Decoder) { m.ClientID = d.U32() }

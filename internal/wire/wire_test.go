@@ -1,0 +1,255 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"ccpfs/internal/extent"
+)
+
+func roundTrip(t *testing.T, in Msg, out Msg) {
+	t.Helper()
+	frame := Marshal(in)
+	if err := Unmarshal(frame, out); err != nil {
+		t.Fatalf("Unmarshal(%T): %v", in, err)
+	}
+}
+
+func TestEncoderDecoderPrimitives(t *testing.T) {
+	e := NewEncoder(0)
+	e.U8(200)
+	e.U32(1 << 30)
+	e.U64(1 << 60)
+	e.I64(-42)
+	e.Bool(true)
+	e.Bool(false)
+	e.Bytes32([]byte{1, 2, 3})
+	e.String("héllo")
+
+	d := NewDecoder(e.Bytes())
+	if d.U8() != 200 || d.U32() != 1<<30 || d.U64() != 1<<60 || d.I64() != -42 {
+		t.Fatal("numeric round trip failed")
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("bool round trip failed")
+	}
+	if !bytes.Equal(d.Bytes32(), []byte{1, 2, 3}) {
+		t.Fatal("bytes round trip failed")
+	}
+	if d.String() != "héllo" {
+		t.Fatal("string round trip failed")
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecoderTruncated(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	d.U64()
+	if d.Err() != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", d.Err())
+	}
+	// Sticky: subsequent reads keep failing without panicking.
+	d.U32()
+	_ = d.String()
+	if d.Err() != ErrTruncated {
+		t.Fatal("error not sticky")
+	}
+}
+
+func TestDecoderTrailingBytes(t *testing.T) {
+	d := NewDecoder([]byte{1, 2, 3})
+	d.U8()
+	if err := d.Finish(); err == nil {
+		t.Fatal("Finish accepted trailing bytes")
+	}
+}
+
+func TestDecoderHostileLength(t *testing.T) {
+	// A frame declaring a 4 G-element collection must not allocate it.
+	e := NewEncoder(0)
+	e.U32(0xFFFFFFFF)
+	d := NewDecoder(e.Bytes())
+	if n := d.Len32(8); n != 0 || d.Err() == nil {
+		t.Fatalf("Len32 = %d, err = %v; want rejection", n, d.Err())
+	}
+	// Same for Bytes32.
+	d2 := NewDecoder(e.Bytes())
+	if b := d2.Bytes32(); b != nil || d2.Err() == nil {
+		t.Fatal("Bytes32 accepted hostile length")
+	}
+}
+
+func TestLockRequestRoundTrip(t *testing.T) {
+	in := &LockRequest{
+		Resource: 0xABCDEF,
+		Client:   7,
+		Mode:     3,
+		Range:    extent.New(4096, extent.Inf),
+		Extents:  []extent.Extent{extent.New(0, 10), extent.New(20, 30)},
+	}
+	var out LockRequest
+	roundTrip(t, in, &out)
+	if !reflect.DeepEqual(*in, out) {
+		t.Fatalf("got %+v, want %+v", out, *in)
+	}
+}
+
+func TestLockGrantRoundTrip(t *testing.T) {
+	in := &LockGrant{
+		LockID:   99,
+		Mode:     2,
+		Range:    extent.New(0, extent.Inf),
+		SN:       12345,
+		State:    1,
+		Absorbed: []uint64{3, 5, 8},
+	}
+	var out LockGrant
+	roundTrip(t, in, &out)
+	if !reflect.DeepEqual(*in, out) {
+		t.Fatalf("got %+v, want %+v", out, *in)
+	}
+}
+
+func TestFlushRequestRoundTrip(t *testing.T) {
+	in := &FlushRequest{
+		Resource: 42,
+		Client:   3,
+		Blocks: []Block{
+			{Range: extent.New(0, 4), SN: 9, Data: []byte{1, 2, 3, 4}},
+			{Range: extent.New(100, 102), SN: 10, Data: []byte{5, 6}},
+		},
+	}
+	var out FlushRequest
+	roundTrip(t, in, &out)
+	if !reflect.DeepEqual(*in, out) {
+		t.Fatalf("got %+v, want %+v", out, *in)
+	}
+}
+
+func TestReadRoundTrip(t *testing.T) {
+	req := &ReadRequest{Resource: 1, Range: extent.New(8, 16)}
+	var reqOut ReadRequest
+	roundTrip(t, req, &reqOut)
+	if *req != reqOut {
+		t.Fatalf("got %+v, want %+v", reqOut, *req)
+	}
+	rep := &ReadReply{Blocks: []Block{{Range: extent.New(8, 12), SN: 2, Data: []byte("abcd")}}}
+	var repOut ReadReply
+	roundTrip(t, rep, &repOut)
+	if !reflect.DeepEqual(*rep, repOut) {
+		t.Fatalf("got %+v, want %+v", repOut, *rep)
+	}
+}
+
+func TestMetaMessagesRoundTrip(t *testing.T) {
+	cr := &CreateRequest{Path: "/a/b", StripeSize: 1 << 20, StripeCount: 4}
+	var crOut CreateRequest
+	roundTrip(t, cr, &crOut)
+	if *cr != crOut {
+		t.Fatalf("got %+v", crOut)
+	}
+	fr := &FileReply{FID: 7, Size: 123, StripeSize: 1 << 20, StripeCount: 4}
+	var frOut FileReply
+	roundTrip(t, fr, &frOut)
+	if *fr != frOut {
+		t.Fatalf("got %+v", frOut)
+	}
+	ss := &SetSizeRequest{FID: 7, Size: 1 << 40, Truncate: true}
+	var ssOut SetSizeRequest
+	roundTrip(t, ss, &ssOut)
+	if *ss != ssOut {
+		t.Fatalf("got %+v", ssOut)
+	}
+}
+
+func TestSmallMessagesRoundTrip(t *testing.T) {
+	msgs := []struct{ in, out Msg }{
+		{&ReleaseRequest{Resource: 1, LockID: 2}, &ReleaseRequest{}},
+		{&DowngradeRequest{Resource: 1, LockID: 2, NewMode: 3}, &DowngradeRequest{}},
+		{&RevokeRequest{Resource: 4, LockID: 5}, &RevokeRequest{}},
+		{&MinSNRequest{Resource: 6, Range: extent.New(0, 10)}, &MinSNRequest{}},
+		{&MinSNReply{HasLocks: true, MinSN: 77}, &MinSNReply{}},
+		{&HelloRequest{NodeName: "n1", ClientID: 9}, &HelloRequest{}},
+		{&HelloReply{ClientID: 9}, &HelloReply{}},
+		{&SizeReply{Size: 1234}, &SizeReply{}},
+		{&Ack{}, &Ack{}},
+	}
+	for _, m := range msgs {
+		roundTrip(t, m.in, m.out)
+		if !reflect.DeepEqual(reflect.ValueOf(m.in).Elem().Interface(),
+			reflect.ValueOf(m.out).Elem().Interface()) {
+			t.Fatalf("%T: got %+v, want %+v", m.in, m.out, m.in)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var g LockGrant
+	if err := Unmarshal([]byte{1, 2, 3}, &g); err == nil {
+		t.Fatal("garbage frame accepted")
+	}
+}
+
+// Property: LockRequest round-trips for arbitrary field values.
+func TestQuickLockRequestRoundTrip(t *testing.T) {
+	f := func(res uint64, cl uint32, mode uint8, start, length uint32) bool {
+		in := &LockRequest{
+			Resource: res,
+			Client:   cl,
+			Mode:     mode,
+			Range:    extent.Span(int64(start), int64(length)+1),
+		}
+		var out LockRequest
+		if err := Unmarshal(Marshal(in), &out); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(*in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arbitrary payload bytes survive a flush round trip intact.
+func TestQuickFlushDataIntegrity(t *testing.T) {
+	f := func(data []byte, sn uint64) bool {
+		in := &FlushRequest{Resource: 1, Blocks: []Block{{
+			Range: extent.Span(0, int64(len(data))+1), SN: sn, Data: data,
+		}}}
+		var out FlushRequest
+		if err := Unmarshal(Marshal(in), &out); err != nil {
+			return false
+		}
+		return bytes.Equal(out.Blocks[0].Data, data) && out.Blocks[0].SN == sn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMarshalFlush64K(b *testing.B) {
+	data := make([]byte, 64<<10)
+	m := &FlushRequest{Resource: 1, Blocks: []Block{{Range: extent.Span(0, int64(len(data))), SN: 1, Data: data}}}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Marshal(m)
+	}
+}
+
+func BenchmarkUnmarshalFlush64K(b *testing.B) {
+	data := make([]byte, 64<<10)
+	frame := Marshal(&FlushRequest{Resource: 1, Blocks: []Block{{Range: extent.Span(0, int64(len(data))), SN: 1, Data: data}}})
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		var out FlushRequest
+		if err := Unmarshal(frame, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"ccpfs/internal/client"
+	"ccpfs/internal/cluster"
+)
+
+// CheckpointConfig parameterizes a checkpoint/restart cycle — the
+// scientific-application IO the paper's introduction motivates (PLFS's
+// N-1 checkpoints, read back on restart). The write phase is an N-1
+// strided checkpoint of every rank's state; the restart phase reads the
+// checkpoint back from a *different* rank mapping (the classic restart-
+// with-different-decomposition case), verifying content.
+type CheckpointConfig struct {
+	Ranks       int
+	BlockSize   int64
+	BlocksEach  int
+	StripeSize  int64
+	StripeCount uint32
+	// Restart additionally runs the read-back phase.
+	Restart bool
+}
+
+// TotalBytes is the checkpoint volume.
+func (cfg CheckpointConfig) TotalBytes() int64 {
+	return int64(cfg.Ranks*cfg.BlocksEach) * cfg.BlockSize
+}
+
+// CheckpointResult reports the phase timings.
+type CheckpointResult struct {
+	// Write is the checkpoint (PIO) wall time.
+	Write time.Duration
+	// Drain is the post-checkpoint flush (F) wall time.
+	Drain time.Duration
+	// Restart is the read-back wall time (zero unless enabled).
+	Restart time.Duration
+	Bytes   int64
+}
+
+// rankBlock returns the deterministic content of (rank, block).
+func rankBlock(rank, block int, size int64) []byte {
+	out := make([]byte, size)
+	for i := range out {
+		out[i] = byte(rank*37 + block*11 + i)
+	}
+	return out
+}
+
+// RunCheckpoint executes the checkpoint (and optional restart) cycle.
+func RunCheckpoint(c *cluster.Cluster, cfg CheckpointConfig) (CheckpointResult, error) {
+	clients, err := c.Clients(cfg.Ranks, "ckpt")
+	if err != nil {
+		return CheckpointResult{}, err
+	}
+	defer func() {
+		for _, cl := range clients {
+			cl.Close()
+		}
+	}()
+	files := make([]*client.File, cfg.Ranks)
+	for i, cl := range clients {
+		f, err := cl.OpenOrCreate("/checkpoint", cfg.StripeSize, cfg.StripeCount)
+		if err != nil {
+			return CheckpointResult{}, err
+		}
+		files[i] = f
+	}
+
+	res := CheckpointResult{Bytes: cfg.TotalBytes()}
+	errs := make(chan error, cfg.Ranks)
+
+	// Phase 1: N-1 strided checkpoint write.
+	var wg sync.WaitGroup
+	start := time.Now()
+	for r := 0; r < cfg.Ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for b := 0; b < cfg.BlocksEach; b++ {
+				off := int64(b*cfg.Ranks+r) * cfg.BlockSize
+				if _, err := files[r].WriteAt(rankBlock(r, b, cfg.BlockSize), off); err != nil {
+					errs <- fmt.Errorf("rank %d block %d: %w", r, b, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	res.Write = time.Since(start)
+	select {
+	case err := <-errs:
+		return res, err
+	default:
+	}
+
+	// Phase 2: drain to the data servers (the checkpoint must be durable
+	// before the job exits).
+	res.Drain = drain(clients, files)
+
+	if !cfg.Restart {
+		return res, nil
+	}
+
+	// Phase 3: restart — every rank reads blocks written by OTHER ranks
+	// (shifted mapping) and verifies them.
+	start = time.Now()
+	for r := 0; r < cfg.Ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			buf := make([]byte, cfg.BlockSize)
+			src := (r + 1) % cfg.Ranks // different decomposition on restart
+			for b := 0; b < cfg.BlocksEach; b++ {
+				off := int64(b*cfg.Ranks+src) * cfg.BlockSize
+				if _, err := files[r].ReadAt(buf, off); err != nil && err != io.EOF {
+					errs <- fmt.Errorf("restart rank %d block %d: %w", r, b, err)
+					return
+				}
+				if !bytes.Equal(buf, rankBlock(src, b, cfg.BlockSize)) {
+					errs <- fmt.Errorf("restart rank %d: block %d of rank %d corrupted", r, b, src)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	res.Restart = time.Since(start)
+	select {
+	case err := <-errs:
+		return res, err
+	default:
+	}
+	return res, nil
+}

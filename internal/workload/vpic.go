@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ccpfs/internal/client"
+	"ccpfs/internal/cluster"
+)
+
+// VPICConfig parameterizes the VPIC-IO / h5bench workload (§V-E):
+// processes write particles into a shared file over several iterations.
+// Each particle has Variables variables of ElementSize bytes; within one
+// iteration each variable's data is contiguous in the file and the
+// processes' chunks for one variable are laid out back to back (N-1
+// segmented per variable, strided across variables and iterations).
+type VPICConfig struct {
+	// ClientNodes is the number of ccPFS clients (the paper's 80 client
+	// nodes, each running an IO-forwarding daemon).
+	ClientNodes int
+	// ProcsPerNode is the number of application processes whose IO is
+	// shipped to each node's client (16 in the paper).
+	ProcsPerNode int
+	// ParticlesPerIter is the number of particles each process writes
+	// per iteration (65,536 or 262,144 in the paper).
+	ParticlesPerIter int
+	// Iterations is the number of write iterations (128 or 32).
+	Iterations int
+	// Variables per particle (8 in the paper).
+	Variables int
+	// ElementSize is bytes per variable (4).
+	ElementSize int
+	StripeSize  int64
+	StripeCount uint32
+}
+
+// chunkBytes is the write size of one (proc, var, iter) chunk.
+func (cfg VPICConfig) chunkBytes() int64 {
+	return int64(cfg.ParticlesPerIter) * int64(cfg.ElementSize)
+}
+
+// TotalBytes is the volume written by the whole job.
+func (cfg VPICConfig) TotalBytes() int64 {
+	procs := int64(cfg.ClientNodes * cfg.ProcsPerNode)
+	return procs * int64(cfg.Iterations) * int64(cfg.Variables) * cfg.chunkBytes()
+}
+
+// offset places chunk (iter, v, proc): variables are contiguous per
+// iteration, processes back to back within a variable.
+func (cfg VPICConfig) offset(iter, v, proc int) int64 {
+	procs := int64(cfg.ClientNodes * cfg.ProcsPerNode)
+	varBlock := procs * cfg.chunkBytes()
+	return (int64(iter)*int64(cfg.Variables)+int64(v))*varBlock + int64(proc)*cfg.chunkBytes()
+}
+
+// RunVPIC executes the particle write phases: phase 2 (parallel writes,
+// PIO) and phase 3 (flush to disk, F).
+func RunVPIC(c *cluster.Cluster, cfg VPICConfig) (Result, error) {
+	clients, err := c.Clients(cfg.ClientNodes, "vpic")
+	if err != nil {
+		return Result{}, err
+	}
+	defer func() {
+		for _, cl := range clients {
+			cl.Close()
+		}
+	}()
+	files := make([]*client.File, cfg.ClientNodes)
+	for i, cl := range clients {
+		f, err := cl.OpenOrCreate("/vpic.h5", cfg.StripeSize, cfg.StripeCount)
+		if err != nil {
+			return Result{}, err
+		}
+		files[i] = f
+	}
+
+	errs := make(chan error, cfg.ClientNodes*cfg.ProcsPerNode)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for node := 0; node < cfg.ClientNodes; node++ {
+		for p := 0; p < cfg.ProcsPerNode; p++ {
+			wg.Add(1)
+			go func(node, p int) {
+				defer wg.Done()
+				proc := node*cfg.ProcsPerNode + p
+				buf := make([]byte, cfg.chunkBytes())
+				for i := range buf {
+					buf[i] = byte(proc + i)
+				}
+				f := files[node]
+				for iter := 0; iter < cfg.Iterations; iter++ {
+					for v := 0; v < cfg.Variables; v++ {
+						if _, err := f.WriteAt(buf, cfg.offset(iter, v, proc)); err != nil {
+							errs <- fmt.Errorf("proc %d iter %d var %d: %w", proc, iter, v, err)
+							return
+						}
+					}
+				}
+			}(node, p)
+		}
+	}
+	wg.Wait()
+	pio := time.Since(start)
+	select {
+	case err := <-errs:
+		return Result{}, err
+	default:
+	}
+	flush := drain(clients, files)
+	procs := int64(cfg.ClientNodes * cfg.ProcsPerNode)
+	return Result{
+		PIO:   pio,
+		Flush: flush,
+		Bytes: cfg.TotalBytes(),
+		Ops:   procs * int64(cfg.Iterations) * int64(cfg.Variables),
+	}, nil
+}

@@ -1,0 +1,519 @@
+// Package workload generates the IO patterns of the paper's evaluation —
+// IOR-like N-N / N-1 segmented / N-1 strided, the totally-conflicting
+// sequential and parallel microbenchmarks of Fig. 16, the Tile-IO
+// non-contiguous atomic writes, and the VPIC-IO particle workload — and
+// runs them against an in-process cluster, reporting the PIO (parallel
+// IO) and F (flush) times the paper's figures are built from.
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"ccpfs/internal/client"
+	"ccpfs/internal/cluster"
+	"ccpfs/internal/dlm"
+)
+
+// Pattern is a parallel IO access pattern (Fig. 2).
+type Pattern int
+
+// Access patterns.
+const (
+	// NN is file-per-process: each client writes its own file.
+	NN Pattern = iota
+	// N1Segmented is shared-file with one contiguous segment per client.
+	N1Segmented
+	// N1Strided is shared-file with interleaved blocks per iteration —
+	// the high-contention pattern that breaks traditional DLMs.
+	N1Strided
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case NN:
+		return "N-N"
+	case N1Segmented:
+		return "N-1 segmented"
+	case N1Strided:
+		return "N-1 strided"
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// Result reports one run. The paper records the time spent inside write
+// calls as PIO (what applications see, data landing in client caches)
+// and the tail drain to data servers as F.
+type Result struct {
+	// PIO is the parallel-IO wall time of the write phase.
+	PIO time.Duration
+	// Flush is the drain wall time (fsync + lock release at the end).
+	Flush time.Duration
+	// Bytes is the total data written.
+	Bytes int64
+	// Ops is the total write operations issued.
+	Ops int64
+}
+
+// Total returns PIO + Flush.
+func (r Result) Total() time.Duration { return r.PIO + r.Flush }
+
+// BandwidthPIO returns bytes per second over the PIO time — the paper's
+// headline "bandwidth calculated using the PIO time".
+func (r Result) BandwidthPIO() float64 {
+	if r.PIO <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.PIO.Seconds()
+}
+
+// BandwidthTotal returns bytes per second over the total IO time.
+func (r Result) BandwidthTotal() float64 {
+	if r.Total() <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Total().Seconds()
+}
+
+// Throughput returns write operations per second over the PIO time.
+func (r Result) Throughput() float64 {
+	if r.PIO <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.PIO.Seconds()
+}
+
+// IORConfig parameterizes an IOR-like run.
+type IORConfig struct {
+	Pattern         Pattern
+	Clients         int
+	WriteSize       int64
+	WritesPerClient int
+	StripeSize      int64
+	StripeCount     uint32
+	// Path names the shared file (or the per-client file prefix for NN).
+	Path string
+	// Mode forces a lock mode; zero follows the selection rules.
+	Mode dlm.Mode
+	// Verify reads every block back from a fresh client after the drain
+	// and checks it against the writer's pattern — the IO500-style
+	// correctness pass. Verification time is not part of the Result.
+	Verify bool
+}
+
+// offset returns the file offset of iteration k for rank i.
+func (cfg IORConfig) offset(rank, k int) int64 {
+	switch cfg.Pattern {
+	case NN, N1Segmented:
+		base := int64(0)
+		if cfg.Pattern == N1Segmented {
+			base = int64(rank) * cfg.WriteSize * int64(cfg.WritesPerClient)
+		}
+		return base + int64(k)*cfg.WriteSize
+	default: // N1Strided
+		return int64(k*cfg.Clients+rank) * cfg.WriteSize
+	}
+}
+
+// RunIOR executes the workload on fresh clients of c and returns the
+// timing. Each client writes WritesPerClient × WriteSize bytes; the
+// drain phase then flushes all dirty data and releases all locks.
+func RunIOR(c *cluster.Cluster, cfg IORConfig) (Result, error) {
+	if cfg.Path == "" {
+		cfg.Path = "/ior"
+	}
+	clients, err := c.Clients(cfg.Clients, "ior")
+	if err != nil {
+		return Result{}, err
+	}
+	defer func() {
+		for _, cl := range clients {
+			cl.Close()
+		}
+	}()
+
+	files := make([]*client.File, cfg.Clients)
+	for i, cl := range clients {
+		path := cfg.Path
+		if cfg.Pattern == NN {
+			path = fmt.Sprintf("%s-%d", cfg.Path, i)
+		}
+		f, err := cl.OpenOrCreate(path, cfg.StripeSize, cfg.StripeCount)
+		if err != nil {
+			return Result{}, err
+		}
+		files[i] = f
+	}
+
+	var res Result
+	res.Ops = int64(cfg.Clients * cfg.WritesPerClient)
+	res.Bytes = res.Ops * cfg.WriteSize
+
+	errs := make(chan error, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			buf := make([]byte, cfg.WriteSize)
+			for b := range buf {
+				buf[b] = byte(i + b)
+			}
+			f := files[i]
+			for k := 0; k < cfg.WritesPerClient; k++ {
+				if _, err := f.WriteAtOpts(buf, cfg.offset(i, k), client.WriteOptions{Mode: cfg.Mode}); err != nil {
+					errs <- fmt.Errorf("rank %d write %d: %w", i, k, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	res.PIO = time.Since(start)
+	select {
+	case err := <-errs:
+		return res, err
+	default:
+	}
+
+	res.Flush = drain(clients, files)
+	if cfg.Verify {
+		if err := verifyIOR(c, cfg); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// verifyIOR reads every block back from a fresh client and checks the
+// deterministic rank pattern.
+func verifyIOR(c *cluster.Cluster, cfg IORConfig) error {
+	cl, err := c.NewClient("ior-verify")
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	buf := make([]byte, cfg.WriteSize)
+	want := make([]byte, cfg.WriteSize)
+	var f *client.File
+	for i := 0; i < cfg.Clients; i++ {
+		path := cfg.Path
+		if cfg.Pattern == NN {
+			path = fmt.Sprintf("%s-%d", cfg.Path, i)
+			f = nil
+		}
+		if f == nil || cfg.Pattern == NN {
+			if f, err = cl.Open(path); err != nil {
+				return err
+			}
+		}
+		for b := range want {
+			want[b] = byte(i + b)
+		}
+		for k := 0; k < cfg.WritesPerClient; k++ {
+			off := cfg.offset(i, k)
+			if _, err := f.ReadAt(buf, off); err != nil && err != io.EOF {
+				return fmt.Errorf("verify rank %d iter %d: %w", i, k, err)
+			}
+			if !bytes.Equal(buf, want) {
+				return fmt.Errorf("verify rank %d iter %d at offset %d: data mismatch", i, k, off)
+			}
+		}
+	}
+	return nil
+}
+
+// drain flushes every client's dirty data and releases all locks,
+// returning the wall time — the paper's F time.
+func drain(clients []*client.Client, files []*client.File) time.Duration {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if files[i] != nil {
+				files[i].Fsync()
+			}
+			clients[i].Locks().ReleaseAll()
+		}(i)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// SequentialConfig parameterizes the totally-conflicting sequential
+// write sequence of Fig. 16(a): clients write to a shared file strictly
+// in round-robin order, each write locking the whole stripe range.
+type SequentialConfig struct {
+	Clients     int
+	Writes      int // total writes across all clients
+	WriteSize   int64
+	StripeSize  int64
+	StripeCount uint32
+	Mode        dlm.Mode // NBW vs PW is the Fig. 17 comparison
+}
+
+// Breakdown splits the total time of a sequential run into the paper's
+// three parts: ① lock revocation, ② lock cancel (data flushing + lock
+// release), ③ everything else (requests, grant replies, cache copies).
+type Breakdown struct {
+	Revocation time.Duration
+	Cancel     time.Duration
+	Other      time.Duration
+	Total      time.Duration
+}
+
+// RunSequential executes the round-robin conflicting sequence and
+// returns the result with the server-attributed time breakdown.
+func RunSequential(c *cluster.Cluster, cfg SequentialConfig) (Result, Breakdown, error) {
+	clients, err := c.Clients(cfg.Clients, "seq")
+	if err != nil {
+		return Result{}, Breakdown{}, err
+	}
+	defer func() {
+		for _, cl := range clients {
+			cl.Close()
+		}
+	}()
+	files := make([]*client.File, cfg.Clients)
+	for i, cl := range clients {
+		f, err := cl.OpenOrCreate("/seq", cfg.StripeSize, cfg.StripeCount)
+		if err != nil {
+			return Result{}, Breakdown{}, err
+		}
+		files[i] = f
+	}
+
+	before := c.DLMStats()
+	buf := make([]byte, cfg.WriteSize)
+	start := time.Now()
+	// The MPI_Send/MPI_Recv token ring of the paper, as a channel chain.
+	for k := 0; k < cfg.Writes; k++ {
+		i := k % cfg.Clients
+		if _, err := files[i].WriteAtOpts(buf, 0, client.WriteOptions{
+			Mode:            cfg.Mode,
+			LockWholeStripe: true,
+		}); err != nil {
+			return Result{}, Breakdown{}, err
+		}
+	}
+	pio := time.Since(start)
+	flush := drain(clients, files)
+
+	res := Result{
+		PIO:   pio,
+		Flush: flush,
+		Bytes: int64(cfg.Writes) * cfg.WriteSize,
+		Ops:   int64(cfg.Writes),
+	}
+	d := c.DLMStats().Sub(before)
+	bd := Breakdown{
+		Revocation: d.RevocationWait,
+		Cancel:     d.CancelWait,
+		Total:      pio + flush,
+	}
+	bd.Other = bd.Total - bd.Revocation - bd.Cancel
+	if bd.Other < 0 {
+		bd.Other = 0
+	}
+	return res, bd, nil
+}
+
+// ParallelConfig parameterizes the Fig. 16(b) throughput test: clients
+// independently hammer one lock resource, each write locking the whole
+// range, so conflicting requests pile up at the server and early
+// revocation has work to do.
+type ParallelConfig struct {
+	Clients         int
+	WritesPerClient int
+	WriteSize       int64
+	StripeSize      int64
+	StripeCount     uint32
+	Mode            dlm.Mode
+}
+
+// ParallelStats extends Result with the locking/IO time ratio of
+// Fig. 18(b), measured on client 0 as in the paper.
+type ParallelStats struct {
+	Result
+	// LockRatio is locking time / total IO time on one client.
+	LockRatio float64
+}
+
+// RunParallel executes the independent-writers throughput test.
+func RunParallel(c *cluster.Cluster, cfg ParallelConfig) (ParallelStats, error) {
+	clients, err := c.Clients(cfg.Clients, "par")
+	if err != nil {
+		return ParallelStats{}, err
+	}
+	defer func() {
+		for _, cl := range clients {
+			cl.Close()
+		}
+	}()
+	files := make([]*client.File, cfg.Clients)
+	for i, cl := range clients {
+		f, err := cl.OpenOrCreate("/par", cfg.StripeSize, cfg.StripeCount)
+		if err != nil {
+			return ParallelStats{}, err
+		}
+		files[i] = f
+	}
+
+	errs := make(chan error, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			buf := make([]byte, cfg.WriteSize)
+			for k := 0; k < cfg.WritesPerClient; k++ {
+				if _, err := files[i].WriteAtOpts(buf, 0, client.WriteOptions{
+					Mode:            cfg.Mode,
+					LockWholeStripe: true,
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	pio := time.Since(start)
+	select {
+	case err := <-errs:
+		return ParallelStats{}, err
+	default:
+	}
+	flush := drain(clients, files)
+
+	st := ParallelStats{Result: Result{
+		PIO:   pio,
+		Flush: flush,
+		Bytes: int64(cfg.Clients*cfg.WritesPerClient) * cfg.WriteSize,
+		Ops:   int64(cfg.Clients * cfg.WritesPerClient),
+	}}
+	lock := clients[0].Stats.LockNs.Load()
+	io := clients[0].Stats.IONs.Load()
+	if io > 0 {
+		st.LockRatio = float64(lock) / float64(io)
+	}
+	return st, nil
+}
+
+// MixedConfig parameterizes the Fig. 19(a) lock-upgrading test: one
+// client interleaves writes and reads on a single-striped file.
+type MixedConfig struct {
+	Ops        int // total operations (alternating write, read)
+	Size       int64
+	StripeSize int64
+	WriteMode  dlm.Mode // PW or NBW; reads always use PR
+}
+
+// RunMixed executes the interleaved read/write sequence and returns the
+// operation throughput.
+func RunMixed(c *cluster.Cluster, cfg MixedConfig) (Result, error) {
+	cl, err := c.NewClient("mixed")
+	if err != nil {
+		return Result{}, err
+	}
+	defer cl.Close()
+	f, err := cl.OpenOrCreate("/mixed", cfg.StripeSize, 1)
+	if err != nil {
+		return Result{}, err
+	}
+	buf := make([]byte, cfg.Size)
+	// Prime the file so reads have data.
+	if _, err := f.WriteAtOpts(buf, 0, client.WriteOptions{Mode: cfg.WriteMode}); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	for k := 0; k < cfg.Ops; k++ {
+		if k%2 == 0 {
+			if _, err := f.WriteAtOpts(buf, 0, client.WriteOptions{Mode: cfg.WriteMode}); err != nil {
+				return Result{}, err
+			}
+		} else {
+			if _, err := f.ReadAt(buf, 0); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	pio := time.Since(start)
+	flush := drain([]*client.Client{cl}, []*client.File{f})
+	return Result{PIO: pio, Flush: flush, Ops: int64(cfg.Ops), Bytes: int64(cfg.Ops/2) * cfg.Size}, nil
+}
+
+// SpanConfig parameterizes the Fig. 19(b) lock-downgrading test: every
+// write spans two stripes, so each needs both stripes' write locks
+// simultaneously.
+type SpanConfig struct {
+	Clients         int
+	WritesPerClient int
+	WriteSize       int64
+	StripeSize      int64
+	Mode            dlm.Mode // BW or PW
+}
+
+// RunSpan executes the two-stripe spanning write test.
+func RunSpan(c *cluster.Cluster, cfg SpanConfig) (Result, error) {
+	clients, err := c.Clients(cfg.Clients, "span")
+	if err != nil {
+		return Result{}, err
+	}
+	defer func() {
+		for _, cl := range clients {
+			cl.Close()
+		}
+	}()
+	files := make([]*client.File, cfg.Clients)
+	for i, cl := range clients {
+		f, err := cl.OpenOrCreate("/span", cfg.StripeSize, 2)
+		if err != nil {
+			return Result{}, err
+		}
+		files[i] = f
+	}
+	// A write centred on the stripe boundary spans both stripes.
+	off := cfg.StripeSize - cfg.WriteSize/2
+	if off < 0 {
+		off = 0
+	}
+
+	errs := make(chan error, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			buf := make([]byte, cfg.WriteSize)
+			for k := 0; k < cfg.WritesPerClient; k++ {
+				if _, err := files[i].WriteAtOpts(buf, off, client.WriteOptions{Mode: cfg.Mode}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	pio := time.Since(start)
+	select {
+	case err := <-errs:
+		return Result{}, err
+	default:
+	}
+	flush := drain(clients, files)
+	return Result{
+		PIO:   pio,
+		Flush: flush,
+		Bytes: int64(cfg.Clients*cfg.WritesPerClient) * cfg.WriteSize,
+		Ops:   int64(cfg.Clients * cfg.WritesPerClient),
+	}, nil
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package ccpfs
+
+// raceEnabled reports that the race detector is instrumenting this
+// build. Shape tests assert performance ratios of the simulated
+// testbed; under the detector's order-of-magnitude slowdown those
+// ratios are meaningless, so they skip themselves.
+const raceEnabled = true
