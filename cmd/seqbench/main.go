@@ -12,16 +12,24 @@
 // Experiment IDs: fig4, fig5, model, fig17, fig18, fig19a, fig19b,
 // table3, fig20, fig21, fig23, fig24, ablation (fig22 and fig25 are the
 // time columns of fig21 and fig24).
+//
+// -benchjson FILE runs the parallel hot-path benchmarks of
+// internal/perfbench instead of the experiment suite and writes the
+// results to FILE (BENCH_dlm.json by convention); -benchbaseline FILE
+// folds per-benchmark baseline numbers and speedups into the report.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"ccpfs"
+	"ccpfs/internal/perfbench"
 )
 
 type experiment struct {
@@ -103,7 +111,18 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	scale := flag.Float64("scale", 1, "slow simulated devices by this factor")
 	csv := flag.Bool("csv", false, "emit CSV rows instead of tables")
+	benchJSON := flag.String("benchjson", "", "run the parallel hot-path benchmarks and write results to this file")
+	benchBaseline := flag.String("benchbaseline", "", "baseline results file to compute speedups against (with -benchjson)")
+	benchProcs := flag.Int("benchprocs", 0, "GOMAXPROCS for -benchjson (0 = 8 or NumCPU, whichever is larger)")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *benchBaseline, *benchProcs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	exps := suite()
 	if *list {
@@ -143,4 +162,74 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *expFlag)
 		os.Exit(1)
 	}
+}
+
+// benchReport is the schema of the -benchjson output file.
+type benchReport struct {
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
+	Results    []benchEntry `json:"results"`
+}
+
+type benchEntry struct {
+	perfbench.Result
+	// BaselineNsPerOp and Speedup are present when -benchbaseline named
+	// a file containing a result with the same benchmark name.
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
+	Speedup         float64 `json:"speedup,omitempty"`
+}
+
+// runBenchJSON runs the perfbench suite at the requested parallelism and
+// writes the report, printing a human-readable summary to stdout.
+func runBenchJSON(outPath, baselinePath string, procs int) error {
+	if procs <= 0 {
+		procs = 8
+		if n := runtime.NumCPU(); n > procs {
+			procs = n
+		}
+	}
+	baseline := map[string]perfbench.Result{}
+	if baselinePath != "" {
+		data, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("benchbaseline: %w", err)
+		}
+		var rs []perfbench.Result
+		if err := json.Unmarshal(data, &rs); err != nil {
+			// Accept a previous -benchjson report as the baseline too.
+			var rep benchReport
+			if err2 := json.Unmarshal(data, &rep); err2 != nil {
+				return fmt.Errorf("benchbaseline: %v", err)
+			}
+			for _, e := range rep.Results {
+				rs = append(rs, e.Result)
+			}
+		}
+		for _, r := range rs {
+			baseline[r.Name] = r
+		}
+	}
+
+	fmt.Printf("running %d parallel benchmarks at GOMAXPROCS=%d...\n", len(perfbench.All()), procs)
+	rep := benchReport{GOMAXPROCS: procs, NumCPU: runtime.NumCPU()}
+	for _, r := range perfbench.Run(procs) {
+		e := benchEntry{Result: r}
+		if b, ok := baseline[r.Name]; ok && r.NsPerOp > 0 {
+			e.BaselineNsPerOp = b.NsPerOp
+			e.Speedup = b.NsPerOp / r.NsPerOp
+			fmt.Printf("  %-34s %10.1f ns/op  (baseline %10.1f, %.2fx)\n", r.Name, r.NsPerOp, b.NsPerOp, e.Speedup)
+		} else {
+			fmt.Printf("  %-34s %10.1f ns/op\n", r.Name, r.NsPerOp)
+		}
+		rep.Results = append(rep.Results, e)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
 }

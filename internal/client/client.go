@@ -84,8 +84,10 @@ type Client struct {
 	lc    *dlm.LockClient
 	pc    *pagecache.Cache
 
-	mu    sync.Mutex
-	sizes map[uint64]int64 // local size watermark per FID
+	// sizes holds the local size watermark per FID as *atomic.Int64
+	// cells, so the hot write path updates its watermark without a
+	// client-wide lock (watermarks only grow except at Truncate).
+	sizes sync.Map
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -108,7 +110,6 @@ func New(cfg Config, conns Conns) (*Client, error) {
 		cfg:   cfg,
 		conns: conns,
 		pc:    pagecache.New(cfg.PageCache),
-		sizes: make(map[uint64]int64),
 		stop:  make(chan struct{}),
 	}
 	c.lc = dlm.NewLockClient(cfg.ID, cfg.Policy, c.route, dlm.FlusherFunc(c.flushForCancel))
@@ -376,21 +377,38 @@ func (c *Client) flushDaemon() {
 	}
 }
 
-// noteSize records a local file size watermark.
-func (c *Client) noteSize(fid uint64, size int64) {
-	c.mu.Lock()
-	if size > c.sizes[fid] {
-		c.sizes[fid] = size
+// sizeCell returns fid's watermark cell, creating it if needed.
+func (c *Client) sizeCell(fid uint64) *atomic.Int64 {
+	if v, ok := c.sizes.Load(fid); ok {
+		return v.(*atomic.Int64)
 	}
-	c.mu.Unlock()
+	v, _ := c.sizes.LoadOrStore(fid, new(atomic.Int64))
+	return v.(*atomic.Int64)
+}
+
+// localSize returns the locally known size watermark for fid.
+func (c *Client) localSize(fid uint64) int64 {
+	if v, ok := c.sizes.Load(fid); ok {
+		return v.(*atomic.Int64).Load()
+	}
+	return 0
+}
+
+// noteSize records a local file size watermark (CAS max-update).
+func (c *Client) noteSize(fid uint64, size int64) {
+	cell := c.sizeCell(fid)
+	for {
+		cur := cell.Load()
+		if size <= cur || cell.CompareAndSwap(cur, size) {
+			return
+		}
+	}
 }
 
 // pushSize publishes the local watermark to the metadata service so
 // readers that acquire the lock after a release observe the size.
 func (c *Client) pushSize(fid uint64) {
-	c.mu.Lock()
-	size := c.sizes[fid]
-	c.mu.Unlock()
+	size := c.localSize(fid)
 	if size == 0 {
 		return
 	}
@@ -398,12 +416,11 @@ func (c *Client) pushSize(fid uint64) {
 }
 
 func (c *Client) pushAllSizes() {
-	c.mu.Lock()
-	fids := make([]uint64, 0, len(c.sizes))
-	for fid := range c.sizes {
-		fids = append(fids, fid)
-	}
-	c.mu.Unlock()
+	var fids []uint64
+	c.sizes.Range(func(k, _ any) bool {
+		fids = append(fids, k.(uint64))
+		return true
+	})
 	for _, fid := range fids {
 		c.pushSize(fid)
 	}
@@ -500,10 +517,7 @@ func (f *File) Size() (int64, error) {
 		return 0, err
 	}
 	f.c.noteSize(f.fid, rep.Size)
-	f.c.mu.Lock()
-	size := f.c.sizes[f.fid]
-	f.c.mu.Unlock()
-	return size, nil
+	return f.c.localSize(f.fid), nil
 }
 
 // WriteOptions tune a write for experiments; the zero value follows the
@@ -618,9 +632,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	}
 	defer f.unlockAll(handles)
 
-	f.c.mu.Lock()
-	known := f.c.sizes[f.fid]
-	f.c.mu.Unlock()
+	known := f.c.localSize(f.fid)
 	if off+int64(len(p)) > known {
 		if known, err = f.Size(); err != nil {
 			return 0, err
@@ -721,9 +733,8 @@ func (f *File) Truncate(size int64) error {
 	if err := f.c.conns.Meta.Call(wire.MSetSize, &wire.SetSizeRequest{FID: f.fid, Size: size, Truncate: true}, &rep); err != nil {
 		return err
 	}
-	f.c.mu.Lock()
-	f.c.sizes[f.fid] = size
-	f.c.mu.Unlock()
+	// Plain store, not max-update: truncation may shrink the watermark.
+	f.c.sizeCell(f.fid).Store(size)
 	// Drop cached data beyond the new size on every stripe; reads are
 	// gated by the size register, so on-device stale bytes are inert.
 	for st := uint32(0); st < f.stripeCount; st++ {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ccpfs/internal/extent"
+	"ccpfs/internal/shard"
 )
 
 // ServerConn is how a lock client reaches one lock server. The cluster
@@ -43,7 +44,8 @@ type Handle struct {
 	id  LockID
 	sn  extent.SN
 
-	// Guarded by c.mu.
+	// Guarded by the shard mutex of res (all operations on one handle go
+	// through the same shard, since shards are keyed by resource).
 	mode        Mode
 	rng         extent.Extent
 	state       State
@@ -66,22 +68,25 @@ func (h *Handle) SN() extent.SN { return h.sn }
 
 // Mode returns the current mode (it may change by conversion).
 func (h *Handle) Mode() Mode {
-	h.c.mu.Lock()
-	defer h.c.mu.Unlock()
+	sh := h.c.shard(h.res)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	return h.mode
 }
 
 // Range returns the granted (possibly expanded) range.
 func (h *Handle) Range() extent.Extent {
-	h.c.mu.Lock()
-	defer h.c.mu.Unlock()
+	sh := h.c.shard(h.res)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	return h.rng
 }
 
 // State returns the lock's client-side state.
 func (h *Handle) State() State {
-	h.c.mu.Lock()
-	defer h.c.mu.Unlock()
+	sh := h.c.shard(h.res)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	return h.state
 }
 
@@ -102,12 +107,26 @@ type ClientStats struct {
 // LockClient is the client half of the DLM: it caches grants, answers
 // revocation callbacks, and runs the cancel path (downgrade → flush →
 // release) of §III-D2.
+//
+// Concurrency: all per-resource state (cached handles, the acquire
+// serialization mutex, racing-revocation bookkeeping) is sharded by
+// resource ID, so the cached-lock fast path of two clients touching
+// different stripes never shares a mutex. See DESIGN.md §6.
 type LockClient struct {
 	id      ClientID
 	policy  Policy
 	router  func(ResourceID) ServerConn
 	flusher Flusher
 
+	shards [shard.Count]clientShard
+
+	// Stats counts client-side lock activity.
+	Stats ClientStats
+}
+
+// clientShard carries the lock state of the resources hashing to one
+// shard. Every handle of a resource is guarded by its shard's mutex.
+type clientShard struct {
 	mu    sync.Mutex
 	cache map[ResourceID][]*Handle
 	acq   map[ResourceID]*sync.Mutex
@@ -120,9 +139,6 @@ type LockClient struct {
 	// within one server, and a client talks to many servers.
 	pendingRevokes map[lockKey]bool
 	tombstones     map[lockKey]bool
-
-	// Stats counts client-side lock activity.
-	Stats ClientStats
 }
 
 // lockKey globally identifies a lock: IDs are per-server, resources map
@@ -136,16 +152,25 @@ type lockKey struct {
 // connection of the server owning it; flusher is the data path used at
 // cancel time.
 func NewLockClient(id ClientID, policy Policy, router func(ResourceID) ServerConn, flusher Flusher) *LockClient {
-	return &LockClient{
-		id:             id,
-		policy:         policy,
-		router:         router,
-		flusher:        flusher,
-		cache:          make(map[ResourceID][]*Handle),
-		acq:            make(map[ResourceID]*sync.Mutex),
-		pendingRevokes: make(map[lockKey]bool),
-		tombstones:     make(map[lockKey]bool),
+	c := &LockClient{
+		id:      id,
+		policy:  policy,
+		router:  router,
+		flusher: flusher,
 	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.cache = make(map[ResourceID][]*Handle)
+		sh.acq = make(map[ResourceID]*sync.Mutex)
+		sh.pendingRevokes = make(map[lockKey]bool)
+		sh.tombstones = make(map[lockKey]bool)
+	}
+	return c
+}
+
+// shard returns the shard owning res.
+func (c *LockClient) shard(res ResourceID) *clientShard {
+	return &c.shards[shard.Of(uint64(res))]
 }
 
 // ID returns the client identifier.
@@ -155,12 +180,13 @@ func (c *LockClient) ID() ClientID { return c.id }
 func (c *LockClient) Policy() Policy { return c.policy }
 
 func (c *LockClient) acquireMu(res ResourceID) *sync.Mutex {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	m := c.acq[res]
+	sh := c.shard(res)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m := sh.acq[res]
 	if m == nil {
 		m = &sync.Mutex{}
-		c.acq[res] = m
+		sh.acq[res] = m
 	}
 	return m
 }
@@ -187,17 +213,18 @@ func (c *LockClient) acquire(res ResourceID, need Mode, rng extent.Extent, set e
 	am.Lock()
 	defer am.Unlock()
 
-	c.mu.Lock()
-	if h := c.lookupLocked(res, need, rng); h != nil {
+	sh := c.shard(res)
+	sh.mu.Lock()
+	if h := c.lookupLocked(sh, res, need, rng); h != nil {
 		h.holds++
 		if need.IsWrite() {
 			h.wrote = true
 		}
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		c.Stats.CacheHits.Add(1)
 		return h, nil
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	c.Stats.CacheMisses.Add(1)
 
 	start := time.Now()
@@ -225,17 +252,17 @@ func (c *LockClient) acquire(res ResourceID, need Mode, rng extent.Extent, set e
 		wrote:    need.IsWrite(),
 		released: make(chan struct{}),
 	}
-	c.mu.Lock()
+	sh.mu.Lock()
 	// A revocation callback may have raced ahead of this grant reply;
 	// honour it now.
-	if k := (lockKey{res, g.LockID}); c.pendingRevokes[k] {
-		delete(c.pendingRevokes, k)
+	if k := (lockKey{res, g.LockID}); sh.pendingRevokes[k] {
+		delete(sh.pendingRevokes, k)
 		h.state = Canceling
 	}
 	// Merge locks the server absorbed during upgrading: transfer their
 	// active holds and dirty-write flags, and forward their handles.
 	for _, aid := range g.Absorbed {
-		old := c.findByIDLocked(res, aid)
+		old := sh.findByIDLocked(res, aid)
 		if old == nil || old.canceling {
 			continue
 		}
@@ -244,7 +271,7 @@ func (c *LockClient) acquire(res ResourceID, need Mode, rng extent.Extent, set e
 			h.wrote = true
 		}
 		old.merged = h
-		c.removeLocked(old)
+		sh.removeLocked(old)
 		// The absorbed lock will never be canceled on its own; its
 		// users now hold h, and its released channel tracks h's.
 		go func(old *Handle) {
@@ -252,18 +279,18 @@ func (c *LockClient) acquire(res ResourceID, need Mode, rng extent.Extent, set e
 			close(old.released)
 		}(old)
 	}
-	c.cache[res] = append(c.cache[res], h)
-	c.mu.Unlock()
+	sh.cache[res] = append(sh.cache[res], h)
+	sh.mu.Unlock()
 	return h, nil
 }
 
 // lookupLocked finds a reusable cached handle. Datatype-style policies
-// do not reuse cached locks.
-func (c *LockClient) lookupLocked(res ResourceID, need Mode, rng extent.Extent) *Handle {
+// do not reuse cached locks. The caller holds sh.mu.
+func (c *LockClient) lookupLocked(sh *clientShard, res ResourceID, need Mode, rng extent.Extent) *Handle {
 	if !c.policy.CacheLocks {
 		return nil
 	}
-	for _, h := range c.cache[res] {
+	for _, h := range sh.cache[res] {
 		if h.state == Granted && !h.canceling && h.merged == nil &&
 			h.mode.Covers(need) && h.rng.Contains(rng) {
 			return h
@@ -272,8 +299,8 @@ func (c *LockClient) lookupLocked(res ResourceID, need Mode, rng extent.Extent) 
 	return nil
 }
 
-func (c *LockClient) findByIDLocked(res ResourceID, id LockID) *Handle {
-	for _, h := range c.cache[res] {
+func (sh *clientShard) findByIDLocked(res ResourceID, id LockID) *Handle {
+	for _, h := range sh.cache[res] {
 		if h.id == id {
 			return h
 		}
@@ -281,14 +308,14 @@ func (c *LockClient) findByIDLocked(res ResourceID, id LockID) *Handle {
 	return nil
 }
 
-func (c *LockClient) removeLocked(h *Handle) {
+func (sh *clientShard) removeLocked(h *Handle) {
 	k := lockKey{h.res, h.id}
-	c.tombstones[k] = true
-	delete(c.pendingRevokes, k)
-	list := c.cache[h.res]
+	sh.tombstones[k] = true
+	delete(sh.pendingRevokes, k)
+	list := sh.cache[h.res]
 	for i, x := range list {
 		if x == h {
-			c.cache[h.res] = append(list[:i], list[i+1:]...)
+			sh.cache[h.res] = append(list[:i], list[i+1:]...)
 			return
 		}
 	}
@@ -298,12 +325,13 @@ func (c *LockClient) removeLocked(h *Handle) {
 // policy does not cache locks) and this was the last user, the cancel
 // path starts in the background: downgrade, flush, release.
 func (c *LockClient) Unlock(h *Handle) {
-	c.mu.Lock()
+	sh := c.shard(h.res)
+	sh.mu.Lock()
 	for h.merged != nil {
 		h = h.merged
 	}
 	if h.holds <= 0 {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		panic("dlm: Unlock without matching Acquire")
 	}
 	h.holds--
@@ -314,7 +342,7 @@ func (c *LockClient) Unlock(h *Handle) {
 	if start {
 		h.canceling = true
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	if start {
 		go c.cancel(h)
 	}
@@ -325,20 +353,21 @@ func (c *LockClient) Unlock(h *Handle) {
 // revocation reply. The cancel path runs once ongoing operations finish.
 func (c *LockClient) OnRevoke(res ResourceID, id LockID) {
 	c.Stats.Revocations.Add(1)
-	c.mu.Lock()
-	h := c.findByIDLocked(res, id)
+	sh := c.shard(res)
+	sh.mu.Lock()
+	h := sh.findByIDLocked(res, id)
 	if h == nil {
 		// Either the grant reply has not been processed yet (remember
 		// the revocation for when it is) or the lock is already gone
 		// (tombstoned: ignore). Acking both cases is correct.
-		if k := (lockKey{res, id}); !c.tombstones[k] {
-			c.pendingRevokes[k] = true
+		if k := (lockKey{res, id}); !sh.tombstones[k] {
+			sh.pendingRevokes[k] = true
 		}
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
 	if h.merged != nil {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return // absorbed into an upgraded lock; nothing to cancel
 	}
 	h.state = Canceling
@@ -346,7 +375,7 @@ func (c *LockClient) OnRevoke(res ResourceID, id LockID) {
 	if start {
 		h.canceling = true
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	if start {
 		go c.cancel(h)
 	}
@@ -359,19 +388,20 @@ func (c *LockClient) cancel(h *Handle) {
 	start := time.Now()
 	c.Stats.Cancels.Add(1)
 	conn := c.router(h.res)
+	sh := c.shard(h.res)
 
-	c.mu.Lock()
+	sh.mu.Lock()
 	mode, wrote, rng := h.mode, h.wrote, h.rng
-	c.mu.Unlock()
+	sh.mu.Unlock()
 
 	flushed := false
 	if c.policy.Conversion {
 		switch d := Downgrade(mode, wrote); d {
 		case NBW:
 			if err := conn.Downgrade(h.res, h.id, NBW); err == nil {
-				c.mu.Lock()
+				sh.mu.Lock()
 				h.mode = NBW
-				c.mu.Unlock()
+				sh.mu.Unlock()
 			}
 		case PR:
 			// A PW held only by readers: flush first so readers granted
@@ -379,9 +409,9 @@ func (c *LockClient) cancel(h *Handle) {
 			c.flusher.FlushForCancel(h.res, rng, h.sn)
 			flushed = true
 			if err := conn.Downgrade(h.res, h.id, PR); err == nil {
-				c.mu.Lock()
+				sh.mu.Lock()
 				h.mode = PR
-				c.mu.Unlock()
+				sh.mu.Unlock()
 			}
 		}
 	}
@@ -393,48 +423,52 @@ func (c *LockClient) cancel(h *Handle) {
 	// precedes release), so a recovering server that never hears about
 	// it loses nothing — while restoring it after the release landed
 	// would leave a zombie lock no one will ever release.
-	c.mu.Lock()
+	sh.mu.Lock()
 	h.releaseSent = true
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	conn.Release(h.res, h.id)
 
-	c.mu.Lock()
-	c.removeLocked(h)
-	c.mu.Unlock()
+	sh.mu.Lock()
+	sh.removeLocked(h)
+	sh.mu.Unlock()
 	close(h.released)
 	c.Stats.CancelNs.Add(time.Since(start).Nanoseconds())
 }
 
 // CachedLocks returns the number of cached handles for a resource.
 func (c *LockClient) CachedLocks(res ResourceID) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.cache[res])
+	sh := c.shard(res)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(sh.cache[res])
 }
 
 // ReleaseAll cancels every idle cached lock and waits for the cancels to
 // finish — the client's shutdown barrier. Handles with active holds are
 // marked CANCELING and will cancel at their final Unlock.
 func (c *LockClient) ReleaseAll() {
-	c.mu.Lock()
 	var toStart, toWait []*Handle
-	for _, list := range c.cache {
-		for _, h := range list {
-			if h.merged != nil {
-				continue
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, list := range sh.cache {
+			for _, h := range list {
+				if h.merged != nil {
+					continue
+				}
+				h.state = Canceling
+				if h.holds > 0 {
+					continue
+				}
+				if !h.canceling {
+					h.canceling = true
+					toStart = append(toStart, h)
+				}
+				toWait = append(toWait, h)
 			}
-			h.state = Canceling
-			if h.holds > 0 {
-				continue
-			}
-			if !h.canceling {
-				h.canceling = true
-				toStart = append(toStart, h)
-			}
-			toWait = append(toWait, h)
 		}
+		sh.mu.Unlock()
 	}
-	c.mu.Unlock()
 	for _, h := range toStart {
 		go c.cancel(h)
 	}

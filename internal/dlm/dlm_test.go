@@ -488,9 +488,10 @@ func TestPWDowngradesToPRForReaders(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Force wrote=false to model the only-readers case.
-	c1.mu.Lock()
+	sh := c1.shard(hd.res)
+	sh.mu.Lock()
 	hd.wrote = false
-	c1.mu.Unlock()
+	sh.mu.Unlock()
 
 	gate := make(chan struct{})
 	h2.flusher.setGate(gate)

@@ -32,27 +32,30 @@ type LockRecord struct {
 // are reported too: their data flushing may still be in flight and the
 // recovered server must keep ordering them.
 func (c *LockClient) Export(filter func(ResourceID) bool) []LockRecord {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var out []LockRecord
-	for res, list := range c.cache {
-		if filter != nil && !filter(res) {
-			continue
-		}
-		for _, h := range list {
-			if h.merged != nil || h.releaseSent {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for res, list := range sh.cache {
+			if filter != nil && !filter(res) {
 				continue
 			}
-			out = append(out, LockRecord{
-				Resource: res,
-				Client:   c.id,
-				LockID:   h.id,
-				Mode:     h.mode,
-				Range:    h.rng,
-				SN:       h.sn,
-				State:    h.state,
-			})
+			for _, h := range list {
+				if h.merged != nil || h.releaseSent {
+					continue
+				}
+				out = append(out, LockRecord{
+					Resource: res,
+					Client:   c.id,
+					LockID:   h.id,
+					Mode:     h.mode,
+					Range:    h.rng,
+					SN:       h.sn,
+					State:    h.state,
+				})
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -61,9 +64,12 @@ func (c *LockClient) Export(filter func(ResourceID) bool) []LockRecord {
 // crash (the recovery tests crash and rebuild an engine in place) and
 // must not be called while requests are in flight.
 func (s *Server) Reset() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.resources = make(map[ResourceID]*resource)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.resources = make(map[ResourceID]*resource)
+		sh.mu.Unlock()
+	}
 }
 
 // Restore reinstalls client-reported locks into a fresh engine. Records
@@ -112,10 +118,13 @@ func (s *Server) Restore(records []LockRecord) error {
 			maxID = r.LockID
 		}
 	}
-	s.mu.Lock()
-	if maxID > s.nextLock {
-		s.nextLock = maxID
+	// CAS-max the allocator above every restored ID so post-recovery
+	// grants can never collide with pre-crash ones.
+	for {
+		cur := s.nextLock.Load()
+		if uint64(maxID) <= cur || s.nextLock.CompareAndSwap(cur, uint64(maxID)) {
+			break
+		}
 	}
-	s.mu.Unlock()
 	return nil
 }

@@ -3,9 +3,11 @@ package dlm
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ccpfs/internal/extent"
+	"ccpfs/internal/shard"
 )
 
 // ResourceID identifies a lock resource. In ccPFS each file stripe has a
@@ -67,13 +69,17 @@ func (f NotifierFunc) Revoke(rev Revocation) { f(rev) }
 
 // Server is the lock-server engine. One engine instance serves all lock
 // resources placed on a data server; behaviour is selected by Policy.
+//
+// Concurrency: the resource map is sharded (shard.Of) so requests on
+// different stripes only ever contend on a shard read lock; each
+// resource keeps its own mutex for the grant state machine, and the
+// lock-ID allocator and Stats are atomics. See DESIGN.md §6.
 type Server struct {
 	policy   Policy
 	notifier Notifier
 
-	mu        sync.Mutex
-	resources map[ResourceID]*resource
-	nextLock  LockID
+	shards   [shard.Count]srvShard
+	nextLock atomic.Uint64
 
 	// Stats accumulates protocol counters and wait-time attribution used
 	// by the Fig. 17 breakdown.
@@ -83,14 +89,24 @@ type Server struct {
 	tracer *Tracer
 }
 
+// srvShard holds one shard of the resource map; its RWMutex guards only
+// map lookup/insert.
+type srvShard struct {
+	mu        sync.RWMutex
+	resources map[ResourceID]*resource
+}
+
 // NewServer returns an engine with the given policy. The notifier may be
 // nil until SetNotifier is called (before the first conflicting grant).
 func NewServer(policy Policy, notifier Notifier) *Server {
-	return &Server{
-		policy:    policy,
-		notifier:  notifier,
-		resources: make(map[ResourceID]*resource),
+	s := &Server{
+		policy:   policy,
+		notifier: notifier,
 	}
+	for i := range s.shards {
+		s.shards[i].resources = make(map[ResourceID]*resource)
+	}
+	return s
 }
 
 // SetNotifier installs the revocation callback sink.
@@ -128,22 +144,27 @@ type resource struct {
 	grants  int // total grants ever, drives the DLM-Lustre threshold
 }
 
+// resource returns id's resource, creating it if needed. Resources are
+// never removed, so the pointer stays valid without the shard lock.
 func (s *Server) resource(id ResourceID) *resource {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r := s.resources[id]
-	if r == nil {
+	sh := &s.shards[shard.Of(uint64(id))]
+	sh.mu.RLock()
+	r := sh.resources[id]
+	sh.mu.RUnlock()
+	if r != nil {
+		return r
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if r = sh.resources[id]; r == nil {
 		r = &resource{id: id}
-		s.resources[id] = r
+		sh.resources[id] = r
 	}
 	return r
 }
 
 func (s *Server) newLockID() LockID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.nextLock++
-	return s.nextLock
+	return LockID(s.nextLock.Add(1))
 }
 
 // Lock requests a lock and blocks until it is granted.
@@ -661,12 +682,15 @@ func (s *Server) queueConflict(res *resource, w *waiter, mode Mode, rng extent.E
 // GRANTED. It returns the first violation found. Tests call it at
 // quiescent points; it takes every resource lock briefly.
 func (s *Server) CheckInvariants() error {
-	s.mu.Lock()
-	resources := make([]*resource, 0, len(s.resources))
-	for _, r := range s.resources {
-		resources = append(resources, r)
+	var resources []*resource
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, r := range sh.resources {
+			resources = append(resources, r)
+		}
+		sh.mu.RUnlock()
 	}
-	s.mu.Unlock()
 	for _, res := range resources {
 		res.mu.Lock()
 		for i, a := range res.granted {

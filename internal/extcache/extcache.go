@@ -10,13 +10,23 @@
 // IO; and a forced-synchronization fallback that reclaims every
 // outstanding write lock when cleanup cannot keep the cache under its
 // entry budget.
+//
+// Concurrency: the cache is sharded by stripe (shard.Of) and every
+// stripe carries its own mutex, so flushes to different stripes never
+// contend and the cleanup task only ever stalls the one stripe it is
+// scanning. Shard mutexes guard only the stripe map; stripe mutexes
+// guard that stripe's tree, log, and scan cursor; the global entry
+// count and activity counters are atomics. See DESIGN.md §6
+// (Concurrency model).
 package extcache
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ccpfs/internal/extent"
+	"ccpfs/internal/shard"
 )
 
 // Defaults from the paper.
@@ -39,19 +49,34 @@ type ForceSyncFunc func(stripe uint64)
 
 // Cache is the extent cache for all stripes a data server owns.
 type Cache struct {
-	mu        sync.Mutex
-	stripes   map[uint64]*stripeCache
+	shards    [shard.Count]cacheShard
 	threshold int
 	logging   bool
-	logFile   *LogFile // optional durable mirror of the in-memory logs
+	logFile   *LogFile // optional durable mirror; attached before traffic
+
+	// entries mirrors the total tree entry count across stripes so the
+	// budget check is one atomic load instead of a full-cache scan under
+	// a lock.
+	entries atomic.Int64
 
 	// Stats.
-	inserts     int64
-	cleaned     int64
-	forcedSyncs int64
+	inserts     atomic.Int64
+	cleaned     atomic.Int64
+	forcedSyncs atomic.Int64
+
+	// kick wakes the cleanup daemon ahead of its next tick; see Kick.
+	kick chan struct{}
+}
+
+// cacheShard holds the stripe map of one shard. The RWMutex guards only
+// map lookup/insert; per-stripe state has its own lock.
+type cacheShard struct {
+	mu      sync.RWMutex
+	stripes map[uint64]*stripeCache
 }
 
 type stripeCache struct {
+	mu     sync.Mutex
 	tree   extent.Tree
 	cursor int64 // cleanup scan position
 	log    []extent.SNExtent
@@ -64,19 +89,43 @@ func New(threshold int, logging bool) *Cache {
 	if threshold <= 0 {
 		threshold = DefaultThreshold
 	}
-	return &Cache{
-		stripes:   make(map[uint64]*stripeCache),
+	c := &Cache{
 		threshold: threshold,
 		logging:   logging,
+		kick:      make(chan struct{}, 1),
 	}
+	for i := range c.shards {
+		c.shards[i].stripes = make(map[uint64]*stripeCache)
+	}
+	return c
 }
 
+// stripe returns stripe id's cache, creating it if needed. Stripes are
+// never removed from the map (ForceSync clears their contents in
+// place), so the returned pointer stays valid without the shard lock.
 func (c *Cache) stripe(id uint64) *stripeCache {
-	sc := c.stripes[id]
-	if sc == nil {
-		sc = &stripeCache{}
-		c.stripes[id] = sc
+	sh := &c.shards[shard.Of(id)]
+	sh.mu.RLock()
+	sc := sh.stripes[id]
+	sh.mu.RUnlock()
+	if sc != nil {
+		return sc
 	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sc = sh.stripes[id]; sc == nil {
+		sc = &stripeCache{}
+		sh.stripes[id] = sc
+	}
+	return sc
+}
+
+// lookup returns stripe id's cache without creating it.
+func (c *Cache) lookup(id uint64) *stripeCache {
+	sh := &c.shards[shard.Of(id)]
+	sh.mu.RLock()
+	sc := sh.stripes[id]
+	sh.mu.RUnlock()
 	return sc
 }
 
@@ -85,39 +134,39 @@ func (c *Cache) stripe(id uint64) *stripeCache {
 // newest and must be written to the device. Ranges absent from the
 // update set lost to newer cached data and their bytes are discarded.
 func (c *Cache) Apply(stripe uint64, rng extent.Extent, sn extent.SN) []extent.SNExtent {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	sc := c.stripe(stripe)
+	sc.mu.Lock()
+	before := sc.tree.Len()
 	won := sc.tree.Insert(rng, sn)
-	c.inserts++
 	if c.logging && len(won) > 0 {
 		sc.log = append(sc.log, won...)
 	}
 	if c.logFile != nil && len(won) > 0 {
-		// Mirror to the durable log while holding c.mu so record order
-		// matches apply order.
+		// Mirror to the durable log while holding the stripe lock so
+		// record order matches apply order per stripe (replay only needs
+		// per-stripe ordering: records carry the stripe id).
 		c.logFile.Append(stripe, won)
 	}
+	delta := sc.tree.Len() - before
+	sc.mu.Unlock()
+	c.entries.Add(int64(delta))
+	c.inserts.Add(1)
 	return won
 }
 
 // MaxSN returns the newest SN recorded for any byte of rng.
 func (c *Cache) MaxSN(stripe uint64, rng extent.Extent) (extent.SN, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stripe(stripe).tree.MaxSNOverlapping(rng)
+	sc := c.lookup(stripe)
+	if sc == nil {
+		return 0, false
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.tree.MaxSNOverlapping(rng)
 }
 
 // Entries returns the total entry count across stripes.
-func (c *Cache) Entries() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n := 0
-	for _, sc := range c.stripes {
-		n += sc.tree.Len()
-	}
-	return n
-}
+func (c *Cache) Entries() int { return int(c.entries.Load()) }
 
 // Bytes returns the modelled memory footprint (48 bytes per entry).
 func (c *Cache) Bytes() int {
@@ -127,40 +176,70 @@ func (c *Cache) Bytes() int {
 // NeedsCleanup reports whether the entry budget is exceeded.
 func (c *Cache) NeedsCleanup() bool { return c.Entries() > c.threshold }
 
+// forEachStripe visits every stripe currently in the cache. It snapshots
+// each shard's stripe list under the shard read lock and visits without
+// any lock held, so fn may lock the stripe itself.
+func (c *Cache) forEachStripe(fn func(id uint64, sc *stripeCache) bool) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		ids := make([]uint64, 0, len(sh.stripes))
+		scs := make([]*stripeCache, 0, len(sh.stripes))
+		for id, sc := range sh.stripes {
+			ids = append(ids, id)
+			scs = append(scs, sc)
+		}
+		sh.mu.RUnlock()
+		for j, sc := range scs {
+			if !fn(ids[j], sc) {
+				return
+			}
+		}
+	}
+}
+
 // CleanupRound runs one bounded cleanup pass: it picks up to BatchLimit
 // entries round-robin across stripes (resuming each stripe's scan where
 // the previous round stopped), queries the mSN for each entry's range,
 // and removes entries whose SN is no larger than the mSN — those can
 // never be superseded by in-flight flushes because SeqDLM guarantees
 // data with smaller SNs is already on the device. It returns the number
-// of entries removed.
+// of entries removed. Only the stripe being scanned is locked at any
+// moment, so inserts on other stripes proceed unimpeded.
 func (c *Cache) CleanupRound(minSN MinSNFunc) int {
 	type job struct {
 		stripe uint64
+		sc     *stripeCache
 		ents   []extent.SNExtent
 	}
 	var jobs []job
-	c.mu.Lock()
 	budget := BatchLimit
-	for id, sc := range c.stripes {
+	c.forEachStripe(func(id uint64, sc *stripeCache) bool {
 		if budget <= 0 {
-			break
+			return false
 		}
+		sc.mu.Lock()
 		batch, next := sc.tree.PickBatch(sc.cursor, budget)
-		if len(batch) == 0 {
-			// Wrap the scan for the next round.
+		if len(batch) == 0 && sc.cursor != 0 {
+			// The scan ran off the end; wrap and retry immediately so a
+			// round always makes progress on a non-empty stripe.
 			sc.cursor = 0
-			continue
+			batch, next = sc.tree.PickBatch(0, budget)
+		}
+		if len(batch) == 0 {
+			sc.mu.Unlock()
+			return true
 		}
 		sc.cursor = next
+		sc.mu.Unlock()
 		budget -= len(batch)
-		jobs = append(jobs, job{stripe: id, ents: batch})
-	}
-	c.mu.Unlock()
+		jobs = append(jobs, job{stripe: id, sc: sc, ents: batch})
+		return true
+	})
 
 	removed := 0
 	for _, j := range jobs {
-		// Query the mSN per entry outside the cache lock (the DLM call
+		// Query the mSN per entry outside the stripe lock (the DLM call
 		// can block behind lock traffic). An entry is removable when its
 		// SN is no larger than the mSN — SeqDLM guarantees data with
 		// smaller SNs has already been written to the device, so nothing
@@ -176,16 +255,13 @@ func (c *Cache) CleanupRound(minSN MinSNFunc) int {
 			if ent.SN > limit {
 				continue
 			}
-			c.mu.Lock()
-			if sc := c.stripes[j.stripe]; sc != nil {
-				removed += sc.tree.RemoveLE([]extent.SNExtent{ent}, limit)
-			}
-			c.mu.Unlock()
+			j.sc.mu.Lock()
+			removed += j.sc.tree.RemoveLE([]extent.SNExtent{ent}, limit)
+			j.sc.mu.Unlock()
 		}
 	}
-	c.mu.Lock()
-	c.cleaned += int64(removed)
-	c.mu.Unlock()
+	c.entries.Add(-int64(removed))
+	c.cleaned.Add(int64(removed))
 	return removed
 }
 
@@ -194,45 +270,48 @@ func (c *Cache) CleanupRound(minSN MinSNFunc) int {
 // all clients to flush by taking a whole-range read lock, after which
 // every entry (and the extent log) can be dropped.
 func (c *Cache) ForceSync(sync ForceSyncFunc) {
-	c.mu.Lock()
-	var ids []uint64
-	for id, sc := range c.stripes {
-		if sc.tree.Len() > 0 {
-			ids = append(ids, id)
-		}
+	type target struct {
+		id uint64
+		sc *stripeCache
 	}
-	c.forcedSyncs++
-	c.mu.Unlock()
+	var targets []target
+	c.forEachStripe(func(id uint64, sc *stripeCache) bool {
+		sc.mu.Lock()
+		n := sc.tree.Len()
+		sc.mu.Unlock()
+		if n > 0 {
+			targets = append(targets, target{id, sc})
+		}
+		return true
+	})
+	c.forcedSyncs.Add(1)
 
-	for _, id := range ids {
-		sync(id) // all conflicting writes are durable once this returns
-		c.mu.Lock()
-		if sc := c.stripes[id]; sc != nil {
-			sc.tree.Clear()
-			sc.log = nil
-			sc.cursor = 0
-		}
-		c.mu.Unlock()
+	for _, t := range targets {
+		sync(t.id) // all conflicting writes are durable once this returns
+		t.sc.mu.Lock()
+		dropped := t.sc.tree.Len()
+		t.sc.tree.Clear()
+		t.sc.log = nil
+		t.sc.cursor = 0
+		t.sc.mu.Unlock()
+		c.entries.Add(-int64(dropped))
 	}
-	c.mu.Lock()
-	lf := c.logFile
-	c.mu.Unlock()
-	if lf != nil {
+	if c.logFile != nil {
 		// Every logged entry is now redundant: the forced sync flushed
 		// all clients and the cache restarts empty.
-		lf.Truncate()
+		c.logFile.Truncate()
 	}
 }
 
 // Log returns a copy of a stripe's extent log (empty when logging is
 // disabled).
 func (c *Cache) Log(stripe uint64) []extent.SNExtent {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	sc := c.stripes[stripe]
+	sc := c.lookup(stripe)
 	if sc == nil {
 		return nil
 	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
 	out := make([]extent.SNExtent, len(sc.log))
 	copy(out, sc.log)
 	return out
@@ -241,9 +320,9 @@ func (c *Cache) Log(stripe uint64) []extent.SNExtent {
 // Replay rebuilds a stripe's cache from an extent log, the server
 // recovery path of §IV-C2.
 func (c *Cache) Replay(stripe uint64, log []extent.SNExtent) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	sc := c.stripe(stripe)
+	sc.mu.Lock()
+	before := sc.tree.Len()
 	sc.tree.Clear()
 	sc.log = nil
 	for _, e := range log {
@@ -252,18 +331,33 @@ func (c *Cache) Replay(stripe uint64, log []extent.SNExtent) {
 			sc.log = append(sc.log, e)
 		}
 	}
+	delta := sc.tree.Len() - before
+	sc.mu.Unlock()
+	c.entries.Add(int64(delta))
 }
 
 // Stats reports cache activity counters.
 func (c *Cache) Stats() (inserts, cleaned, forcedSyncs int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.inserts, c.cleaned, c.forcedSyncs
+	return c.inserts.Load(), c.cleaned.Load(), c.forcedSyncs.Load()
+}
+
+// Kick wakes the cleanup daemon ahead of its next tick. The flush path
+// calls it right after the budget check trips: because NeedsCleanup is
+// a single atomic load, the write routine can afford to test it on
+// every flush and start cleanup the moment the cache goes over budget
+// instead of waiting out the tick. Kick never blocks; with no daemon
+// running it is a no-op.
+func (c *Cache) Kick() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
 }
 
 // Daemon runs the periodic cleanup task until stop is closed: each tick
-// it runs cleanup rounds while the cache is over budget, and falls back
-// to forced synchronization when a full sweep cannot get it under.
+// (or Kick) it runs cleanup rounds while the cache is over budget, and
+// falls back to forced synchronization when a full sweep cannot get it
+// under.
 func (c *Cache) Daemon(interval time.Duration, minSN MinSNFunc, force ForceSyncFunc, stop <-chan struct{}) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
@@ -272,6 +366,7 @@ func (c *Cache) Daemon(interval time.Duration, minSN MinSNFunc, force ForceSyncF
 		case <-stop:
 			return
 		case <-ticker.C:
+		case <-c.kick:
 		}
 		if !c.NeedsCleanup() {
 			continue

@@ -165,10 +165,9 @@ func (l *LogFile) ReadAll() (map[uint64][]extent.SNExtent, error) {
 }
 
 // AttachLogFile mirrors every Apply's update set into the durable log.
-// Call it once, right after New, before traffic.
+// Call it once, right after New, before any concurrent use: the field
+// is read without synchronization on the flush hot path.
 func (c *Cache) AttachLogFile(lf *LogFile) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.logFile = lf
 }
 

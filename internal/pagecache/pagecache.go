@@ -6,13 +6,23 @@
 // data with a larger SN overwrites smaller ones on insert, which is what
 // keeps the cache coherent when early grant lets conflicting writes from
 // the same client overlap in flight.
+//
+// Concurrency: stripes are sharded (shard.Of) and each stripe carries
+// its own mutex guarding its page map and page contents, so IO on
+// different stripes never contends. The global dirty/cached/page
+// accounting is atomic; the MaxDirty backpressure of §IV-C1 runs
+// through a separate flow-control gate (flowMu + cond) that admits
+// writers by reservation, preserving the strict dirty-bytes bound
+// without serializing the data path. See DESIGN.md §6.
 package pagecache
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ccpfs/internal/extent"
+	"ccpfs/internal/shard"
 	"ccpfs/internal/sim"
 )
 
@@ -58,8 +68,17 @@ type page struct {
 	dirtyBytes  int64
 }
 
+// stripePages is one stripe's pages plus the mutex guarding them.
 type stripePages struct {
+	mu    sync.Mutex
 	pages map[int64]*page // keyed by page index
+}
+
+// pcShard holds the stripe map of one shard; the shard mutex guards
+// only map lookup/insert.
+type pcShard struct {
+	mu      sync.RWMutex
+	stripes map[uint64]*stripePages
 }
 
 // Cache is one client's page cache across all stripes it touches.
@@ -68,11 +87,19 @@ type Cache struct {
 	cfg Config
 	mem sim.Device // serializes simulated cache-copy time
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	stripes map[uint64]*stripePages
-	dirty   int64
-	cached  int64
+	shards [shard.Count]pcShard
+
+	dirty  atomic.Int64
+	cached atomic.Int64
+	pages  atomic.Int64 // allocated page count, drives pool reclaim
+
+	// Flow control for the MaxDirty bound: writers reserve their byte
+	// count under flowMu before touching any stripe, and flushes signal
+	// the cond when dirty bytes drop. pending counts admitted-but-not-
+	// yet-accounted reservations so concurrent writers cannot overshoot.
+	flowMu   sync.Mutex
+	flowCond *sync.Cond
+	pending  int64
 }
 
 // New returns a cache with cfg.
@@ -80,8 +107,11 @@ func New(cfg Config) *Cache {
 	if cfg.PageSize <= 0 {
 		cfg.PageSize = DefaultPageSize
 	}
-	c := &Cache{cfg: cfg, stripes: make(map[uint64]*stripePages)}
-	c.cond = sync.NewCond(&c.mu)
+	c := &Cache{cfg: cfg}
+	for i := range c.shards {
+		c.shards[i].stripes = make(map[uint64]*stripePages)
+	}
+	c.flowCond = sync.NewCond(&c.flowMu)
 	return c
 }
 
@@ -89,18 +119,10 @@ func New(cfg Config) *Cache {
 func (c *Cache) PageSize() int64 { return c.cfg.PageSize }
 
 // DirtyBytes returns the current dirty byte count.
-func (c *Cache) DirtyBytes() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.dirty
-}
+func (c *Cache) DirtyBytes() int64 { return c.dirty.Load() }
 
 // CachedBytes returns the total valid bytes cached (dirty + clean).
-func (c *Cache) CachedBytes() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.cached
-}
+func (c *Cache) CachedBytes() int64 { return c.cached.Load() }
 
 // NeedsFlush reports whether dirty data has crossed the voluntary-flush
 // threshold.
@@ -111,13 +133,44 @@ func (c *Cache) NeedsFlush() bool {
 	return c.DirtyBytes() >= c.cfg.MinDirty
 }
 
+// stripe returns stripe id's page set, creating it if needed. Stripes
+// are never removed from the shard map (invalidate empties them in
+// place), so the pointer stays valid without the shard lock.
 func (c *Cache) stripe(id uint64) *stripePages {
-	sp := c.stripes[id]
-	if sp == nil {
+	sh := &c.shards[shard.Of(id)]
+	sh.mu.RLock()
+	sp := sh.stripes[id]
+	sh.mu.RUnlock()
+	if sp != nil {
+		return sp
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sp = sh.stripes[id]; sp == nil {
 		sp = &stripePages{pages: make(map[int64]*page)}
-		c.stripes[id] = sp
+		sh.stripes[id] = sp
 	}
 	return sp
+}
+
+// lookup returns stripe id's page set without creating it.
+func (c *Cache) lookup(id uint64) *stripePages {
+	sh := &c.shards[shard.Of(id)]
+	sh.mu.RLock()
+	sp := sh.stripes[id]
+	sh.mu.RUnlock()
+	return sp
+}
+
+// signalFlow wakes writers blocked on the MaxDirty gate after dirty
+// bytes (or a reservation) decreased.
+func (c *Cache) signalFlow() {
+	if c.cfg.MaxDirty <= 0 {
+		return
+	}
+	c.flowMu.Lock()
+	c.flowCond.Broadcast()
+	c.flowMu.Unlock()
 }
 
 // Write copies data into the cache at off within stripe, tagged with sn.
@@ -128,12 +181,30 @@ func (c *Cache) Write(stripe uint64, off int64, data []byte, sn extent.SN) {
 		return
 	}
 	c.mem.UseBytes(int64(len(data)), c.cfg.CacheBandwidth, 0)
-	c.mu.Lock()
-	for c.cfg.MaxDirty > 0 && c.dirty+int64(len(data)) > c.cfg.MaxDirty {
-		c.cond.Wait()
+	need := int64(len(data))
+	if c.cfg.MaxDirty > 0 {
+		// Admission by reservation: dirty + admitted reservations must
+		// stay under the bound, so racing writers on different stripes
+		// cannot collectively overshoot it.
+		c.flowMu.Lock()
+		for c.dirty.Load()+c.pending+need > c.cfg.MaxDirty {
+			c.flowCond.Wait()
+		}
+		c.pending += need
+		c.flowMu.Unlock()
 	}
-	c.writeLocked(stripe, off, data, sn, true)
-	c.mu.Unlock()
+	sp := c.stripe(stripe)
+	sp.mu.Lock()
+	c.write(sp, off, data, sn, true)
+	sp.mu.Unlock()
+	if c.cfg.MaxDirty > 0 {
+		c.flowMu.Lock()
+		c.pending -= need
+		// The actual dirty delta may be smaller than the reservation
+		// (overwrites), so releasing it can free admission space.
+		c.flowCond.Broadcast()
+		c.flowMu.Unlock()
+	}
 }
 
 // Fill inserts clean data read from a data server, tagged with the SN
@@ -144,14 +215,15 @@ func (c *Cache) Fill(stripe uint64, off int64, data []byte, sn extent.SN) {
 	if len(data) == 0 {
 		return
 	}
-	c.mu.Lock()
-	c.writeLocked(stripe, off, data, sn, false)
-	c.reclaimLocked()
-	c.mu.Unlock()
+	sp := c.stripe(stripe)
+	sp.mu.Lock()
+	c.write(sp, off, data, sn, false)
+	sp.mu.Unlock()
+	c.reclaim()
 }
 
-func (c *Cache) writeLocked(stripe uint64, off int64, data []byte, sn extent.SN, markDirty bool) {
-	sp := c.stripe(stripe)
+// write lands data into sp's pages; the caller holds sp.mu.
+func (c *Cache) write(sp *stripePages, off int64, data []byte, sn extent.SN, markDirty bool) {
 	ps := c.cfg.PageSize
 	for len(data) > 0 {
 		pi := off / ps
@@ -164,6 +236,7 @@ func (c *Cache) writeLocked(stripe uint64, off int64, data []byte, sn extent.SN,
 		if pg == nil {
 			pg = &page{buf: make([]byte, ps)}
 			sp.pages[pi] = pg
+			c.pages.Add(1)
 		}
 		rng := extent.Extent{Start: po, End: po + n}
 		// The SN-overwrite rule: only the sub-ranges where sn wins
@@ -184,17 +257,17 @@ func (c *Cache) writeLocked(stripe uint64, off int64, data []byte, sn extent.SN,
 				pg.dirty.Insert(w.Extent, w.SN)
 			}
 		}
-		c.refreshPageLocked(pg)
+		c.refreshPage(pg)
 		data = data[n:]
 		off += n
 	}
-	c.cond.Broadcast()
 }
 
-// refreshPageLocked recomputes one page's byte counts from its extent
-// lists (a handful of entries) and applies the delta to the cache
-// totals. Every mutation of a page's lists must be followed by a call.
-func (c *Cache) refreshPageLocked(pg *page) {
+// refreshPage recomputes one page's byte counts from its extent lists
+// (a handful of entries) and applies the delta to the atomic cache
+// totals. Every mutation of a page's lists must be followed by a call;
+// the caller holds the stripe mutex.
+func (c *Cache) refreshPage(pg *page) {
 	var dirty, cached int64
 	for _, e := range pg.dirty.Entries() {
 		dirty += e.Len()
@@ -202,20 +275,20 @@ func (c *Cache) refreshPageLocked(pg *page) {
 	for _, e := range pg.valid.Entries() {
 		cached += e.Len()
 	}
-	c.dirty += dirty - pg.dirtyBytes
-	c.cached += cached - pg.cachedBytes
+	c.dirty.Add(dirty - pg.dirtyBytes)
+	c.cached.Add(cached - pg.cachedBytes)
 	pg.dirtyBytes, pg.cachedBytes = dirty, cached
 }
 
 // Read copies cached data overlapping [off, off+len(buf)) into buf and
 // returns the stripe-local ranges that were satisfied from cache.
 func (c *Cache) Read(stripe uint64, off int64, buf []byte) []extent.Extent {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	sp := c.stripes[stripe]
+	sp := c.lookup(stripe)
 	if sp == nil {
 		return nil
 	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
 	ps := c.cfg.PageSize
 	var got []extent.Extent
 	want := extent.Span(off, int64(len(buf)))
@@ -241,12 +314,12 @@ func (c *Cache) Read(stripe uint64, off int64, buf []byte) []extent.Extent {
 
 // Covered reports whether [off, off+n) is fully cached.
 func (c *Cache) Covered(stripe uint64, off, n int64) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	sp := c.stripes[stripe]
+	sp := c.lookup(stripe)
 	if sp == nil {
 		return false
 	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
 	ps := c.cfg.PageSize
 	want := extent.Span(off, n)
 	for pi := want.Start / ps; pi*ps < want.End; pi++ {
@@ -269,12 +342,11 @@ func (c *Cache) Covered(stripe uint64, off, n int64) bool {
 // for a flush RPC. The data is copied; a concurrent write re-dirties its
 // range and will be flushed again later.
 func (c *Cache) CollectDirty(stripe uint64, rng extent.Extent, maxSN extent.SN) []Block {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	sp := c.stripes[stripe]
+	sp := c.lookup(stripe)
 	if sp == nil {
 		return nil
 	}
+	sp.mu.Lock()
 	ps := c.cfg.PageSize
 	var blocks []Block
 	for pi, pg := range sp.pages {
@@ -297,18 +369,19 @@ func (c *Cache) CollectDirty(stripe uint64, rng extent.Extent, maxSN extent.SN) 
 			})
 			pg.dirty.Remove(e.Extent)
 		}
-		c.refreshPageLocked(pg)
+		c.refreshPage(pg)
 	}
-	c.cond.Broadcast()
+	sp.mu.Unlock()
+	c.signalFlow()
 	mergeBlocks(&blocks)
 	return blocks
 }
 
 // Redirty reinstates blocks whose flush failed.
 func (c *Cache) Redirty(stripe uint64, blocks []Block) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	sp := c.stripe(stripe)
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
 	ps := c.cfg.PageSize
 	for _, b := range blocks {
 		off := b.Range.Start
@@ -322,13 +395,12 @@ func (c *Cache) Redirty(stripe uint64, blocks []Block) {
 			}
 			if pg := sp.pages[pi]; pg != nil {
 				pg.dirty.Insert(extent.Extent{Start: po, End: po + n}, b.SN)
-				c.refreshPageLocked(pg)
+				c.refreshPage(pg)
 			}
 			data = data[n:]
 			off += n
 		}
 	}
-	c.cond.Broadcast()
 }
 
 // Invalidate drops cached data (clean and dirty) of stripe within rng.
@@ -347,12 +419,11 @@ func (c *Cache) InvalidateUpTo(stripe uint64, rng extent.Extent, sn extent.SN) {
 }
 
 func (c *Cache) invalidate(stripe uint64, rng extent.Extent, sn extent.SN) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	sp := c.stripes[stripe]
+	sp := c.lookup(stripe)
 	if sp == nil {
 		return
 	}
+	sp.mu.Lock()
 	ps := c.cfg.PageSize
 	for pi, pg := range sp.pages {
 		pageAbs := extent.Extent{Start: pi * ps, End: (pi + 1) * ps}
@@ -363,70 +434,88 @@ func (c *Cache) invalidate(stripe uint64, rng extent.Extent, sn extent.SN) {
 		local := extent.Extent{Start: iv.Start - pi*ps, End: iv.End - pi*ps}
 		pg.valid.RemoveLE(local, sn)
 		pg.dirty.RemoveLE(local, sn)
-		c.refreshPageLocked(pg)
+		c.refreshPage(pg)
 		if pg.valid.Len() == 0 {
 			delete(sp.pages, pi)
+			c.pages.Add(-1)
 		}
 	}
-	c.cond.Broadcast()
+	sp.mu.Unlock()
+	c.signalFlow()
 }
 
 // DirtyStripes returns the stripes currently holding dirty data.
 func (c *Cache) DirtyStripes() []uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var out []uint64
-	for id, sp := range c.stripes {
+	c.forEachStripe(func(id uint64, sp *stripePages) {
+		sp.mu.Lock()
 		for _, pg := range sp.pages {
 			if pg.dirty.Len() > 0 {
 				out = append(out, id)
 				break
 			}
 		}
-	}
+		sp.mu.Unlock()
+	})
 	return out
 }
 
-// reclaimLocked evicts clean pages when the pool bound is exceeded,
-// modelling the prototype's reclamation of cached pages back to the
-// registered memory pool.
-func (c *Cache) reclaimLocked() {
+// forEachStripe visits every stripe. It snapshots each shard under the
+// shard read lock and visits without it, so fn may lock the stripe.
+func (c *Cache) forEachStripe(fn func(id uint64, sp *stripePages)) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		ids := make([]uint64, 0, len(sh.stripes))
+		sps := make([]*stripePages, 0, len(sh.stripes))
+		for id, sp := range sh.stripes {
+			ids = append(ids, id)
+			sps = append(sps, sp)
+		}
+		sh.mu.RUnlock()
+		for j, sp := range sps {
+			fn(ids[j], sp)
+		}
+	}
+}
+
+// reclaim evicts clean pages when the pool bound is exceeded, modelling
+// the prototype's reclamation of cached pages back to the registered
+// memory pool. It locks one stripe at a time.
+func (c *Cache) reclaim() {
 	if c.cfg.PoolBytes <= 0 {
 		return
 	}
-	var total int64
-	for _, sp := range c.stripes {
-		total += int64(len(sp.pages)) * c.cfg.PageSize
-	}
-	if total <= c.cfg.PoolBytes {
+	if c.pages.Load()*c.cfg.PageSize <= c.cfg.PoolBytes {
 		return
 	}
-	for _, sp := range c.stripes {
+	done := false
+	c.forEachStripe(func(_ uint64, sp *stripePages) {
+		if done {
+			return
+		}
+		sp.mu.Lock()
 		for pi, pg := range sp.pages {
 			if pg.dirty.Len() > 0 {
 				continue
 			}
 			pg.valid.Reset()
 			pg.dirty.Reset()
-			c.refreshPageLocked(pg)
+			c.refreshPage(pg)
 			delete(sp.pages, pi)
-			total -= c.cfg.PageSize
-			if total <= c.cfg.PoolBytes {
-				return
+			if c.pages.Add(-1)*c.cfg.PageSize <= c.cfg.PoolBytes {
+				done = true
+				break
 			}
 		}
-	}
+		sp.mu.Unlock()
+	})
 }
 
 // String summarizes the cache for debugging.
 func (c *Cache) String() string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	pages := 0
-	for _, sp := range c.stripes {
-		pages += len(sp.pages)
-	}
-	return fmt.Sprintf("pagecache{pages=%d dirty=%dB cached=%dB}", pages, c.dirty, c.cached)
+	return fmt.Sprintf("pagecache{pages=%d dirty=%dB cached=%dB}",
+		c.pages.Load(), c.dirty.Load(), c.cached.Load())
 }
 
 // mergeBlocks coalesces adjacent same-SN blocks to shrink flush RPCs.

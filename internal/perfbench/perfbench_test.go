@@ -1,0 +1,16 @@
+package perfbench
+
+import "testing"
+
+// The bodies live in perfbench.go so seqbench -benchjson can drive them
+// via testing.Benchmark; these wrappers expose them to `go test -bench`.
+// They are skipped (not run) by a plain `go test ./...`.
+
+func BenchmarkExtcacheApplyParallel(b *testing.B)          { ExtcacheApplyParallel(b) }
+func BenchmarkExtcacheApplyCleanupParallel(b *testing.B)   { ExtcacheApplyCleanupParallel(b) }
+func BenchmarkExtcacheMaxSNParallel(b *testing.B)          { ExtcacheMaxSNParallel(b) }
+func BenchmarkDataserverFlushParallel(b *testing.B)        { DataserverFlushParallel(b) }
+func BenchmarkDataserverFlushCleanupParallel(b *testing.B) { DataserverFlushCleanupParallel(b) }
+func BenchmarkPagecacheMixedParallel(b *testing.B)         { PagecacheMixedParallel(b) }
+func BenchmarkLockClientCachedHitParallel(b *testing.B)    { LockClientCachedHitParallel(b) }
+func BenchmarkDLMGrantReleaseParallel(b *testing.B)        { DLMGrantReleaseParallel(b) }

@@ -1,0 +1,22 @@
+// Package shard provides the shared shard-count and hash used by every
+// node-local structure that splits a single hot mutex into per-stripe /
+// per-resource locking (extent cache, stripe store, page cache, lock
+// client, lock server). One place to tune keeps the lock hierarchy
+// documented in DESIGN.md honest.
+package shard
+
+// Count is the number of shards each sharded map uses. A power of two
+// so the hash reduces with a shift; 64 keeps collisions rare for the
+// stripe counts the benchmarks and experiments run while costing only a
+// few KB per structure.
+const Count = 64
+
+// countBits is log2(Count), used to reduce the 64-bit hash by shift.
+const countBits = 6
+
+// Of maps a stripe / resource identifier to its shard index.
+// Fibonacci hashing: multiply by 2^64/phi and keep the top bits, which
+// spreads the sequential IDs meta.ResourceID produces evenly.
+func Of(key uint64) int {
+	return int((key * 0x9E3779B97F4A7C15) >> (64 - countBits))
+}

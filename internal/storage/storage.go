@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"ccpfs/internal/shard"
 	"ccpfs/internal/sim"
 )
 
@@ -29,15 +30,25 @@ type Store interface {
 // chunkSize is the allocation unit of the sparse in-memory store.
 const chunkSize = 64 << 10
 
-// MemStore is a sparse in-memory Store. It is safe for concurrent use.
+// MemStore is a sparse in-memory Store. It is safe for concurrent use:
+// the stripe map is sharded (shard.Of) so flushes to different stripes
+// land in parallel, serializing only per shard.
 type MemStore struct {
+	shards [shard.Count]memShard
+}
+
+type memShard struct {
 	mu      sync.RWMutex
 	stripes map[uint64]map[int64][]byte
 }
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore {
-	return &MemStore{stripes: make(map[uint64]map[int64][]byte)}
+	m := &MemStore{}
+	for i := range m.shards {
+		m.shards[i].stripes = make(map[uint64]map[int64][]byte)
+	}
+	return m
 }
 
 // WriteAt implements Store.
@@ -45,12 +56,13 @@ func (m *MemStore) WriteAt(stripe uint64, off int64, data []byte) error {
 	if off < 0 {
 		return fmt.Errorf("storage: negative offset %d", off)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	chunks := m.stripes[stripe]
+	sh := &m.shards[shard.Of(stripe)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	chunks := sh.stripes[stripe]
 	if chunks == nil {
 		chunks = make(map[int64][]byte)
-		m.stripes[stripe] = chunks
+		sh.stripes[stripe] = chunks
 	}
 	for len(data) > 0 {
 		ci := off / chunkSize
@@ -76,9 +88,10 @@ func (m *MemStore) ReadAt(stripe uint64, off int64, buf []byte) error {
 	if off < 0 {
 		return fmt.Errorf("storage: negative offset %d", off)
 	}
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	chunks := m.stripes[stripe]
+	sh := &m.shards[shard.Of(stripe)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	chunks := sh.stripes[stripe]
 	for len(buf) > 0 {
 		ci := off / chunkSize
 		co := off % chunkSize
@@ -101,19 +114,23 @@ func (m *MemStore) ReadAt(stripe uint64, off int64, buf []byte) error {
 
 // Remove implements Store.
 func (m *MemStore) Remove(stripe uint64) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	delete(m.stripes, stripe)
+	sh := &m.shards[shard.Of(stripe)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.stripes, stripe)
 	return nil
 }
 
 // Bytes returns the number of chunk bytes allocated (tests/introspection).
 func (m *MemStore) Bytes() int64 {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	var n int64
-	for _, chunks := range m.stripes {
-		n += int64(len(chunks)) * chunkSize
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for _, chunks := range sh.stripes {
+			n += int64(len(chunks)) * chunkSize
+		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
