@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -99,7 +100,7 @@ func main() {
 			conns.Meta = ep
 		}
 	}
-	cl, err := client.New(client.Config{
+	cl, err := client.New(context.Background(), client.Config{
 		Name:   fmt.Sprintf("cli-%d", cid),
 		ID:     cid,
 		Policy: pol,

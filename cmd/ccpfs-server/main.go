@@ -10,10 +10,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -46,6 +46,7 @@ func main() {
 	hostMeta := flag.Bool("meta", false, "also host the namespace service (exactly one server per deployment)")
 	extentLog := flag.Bool("extent-log", false, "keep per-stripe extent logs for recovery")
 	cleanup := flag.Duration("cleanup", 100*time.Millisecond, "extent cache cleanup interval (0 disables)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget before a hard close (0 closes immediately)")
 	flag.Parse()
 
 	pol, err := policyByName(*policy)
@@ -85,9 +86,22 @@ func main() {
 	log.Printf("ccpfs-server: policy=%s meta=%v data=%q listening on %s",
 		pol.Name, *hostMeta, *dataDir, l.Addr())
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	log.Printf("ccpfs-server: shutting down")
-	srv.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop() // restore default signal handling: a second signal kills us
+	if *drain <= 0 {
+		log.Printf("ccpfs-server: shutting down (immediate)")
+		srv.Close()
+		return
+	}
+	log.Printf("ccpfs-server: draining (budget %v; signal again to force)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("ccpfs-server: drain incomplete: %v; forcing close", err)
+		srv.Close()
+		return
+	}
+	log.Printf("ccpfs-server: drained cleanly")
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"log"
@@ -62,7 +63,7 @@ type node struct {
 // grant accelerates.
 func (n *node) bump(idx int) error {
 	// PW: we read the page and update it (atomic read-update, Fig. 10).
-	h, err := n.lc.Acquire(resource, seqdlm.PW, seqdlm.NewExtent(0, pageSize))
+	h, err := n.lc.Acquire(context.Background(), resource, seqdlm.PW, seqdlm.NewExtent(0, pageSize))
 	if err != nil {
 		return err
 	}
@@ -83,7 +84,7 @@ func (n *node) bump(idx int) error {
 }
 
 // flushForCancel is the Flusher hook SeqDLM's cancel path calls.
-func (n *node) flushForCancel(res seqdlm.ResourceID, rng seqdlm.Extent, sn seqdlm.SN) error {
+func (n *node) flushForCancel(_ context.Context, res seqdlm.ResourceID, rng seqdlm.Extent, sn seqdlm.SN) error {
 	n.mu.Lock()
 	dirty, buf, wsn := n.dirty, n.local, n.sn
 	n.dirty = false
@@ -96,12 +97,14 @@ func (n *node) flushForCancel(res seqdlm.ResourceID, rng seqdlm.Extent, sn seqdl
 
 type directConn struct{ srv *seqdlm.Server }
 
-func (d directConn) Lock(req seqdlm.Request) (seqdlm.Grant, error) { return d.srv.Lock(req) }
-func (d directConn) Release(res seqdlm.ResourceID, id seqdlm.LockID) error {
+func (d directConn) Lock(ctx context.Context, req seqdlm.Request) (seqdlm.Grant, error) {
+	return d.srv.Lock(ctx, req)
+}
+func (d directConn) Release(_ context.Context, res seqdlm.ResourceID, id seqdlm.LockID) error {
 	d.srv.Release(res, id)
 	return nil
 }
-func (d directConn) Downgrade(res seqdlm.ResourceID, id seqdlm.LockID, m seqdlm.Mode) error {
+func (d directConn) Downgrade(_ context.Context, res seqdlm.ResourceID, id seqdlm.LockID, m seqdlm.Mode) error {
 	return d.srv.Downgrade(res, id, m)
 }
 
@@ -109,7 +112,7 @@ func main() {
 	store := &page{}
 	srv := seqdlm.NewServer(seqdlm.SeqDLM(), nil)
 	nodes := map[seqdlm.ClientID]*node{}
-	srv.SetNotifier(seqdlm.NotifierFunc(func(rv seqdlm.Revocation) {
+	srv.SetNotifier(seqdlm.NotifierFunc(func(_ context.Context, rv seqdlm.Revocation) {
 		if n, ok := nodes[rv.Client]; ok {
 			n.lc.OnRevoke(rv.Resource, rv.Lock)
 		}
@@ -139,7 +142,7 @@ func main() {
 	}
 	wg.Wait()
 	for _, n := range nodes {
-		n.lc.ReleaseAll()
+		n.lc.ReleaseAll(context.Background())
 	}
 
 	final := store.snapshot()

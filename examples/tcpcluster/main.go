@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -62,7 +63,7 @@ func main() {
 			}
 			conns.Bulk = append(conns.Bulk, rpc.NewEndpoint(bconn, rpc.Options{}))
 		}
-		cl, err := client.New(client.Config{Name: name, ID: id, Policy: pol}, conns)
+		cl, err := client.New(context.Background(), client.Config{Name: name, ID: id, Policy: pol}, conns)
 		if err != nil {
 			log.Fatal(err)
 		}

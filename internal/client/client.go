@@ -9,6 +9,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -89,7 +90,11 @@ type Client struct {
 	// client-wide lock (watermarks only grow except at Truncate).
 	sizes sync.Map
 
-	stop     chan struct{}
+	// baseCtx is the client's lifecycle: the flush daemon and the
+	// context-less convenience wrappers (WriteAt, ReadAt, …) run under
+	// it, so closing the client aborts their RPCs.
+	baseCtx  context.Context
+	cancelFn context.CancelFunc
 	stopOnce sync.Once
 	daemonWG sync.WaitGroup
 
@@ -98,19 +103,22 @@ type Client struct {
 }
 
 // New builds a client over established connections. It registers the
-// revocation handler on every data connection and sends Hello to each.
-func New(cfg Config, conns Conns) (*Client, error) {
+// revocation handler on every data connection and sends Hello to each;
+// ctx bounds those handshake round trips.
+func New(ctx context.Context, cfg Config, conns Conns) (*Client, error) {
 	if cfg.ID == 0 {
 		return nil, errors.New("client: ID must be nonzero")
 	}
 	if cfg.LockAlign == 0 {
 		cfg.LockAlign = DefaultLockAlign
 	}
+	lifeCtx, cancel := context.WithCancel(context.Background())
 	c := &Client{
-		cfg:   cfg,
-		conns: conns,
-		pc:    pagecache.New(cfg.PageCache),
-		stop:  make(chan struct{}),
+		cfg:      cfg,
+		conns:    conns,
+		pc:       pagecache.New(cfg.PageCache),
+		baseCtx:  lifeCtx,
+		cancelFn: cancel,
 	}
 	c.lc = dlm.NewLockClient(cfg.ID, cfg.Policy, c.route, dlm.FlusherFunc(c.flushForCancel))
 
@@ -137,13 +145,13 @@ func New(cfg Config, conns Conns) (*Client, error) {
 	start(conns.Meta)
 	for _, ep := range conns.Data {
 		var rep wire.HelloReply
-		if err := ep.Call(wire.MHello, &wire.HelloRequest{NodeName: cfg.Name, ClientID: uint32(cfg.ID)}, &rep); err != nil {
+		if err := ep.Call(ctx, wire.MHello, &wire.HelloRequest{NodeName: cfg.Name, ClientID: uint32(cfg.ID)}, &rep); err != nil {
 			return nil, fmt.Errorf("client: hello: %w", err)
 		}
 	}
 	for _, ep := range conns.Bulk {
 		var rep wire.HelloReply
-		if err := ep.Call(wire.MHello, &wire.HelloRequest{NodeName: cfg.Name, ClientID: uint32(cfg.ID), Bulk: true}, &rep); err != nil {
+		if err := ep.Call(ctx, wire.MHello, &wire.HelloRequest{NodeName: cfg.Name, ClientID: uint32(cfg.ID), Bulk: true}, &rep); err != nil {
 			return nil, fmt.Errorf("client: bulk hello: %w", err)
 		}
 	}
@@ -160,14 +168,36 @@ func (c *Client) Locks() *dlm.LockClient { return c.lc }
 // PageCache exposes the page cache (stats and tests).
 func (c *Client) PageCache() *pagecache.Cache { return c.pc }
 
-// Close flushes and releases every cached lock, stops the daemon, and
-// closes the connections. It is idempotent.
-func (c *Client) Close() {
-	c.stopOnce.Do(func() { close(c.stop) })
-	c.daemonWG.Wait()
-	c.lc.ReleaseAll()
-	c.pushAllSizes()
-	c.closeConns()
+// Close drains the client with no deadline: every dirty page is
+// flushed, every cached lock released, then the connections close. It
+// is idempotent.
+func (c *Client) Close() { c.Shutdown(context.Background()) }
+
+// Shutdown drains the client gracefully, bounded by ctx: it stops the
+// flush daemon, flushes all dirty stripes (so the data is readable by
+// other clients afterwards), releases every cached lock, publishes size
+// watermarks, and closes the connections. When ctx fires mid-drain the
+// remaining steps are skipped and the connections close hard — the
+// crash-equivalent the protocol already tolerates.
+func (c *Client) Shutdown(ctx context.Context) error {
+	var err error
+	c.stopOnce.Do(func() {
+		// Stop the daemon first so it cannot race the final flush.
+		c.cancelFn()
+		c.daemonWG.Wait()
+		for _, rid := range c.pc.DirtyStripes() {
+			if ferr := c.flushRange(ctx, dlm.ResourceID(rid), extent.New(0, extent.Inf), ^extent.SN(0)); ferr != nil && err == nil {
+				err = ferr
+			}
+		}
+		if rerr := c.lc.ReleaseAll(ctx); rerr != nil && err == nil {
+			err = rerr
+		}
+		c.pushAllSizes(ctx)
+		c.lc.Close()
+		c.closeConns()
+	})
+	return err
 }
 
 // Kill abruptly severs the client's connections without flushing or
@@ -175,9 +205,12 @@ func (c *Client) Close() {
 // cached data is lost; the servers force-release this client's locks
 // when the next conflicting request revokes them.
 func (c *Client) Kill() {
-	c.stopOnce.Do(func() { close(c.stop) })
-	c.daemonWG.Wait()
-	c.closeConns()
+	c.stopOnce.Do(func() {
+		c.cancelFn()
+		c.daemonWG.Wait()
+		c.lc.Close()
+		c.closeConns()
+	})
 }
 
 func (c *Client) closeConns() {
@@ -201,7 +234,7 @@ func (c *Client) isDataEndpoint(ep *rpc.Endpoint) bool {
 	return false
 }
 
-func (c *Client) handleRevoke(p []byte) (wire.Msg, error) {
+func (c *Client) handleRevoke(_ context.Context, p []byte) (wire.Msg, error) {
 	var req wire.RevokeRequest
 	if err := wire.Unmarshal(p, &req); err != nil {
 		return nil, err
@@ -212,8 +245,8 @@ func (c *Client) handleRevoke(p []byte) (wire.Msg, error) {
 
 // reportHandler answers a recovering server's lock-state gather
 // (§IV-C2) with the locks placed on that server.
-func (c *Client) reportHandler(serverIdx int) func([]byte) (wire.Msg, error) {
-	return func([]byte) (wire.Msg, error) {
+func (c *Client) reportHandler(serverIdx int) rpc.Handler {
+	return func(context.Context, []byte) (wire.Msg, error) {
 		records := c.lc.Export(func(res dlm.ResourceID) bool {
 			return meta.PlaceStripe(uint64(res), len(c.conns.Data)) == serverIdx
 		})
@@ -258,7 +291,7 @@ func (c *Client) route(res dlm.ResourceID) dlm.ServerConn {
 type rpcConn struct{ ep *rpc.Endpoint }
 
 // Lock implements dlm.ServerConn.
-func (c rpcConn) Lock(req dlm.Request) (dlm.Grant, error) {
+func (c rpcConn) Lock(ctx context.Context, req dlm.Request) (dlm.Grant, error) {
 	w := &wire.LockRequest{
 		Resource: uint64(req.Resource),
 		Client:   uint32(req.Client),
@@ -267,7 +300,7 @@ func (c rpcConn) Lock(req dlm.Request) (dlm.Grant, error) {
 		Extents:  req.Extents,
 	}
 	var rep wire.LockGrant
-	if err := c.ep.Call(wire.MLock, w, &rep); err != nil {
+	if err := c.ep.Call(ctx, wire.MLock, w, &rep); err != nil {
 		return dlm.Grant{}, err
 	}
 	g := dlm.Grant{
@@ -284,24 +317,28 @@ func (c rpcConn) Lock(req dlm.Request) (dlm.Grant, error) {
 }
 
 // Release implements dlm.ServerConn.
-func (c rpcConn) Release(res dlm.ResourceID, id dlm.LockID) error {
-	return c.ep.Call(wire.MRelease, &wire.ReleaseRequest{Resource: uint64(res), LockID: uint64(id)}, nil)
+func (c rpcConn) Release(ctx context.Context, res dlm.ResourceID, id dlm.LockID) error {
+	return c.ep.Call(ctx, wire.MRelease, &wire.ReleaseRequest{Resource: uint64(res), LockID: uint64(id)}, nil)
 }
 
 // Downgrade implements dlm.ServerConn.
-func (c rpcConn) Downgrade(res dlm.ResourceID, id dlm.LockID, m dlm.Mode) error {
-	return c.ep.Call(wire.MDowngrade, &wire.DowngradeRequest{Resource: uint64(res), LockID: uint64(id), NewMode: uint8(m)}, nil)
+func (c rpcConn) Downgrade(ctx context.Context, res dlm.ResourceID, id dlm.LockID, m dlm.Mode) error {
+	return c.ep.Call(ctx, wire.MDowngrade, &wire.DowngradeRequest{Resource: uint64(res), LockID: uint64(id), NewMode: uint8(m)}, nil)
 }
 
 // flushForCancel is the lock client's data path: flush dirty data under
 // the canceling lock, push the size watermark, and drop the cached pages
 // that lose their lock protection.
-func (c *Client) flushForCancel(res dlm.ResourceID, rng extent.Extent, sn extent.SN) error {
+func (c *Client) flushForCancel(ctx context.Context, res dlm.ResourceID, rng extent.Extent, sn extent.SN) error {
 	// Redo failed flush RPCs a few times (the recovery convention of
-	// §IV-C2) before giving up with the ephemeral-cache semantics.
+	// §IV-C2) before giving up with the ephemeral-cache semantics. A
+	// dead context stops the retries — the caller is gone.
 	var err error
 	for attempt := 0; attempt < 3; attempt++ {
-		if err = c.flushRange(res, rng, sn); err == nil {
+		if err = c.flushRange(ctx, res, rng, sn); err == nil {
+			break
+		}
+		if ctx.Err() != nil {
 			break
 		}
 	}
@@ -309,7 +346,7 @@ func (c *Client) flushForCancel(res dlm.ResourceID, rng extent.Extent, sn extent
 		return err
 	}
 	fid, _ := meta.SplitResource(uint64(res))
-	c.pushSize(fid)
+	c.pushSize(ctx, fid)
 	// Only drop cache coverage the canceling lock was protecting; data
 	// with newer SNs belongs to still-granted locks whose expanded
 	// ranges may overlap this one.
@@ -318,7 +355,7 @@ func (c *Client) flushForCancel(res dlm.ResourceID, rng extent.Extent, sn extent
 }
 
 // flushRange sends the dirty blocks of res within rng with SN <= sn.
-func (c *Client) flushRange(res dlm.ResourceID, rng extent.Extent, sn extent.SN) error {
+func (c *Client) flushRange(ctx context.Context, res dlm.ResourceID, rng extent.Extent, sn extent.SN) error {
 	blocks := c.pc.CollectDirty(uint64(res), rng, sn)
 	if len(blocks) == 0 {
 		return nil
@@ -330,7 +367,7 @@ func (c *Client) flushRange(res dlm.ResourceID, rng extent.Extent, sn extent.SN)
 		if len(req.Blocks) == 0 {
 			return nil
 		}
-		err := ep.Call(wire.MFlush, req, nil)
+		err := ep.Call(ctx, wire.MFlush, req, nil)
 		if err == nil {
 			c.Stats.FlushedBytes.Add(size)
 		}
@@ -364,7 +401,7 @@ func (c *Client) flushDaemon() {
 	defer ticker.Stop()
 	for {
 		select {
-		case <-c.stop:
+		case <-c.baseCtx.Done():
 			return
 		case <-ticker.C:
 		}
@@ -372,7 +409,7 @@ func (c *Client) flushDaemon() {
 			continue
 		}
 		for _, rid := range c.pc.DirtyStripes() {
-			c.flushRange(dlm.ResourceID(rid), extent.New(0, extent.Inf), ^extent.SN(0))
+			c.flushRange(c.baseCtx, dlm.ResourceID(rid), extent.New(0, extent.Inf), ^extent.SN(0))
 		}
 	}
 }
@@ -407,29 +444,36 @@ func (c *Client) noteSize(fid uint64, size int64) {
 
 // pushSize publishes the local watermark to the metadata service so
 // readers that acquire the lock after a release observe the size.
-func (c *Client) pushSize(fid uint64) {
+func (c *Client) pushSize(ctx context.Context, fid uint64) {
 	size := c.localSize(fid)
 	if size == 0 {
 		return
 	}
-	c.conns.Meta.Call(wire.MSetSize, &wire.SetSizeRequest{FID: fid, Size: size}, nil)
+	c.conns.Meta.Call(ctx, wire.MSetSize, &wire.SetSizeRequest{FID: fid, Size: size}, nil)
 }
 
-func (c *Client) pushAllSizes() {
+func (c *Client) pushAllSizes(ctx context.Context) {
 	var fids []uint64
 	c.sizes.Range(func(k, _ any) bool {
 		fids = append(fids, k.(uint64))
 		return true
 	})
 	for _, fid := range fids {
-		c.pushSize(fid)
+		c.pushSize(ctx, fid)
 	}
 }
 
 // Create creates a file with the given stripe layout and opens it.
+// Context-less wrappers like this one run under the client's lifecycle
+// context; the *Context variants take a per-call deadline.
 func (c *Client) Create(path string, stripeSize int64, stripeCount uint32) (*File, error) {
+	return c.CreateContext(c.baseCtx, path, stripeSize, stripeCount)
+}
+
+// CreateContext is Create bounded by ctx.
+func (c *Client) CreateContext(ctx context.Context, path string, stripeSize int64, stripeCount uint32) (*File, error) {
 	var rep wire.FileReply
-	err := c.conns.Meta.Call(wire.MCreate, &wire.CreateRequest{
+	err := c.conns.Meta.Call(ctx, wire.MCreate, &wire.CreateRequest{
 		Path: path, StripeSize: stripeSize, StripeCount: stripeCount,
 	}, &rep)
 	if err != nil {
@@ -440,8 +484,13 @@ func (c *Client) Create(path string, stripeSize int64, stripeCount uint32) (*Fil
 
 // Open opens an existing file.
 func (c *Client) Open(path string) (*File, error) {
+	return c.OpenContext(c.baseCtx, path)
+}
+
+// OpenContext is Open bounded by ctx.
+func (c *Client) OpenContext(ctx context.Context, path string) (*File, error) {
 	var rep wire.FileReply
-	if err := c.conns.Meta.Call(wire.MOpen, &wire.OpenRequest{Path: path}, &rep); err != nil {
+	if err := c.conns.Meta.Call(ctx, wire.MOpen, &wire.OpenRequest{Path: path}, &rep); err != nil {
 		return nil, err
 	}
 	return c.fileOf(path, &rep), nil
@@ -462,13 +511,13 @@ func (c *Client) OpenOrCreate(path string, stripeSize int64, stripeCount uint32)
 
 // Remove deletes a file from the namespace.
 func (c *Client) Remove(path string) error {
-	return c.conns.Meta.Call(wire.MRemove, &wire.OpenRequest{Path: path}, nil)
+	return c.conns.Meta.Call(c.baseCtx, wire.MRemove, &wire.OpenRequest{Path: path}, nil)
 }
 
 // List returns every path in the namespace.
 func (c *Client) List() ([]string, error) {
 	var rep wire.ListReply
-	if err := c.conns.Meta.Call(wire.MList, &wire.Ack{}, &rep); err != nil {
+	if err := c.conns.Meta.Call(c.baseCtx, wire.MList, &wire.Ack{}, &rep); err != nil {
 		return nil, err
 	}
 	return rep.Paths, nil
@@ -511,9 +560,12 @@ func (f *File) Resource(stripe uint32) dlm.ResourceID {
 }
 
 // Size returns the file size, refreshing from the metadata service.
-func (f *File) Size() (int64, error) {
+func (f *File) Size() (int64, error) { return f.SizeContext(f.c.baseCtx) }
+
+// SizeContext is Size bounded by ctx.
+func (f *File) SizeContext(ctx context.Context) (int64, error) {
 	var rep wire.FileReply
-	if err := f.c.conns.Meta.Call(wire.MStat, &wire.OpenRequest{Path: f.path}, &rep); err != nil {
+	if err := f.c.conns.Meta.Call(ctx, wire.MStat, &wire.OpenRequest{Path: f.path}, &rep); err != nil {
 		return 0, err
 	}
 	f.c.noteSize(f.fid, rep.Size)
@@ -533,13 +585,22 @@ type WriteOptions struct {
 }
 
 // WriteAt writes p at file offset off, returning once the data is in
-// the client cache (the PIO semantics the paper measures).
+// the client cache (the PIO semantics the paper measures). It runs
+// under the client's lifecycle context; WriteAtContext takes a per-call
+// deadline.
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
-	return f.WriteAtOpts(p, off, WriteOptions{})
+	return f.WriteAtContext(f.c.baseCtx, p, off)
 }
 
-// WriteAtOpts is WriteAt with experiment controls.
-func (f *File) WriteAtOpts(p []byte, off int64, o WriteOptions) (int, error) {
+// WriteAtContext is WriteAt bounded by ctx: a canceled context aborts
+// the lock acquisition (withdrawing any queued remote request) and
+// returns before the write lands in the cache.
+func (f *File) WriteAtContext(ctx context.Context, p []byte, off int64) (int, error) {
+	return f.WriteAtOpts(ctx, p, off, WriteOptions{})
+}
+
+// WriteAtOpts is WriteAtContext with experiment controls.
+func (f *File) WriteAtOpts(ctx context.Context, p []byte, off int64, o WriteOptions) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("client: negative offset")
 	}
@@ -559,7 +620,7 @@ func (f *File) WriteAtOpts(p []byte, off int64, o WriteOptions) (int, error) {
 		mode = dlm.SelectMode(false, false, len(stripes) > 1)
 	}
 
-	handles, err := f.acquireStripes(stripes, segs, mode, o.LockWholeStripe)
+	handles, err := f.acquireStripes(ctx, stripes, segs, mode, o.LockWholeStripe)
 	if err != nil {
 		return 0, err
 	}
@@ -574,14 +635,14 @@ func (f *File) WriteAtOpts(p []byte, off int64, o WriteOptions) (int, error) {
 
 // acquireStripes obtains one lock per touched stripe in ascending stripe
 // order, timing the locking part.
-func (f *File) acquireStripes(stripes []uint32, segs []meta.Segment, mode dlm.Mode, whole bool) (map[uint32]*dlm.Handle, error) {
+func (f *File) acquireStripes(ctx context.Context, stripes []uint32, segs []meta.Segment, mode dlm.Mode, whole bool) (map[uint32]*dlm.Handle, error) {
 	lockStart := time.Now()
 	defer func() { f.c.Stats.LockNs.Add(time.Since(lockStart).Nanoseconds()) }()
 	handles := make(map[uint32]*dlm.Handle, len(stripes))
 	for _, st := range stripes {
 		lo, hi, _ := meta.StripeRange(segs, st)
 		rng := f.lockRange(lo, hi, whole)
-		h, err := f.c.lc.Acquire(f.Resource(st), mode, rng)
+		h, err := f.c.lc.Acquire(ctx, f.Resource(st), mode, rng)
 		if err != nil {
 			f.unlockAll(handles)
 			return nil, err
@@ -612,6 +673,11 @@ func (f *File) unlockAll(handles map[uint32]*dlm.Handle) {
 // is at or beyond the file size, and a short count when the file ends
 // inside p.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	return f.ReadAtContext(f.c.baseCtx, p, off)
+}
+
+// ReadAtContext is ReadAt bounded by ctx.
+func (f *File) ReadAtContext(ctx context.Context, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("client: negative offset")
 	}
@@ -626,7 +692,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	// their size watermark, so the size check below observes them.
 	segsAll := meta.SplitRange(off, int64(len(p)), f.stripeSize, f.stripeCount)
 	stripes := meta.StripesOf(segsAll)
-	handles, err := f.acquireStripes(stripes, segsAll, dlm.SelectMode(true, false, false), false)
+	handles, err := f.acquireStripes(ctx, stripes, segsAll, dlm.SelectMode(true, false, false), false)
 	if err != nil {
 		return 0, err
 	}
@@ -634,7 +700,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 
 	known := f.c.localSize(f.fid)
 	if off+int64(len(p)) > known {
-		if known, err = f.Size(); err != nil {
+		if known, err = f.SizeContext(ctx); err != nil {
 			return 0, err
 		}
 	}
@@ -650,7 +716,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	for _, seg := range segs {
 		rid := uint64(f.Resource(seg.Stripe))
 		if !f.c.pc.Covered(rid, seg.Off, seg.Len) {
-			if err := f.fetch(rid, seg, handles[seg.Stripe]); err != nil {
+			if err := f.fetch(ctx, rid, seg, handles[seg.Stripe]); err != nil {
 				return 0, err
 			}
 		}
@@ -664,10 +730,10 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 
 // fetch reads a segment from its data server and fills the cache as
 // clean data under the read lock's SN.
-func (f *File) fetch(rid uint64, seg meta.Segment, h *dlm.Handle) error {
+func (f *File) fetch(ctx context.Context, rid uint64, seg meta.Segment, h *dlm.Handle) error {
 	ep := f.c.bulkFor(rid)
 	var rep wire.ReadReply
-	err := ep.Call(wire.MRead, &wire.ReadRequest{
+	err := ep.Call(ctx, wire.MRead, &wire.ReadRequest{
 		Resource: rid,
 		Range:    extent.Span(seg.Off, seg.Len),
 	}, &rep)
@@ -689,13 +755,18 @@ func (f *File) fetch(rid uint64, seg meta.Segment, h *dlm.Handle) error {
 // offset it landed at. The size read-and-bump is the implicit read that
 // makes append select PW under the Fig. 10 rules.
 func (f *File) Append(p []byte) (int64, error) {
+	return f.AppendContext(f.c.baseCtx, p)
+}
+
+// AppendContext is Append bounded by ctx.
+func (f *File) AppendContext(ctx context.Context, p []byte) (int64, error) {
 	var rep wire.SizeReply
-	err := f.c.conns.Meta.Call(wire.MReserve, &wire.SetSizeRequest{FID: f.fid, Size: int64(len(p))}, &rep)
+	err := f.c.conns.Meta.Call(ctx, wire.MReserve, &wire.SetSizeRequest{FID: f.fid, Size: int64(len(p))}, &rep)
 	if err != nil {
 		return 0, err
 	}
 	off := rep.Size
-	_, err = f.WriteAtOpts(p, off, WriteOptions{Mode: f.appendMode()})
+	_, err = f.WriteAtOpts(ctx, p, off, WriteOptions{Mode: f.appendMode()})
 	if err != nil {
 		return 0, err
 	}
@@ -710,12 +781,17 @@ func (f *File) appendMode() dlm.Mode {
 // it. It takes PW locks over every stripe's whole range, serializing
 // with all in-flight IO.
 func (f *File) Truncate(size int64) error {
+	return f.TruncateContext(f.c.baseCtx, size)
+}
+
+// TruncateContext is Truncate bounded by ctx.
+func (f *File) TruncateContext(ctx context.Context, size int64) error {
 	if size < 0 {
 		return fmt.Errorf("client: negative size")
 	}
 	var handles []*dlm.Handle
 	for st := uint32(0); st < f.stripeCount; st++ {
-		h, err := f.c.lc.Acquire(f.Resource(st), dlm.PW, extent.New(0, extent.Inf))
+		h, err := f.c.lc.Acquire(ctx, f.Resource(st), dlm.PW, extent.New(0, extent.Inf))
 		if err != nil {
 			for _, g := range handles {
 				f.c.lc.Unlock(g)
@@ -730,7 +806,7 @@ func (f *File) Truncate(size int64) error {
 		}
 	}()
 	var rep wire.SizeReply
-	if err := f.c.conns.Meta.Call(wire.MSetSize, &wire.SetSizeRequest{FID: f.fid, Size: size, Truncate: true}, &rep); err != nil {
+	if err := f.c.conns.Meta.Call(ctx, wire.MSetSize, &wire.SetSizeRequest{FID: f.fid, Size: size, Truncate: true}, &rep); err != nil {
 		return err
 	}
 	// Plain store, not max-update: truncation may shrink the watermark.
@@ -745,14 +821,17 @@ func (f *File) Truncate(size int64) error {
 
 // Fsync flushes all of the file's dirty data to data servers and
 // publishes the size, without releasing any lock (§IV-C1).
-func (f *File) Fsync() error {
+func (f *File) Fsync() error { return f.FsyncContext(f.c.baseCtx) }
+
+// FsyncContext is Fsync bounded by ctx.
+func (f *File) FsyncContext(ctx context.Context) error {
 	for st := uint32(0); st < f.stripeCount; st++ {
 		rid := f.Resource(st)
-		if err := f.c.flushRange(rid, extent.New(0, extent.Inf), ^extent.SN(0)); err != nil {
+		if err := f.c.flushRange(ctx, rid, extent.New(0, extent.Inf), ^extent.SN(0)); err != nil {
 			return err
 		}
 	}
-	f.c.pushSize(f.fid)
+	f.c.pushSize(ctx, f.fid)
 	return nil
 }
 
@@ -774,6 +853,11 @@ type WriteOp struct {
 // range (more conflicts, but early grant absorbs them — §V-D); under
 // DLM-datatype it is the exact extent list.
 func (f *File) WriteMulti(ops []WriteOp) error {
+	return f.WriteMultiContext(f.c.baseCtx, ops)
+}
+
+// WriteMultiContext is WriteMulti bounded by ctx.
+func (f *File) WriteMultiContext(ctx context.Context, ops []WriteOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
@@ -822,7 +906,7 @@ func (f *File) WriteMulti(ops []WriteOp) error {
 			for _, pc := range perStripe[st] {
 				exts = append(exts, extent.Span(pc.seg.Off, pc.seg.Len))
 			}
-			h, err = f.c.lc.AcquireExtents(f.Resource(st), mode, extent.NewSet(exts...))
+			h, err = f.c.lc.AcquireExtents(ctx, f.Resource(st), mode, extent.NewSet(exts...))
 		} else {
 			lo, hi := int64(-1), int64(-1)
 			for _, pc := range perStripe[st] {
@@ -833,7 +917,7 @@ func (f *File) WriteMulti(ops []WriteOp) error {
 					hi = pc.seg.Off + pc.seg.Len
 				}
 			}
-			h, err = f.c.lc.Acquire(f.Resource(st), mode, f.lockRange(lo, hi, false))
+			h, err = f.c.lc.Acquire(ctx, f.Resource(st), mode, f.lockRange(lo, hi, false))
 		}
 		if err != nil {
 			f.unlockAll(handles)

@@ -2,6 +2,7 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -67,7 +68,7 @@ func (h *harness) client(cfg Config) *Client {
 			conns.Meta = ep
 		}
 	}
-	cl, err := New(cfg, conns)
+	cl, err := New(context.Background(), cfg, conns)
 	if err != nil {
 		h.t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func (h *harness) client(cfg Config) *Client {
 }
 
 func TestNewRejectsZeroID(t *testing.T) {
-	if _, err := New(Config{Policy: dlm.SeqDLM()}, Conns{}); err == nil {
+	if _, err := New(context.Background(), Config{Policy: dlm.SeqDLM()}, Conns{}); err == nil {
 		t.Fatal("zero client ID accepted")
 	}
 }
@@ -162,7 +163,7 @@ func TestLockModeSelection(t *testing.T) {
 	if _, err := f.WriteAt([]byte("data"), 0); err != nil {
 		t.Fatal(err)
 	}
-	hd, err := cl.Locks().Acquire(f.Resource(0), dlm.NBW, extent.New(0, 4))
+	hd, err := cl.Locks().Acquire(context.Background(), f.Resource(0), dlm.NBW, extent.New(0, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestLockModeSelection(t *testing.T) {
 	if _, err := f.WriteAt(span, 2000); err != nil { // crosses 4096 boundary
 		t.Fatal(err)
 	}
-	hd1, err := cl.Locks().Acquire(f.Resource(1), dlm.NBW, extent.New(0, 4))
+	hd1, err := cl.Locks().Acquire(context.Background(), f.Resource(1), dlm.NBW, extent.New(0, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestAppendUsesPW(t *testing.T) {
 	if err != nil || off != 0 {
 		t.Fatalf("append: off=%d err=%v", off, err)
 	}
-	hd, err := cl.Locks().Acquire(f.Resource(0), dlm.PR, extent.New(0, 8))
+	hd, err := cl.Locks().Acquire(context.Background(), f.Resource(0), dlm.PR, extent.New(0, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,10 +219,10 @@ func TestWriteOptionsForceModeAndWholeStripe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.WriteAtOpts([]byte("x"), 0, WriteOptions{Mode: dlm.PW, LockWholeStripe: true}); err != nil {
+	if _, err := f.WriteAtOpts(context.Background(), []byte("x"), 0, WriteOptions{Mode: dlm.PW, LockWholeStripe: true}); err != nil {
 		t.Fatal(err)
 	}
-	hd, err := cl.Locks().Acquire(f.Resource(0), dlm.PR, extent.New(1<<19, 1<<19+1))
+	hd, err := cl.Locks().Acquire(context.Background(), f.Resource(0), dlm.PR, extent.New(1<<19, 1<<19+1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -56,7 +57,7 @@ func TestFullStackOverTCP(t *testing.T) {
 			}
 			conns.Bulk = append(conns.Bulk, rpc.NewEndpoint(bconn, rpc.Options{}))
 		}
-		cl, err := New(Config{Name: name, ID: id, Policy: pol}, conns)
+		cl, err := New(context.Background(), Config{Name: name, ID: id, Policy: pol}, conns)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -112,7 +113,7 @@ func (c *Cluster) NewClient(name string) (*client.Client, error) {
 	if pcCfg.CacheBandwidth == 0 {
 		pcCfg.CacheBandwidth = c.opts.Hardware.CacheBandwidth
 	}
-	return client.New(client.Config{
+	return client.New(context.Background(), client.Config{
 		Name:          name,
 		ID:            id,
 		Policy:        c.opts.Policy,
@@ -138,11 +139,25 @@ func (c *Cluster) Clients(n int, prefix string) ([]*client.Client, error) {
 	return out, nil
 }
 
-// Close stops the servers. Clients must be closed first by their owners.
+// Close stops the servers immediately. Clients must be closed first by
+// their owners.
 func (c *Cluster) Close() {
 	for _, s := range c.Servers {
 		s.Close()
 	}
+}
+
+// Shutdown drains every server gracefully, bounded by ctx. Clients
+// should be shut down first so their final flushes land while the
+// servers still accept them.
+func (c *Cluster) Shutdown(ctx context.Context) error {
+	var err error
+	for _, s := range c.Servers {
+		if e := s.Shutdown(ctx); e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
 }
 
 // Hardware returns the cluster's hardware model.

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -521,8 +522,8 @@ func TestExtentCacheDrainsAfterRelease(t *testing.T) {
 		f0.WriteAt(pattern(1, 5000), int64(k*10000))
 		f1.WriteAt(pattern(2, 5000), int64(k*10000+5000))
 	}
-	cls[0].Locks().ReleaseAll()
-	cls[1].Locks().ReleaseAll()
+	cls[0].Locks().ReleaseAll(context.Background())
+	cls[1].Locks().ReleaseAll(context.Background())
 	if c.ExtCacheEntries() == 0 {
 		t.Fatal("extent cache empty after conflicting flushes (nothing recorded?)")
 	}
@@ -594,7 +595,7 @@ func TestExtCacheDaemonBoundsEntries(t *testing.T) {
 	}
 	wg.Wait()
 	for _, cl := range cls {
-		cl.Locks().ReleaseAll()
+		cl.Locks().ReleaseAll(context.Background())
 	}
 	// With all locks released, the daemon must get the cache under
 	// budget.
@@ -643,7 +644,7 @@ func TestAbruptClientDeath(t *testing.T) {
 	if err := fs.Fsync(); err != nil {
 		t.Fatal(err)
 	}
-	survivor.Locks().ReleaseAll()
+	survivor.Locks().ReleaseAll(context.Background())
 
 	fd, err := doomed.Open("/abrupt")
 	if err != nil {

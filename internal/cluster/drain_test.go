@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"ccpfs/internal/dlm"
+	"ccpfs/internal/extent"
+	"ccpfs/internal/sim"
+	"ccpfs/internal/wire"
+)
+
+// TestClientShutdownFlushesDirtyPages: a graceful client Shutdown writes
+// back every dirty page and publishes the file size, so a second client
+// observes the data without the writer ever calling Fsync.
+func TestClientShutdownFlushesDirtyPages(t *testing.T) {
+	c := newCluster(t, Options{Servers: 2, Policy: dlm.SeqDLM()})
+	w, err := c.NewClient("writer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := w.Create("/drain", 64<<10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := pattern(9, 200_000) // spans both stripes
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	// No Fsync: the data is dirty in the writer's cache. Shutdown must
+	// flush it, release the cached locks, and push the size register.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := w.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+
+	r, err := c.NewClient("reader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	g, err := r.Open("/drain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz, err := g.Size(); err != nil || sz != int64(len(data)) {
+		t.Fatalf("Size = %d, %v; want %d (size not pushed at drain)", sz, err, len(data))
+	}
+	got := make([]byte, len(data))
+	if _, err := g.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read back mismatch after writer drain")
+	}
+}
+
+// TestClusterShutdownGraceful: draining the whole cluster after clients
+// detach returns cleanly within its budget.
+func TestClusterShutdownGraceful(t *testing.T) {
+	c := newCluster(t, Options{Servers: 2, Policy: dlm.SeqDLM()})
+	cl, err := c.NewClient("writer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := cl.Create("/g", 64<<10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(pattern(3, 100_000), 0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := cl.Shutdown(ctx); err != nil {
+		t.Fatalf("client Shutdown = %v", err)
+	}
+	if err := c.Shutdown(ctx); err != nil {
+		t.Fatalf("cluster Shutdown = %v", err)
+	}
+}
+
+// TestCancelBlockedAcquireWithLatency is the issue's acceptance
+// scenario: over a fabric with simulated latency, a blocked lock acquire
+// whose context expires returns promptly (not after the conflicting
+// holder gives the lock up), matches the typed timeout, leaves no zombie
+// queue entry, and a subsequent acquire succeeds once the holder
+// releases.
+func TestCancelBlockedAcquireWithLatency(t *testing.T) {
+	c := newCluster(t, Options{
+		Servers:  1,
+		Policy:   dlm.SeqDLM(),
+		Hardware: sim.Hardware{RTT: 2 * time.Millisecond},
+	})
+	cls := newClients(t, c, 3)
+	res := dlm.ResourceID(7)
+	whole := extent.New(0, extent.Inf)
+
+	// Client 0 holds a PW lock pinned (no Unlock), so the revocation the
+	// blocked request triggers cannot complete; PW admits no early grant,
+	// so the waiter stays queued until its deadline.
+	h0, err := cls[0].Locks().Acquire(context.Background(), res, dlm.PW, whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = cls[1].Locks().Acquire(ctx, res, dlm.PW, whole)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked Acquire = %v, want context.DeadlineExceeded", err)
+	}
+	if !errors.Is(err, wire.ErrTimeout) {
+		t.Fatalf("blocked Acquire = %v, want wire.ErrTimeout match", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("blocked Acquire returned after %v, want within the deadline's order", elapsed)
+	}
+
+	// No zombie entry server-side: the withdrawal raced only network
+	// latency, so poll briefly.
+	srv := c.Servers[0]
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.DLM.QueueLen(res) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue has %d entries after cancellation, want 0", srv.DLM.QueueLen(res))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Release the pin; the deferred revocation cancels the lock, and a
+	// fresh acquire by a third client succeeds.
+	cls[0].Locks().Unlock(h0)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	h2, err := cls[2].Locks().Acquire(ctx2, res, dlm.PW, whole)
+	if err != nil {
+		t.Fatalf("acquire after release = %v", err)
+	}
+	cls[2].Locks().Unlock(h2)
+}

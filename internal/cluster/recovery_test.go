@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"testing"
 
@@ -57,7 +58,7 @@ func TestServerRecoveryEndToEnd(t *testing.T) {
 	}
 
 	// --- recovery: gather lock records from clients, replay the log.
-	if err := srv.Recover(); err != nil {
+	if err := srv.Recover(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	srv.Cache.Replay(rid, log)
@@ -110,7 +111,7 @@ func TestExtentLogRebuildMatchesLiveCache(t *testing.T) {
 		}
 	}
 	for _, cl := range cls {
-		cl.Locks().ReleaseAll()
+		cl.Locks().ReleaseAll(context.Background())
 	}
 
 	srv := c.Servers[0]

@@ -6,7 +6,7 @@
 package dataserver
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -72,9 +72,15 @@ type Server struct {
 	// so a racing release cannot land before its lock is restored.
 	gate sync.RWMutex
 
-	stopCleanup chan struct{}
-	closeOnce   sync.Once
-	logFile     *extcache.LogFile
+	// baseCtx is the server's lifecycle: the cleanup daemon, revocation
+	// callbacks, and recovery RPCs run under it. Shutdown cancels it
+	// after the drain; Close cancels it immediately.
+	baseCtx  context.Context
+	cancelFn context.CancelFunc
+	draining atomic.Bool
+
+	closeOnce sync.Once
+	logFile   *extcache.LogFile
 
 	// FlushedBytes counts bytes actually written to the device (after
 	// stale-data discard).
@@ -93,13 +99,15 @@ func New(cfg Config) *Server {
 	if cfg.Hardware.DiskBandwidth > 0 || cfg.Hardware.DiskLatency > 0 {
 		st = storage.NewSimStore(st, cfg.Hardware)
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:         cfg,
-		store:       st,
-		Cache:       extcache.New(cfg.ExtCacheThreshold, cfg.ExtentLog),
-		lockL:       sim.NewRateLimiter(cfg.Hardware.ServerOPS),
-		clients:     make(map[dlm.ClientID]*rpc.Endpoint),
-		stopCleanup: make(chan struct{}),
+		cfg:      cfg,
+		store:    st,
+		Cache:    extcache.New(cfg.ExtCacheThreshold, cfg.ExtentLog),
+		lockL:    sim.NewRateLimiter(cfg.Hardware.ServerOPS),
+		clients:  make(map[dlm.ClientID]*rpc.Endpoint),
+		baseCtx:  ctx,
+		cancelFn: cancel,
 	}
 	s.DLM = dlm.NewServer(cfg.Policy, notifier{s})
 	if cfg.ExtentLog && cfg.ExtentLogDir != "" {
@@ -118,14 +126,39 @@ func (s *Server) Serve(l transport.Listener) {
 	s.rpcSrv = rpc.NewServer(l, rpc.Options{OnClose: s.dropEndpoint}, s.setup)
 	go s.rpcSrv.Serve()
 	if s.cfg.CleanupInterval > 0 {
-		go s.Cache.Daemon(s.cfg.CleanupInterval, s.minSN, s.forceSync, s.stopCleanup)
+		go s.Cache.Daemon(s.baseCtx, s.cfg.CleanupInterval, s.minSN, s.forceSync)
 	}
 }
 
-// Close stops the server. It is idempotent.
+// Shutdown drains the server gracefully, bounded by ctx: new requests
+// fail with wire.ErrShuttingDown, queued lock waiters are failed so
+// blocked handlers return, in-flight handlers (flushes included) run to
+// completion, then endpoints close, daemons stop, and the extent log is
+// synced. It is idempotent with Close; whichever runs first wins.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		s.DLM.Shutdown() // unwedges handlers blocked in the grant wait
+		if s.rpcSrv != nil {
+			err = s.rpcSrv.Shutdown(ctx)
+		}
+		s.cancelFn()
+		if s.logFile != nil {
+			s.logFile.Sync()
+			s.logFile.Close()
+		}
+	})
+	return err
+}
+
+// Close stops the server immediately, without draining in-flight
+// handlers. It is idempotent.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
-		close(s.stopCleanup)
+		s.draining.Store(true)
+		s.DLM.Shutdown()
+		s.cancelFn()
 		if s.rpcSrv != nil {
 			s.rpcSrv.Close()
 		}
@@ -156,7 +189,7 @@ func (s *Server) dropEndpoint(ep *rpc.Endpoint) {
 type notifier struct{ s *Server }
 
 // Revoke implements dlm.Notifier.
-func (n notifier) Revoke(rv dlm.Revocation) {
+func (n notifier) Revoke(ctx context.Context, rv dlm.Revocation) {
 	n.s.mu.RLock()
 	ep := n.s.clients[rv.Client]
 	n.s.mu.RUnlock()
@@ -165,7 +198,7 @@ func (n notifier) Revoke(rv dlm.Revocation) {
 		n.s.DLM.Release(rv.Resource, rv.Lock)
 		return
 	}
-	err := ep.Call(wire.MRevoke, &wire.RevokeRequest{Resource: uint64(rv.Resource), LockID: uint64(rv.Lock)}, nil)
+	err := ep.Call(ctx, wire.MRevoke, &wire.RevokeRequest{Resource: uint64(rv.Resource), LockID: uint64(rv.Lock)}, nil)
 	n.s.DLM.RevokeAck(rv.Resource, rv.Lock)
 	if err != nil {
 		// The holder is gone; its dirty data is lost by the client-cache
@@ -183,7 +216,7 @@ func (s *Server) minSN(stripe uint64, rng extent.Extent) (extent.SN, bool) {
 // (and releasing) a whole-range read lock as the server-local client 0.
 func (s *Server) forceSync(stripe uint64) {
 	mode := s.cfg.Policy.MapMode(dlm.PR)
-	g, err := s.DLM.Lock(dlm.Request{
+	g, err := s.DLM.Lock(s.baseCtx, dlm.Request{
 		Resource: dlm.ResourceID(stripe),
 		Client:   0,
 		Mode:     mode,
@@ -199,8 +232,8 @@ func (s *Server) forceSync(stripe uint64) {
 // records from every connected client (§IV-C2) and restoring them into
 // the engine. The extent cache is rebuilt separately by replaying the
 // extent log (Cache.Replay). It must run before new lock traffic is
-// admitted.
-func (s *Server) Recover() error {
+// admitted. ctx bounds the per-client report round trips.
+func (s *Server) Recover(ctx context.Context) error {
 	s.gate.Lock()
 	defer s.gate.Unlock()
 	s.mu.RLock()
@@ -213,7 +246,7 @@ func (s *Server) Recover() error {
 	var records []dlm.LockRecord
 	for _, ep := range eps {
 		var rep wire.LockReport
-		if err := ep.Call(wire.MReport, &wire.Ack{}, &rep); err != nil {
+		if err := ep.Call(ctx, wire.MReport, &wire.Ack{}, &rep); err != nil {
 			// A client that vanished since the crash simply loses its
 			// locks, like the paper's aborted-job convention.
 			continue
@@ -235,13 +268,13 @@ func (s *Server) Recover() error {
 
 // setup registers the RPC handlers on a new endpoint.
 func (s *Server) setup(ep *rpc.Endpoint) {
-	ep.Handle(wire.MHello, func(p []byte) (wire.Msg, error) {
+	ep.Handle(wire.MHello, func(ctx context.Context, p []byte) (wire.Msg, error) {
 		var req wire.HelloRequest
 		if err := wire.Unmarshal(p, &req); err != nil {
 			return nil, err
 		}
 		if req.ClientID == 0 {
-			return nil, errors.New("dataserver: client must bring a cluster-assigned ID")
+			return nil, wire.Errorf(wire.CodeInvalid, "dataserver: client must bring a cluster-assigned ID")
 		}
 		if !req.Bulk {
 			// Only the control connection receives revocation callbacks;
@@ -253,23 +286,28 @@ func (s *Server) setup(ep *rpc.Endpoint) {
 		return &wire.HelloReply{ClientID: req.ClientID}, nil
 	})
 
-	ep.Handle(wire.MLock, func(p []byte) (wire.Msg, error) {
+	ep.Handle(wire.MLock, func(ctx context.Context, p []byte) (wire.Msg, error) {
 		var req wire.LockRequest
 		if err := wire.Unmarshal(p, &req); err != nil {
 			return nil, err
+		}
+		if s.draining.Load() {
+			return nil, wire.ErrShuttingDown
 		}
 		// Barrier only: a request must not enter the engine mid-recovery
 		// (it would be resolved against missing state), but the gate
 		// cannot be held across the blocking grant wait — the grant may
 		// need a release, which itself passes the gate.
 		s.gate.RLock()
-		s.gate.RUnlock() //nolint:staticcheck // empty critical section is the barrier
-		s.lockL.Wait()   // the lock server's OPS bound
+		s.gate.RUnlock()                             //nolint:staticcheck // empty critical section is the barrier
+		if err := s.lockL.WaitCtx(ctx); err != nil { // the lock server's OPS bound
+			return nil, wire.FromContext(err)
+		}
 		var set extent.Set
 		if len(req.Extents) > 0 {
 			set = extent.NewSet(req.Extents...)
 		}
-		g, err := s.DLM.Lock(dlm.Request{
+		g, err := s.DLM.Lock(ctx, dlm.Request{
 			Resource: dlm.ResourceID(req.Resource),
 			Client:   dlm.ClientID(req.Client),
 			Mode:     dlm.Mode(req.Mode),
@@ -292,33 +330,37 @@ func (s *Server) setup(ep *rpc.Endpoint) {
 		return reply, nil
 	})
 
-	ep.Handle(wire.MRelease, func(p []byte) (wire.Msg, error) {
+	ep.Handle(wire.MRelease, func(ctx context.Context, p []byte) (wire.Msg, error) {
 		var req wire.ReleaseRequest
 		if err := wire.Unmarshal(p, &req); err != nil {
 			return nil, err
 		}
 		s.gate.RLock()
 		defer s.gate.RUnlock()
-		s.lockL.Wait()
+		if err := s.lockL.WaitCtx(ctx); err != nil {
+			return nil, wire.FromContext(err)
+		}
 		s.DLM.Release(dlm.ResourceID(req.Resource), dlm.LockID(req.LockID))
 		return &wire.Ack{}, nil
 	})
 
-	ep.Handle(wire.MDowngrade, func(p []byte) (wire.Msg, error) {
+	ep.Handle(wire.MDowngrade, func(ctx context.Context, p []byte) (wire.Msg, error) {
 		var req wire.DowngradeRequest
 		if err := wire.Unmarshal(p, &req); err != nil {
 			return nil, err
 		}
 		s.gate.RLock()
 		defer s.gate.RUnlock()
-		s.lockL.Wait()
+		if err := s.lockL.WaitCtx(ctx); err != nil {
+			return nil, wire.FromContext(err)
+		}
 		if err := s.DLM.Downgrade(dlm.ResourceID(req.Resource), dlm.LockID(req.LockID), dlm.Mode(req.NewMode)); err != nil {
 			return nil, err
 		}
 		return &wire.Ack{}, nil
 	})
 
-	ep.Handle(wire.MFlush, func(p []byte) (wire.Msg, error) {
+	ep.Handle(wire.MFlush, func(ctx context.Context, p []byte) (wire.Msg, error) {
 		var req wire.FlushRequest
 		if err := wire.Unmarshal(p, &req); err != nil {
 			return nil, err
@@ -331,7 +373,7 @@ func (s *Server) setup(ep *rpc.Endpoint) {
 		return &wire.Ack{}, nil
 	})
 
-	ep.Handle(wire.MRead, func(p []byte) (wire.Msg, error) {
+	ep.Handle(wire.MRead, func(_ context.Context, p []byte) (wire.Msg, error) {
 		var req wire.ReadRequest
 		if err := wire.Unmarshal(p, &req); err != nil {
 			return nil, err
@@ -339,7 +381,7 @@ func (s *Server) setup(ep *rpc.Endpoint) {
 		return s.handleRead(&req)
 	})
 
-	ep.Handle(wire.MMinSN, func(p []byte) (wire.Msg, error) {
+	ep.Handle(wire.MMinSN, func(_ context.Context, p []byte) (wire.Msg, error) {
 		var req wire.MinSNRequest
 		if err := wire.Unmarshal(p, &req); err != nil {
 			return nil, err
@@ -399,7 +441,7 @@ func (s *Server) handleRead(req *wire.ReadRequest) (wire.Msg, error) {
 
 func (s *Server) setupMeta(ep *rpc.Endpoint) {
 	m := s.cfg.Meta
-	ep.Handle(wire.MCreate, func(p []byte) (wire.Msg, error) {
+	ep.Handle(wire.MCreate, func(_ context.Context, p []byte) (wire.Msg, error) {
 		var req wire.CreateRequest
 		if err := wire.Unmarshal(p, &req); err != nil {
 			return nil, err
@@ -410,7 +452,7 @@ func (s *Server) setupMeta(ep *rpc.Endpoint) {
 		}
 		return fileReply(f), nil
 	})
-	ep.Handle(wire.MOpen, func(p []byte) (wire.Msg, error) {
+	ep.Handle(wire.MOpen, func(_ context.Context, p []byte) (wire.Msg, error) {
 		var req wire.OpenRequest
 		if err := wire.Unmarshal(p, &req); err != nil {
 			return nil, err
@@ -421,7 +463,7 @@ func (s *Server) setupMeta(ep *rpc.Endpoint) {
 		}
 		return fileReply(f), nil
 	})
-	ep.Handle(wire.MStat, func(p []byte) (wire.Msg, error) {
+	ep.Handle(wire.MStat, func(_ context.Context, p []byte) (wire.Msg, error) {
 		var req wire.OpenRequest
 		if err := wire.Unmarshal(p, &req); err != nil {
 			return nil, err
@@ -432,7 +474,7 @@ func (s *Server) setupMeta(ep *rpc.Endpoint) {
 		}
 		return fileReply(f), nil
 	})
-	ep.Handle(wire.MSetSize, func(p []byte) (wire.Msg, error) {
+	ep.Handle(wire.MSetSize, func(_ context.Context, p []byte) (wire.Msg, error) {
 		var req wire.SetSizeRequest
 		if err := wire.Unmarshal(p, &req); err != nil {
 			return nil, err
@@ -443,7 +485,7 @@ func (s *Server) setupMeta(ep *rpc.Endpoint) {
 		}
 		return &wire.SizeReply{Size: sz}, nil
 	})
-	ep.Handle(wire.MReserve, func(p []byte) (wire.Msg, error) {
+	ep.Handle(wire.MReserve, func(_ context.Context, p []byte) (wire.Msg, error) {
 		var req wire.SetSizeRequest
 		if err := wire.Unmarshal(p, &req); err != nil {
 			return nil, err
@@ -454,10 +496,10 @@ func (s *Server) setupMeta(ep *rpc.Endpoint) {
 		}
 		return &wire.SizeReply{Size: off}, nil
 	})
-	ep.Handle(wire.MList, func(p []byte) (wire.Msg, error) {
+	ep.Handle(wire.MList, func(_ context.Context, p []byte) (wire.Msg, error) {
 		return &wire.ListReply{Paths: m.List()}, nil
 	})
-	ep.Handle(wire.MRemove, func(p []byte) (wire.Msg, error) {
+	ep.Handle(wire.MRemove, func(_ context.Context, p []byte) (wire.Msg, error) {
 		var req wire.OpenRequest
 		if err := wire.Unmarshal(p, &req); err != nil {
 			return nil, err

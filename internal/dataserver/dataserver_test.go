@@ -2,6 +2,7 @@ package dataserver
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -40,7 +41,7 @@ func testServer(t *testing.T, cfg Config) (*Server, *rpc.Endpoint) {
 func hello(t *testing.T, ep *rpc.Endpoint, id uint32, bulk bool) {
 	t.Helper()
 	var rep wire.HelloReply
-	err := ep.Call(wire.MHello, &wire.HelloRequest{NodeName: "t", ClientID: id, Bulk: bulk}, &rep)
+	err := ep.Call(context.Background(), wire.MHello, &wire.HelloRequest{NodeName: "t", ClientID: id, Bulk: bulk}, &rep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func hello(t *testing.T, ep *rpc.Endpoint, id uint32, bulk bool) {
 
 func TestHelloRejectsZeroID(t *testing.T) {
 	_, ep := testServer(t, Config{Policy: dlm.SeqDLM()})
-	err := ep.Call(wire.MHello, &wire.HelloRequest{NodeName: "t"}, &wire.HelloReply{})
+	err := ep.Call(context.Background(), wire.MHello, &wire.HelloRequest{NodeName: "t"}, &wire.HelloReply{})
 	if err == nil {
 		t.Fatal("zero client ID accepted")
 	}
@@ -61,7 +62,7 @@ func TestLockGrantOverRPC(t *testing.T) {
 	_, ep := testServer(t, Config{Policy: dlm.SeqDLM()})
 	hello(t, ep, 7, false)
 	var g wire.LockGrant
-	err := ep.Call(wire.MLock, &wire.LockRequest{
+	err := ep.Call(context.Background(), wire.MLock, &wire.LockRequest{
 		Resource: 1, Client: 7, Mode: uint8(dlm.NBW), Range: extent.New(0, 100),
 	}, &g)
 	if err != nil {
@@ -70,7 +71,7 @@ func TestLockGrantOverRPC(t *testing.T) {
 	if g.LockID == 0 || g.Range.End != extent.Inf || dlm.State(g.State) != dlm.Granted {
 		t.Fatalf("grant = %+v", g)
 	}
-	if err := ep.Call(wire.MRelease, &wire.ReleaseRequest{Resource: 1, LockID: g.LockID}, nil); err != nil {
+	if err := ep.Call(context.Background(), wire.MRelease, &wire.ReleaseRequest{Resource: 1, LockID: g.LockID}, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -78,7 +79,7 @@ func TestLockGrantOverRPC(t *testing.T) {
 func TestLockRejectsWrongModeForPolicy(t *testing.T) {
 	_, ep := testServer(t, Config{Policy: dlm.Basic()})
 	hello(t, ep, 7, false)
-	err := ep.Call(wire.MLock, &wire.LockRequest{
+	err := ep.Call(context.Background(), wire.MLock, &wire.LockRequest{
 		Resource: 1, Client: 7, Mode: uint8(dlm.NBW), Range: extent.New(0, 100),
 	}, &wire.LockGrant{})
 	if err == nil {
@@ -90,7 +91,7 @@ func TestFlushAndReadRoundTrip(t *testing.T) {
 	srv, ep := testServer(t, Config{Policy: dlm.SeqDLM()})
 	hello(t, ep, 7, false)
 	data := []byte("hello extent cache")
-	err := ep.Call(wire.MFlush, &wire.FlushRequest{
+	err := ep.Call(context.Background(), wire.MFlush, &wire.FlushRequest{
 		Resource: 5, Client: 7,
 		Blocks: []wire.Block{{Range: extent.Span(100, int64(len(data))), SN: 3, Data: data}},
 	}, nil)
@@ -101,7 +102,7 @@ func TestFlushAndReadRoundTrip(t *testing.T) {
 		t.Fatalf("FlushedBytes = %d", srv.FlushedBytes.Load())
 	}
 	var rep wire.ReadReply
-	err = ep.Call(wire.MRead, &wire.ReadRequest{Resource: 5, Range: extent.Span(100, int64(len(data)))}, &rep)
+	err = ep.Call(context.Background(), wire.MRead, &wire.ReadRequest{Resource: 5, Range: extent.Span(100, int64(len(data)))}, &rep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,15 +116,15 @@ func TestFlushDiscardsStaleData(t *testing.T) {
 	hello(t, ep, 7, false)
 	newer := bytes.Repeat([]byte{9}, 64)
 	older := bytes.Repeat([]byte{1}, 64)
-	ep.Call(wire.MFlush, &wire.FlushRequest{Resource: 1, Blocks: []wire.Block{
+	ep.Call(context.Background(), wire.MFlush, &wire.FlushRequest{Resource: 1, Blocks: []wire.Block{
 		{Range: extent.Span(0, 64), SN: 9, Data: newer}}}, nil)
-	ep.Call(wire.MFlush, &wire.FlushRequest{Resource: 1, Blocks: []wire.Block{
+	ep.Call(context.Background(), wire.MFlush, &wire.FlushRequest{Resource: 1, Blocks: []wire.Block{
 		{Range: extent.Span(0, 64), SN: 2, Data: older}}}, nil)
 	if srv.DiscardedBytes.Load() != 64 {
 		t.Fatalf("DiscardedBytes = %d, want 64", srv.DiscardedBytes.Load())
 	}
 	var rep wire.ReadReply
-	ep.Call(wire.MRead, &wire.ReadRequest{Resource: 1, Range: extent.Span(0, 64)}, &rep)
+	ep.Call(context.Background(), wire.MRead, &wire.ReadRequest{Resource: 1, Range: extent.Span(0, 64)}, &rep)
 	if !bytes.Equal(rep.Blocks[0].Data, newer) {
 		t.Fatal("stale flush overwrote newer data on device")
 	}
@@ -132,7 +133,7 @@ func TestFlushDiscardsStaleData(t *testing.T) {
 func TestFlushRejectsMalformedBlock(t *testing.T) {
 	_, ep := testServer(t, Config{Policy: dlm.SeqDLM()})
 	hello(t, ep, 7, false)
-	err := ep.Call(wire.MFlush, &wire.FlushRequest{Resource: 1, Blocks: []wire.Block{
+	err := ep.Call(context.Background(), wire.MFlush, &wire.FlushRequest{Resource: 1, Blocks: []wire.Block{
 		{Range: extent.Span(0, 100), SN: 1, Data: []byte("short")}}}, nil)
 	if err == nil {
 		t.Fatal("mismatched block length accepted")
@@ -147,7 +148,7 @@ func TestReadValidation(t *testing.T) {
 		{Start: 0, End: extent.Inf},
 		{Start: 0, End: MaxReadBytes + 1},
 	} {
-		if err := ep.Call(wire.MRead, &wire.ReadRequest{Resource: 1, Range: rng}, &wire.ReadReply{}); err == nil {
+		if err := ep.Call(context.Background(), wire.MRead, &wire.ReadRequest{Resource: 1, Range: rng}, &wire.ReadReply{}); err == nil {
 			t.Fatalf("read range %v accepted", rng)
 		}
 	}
@@ -157,13 +158,13 @@ func TestMinSNOverRPC(t *testing.T) {
 	_, ep := testServer(t, Config{Policy: dlm.SeqDLM()})
 	hello(t, ep, 7, false)
 	var g wire.LockGrant
-	if err := ep.Call(wire.MLock, &wire.LockRequest{
+	if err := ep.Call(context.Background(), wire.MLock, &wire.LockRequest{
 		Resource: 1, Client: 7, Mode: uint8(dlm.NBW), Range: extent.New(0, 100),
 	}, &g); err != nil {
 		t.Fatal(err)
 	}
 	var rep wire.MinSNReply
-	if err := ep.Call(wire.MMinSN, &wire.MinSNRequest{Resource: 1, Range: extent.New(0, extent.Inf)}, &rep); err != nil {
+	if err := ep.Call(context.Background(), wire.MMinSN, &wire.MinSNRequest{Resource: 1, Range: extent.New(0, extent.Inf)}, &rep); err != nil {
 		t.Fatal(err)
 	}
 	if !rep.HasLocks || rep.MinSN != g.SN {
@@ -187,7 +188,7 @@ func TestRevocationToVanishedClientForceReleases(t *testing.T) {
 	ep1.Start()
 	hello(t, ep1, 1, false)
 	var g wire.LockGrant
-	if err := ep1.Call(wire.MLock, &wire.LockRequest{
+	if err := ep1.Call(context.Background(), wire.MLock, &wire.LockRequest{
 		Resource: 1, Client: 1, Mode: uint8(dlm.NBW), Range: extent.New(0, extent.Inf),
 	}, &g); err != nil {
 		t.Fatal(err)
@@ -203,7 +204,7 @@ func TestRevocationToVanishedClientForceReleases(t *testing.T) {
 	hello(t, ep2, 2, false)
 	done := make(chan error, 1)
 	go func() {
-		done <- ep2.Call(wire.MLock, &wire.LockRequest{
+		done <- ep2.Call(context.Background(), wire.MLock, &wire.LockRequest{
 			Resource: 1, Client: 2, Mode: uint8(dlm.NBW), Range: extent.New(0, extent.Inf),
 		}, &wire.LockGrant{})
 	}()
@@ -235,7 +236,7 @@ func TestBulkConnectionNotUsedForRevocations(t *testing.T) {
 	defer ep.Close()
 	hello(t, ep, 1, true)
 	var g wire.LockGrant
-	if err := ep.Call(wire.MLock, &wire.LockRequest{
+	if err := ep.Call(context.Background(), wire.MLock, &wire.LockRequest{
 		Resource: 1, Client: 1, Mode: uint8(dlm.NBW), Range: extent.New(0, extent.Inf),
 	}, &g); err != nil {
 		t.Fatal(err)
@@ -249,7 +250,7 @@ func TestBulkConnectionNotUsedForRevocations(t *testing.T) {
 	hello(t, ep2, 2, false)
 	done := make(chan error, 1)
 	go func() {
-		done <- ep2.Call(wire.MLock, &wire.LockRequest{
+		done <- ep2.Call(context.Background(), wire.MLock, &wire.LockRequest{
 			Resource: 1, Client: 2, Mode: uint8(dlm.NBW), Range: extent.New(0, extent.Inf),
 		}, &wire.LockGrant{})
 	}()
@@ -268,33 +269,33 @@ func TestMetaHandlers(t *testing.T) {
 	hello(t, ep, 7, false)
 
 	var f wire.FileReply
-	if err := ep.Call(wire.MCreate, &wire.CreateRequest{Path: "/a", StripeSize: 4096, StripeCount: 2}, &f); err != nil {
+	if err := ep.Call(context.Background(), wire.MCreate, &wire.CreateRequest{Path: "/a", StripeSize: 4096, StripeCount: 2}, &f); err != nil {
 		t.Fatal(err)
 	}
 	if f.FID == 0 || f.StripeCount != 2 {
 		t.Fatalf("create = %+v", f)
 	}
-	if err := ep.Call(wire.MCreate, &wire.CreateRequest{Path: "/a", StripeSize: 4096, StripeCount: 2}, &f); err == nil {
+	if err := ep.Call(context.Background(), wire.MCreate, &wire.CreateRequest{Path: "/a", StripeSize: 4096, StripeCount: 2}, &f); err == nil {
 		t.Fatal("duplicate create accepted")
 	}
 	var g wire.FileReply
-	if err := ep.Call(wire.MOpen, &wire.OpenRequest{Path: "/a"}, &g); err != nil || g.FID != f.FID {
+	if err := ep.Call(context.Background(), wire.MOpen, &wire.OpenRequest{Path: "/a"}, &g); err != nil || g.FID != f.FID {
 		t.Fatalf("open = %+v, %v", g, err)
 	}
 	var sz wire.SizeReply
-	if err := ep.Call(wire.MSetSize, &wire.SetSizeRequest{FID: f.FID, Size: 999}, &sz); err != nil || sz.Size != 999 {
+	if err := ep.Call(context.Background(), wire.MSetSize, &wire.SetSizeRequest{FID: f.FID, Size: 999}, &sz); err != nil || sz.Size != 999 {
 		t.Fatalf("setsize = %+v, %v", sz, err)
 	}
-	if err := ep.Call(wire.MReserve, &wire.SetSizeRequest{FID: f.FID, Size: 100}, &sz); err != nil || sz.Size != 999 {
+	if err := ep.Call(context.Background(), wire.MReserve, &wire.SetSizeRequest{FID: f.FID, Size: 100}, &sz); err != nil || sz.Size != 999 {
 		t.Fatalf("reserve = %+v, %v (want old size back)", sz, err)
 	}
-	if err := ep.Call(wire.MStat, &wire.OpenRequest{Path: "/a"}, &g); err != nil || g.Size != 1099 {
+	if err := ep.Call(context.Background(), wire.MStat, &wire.OpenRequest{Path: "/a"}, &g); err != nil || g.Size != 1099 {
 		t.Fatalf("stat = %+v, %v", g, err)
 	}
-	if err := ep.Call(wire.MRemove, &wire.OpenRequest{Path: "/a"}, nil); err != nil {
+	if err := ep.Call(context.Background(), wire.MRemove, &wire.OpenRequest{Path: "/a"}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := ep.Call(wire.MOpen, &wire.OpenRequest{Path: "/a"}, &g); err == nil {
+	if err := ep.Call(context.Background(), wire.MOpen, &wire.OpenRequest{Path: "/a"}, &g); err == nil {
 		t.Fatal("open after remove succeeded")
 	}
 }
@@ -302,7 +303,7 @@ func TestMetaHandlers(t *testing.T) {
 func TestMetaNotHostedHere(t *testing.T) {
 	_, ep := testServer(t, Config{Policy: dlm.SeqDLM()})
 	hello(t, ep, 7, false)
-	err := ep.Call(wire.MCreate, &wire.CreateRequest{Path: "/a", StripeSize: 4096, StripeCount: 1}, &wire.FileReply{})
+	err := ep.Call(context.Background(), wire.MCreate, &wire.CreateRequest{Path: "/a", StripeSize: 4096, StripeCount: 1}, &wire.FileReply{})
 	if err == nil {
 		t.Fatal("meta call served by a non-meta server")
 	}
@@ -312,7 +313,7 @@ func TestExtentLogConfigured(t *testing.T) {
 	srv, ep := testServer(t, Config{Policy: dlm.SeqDLM(), ExtentLog: true})
 	hello(t, ep, 7, false)
 	data := bytes.Repeat([]byte{1}, 32)
-	ep.Call(wire.MFlush, &wire.FlushRequest{Resource: 3, Blocks: []wire.Block{
+	ep.Call(context.Background(), wire.MFlush, &wire.FlushRequest{Resource: 3, Blocks: []wire.Block{
 		{Range: extent.Span(0, 32), SN: 1, Data: data}}}, nil)
 	if len(srv.Cache.Log(3)) == 0 {
 		t.Fatal("extent log empty despite ExtentLog=true")
@@ -334,7 +335,7 @@ func TestRestartRebuildsExtentCacheFromDurableLog(t *testing.T) {
 	srv, ep := testServer(t, cfg)
 	hello(t, ep, 7, false)
 	newer := bytes.Repeat([]byte{9}, 64)
-	if err := ep.Call(wire.MFlush, &wire.FlushRequest{Resource: 1, Blocks: []wire.Block{
+	if err := ep.Call(context.Background(), wire.MFlush, &wire.FlushRequest{Resource: 1, Blocks: []wire.Block{
 		{Range: extent.Span(0, 64), SN: 9, Data: newer}}}, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +369,7 @@ func TestRestartRebuildsExtentCacheFromDurableLog(t *testing.T) {
 	// A straggler flush with an older SN must STILL be discarded — only
 	// possible if the extent cache was rebuilt from the durable log.
 	older := bytes.Repeat([]byte{1}, 64)
-	if err := ep2.Call(wire.MFlush, &wire.FlushRequest{Resource: 1, Blocks: []wire.Block{
+	if err := ep2.Call(context.Background(), wire.MFlush, &wire.FlushRequest{Resource: 1, Blocks: []wire.Block{
 		{Range: extent.Span(0, 64), SN: 2, Data: older}}}, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -376,7 +377,7 @@ func TestRestartRebuildsExtentCacheFromDurableLog(t *testing.T) {
 		t.Fatalf("stale flush not discarded after restart: discarded=%d", srv2.DiscardedBytes.Load())
 	}
 	var rep wire.ReadReply
-	if err := ep2.Call(wire.MRead, &wire.ReadRequest{Resource: 1, Range: extent.Span(0, 64)}, &rep); err != nil {
+	if err := ep2.Call(context.Background(), wire.MRead, &wire.ReadRequest{Resource: 1, Range: extent.Span(0, 64)}, &rep); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(rep.Blocks[0].Data, newer) {

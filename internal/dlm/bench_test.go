@@ -1,6 +1,7 @@
 package dlm
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -12,14 +13,14 @@ func benchHarness(policy Policy, nclients int) (*Server, []*LockClient) {
 	srv := NewServer(policy, nil)
 	clients := make([]*LockClient, nclients)
 	byID := make(map[ClientID]*LockClient, nclients)
-	srv.SetNotifier(NotifierFunc(func(rv Revocation) {
+	srv.SetNotifier(NotifierFunc(func(_ context.Context, rv Revocation) {
 		if c, ok := byID[rv.Client]; ok {
 			c.OnRevoke(rv.Resource, rv.Lock)
 		}
 		srv.RevokeAck(rv.Resource, rv.Lock)
 	}))
 	router := func(ResourceID) ServerConn { return directConn{srv} }
-	noFlush := FlusherFunc(func(ResourceID, extent.Extent, extent.SN) error { return nil })
+	noFlush := FlusherFunc(func(context.Context, ResourceID, extent.Extent, extent.SN) error { return nil })
 	for i := range clients {
 		id := ClientID(i + 1)
 		clients[i] = NewLockClient(id, policy, router, noFlush)
@@ -33,7 +34,7 @@ func benchHarness(policy Policy, nclients int) (*Server, []*LockClient) {
 func BenchmarkGrantUncontended(b *testing.B) {
 	_, clients := benchHarness(SeqDLM(), 1)
 	c := clients[0]
-	h, err := c.Acquire(1, NBW, extent.New(0, 100))
+	h, err := c.Acquire(context.Background(), 1, NBW, extent.New(0, 100))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func BenchmarkGrantUncontended(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		h, err := c.Acquire(1, NBW, extent.New(0, 100))
+		h, err := c.Acquire(context.Background(), 1, NBW, extent.New(0, 100))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -56,7 +57,7 @@ func BenchmarkGrantFreshResource(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g, err := srv.Lock(Request{
+		g, err := srv.Lock(context.Background(), Request{
 			Resource: ResourceID(i + 1),
 			Client:   1,
 			Mode:     NBW,
@@ -78,7 +79,7 @@ func BenchmarkConflictResolutionSeqDLM(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := clients[i%2]
-		h, err := c.Acquire(1, NBW, extent.New(0, extent.Inf))
+		h, err := c.Acquire(context.Background(), 1, NBW, extent.New(0, extent.Inf))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -86,7 +87,7 @@ func BenchmarkConflictResolutionSeqDLM(b *testing.B) {
 	}
 	b.StopTimer()
 	for _, c := range clients {
-		c.ReleaseAll()
+		c.ReleaseAll(context.Background())
 	}
 }
 
@@ -98,7 +99,7 @@ func BenchmarkConflictResolutionBasic(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := clients[i%2]
-		h, err := c.Acquire(1, LW, extent.New(0, extent.Inf))
+		h, err := c.Acquire(context.Background(), 1, LW, extent.New(0, extent.Inf))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,7 +107,7 @@ func BenchmarkConflictResolutionBasic(b *testing.B) {
 	}
 	b.StopTimer()
 	for _, c := range clients {
-		c.ReleaseAll()
+		c.ReleaseAll(context.Background())
 	}
 }
 
@@ -118,12 +119,12 @@ func BenchmarkUpgradeRound(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := ResourceID(i + 1)
-		w, err := c.Acquire(res, NBW, extent.New(0, 100))
+		w, err := c.Acquire(context.Background(), res, NBW, extent.New(0, 100))
 		if err != nil {
 			b.Fatal(err)
 		}
 		c.Unlock(w)
-		r, err := c.Acquire(res, PR, extent.New(0, 100)) // upgrades to PW
+		r, err := c.Acquire(context.Background(), res, PR, extent.New(0, 100)) // upgrades to PW
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,7 +146,7 @@ func BenchmarkContendedParallel(b *testing.B) {
 		go func(c *LockClient) {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				h, err := c.Acquire(1, NBW, extent.New(0, extent.Inf))
+				h, err := c.Acquire(context.Background(), 1, NBW, extent.New(0, extent.Inf))
 				if err != nil {
 					b.Error(err)
 					return
@@ -157,6 +158,6 @@ func BenchmarkContendedParallel(b *testing.B) {
 	wg.Wait()
 	b.StopTimer()
 	for _, c := range clients {
-		c.ReleaseAll()
+		c.ReleaseAll(context.Background())
 	}
 }

@@ -1,0 +1,120 @@
+package dlm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ccpfs/internal/extent"
+	"ccpfs/internal/wire"
+)
+
+// TestAcquireCancelWithdrawsWaiter: canceling a blocked Acquire returns
+// promptly with a typed cancellation error, leaves no zombie entry in
+// the server queue, and a later acquire of the same resource succeeds.
+func TestAcquireCancelWithdrawsWaiter(t *testing.T) {
+	h := newHarness(t, SeqDLM(), 3)
+	gate := make(chan struct{})
+	h.setRevokeGate(gate) // stall revocation delivery so client 2 stays queued
+
+	a := mustAcquire(t, h.client(1), 1, NBW, extent.New(0, extent.Inf))
+	_ = a
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := h.client(2).Acquire(ctx, 1, NBW, extent.New(0, extent.Inf))
+		errc <- err
+	}()
+	waitFor(t, "waiter queued", func() bool { return h.srv.QueueLen(1) == 1 })
+
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled Acquire = %v, want context.Canceled", err)
+		}
+		if !errors.Is(err, wire.ErrCanceled) {
+			t.Fatalf("canceled Acquire = %v, want wire.ErrCanceled match", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled Acquire did not return promptly")
+	}
+	if n := h.srv.QueueLen(1); n != 0 {
+		t.Fatalf("queue has %d entries after withdrawal, want 0", n)
+	}
+
+	// Unblock the stalled revocation; client 1's lock cancels, and a
+	// fresh acquire by client 3 must succeed.
+	close(gate)
+	hd, err := h.client(3).Acquire(context.Background(), 1, NBW, extent.New(0, extent.Inf))
+	if err != nil {
+		t.Fatalf("acquire after withdrawal: %v", err)
+	}
+	h.client(3).Unlock(hd)
+}
+
+// TestAcquireDeadlineTypedError: a blocked Acquire whose deadline
+// expires returns within the deadline (not the revocation's duration)
+// and the error matches both the context sentinel and the typed wire
+// timeout.
+func TestAcquireDeadlineTypedError(t *testing.T) {
+	h := newHarness(t, SeqDLM(), 2)
+	gate := make(chan struct{})
+	h.setRevokeGate(gate)
+	defer close(gate)
+
+	mustAcquire(t, h.client(1), 1, NBW, extent.New(0, extent.Inf))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := h.client(2).Acquire(ctx, 1, NBW, extent.New(0, extent.Inf))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Acquire = %v, want context.DeadlineExceeded", err)
+	}
+	if !errors.Is(err, wire.ErrTimeout) {
+		t.Fatalf("Acquire = %v, want wire.ErrTimeout match", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("Acquire took %v after a 50ms deadline", elapsed)
+	}
+	if n := h.srv.QueueLen(1); n != 0 {
+		t.Fatalf("queue has %d entries after deadline, want 0", n)
+	}
+}
+
+// TestShutdownFailsQueuedWaiters: Server.Shutdown fails queued waiters
+// with the typed shutting-down error and rejects new lock requests.
+func TestShutdownFailsQueuedWaiters(t *testing.T) {
+	h := newHarness(t, SeqDLM(), 2)
+	gate := make(chan struct{})
+	h.setRevokeGate(gate)
+	defer close(gate)
+
+	mustAcquire(t, h.client(1), 1, NBW, extent.New(0, extent.Inf))
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := h.client(2).Acquire(context.Background(), 1, NBW, extent.New(0, extent.Inf))
+		errc <- err
+	}()
+	waitFor(t, "waiter queued", func() bool { return h.srv.QueueLen(1) == 1 })
+
+	h.srv.Shutdown()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, wire.ErrShuttingDown) {
+			t.Fatalf("queued Acquire after Shutdown = %v, want wire.ErrShuttingDown", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued Acquire did not fail on Shutdown")
+	}
+	if _, err := h.srv.Lock(context.Background(), Request{
+		Client: 2, Resource: 1, Mode: NBW, Range: extent.New(0, 10),
+	}); !errors.Is(err, wire.ErrShuttingDown) {
+		t.Fatalf("Lock on draining server = %v, want wire.ErrShuttingDown", err)
+	}
+}

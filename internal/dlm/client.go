@@ -1,21 +1,24 @@
 package dlm
 
 import (
-	"fmt"
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ccpfs/internal/extent"
 	"ccpfs/internal/shard"
+	"ccpfs/internal/wire"
 )
 
 // ServerConn is how a lock client reaches one lock server. The cluster
 // layer implements it over RPC; unit tests implement it in-process.
+// Every method honours its context: it is the per-call deadline that
+// bounds the remote round trip.
 type ServerConn interface {
-	Lock(req Request) (Grant, error)
-	Release(res ResourceID, id LockID) error
-	Downgrade(res ResourceID, id LockID, m Mode) error
+	Lock(ctx context.Context, req Request) (Grant, error)
+	Release(ctx context.Context, res ResourceID, id LockID) error
+	Downgrade(ctx context.Context, res ResourceID, id LockID, m Mode) error
 }
 
 // Flusher is the client's data path: canceling a lock flushes the dirty
@@ -23,16 +26,16 @@ type ServerConn interface {
 type Flusher interface {
 	// FlushForCancel writes back all dirty data of res within rng whose
 	// sequence number is at most sn, returning once it is durable on the
-	// data server.
-	FlushForCancel(res ResourceID, rng extent.Extent, sn extent.SN) error
+	// data server. ctx bounds the flush IO.
+	FlushForCancel(ctx context.Context, res ResourceID, rng extent.Extent, sn extent.SN) error
 }
 
 // FlusherFunc adapts a function to Flusher.
-type FlusherFunc func(ResourceID, extent.Extent, extent.SN) error
+type FlusherFunc func(context.Context, ResourceID, extent.Extent, extent.SN) error
 
 // FlushForCancel implements Flusher.
-func (f FlusherFunc) FlushForCancel(res ResourceID, rng extent.Extent, sn extent.SN) error {
-	return f(res, rng, sn)
+func (f FlusherFunc) FlushForCancel(ctx context.Context, res ResourceID, rng extent.Extent, sn extent.SN) error {
+	return f(ctx, res, rng, sn)
 }
 
 // Handle is a client's reference to a granted lock. Handles are obtained
@@ -118,6 +121,12 @@ type LockClient struct {
 	router  func(ResourceID) ServerConn
 	flusher Flusher
 
+	// baseCtx is the client's lifecycle: background cancel goroutines
+	// (spawned by Unlock and OnRevoke) run under it so a closed client
+	// does not leave headless flush RPCs behind.
+	baseCtx  context.Context
+	cancelFn context.CancelFunc
+
 	shards [shard.Count]clientShard
 
 	// Stats counts client-side lock activity.
@@ -152,11 +161,14 @@ type lockKey struct {
 // connection of the server owning it; flusher is the data path used at
 // cancel time.
 func NewLockClient(id ClientID, policy Policy, router func(ResourceID) ServerConn, flusher Flusher) *LockClient {
+	ctx, cancel := context.WithCancel(context.Background())
 	c := &LockClient{
-		id:      id,
-		policy:  policy,
-		router:  router,
-		flusher: flusher,
+		id:       id,
+		policy:   policy,
+		router:   router,
+		flusher:  flusher,
+		baseCtx:  ctx,
+		cancelFn: cancel,
 	}
 	for i := range c.shards {
 		sh := &c.shards[i]
@@ -192,22 +204,23 @@ func (c *LockClient) acquireMu(res ResourceID) *sync.Mutex {
 }
 
 // Acquire obtains a lock covering rng in a mode that covers need,
-// reusing a cached grant when possible. It blocks until granted.
-func (c *LockClient) Acquire(res ResourceID, need Mode, rng extent.Extent) (*Handle, error) {
-	return c.acquire(res, need, rng, nil)
+// reusing a cached grant when possible. It blocks until granted or ctx
+// fires; a canceled wait withdraws the remote request.
+func (c *LockClient) Acquire(ctx context.Context, res ResourceID, need Mode, rng extent.Extent) (*Handle, error) {
+	return c.acquire(ctx, res, need, rng, nil)
 }
 
 // AcquireExtents obtains a lock over an exact non-contiguous extent set
 // (DLM-datatype). rng must be the set's bounds.
-func (c *LockClient) AcquireExtents(res ResourceID, need Mode, set extent.Set) (*Handle, error) {
+func (c *LockClient) AcquireExtents(ctx context.Context, res ResourceID, need Mode, set extent.Set) (*Handle, error) {
 	b, ok := set.Bounds()
 	if !ok {
-		return nil, fmt.Errorf("dlm: empty extent set")
+		return nil, wire.Errorf(wire.CodeInvalid, "dlm: empty extent set")
 	}
-	return c.acquire(res, need, b, set)
+	return c.acquire(ctx, res, need, b, set)
 }
 
-func (c *LockClient) acquire(res ResourceID, need Mode, rng extent.Extent, set extent.Set) (*Handle, error) {
+func (c *LockClient) acquire(ctx context.Context, res ResourceID, need Mode, rng extent.Extent, set extent.Set) (*Handle, error) {
 	need = c.policy.MapMode(need)
 	am := c.acquireMu(res)
 	am.Lock()
@@ -228,7 +241,7 @@ func (c *LockClient) acquire(res ResourceID, need Mode, rng extent.Extent, set e
 	c.Stats.CacheMisses.Add(1)
 
 	start := time.Now()
-	g, err := c.router(res).Lock(Request{
+	g, err := c.router(res).Lock(ctx, Request{
 		Resource: res,
 		Client:   c.id,
 		Mode:     need,
@@ -387,6 +400,7 @@ func (c *LockClient) OnRevoke(res ResourceID, id LockID) {
 func (c *LockClient) cancel(h *Handle) {
 	start := time.Now()
 	c.Stats.Cancels.Add(1)
+	ctx := c.baseCtx
 	conn := c.router(h.res)
 	sh := c.shard(h.res)
 
@@ -398,7 +412,7 @@ func (c *LockClient) cancel(h *Handle) {
 	if c.policy.Conversion {
 		switch d := Downgrade(mode, wrote); d {
 		case NBW:
-			if err := conn.Downgrade(h.res, h.id, NBW); err == nil {
+			if err := conn.Downgrade(ctx, h.res, h.id, NBW); err == nil {
 				sh.mu.Lock()
 				h.mode = NBW
 				sh.mu.Unlock()
@@ -406,9 +420,9 @@ func (c *LockClient) cancel(h *Handle) {
 		case PR:
 			// A PW held only by readers: flush first so readers granted
 			// after the downgrade observe current data, then downgrade.
-			c.flusher.FlushForCancel(h.res, rng, h.sn)
+			c.flusher.FlushForCancel(ctx, h.res, rng, h.sn)
 			flushed = true
-			if err := conn.Downgrade(h.res, h.id, PR); err == nil {
+			if err := conn.Downgrade(ctx, h.res, h.id, PR); err == nil {
 				sh.mu.Lock()
 				h.mode = PR
 				sh.mu.Unlock()
@@ -416,7 +430,7 @@ func (c *LockClient) cancel(h *Handle) {
 		}
 	}
 	if !flushed {
-		c.flusher.FlushForCancel(h.res, rng, h.sn)
+		c.flusher.FlushForCancel(ctx, h.res, rng, h.sn)
 	}
 	// Once the release is in flight the lock must no longer be exported
 	// for server recovery: its data flushing is complete (flush strictly
@@ -426,7 +440,7 @@ func (c *LockClient) cancel(h *Handle) {
 	sh.mu.Lock()
 	h.releaseSent = true
 	sh.mu.Unlock()
-	conn.Release(h.res, h.id)
+	conn.Release(ctx, h.res, h.id)
 
 	sh.mu.Lock()
 	sh.removeLocked(h)
@@ -443,10 +457,16 @@ func (c *LockClient) CachedLocks(res ResourceID) int {
 	return len(sh.cache[res])
 }
 
+// Close cancels the client's lifecycle context, aborting background
+// cancel goroutines mid-RPC. Call after ReleaseAll on a graceful path;
+// alone it is a hard stop.
+func (c *LockClient) Close() { c.cancelFn() }
+
 // ReleaseAll cancels every idle cached lock and waits for the cancels to
-// finish — the client's shutdown barrier. Handles with active holds are
-// marked CANCELING and will cancel at their final Unlock.
-func (c *LockClient) ReleaseAll() {
+// finish — the client's shutdown barrier, bounded by ctx. Handles with
+// active holds are marked CANCELING and will cancel at their final
+// Unlock.
+func (c *LockClient) ReleaseAll(ctx context.Context) error {
 	var toStart, toWait []*Handle
 	for i := range c.shards {
 		sh := &c.shards[i]
@@ -473,6 +493,11 @@ func (c *LockClient) ReleaseAll() {
 		go c.cancel(h)
 	}
 	for _, h := range toWait {
-		<-h.released
+		select {
+		case <-h.released:
+		case <-ctx.Done():
+			return wire.FromContext(ctx.Err())
+		}
 	}
+	return nil
 }

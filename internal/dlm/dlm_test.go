@@ -1,6 +1,7 @@
 package dlm
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -31,12 +32,14 @@ func (h *harness) setRevokeGate(gate chan struct{}) {
 
 type directConn struct{ srv *Server }
 
-func (d directConn) Lock(req Request) (Grant, error) { return d.srv.Lock(req) }
-func (d directConn) Release(res ResourceID, id LockID) error {
+func (d directConn) Lock(ctx context.Context, req Request) (Grant, error) {
+	return d.srv.Lock(ctx, req)
+}
+func (d directConn) Release(_ context.Context, res ResourceID, id LockID) error {
 	d.srv.Release(res, id)
 	return nil
 }
-func (d directConn) Downgrade(res ResourceID, id LockID, m Mode) error {
+func (d directConn) Downgrade(_ context.Context, res ResourceID, id LockID, m Mode) error {
 	return d.srv.Downgrade(res, id, m)
 }
 
@@ -54,7 +57,7 @@ type flushCall struct {
 	sn  extent.SN
 }
 
-func (f *recFlusher) FlushForCancel(res ResourceID, rng extent.Extent, sn extent.SN) error {
+func (f *recFlusher) FlushForCancel(_ context.Context, res ResourceID, rng extent.Extent, sn extent.SN) error {
 	f.mu.Lock()
 	gate := f.gate
 	f.mu.Unlock()
@@ -86,7 +89,7 @@ func newHarness(t *testing.T, policy Policy, nclients int) *harness {
 		clients: make(map[ClientID]*LockClient),
 	}
 	h.srv = NewServer(policy, nil)
-	h.srv.SetNotifier(NotifierFunc(func(rv Revocation) {
+	h.srv.SetNotifier(NotifierFunc(func(_ context.Context, rv Revocation) {
 		h.mu.Lock()
 		gate := h.revokeGate
 		h.mu.Unlock()
@@ -110,7 +113,7 @@ func (h *harness) client(i int) *LockClient { return h.clients[ClientID(i)] }
 
 func mustAcquire(t *testing.T, c *LockClient, res ResourceID, m Mode, rng extent.Extent) *Handle {
 	t.Helper()
-	hd, err := c.Acquire(res, m, rng)
+	hd, err := c.Acquire(context.Background(), res, m, rng)
 	if err != nil {
 		t.Fatalf("Acquire(%v, %v): %v", m, rng, err)
 	}
@@ -146,7 +149,7 @@ func TestWriteGrantsGetUniqueIncreasingSNs(t *testing.T) {
 	a := mustAcquire(t, h.client(1), 1, NBW, extent.New(0, extent.Inf))
 	sn0 := a.SN()
 	h.client(1).Unlock(a)
-	b, err := h.client(2).Acquire(1, NBW, extent.New(0, extent.Inf))
+	b, err := h.client(2).Acquire(context.Background(), 1, NBW, extent.New(0, extent.Inf))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +164,7 @@ func TestReadGrantDoesNotConsumeSN(t *testing.T) {
 	r1 := mustAcquire(t, h.client(1), 1, PR, extent.New(0, 10))
 	h.client(1).Unlock(r1)
 	// Force the PR lock out so the next write starts fresh.
-	h.client(1).ReleaseAll()
+	h.client(1).ReleaseAll(context.Background())
 	w := mustAcquire(t, h.client(1), 1, NBW, extent.New(0, 10))
 	if w.SN() != r1.SN() {
 		t.Fatalf("PR consumed an SN: read sn=%d write sn=%d", r1.SN(), w.SN())
@@ -198,7 +201,7 @@ func TestEarlyGrant(t *testing.T) {
 	// block forever — early grant must complete anyway.
 	done := make(chan *Handle, 1)
 	go func() {
-		b, err := h.client(2).Acquire(1, NBW, extent.New(0, extent.Inf))
+		b, err := h.client(2).Acquire(context.Background(), 1, NBW, extent.New(0, extent.Inf))
 		if err == nil {
 			done <- b
 		}
@@ -234,7 +237,7 @@ func TestNormalGrantWaitsForFlush(t *testing.T) {
 
 	done := make(chan struct{})
 	go func() {
-		b, err := h.client(2).Acquire(1, LW, extent.New(0, extent.Inf))
+		b, err := h.client(2).Acquire(context.Background(), 1, LW, extent.New(0, extent.Inf))
 		if err == nil {
 			h.client(2).Unlock(b)
 		}
@@ -268,7 +271,7 @@ func TestReadWaitsForWriterFlush(t *testing.T) {
 
 	done := make(chan struct{})
 	go func() {
-		r, err := h.client(2).Acquire(1, PR, extent.New(0, 100))
+		r, err := h.client(2).Acquire(context.Background(), 1, PR, extent.New(0, 100))
 		if err == nil {
 			h.client(2).Unlock(r)
 		}
@@ -311,7 +314,7 @@ func TestEarlyRevocation(t *testing.T) {
 	for i := 2; i <= 3; i++ {
 		go func(i int) {
 			cli := h.client(i)
-			hd, err := cli.Acquire(1, NBW, extent.New(0, extent.Inf))
+			hd, err := cli.Acquire(context.Background(), 1, NBW, extent.New(0, extent.Inf))
 			if err == nil {
 				results <- result{hd, cli}
 			}
@@ -401,7 +404,7 @@ func TestLockDowngrading(t *testing.T) {
 
 	done := make(chan *Handle, 1)
 	go func() {
-		b, err := h.client(2).Acquire(1, BW, extent.New(0, extent.Inf))
+		b, err := h.client(2).Acquire(context.Background(), 1, BW, extent.New(0, extent.Inf))
 		if err == nil {
 			done <- b
 		}
@@ -443,7 +446,7 @@ func TestDowngradeDisabledBlocks(t *testing.T) {
 	a := mustAcquire(t, h.client(1), 1, BW, extent.New(0, extent.Inf))
 	done := make(chan struct{})
 	go func() {
-		b, err := h.client(2).Acquire(1, BW, extent.New(0, extent.Inf))
+		b, err := h.client(2).Acquire(context.Background(), 1, BW, extent.New(0, extent.Inf))
 		if err == nil {
 			h.client(2).Unlock(b)
 		}
@@ -483,7 +486,7 @@ func TestPWDowngradesToPRForReaders(t *testing.T) {
 	// A genuinely read-only PW comes from Acquire(PW) for an operation
 	// that checks but never writes; model it via need=PR on a PW handle.
 	c1 := h2.client(1)
-	hd, err := c1.Acquire(1, PW, extent.New(0, extent.Inf))
+	hd, err := c1.Acquire(context.Background(), 1, PW, extent.New(0, extent.Inf))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -497,7 +500,7 @@ func TestPWDowngradesToPRForReaders(t *testing.T) {
 	h2.flusher.setGate(gate)
 	done := make(chan struct{})
 	go func() {
-		r, err := h2.client(2).Acquire(1, PR, extent.New(0, 10))
+		r, err := h2.client(2).Acquire(context.Background(), 1, PR, extent.New(0, 10))
 		if err == nil {
 			h2.client(2).Unlock(r)
 		}
@@ -517,7 +520,7 @@ func TestDatatypeDisjointSetsDoNotConflict(t *testing.T) {
 	h := newHarness(t, Datatype(), 2)
 	setA := extent.NewSet(extent.New(0, 10), extent.New(100, 110))
 	setB := extent.NewSet(extent.New(10, 20), extent.New(200, 210))
-	a, err := h.client(1).AcquireExtents(1, NBW, setA)
+	a, err := h.client(1).AcquireExtents(context.Background(), 1, NBW, setA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -525,7 +528,7 @@ func TestDatatypeDisjointSetsDoNotConflict(t *testing.T) {
 	// immediately even while A holds its lock.
 	done := make(chan *Handle, 1)
 	go func() {
-		b, err := h.client(2).AcquireExtents(1, NBW, setB)
+		b, err := h.client(2).AcquireExtents(context.Background(), 1, NBW, setB)
 		if err == nil {
 			done <- b
 		}
@@ -545,13 +548,13 @@ func TestDatatypeOverlappingSetsSerialize(t *testing.T) {
 	h.flusher.setGate(gate)
 	setA := extent.NewSet(extent.New(0, 10), extent.New(100, 110))
 	setB := extent.NewSet(extent.New(105, 120))
-	a, err := h.client(1).AcquireExtents(1, NBW, setA)
+	a, err := h.client(1).AcquireExtents(context.Background(), 1, NBW, setA)
 	if err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan struct{})
 	go func() {
-		b, err := h.client(2).AcquireExtents(1, NBW, setB)
+		b, err := h.client(2).AcquireExtents(context.Background(), 1, NBW, setB)
 		if err == nil {
 			h.client(2).Unlock(b)
 		}
@@ -587,11 +590,11 @@ func TestLustreExpansionCap(t *testing.T) {
 		t.Fatalf("pre-threshold expansion = %v, want EOF", hd.Range())
 	}
 	c.Unlock(hd)
-	c.ReleaseAll()
+	c.ReleaseAll(context.Background())
 	for i := 0; i < 5; i++ {
 		hd := mustAcquire(t, c, 1, LW, extent.Span(int64(i*100000), 16))
 		c.Unlock(hd)
-		c.ReleaseAll()
+		c.ReleaseAll(context.Background())
 	}
 	hd = mustAcquire(t, c, 1, LW, extent.New(1<<20, 1<<20+16))
 	if hd.Range().End != 1<<20+1<<10 {
@@ -621,8 +624,8 @@ func TestMinSN(t *testing.T) {
 	}
 	h.client(1).Unlock(a)
 	h.client(2).Unlock(b)
-	h.client(1).ReleaseAll()
-	h.client(2).ReleaseAll()
+	h.client(1).ReleaseAll(context.Background())
+	h.client(2).ReleaseAll(context.Background())
 	if _, ok := h.srv.MinSN(1, extent.New(0, extent.Inf)); ok {
 		t.Fatal("MinSN reported locks after all released")
 	}
@@ -658,13 +661,13 @@ func TestUnlockWithoutAcquirePanics(t *testing.T) {
 
 func TestInvalidRequests(t *testing.T) {
 	h := newHarness(t, SeqDLM(), 1)
-	if _, err := h.srv.Lock(Request{Resource: 1, Client: 1, Mode: Mode(77), Range: extent.New(0, 1)}); err == nil {
+	if _, err := h.srv.Lock(context.Background(), Request{Resource: 1, Client: 1, Mode: Mode(77), Range: extent.New(0, 1)}); err == nil {
 		t.Fatal("invalid mode accepted")
 	}
-	if _, err := h.srv.Lock(Request{Resource: 1, Client: 1, Mode: LW, Range: extent.New(0, 1)}); err == nil {
+	if _, err := h.srv.Lock(context.Background(), Request{Resource: 1, Client: 1, Mode: LW, Range: extent.New(0, 1)}); err == nil {
 		t.Fatal("legacy mode accepted by SeqDLM policy")
 	}
-	if _, err := h.srv.Lock(Request{Resource: 1, Client: 1, Mode: NBW, Range: extent.Extent{}}); err == nil {
+	if _, err := h.srv.Lock(context.Background(), Request{Resource: 1, Client: 1, Mode: NBW, Range: extent.Extent{}}); err == nil {
 		t.Fatal("empty range accepted")
 	}
 	if err := h.srv.Downgrade(1, 9999, NBW); err == nil {
@@ -687,13 +690,13 @@ func TestFIFOFairnessNoOvertaking(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			hd, err := h.client(i).Acquire(1, LW, extent.New(0, extent.Inf))
+			hd, err := h.client(i).Acquire(context.Background(), 1, LW, extent.New(0, extent.Inf))
 			if err != nil {
 				return
 			}
 			order <- i
 			h.client(i).Unlock(hd)
-			h.client(i).ReleaseAll()
+			h.client(i).ReleaseAll(context.Background())
 		}(i)
 		time.Sleep(50 * time.Millisecond) // ensure queue order 2 then 3
 	}
@@ -712,7 +715,7 @@ func TestReleaseAllFlushesEverything(t *testing.T) {
 		hd := mustAcquire(t, c, ResourceID(i), NBW, extent.New(0, 100))
 		c.Unlock(hd)
 	}
-	c.ReleaseAll()
+	c.ReleaseAll(context.Background())
 	if got := h.flusher.count(); got != 3 {
 		t.Fatalf("flushed %d locks, want 3", got)
 	}
@@ -751,7 +754,7 @@ func TestConcurrentStress(t *testing.T) {
 						if rng.Intn(4) == 0 {
 							mode = PR
 						}
-						hd, err := c.Acquire(1, mode, e)
+						hd, err := c.Acquire(context.Background(), 1, mode, e)
 						if err != nil {
 							t.Errorf("acquire: %v", err)
 							return
@@ -770,7 +773,7 @@ func TestConcurrentStress(t *testing.T) {
 				t.Fatal(err)
 			}
 			for i := 1; i <= nclients; i++ {
-				h.client(i).ReleaseAll()
+				h.client(i).ReleaseAll(context.Background())
 			}
 			waitFor(t, "server drain", func() bool { return h.srv.GrantedCount(1) == 0 })
 			// Distinct write locks must have distinct SNs (the same SN
@@ -798,7 +801,7 @@ func TestWriteSNUniqueAcrossGrants(t *testing.T) {
 			defer wg.Done()
 			c := h.client(i)
 			for op := 0; op < 25; op++ {
-				hd, err := c.Acquire(1, NBW, extent.New(0, extent.Inf))
+				hd, err := c.Acquire(context.Background(), 1, NBW, extent.New(0, extent.Inf))
 				if err != nil {
 					t.Errorf("acquire: %v", err)
 					return
@@ -817,7 +820,7 @@ func TestWriteSNUniqueAcrossGrants(t *testing.T) {
 	}
 	wg.Wait()
 	for i := 1; i <= 4; i++ {
-		h.client(i).ReleaseAll()
+		h.client(i).ReleaseAll(context.Background())
 	}
 }
 
@@ -856,7 +859,7 @@ func TestHandleAccessors(t *testing.T) {
 	default:
 	}
 	c.Unlock(hd)
-	c.ReleaseAll()
+	c.ReleaseAll(context.Background())
 	select {
 	case <-hd.Released():
 	case <-time.After(2 * time.Second):
@@ -866,7 +869,7 @@ func TestHandleAccessors(t *testing.T) {
 
 func TestAcquireExtentsEmptySet(t *testing.T) {
 	h := newHarness(t, Datatype(), 1)
-	if _, err := h.client(1).AcquireExtents(1, NBW, extent.Set{}); err == nil {
+	if _, err := h.client(1).AcquireExtents(context.Background(), 1, NBW, extent.Set{}); err == nil {
 		t.Fatal("empty extent set accepted")
 	}
 }

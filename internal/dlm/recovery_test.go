@@ -1,6 +1,7 @@
 package dlm
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -54,7 +55,7 @@ func TestRestoreAfterCrash(t *testing.T) {
 	// be granted — the full conflict machinery works on restored state.
 	done := make(chan *Handle, 1)
 	go func() {
-		hd, err := c2.Acquire(1, NBW, extent.New(0, extent.Inf))
+		hd, err := c2.Acquire(context.Background(), 1, NBW, extent.New(0, extent.Inf))
 		if err == nil {
 			done <- hd
 		}
@@ -73,8 +74,8 @@ func TestRestoreAfterCrash(t *testing.T) {
 
 	// (c) The original holder's release drains cleanly.
 	c1.Unlock(a)
-	c1.ReleaseAll()
-	c2.ReleaseAll()
+	c1.ReleaseAll(context.Background())
+	c2.ReleaseAll(context.Background())
 	waitFor(t, "drain", func() bool { return h.srv.GrantedCount(1) == 0 })
 }
 
@@ -97,7 +98,7 @@ func TestRestoreSeedsLockIDs(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A fresh grant must allocate above the restored ID and SN.
-	g, err := h.srv.Lock(Request{Resource: 1, Client: 2, Mode: NBW, Range: extent.New(100000, 100001)})
+	g, err := h.srv.Lock(context.Background(), Request{Resource: 1, Client: 2, Mode: NBW, Range: extent.New(100000, 100001)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package dlm
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -30,14 +31,14 @@ func TestExpansionCappedByQueuedRequest(t *testing.T) {
 	}
 	grants := make(chan res, 2)
 	go func() {
-		hd, err := h.client(2).Acquire(1, NBW, extent.New(0, 4096))
+		hd, err := h.client(2).Acquire(context.Background(), 1, NBW, extent.New(0, 4096))
 		if err == nil {
 			grants <- res{hd, 2}
 		}
 	}()
 	waitFor(t, "first waiter queued", func() bool { return h.srv.QueueLen(1) == 1 })
 	go func() {
-		hd, err := h.client(3).Acquire(1, NBW, extent.New(1<<20, 1<<20+4096))
+		hd, err := h.client(3).Acquire(context.Background(), 1, NBW, extent.New(1<<20, 1<<20+4096))
 		if err == nil {
 			grants <- res{hd, 3}
 		}
@@ -63,7 +64,7 @@ func TestAcquireExtentsValidation(t *testing.T) {
 	h := newHarness(t, Datatype(), 1)
 	// Request whose extent set exceeds the declared range is rejected by
 	// the server (defence against malformed clients).
-	_, err := h.srv.Lock(Request{
+	_, err := h.srv.Lock(context.Background(), Request{
 		Resource: 1,
 		Client:   1,
 		Mode:     LW,
@@ -88,7 +89,7 @@ func TestSpanningWritersNoDeadlock(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(i)))
 			c := h.client(i)
 			for k := 0; k < 20; k++ {
-				h0, err := c.Acquire(1, BW, extent.New(0, extent.Inf))
+				h0, err := c.Acquire(context.Background(), 1, BW, extent.New(0, extent.Inf))
 				if err != nil {
 					t.Errorf("acquire r1: %v", err)
 					return
@@ -96,7 +97,7 @@ func TestSpanningWritersNoDeadlock(t *testing.T) {
 				if rng.Intn(2) == 0 {
 					time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
 				}
-				h1, err := c.Acquire(2, BW, extent.New(0, extent.Inf))
+				h1, err := c.Acquire(context.Background(), 2, BW, extent.New(0, extent.Inf))
 				if err != nil {
 					t.Errorf("acquire r2: %v", err)
 					c.Unlock(h0)
@@ -115,7 +116,7 @@ func TestSpanningWritersNoDeadlock(t *testing.T) {
 		t.Fatal("spanning writers deadlocked")
 	}
 	for i := 1; i <= 6; i++ {
-		h.client(i).ReleaseAll()
+		h.client(i).ReleaseAll(context.Background())
 	}
 }
 
@@ -135,7 +136,7 @@ func TestSameClientConcurrentAcquires(t *testing.T) {
 				if (g+k)%3 == 0 {
 					mode = PR
 				}
-				hd, err := c.Acquire(1, mode, extent.Span(int64(k*100), 50))
+				hd, err := c.Acquire(context.Background(), 1, mode, extent.Span(int64(k*100), 50))
 				if err != nil {
 					t.Errorf("acquire: %v", err)
 					return
@@ -145,7 +146,7 @@ func TestSameClientConcurrentAcquires(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	c.ReleaseAll()
+	c.ReleaseAll(context.Background())
 	waitFor(t, "drain", func() bool { return h.srv.GrantedCount(1) == 0 })
 }
 
@@ -160,13 +161,13 @@ func TestRevocationStormDuringUpgrades(t *testing.T) {
 			defer wg.Done()
 			c := h.client(i)
 			for k := 0; k < 25; k++ {
-				w, err := c.Acquire(1, NBW, extent.New(0, extent.Inf))
+				w, err := c.Acquire(context.Background(), 1, NBW, extent.New(0, extent.Inf))
 				if err != nil {
 					t.Errorf("w: %v", err)
 					return
 				}
 				c.Unlock(w)
-				r, err := c.Acquire(1, PR, extent.New(0, 4096))
+				r, err := c.Acquire(context.Background(), 1, PR, extent.New(0, 4096))
 				if err != nil {
 					t.Errorf("r: %v", err)
 					return
@@ -180,7 +181,7 @@ func TestRevocationStormDuringUpgrades(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 1; i <= 4; i++ {
-		h.client(i).ReleaseAll()
+		h.client(i).ReleaseAll(context.Background())
 	}
 	waitFor(t, "drain", func() bool { return h.srv.GrantedCount(1) == 0 })
 	st := h.srv.Stats.Snapshot()
@@ -207,7 +208,7 @@ func TestDatatypeManyDisjointWriters(t *testing.T) {
 					extent.Span(int64(k*8000+i*1000), 500),
 					extent.Span(int64(k*8000+i*1000+500), 200),
 				)
-				hd, err := c.AcquireExtents(1, NBW, set)
+				hd, err := c.AcquireExtents(context.Background(), 1, NBW, set)
 				if err != nil {
 					t.Errorf("acquire: %v", err)
 					return

@@ -1,6 +1,7 @@
 package dlm
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 
 	"ccpfs/internal/extent"
 	"ccpfs/internal/shard"
+	"ccpfs/internal/wire"
 )
 
 // ResourceID identifies a lock resource. In ccPFS each file stripe has a
@@ -56,16 +58,17 @@ type Revocation struct {
 
 // Notifier delivers revocation callbacks to clients. Implementations
 // send an RPC and invoke Server.RevokeAck when the reply returns. Calls
-// are made from their own goroutines and may block.
+// are made from their own goroutines and may block; ctx is the engine's
+// lifecycle context, canceled at shutdown so stragglers abort.
 type Notifier interface {
-	Revoke(rev Revocation)
+	Revoke(ctx context.Context, rev Revocation)
 }
 
 // NotifierFunc adapts a function to Notifier.
-type NotifierFunc func(Revocation)
+type NotifierFunc func(context.Context, Revocation)
 
 // Revoke implements Notifier.
-func (f NotifierFunc) Revoke(rev Revocation) { f(rev) }
+func (f NotifierFunc) Revoke(ctx context.Context, rev Revocation) { f(ctx, rev) }
 
 // Server is the lock-server engine. One engine instance serves all lock
 // resources placed on a data server; behaviour is selected by Policy.
@@ -77,6 +80,12 @@ func (f NotifierFunc) Revoke(rev Revocation) { f(rev) }
 type Server struct {
 	policy   Policy
 	notifier Notifier
+
+	// baseCtx is the engine's lifecycle; revocation callbacks run under
+	// it and Shutdown cancels it so in-flight notifier RPCs abort.
+	baseCtx  context.Context
+	cancelFn context.CancelFunc
+	draining atomic.Bool
 
 	shards   [shard.Count]srvShard
 	nextLock atomic.Uint64
@@ -99,9 +108,12 @@ type srvShard struct {
 // NewServer returns an engine with the given policy. The notifier may be
 // nil until SetNotifier is called (before the first conflicting grant).
 func NewServer(policy Policy, notifier Notifier) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		policy:   policy,
 		notifier: notifier,
+		baseCtx:  ctx,
+		cancelFn: cancel,
 	}
 	for i := range s.shards {
 		s.shards[i].resources = make(map[ResourceID]*resource)
@@ -126,9 +138,16 @@ type lock struct {
 	revokeSent bool
 }
 
+// lockResult is what a waiter receives: a grant, or the typed error the
+// engine failed the wait with (shutdown).
+type lockResult struct {
+	g   Grant
+	err error
+}
+
 type waiter struct {
 	req         Request
-	ch          chan Grant
+	ch          chan lockResult
 	enqAt       time.Time
 	hadConflict bool
 	allCancelAt time.Time
@@ -167,24 +186,31 @@ func (s *Server) newLockID() LockID {
 	return LockID(s.nextLock.Add(1))
 }
 
-// Lock requests a lock and blocks until it is granted.
-func (s *Server) Lock(req Request) (Grant, error) {
+// Lock requests a lock and blocks until it is granted, ctx fires, or the
+// engine shuts down. A canceled wait withdraws the queued request (no
+// zombie queue entry); if the grant raced the cancellation, the lock is
+// released server-side so nothing stays held on behalf of a caller that
+// already gave up.
+func (s *Server) Lock(ctx context.Context, req Request) (Grant, error) {
 	if !req.Mode.Valid() {
-		return Grant{}, fmt.Errorf("dlm: invalid mode %v", req.Mode)
+		return Grant{}, wire.Errorf(wire.CodeInvalid, "dlm: invalid mode %v", req.Mode)
 	}
 	if s.policy.Legacy != (req.Mode == LR || req.Mode == LW) {
-		return Grant{}, fmt.Errorf("dlm: mode %v not served by policy %s", req.Mode, s.policy.Name)
+		return Grant{}, wire.Errorf(wire.CodeInvalid, "dlm: mode %v not served by policy %s", req.Mode, s.policy.Name)
 	}
 	if req.Range.Empty() {
-		return Grant{}, fmt.Errorf("dlm: empty lock range %v", req.Range)
+		return Grant{}, wire.Errorf(wire.CodeInvalid, "dlm: empty lock range %v", req.Range)
 	}
 	if len(req.Extents) > 0 {
 		if b, ok := req.Extents.Bounds(); !ok || !req.Range.Contains(b) {
-			return Grant{}, fmt.Errorf("dlm: extents %v exceed range %v", req.Extents, req.Range)
+			return Grant{}, wire.Errorf(wire.CodeInvalid, "dlm: extents %v exceed range %v", req.Extents, req.Range)
 		}
 	}
+	if s.draining.Load() {
+		return Grant{}, wire.ErrShuttingDown
+	}
 	res := s.resource(req.Resource)
-	w := &waiter{req: req, ch: make(chan Grant, 1), enqAt: time.Now()}
+	w := &waiter{req: req, ch: make(chan lockResult, 1), enqAt: time.Now()}
 	s.tracer.record(Event{Kind: EvRequest, Resource: req.Resource, Client: req.Client, Mode: req.Mode, Range: req.Range})
 
 	res.mu.Lock()
@@ -193,7 +219,59 @@ func (s *Server) Lock(req Request) (Grant, error) {
 	res.mu.Unlock()
 	s.fire(revs)
 
-	return <-w.ch, nil
+	select {
+	case r := <-w.ch:
+		return r.g, r.err
+	case <-ctx.Done():
+	}
+	// Withdraw the waiter. The grant may have raced the cancellation:
+	// grant() marks done and buffers the result before we take res.mu,
+	// in which case the lock exists server-side and must be released, or
+	// it stays held forever on behalf of a caller that already left.
+	res.mu.Lock()
+	if w.done {
+		res.mu.Unlock()
+		if r := <-w.ch; r.err == nil {
+			s.Release(req.Resource, r.g.LockID)
+		}
+		return Grant{}, wire.FromContext(ctx.Err())
+	}
+	w.done = true
+	revs = s.scan(res) // the withdrawn entry may have blocked later waiters
+	res.mu.Unlock()
+	s.fire(revs)
+	return Grant{}, wire.FromContext(ctx.Err())
+}
+
+// Shutdown drains the engine: new and queued Lock waits fail with
+// wire.ErrShuttingDown, and the lifecycle context is canceled so
+// in-flight revocation callbacks abort. Granted locks stay registered —
+// clients release them through their own shutdown path.
+func (s *Server) Shutdown() {
+	if s.draining.Swap(true) {
+		return
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		resources := make([]*resource, 0, len(sh.resources))
+		for _, r := range sh.resources {
+			resources = append(resources, r)
+		}
+		sh.mu.RUnlock()
+		for _, res := range resources {
+			res.mu.Lock()
+			for _, w := range res.queue {
+				if !w.done {
+					w.done = true
+					w.ch <- lockResult{err: wire.ErrShuttingDown}
+				}
+			}
+			res.queue = res.queue[:0]
+			res.mu.Unlock()
+		}
+	}
+	s.cancelFn()
 }
 
 // RevokeAck records that a client acknowledged a revocation: the lock
@@ -357,7 +435,7 @@ func (s *Server) fire(revs []Revocation) {
 	for _, rv := range revs {
 		s.Stats.Revocations.Add(1)
 		s.tracer.record(Event{Kind: EvRevokeSent, Resource: rv.Resource, Client: rv.Client, Lock: rv.Lock})
-		go s.notifier.Revoke(rv)
+		go s.notifier.Revoke(s.baseCtx, rv)
 	}
 }
 
@@ -611,14 +689,14 @@ func (s *Server) grant(res *resource, w *waiter, mode Mode, absorbed []*lock) {
 	}
 
 	w.done = true
-	w.ch <- Grant{
+	w.ch <- lockResult{g: Grant{
 		LockID:   l.id,
 		Mode:     mode,
 		Range:    rng,
 		SN:       sn,
 		State:    state,
 		Absorbed: absorbedIDs,
-	}
+	}}
 }
 
 // expandEnd implements lock range expanding: grow the end of the range

@@ -1,6 +1,7 @@
 package dlm
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -20,8 +21,8 @@ func TestTracerEarlyGrantSequence(t *testing.T) {
 	h.client(1).Unlock(a)
 	b := mustAcquire(t, h.client(2), 1, NBW, extent.New(0, extent.Inf))
 	h.client(2).Unlock(b)
-	h.client(1).ReleaseAll()
-	h.client(2).ReleaseAll()
+	h.client(1).ReleaseAll(context.Background())
+	h.client(2).ReleaseAll(context.Background())
 	waitFor(t, "drain", func() bool { return h.srv.GrantedCount(1) == 0 })
 
 	kinds := tr.Kinds()

@@ -21,6 +21,7 @@
 package extcache
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -354,16 +355,16 @@ func (c *Cache) Kick() {
 	}
 }
 
-// Daemon runs the periodic cleanup task until stop is closed: each tick
-// (or Kick) it runs cleanup rounds while the cache is over budget, and
-// falls back to forced synchronization when a full sweep cannot get it
-// under.
-func (c *Cache) Daemon(interval time.Duration, minSN MinSNFunc, force ForceSyncFunc, stop <-chan struct{}) {
+// Daemon runs the periodic cleanup task until ctx is canceled: each
+// tick (or Kick) it runs cleanup rounds while the cache is over budget,
+// and falls back to forced synchronization when a full sweep cannot get
+// it under.
+func (c *Cache) Daemon(ctx context.Context, interval time.Duration, minSN MinSNFunc, force ForceSyncFunc) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for {
 		select {
-		case <-stop:
+		case <-ctx.Done():
 			return
 		case <-ticker.C:
 		case <-c.kick:

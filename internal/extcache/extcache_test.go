@@ -1,6 +1,7 @@
 package extcache
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -177,19 +178,19 @@ func TestDaemonCleansWhenOverBudget(t *testing.T) {
 	for i := int64(0); i < 32; i++ {
 		c.Apply(1, extent.Span(i*100, 50), extent.SN(i+1))
 	}
-	stop := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		c.Daemon(time.Millisecond,
+		c.Daemon(ctx, time.Millisecond,
 			func(uint64, extent.Extent) (extent.SN, bool) { return 0, false },
-			nil, stop)
+			nil)
 	}()
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) && c.NeedsCleanup() {
 		time.Sleep(time.Millisecond)
 	}
-	close(stop)
+	cancel()
 	<-done
 	if c.NeedsCleanup() {
 		t.Fatalf("daemon left %d entries above budget", c.Entries())
@@ -203,25 +204,25 @@ func TestDaemonForcesSyncWhenPinned(t *testing.T) {
 	}
 	// Every entry is pinned: mSN = 0 with locks outstanding.
 	forced := make(chan struct{}, 1)
-	stop := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		c.Daemon(time.Millisecond,
+		c.Daemon(ctx, time.Millisecond,
 			func(uint64, extent.Extent) (extent.SN, bool) { return 0, true },
 			func(stripe uint64) {
 				select {
 				case forced <- struct{}{}:
 				default:
 				}
-			}, stop)
+			})
 	}()
 	select {
 	case <-forced:
 	case <-time.After(5 * time.Second):
 		t.Fatal("daemon never fell back to forced synchronization")
 	}
-	close(stop)
+	cancel()
 	<-done
 }
 

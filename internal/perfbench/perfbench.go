@@ -21,6 +21,7 @@
 package perfbench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -279,12 +280,14 @@ func PagecacheMixedParallel(b *testing.B) {
 // directConn adapts an in-process dlm.Server to dlm.ServerConn.
 type directConn struct{ srv *dlm.Server }
 
-func (d directConn) Lock(req dlm.Request) (dlm.Grant, error) { return d.srv.Lock(req) }
-func (d directConn) Release(res dlm.ResourceID, id dlm.LockID) error {
+func (d directConn) Lock(ctx context.Context, req dlm.Request) (dlm.Grant, error) {
+	return d.srv.Lock(ctx, req)
+}
+func (d directConn) Release(_ context.Context, res dlm.ResourceID, id dlm.LockID) error {
 	d.srv.Release(res, id)
 	return nil
 }
-func (d directConn) Downgrade(res dlm.ResourceID, id dlm.LockID, m dlm.Mode) error {
+func (d directConn) Downgrade(_ context.Context, res dlm.ResourceID, id dlm.LockID, m dlm.Mode) error {
 	return d.srv.Downgrade(res, id, m)
 }
 
@@ -293,11 +296,11 @@ func (d directConn) Downgrade(res dlm.ResourceID, id dlm.LockID, m dlm.Mode) err
 // operation once the working set's locks are cached.
 func LockClientCachedHitParallel(b *testing.B) {
 	policy := dlm.SeqDLM()
-	srv := dlm.NewServer(policy, dlm.NotifierFunc(func(dlm.Revocation) {}))
-	noFlush := dlm.FlusherFunc(func(dlm.ResourceID, extent.Extent, extent.SN) error { return nil })
+	srv := dlm.NewServer(policy, dlm.NotifierFunc(func(context.Context, dlm.Revocation) {}))
+	noFlush := dlm.FlusherFunc(func(context.Context, dlm.ResourceID, extent.Extent, extent.SN) error { return nil })
 	c := dlm.NewLockClient(1, policy, func(dlm.ResourceID) dlm.ServerConn { return directConn{srv} }, noFlush)
 	for r := 0; r < benchStripes; r++ {
-		h, err := c.Acquire(dlm.ResourceID(r), dlm.NBW, extent.New(0, window*blockSize))
+		h, err := c.Acquire(context.Background(), dlm.ResourceID(r), dlm.NBW, extent.New(0, window*blockSize))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -309,7 +312,7 @@ func LockClientCachedHitParallel(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		res := dlm.ResourceID(w.stripe())
 		for pb.Next() {
-			h, err := c.Acquire(res, dlm.NBW, extent.New(0, blockSize))
+			h, err := c.Acquire(context.Background(), res, dlm.NBW, extent.New(0, blockSize))
 			if err != nil {
 				b.Error(err)
 				return
@@ -323,14 +326,14 @@ func LockClientCachedHitParallel(b *testing.B) {
 // server engine on distinct resources — lock-table shard + lock-ID
 // allocation cost.
 func DLMGrantReleaseParallel(b *testing.B) {
-	srv := dlm.NewServer(dlm.SeqDLM(), dlm.NotifierFunc(func(dlm.Revocation) {}))
+	srv := dlm.NewServer(dlm.SeqDLM(), dlm.NotifierFunc(func(context.Context, dlm.Revocation) {}))
 	var w worker
 	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		res := dlm.ResourceID(w.stripe())
 		for pb.Next() {
-			g, err := srv.Lock(dlm.Request{Resource: res, Client: 1, Mode: dlm.NBW, Range: extent.New(0, blockSize)})
+			g, err := srv.Lock(context.Background(), dlm.Request{Resource: res, Client: 1, Mode: dlm.NBW, Range: extent.New(0, blockSize)})
 			if err != nil {
 				b.Error(err)
 				return

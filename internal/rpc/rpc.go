@@ -8,9 +8,19 @@
 // Inbound requests are dispatched each in its own goroutine, so a lock
 // request that blocks inside the server (waiting for conflict resolution)
 // never stalls an unrelated message on the same connection.
+//
+// Every call carries a context: cancellation or deadline expiry unblocks
+// the waiter promptly, deregisters the pending-call entry (a late reply
+// is dropped as stale), and surfaces as a typed wire error
+// (wire.ErrTimeout / wire.ErrCanceled). An abandoned call additionally
+// sends a best-effort cancel frame so the peer withdraws the server-side
+// work (e.g. a queued lock waiter). Handlers receive a per-call context
+// that is canceled by that frame and by connection teardown, so
+// server-side work aborts instead of running headless.
 package rpc
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -21,19 +31,16 @@ import (
 	"ccpfs/internal/wire"
 )
 
-// RemoteError is an error returned by the remote handler, carried back
-// to the caller as a string.
-type RemoteError string
-
-func (e RemoteError) Error() string { return string(e) }
-
-// Handler serves one method. It receives the request payload and returns
-// the reply message. Returning an error sends a RemoteError instead.
-type Handler func(payload []byte) (wire.Msg, error)
+// Handler serves one method. It receives a per-call context — canceled
+// when the caller abandons the call or the connection closes — and the
+// request payload, and returns the reply message. Returning an error
+// sends a typed wire.Error back to the caller instead.
+type Handler func(ctx context.Context, payload []byte) (wire.Msg, error)
 
 const (
 	kindRequest  = 0
 	kindResponse = 1
+	kindCancel   = 2
 
 	statusOK  = 0
 	statusErr = 1
@@ -47,11 +54,21 @@ type Endpoint struct {
 	limiter  *sim.RateLimiter
 	handlers map[wire.Method]Handler
 
-	nextID  atomic.Uint64
-	mu      sync.Mutex
-	pending map[uint64]chan response
-	closed  bool
-	onClose func(*Endpoint)
+	// baseCtx is the endpoint's lifecycle: handlers run under it and it
+	// is canceled when the read loop exits, aborting abandoned work.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	nextID    atomic.Uint64
+	mu        sync.Mutex
+	pending   map[uint64]chan response
+	active    map[uint64]context.CancelFunc // inbound requests, for cancel frames
+	closed    bool
+	onClose   func(*Endpoint)
+	startOnce sync.Once
+
+	// inflight tracks dispatched handler goroutines for Drain.
+	inflight sync.WaitGroup
 
 	// Tag carries endpoint-scoped state for handlers, e.g. the client
 	// session a server associates with this connection.
@@ -75,11 +92,15 @@ type Options struct {
 // NewEndpoint wraps conn. Register handlers with Handle, then call Start
 // to begin serving. Handle must not be called after Start.
 func NewEndpoint(conn transport.Conn, opts Options) *Endpoint {
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Endpoint{
 		conn:     conn,
 		limiter:  opts.Limiter,
 		handlers: make(map[wire.Method]Handler),
+		baseCtx:  ctx,
+		cancel:   cancel,
 		pending:  make(map[uint64]chan response),
+		active:   make(map[uint64]context.CancelFunc),
 		onClose:  opts.OnClose,
 	}
 }
@@ -89,17 +110,54 @@ func (ep *Endpoint) Handle(method wire.Method, h Handler) {
 	ep.handlers[method] = h
 }
 
-// Start launches the read loop.
+// Start launches the read loop. It is idempotent: extra calls are
+// no-ops, so a setup callback and its server can both call it safely
+// without racing two read loops on one connection.
 func (ep *Endpoint) Start() {
-	go ep.readLoop()
+	ep.startOnce.Do(func() { go ep.readLoop() })
 }
 
 // Close tears down the connection; in-flight calls fail with ErrClosed.
 func (ep *Endpoint) Close() error { return ep.conn.Close() }
 
-// Call sends a request and blocks until the reply arrives, decoding it
-// into reply (which may be nil to discard the payload).
-func (ep *Endpoint) Call(method wire.Method, req wire.Msg, reply wire.Msg) error {
+// Context returns the endpoint's lifecycle context, canceled when the
+// connection tears down.
+func (ep *Endpoint) Context() context.Context { return ep.baseCtx }
+
+// Pending returns the number of registered in-flight outbound calls
+// (tests and introspection: a canceled call must not leave an entry).
+func (ep *Endpoint) Pending() int {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return len(ep.pending)
+}
+
+// Drain blocks until every dispatched inbound handler has completed, or
+// ctx fires. It does not stop new requests from arriving; callers stop
+// admission first (close the listener, set a draining flag), then drain.
+func (ep *Endpoint) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		ep.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return wire.FromContext(ctx.Err())
+	}
+}
+
+// Call sends a request and blocks until the reply arrives, ctx fires, or
+// the connection closes, decoding the reply into reply (which may be nil
+// to discard the payload). A fired context returns wire.ErrTimeout or
+// wire.ErrCanceled and guarantees the pending-call entry is gone; the
+// eventual late reply, if any, is dropped as stale.
+func (ep *Endpoint) Call(ctx context.Context, method wire.Method, req wire.Msg, reply wire.Msg) error {
+	if err := ctx.Err(); err != nil {
+		return wire.FromContext(err)
+	}
 	id := ep.nextID.Add(1)
 	ch := make(chan response, 1)
 
@@ -111,13 +169,32 @@ func (ep *Endpoint) Call(method wire.Method, req wire.Msg, reply wire.Msg) error
 	ep.pending[id] = ch
 	ep.mu.Unlock()
 
-	if err := ep.send(kindRequest, id, method, statusOK, req); err != nil {
-		ep.mu.Lock()
-		delete(ep.pending, id)
-		ep.mu.Unlock()
+	if err := ep.send(ctx, kindRequest, id, method, statusOK, req); err != nil {
+		// The send failed: deregister so the pending map cannot grow
+		// unboundedly under a flaky transport. The entry may already be
+		// gone if shutdown raced us; delete is idempotent.
+		ep.forget(id)
 		return err
 	}
-	resp := <-ch
+	var resp response
+	select {
+	case resp = <-ch:
+	case <-ctx.Done():
+		ep.forget(id)
+		// The response may have been delivered between the ctx firing
+		// and the forget; prefer it — the call did complete.
+		select {
+		case resp = <-ch:
+		default:
+			// Abandoned for good: tell the peer so it withdraws the
+			// server-side work (a queued lock waiter, a stalled flush).
+			// Best effort under the endpoint's lifecycle context — if
+			// the frame is lost to teardown, teardown cancels the
+			// handler anyway.
+			go ep.send(ep.baseCtx, kindCancel, id, method, statusOK, nil)
+			return wire.FromContext(ctx.Err())
+		}
+	}
 	if resp.err != nil {
 		return resp.err
 	}
@@ -130,7 +207,14 @@ func (ep *Endpoint) Call(method wire.Method, req wire.Msg, reply wire.Msg) error
 	return nil
 }
 
-func (ep *Endpoint) send(kind byte, id uint64, method wire.Method, status byte, m wire.Msg) error {
+// forget deregisters a pending call entry.
+func (ep *Endpoint) forget(id uint64) {
+	ep.mu.Lock()
+	delete(ep.pending, id)
+	ep.mu.Unlock()
+}
+
+func (ep *Endpoint) send(ctx context.Context, kind byte, id uint64, method wire.Method, status byte, m wire.Msg) error {
 	enc := wire.NewEncoder(headerLen + 64)
 	enc.U8(kind)
 	enc.U64(id)
@@ -139,24 +223,26 @@ func (ep *Endpoint) send(kind byte, id uint64, method wire.Method, status byte, 
 	if m != nil {
 		m.Encode(enc)
 	}
-	return ep.conn.Send(enc.Bytes())
+	return ep.conn.Send(ctx, enc.Bytes())
 }
 
-func (ep *Endpoint) sendErr(id uint64, method wire.Method, err error) error {
-	enc := wire.NewEncoder(headerLen + len(err.Error()))
+func (ep *Endpoint) sendErr(ctx context.Context, id uint64, method wire.Method, err error) error {
+	enc := wire.NewEncoder(headerLen + len(err.Error()) + 1)
 	enc.U8(kindResponse)
 	enc.U64(id)
 	enc.U8(uint8(method))
 	enc.U8(statusErr)
-	enc.String(err.Error())
-	return ep.conn.Send(enc.Bytes())
+	wire.EncodeError(enc, err)
+	return ep.conn.Send(ctx, enc.Bytes())
 }
 
 func (ep *Endpoint) readLoop() {
+	// The read loop itself is bounded by connection close, not by a
+	// context: Close unblocks Recv with ErrClosed on every transport.
 	var err error
 	for {
 		var frame []byte
-		frame, err = ep.conn.Recv()
+		frame, err = ep.conn.Recv(context.Background())
 		if err != nil {
 			break
 		}
@@ -175,6 +261,8 @@ func (ep *Endpoint) readLoop() {
 			ep.dispatch(id, method, payload)
 		case kindResponse:
 			ep.complete(id, status, payload)
+		case kindCancel:
+			ep.cancelInbound(id)
 		default:
 			err = fmt.Errorf("rpc: unknown frame kind %d", kind)
 		}
@@ -188,20 +276,51 @@ func (ep *Endpoint) readLoop() {
 func (ep *Endpoint) dispatch(id uint64, method wire.Method, payload []byte) {
 	h, ok := ep.handlers[method]
 	if !ok {
-		go ep.sendErr(id, method, fmt.Errorf("rpc: no handler for method %d", method))
+		ep.inflight.Add(1)
+		go func() {
+			defer ep.inflight.Done()
+			ep.sendErr(ep.baseCtx, id, method, wire.Errorf(wire.CodeInvalid, "rpc: no handler for method %d", method))
+		}()
 		return
 	}
 	if ep.limiter != nil {
 		ep.limiter.Wait()
 	}
+	// Each request gets its own cancelable context, registered before the
+	// next frame is read so a cancel frame can never race ahead of its
+	// request on this ordered connection.
+	ctx, cancel := context.WithCancel(ep.baseCtx)
+	ep.mu.Lock()
+	ep.active[id] = cancel
+	ep.mu.Unlock()
+	ep.inflight.Add(1)
 	go func() {
-		reply, err := h(payload)
+		defer ep.inflight.Done()
+		defer func() {
+			ep.mu.Lock()
+			delete(ep.active, id)
+			ep.mu.Unlock()
+			cancel()
+		}()
+		reply, err := h(ctx, payload)
 		if err != nil {
-			ep.sendErr(id, method, err)
+			ep.sendErr(ep.baseCtx, id, method, err)
 			return
 		}
-		ep.send(kindResponse, id, method, statusOK, reply)
+		ep.send(ep.baseCtx, kindResponse, id, method, statusOK, reply)
 	}()
+}
+
+// cancelInbound handles a peer's cancel frame: the named request's
+// context fires, unwedging whatever the handler is blocked on. A miss is
+// normal — the handler already completed.
+func (ep *Endpoint) cancelInbound(id uint64) {
+	ep.mu.Lock()
+	cancel, ok := ep.active[id]
+	ep.mu.Unlock()
+	if ok {
+		cancel()
+	}
 }
 
 func (ep *Endpoint) complete(id uint64, status byte, payload []byte) {
@@ -210,15 +329,10 @@ func (ep *Endpoint) complete(id uint64, status byte, payload []byte) {
 	delete(ep.pending, id)
 	ep.mu.Unlock()
 	if !ok {
-		return // stale or duplicate response
+		return // stale (canceled) or duplicate response
 	}
 	if status == statusErr {
-		d := wire.NewDecoder(payload)
-		msg := d.String()
-		if d.Err() != nil {
-			msg = "malformed remote error"
-		}
-		ch <- response{err: RemoteError(msg)}
+		ch <- response{err: wire.DecodeError(wire.NewDecoder(payload))}
 		return
 	}
 	// The payload aliases the frame, which is private to this endpoint
@@ -240,6 +354,9 @@ func (ep *Endpoint) shutdown() {
 		ch <- response{err: transport.ErrClosed}
 	}
 	ep.conn.Close()
+	// Cancel the lifecycle context so handlers still running for this
+	// connection observe the teardown and can abort.
+	ep.cancel()
 	if ep.onClose != nil {
 		ep.onClose(ep)
 	}
@@ -252,9 +369,10 @@ type Server struct {
 	setup    func(*Endpoint)
 	opts     Options
 
-	mu   sync.Mutex
-	eps  map[*Endpoint]struct{}
-	done chan struct{}
+	mu     sync.Mutex
+	eps    map[*Endpoint]struct{}
+	closed bool
+	done   chan struct{}
 }
 
 // NewServer returns a server that will accept on l, configuring every
@@ -288,23 +406,60 @@ func (s *Server) Serve() {
 			}
 		}
 		ep := NewEndpoint(conn, opts)
-		s.setup(ep)
+		// Register before setup/Start so a concurrent Close cannot miss
+		// the endpoint; if Close already ran, drop the connection instead
+		// of leaking a read loop it will never tear down.
 		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
 		s.eps[ep] = struct{}{}
 		s.mu.Unlock()
+		s.setup(ep)
 		ep.Start()
 	}
 }
 
-// Close stops accepting and closes all live endpoints.
-func (s *Server) Close() {
-	s.listener.Close()
+// snapshot marks the server closed and returns the live endpoints.
+func (s *Server) snapshot() []*Endpoint {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
 	eps := make([]*Endpoint, 0, len(s.eps))
 	for ep := range s.eps {
 		eps = append(eps, ep)
 	}
-	s.mu.Unlock()
+	return eps
+}
+
+// Shutdown drains the server: it stops accepting, waits for every
+// in-flight handler on every endpoint to complete (bounded by ctx), then
+// closes the endpoints. Blocked handlers must be unwedged by the caller
+// first (e.g. failing queued lock waiters) or Shutdown falls back to a
+// hard close when ctx fires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.listener.Close()
+	eps := s.snapshot()
+	<-s.done // the accept loop has exited; no new endpoints can appear
+	var err error
+	for _, ep := range eps {
+		if e := ep.Drain(ctx); e != nil && err == nil {
+			err = e
+		}
+	}
+	for _, ep := range eps {
+		ep.Close()
+	}
+	return err
+}
+
+// Close stops accepting and closes all live endpoints immediately,
+// without draining.
+func (s *Server) Close() {
+	s.listener.Close()
+	eps := s.snapshot()
 	for _, ep := range eps {
 		ep.Close()
 	}

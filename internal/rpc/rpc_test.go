@@ -1,8 +1,10 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -17,7 +19,12 @@ import (
 // are configured by setup.
 func newPair(t *testing.T, setup func(*Endpoint)) (*Endpoint, *Server) {
 	t.Helper()
-	net := memnet.New(sim.Fast())
+	return newPairHW(t, sim.Fast(), setup)
+}
+
+func newPairHW(t *testing.T, hw sim.Hardware, setup func(*Endpoint)) (*Endpoint, *Server) {
+	t.Helper()
+	net := memnet.New(hw)
 	l, err := net.Listen("srv")
 	if err != nil {
 		t.Fatal(err)
@@ -37,9 +44,11 @@ func newPair(t *testing.T, setup func(*Endpoint)) (*Endpoint, *Server) {
 	return cli, srv
 }
 
+func bg() context.Context { return context.Background() }
+
 func TestCallRoundTrip(t *testing.T) {
 	cli, _ := newPair(t, func(ep *Endpoint) {
-		ep.Handle(wire.MHello, func(p []byte) (wire.Msg, error) {
+		ep.Handle(wire.MHello, func(_ context.Context, p []byte) (wire.Msg, error) {
 			var req wire.HelloRequest
 			if err := wire.Unmarshal(p, &req); err != nil {
 				return nil, err
@@ -48,7 +57,7 @@ func TestCallRoundTrip(t *testing.T) {
 		})
 	})
 	var rep wire.HelloReply
-	if err := cli.Call(wire.MHello, &wire.HelloRequest{NodeName: "c", ClientID: 41}, &rep); err != nil {
+	if err := cli.Call(bg(), wire.MHello, &wire.HelloRequest{NodeName: "c", ClientID: 41}, &rep); err != nil {
 		t.Fatal(err)
 	}
 	if rep.ClientID != 42 {
@@ -58,28 +67,50 @@ func TestCallRoundTrip(t *testing.T) {
 
 func TestRemoteError(t *testing.T) {
 	cli, _ := newPair(t, func(ep *Endpoint) {
-		ep.Handle(wire.MOpen, func(p []byte) (wire.Msg, error) {
+		ep.Handle(wire.MOpen, func(_ context.Context, p []byte) (wire.Msg, error) {
 			return nil, errors.New("no such file")
 		})
 	})
-	err := cli.Call(wire.MOpen, &wire.OpenRequest{Path: "/x"}, &wire.FileReply{})
-	var re RemoteError
-	if !errors.As(err, &re) || re.Error() != "no such file" {
-		t.Fatalf("err = %v, want RemoteError(no such file)", err)
+	err := cli.Call(bg(), wire.MOpen, &wire.OpenRequest{Path: "/x"}, &wire.FileReply{})
+	var we *wire.Error
+	if !errors.As(err, &we) || we.Msg != "no such file" {
+		t.Fatalf("err = %v, want wire.Error(no such file)", err)
+	}
+}
+
+func TestTypedErrorCodeSurvivesWire(t *testing.T) {
+	cli, _ := newPair(t, func(ep *Endpoint) {
+		ep.Handle(wire.MLock, func(_ context.Context, p []byte) (wire.Msg, error) {
+			return nil, wire.ErrShuttingDown
+		})
+		ep.Handle(wire.MRelease, func(_ context.Context, p []byte) (wire.Msg, error) {
+			return nil, wire.Errorf(wire.CodeNotOwner, "lock 9 is not yours")
+		})
+	})
+	err := cli.Call(bg(), wire.MLock, &wire.LockRequest{}, nil)
+	if !errors.Is(err, wire.ErrShuttingDown) {
+		t.Fatalf("err = %v, want ErrShuttingDown across the wire", err)
+	}
+	err = cli.Call(bg(), wire.MRelease, &wire.ReleaseRequest{}, nil)
+	if !errors.Is(err, wire.ErrNotOwner) || wire.CodeOf(err) != wire.CodeNotOwner {
+		t.Fatalf("err = %v (code %v), want CodeNotOwner", err, wire.CodeOf(err))
 	}
 }
 
 func TestUnknownMethod(t *testing.T) {
 	cli, _ := newPair(t, func(ep *Endpoint) {})
-	err := cli.Call(wire.MRead, &wire.ReadRequest{}, nil)
+	err := cli.Call(bg(), wire.MRead, &wire.ReadRequest{}, nil)
 	if err == nil {
 		t.Fatal("call to unregistered method succeeded")
+	}
+	if wire.CodeOf(err) != wire.CodeInvalid {
+		t.Fatalf("unknown method error code = %v, want CodeInvalid", wire.CodeOf(err))
 	}
 }
 
 func TestConcurrentCalls(t *testing.T) {
 	cli, _ := newPair(t, func(ep *Endpoint) {
-		ep.Handle(wire.MHello, func(p []byte) (wire.Msg, error) {
+		ep.Handle(wire.MHello, func(_ context.Context, p []byte) (wire.Msg, error) {
 			var req wire.HelloRequest
 			if err := wire.Unmarshal(p, &req); err != nil {
 				return nil, err
@@ -94,7 +125,7 @@ func TestConcurrentCalls(t *testing.T) {
 		go func(i uint32) {
 			defer wg.Done()
 			var rep wire.HelloReply
-			if err := cli.Call(wire.MHello, &wire.HelloRequest{ClientID: i}, &rep); err != nil {
+			if err := cli.Call(bg(), wire.MHello, &wire.HelloRequest{ClientID: i}, &rep); err != nil {
 				errs <- err
 				return
 			}
@@ -113,21 +144,21 @@ func TestConcurrentCalls(t *testing.T) {
 func TestBlockedHandlerDoesNotStallOthers(t *testing.T) {
 	release := make(chan struct{})
 	cli, _ := newPair(t, func(ep *Endpoint) {
-		ep.Handle(wire.MLock, func(p []byte) (wire.Msg, error) {
+		ep.Handle(wire.MLock, func(_ context.Context, p []byte) (wire.Msg, error) {
 			<-release // simulates a lock request waiting for conflict resolution
 			return &wire.Ack{}, nil
 		})
-		ep.Handle(wire.MHello, func(p []byte) (wire.Msg, error) {
+		ep.Handle(wire.MHello, func(_ context.Context, p []byte) (wire.Msg, error) {
 			return &wire.HelloReply{}, nil
 		})
 	})
 	slow := make(chan error, 1)
 	go func() {
-		slow <- cli.Call(wire.MLock, &wire.LockRequest{}, nil)
+		slow <- cli.Call(bg(), wire.MLock, &wire.LockRequest{}, nil)
 	}()
 	// The fast call must complete while the slow one is still blocked.
 	done := make(chan error, 1)
-	go func() { done <- cli.Call(wire.MHello, &wire.HelloRequest{}, nil) }()
+	go func() { done <- cli.Call(bg(), wire.MHello, &wire.HelloRequest{}, nil) }()
 	select {
 	case err := <-done:
 		if err != nil {
@@ -147,14 +178,14 @@ func TestServerCallbackToClient(t *testing.T) {
 	// while handling the client's request — the revocation pattern.
 	revoked := make(chan uint64, 1)
 	cli, _ := newPair(t, func(ep *Endpoint) {
-		ep.Handle(wire.MLock, func(p []byte) (wire.Msg, error) {
-			if err := ep.Call(wire.MRevoke, &wire.RevokeRequest{LockID: 7}, nil); err != nil {
+		ep.Handle(wire.MLock, func(ctx context.Context, p []byte) (wire.Msg, error) {
+			if err := ep.Call(ctx, wire.MRevoke, &wire.RevokeRequest{LockID: 7}, nil); err != nil {
 				return nil, err
 			}
 			return &wire.Ack{}, nil
 		})
 	})
-	cli.Handle(wire.MRevoke, func(p []byte) (wire.Msg, error) {
+	cli.Handle(wire.MRevoke, func(_ context.Context, p []byte) (wire.Msg, error) {
 		var req wire.RevokeRequest
 		if err := wire.Unmarshal(p, &req); err != nil {
 			return nil, err
@@ -162,7 +193,7 @@ func TestServerCallbackToClient(t *testing.T) {
 		revoked <- req.LockID
 		return &wire.Ack{}, nil
 	})
-	if err := cli.Call(wire.MLock, &wire.LockRequest{}, nil); err != nil {
+	if err := cli.Call(bg(), wire.MLock, &wire.LockRequest{}, nil); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -179,7 +210,7 @@ func TestCallAfterCloseFails(t *testing.T) {
 	cli, _ := newPair(t, func(ep *Endpoint) {})
 	cli.Close()
 	time.Sleep(10 * time.Millisecond)
-	if err := cli.Call(wire.MHello, &wire.HelloRequest{}, nil); err == nil {
+	if err := cli.Call(bg(), wire.MHello, &wire.HelloRequest{}, nil); err == nil {
 		t.Fatal("call on closed endpoint succeeded")
 	}
 }
@@ -192,14 +223,15 @@ func TestPendingCallsFailOnPeerClose(t *testing.T) {
 		mu.Lock()
 		srvEp = ep
 		mu.Unlock()
-		ep.Handle(wire.MLock, func(p []byte) (wire.Msg, error) {
+		ep.Handle(wire.MLock, func(ctx context.Context, p []byte) (wire.Msg, error) {
 			close(started)
-			select {} // never replies
+			<-ctx.Done() // aborts when the endpoint tears down
+			return nil, ctx.Err()
 		})
 	})
 	errc := make(chan error, 1)
 	go func() {
-		errc <- cli.Call(wire.MLock, &wire.LockRequest{}, nil)
+		errc <- cli.Call(bg(), wire.MLock, &wire.LockRequest{}, nil)
 	}()
 	<-started
 	mu.Lock()
@@ -241,7 +273,7 @@ func TestServerLimiterThrottles(t *testing.T) {
 	net := memnet.New(sim.Fast())
 	l, _ := net.Listen("s")
 	srv := NewServer(l, Options{Limiter: sim.NewRateLimiter(1000)}, func(ep *Endpoint) {
-		ep.Handle(wire.MHello, func(p []byte) (wire.Msg, error) {
+		ep.Handle(wire.MHello, func(_ context.Context, p []byte) (wire.Msg, error) {
 			return &wire.HelloReply{}, nil
 		})
 	})
@@ -256,7 +288,7 @@ func TestServerLimiterThrottles(t *testing.T) {
 	defer cli.Close()
 	start := time.Now()
 	for i := 0; i < 30; i++ {
-		if err := cli.Call(wire.MHello, &wire.HelloRequest{}, nil); err != nil {
+		if err := cli.Call(bg(), wire.MHello, &wire.HelloRequest{}, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -271,6 +303,249 @@ func TestEndpointTag(t *testing.T) {
 	if got := ep.Tag.Load(); got != "session-7" {
 		t.Fatalf("Tag = %v", got)
 	}
+}
+
+// TestCancelBlockedCall: a call whose handler never replies must return
+// promptly when its context is canceled, with no pending entry left
+// behind, and the connection must remain usable for later calls. Run
+// with simulated latency so cancellation races real in-flight delivery.
+func TestCancelBlockedCall(t *testing.T) {
+	release := make(chan struct{})
+	cli, _ := newPairHW(t, sim.Hardware{RTT: 2 * time.Millisecond}, func(ep *Endpoint) {
+		ep.Handle(wire.MLock, func(ctx context.Context, p []byte) (wire.Msg, error) {
+			select {
+			case <-release:
+				return &wire.Ack{}, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		})
+		ep.Handle(wire.MHello, func(_ context.Context, p []byte) (wire.Msg, error) {
+			return &wire.HelloReply{}, nil
+		})
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- cli.Call(ctx, wire.MLock, &wire.LockRequest{}, nil) }()
+	time.Sleep(5 * time.Millisecond) // let the request reach the handler
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) || !errors.Is(err, wire.ErrCanceled) {
+			t.Fatalf("canceled call error = %v, want context.Canceled/wire.ErrCanceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled call did not return promptly")
+	}
+	if n := cli.Pending(); n != 0 {
+		t.Fatalf("%d pending entries after cancel, want 0", n)
+	}
+	// The connection survives a canceled call.
+	if err := cli.Call(bg(), wire.MHello, &wire.HelloRequest{}, nil); err != nil {
+		t.Fatalf("call after cancel failed: %v", err)
+	}
+	close(release)
+}
+
+// TestCancelPropagatesToHandler: abandoning a call sends a cancel frame
+// that fires the handler's per-request context, so server-side work
+// (a queued lock waiter, a stalled IO) is withdrawn instead of running
+// headless until connection teardown.
+func TestCancelPropagatesToHandler(t *testing.T) {
+	handlerDone := make(chan error, 1)
+	cli, _ := newPairHW(t, sim.Hardware{RTT: 2 * time.Millisecond}, func(ep *Endpoint) {
+		ep.Handle(wire.MLock, func(ctx context.Context, p []byte) (wire.Msg, error) {
+			select {
+			case <-ctx.Done():
+				handlerDone <- ctx.Err()
+				return nil, wire.FromContext(ctx.Err())
+			case <-time.After(10 * time.Second):
+				handlerDone <- nil
+				return &wire.Ack{}, nil
+			}
+		})
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- cli.Call(ctx, wire.MLock, &wire.LockRequest{}, nil) }()
+	time.Sleep(5 * time.Millisecond) // let the request reach the handler
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled call error = %v, want context.Canceled", err)
+	}
+	select {
+	case err := <-handlerDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("handler observed %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancel frame never reached the handler")
+	}
+}
+
+// TestCallDeadlineExceeded: an expired deadline surfaces as a timeout
+// error matching both context.DeadlineExceeded and wire.ErrTimeout.
+func TestCallDeadlineExceeded(t *testing.T) {
+	cli, _ := newPair(t, func(ep *Endpoint) {
+		ep.Handle(wire.MLock, func(ctx context.Context, p []byte) (wire.Msg, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		})
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := cli.Call(ctx, wire.MLock, &wire.LockRequest{}, nil)
+	if !errors.Is(err, context.DeadlineExceeded) || !errors.Is(err, wire.ErrTimeout) {
+		t.Fatalf("err = %v, want DeadlineExceeded/ErrTimeout", err)
+	}
+	if n := cli.Pending(); n != 0 {
+		t.Fatalf("%d pending entries after deadline, want 0", n)
+	}
+}
+
+// TestPendingCleanupOnSendFailure: when the transport rejects the send,
+// Call must deregister its pending entry so a flaky link cannot grow the
+// map without bound.
+func TestPendingCleanupOnSendFailure(t *testing.T) {
+	cli, _ := newPair(t, func(ep *Endpoint) {})
+	cli.conn.Close() // poison the transport underneath the endpoint
+	for i := 0; i < 50; i++ {
+		if err := cli.Call(bg(), wire.MHello, &wire.HelloRequest{}, nil); err == nil {
+			t.Fatal("call over closed transport succeeded")
+		}
+	}
+	if n := cli.Pending(); n != 0 {
+		t.Fatalf("%d pending entries leaked after send failures, want 0", n)
+	}
+}
+
+// TestPreCanceledCallFailsFast: a context canceled before Call never
+// touches the transport and leaves no state behind.
+func TestPreCanceledCallFailsFast(t *testing.T) {
+	cli, _ := newPair(t, func(ep *Endpoint) {})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := cli.Call(ctx, wire.MHello, &wire.HelloRequest{}, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := cli.Pending(); n != 0 {
+		t.Fatalf("%d pending entries, want 0", n)
+	}
+}
+
+// TestDrainWaitsForHandlers: Drain returns only after in-flight handlers
+// complete, and respects its own context when they do not.
+func TestDrainWaitsForHandlers(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	var srvEp *Endpoint
+	var mu sync.Mutex
+	cli, _ := newPair(t, func(ep *Endpoint) {
+		mu.Lock()
+		srvEp = ep
+		mu.Unlock()
+		ep.Handle(wire.MLock, func(_ context.Context, p []byte) (wire.Msg, error) {
+			started <- struct{}{}
+			<-release
+			return &wire.Ack{}, nil
+		})
+	})
+	go cli.Call(bg(), wire.MLock, &wire.LockRequest{}, nil)
+	<-started
+	mu.Lock()
+	ep := srvEp
+	mu.Unlock()
+
+	// Drain with a short deadline fails while the handler is stuck.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	err := ep.Drain(ctx)
+	cancel()
+	if !errors.Is(err, wire.ErrTimeout) {
+		t.Fatalf("Drain with stuck handler = %v, want ErrTimeout", err)
+	}
+	close(release)
+	if err := ep.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain after release = %v", err)
+	}
+}
+
+// TestServerShutdownDrains: Shutdown completes in-flight handlers before
+// closing endpoints — the reply reaches the caller.
+func TestServerShutdownDrains(t *testing.T) {
+	proceed := make(chan struct{})
+	started := make(chan struct{}, 1)
+	net := memnet.New(sim.Fast())
+	l, _ := net.Listen("s")
+	srv := NewServer(l, Options{}, func(ep *Endpoint) {
+		ep.Handle(wire.MFlush, func(_ context.Context, p []byte) (wire.Msg, error) {
+			started <- struct{}{}
+			<-proceed
+			return &wire.Ack{}, nil
+		})
+	})
+	go srv.Serve()
+	conn, err := net.Dial("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewEndpoint(conn, Options{})
+	cli.Start()
+	defer cli.Close()
+	errc := make(chan error, 1)
+	go func() { errc <- cli.Call(bg(), wire.MFlush, &wire.FlushRequest{}, &wire.Ack{}) }()
+	<-started
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(proceed) // unwedge the in-flight flush while Shutdown drains
+	}()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("in-flight call during graceful shutdown = %v", err)
+	}
+}
+
+// TestServerCloseAcceptRace: closing the server while dials are racing
+// the accept loop must not leak endpoint read-loop goroutines. This is
+// a goleak-style check: goroutine count returns to baseline.
+func TestServerCloseAcceptRace(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for iter := 0; iter < 50; iter++ {
+		net := memnet.New(sim.Fast())
+		l, _ := net.Listen("s")
+		srv := NewServer(l, Options{}, func(ep *Endpoint) {})
+		go srv.Serve()
+		var conns []transport.Conn
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if c, err := net.Dial("s"); err == nil {
+					mu.Lock()
+					conns = append(conns, c)
+					mu.Unlock()
+				}
+			}()
+		}
+		srv.Close() // races the dials above
+		wg.Wait()
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	// Give exiting read loops a moment, then compare against baseline
+	// with slack for runtime background goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+5 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
 }
 
 var _ transport.Conn = (transport.Conn)(nil) // interface sanity

@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -98,10 +99,56 @@ func (dev *Device) Use(d time.Duration) {
 	time.Sleep(time.Until(done))
 }
 
+// UseCtx is Use bounded by ctx: the device time is reserved either way
+// (the transmission is already committed to the link), but the caller
+// stops waiting and gets ctx's error when it fires first.
+func (dev *Device) UseCtx(ctx context.Context, d time.Duration) error {
+	if dev == nil || d <= 0 {
+		return ctx.Err()
+	}
+	now := time.Now()
+	dev.mu.Lock()
+	start := dev.next
+	if start.Before(now) {
+		start = now
+	}
+	done := start.Add(d)
+	dev.next = done
+	dev.mu.Unlock()
+	return SleepUntil(ctx, done)
+}
+
 // UseBytes occupies the device for bytes at bw bytes/second plus fixed
 // latency lat.
 func (dev *Device) UseBytes(bytes int64, bw float64, lat time.Duration) {
 	dev.Use(TransferTime(bytes, bw) + lat)
+}
+
+// UseBytesCtx is UseBytes bounded by ctx.
+func (dev *Device) UseBytesCtx(ctx context.Context, bytes int64, bw float64, lat time.Duration) error {
+	return dev.UseCtx(ctx, TransferTime(bytes, bw)+lat)
+}
+
+// SleepUntil blocks until deadline or until ctx fires, returning ctx's
+// error in the latter case. A past deadline returns ctx.Err()
+// immediately (nil when the context is still live).
+func SleepUntil(ctx context.Context, deadline time.Time) error {
+	d := time.Until(deadline)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Busy returns how far in the future the device is already committed, a
@@ -146,4 +193,21 @@ func (r *RateLimiter) Wait() {
 	r.next = start.Add(r.interval)
 	r.mu.Unlock()
 	time.Sleep(time.Until(start))
+}
+
+// WaitCtx is Wait bounded by ctx: the slot is consumed either way, but
+// the caller stops queueing and gets ctx's error when it fires first.
+func (r *RateLimiter) WaitCtx(ctx context.Context) error {
+	if r == nil || r.interval == 0 {
+		return ctx.Err()
+	}
+	now := time.Now()
+	r.mu.Lock()
+	start := r.next
+	if start.Before(now) {
+		start = now
+	}
+	r.next = start.Add(r.interval)
+	r.mu.Unlock()
+	return SleepUntil(ctx, start)
 }

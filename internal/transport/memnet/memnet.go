@@ -8,6 +8,7 @@
 package memnet
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -135,12 +136,15 @@ func newPipe(hw sim.Hardware) *pipe {
 	return p
 }
 
-func (p *pipe) send(msg []byte) error {
+func (p *pipe) send(ctx context.Context, msg []byte) error {
 	// Block the sender for the serialization time (sharing the link with
 	// earlier messages), then schedule delivery half an RTT later. This
 	// lets small control messages pipeline behind bulk transfers exactly
-	// like a real NIC queue pair.
-	p.nic.UseBytes(int64(len(msg)), p.hw.NetBandwidth, 0)
+	// like a real NIC queue pair. A fired context stops the sender from
+	// queueing further (the link time is already committed).
+	if err := p.nic.UseBytesCtx(ctx, int64(len(msg)), p.hw.NetBandwidth, 0); err != nil {
+		return err
+	}
 	cp := make([]byte, len(msg))
 	copy(cp, msg)
 	deliverAt := time.Now().Add(p.hw.RTT / 2)
@@ -154,20 +158,41 @@ func (p *pipe) send(msg []byte) error {
 	return nil
 }
 
-func (p *pipe) recv() ([]byte, error) {
+func (p *pipe) recv(ctx context.Context) ([]byte, error) {
+	if ctx.Done() != nil {
+		// Wake the cond wait below when the context fires; cond.Wait
+		// cannot select on a channel, so the watcher broadcasts instead.
+		stop := context.AfterFunc(ctx, func() {
+			p.mu.Lock()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		})
+		defer stop()
+	}
 	p.mu.Lock()
-	for len(p.queue) == 0 && !p.closed {
+	for len(p.queue) == 0 && !p.closed && ctx.Err() == nil {
 		p.cond.Wait()
 	}
-	if len(p.queue) == 0 && p.closed {
+	if len(p.queue) == 0 {
+		closed := p.closed
 		p.mu.Unlock()
-		return nil, transport.ErrClosed
+		if closed {
+			return nil, transport.ErrClosed
+		}
+		return nil, ctx.Err()
 	}
 	m := p.queue[0]
 	p.queue = p.queue[1:]
 	p.mu.Unlock()
-	if d := time.Until(m.deliverAt); d > 0 {
-		time.Sleep(d)
+	if err := sim.SleepUntil(ctx, m.deliverAt); err != nil {
+		// Cancellation mid-delivery: requeue at the front so the stream
+		// stays gapless and ordered for the next Recv (Conn permits only
+		// one concurrent receiver, so no other reader raced us).
+		p.mu.Lock()
+		p.queue = append([]timedMsg{m}, p.queue...)
+		p.cond.Signal()
+		p.mu.Unlock()
+		return nil, err
 	}
 	return m.data, nil
 }
@@ -186,9 +211,9 @@ type conn struct {
 	recv *pipe
 }
 
-func (c *conn) Send(msg []byte) error { return c.send.send(msg) }
+func (c *conn) Send(ctx context.Context, msg []byte) error { return c.send.send(ctx, msg) }
 
-func (c *conn) Recv() ([]byte, error) { return c.recv.recv() }
+func (c *conn) Recv(ctx context.Context) ([]byte, error) { return c.recv.recv(ctx) }
 
 func (c *conn) Close() error {
 	c.send.close()

@@ -1,6 +1,7 @@
 package memnet
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -52,10 +53,10 @@ func TestSendAfterCloseFails(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Close()
-	if err := c.Send([]byte("x")); err != transport.ErrClosed {
+	if err := c.Send(context.Background(), []byte("x")); err != transport.ErrClosed {
 		t.Fatalf("Send after close = %v, want ErrClosed", err)
 	}
-	if _, err := c.Recv(); err != transport.ErrClosed {
+	if _, err := c.Recv(context.Background()); err != transport.ErrClosed {
 		t.Fatalf("Recv after close = %v, want ErrClosed", err)
 	}
 }
@@ -94,11 +95,11 @@ func TestManyParallelConnections(t *testing.T) {
 			}
 			go func(c transport.Conn) {
 				for {
-					m, err := c.Recv()
+					m, err := c.Recv(context.Background())
 					if err != nil {
 						return
 					}
-					c.Send(m)
+					c.Send(context.Background(), m)
 				}
 			}(c)
 		}
@@ -113,11 +114,11 @@ func TestManyParallelConnections(t *testing.T) {
 			}
 			defer c.Close()
 			msg := []byte(fmt.Sprintf("conn-%d", i))
-			if err := c.Send(msg); err != nil {
+			if err := c.Send(context.Background(), msg); err != nil {
 				errs <- err
 				return
 			}
-			got, err := c.Recv()
+			got, err := c.Recv(context.Background())
 			if err != nil {
 				errs <- err
 				return

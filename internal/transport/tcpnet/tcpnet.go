@@ -5,12 +5,15 @@
 package tcpnet
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
+	"time"
 
 	"ccpfs/internal/transport"
 )
@@ -74,26 +77,38 @@ type conn struct {
 	recvBuf [4]byte
 }
 
-func (c *conn) Send(msg []byte) error {
+func (c *conn) Send(ctx context.Context, msg []byte) error {
 	if len(msg) > MaxFrame {
 		return fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", len(msg))
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	// A canceled Send mid-frame would corrupt the stream for every later
+	// message, so cancellation only poisons the whole connection: the
+	// deadline watcher aborts the write, and the resulting short frame
+	// makes the peer's next Recv fail too. That matches the contract —
+	// callers give up on the call, the endpoint tears down.
+	stop := c.watch(ctx, c.nc.SetWriteDeadline)
+	defer stop()
 	if _, err := c.nc.Write(hdr[:]); err != nil {
-		return mapErr(err)
+		return c.mapCtxErr(ctx, err)
 	}
 	if _, err := c.nc.Write(msg); err != nil {
-		return mapErr(err)
+		return c.mapCtxErr(ctx, err)
 	}
 	return nil
 }
 
-func (c *conn) Recv() ([]byte, error) {
+func (c *conn) Recv(ctx context.Context) ([]byte, error) {
+	stop := c.watch(ctx, c.nc.SetReadDeadline)
+	defer stop()
 	if _, err := io.ReadFull(c.nc, c.recvBuf[:]); err != nil {
-		return nil, mapErr(err)
+		return nil, c.mapCtxErr(ctx, err)
 	}
 	n := binary.BigEndian.Uint32(c.recvBuf[:])
 	if n > MaxFrame {
@@ -102,12 +117,39 @@ func (c *conn) Recv() ([]byte, error) {
 	}
 	msg := make([]byte, n)
 	if _, err := io.ReadFull(c.nc, msg); err != nil {
-		return nil, mapErr(err)
+		return nil, c.mapCtxErr(ctx, err)
 	}
 	return msg, nil
 }
 
+// watch arms a context watcher that fires the given deadline setter when
+// ctx ends, unblocking an in-flight read or write. The returned stop
+// func disarms the watcher and clears the deadline.
+func (c *conn) watch(ctx context.Context, setDeadline func(time.Time) error) func() {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	stop := context.AfterFunc(ctx, func() {
+		setDeadline(time.Unix(1, 0)) // a past deadline aborts the op
+	})
+	return func() {
+		if !stop() {
+			// The watcher ran: clear the poisoned deadline so later
+			// operations on the connection are not spuriously aborted.
+			setDeadline(time.Time{})
+		}
+	}
+}
+
 func (c *conn) Close() error { return c.nc.Close() }
+
+// mapCtxErr attributes a deadline abort to the context that armed it.
+func (c *conn) mapCtxErr(ctx context.Context, err error) error {
+	if errors.Is(err, os.ErrDeadlineExceeded) && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return mapErr(err)
+}
 
 func mapErr(err error) error {
 	if err == nil {

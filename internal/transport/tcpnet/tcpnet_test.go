@@ -1,6 +1,7 @@
 package tcpnet
 
 import (
+	"context"
 	"encoding/binary"
 	"net"
 	"testing"
@@ -23,7 +24,7 @@ func TestOversizedSendRejected(t *testing.T) {
 	}
 	defer c.Close()
 	huge := make([]byte, MaxFrame+1)
-	if err := c.Send(huge); err == nil {
+	if err := c.Send(context.Background(), huge); err == nil {
 		t.Fatal("oversized frame accepted")
 	}
 }
@@ -42,7 +43,7 @@ func TestOversizedInboundFrameFailsConnection(t *testing.T) {
 			recvErr <- err
 			return
 		}
-		_, err = c.Recv()
+		_, err = c.Recv(context.Background())
 		recvErr <- err
 	}()
 	// A raw TCP client declaring a hostile frame length.
@@ -103,7 +104,7 @@ func TestEmptyFrame(t *testing.T) {
 		if err != nil {
 			return
 		}
-		m, err := c.Recv()
+		m, err := c.Recv(context.Background())
 		if err == nil {
 			got <- m
 		}
@@ -113,7 +114,7 @@ func TestEmptyFrame(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Send(nil); err != nil {
+	if err := c.Send(context.Background(), nil); err != nil {
 		t.Fatal(err)
 	}
 	select {

@@ -12,7 +12,10 @@
 // RPC, lock, and data paths.
 package transport
 
-import "errors"
+import (
+	"context"
+	"errors"
+)
 
 // ErrClosed is returned by operations on a closed connection, listener,
 // or network.
@@ -21,13 +24,19 @@ var ErrClosed = errors.New("transport: closed")
 // Conn is a reliable, ordered, message-oriented duplex connection.
 // Send and Recv are safe for concurrent use with each other; multiple
 // concurrent Senders are allowed, multiple concurrent Recvs are not.
+//
+// Both operations honor their context: when it fires mid-operation they
+// return the context's error promptly. A canceled Send does not
+// guarantee the message was not delivered (it may already be in flight);
+// the connection itself stays usable either way.
 type Conn interface {
 	// Send transmits one message. It may block for simulated or real
-	// transmission time.
-	Send(msg []byte) error
-	// Recv returns the next message. It blocks until a message arrives
-	// or the connection closes, in which case it returns ErrClosed.
-	Recv() ([]byte, error)
+	// transmission time, bounded by ctx.
+	Send(ctx context.Context, msg []byte) error
+	// Recv returns the next message. It blocks until a message arrives,
+	// ctx fires, or the connection closes, in which case it returns
+	// ErrClosed.
+	Recv(ctx context.Context) ([]byte, error)
 	// Close tears the connection down; pending and future operations on
 	// both ends fail with ErrClosed.
 	Close() error

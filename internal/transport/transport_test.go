@@ -2,6 +2,7 @@ package transport_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -50,22 +51,22 @@ func TestRoundTrip(t *testing.T) {
 					return
 				}
 				defer c.Close()
-				msg, err := c.Recv()
+				msg, err := c.Recv(context.Background())
 				if err != nil {
 					done <- err
 					return
 				}
-				done <- c.Send(append([]byte("echo:"), msg...))
+				done <- c.Send(context.Background(), append([]byte("echo:"), msg...))
 			}()
 			c, err := net.Dial(l.Addr())
 			if err != nil {
 				t.Fatal(err)
 			}
 			defer c.Close()
-			if err := c.Send([]byte("hello")); err != nil {
+			if err := c.Send(context.Background(), []byte("hello")); err != nil {
 				t.Fatal(err)
 			}
-			reply, err := c.Recv()
+			reply, err := c.Recv(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -97,7 +98,7 @@ func TestOrderingPreserved(t *testing.T) {
 				}
 				defer c.Close()
 				for i := 0; i < n; i++ {
-					m, err := c.Recv()
+					m, err := c.Recv(context.Background())
 					if err != nil {
 						return
 					}
@@ -110,7 +111,7 @@ func TestOrderingPreserved(t *testing.T) {
 			}
 			defer c.Close()
 			for i := 0; i < n; i++ {
-				if err := c.Send([]byte(fmt.Sprintf("msg-%04d", i))); err != nil {
+				if err := c.Send(context.Background(), []byte(fmt.Sprintf("msg-%04d", i))); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -142,7 +143,7 @@ func TestSenderBufferReuse(t *testing.T) {
 				}
 				defer c.Close()
 				for i := 0; i < 2; i++ {
-					m, err := c.Recv()
+					m, err := c.Recv(context.Background())
 					if err != nil {
 						return
 					}
@@ -155,11 +156,11 @@ func TestSenderBufferReuse(t *testing.T) {
 			}
 			defer c.Close()
 			buf := []byte("first")
-			if err := c.Send(buf); err != nil {
+			if err := c.Send(context.Background(), buf); err != nil {
 				t.Fatal(err)
 			}
 			copy(buf, "XXXXX") // mutate after send; receiver must see original
-			if err := c.Send([]byte("second")); err != nil {
+			if err := c.Send(context.Background(), []byte("second")); err != nil {
 				t.Fatal(err)
 			}
 			if m := <-got; !bytes.Equal(m, []byte("first")) {
@@ -197,7 +198,7 @@ func TestRecvAfterCloseReturnsErrClosed(t *testing.T) {
 			deadline := time.After(2 * time.Second)
 			errc := make(chan error, 1)
 			go func() {
-				_, err := c.Recv()
+				_, err := c.Recv(context.Background())
 				errc <- err
 			}()
 			select {
@@ -245,11 +246,11 @@ func TestMemnetLatency(t *testing.T) {
 			return
 		}
 		for {
-			m, err := c.Recv()
+			m, err := c.Recv(context.Background())
 			if err != nil {
 				return
 			}
-			if err := c.Send(m); err != nil {
+			if err := c.Send(context.Background(), m); err != nil {
 				return
 			}
 		}
@@ -259,8 +260,8 @@ func TestMemnetLatency(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	c.Send([]byte("ping"))
-	if _, err := c.Recv(); err != nil {
+	c.Send(context.Background(), []byte("ping"))
+	if _, err := c.Recv(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	rtt := time.Since(start)
@@ -280,7 +281,7 @@ func TestMemnetBandwidth(t *testing.T) {
 			return
 		}
 		for {
-			if _, err := c.Recv(); err != nil {
+			if _, err := c.Recv(context.Background()); err != nil {
 				return
 			}
 		}
@@ -290,7 +291,7 @@ func TestMemnetBandwidth(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	if err := c.Send(make([]byte, 1<<20)); err != nil {
+	if err := c.Send(context.Background(), make([]byte, 1<<20)); err != nil {
 		t.Fatal(err)
 	}
 	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
@@ -317,7 +318,7 @@ func TestConcurrentSenders(t *testing.T) {
 				defer c.Close()
 				seen := 0
 				for seen < senders*each {
-					if _, err := c.Recv(); err != nil {
+					if _, err := c.Recv(context.Background()); err != nil {
 						break
 					}
 					seen++
@@ -335,7 +336,7 @@ func TestConcurrentSenders(t *testing.T) {
 				go func(s int) {
 					defer wg.Done()
 					for i := 0; i < each; i++ {
-						if err := c.Send([]byte(fmt.Sprintf("%d:%d", s, i))); err != nil {
+						if err := c.Send(context.Background(), []byte(fmt.Sprintf("%d:%d", s, i))); err != nil {
 							t.Errorf("send: %v", err)
 							return
 						}

@@ -8,6 +8,7 @@ package workload
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -165,7 +166,7 @@ func RunIOR(c *cluster.Cluster, cfg IORConfig) (Result, error) {
 			}
 			f := files[i]
 			for k := 0; k < cfg.WritesPerClient; k++ {
-				if _, err := f.WriteAtOpts(buf, cfg.offset(i, k), client.WriteOptions{Mode: cfg.Mode}); err != nil {
+				if _, err := f.WriteAtOpts(context.Background(), buf, cfg.offset(i, k), client.WriteOptions{Mode: cfg.Mode}); err != nil {
 					errs <- fmt.Errorf("rank %d write %d: %w", i, k, err)
 					return
 				}
@@ -239,7 +240,7 @@ func drain(clients []*client.Client, files []*client.File) time.Duration {
 			if files[i] != nil {
 				files[i].Fsync()
 			}
-			clients[i].Locks().ReleaseAll()
+			clients[i].Locks().ReleaseAll(context.Background())
 		}(i)
 	}
 	wg.Wait()
@@ -295,7 +296,7 @@ func RunSequential(c *cluster.Cluster, cfg SequentialConfig) (Result, Breakdown,
 	// The MPI_Send/MPI_Recv token ring of the paper, as a channel chain.
 	for k := 0; k < cfg.Writes; k++ {
 		i := k % cfg.Clients
-		if _, err := files[i].WriteAtOpts(buf, 0, client.WriteOptions{
+		if _, err := files[i].WriteAtOpts(context.Background(), buf, 0, client.WriteOptions{
 			Mode:            cfg.Mode,
 			LockWholeStripe: true,
 		}); err != nil {
@@ -374,7 +375,7 @@ func RunParallel(c *cluster.Cluster, cfg ParallelConfig) (ParallelStats, error) 
 			defer wg.Done()
 			buf := make([]byte, cfg.WriteSize)
 			for k := 0; k < cfg.WritesPerClient; k++ {
-				if _, err := files[i].WriteAtOpts(buf, 0, client.WriteOptions{
+				if _, err := files[i].WriteAtOpts(context.Background(), buf, 0, client.WriteOptions{
 					Mode:            cfg.Mode,
 					LockWholeStripe: true,
 				}); err != nil {
@@ -430,13 +431,13 @@ func RunMixed(c *cluster.Cluster, cfg MixedConfig) (Result, error) {
 	}
 	buf := make([]byte, cfg.Size)
 	// Prime the file so reads have data.
-	if _, err := f.WriteAtOpts(buf, 0, client.WriteOptions{Mode: cfg.WriteMode}); err != nil {
+	if _, err := f.WriteAtOpts(context.Background(), buf, 0, client.WriteOptions{Mode: cfg.WriteMode}); err != nil {
 		return Result{}, err
 	}
 	start := time.Now()
 	for k := 0; k < cfg.Ops; k++ {
 		if k%2 == 0 {
-			if _, err := f.WriteAtOpts(buf, 0, client.WriteOptions{Mode: cfg.WriteMode}); err != nil {
+			if _, err := f.WriteAtOpts(context.Background(), buf, 0, client.WriteOptions{Mode: cfg.WriteMode}); err != nil {
 				return Result{}, err
 			}
 		} else {
@@ -495,7 +496,7 @@ func RunSpan(c *cluster.Cluster, cfg SpanConfig) (Result, error) {
 			defer wg.Done()
 			buf := make([]byte, cfg.WriteSize)
 			for k := 0; k < cfg.WritesPerClient; k++ {
-				if _, err := files[i].WriteAtOpts(buf, off, client.WriteOptions{Mode: cfg.Mode}); err != nil {
+				if _, err := files[i].WriteAtOpts(context.Background(), buf, off, client.WriteOptions{Mode: cfg.Mode}); err != nil {
 					errs <- err
 					return
 				}

@@ -1,6 +1,7 @@
 package seqdlm_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -43,7 +44,7 @@ type node struct {
 }
 
 func (n *node) write(rng seqdlm.Extent, val byte) error {
-	h, err := n.lc.Acquire(1, seqdlm.NBW, rng)
+	h, err := n.lc.Acquire(context.Background(), 1, seqdlm.NBW, rng)
 	if err != nil {
 		return err
 	}
@@ -56,7 +57,7 @@ func (n *node) write(rng seqdlm.Extent, val byte) error {
 
 // flushForCancel is the Flusher hook: write back everything at or below
 // the canceling lock's SN.
-func (n *node) flushForCancel(res seqdlm.ResourceID, rng seqdlm.Extent, sn seqdlm.SN) error {
+func (n *node) flushForCancel(_ context.Context, res seqdlm.ResourceID, rng seqdlm.Extent, sn seqdlm.SN) error {
 	n.mu.Lock()
 	var keep, flush []cachedWrite
 	for _, w := range n.dirty {
@@ -79,7 +80,7 @@ func TestEmbedSeqDLMAsCoherentCacheLayer(t *testing.T) {
 	srv := seqdlm.NewServer(seqdlm.SeqDLM(), nil)
 
 	nodes := make(map[seqdlm.ClientID]*node)
-	srv.SetNotifier(seqdlm.NotifierFunc(func(rv seqdlm.Revocation) {
+	srv.SetNotifier(seqdlm.NotifierFunc(func(_ context.Context, rv seqdlm.Revocation) {
 		if n, ok := nodes[rv.Client]; ok {
 			n.lc.OnRevoke(rv.Resource, rv.Lock)
 		}
@@ -110,7 +111,7 @@ func TestEmbedSeqDLMAsCoherentCacheLayer(t *testing.T) {
 	}
 	wg.Wait()
 	for _, n := range nodes {
-		n.lc.ReleaseAll()
+		n.lc.ReleaseAll(context.Background())
 	}
 	if err := srv.CheckInvariants(); err != nil {
 		t.Fatal(err)
@@ -137,12 +138,14 @@ func TestEmbedSeqDLMAsCoherentCacheLayer(t *testing.T) {
 
 type directConn struct{ srv *seqdlm.Server }
 
-func (d directConn) Lock(req seqdlm.Request) (seqdlm.Grant, error) { return d.srv.Lock(req) }
-func (d directConn) Release(res seqdlm.ResourceID, id seqdlm.LockID) error {
+func (d directConn) Lock(ctx context.Context, req seqdlm.Request) (seqdlm.Grant, error) {
+	return d.srv.Lock(ctx, req)
+}
+func (d directConn) Release(_ context.Context, res seqdlm.ResourceID, id seqdlm.LockID) error {
 	d.srv.Release(res, id)
 	return nil
 }
-func (d directConn) Downgrade(res seqdlm.ResourceID, id seqdlm.LockID, m seqdlm.Mode) error {
+func (d directConn) Downgrade(_ context.Context, res seqdlm.ResourceID, id seqdlm.LockID, m seqdlm.Mode) error {
 	return d.srv.Downgrade(res, id, m)
 }
 
