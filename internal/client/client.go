@@ -30,9 +30,17 @@ import (
 // conflict).
 const DefaultLockAlign = 4096
 
-// maxFlushRPC bounds the payload of one flush RPC; larger flushes are
-// split (the prototype similarly batches cache pages per RPC).
-const maxFlushRPC = 8 << 20
+// DefaultMaxFlushRPC bounds the payload of one flush RPC; larger
+// flushes are split (the prototype similarly batches cache pages per
+// RPC).
+const DefaultMaxFlushRPC = 8 << 20
+
+// DefaultFlushWindow is the default bound on concurrent flush RPCs in
+// flight to one data server. The flush path is the conflict-resolution
+// critical path (a conflicting grant waits on the previous holder's
+// flush), so chunks are pipelined instead of issued one blocking RPC at
+// a time.
+const DefaultFlushWindow = 4
 
 // Config describes one ccPFS client.
 type Config struct {
@@ -51,6 +59,14 @@ type Config struct {
 	// LockAlign is the lock range alignment (DefaultLockAlign when 0;
 	// ignored by the datatype policy, which locks exact ranges).
 	LockAlign int64
+	// MaxFlushRPC bounds the payload bytes of one flush RPC
+	// (DefaultMaxFlushRPC when 0); larger dirty sets are split into a
+	// pipeline of smaller RPCs.
+	MaxFlushRPC int64
+	// FlushWindow bounds how many flush RPCs may be in flight to one
+	// data server at a time (DefaultFlushWindow when 0). 1 selects the
+	// strictly sequential flush path.
+	FlushWindow int
 }
 
 // Conns carries the client's established RPC endpoints. Meta may equal
@@ -111,6 +127,12 @@ func New(ctx context.Context, cfg Config, conns Conns) (*Client, error) {
 	}
 	if cfg.LockAlign == 0 {
 		cfg.LockAlign = DefaultLockAlign
+	}
+	if cfg.MaxFlushRPC == 0 {
+		cfg.MaxFlushRPC = DefaultMaxFlushRPC
+	}
+	if cfg.FlushWindow == 0 {
+		cfg.FlushWindow = DefaultFlushWindow
 	}
 	lifeCtx, cancel := context.WithCancel(context.Background())
 	c := &Client{
@@ -185,10 +207,8 @@ func (c *Client) Shutdown(ctx context.Context) error {
 		// Stop the daemon first so it cannot race the final flush.
 		c.cancelFn()
 		c.daemonWG.Wait()
-		for _, rid := range c.pc.DirtyStripes() {
-			if ferr := c.flushRange(ctx, dlm.ResourceID(rid), extent.New(0, extent.Inf), ^extent.SN(0)); ferr != nil && err == nil {
-				err = ferr
-			}
+		if ferr := c.flushStripes(ctx, c.pc.DirtyStripes(), extent.New(0, extent.Inf), ^extent.SN(0)); ferr != nil {
+			err = ferr
 		}
 		if rerr := c.lc.ReleaseAll(ctx); rerr != nil && err == nil {
 			err = rerr
@@ -356,40 +376,180 @@ func (c *Client) flushForCancel(ctx context.Context, res dlm.ResourceID, rng ext
 
 // flushRange sends the dirty blocks of res within rng with SN <= sn.
 func (c *Client) flushRange(ctx context.Context, res dlm.ResourceID, rng extent.Extent, sn extent.SN) error {
-	blocks := c.pc.CollectDirty(uint64(res), rng, sn)
+	return c.flushGroup(ctx, []uint64{uint64(res)}, rng, sn)
+}
+
+// flushStripes flushes the dirty data of many stripes at once, fanning
+// out across data servers: stripes are grouped by owning server and
+// each group flushes through its own bulk endpoint with an independent
+// in-flight window, so a multi-stripe Fsync overlaps every server's
+// round trips. The first error cancels all remaining work.
+func (c *Client) flushStripes(ctx context.Context, rids []uint64, rng extent.Extent, sn extent.SN) error {
+	switch len(rids) {
+	case 0:
+		return nil
+	case 1:
+		return c.flushGroup(ctx, rids, rng, sn)
+	}
+	groups := make(map[int][]uint64)
+	for _, rid := range rids {
+		si := meta.PlaceStripe(rid, len(c.conns.Data))
+		groups[si] = append(groups[si], rid)
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		once  sync.Once
+		first error
+	)
+	fail := func(err error) {
+		once.Do(func() {
+			first = err
+			cancel()
+		})
+	}
+	var wg sync.WaitGroup
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g []uint64) {
+			defer wg.Done()
+			if err := c.flushGroup(gctx, g, rng, sn); err != nil {
+				fail(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	return first
+}
+
+// stripeFlush is one stripe's collected dirty set and the chunked flush
+// RPCs that will carry it.
+type stripeFlush struct {
+	rid    uint64
+	blocks []pagecache.Block
+	reqs   []*wire.FlushRequest
+}
+
+// collectStripe drains rid's dirty blocks and splits them into flush
+// RPCs of at most MaxFlushRPC payload bytes each. The blocks are
+// disjoint by construction (the page cache removes each dirty extent as
+// it is collected) and each carries the SN of the lock it was written
+// under, so the resulting chunks may land at the server in any order —
+// the server's extent cache resolves overlap by SN, not arrival order.
+func (c *Client) collectStripe(rid uint64, rng extent.Extent, sn extent.SN) *stripeFlush {
+	blocks := c.pc.CollectDirty(rid, rng, sn)
 	if len(blocks) == 0 {
 		return nil
 	}
-	ep := c.bulkFor(uint64(res))
-	req := &wire.FlushRequest{Resource: uint64(res), Client: uint32(c.cfg.ID)}
+	sf := &stripeFlush{rid: rid, blocks: blocks}
+	req := &wire.FlushRequest{Resource: rid, Client: uint32(c.cfg.ID)}
 	var size int64
-	flush := func() error {
-		if len(req.Blocks) == 0 {
-			return nil
-		}
-		err := ep.Call(ctx, wire.MFlush, req, nil)
-		if err == nil {
-			c.Stats.FlushedBytes.Add(size)
-		}
-		req.Blocks = req.Blocks[:0]
-		size = 0
-		return err
-	}
 	for _, b := range blocks {
-		if size+int64(len(b.Data)) > maxFlushRPC {
-			if err := flush(); err != nil {
-				c.pc.Redirty(uint64(res), blocks)
-				return err
-			}
+		if size > 0 && size+int64(len(b.Data)) > c.cfg.MaxFlushRPC {
+			sf.reqs = append(sf.reqs, req)
+			req = &wire.FlushRequest{Resource: rid, Client: uint32(c.cfg.ID)}
+			size = 0
 		}
 		req.Blocks = append(req.Blocks, wire.Block{Range: b.Range, SN: b.SN, Data: b.Data})
 		size += int64(len(b.Data))
 	}
-	if err := flush(); err != nil {
-		c.pc.Redirty(uint64(res), blocks)
-		return err
+	if len(req.Blocks) > 0 {
+		sf.reqs = append(sf.reqs, req)
 	}
-	return nil
+	return sf
+}
+
+// flushGroup flushes a set of stripes that live on the same data
+// server. Any failure re-dirties every collected stripe of the group so
+// the data is retried by a later flush (SN-tagged re-application is
+// idempotent at the server).
+func (c *Client) flushGroup(ctx context.Context, rids []uint64, rng extent.Extent, sn extent.SN) error {
+	var (
+		flushes []*stripeFlush
+		chunks  []*wire.FlushRequest
+	)
+	for _, rid := range rids {
+		if sf := c.collectStripe(rid, rng, sn); sf != nil {
+			flushes = append(flushes, sf)
+			chunks = append(chunks, sf.reqs...)
+		}
+	}
+	if len(chunks) == 0 {
+		return nil
+	}
+	err := c.sendChunks(ctx, c.bulkFor(flushes[0].rid), chunks)
+	if err != nil {
+		for _, sf := range flushes {
+			c.pc.Redirty(sf.rid, sf.blocks)
+		}
+	}
+	return err
+}
+
+// sendChunks issues the flush RPCs with up to FlushWindow in flight at
+// once. The first error cancels the window: outstanding calls abort and
+// their server-side work is withdrawn via rpc cancel frames.
+func (c *Client) sendChunks(ctx context.Context, ep *rpc.Endpoint, chunks []*wire.FlushRequest) error {
+	send := func(ctx context.Context, req *wire.FlushRequest) error {
+		var size int64
+		for i := range req.Blocks {
+			size += int64(len(req.Blocks[i].Data))
+		}
+		if err := ep.Call(ctx, wire.MFlush, req, nil); err != nil {
+			return err
+		}
+		c.Stats.FlushedBytes.Add(size)
+		return nil
+	}
+	workers := c.cfg.FlushWindow
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	if workers <= 1 {
+		for _, req := range chunks {
+			if err := send(ctx, req); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		once  sync.Once
+		first error
+	)
+	fail := func(err error) {
+		once.Do(func() {
+			first = err
+			cancel()
+		})
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for wctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= len(chunks) {
+					return
+				}
+				if err := send(wctx, chunks[i]); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if first == nil && ctx.Err() != nil {
+		// The caller's context fired between chunks: no worker pushed an
+		// error, but the flush did not complete.
+		first = wire.FromContext(ctx.Err())
+	}
+	return first
 }
 
 // flushDaemon implements the voluntary flush of §IV-C1: once dirty data
@@ -408,9 +568,7 @@ func (c *Client) flushDaemon() {
 		if !c.pc.NeedsFlush() {
 			continue
 		}
-		for _, rid := range c.pc.DirtyStripes() {
-			c.flushRange(c.baseCtx, dlm.ResourceID(rid), extent.New(0, extent.Inf), ^extent.SN(0))
-		}
+		c.flushStripes(c.baseCtx, c.pc.DirtyStripes(), extent.New(0, extent.Inf), ^extent.SN(0))
 	}
 }
 
@@ -825,11 +983,12 @@ func (f *File) Fsync() error { return f.FsyncContext(f.c.baseCtx) }
 
 // FsyncContext is Fsync bounded by ctx.
 func (f *File) FsyncContext(ctx context.Context) error {
+	rids := make([]uint64, 0, f.stripeCount)
 	for st := uint32(0); st < f.stripeCount; st++ {
-		rid := f.Resource(st)
-		if err := f.c.flushRange(ctx, rid, extent.New(0, extent.Inf), ^extent.SN(0)); err != nil {
-			return err
-		}
+		rids = append(rids, uint64(f.Resource(st)))
+	}
+	if err := f.c.flushStripes(ctx, rids, extent.New(0, extent.Inf), ^extent.SN(0)); err != nil {
+		return err
 	}
 	f.c.pushSize(ctx, f.fid)
 	return nil

@@ -42,6 +42,11 @@ type Options struct {
 	CleanupInterval time.Duration
 	// LockAlign overrides the clients' lock range alignment.
 	LockAlign int64
+	// FlushWindow bounds concurrent flush RPCs per data server on each
+	// client (client.DefaultFlushWindow when 0, 1 = sequential).
+	FlushWindow int
+	// MaxFlushRPC bounds the payload of one client flush RPC.
+	MaxFlushRPC int64
 }
 
 // Cluster is a running in-process deployment.
@@ -120,6 +125,8 @@ func (c *Cluster) NewClient(name string) (*client.Client, error) {
 		PageCache:     pcCfg,
 		FlushInterval: c.opts.FlushInterval,
 		LockAlign:     c.opts.LockAlign,
+		FlushWindow:   c.opts.FlushWindow,
+		MaxFlushRPC:   c.opts.MaxFlushRPC,
 	}, conns)
 }
 

@@ -431,12 +431,31 @@ func (s *Server) handleRead(req *wire.ReadRequest) (wire.Msg, error) {
 	if req.Range.Empty() || req.Range.End == extent.Inf || req.Range.Len() > MaxReadBytes {
 		return nil, fmt.Errorf("dataserver: invalid read range %v", req.Range)
 	}
-	buf := make([]byte, req.Range.Len())
+	// The read buffer is pooled: the reply implements wire.Recycler, so
+	// the rpc layer returns the buffer once the response frame is on the
+	// wire (the encoded frame copies the bytes).
+	buf := wire.GetBuf(int(req.Range.Len()))
 	if err := s.store.ReadAt(req.Resource, req.Range.Start, buf); err != nil {
+		wire.PutBuf(buf)
 		return nil, err
 	}
 	sn, _ := s.Cache.MaxSN(req.Resource, req.Range)
-	return &wire.ReadReply{Blocks: []wire.Block{{Range: req.Range, SN: sn, Data: buf}}}, nil
+	r := &pooledReadReply{}
+	r.Blocks = []wire.Block{{Range: req.Range, SN: sn, Data: buf}}
+	return r, nil
+}
+
+// pooledReadReply is a ReadReply whose block data rides in pooled
+// buffers. Recycle runs after the rpc layer has encoded the response.
+type pooledReadReply struct {
+	wire.ReadReply
+}
+
+func (r *pooledReadReply) Recycle() {
+	for i := range r.Blocks {
+		wire.PutBuf(r.Blocks[i].Data)
+		r.Blocks[i].Data = nil
+	}
 }
 
 func (s *Server) setupMeta(ep *rpc.Endpoint) {

@@ -360,6 +360,10 @@ func All() []NamedBench {
 		{"PagecacheMixedParallel", PagecacheMixedParallel},
 		{"LockClientCachedHitParallel", LockClientCachedHitParallel},
 		{"DLMGrantReleaseParallel", DLMGrantReleaseParallel},
+		{"RpcRoundTrip", RpcRoundTrip},
+		{"RpcRoundTripParallel", RpcRoundTripParallel},
+		{"FlushPipelineSequential", FlushPipelineSequential},
+		{"FlushPipelineWindowed", FlushPipelineWindowed},
 	}
 }
 

@@ -14,3 +14,7 @@ func BenchmarkDataserverFlushCleanupParallel(b *testing.B) { DataserverFlushClea
 func BenchmarkPagecacheMixedParallel(b *testing.B)         { PagecacheMixedParallel(b) }
 func BenchmarkLockClientCachedHitParallel(b *testing.B)    { LockClientCachedHitParallel(b) }
 func BenchmarkDLMGrantReleaseParallel(b *testing.B)        { DLMGrantReleaseParallel(b) }
+func BenchmarkRpcRoundTrip(b *testing.B)                   { RpcRoundTrip(b) }
+func BenchmarkRpcRoundTripParallel(b *testing.B)           { RpcRoundTripParallel(b) }
+func BenchmarkFlushPipelineSequential(b *testing.B)        { FlushPipelineSequential(b) }
+func BenchmarkFlushPipelineWindowed(b *testing.B)          { FlushPipelineWindowed(b) }

@@ -1,0 +1,151 @@
+package perfbench
+
+// Wire hot-path benchmarks: RPC round trips over the in-process fabric
+// and the client's flush pipeline end to end. Unlike the node-local
+// benchmarks in perfbench.go these cross the full wire stack —
+// wire codec, rpc endpoint, transport — so they are the series that
+// tracks the frame-coalescing / zero-alloc / windowed-flush work.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ccpfs/internal/cluster"
+	"ccpfs/internal/dlm"
+	"ccpfs/internal/pagecache"
+	"ccpfs/internal/rpc"
+	"ccpfs/internal/sim"
+	"ccpfs/internal/transport/memnet"
+	"ccpfs/internal/wire"
+)
+
+// newRPCPair builds a connected endpoint pair over a zero-latency memnet
+// fabric with an MRelease echo handler, returning the client endpoint
+// and a teardown func.
+func newRPCPair(b *testing.B) (*rpc.Endpoint, func()) {
+	b.Helper()
+	net := memnet.New(sim.Hardware{})
+	l, err := net.Listen("srv")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := rpc.NewServer(l, rpc.Options{}, func(ep *rpc.Endpoint) {
+		ep.Handle(wire.MRelease, func(context.Context, []byte) (wire.Msg, error) {
+			return &wire.Ack{}, nil
+		})
+	})
+	go srv.Serve()
+	conn, err := net.Dial("srv")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cli := rpc.NewEndpoint(conn, rpc.Options{})
+	cli.Start()
+	return cli, func() {
+		cli.Close()
+		srv.Close()
+	}
+}
+
+// RpcRoundTrip: serial request/response round trips through the full
+// wire + rpc + transport stack — the per-call overhead (encode, frame,
+// dispatch, reply) that every lock and release RPC pays. allocs/op is
+// the pooling target.
+func RpcRoundTrip(b *testing.B) {
+	cli, stop := newRPCPair(b)
+	defer stop()
+	ctx := context.Background()
+	req := &wire.ReleaseRequest{Resource: 7, LockID: 9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cli.Call(ctx, wire.MRelease, req, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// RpcRoundTripParallel: many goroutines issuing calls on one shared
+// endpoint — the shape of a client under windowed flush, where frame
+// coalescing in the transport batches concurrent small frames.
+func RpcRoundTripParallel(b *testing.B) {
+	cli, stop := newRPCPair(b)
+	defer stop()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		req := &wire.ReleaseRequest{Resource: 7, LockID: 9}
+		for pb.Next() {
+			if err := cli.Call(ctx, wire.MRelease, req, nil); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// flushPipeline measures one client flushing dirty data to 4 data
+// servers over a fabric with real (simulated) latency: per iteration it
+// dirties every stripe and Fsyncs. The writes are discontiguous (the
+// page cache merges adjacent same-SN extents into one block, and flush
+// chunks never split a block), so each stripe yields several flush RPCs
+// and the duration is dominated by how well the client overlaps those
+// round trips.
+func flushPipeline(b *testing.B, window int) {
+	const (
+		servers     = 4
+		stripeSize  = 1 << 20
+		fileStripes = 8
+		regions     = 4        // discontiguous dirty regions per stripe
+		regionSize  = 64 << 10 // bytes per region
+		chunk       = 64 << 10 // MaxFlushRPC: one flush RPC per region
+	)
+	cl, err := cluster.New(cluster.Options{
+		Servers:     servers,
+		Policy:      dlm.SeqDLM(),
+		Hardware:    sim.Hardware{RTT: 200 * time.Microsecond},
+		PageCache:   pagecache.Config{PageSize: 4096},
+		FlushWindow: window,
+		MaxFlushRPC: chunk,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := cl.NewClient("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	f, err := c.Create("/flushbench", stripeSize, fileStripes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, regionSize)
+	b.ReportAllocs()
+	b.SetBytes(int64(fileStripes * regions * regionSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for st := int64(0); st < fileStripes; st++ {
+			for r := int64(0); r < regions; r++ {
+				// Leave a gap between regions so they stay separate
+				// blocks in the cache (adjacent extents would merge).
+				if _, err := f.WriteAt(data, st*stripeSize+r*2*regionSize); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := f.Fsync(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// FlushPipelineSequential: the pre-pipeline baseline — one flush RPC in
+// flight at a time, stripes drained in order (FlushWindow = 1).
+func FlushPipelineSequential(b *testing.B) { flushPipeline(b, 1) }
+
+// FlushPipelineWindowed: the windowed parallel flush — chunks fan out
+// across servers with up to FlushWindow concurrent RPCs per server.
+func FlushPipelineWindowed(b *testing.B) { flushPipeline(b, 4) }

@@ -80,6 +80,16 @@ type response struct {
 	err     error
 }
 
+// chanPool recycles the single-slot reply channels Call blocks on.
+// Recycling is safe only on paths where Call has RECEIVED from the
+// channel: the pending-map entry is deleted under ep.mu before either
+// complete or shutdown sends, so each registered channel sees at most
+// one send, and a receive proves that send already happened. On the
+// abandon paths (context fired with no reply yet, send failure) a late
+// sender may still hold the channel, so it is leaked to the GC instead —
+// pooling it would let a stale reply surface on an unrelated call.
+var chanPool = sync.Pool{New: func() any { return make(chan response, 1) }}
+
 // Options configure an endpoint.
 type Options struct {
 	// Limiter, when non-nil, caps the rate at which inbound requests are
@@ -159,11 +169,12 @@ func (ep *Endpoint) Call(ctx context.Context, method wire.Method, req wire.Msg, 
 		return wire.FromContext(err)
 	}
 	id := ep.nextID.Add(1)
-	ch := make(chan response, 1)
+	ch := chanPool.Get().(chan response)
 
 	ep.mu.Lock()
 	if ep.closed {
 		ep.mu.Unlock()
+		chanPool.Put(ch)
 		return transport.ErrClosed
 	}
 	ep.pending[id] = ch
@@ -172,25 +183,29 @@ func (ep *Endpoint) Call(ctx context.Context, method wire.Method, req wire.Msg, 
 	if err := ep.send(ctx, kindRequest, id, method, statusOK, req); err != nil {
 		// The send failed: deregister so the pending map cannot grow
 		// unboundedly under a flaky transport. The entry may already be
-		// gone if shutdown raced us; delete is idempotent.
+		// gone if shutdown raced us (and a sender may then still hold
+		// the channel, so it is not recycled). Delete is idempotent.
 		ep.forget(id)
 		return err
 	}
 	var resp response
 	select {
 	case resp = <-ch:
+		chanPool.Put(ch)
 	case <-ctx.Done():
 		ep.forget(id)
 		// The response may have been delivered between the ctx firing
 		// and the forget; prefer it — the call did complete.
 		select {
 		case resp = <-ch:
+			chanPool.Put(ch)
 		default:
 			// Abandoned for good: tell the peer so it withdraws the
 			// server-side work (a queued lock waiter, a stalled flush).
 			// Best effort under the endpoint's lifecycle context — if
 			// the frame is lost to teardown, teardown cancels the
-			// handler anyway.
+			// handler anyway. The channel is NOT recycled: complete may
+			// have claimed it before forget and be about to send.
 			go ep.send(ep.baseCtx, kindCancel, id, method, statusOK, nil)
 			return wire.FromContext(ctx.Err())
 		}
@@ -215,7 +230,9 @@ func (ep *Endpoint) forget(id uint64) {
 }
 
 func (ep *Endpoint) send(ctx context.Context, kind byte, id uint64, method wire.Method, status byte, m wire.Msg) error {
-	enc := wire.NewEncoder(headerLen + 64)
+	// The encoder is recycled as soon as Send returns: transports must
+	// not retain the frame afterwards (see the transport.Conn contract).
+	enc := wire.GetEncoder(headerLen + 64)
 	enc.U8(kind)
 	enc.U64(id)
 	enc.U8(uint8(method))
@@ -223,17 +240,21 @@ func (ep *Endpoint) send(ctx context.Context, kind byte, id uint64, method wire.
 	if m != nil {
 		m.Encode(enc)
 	}
-	return ep.conn.Send(ctx, enc.Bytes())
+	err := ep.conn.Send(ctx, enc.Bytes())
+	wire.PutEncoder(enc)
+	return err
 }
 
 func (ep *Endpoint) sendErr(ctx context.Context, id uint64, method wire.Method, err error) error {
-	enc := wire.NewEncoder(headerLen + len(err.Error()) + 1)
+	enc := wire.GetEncoder(headerLen + len(err.Error()) + 1)
 	enc.U8(kindResponse)
 	enc.U64(id)
 	enc.U8(uint8(method))
 	enc.U8(statusErr)
 	wire.EncodeError(enc, err)
-	return ep.conn.Send(ctx, enc.Bytes())
+	serr := ep.conn.Send(ctx, enc.Bytes())
+	wire.PutEncoder(enc)
+	return serr
 }
 
 func (ep *Endpoint) readLoop() {
@@ -308,6 +329,12 @@ func (ep *Endpoint) dispatch(id uint64, method wire.Method, payload []byte) {
 			return
 		}
 		ep.send(ep.baseCtx, kindResponse, id, method, statusOK, reply)
+		// A reply whose payload rides in a pooled buffer (e.g. a read
+		// served from a pooled block) is returned to its pool now that
+		// the encoded frame is on the wire.
+		if r, ok := reply.(wire.Recycler); ok {
+			r.Recycle()
+		}
 	}()
 }
 

@@ -122,6 +122,7 @@ type pipe struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []timedMsg
+	head   int // queue[head:] is live; popped slots are cleared for GC
 	closed bool
 }
 
@@ -153,10 +154,54 @@ func (p *pipe) send(ctx context.Context, msg []byte) error {
 	if p.closed {
 		return transport.ErrClosed
 	}
-	p.queue = append(p.queue, timedMsg{deliverAt: deliverAt, data: cp})
+	p.push(timedMsg{deliverAt: deliverAt, data: cp})
 	p.cond.Signal()
 	return nil
 }
+
+// sendBatch transmits msgs as one unit: a single bandwidth charge for
+// the total bytes, one lock acquisition, and one shared delivery time —
+// the frames ride the link back to back, like a coalesced writev.
+func (p *pipe) sendBatch(ctx context.Context, msgs [][]byte) error {
+	var total int64
+	for _, m := range msgs {
+		total += int64(len(m))
+	}
+	if err := p.nic.UseBytesCtx(ctx, total, p.hw.NetBandwidth, 0); err != nil {
+		return err
+	}
+	deliverAt := time.Now().Add(p.hw.RTT / 2)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return transport.ErrClosed
+	}
+	for _, m := range msgs {
+		cp := make([]byte, len(m))
+		copy(cp, m)
+		p.push(timedMsg{deliverAt: deliverAt, data: cp})
+	}
+	p.cond.Signal()
+	return nil
+}
+
+// push appends under p.mu, compacting the consumed prefix first so a
+// steady request/response exchange reuses one backing array instead of
+// reallocating on every send.
+func (p *pipe) push(m timedMsg) {
+	if p.head > 0 && len(p.queue) == cap(p.queue) {
+		n := copy(p.queue, p.queue[p.head:])
+		for i := n; i < len(p.queue); i++ {
+			p.queue[i] = timedMsg{}
+		}
+		p.queue = p.queue[:n]
+		p.head = 0
+	}
+	p.queue = append(p.queue, m)
+}
+
+// pending returns the number of undelivered messages (under p.mu).
+func (p *pipe) pending() int { return len(p.queue) - p.head }
 
 func (p *pipe) recv(ctx context.Context) ([]byte, error) {
 	if ctx.Done() != nil {
@@ -170,10 +215,10 @@ func (p *pipe) recv(ctx context.Context) ([]byte, error) {
 		defer stop()
 	}
 	p.mu.Lock()
-	for len(p.queue) == 0 && !p.closed && ctx.Err() == nil {
+	for p.pending() == 0 && !p.closed && ctx.Err() == nil {
 		p.cond.Wait()
 	}
-	if len(p.queue) == 0 {
+	if p.pending() == 0 {
 		closed := p.closed
 		p.mu.Unlock()
 		if closed {
@@ -181,15 +226,27 @@ func (p *pipe) recv(ctx context.Context) ([]byte, error) {
 		}
 		return nil, ctx.Err()
 	}
-	m := p.queue[0]
-	p.queue = p.queue[1:]
+	m := p.queue[p.head]
+	p.queue[p.head] = timedMsg{}
+	p.head++
+	if p.head == len(p.queue) {
+		p.queue = p.queue[:0]
+		p.head = 0
+	}
 	p.mu.Unlock()
 	if err := sim.SleepUntil(ctx, m.deliverAt); err != nil {
 		// Cancellation mid-delivery: requeue at the front so the stream
 		// stays gapless and ordered for the next Recv (Conn permits only
 		// one concurrent receiver, so no other reader raced us).
 		p.mu.Lock()
-		p.queue = append([]timedMsg{m}, p.queue...)
+		if p.head > 0 {
+			p.head--
+			p.queue[p.head] = m
+		} else {
+			p.queue = append(p.queue, timedMsg{})
+			copy(p.queue[1:], p.queue)
+			p.queue[0] = m
+		}
 		p.cond.Signal()
 		p.mu.Unlock()
 		return nil, err
@@ -212,6 +269,10 @@ type conn struct {
 }
 
 func (c *conn) Send(ctx context.Context, msg []byte) error { return c.send.send(ctx, msg) }
+
+func (c *conn) SendBatch(ctx context.Context, msgs [][]byte) error {
+	return c.send.sendBatch(ctx, msgs)
+}
 
 func (c *conn) Recv(ctx context.Context) ([]byte, error) { return c.recv.recv(ctx) }
 

@@ -2,9 +2,18 @@
 // length-prefixed frames. It is what the standalone ccpfs-server and
 // ccpfs-cli binaries use, demonstrating that the reproduction is a real
 // networked system and not only a simulation harness.
+//
+// The send path is a group commit: concurrent senders enqueue frames and
+// the first one becomes the writer leader, draining the whole queue with
+// a single net.Buffers writev — so the 4-byte length prefix and payload
+// always leave in one syscall, and a burst of small frames (lock
+// requests, acks, cancel frames) coalesces into one segment instead of
+// one syscall each. Leadership hands off to a waiting sender when the
+// leader's own frame is done, bounding any one Send's time at the helm.
 package tcpnet
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -46,7 +55,7 @@ func (*Network) Dial(addr string) (transport.Conn, error) {
 	if tc, ok := nc.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	return &conn{nc: nc}, nil
+	return newConn(nc), nil
 }
 
 type listener struct{ nl net.Listener }
@@ -62,7 +71,7 @@ func (l *listener) Accept() (transport.Conn, error) {
 	if tc, ok := nc.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	return &conn{nc: nc}, nil
+	return newConn(nc), nil
 }
 
 func (l *listener) Close() error { return l.nl.Close() }
@@ -72,9 +81,50 @@ func (l *listener) Addr() string { return l.nl.Addr().String() }
 // conn frames messages as a 4-byte big-endian length followed by the
 // payload.
 type conn struct {
-	nc      net.Conn
-	sendMu  sync.Mutex
+	nc net.Conn
+	br *bufio.Reader // frame scanner: fewer read syscalls, frames survive split reads
+
+	// Group-commit send state: senders enqueue outFrames under qmu; the
+	// first to find no leader drains the queue with one writev per batch.
+	qmu     sync.Mutex
+	qcond   *sync.Cond
+	queue   []*outFrame
+	spare   []*outFrame // ping-pong backing for queue, reused across batches
+	writing bool        // a leader is draining the queue
+	scratch net.Buffers // leader's reused iovec (hdr, body, hdr, body, ...)
+
 	recvBuf [4]byte
+}
+
+// outFrame is one queued message: its length prefix, payload, and
+// completion state. The frame (not the payload) is pooled.
+type outFrame struct {
+	hdr  [4]byte
+	body []byte
+	done bool
+	err  error // raw write error; mapped by the submitting sender
+}
+
+var framePool = sync.Pool{New: func() any { return new(outFrame) }}
+
+func newConn(nc net.Conn) *conn {
+	c := &conn{nc: nc, br: bufio.NewReaderSize(nc, 64<<10)}
+	c.qcond = sync.NewCond(&c.qmu)
+	return c
+}
+
+func newFrame(msg []byte) *outFrame {
+	fr := framePool.Get().(*outFrame)
+	binary.BigEndian.PutUint32(fr.hdr[:], uint32(len(msg)))
+	fr.body = msg
+	fr.done = false
+	fr.err = nil
+	return fr
+}
+
+func putFrame(fr *outFrame) {
+	fr.body = nil
+	framePool.Put(fr)
 }
 
 func (c *conn) Send(ctx context.Context, msg []byte) error {
@@ -84,39 +134,167 @@ func (c *conn) Send(ctx context.Context, msg []byte) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
-	c.sendMu.Lock()
-	defer c.sendMu.Unlock()
-	// A canceled Send mid-frame would corrupt the stream for every later
-	// message, so cancellation only poisons the whole connection: the
-	// deadline watcher aborts the write, and the resulting short frame
-	// makes the peer's next Recv fail too. That matches the contract —
-	// callers give up on the call, the endpoint tears down.
-	stop := c.watch(ctx, c.nc.SetWriteDeadline)
-	defer stop()
-	if _, err := c.nc.Write(hdr[:]); err != nil {
-		return c.mapCtxErr(ctx, err)
+	fr := newFrame(msg)
+	err := c.submit(ctx, fr)
+	putFrame(fr)
+	return err
+}
+
+// SendBatch transmits msgs as one unit: the frames are enqueued
+// back to back, so the leader's writev puts them all in a single
+// syscall (up to the kernel's iovec limit; Go chunks transparently).
+func (c *conn) SendBatch(ctx context.Context, msgs [][]byte) error {
+	for _, m := range msgs {
+		if len(m) > MaxFrame {
+			return fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", len(m))
+		}
 	}
-	if _, err := c.nc.Write(msg); err != nil {
-		return c.mapCtxErr(ctx, err)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	frs := make([]*outFrame, len(msgs))
+	for i, m := range msgs {
+		frs[i] = newFrame(m)
+	}
+	err := c.submit(ctx, frs...)
+	for _, fr := range frs {
+		putFrame(fr)
+	}
+	return err
+}
+
+// submit enqueues frs and blocks until every frame has been written (or
+// failed). The first sender to find no active leader becomes one and
+// drains the queue — its own frames and any concurrent sender's — with
+// one writev per batch; the rest wait on the cond.
+//
+// A canceled Send mid-frame would corrupt the stream for every later
+// message, so cancellation only poisons the whole connection: the
+// watcher below forces a past write deadline, the in-flight writev
+// aborts, and the resulting short frame makes the peer's next Recv fail
+// too. That matches the contract — callers give up on the call, the
+// endpoint tears down. The sender still waits for its frames' outcome
+// (prompt, because the poisoned deadline fails writes immediately), so
+// the payload buffers are never retained past return.
+func (c *conn) submit(ctx context.Context, frs ...*outFrame) error {
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			c.nc.SetWriteDeadline(time.Unix(1, 0)) // a past deadline aborts the write
+		})
+		defer func() {
+			if !stop() {
+				// The watcher ran: clear the poisoned deadline so that if
+				// the write in fact completed first, later operations are
+				// not spuriously aborted.
+				c.nc.SetWriteDeadline(time.Time{})
+			}
+		}()
+	}
+	c.qmu.Lock()
+	c.queue = append(c.queue, frs...)
+	for {
+		if allDone(frs) {
+			break
+		}
+		if !c.writing {
+			c.writing = true
+			c.lead(frs)
+			continue
+		}
+		c.qcond.Wait()
+	}
+	err := firstErr(frs)
+	c.qmu.Unlock()
+	return c.mapCtxErr(ctx, err)
+}
+
+// lead drains the queue as the writer leader. Called with c.qmu held and
+// c.writing set; returns with c.qmu held. The leader steps down once its
+// own frames are done (handing the queue to a waiting sender) or the
+// queue is empty.
+func (c *conn) lead(own []*outFrame) {
+	for len(c.queue) > 0 && !allDone(own) {
+		batch := c.queue
+		c.queue = c.spare[:0]
+		c.qmu.Unlock()
+
+		bufs := c.scratch[:0]
+		for _, fr := range batch {
+			bufs = append(bufs, fr.hdr[:], fr.body)
+		}
+		wb := bufs
+		_, err := wb.WriteTo(c.nc) // one writev for the whole batch
+		for i := range bufs {
+			bufs[i] = nil
+		}
+		c.scratch = bufs[:0]
+
+		c.qmu.Lock()
+		for i, fr := range batch {
+			fr.err = err
+			fr.done = true
+			batch[i] = nil
+		}
+		c.spare = batch[:0]
+		c.qcond.Broadcast()
+	}
+	c.writing = false
+	if len(c.queue) > 0 {
+		// Our frames are done but others are queued: wake a waiter to
+		// take over leadership.
+		c.qcond.Broadcast()
+	}
+}
+
+func allDone(frs []*outFrame) bool {
+	for _, fr := range frs {
+		if !fr.done {
+			return false
+		}
+	}
+	return true
+}
+
+func firstErr(frs []*outFrame) error {
+	for _, fr := range frs {
+		if fr.err != nil {
+			return fr.err
+		}
 	}
 	return nil
+}
+
+// errFrameTooLarge poisons the connection: an oversized length prefix
+// means the stream is corrupt (or hostile), not merely slow.
+var errFrameTooLarge = errors.New("tcpnet: frame exceeds limit")
+
+// readFrame scans one length-prefixed frame from br, which may deliver
+// the prefix and payload across any number of split reads. The returned
+// slice is freshly allocated and owned by the caller.
+func readFrame(br *bufio.Reader, scratch *[4]byte) ([]byte, error) {
+	if _, err := io.ReadFull(br, scratch[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(scratch[:])
+	if n > MaxFrame {
+		return nil, errFrameTooLarge
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(br, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
 }
 
 func (c *conn) Recv(ctx context.Context) ([]byte, error) {
 	stop := c.watch(ctx, c.nc.SetReadDeadline)
 	defer stop()
-	if _, err := io.ReadFull(c.nc, c.recvBuf[:]); err != nil {
-		return nil, c.mapCtxErr(ctx, err)
-	}
-	n := binary.BigEndian.Uint32(c.recvBuf[:])
-	if n > MaxFrame {
+	msg, err := readFrame(c.br, &c.recvBuf)
+	if errors.Is(err, errFrameTooLarge) {
 		c.nc.Close()
-		return nil, fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", n)
+		return nil, fmt.Errorf("tcpnet: inbound frame exceeds %d byte limit", MaxFrame)
 	}
-	msg := make([]byte, n)
-	if _, err := io.ReadFull(c.nc, msg); err != nil {
+	if err != nil {
 		return nil, c.mapCtxErr(ctx, err)
 	}
 	return msg, nil

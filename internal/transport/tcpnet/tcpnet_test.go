@@ -1,6 +1,7 @@
 package tcpnet
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"net"
@@ -124,5 +125,70 @@ func TestEmptyFrame(t *testing.T) {
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("empty frame not delivered")
+	}
+}
+
+// TestFrameSurvivesSplitRead feeds one frame to a receiver in many tiny
+// TCP writes — the length prefix split mid-way, the payload dribbled a
+// few bytes at a time — and asserts Recv reassembles it intact.
+func TestFrameSurvivesSplitRead(t *testing.T) {
+	tn := New()
+	l, err := tn.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	got := make(chan []byte, 1)
+	recvErr := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			recvErr <- err
+			return
+		}
+		defer c.Close()
+		m, err := c.Recv(context.Background())
+		if err != nil {
+			recvErr <- err
+			return
+		}
+		got <- m
+	}()
+	nc, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	payload := make([]byte, 1000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var frame []byte
+	frame = binary.BigEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	// Split inside the 4-byte prefix, then dribble the payload.
+	chunks := [][]byte{frame[:2], frame[2:5], frame[5:6]}
+	for off := 6; off < len(frame); off += 100 {
+		end := off + 100
+		if end > len(frame) {
+			end = len(frame)
+		}
+		chunks = append(chunks, frame[off:end])
+	}
+	for _, ch := range chunks {
+		if _, err := nc.Write(ch); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case m := <-got:
+		if !bytes.Equal(m, payload) {
+			t.Fatalf("frame corrupted across split reads: got %d bytes", len(m))
+		}
+	case err := <-recvErr:
+		t.Fatalf("recv: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for reassembled frame")
 	}
 }

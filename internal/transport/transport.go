@@ -29,6 +29,12 @@ var ErrClosed = errors.New("transport: closed")
 // return the context's error promptly. A canceled Send does not
 // guarantee the message was not delivered (it may already be in flight);
 // the connection itself stays usable either way.
+// Buffer ownership: a Conn must not retain msg after Send (or SendBatch)
+// returns — it either copies the bytes or writes them out synchronously.
+// The caller is therefore free to reuse or recycle the buffer the moment
+// the call returns (the rpc layer pools its encoder frames on this
+// contract). Symmetrically, a slice returned by Recv is owned by the
+// caller; the Conn never touches it again.
 type Conn interface {
 	// Send transmits one message. It may block for simulated or real
 	// transmission time, bounded by ctx.
@@ -40,6 +46,30 @@ type Conn interface {
 	// Close tears the connection down; pending and future operations on
 	// both ends fail with ErrClosed.
 	Close() error
+}
+
+// BatchSender is implemented by connections with a coalesced multi-frame
+// send path: all messages go out as one unit (one syscall on tcpnet, one
+// lock acquisition and bandwidth charge on memnet), preserving order and
+// the Send ownership contract. Messages are delivered individually by
+// the peer's Recv.
+type BatchSender interface {
+	SendBatch(ctx context.Context, msgs [][]byte) error
+}
+
+// SendBatch transmits msgs over c in one coalesced batch when the
+// connection supports it, falling back to sequential Sends (stopping at
+// the first error) otherwise.
+func SendBatch(ctx context.Context, c Conn, msgs [][]byte) error {
+	if bs, ok := c.(BatchSender); ok {
+		return bs.SendBatch(ctx, msgs)
+	}
+	for _, m := range msgs {
+		if err := c.Send(ctx, m); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Listener accepts inbound connections at an address.

@@ -37,11 +37,21 @@ type Msg interface {
 	Decode(d *Decoder)
 }
 
-// Marshal encodes m into a fresh frame.
+// emptyFrame is the shared encoding of every payload-free message
+// (Ack, cancel frames): all of them marshal to zero bytes, so they can
+// share one frame instead of each allocating a 64-byte encoder.
+var emptyFrame = make([]byte, 0)
+
+// Marshal encodes m into a frame. Payload-free messages return a shared
+// empty frame; the caller owns the result either way (the shared frame
+// is immutable because it has no bytes to mutate and zero capacity).
 func Marshal(m Msg) []byte {
-	e := NewEncoder(64)
-	m.Encode(e)
-	return e.Bytes()
+	var e Encoder
+	m.Encode(&e)
+	if e.buf == nil {
+		return emptyFrame
+	}
+	return e.buf
 }
 
 // Unmarshal decodes a frame into m, requiring full consumption.
