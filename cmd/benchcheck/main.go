@@ -1,0 +1,132 @@
+// Command benchcheck is the CI regression gate for the DLM grant
+// engine. It re-runs the grant-path and revocation-storm benchmarks
+// in-process and fails (exit 1) when
+//
+//   - the interval index no longer beats the linear-scan baseline by
+//     the required floor (-minspeedup), or
+//   - a benchmark pair ratio regressed by more than -threshold against
+//     the checked-in BENCH_dlm.json baseline.
+//
+// Only pair ratios (Linear/Indexed, Unbatched/Batched) are compared
+// against the baseline file: ratios measured on the same machine in
+// the same run are hardware-independent, so the gate is meaningful on
+// CI runners that are slower or faster than the machine that produced
+// the baseline. Absolute ns/op numbers are printed but never gated.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ccpfs/internal/perfbench"
+)
+
+// report mirrors seqbench's -benchjson schema so BENCH_dlm.json can be
+// consumed directly.
+type report struct {
+	Results []struct {
+		perfbench.Result
+	} `json:"results"`
+}
+
+func loadBaseline(path string) (map[string]perfbench.Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]perfbench.Result{}
+	var rs []perfbench.Result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		var rep report
+		if err2 := json.Unmarshal(data, &rep); err2 != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		for _, e := range rep.Results {
+			rs = append(rs, e.Result)
+		}
+	}
+	for _, r := range rs {
+		out[r.Name] = r
+	}
+	return out, nil
+}
+
+// ratio returns slow/fast ns-per-op from the result set, or 0 when
+// either side is missing or unmeasured.
+func ratio(rs map[string]perfbench.Result, slow, fast string) float64 {
+	s, f := rs[slow], rs[fast]
+	if s.NsPerOp <= 0 || f.NsPerOp <= 0 {
+		return 0
+	}
+	return s.NsPerOp / f.NsPerOp
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_dlm.json", "baseline results file (seqbench -benchjson schema)")
+	threshold := flag.Float64("threshold", 0.25, "max tolerated fractional regression of a pair ratio vs baseline")
+	minSpeedup := flag.Float64("minspeedup", 5.0, "required floor for the LockGrant Linear/Indexed ratio")
+	procs := flag.Int("procs", 0, "GOMAXPROCS for the benchmark run (0 = leave as is)")
+	flag.Parse()
+
+	baseline, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(1)
+	}
+
+	names := []string{"LockGrantIndexed", "LockGrantLinear", "RevokeStorm", "RevokeStormUnbatched"}
+	fmt.Printf("benchcheck: running %d DLM benchmarks...\n", len(names))
+	fresh := map[string]perfbench.Result{}
+	failed := false
+	for _, r := range perfbench.RunNamed(*procs, names) {
+		if r.N == 0 {
+			fmt.Fprintf(os.Stderr, "FAIL: benchmark %s not registered in perfbench.All()\n", r.Name)
+			failed = true
+			continue
+		}
+		fresh[r.Name] = r
+		fmt.Printf("  %-24s %12.1f ns/op\n", r.Name, r.NsPerOp)
+	}
+
+	pairs := []struct {
+		label, slow, fast string
+		floor             float64 // required minimum for the fresh ratio; 0 = none
+	}{
+		{"grant-path index speedup", "LockGrantLinear", "LockGrantIndexed", *minSpeedup},
+		{"revoke-storm batching", "RevokeStormUnbatched", "RevokeStorm", 0},
+	}
+	for _, p := range pairs {
+		got := ratio(fresh, p.slow, p.fast)
+		if got == 0 {
+			fmt.Fprintf(os.Stderr, "FAIL: %s: missing fresh results for %s/%s\n", p.label, p.slow, p.fast)
+			failed = true
+			continue
+		}
+		fmt.Printf("  %-24s %.2fx (%s / %s)", p.label, got, p.slow, p.fast)
+		if p.floor > 0 && got < p.floor {
+			fmt.Printf("  << floor %.1fx\n", p.floor)
+			fmt.Fprintf(os.Stderr, "FAIL: %s: %.2fx is below the required %.1fx floor\n", p.label, got, p.floor)
+			failed = true
+			continue
+		}
+		if base := ratio(baseline, p.slow, p.fast); base > 0 {
+			allowed := base * (1 - *threshold)
+			fmt.Printf("  baseline %.2fx, allowed >= %.2fx", base, allowed)
+			if got < allowed {
+				fmt.Println("  << REGRESSION")
+				fmt.Fprintf(os.Stderr, "FAIL: %s regressed: %.2fx vs baseline %.2fx (>%.0f%% drop)\n",
+					p.label, got, base, *threshold*100)
+				failed = true
+				continue
+			}
+		}
+		fmt.Println()
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: OK")
+}

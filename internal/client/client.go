@@ -149,6 +149,7 @@ func New(ctx context.Context, cfg Config, conns Conns) (*Client, error) {
 	// announce the client identity to every server.
 	for i, ep := range conns.Data {
 		ep.Handle(wire.MRevoke, c.handleRevoke)
+		ep.Handle(wire.MRevokeBatch, c.handleRevokeBatch)
 		ep.Handle(wire.MReport, c.reportHandler(i))
 	}
 	started := make(map[*rpc.Endpoint]bool, 2*len(conns.Data)+1)
@@ -261,6 +262,22 @@ func (c *Client) handleRevoke(_ context.Context, p []byte) (wire.Msg, error) {
 	}
 	c.lc.OnRevoke(dlm.ResourceID(req.Resource), dlm.LockID(req.LockID))
 	return &wire.Ack{}, nil
+}
+
+// handleRevokeBatch processes a server's coalesced revocation callback:
+// each entry runs the same OnRevoke path as an individual MRevoke, and
+// the reply acks them all in one frame.
+func (c *Client) handleRevokeBatch(_ context.Context, p []byte) (wire.Msg, error) {
+	var req wire.RevokeBatch
+	if err := wire.Unmarshal(p, &req); err != nil {
+		return nil, err
+	}
+	ack := &wire.RevokeBatchAck{Acked: make([]wire.RevokeEntry, 0, len(req.Entries))}
+	for _, e := range req.Entries {
+		c.lc.OnRevoke(dlm.ResourceID(e.Resource), dlm.LockID(e.LockID))
+		ack.Acked = append(ack.Acked, e)
+	}
+	return ack, nil
 }
 
 // reportHandler answers a recovering server's lock-state gather

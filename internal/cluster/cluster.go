@@ -181,6 +181,7 @@ func (c *Cluster) DLMStats() dlm.Snapshot {
 		total.Grants += snap.Grants
 		total.Releases += snap.Releases
 		total.Revocations += snap.Revocations
+		total.RevokeBatches += snap.RevokeBatches
 		total.EarlyGrants += snap.EarlyGrants
 		total.EarlyRevocations += snap.EarlyRevocations
 		total.Upgrades += snap.Upgrades

@@ -207,6 +207,68 @@ func (n notifier) Revoke(ctx context.Context, rv dlm.Revocation) {
 	}
 }
 
+// maxRevokeEntries caps how many revocations ride in one RevokeBatch
+// frame; a larger per-client backlog splits into several frames that
+// still leave as one coalesced transport batch (rpc.CallBatch).
+const maxRevokeEntries = 512
+
+// RevokeBatch implements dlm.BatchNotifier: every revocation pending
+// for one client goes out as a single callback RPC (chunked past
+// maxRevokeEntries), with the acks batched on the return path. Entries
+// a failed call or a partial ack leaves unacknowledged are acked and
+// force-released here, preserving the vanished-holder semantics of the
+// individual path.
+func (n notifier) RevokeBatch(ctx context.Context, client dlm.ClientID, revs []dlm.Revocation) {
+	n.s.mu.RLock()
+	ep := n.s.clients[client]
+	n.s.mu.RUnlock()
+	if ep == nil {
+		for _, rv := range revs {
+			n.s.DLM.RevokeAck(rv.Resource, rv.Lock)
+			n.s.DLM.Release(rv.Resource, rv.Lock)
+		}
+		return
+	}
+	chunk := func(i int) []dlm.Revocation {
+		hi := (i + 1) * maxRevokeEntries
+		if hi > len(revs) {
+			hi = len(revs)
+		}
+		return revs[i*maxRevokeEntries : hi]
+	}
+	calls := make([]rpc.BatchCall, (len(revs)+maxRevokeEntries-1)/maxRevokeEntries)
+	for i := range calls {
+		part := chunk(i)
+		req := &wire.RevokeBatch{Entries: make([]wire.RevokeEntry, len(part))}
+		for j, rv := range part {
+			req.Entries[j] = wire.RevokeEntry{Resource: uint64(rv.Resource), LockID: uint64(rv.Lock)}
+		}
+		calls[i] = rpc.BatchCall{Method: wire.MRevokeBatch, Req: req, Reply: &wire.RevokeBatchAck{}}
+	}
+	ep.CallBatch(ctx, calls)
+	for i := range calls {
+		part := chunk(i)
+		if calls[i].Err != nil {
+			for _, rv := range part {
+				n.s.DLM.RevokeAck(rv.Resource, rv.Lock)
+				n.s.DLM.Release(rv.Resource, rv.Lock)
+			}
+			continue
+		}
+		ack := calls[i].Reply.(*wire.RevokeBatchAck)
+		acked := make(map[wire.RevokeEntry]bool, len(ack.Acked))
+		for _, e := range ack.Acked {
+			acked[e] = true
+		}
+		for _, rv := range part {
+			n.s.DLM.RevokeAck(rv.Resource, rv.Lock)
+			if !acked[wire.RevokeEntry{Resource: uint64(rv.Resource), LockID: uint64(rv.Lock)}] {
+				n.s.DLM.Release(rv.Resource, rv.Lock)
+			}
+		}
+	}
+}
+
 // minSN is the extent-cache cleanup task's DLM query.
 func (s *Server) minSN(stripe uint64, rng extent.Extent) (extent.SN, bool) {
 	return s.DLM.MinSN(dlm.ResourceID(stripe), rng)

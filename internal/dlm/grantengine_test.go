@@ -1,0 +1,377 @@
+package dlm
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ccpfs/internal/extent"
+)
+
+// randReq builds a random request for the equivalence tests: usually a
+// plain range, sometimes a non-contiguous extent set whose bounds form
+// the range (the invariant Lock validation enforces).
+func randReq(rng *rand.Rand, client ClientID, mode Mode) Request {
+	start := int64(rng.Intn(400))
+	length := int64(1 + rng.Intn(80))
+	req := Request{Resource: 1, Client: client, Mode: mode, Range: extent.Extent{Start: start, End: start + length}}
+	if rng.Intn(4) == 0 {
+		// Two disjoint extents inside the range.
+		mid := start + 1 + int64(rng.Intn(int(length)))
+		a := extent.Extent{Start: start, End: mid}
+		b := extent.Extent{Start: mid + int64(rng.Intn(10)), End: start + length}
+		set := extent.Set{a}
+		if b.Start < b.End {
+			set = append(set, b)
+		}
+		req.Extents = set
+		bounds, _ := set.Bounds()
+		req.Range = bounds
+	}
+	return req
+}
+
+// TestIndexedMatchesLinearScan is the index property test: on random
+// granted sets and queues, the interval-indexed conflicts, MinSN,
+// queueConflict, and expandEnd answers must equal the brute-force
+// linear-scan baseline (SetIndexed(false)) exactly.
+func TestIndexedMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	modes := []Mode{PR, NBW, BW, PW}
+	states := []State{Granted, Canceling}
+
+	for trial := 0; trial < 60; trial++ {
+		s := NewServer(SeqDLM(), NotifierFunc(func(context.Context, Revocation) {}))
+		res := s.resource(1)
+
+		// Random granted population, installed directly so arbitrary
+		// (even unreachable) state combinations get covered.
+		n := 1 + rng.Intn(120)
+		for i := 0; i < n; i++ {
+			req := randReq(rng, ClientID(1+rng.Intn(6)), modes[rng.Intn(len(modes))])
+			l := &lock{
+				id:         LockID(i + 1),
+				client:     req.Client,
+				mode:       req.Mode,
+				rng:        req.Range,
+				set:        req.Extents,
+				state:      states[rng.Intn(2)],
+				sn:         extent.SN(rng.Intn(40)),
+				revokeSent: true,
+			}
+			if l.state == Granted {
+				l.revokeSent = rng.Intn(2) == 0
+			}
+			res.granted.insert(l)
+		}
+		// Random live queue for queueConflict/expandEnd coverage.
+		for i := 0; i < rng.Intn(20); i++ {
+			w := &waiter{
+				req: randReq(rng, ClientID(1+rng.Intn(6)), modes[rng.Intn(len(modes))]),
+				key: res.wseq,
+			}
+			res.wseq++
+			res.queue = append(res.queue, w)
+			res.wtree.Insert(w.req.Range, w.key, w)
+		}
+
+		for q := 0; q < 40; q++ {
+			mode := modes[rng.Intn(len(modes))]
+			probe := &waiter{req: randReq(rng, ClientID(1+rng.Intn(6)), mode)}
+
+			s.SetIndexed(true)
+			fast := s.conflicts(res, probe, mode)
+			s.SetIndexed(false)
+			slow := s.conflicts(res, probe, mode)
+			if len(fast) != len(slow) {
+				t.Fatalf("conflicts size: indexed %d vs linear %d (req %+v)", len(fast), len(slow), probe.req)
+			}
+			got := map[LockID]bool{}
+			for _, l := range fast {
+				got[l.id] = true
+			}
+			for _, l := range slow {
+				if !got[l.id] {
+					t.Fatalf("conflicts: linear found lock %d the index missed (req %+v)", l.id, probe.req)
+				}
+			}
+
+			pstart := int64(rng.Intn(450))
+			e := extent.Extent{Start: pstart, End: pstart + 1 + int64(rng.Intn(60))}
+			s.SetIndexed(true)
+			fsn, fok := s.MinSN(1, e)
+			s.SetIndexed(false)
+			ssn, sok := s.MinSN(1, e)
+			if fsn != ssn || fok != sok {
+				t.Fatalf("MinSN(%v): indexed (%d,%v) vs linear (%d,%v)", e, fsn, fok, ssn, sok)
+			}
+
+			s.SetIndexed(true)
+			res.mu.Lock()
+			fqc := s.queueConflict(res, probe, mode, e)
+			fend := s.expandEnd(res, probe, mode, e)
+			res.mu.Unlock()
+			s.SetIndexed(false)
+			res.mu.Lock()
+			sqc := s.queueConflict(res, probe, mode, e)
+			send := s.expandEnd(res, probe, mode, e)
+			res.mu.Unlock()
+			if fqc != sqc {
+				t.Fatalf("queueConflict(%v, %v): indexed %v vs linear %v", mode, e, fqc, sqc)
+			}
+			if fend != send {
+				t.Fatalf("expandEnd(%v, %v): indexed %d vs linear %d", mode, e, fend, send)
+			}
+		}
+	}
+}
+
+// tiledPolicy turns off range expansion so distinct clients can hold
+// adjacent tiles without the first grant swallowing the keyspace.
+func tiledPolicy() Policy {
+	p := SeqDLM()
+	p.Expand = ExpandNone
+	return p
+}
+
+// grantTiles grants count adjacent NBW tiles of width w on res, one per
+// distinct client starting at firstClient, and returns the lock IDs.
+func grantTiles(t testing.TB, s *Server, res ResourceID, count int, w int64, firstClient ClientID) []LockID {
+	t.Helper()
+	ids := make([]LockID, count)
+	for i := 0; i < count; i++ {
+		g, err := s.Lock(context.Background(), Request{
+			Resource: res,
+			Client:   firstClient + ClientID(i),
+			Mode:     NBW,
+			Range:    extent.Extent{Start: int64(i) * w, End: int64(i+1) * w},
+		})
+		if err != nil {
+			t.Fatalf("tile %d: %v", i, err)
+		}
+		ids[i] = g.LockID
+	}
+	return ids
+}
+
+// TestReleaseManyLocksNotQuadratic guards the LockID→lock map: releasing
+// a large granted set must scale near-linearly. A quadratic release
+// (the old linear find + slice splice) grows per-op cost ~16x from 2k
+// to 32k locks; the map keeps the ratio near 1, and even heavy timer
+// noise stays far below the 8x failure threshold.
+func TestReleaseManyLocksNotQuadratic(t *testing.T) {
+	perOp := func(n int) time.Duration {
+		s := NewServer(tiledPolicy(), NotifierFunc(func(context.Context, Revocation) {}))
+		ids := grantTiles(t, s, 1, n, 64, 2)
+		rng := rand.New(rand.NewSource(int64(n)))
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		start := time.Now()
+		for _, id := range ids {
+			s.Release(1, id)
+		}
+		elapsed := time.Since(start)
+		if got := s.GrantedCount(1); got != 0 {
+			t.Fatalf("granted after release-all = %d", got)
+		}
+		return elapsed / time.Duration(n)
+	}
+	small := perOp(2_000)
+	big := perOp(32_000)
+	if small <= 0 {
+		small = time.Nanosecond
+	}
+	if ratio := float64(big) / float64(small); ratio > 8 {
+		t.Fatalf("release per-op grew %.1fx from 2k to 32k locks (%v -> %v): quadratic", ratio, small, big)
+	}
+}
+
+// TestRevocationFanOutBounded asserts the revoker's worker-pool bound:
+// a conflict revoking many distinct holders must never run more
+// concurrent notifier deliveries than the configured pool size.
+func TestRevocationFanOutBounded(t *testing.T) {
+	const holders = 64
+	const bound = 4
+	var (
+		cur, peak atomic.Int64
+		gate      = make(chan struct{})
+	)
+	s := NewServer(tiledPolicy(), nil)
+	s.SetRevokeWorkers(bound)
+	s.SetNotifier(NotifierFunc(func(_ context.Context, rv Revocation) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		<-gate
+		cur.Add(-1)
+		s.RevokeAck(rv.Resource, rv.Lock)
+		s.Release(rv.Resource, rv.Lock)
+	}))
+	grantTiles(t, s, 1, holders, 64, 2)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Lock(context.Background(), Request{
+			Resource: 1, Client: 1, Mode: PW,
+			Range: extent.Extent{Start: 0, End: holders * 64},
+		})
+		done <- err
+	}()
+	// The pool must saturate at exactly the bound and go no further.
+	waitFor(t, "pool saturation", func() bool { return cur.Load() == bound })
+	time.Sleep(20 * time.Millisecond) // give an unbounded pool time to overshoot
+	if p := peak.Load(); p != bound {
+		t.Fatalf("peak concurrent deliveries = %d, want exactly %d", p, bound)
+	}
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > bound {
+		t.Fatalf("peak concurrent deliveries = %d, exceeded bound %d", p, bound)
+	}
+	if got := s.Stats.Revocations.Load(); got != holders {
+		t.Fatalf("revocations = %d, want %d", got, holders)
+	}
+}
+
+// countingBatchNotifier acks and force-releases every revocation (an
+// in-process stand-in for the data server's vanished-holder path) while
+// counting individual revocations and batched deliveries.
+type countingBatchNotifier struct {
+	s       *Server
+	batches atomic.Int64
+	revs    atomic.Int64
+}
+
+func (n *countingBatchNotifier) Revoke(_ context.Context, rv Revocation) {
+	n.revs.Add(1)
+	n.s.RevokeAck(rv.Resource, rv.Lock)
+	n.s.Release(rv.Resource, rv.Lock)
+}
+
+func (n *countingBatchNotifier) RevokeBatch(_ context.Context, _ ClientID, revs []Revocation) {
+	n.batches.Add(1)
+	n.revs.Add(int64(len(revs)))
+	for _, rv := range revs {
+		n.s.RevokeAck(rv.Resource, rv.Lock)
+		n.s.Release(rv.Resource, rv.Lock)
+	}
+}
+
+// TestRevocationsBatchedPerClient verifies the batching factor: a
+// conflict revoking many locks of ONE client coalesces into a single
+// notifier send carrying all of them, and the engine's counters agree
+// (Revocations = locks, RevokeBatches = deliveries).
+func TestRevocationsBatchedPerClient(t *testing.T) {
+	const locks = 100
+	s := NewServer(tiledPolicy(), nil)
+	n := &countingBatchNotifier{s: s}
+	s.SetNotifier(n)
+
+	// One client holds every tile. Same-client tiles do not upgrade into
+	// one lock here because conversion only merges on conflict, and
+	// non-overlapping tiles never conflict.
+	for i := 0; i < locks; i++ {
+		if _, err := s.Lock(context.Background(), Request{
+			Resource: 1, Client: 9, Mode: NBW,
+			Range: extent.Extent{Start: int64(i) * 64, End: int64(i+1) * 64},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Lock(context.Background(), Request{
+		Resource: 1, Client: 1, Mode: PW,
+		Range: extent.Extent{Start: 0, End: locks * 64},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.revs.Load(); got != locks {
+		t.Fatalf("delivered revocations = %d, want %d", got, locks)
+	}
+	if got := n.batches.Load(); got != 1 {
+		t.Fatalf("notifier sends = %d, want 1 (batching factor %d lost)", got, locks)
+	}
+	if got := s.Stats.Revocations.Load(); got != locks {
+		t.Fatalf("Stats.Revocations = %d, want %d", got, locks)
+	}
+	if got := s.Stats.RevokeBatches.Load(); got != 1 {
+		t.Fatalf("Stats.RevokeBatches = %d, want 1", got)
+	}
+}
+
+// TestHotResourceChurnStress hammers one resource with concurrent
+// Acquire/Unlock churn across modes — driving Lock, Downgrade, Release,
+// and RevokeAck through the real client cancel path — while a
+// cleanup-daemon-style poller queries MinSN and the invariant checker
+// in a loop. Run under -race this is the engine's memory-model test.
+func TestHotResourceChurnStress(t *testing.T) {
+	const (
+		workers = 8
+		opsEach = 250
+		res     = ResourceID(1)
+	)
+	h := newHarness(t, SeqDLM(), workers)
+
+	stop := make(chan struct{})
+	var daemon sync.WaitGroup
+	daemon.Add(1)
+	go func() {
+		defer daemon.Done()
+		rng := rand.New(rand.NewSource(99))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			off := int64(rng.Intn(1 << 14))
+			h.srv.MinSN(res, extent.Extent{Start: off, End: off + 4096})
+			if err := h.srv.CheckInvariants(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	modes := []Mode{PR, NBW, BW}
+	for wk := 1; wk <= workers; wk++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)))
+			c := h.client(id)
+			for i := 0; i < opsEach; i++ {
+				mode := modes[rng.Intn(len(modes))]
+				off := int64(rng.Intn(1<<14)) &^ 511
+				hd, err := c.Acquire(context.Background(), res, mode, extent.Extent{Start: off, End: off + 512})
+				if err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+				c.Unlock(hd)
+				if rng.Intn(16) == 0 {
+					c.ReleaseAll(context.Background())
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	close(stop)
+	daemon.Wait()
+
+	for i := 1; i <= workers; i++ {
+		h.client(i).ReleaseAll(context.Background())
+	}
+	waitFor(t, "granted set to drain", func() bool { return h.srv.GrantedCount(res) == 0 })
+	if err := h.srv.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -100,7 +100,7 @@ func (s *Server) Restore(records []LockRecord) error {
 			res.mu.Unlock()
 			return fmt.Errorf("dlm: restore: resource %d has queued requests", r.Resource)
 		}
-		res.granted = append(res.granted, &lock{
+		res.granted.insert(&lock{
 			id:         r.LockID,
 			client:     r.Client,
 			mode:       r.Mode,

@@ -1,0 +1,137 @@
+package dlm
+
+import (
+	"context"
+	"sync"
+)
+
+// DefaultRevokeWorkers caps how many revocation deliveries run
+// concurrently. Before the revoker existed, every revocation spawned
+// its own goroutine, so a wide conflict (one request revoking thousands
+// of holders) meant thousands of simultaneous callback RPCs; the pool
+// bounds that fan-out while the per-client coalescing keeps the RPC
+// count low (DESIGN.md §9).
+const DefaultRevokeWorkers = 8
+
+// BatchNotifier is an optional Notifier extension: implementations
+// deliver every pending revocation destined for one client in a single
+// callback — one RevokeBatch RPC instead of one RevokeRequest per lock.
+// The implementation acknowledges each revocation with Server.RevokeAck
+// exactly as it would for individual deliveries; entries for vanished
+// holders are acked and force-released the same way. Plain Notifiers
+// keep working: the revoker falls back to sequential Revoke calls from
+// the same bounded pool.
+type BatchNotifier interface {
+	Notifier
+	RevokeBatch(ctx context.Context, client ClientID, revs []Revocation)
+}
+
+// revoker coalesces revocations per destination client and delivers
+// them from a bounded, on-demand worker pool. Enqueueing never blocks
+// and takes no resource locks, so the grant engine can hand off
+// revocations while a delivery's reply (RevokeAck → scan → fire) is
+// re-entering the engine on another resource.
+//
+// Ordering: revocations for one client are delivered in enqueue order,
+// and a client has at most one delivery in flight at a time (inflight
+// bars a second worker from claiming it; revocations arriving while a
+// delivery runs wait for it to finish and ride the next batch), so
+// per-client callbacks are serialized. Distinct clients deliver
+// concurrently up to the pool bound.
+type revoker struct {
+	s *Server
+
+	mu       sync.Mutex
+	pending  map[ClientID][]Revocation
+	inflight map[ClientID]bool
+	order    []ClientID // clients with pending revocations, FIFO
+	workers  int
+	bound    int
+}
+
+func (r *revoker) init(s *Server, bound int) {
+	r.s = s
+	r.pending = make(map[ClientID][]Revocation)
+	r.inflight = make(map[ClientID]bool)
+	r.bound = bound
+}
+
+// SetRevokeWorkers adjusts the revocation worker-pool bound (default
+// DefaultRevokeWorkers). Call before the engine sees conflicting
+// traffic; n < 1 is clamped to 1.
+func (s *Server) SetRevokeWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.revoker.mu.Lock()
+	s.revoker.bound = n
+	s.revoker.mu.Unlock()
+}
+
+// enqueue coalesces revs into the per-client pending lists and makes
+// sure enough workers are running to drain them, up to the bound.
+// Workers are spawned on demand and exit when the queue is empty, so an
+// idle engine holds no revoker goroutines.
+func (r *revoker) enqueue(revs []Revocation) {
+	r.mu.Lock()
+	for _, rv := range revs {
+		if len(r.pending[rv.Client]) == 0 && !r.inflight[rv.Client] {
+			r.order = append(r.order, rv.Client)
+		}
+		r.pending[rv.Client] = append(r.pending[rv.Client], rv)
+	}
+	spawn := min(len(r.order), r.bound) - r.workers
+	if spawn < 0 {
+		spawn = 0
+	}
+	r.workers += spawn
+	r.mu.Unlock()
+	for i := 0; i < spawn; i++ {
+		go r.work()
+	}
+}
+
+// work drains client batches until none are claimable.
+func (r *revoker) work() {
+	for {
+		r.mu.Lock()
+		if len(r.order) == 0 {
+			r.workers--
+			r.mu.Unlock()
+			return
+		}
+		client := r.order[0]
+		r.order = r.order[1:]
+		batch := r.pending[client]
+		delete(r.pending, client)
+		r.inflight[client] = true
+		r.mu.Unlock()
+
+		r.deliver(client, batch)
+
+		r.mu.Lock()
+		delete(r.inflight, client)
+		if len(r.pending[client]) > 0 {
+			// Revocations arrived while the delivery ran; put the client
+			// back at the tail for the next batch.
+			r.order = append(r.order, client)
+		}
+		r.mu.Unlock()
+	}
+}
+
+// deliver hands one client's coalesced batch to the notifier. The
+// notifier's replies re-enter the engine (RevokeAck/Release → scan →
+// fire → enqueue); enqueue never blocks on delivery, so this cannot
+// deadlock.
+func (r *revoker) deliver(client ClientID, batch []Revocation) {
+	s := r.s
+	s.Stats.RevokeBatches.Add(1)
+	if bn, ok := s.notifier.(BatchNotifier); ok {
+		bn.RevokeBatch(s.baseCtx, client, batch)
+		return
+	}
+	for _, rv := range batch {
+		s.notifier.Revoke(s.baseCtx, rv)
+	}
+}

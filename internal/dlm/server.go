@@ -87,6 +87,15 @@ type Server struct {
 	cancelFn context.CancelFunc
 	draining atomic.Bool
 
+	// indexed selects the interval-indexed grant paths (the default).
+	// Benchmarks and property tests clear it via SetIndexed to compare
+	// against the original linear scans; flip only on a quiescent engine.
+	indexed atomic.Bool
+
+	// revoker coalesces revocations per client and bounds concurrent
+	// fan-out (DESIGN.md §9).
+	revoker revoker
+
 	shards   [shard.Count]srvShard
 	nextLock atomic.Uint64
 
@@ -118,11 +127,20 @@ func NewServer(policy Policy, notifier Notifier) *Server {
 	for i := range s.shards {
 		s.shards[i].resources = make(map[ResourceID]*resource)
 	}
+	s.indexed.Store(true)
+	s.revoker.init(s, DefaultRevokeWorkers)
 	return s
 }
 
 // SetNotifier installs the revocation callback sink.
 func (s *Server) SetNotifier(n Notifier) { s.notifier = n }
+
+// SetIndexed toggles the interval-indexed grant paths (on by default).
+// Off, the engine answers every conflict, expansion, and mSN query with
+// the original linear scans — the baseline the LockGrant benchmarks and
+// the index property tests compare against. Toggle only on a quiescent
+// engine.
+func (s *Server) SetIndexed(on bool) { s.indexed.Store(on) }
 
 // Policy returns the engine's policy.
 func (s *Server) Policy() Policy { return s.policy }
@@ -136,6 +154,7 @@ type lock struct {
 	state      State
 	sn         extent.SN
 	revokeSent bool
+	tblIdx     int // position in the lockTable slice (swap-remove)
 }
 
 // lockResult is what a waiter receives: a grant, or the typed error the
@@ -152,15 +171,28 @@ type waiter struct {
 	hadConflict bool
 	allCancelAt time.Time
 	done        bool
+	key         uint64 // unique per resource, keys the queue interval index
 }
 
 type resource struct {
 	mu      sync.Mutex
 	id      ResourceID
 	nextSN  extent.SN
-	granted []*lock
+	granted lockTable
 	queue   []*waiter
-	grants  int // total grants ever, drives the DLM-Lustre threshold
+	// wtree indexes live (not done) queue entries by request range for
+	// queueConflict and expansion probes; the queue slice keeps FIFO
+	// order for the fairness scan.
+	wtree  extent.ITree[*waiter]
+	wseq   uint64 // allocator for waiter keys
+	grants int    // total grants ever, drives the DLM-Lustre threshold
+}
+
+// retire marks a waiter done and drops it from the queue index. Callers
+// hold res.mu; the queue slice itself is compacted by scan.
+func (res *resource) retire(w *waiter) {
+	w.done = true
+	res.wtree.Delete(w.req.Range.Start, w.key)
 }
 
 // resource returns id's resource, creating it if needed. Resources are
@@ -214,7 +246,10 @@ func (s *Server) Lock(ctx context.Context, req Request) (Grant, error) {
 	s.tracer.record(Event{Kind: EvRequest, Resource: req.Resource, Client: req.Client, Mode: req.Mode, Range: req.Range})
 
 	res.mu.Lock()
+	w.key = res.wseq
+	res.wseq++
 	res.queue = append(res.queue, w)
+	res.wtree.Insert(w.req.Range, w.key, w)
 	revs := s.scan(res)
 	res.mu.Unlock()
 	s.fire(revs)
@@ -236,7 +271,7 @@ func (s *Server) Lock(ctx context.Context, req Request) (Grant, error) {
 		}
 		return Grant{}, wire.FromContext(ctx.Err())
 	}
-	w.done = true
+	res.retire(w)
 	revs = s.scan(res) // the withdrawn entry may have blocked later waiters
 	res.mu.Unlock()
 	s.fire(revs)
@@ -263,7 +298,7 @@ func (s *Server) Shutdown() {
 			res.mu.Lock()
 			for _, w := range res.queue {
 				if !w.done {
-					w.done = true
+					res.retire(w)
 					w.ch <- lockResult{err: wire.ErrShuttingDown}
 				}
 			}
@@ -281,7 +316,7 @@ func (s *Server) RevokeAck(resID ResourceID, id LockID) {
 	res := s.resource(resID)
 	s.tracer.record(Event{Kind: EvRevokeAck, Resource: resID, Lock: id})
 	res.mu.Lock()
-	if l := res.find(id); l != nil && l.state == Granted {
+	if l := res.granted.get(id); l != nil && l.state == Granted {
 		l.state = Canceling
 	}
 	revs := s.scan(res)
@@ -295,12 +330,9 @@ func (s *Server) Release(resID ResourceID, id LockID) {
 	res := s.resource(resID)
 	s.tracer.record(Event{Kind: EvRelease, Resource: resID, Lock: id})
 	res.mu.Lock()
-	for i, l := range res.granted {
-		if l.id == id {
-			res.granted = append(res.granted[:i], res.granted[i+1:]...)
-			s.Stats.Releases.Add(1)
-			break
-		}
+	if l := res.granted.get(id); l != nil {
+		res.granted.remove(l)
+		s.Stats.Releases.Add(1)
 	}
 	revs := s.scan(res)
 	res.mu.Unlock()
@@ -313,7 +345,7 @@ func (s *Server) Release(resID ResourceID, id LockID) {
 func (s *Server) Downgrade(resID ResourceID, id LockID, newMode Mode) error {
 	res := s.resource(resID)
 	res.mu.Lock()
-	l := res.find(id)
+	l := res.granted.get(id)
 	if l == nil {
 		res.mu.Unlock()
 		return fmt.Errorf("dlm: downgrade of unknown lock %d", id)
@@ -342,14 +374,15 @@ func (s *Server) MinSN(resID ResourceID, rng extent.Extent) (extent.SN, bool) {
 	defer res.mu.Unlock()
 	var msn extent.SN
 	found := false
-	for _, l := range res.granted {
+	res.granted.visitCandidates(s.indexed.Load(), rng, func(l *lock) bool {
 		if !l.mode.IsWrite() || !l.overlapsExtent(rng) {
-			continue
+			return true
 		}
 		if !found || l.sn < msn {
 			msn, found = l.sn, true
 		}
-	}
+		return true
+	})
 	return msn, found
 }
 
@@ -359,7 +392,7 @@ func (s *Server) GrantedCount(resID ResourceID) int {
 	res := s.resource(resID)
 	res.mu.Lock()
 	defer res.mu.Unlock()
-	return len(res.granted)
+	return res.granted.len()
 }
 
 // QueueLen returns the number of waiting requests on a resource.
@@ -374,15 +407,6 @@ func (s *Server) QueueLen(resID ResourceID) int {
 		}
 	}
 	return n
-}
-
-func (res *resource) find(id LockID) *lock {
-	for _, l := range res.granted {
-		if l.id == id {
-			return l
-		}
-	}
-	return nil
 }
 
 func (l *lock) overlapsExtent(e extent.Extent) bool {
@@ -414,29 +438,34 @@ func (s *Server) compatible(reqMode Mode, l *lock) bool {
 }
 
 // conflicts returns the granted locks incompatible with the request at
-// mode m over range covered by the waiter.
+// mode m over range covered by the waiter. With the index on, only the
+// locks whose range overlaps the request's bounding range are probed; a
+// request carrying a non-contiguous extent set is refined by the
+// precise overlap test either way.
 func (s *Server) conflicts(res *resource, w *waiter, m Mode) []*lock {
 	var out []*lock
-	for _, l := range res.granted {
-		if !l.overlapsReq(&w.req) {
-			continue
-		}
-		if !s.compatible(m, l) {
+	res.granted.visitCandidates(s.indexed.Load(), w.req.Range, func(l *lock) bool {
+		if l.overlapsReq(&w.req) && !s.compatible(m, l) {
 			out = append(out, l)
 		}
-	}
+		return true
+	})
 	return out
 }
 
-// fire dispatches revocation callbacks outside all locks. Each callback
-// runs in its own goroutine because Notifier implementations perform a
-// blocking RPC whose reply re-enters the server.
+// fire hands revocations to the batching revoker outside all locks. The
+// revoker coalesces them per destination client and delivers through a
+// bounded worker pool (DESIGN.md §9); deliveries may block inside the
+// notifier RPC, whose reply re-enters the server.
 func (s *Server) fire(revs []Revocation) {
+	if len(revs) == 0 {
+		return
+	}
 	for _, rv := range revs {
 		s.Stats.Revocations.Add(1)
 		s.tracer.record(Event{Kind: EvRevokeSent, Resource: rv.Resource, Client: rv.Client, Lock: rv.Lock})
-		go s.notifier.Revoke(s.baseCtx, rv)
 	}
+	s.revoker.enqueue(revs)
 }
 
 type blockEntry struct {
@@ -542,11 +571,15 @@ func (s *Server) tryGrant(res *resource, w *waiter, revs *[]Revocation) bool {
 				union = union.Union(c.rng)
 				absorbedSet[c] = true
 			}
+			indexed := s.indexed.Load()
 			for changed := true; changed; {
 				changed = false
-				for _, l := range res.granted {
+				// The visit is bounded by the union as of this pass; a
+				// lock only reachable through the union grown mid-pass
+				// sets changed and is collected next pass.
+				res.granted.visitCandidates(indexed, union, func(l *lock) bool {
 					if absorbedSet[l] || l.client != w.req.Client || l.state != Granted {
-						continue
+						return true
 					}
 					if l.overlapsExtent(union) && !s.compatible(target, l) {
 						target = Upgrade(target, l.mode)
@@ -554,19 +587,23 @@ func (s *Server) tryGrant(res *resource, w *waiter, revs *[]Revocation) bool {
 						absorbedSet[l] = true
 						changed = true
 					}
-				}
+					return true
+				})
 			}
 			mode = target
 			confs = confs[:0]
-			for _, l := range res.granted {
+			// Every absorbed lock overlaps the union (the union contains
+			// its range), so the bounded visit sees all of them.
+			res.granted.visitCandidates(indexed, union, func(l *lock) bool {
 				if absorbedSet[l] {
 					absorbed = append(absorbed, l)
-					continue
+					return true
 				}
 				if l.overlapsExtent(union) && !s.compatible(mode, l) {
 					confs = append(confs, l)
 				}
-			}
+				return true
+			})
 		}
 	}
 
@@ -627,34 +664,23 @@ func (s *Server) grant(res *resource, w *waiter, mode Mode, absorbed []*lock) {
 	if len(absorbed) > 0 {
 		s.Stats.Upgrades.Add(1)
 		s.tracer.record(Event{Kind: EvUpgrade, Resource: res.id, Client: w.req.Client, Mode: mode})
-		keep := res.granted[:0]
-		for _, l := range res.granted {
-			drop := false
-			for _, a := range absorbed {
-				if l == a {
-					drop = true
-					break
-				}
-			}
-			if drop {
-				absorbedIDs = append(absorbedIDs, l.id)
-			} else {
-				keep = append(keep, l)
-			}
+		for _, a := range absorbed {
+			absorbedIDs = append(absorbedIDs, a.id)
+			res.granted.remove(a)
 		}
-		res.granted = keep
 	}
 
 	// Count an early grant: some overlapping write lock is still
 	// unreleased in CANCELING state, meaning this grant did not wait for
 	// its data flushing.
 	if mode.IsWrite() {
-		for _, l := range res.granted {
+		res.granted.visitCandidates(s.indexed.Load(), w.req.Range, func(l *lock) bool {
 			if l.state == Canceling && l.mode.IsWrite() && l.overlapsReq(&w.req) {
 				s.Stats.EarlyGrants.Add(1)
-				break
+				return false
 			}
-		}
+			return true
+		})
 	}
 
 	l := &lock{
@@ -670,7 +696,7 @@ func (s *Server) grant(res *resource, w *waiter, mode Mode, absorbed []*lock) {
 		l.revokeSent = true
 		s.tracer.record(Event{Kind: EvEarlyRevocation, Resource: res.id, Client: w.req.Client, Lock: l.id, Mode: mode})
 	}
-	res.granted = append(res.granted, l)
+	res.granted.insert(l)
 	res.grants++
 	s.tracer.record(Event{Kind: EvGrant, Resource: res.id, Client: w.req.Client, Lock: l.id, Mode: mode, Range: rng, SN: sn})
 
@@ -688,7 +714,7 @@ func (s *Server) grant(res *resource, w *waiter, mode Mode, absorbed []*lock) {
 		s.Stats.CancelWaitNs.Add(now.Sub(cancelingAt).Nanoseconds())
 	}
 
-	w.done = true
+	res.retire(w)
 	w.ch <- lockResult{g: Grant{
 		LockID:   l.id,
 		Mode:     mode,
@@ -707,18 +733,44 @@ func (s *Server) expandEnd(res *resource, w *waiter, mode Mode, rng extent.Exten
 		return rng.End
 	}
 	end := extent.Inf
-	for _, l := range res.granted {
-		if l.rng.Start >= rng.End && l.rng.Start < end && !s.compatible(mode, l) {
-			end = l.rng.Start
+	if s.indexed.Load() {
+		// Both indexes order entries by ascending start, so the first
+		// incompatible entry at or past rng.End is the tightest cap;
+		// stop there, or once starts reach a cap already found.
+		res.granted.tree.VisitFrom(rng.End, func(_ extent.Extent, _ uint64, l *lock) bool {
+			if l.rng.Start >= end {
+				return false
+			}
+			if !s.compatible(mode, l) {
+				end = l.rng.Start
+				return false
+			}
+			return true
+		})
+		res.wtree.VisitFrom(rng.End, func(_ extent.Extent, _ uint64, other *waiter) bool {
+			if other.req.Range.Start >= end {
+				return false
+			}
+			if other != w && !Compatible(other.req.Mode, mode, Granted) {
+				end = other.req.Range.Start
+				return false
+			}
+			return true
+		})
+	} else {
+		for _, l := range res.granted.list {
+			if l.rng.Start >= rng.End && l.rng.Start < end && !s.compatible(mode, l) {
+				end = l.rng.Start
+			}
 		}
-	}
-	for _, other := range res.queue {
-		if other == w || other.done {
-			continue
-		}
-		if other.req.Range.Start >= rng.End && other.req.Range.Start < end &&
-			!Compatible(other.req.Mode, mode, Granted) {
-			end = other.req.Range.Start
+		for _, other := range res.queue {
+			if other == w || other.done {
+				continue
+			}
+			if other.req.Range.Start >= rng.End && other.req.Range.Start < end &&
+				!Compatible(other.req.Mode, mode, Granted) {
+				end = other.req.Range.Start
+			}
 		}
 	}
 	if s.policy.Expand == ExpandLustre && res.grants > s.policy.LustreLockThreshold {
@@ -740,6 +792,20 @@ func (s *Server) expandEnd(res *resource, w *waiter, mode Mode, rng extent.Exten
 // with a lock granted at (mode, rng) — condition (1) of early
 // revocation.
 func (s *Server) queueConflict(res *resource, w *waiter, mode Mode, rng extent.Extent) bool {
+	if s.indexed.Load() {
+		// The queue index is keyed by each request's bounding range, and
+		// an extent set overlapping rng implies its bounds do too, so
+		// the range-overlap probe subsumes the extent-set test below.
+		found := false
+		res.wtree.VisitOverlap(rng, func(_ extent.Extent, _ uint64, other *waiter) bool {
+			if other != w && !Compatible(other.req.Mode, mode, Granted) {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
 	for _, other := range res.queue {
 		if other == w || other.done {
 			continue
@@ -771,8 +837,8 @@ func (s *Server) CheckInvariants() error {
 	}
 	for _, res := range resources {
 		res.mu.Lock()
-		for i, a := range res.granted {
-			for _, b := range res.granted[i+1:] {
+		for i, a := range res.granted.list {
+			for _, b := range res.granted.list[i+1:] {
 				if a.client == b.client {
 					continue // same-client coexistence is managed by upgrade/merge
 				}

@@ -16,6 +16,10 @@ type Stats struct {
 	Grants           atomic.Int64
 	Releases         atomic.Int64
 	Revocations      atomic.Int64
+	// RevokeBatches counts batched notifier deliveries: Revocations /
+	// RevokeBatches is the per-client coalescing factor the revoker
+	// achieved (DESIGN.md §9).
+	RevokeBatches    atomic.Int64
 	EarlyGrants      atomic.Int64
 	EarlyRevocations atomic.Int64
 	Upgrades         atomic.Int64
@@ -31,6 +35,7 @@ type Snapshot struct {
 	Grants           int64
 	Releases         int64
 	Revocations      int64
+	RevokeBatches    int64
 	EarlyGrants      int64
 	EarlyRevocations int64
 	Upgrades         int64
@@ -47,6 +52,7 @@ func (s *Stats) Snapshot() Snapshot {
 		Grants:           s.Grants.Load(),
 		Releases:         s.Releases.Load(),
 		Revocations:      s.Revocations.Load(),
+		RevokeBatches:    s.RevokeBatches.Load(),
 		EarlyGrants:      s.EarlyGrants.Load(),
 		EarlyRevocations: s.EarlyRevocations.Load(),
 		Upgrades:         s.Upgrades.Load(),
@@ -63,6 +69,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		Grants:           s.Grants - o.Grants,
 		Releases:         s.Releases - o.Releases,
 		Revocations:      s.Revocations - o.Revocations,
+		RevokeBatches:    s.RevokeBatches - o.RevokeBatches,
 		EarlyGrants:      s.EarlyGrants - o.EarlyGrants,
 		EarlyRevocations: s.EarlyRevocations - o.EarlyRevocations,
 		Upgrades:         s.Upgrades - o.Upgrades,

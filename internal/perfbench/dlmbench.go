@@ -1,0 +1,154 @@
+package perfbench
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"ccpfs/internal/dlm"
+	"ccpfs/internal/extent"
+)
+
+// DLM grant-engine benchmarks: grant latency against a large granted
+// set (interval index vs linear scan) and revocation-storm fan-out
+// (per-client batching vs one delivery per revocation).
+
+const (
+	grantTableLocks = 10240 // granted locks preloaded on the bench resource
+	grantTileBytes  = 4096
+	stormClients    = 8
+	stormTilesEach  = 128
+)
+
+// tiledPolicy disables range expansion so distinct holders can tile a
+// resource without the first grant expanding over the whole keyspace.
+func tiledPolicy() dlm.Policy {
+	p := dlm.SeqDLM()
+	p.Expand = dlm.ExpandNone
+	return p
+}
+
+// grantTableServer preloads grantTableLocks adjacent NBW tiles from
+// distinct clients, leaving one free slot in the middle whose extent is
+// returned; the benchmark op grants and releases in that hole so every
+// conflict check probes the full table.
+func grantTableServer(b *testing.B) (*dlm.Server, extent.Extent) {
+	srv := dlm.NewServer(tiledPolicy(), dlm.NotifierFunc(func(context.Context, dlm.Revocation) {}))
+	hole := grantTableLocks / 2
+	for i := 0; i < grantTableLocks; i++ {
+		if i == hole {
+			continue
+		}
+		_, err := srv.Lock(context.Background(), dlm.Request{
+			Resource: 1,
+			Client:   dlm.ClientID(i + 2),
+			Mode:     dlm.NBW,
+			Range:    extent.New(int64(i)*grantTileBytes, int64(i+1)*grantTileBytes),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return srv, extent.New(int64(hole)*grantTileBytes, int64(hole+1)*grantTileBytes)
+}
+
+func lockGrant(b *testing.B, indexed bool) {
+	srv, slot := grantTableServer(b)
+	srv.SetIndexed(indexed)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := srv.Lock(context.Background(), dlm.Request{Resource: 1, Client: 1, Mode: dlm.NBW, Range: slot})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv.Release(1, g.LockID)
+	}
+}
+
+// LockGrantIndexed measures grant+release latency on a resource holding
+// 10k+ granted locks with the interval-indexed lock table.
+func LockGrantIndexed(b *testing.B) { lockGrant(b, true) }
+
+// LockGrantLinear is the same workload on the linear-scan baseline
+// (SetIndexed(false)); the Indexed/Linear ratio is the index speedup.
+func LockGrantLinear(b *testing.B) { lockGrant(b, false) }
+
+// stormNotifier acks and force-releases every revocation in-process,
+// standing in for the data server's client fan-out.
+type stormNotifier struct {
+	srv        *dlm.Server
+	deliveries atomic.Int64
+}
+
+func (n *stormNotifier) Revoke(_ context.Context, rv dlm.Revocation) {
+	n.deliveries.Add(1)
+	n.srv.RevokeAck(rv.Resource, rv.Lock)
+	n.srv.Release(rv.Resource, rv.Lock)
+}
+
+func (n *stormNotifier) RevokeBatch(_ context.Context, _ dlm.ClientID, revs []dlm.Revocation) {
+	n.deliveries.Add(1)
+	for _, rv := range revs {
+		n.srv.RevokeAck(rv.Resource, rv.Lock)
+		n.srv.Release(rv.Resource, rv.Lock)
+	}
+}
+
+// sequentialNotifier hides RevokeBatch so the revoker falls back to one
+// delivery per revocation — the pre-batching baseline.
+type sequentialNotifier struct{ inner *stormNotifier }
+
+func (n sequentialNotifier) Revoke(ctx context.Context, rv dlm.Revocation) { n.inner.Revoke(ctx, rv) }
+
+func revokeStorm(b *testing.B, batched bool) {
+	srv := dlm.NewServer(tiledPolicy(), nil)
+	sn := &stormNotifier{srv: srv}
+	if batched {
+		srv.SetNotifier(sn)
+	} else {
+		srv.SetNotifier(sequentialNotifier{inner: sn})
+	}
+	total := stormClients * stormTilesEach
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Interleave tiles across clients so the storm revokes every
+		// client's working set, then grab one write lock over the lot.
+		for t := 0; t < total; t++ {
+			_, err := srv.Lock(context.Background(), dlm.Request{
+				Resource: 1,
+				Client:   dlm.ClientID(t%stormClients + 2),
+				Mode:     dlm.NBW,
+				Range:    extent.New(int64(t)*grantTileBytes, int64(t+1)*grantTileBytes),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		g, err := srv.Lock(context.Background(), dlm.Request{
+			Resource: 1, Client: 1, Mode: dlm.PW,
+			Range: extent.New(0, int64(total)*grantTileBytes),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv.Release(1, g.LockID)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(sn.deliveries.Load())/float64(b.N), "deliveries/storm")
+	if batched {
+		if got, want := sn.deliveries.Load(), int64(b.N)*stormClients; got > want {
+			b.Fatalf("batching lost: %d deliveries for %d storms x %d clients", got, b.N, stormClients)
+		}
+	}
+}
+
+// RevokeStorm measures a full revocation storm round — N clients'
+// tiled working sets revoked by one conflicting whole-range write —
+// with per-client batched fan-out.
+func RevokeStorm(b *testing.B) { revokeStorm(b, true) }
+
+// RevokeStormUnbatched is the same storm delivered one revocation per
+// notifier send, the pre-batching baseline.
+func RevokeStormUnbatched(b *testing.B) { revokeStorm(b, false) }

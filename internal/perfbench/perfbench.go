@@ -364,6 +364,10 @@ func All() []NamedBench {
 		{"RpcRoundTripParallel", RpcRoundTripParallel},
 		{"FlushPipelineSequential", FlushPipelineSequential},
 		{"FlushPipelineWindowed", FlushPipelineWindowed},
+		{"LockGrantIndexed", LockGrantIndexed},
+		{"LockGrantLinear", LockGrantLinear},
+		{"RevokeStorm", RevokeStorm},
+		{"RevokeStormUnbatched", RevokeStormUnbatched},
 	}
 }
 
@@ -386,19 +390,49 @@ func Run(procs int) []Result {
 	}
 	var out []Result
 	for _, nb := range All() {
-		r := testing.Benchmark(nb.Fn)
-		nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
-		res := Result{
-			Name:        nb.Name,
-			N:           r.N,
-			NsPerOp:     nsPerOp,
-			OpsPerSec:   1e9 / nsPerOp,
-			AllocsPerOp: r.AllocsPerOp(),
+		out = append(out, Measure(nb))
+	}
+	return out
+}
+
+// Measure runs one benchmark via testing.Benchmark and converts the
+// outcome to a Result.
+func Measure(nb NamedBench) Result {
+	r := testing.Benchmark(nb.Fn)
+	nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+	res := Result{
+		Name:        nb.Name,
+		N:           r.N,
+		NsPerOp:     nsPerOp,
+		OpsPerSec:   1e9 / nsPerOp,
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if r.Bytes > 0 {
+		res.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+	}
+	return res
+}
+
+// RunNamed executes only the named benchmarks (in the given order) at
+// the given GOMAXPROCS. Unknown names are reported as an error by the
+// caller via the nil-Result convention: the returned slice is aligned
+// with names, and a missing benchmark yields a Result with N == 0.
+func RunNamed(procs int, names []string) []Result {
+	if procs > 0 {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	byName := map[string]NamedBench{}
+	for _, nb := range All() {
+		byName[nb.Name] = nb
+	}
+	out := make([]Result, len(names))
+	for i, name := range names {
+		if nb, ok := byName[name]; ok {
+			out[i] = Measure(nb)
+		} else {
+			out[i] = Result{Name: name}
 		}
-		if r.Bytes > 0 {
-			res.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
-		}
-		out = append(out, res)
 	}
 	return out
 }

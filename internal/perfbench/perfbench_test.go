@@ -18,3 +18,7 @@ func BenchmarkRpcRoundTrip(b *testing.B)                   { RpcRoundTrip(b) }
 func BenchmarkRpcRoundTripParallel(b *testing.B)           { RpcRoundTripParallel(b) }
 func BenchmarkFlushPipelineSequential(b *testing.B)        { FlushPipelineSequential(b) }
 func BenchmarkFlushPipelineWindowed(b *testing.B)          { FlushPipelineWindowed(b) }
+func BenchmarkLockGrantIndexed(b *testing.B)               { LockGrantIndexed(b) }
+func BenchmarkLockGrantLinear(b *testing.B)                { LockGrantLinear(b) }
+func BenchmarkRevokeStorm(b *testing.B)                    { RevokeStorm(b) }
+func BenchmarkRevokeStormUnbatched(b *testing.B)           { RevokeStormUnbatched(b) }

@@ -1,0 +1,127 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"ccpfs/internal/wire"
+)
+
+// TestCallBatchRoundTrip: every call in a batch gets its own decoded
+// reply, and the batch returns nil when all succeed.
+func TestCallBatchRoundTrip(t *testing.T) {
+	cli, _ := newPair(t, func(ep *Endpoint) {
+		ep.Handle(wire.MHello, func(_ context.Context, p []byte) (wire.Msg, error) {
+			var req wire.HelloRequest
+			if err := wire.Unmarshal(p, &req); err != nil {
+				return nil, err
+			}
+			return &wire.HelloReply{ClientID: req.ClientID * 2}, nil
+		})
+	})
+	const n = 16
+	calls := make([]BatchCall, n)
+	for i := range calls {
+		calls[i] = BatchCall{
+			Method: wire.MHello,
+			Req:    &wire.HelloRequest{NodeName: "c", ClientID: uint32(i + 1)},
+			Reply:  &wire.HelloReply{},
+		}
+	}
+	if err := cli.CallBatch(bg(), calls); err != nil {
+		t.Fatal(err)
+	}
+	for i := range calls {
+		if calls[i].Err != nil {
+			t.Fatalf("call %d: %v", i, calls[i].Err)
+		}
+		if got := calls[i].Reply.(*wire.HelloReply).ClientID; got != uint32(i+1)*2 {
+			t.Fatalf("call %d reply = %d, want %d", i, got, (i+1)*2)
+		}
+	}
+	if p := cli.Pending(); p != 0 {
+		t.Fatalf("pending after batch = %d, want 0", p)
+	}
+}
+
+// TestCallBatchPartialError: one failing call does not poison its
+// batchmates; the batch error is the first per-call failure.
+func TestCallBatchPartialError(t *testing.T) {
+	cli, _ := newPair(t, func(ep *Endpoint) {
+		ep.Handle(wire.MOpen, func(_ context.Context, p []byte) (wire.Msg, error) {
+			var req wire.OpenRequest
+			if err := wire.Unmarshal(p, &req); err != nil {
+				return nil, err
+			}
+			if req.Path == "/bad" {
+				return nil, fmt.Errorf("no such file")
+			}
+			return &wire.FileReply{}, nil
+		})
+	})
+	calls := []BatchCall{
+		{Method: wire.MOpen, Req: &wire.OpenRequest{Path: "/ok"}, Reply: &wire.FileReply{}},
+		{Method: wire.MOpen, Req: &wire.OpenRequest{Path: "/bad"}, Reply: &wire.FileReply{}},
+		{Method: wire.MOpen, Req: &wire.OpenRequest{Path: "/ok"}, Reply: &wire.FileReply{}},
+	}
+	err := cli.CallBatch(bg(), calls)
+	if err == nil {
+		t.Fatal("batch with a failing call returned nil")
+	}
+	if calls[0].Err != nil || calls[2].Err != nil {
+		t.Fatalf("healthy calls failed: %v / %v", calls[0].Err, calls[2].Err)
+	}
+	var we *wire.Error
+	if !errors.As(calls[1].Err, &we) || we.Msg != "no such file" {
+		t.Fatalf("calls[1].Err = %v, want wire.Error(no such file)", calls[1].Err)
+	}
+}
+
+// TestCallBatchCancel: a fired context abandons unanswered calls,
+// deregisters their pending entries, and surfaces a typed error.
+func TestCallBatchCancel(t *testing.T) {
+	block := make(chan struct{})
+	cli, _ := newPair(t, func(ep *Endpoint) {
+		ep.Handle(wire.MFlush, func(ctx context.Context, p []byte) (wire.Msg, error) {
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return &wire.Ack{}, nil
+		})
+	})
+	defer close(block)
+	ctx, cancel := context.WithTimeout(bg(), 50*time.Millisecond)
+	defer cancel()
+	calls := []BatchCall{
+		{Method: wire.MFlush, Req: &wire.FlushRequest{Resource: 1}},
+		{Method: wire.MFlush, Req: &wire.FlushRequest{Resource: 2}},
+	}
+	err := cli.CallBatch(ctx, calls)
+	if !errors.Is(err, wire.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	for i := range calls {
+		if !errors.Is(calls[i].Err, wire.ErrTimeout) {
+			t.Fatalf("calls[%d].Err = %v, want ErrTimeout", i, calls[i].Err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for cli.Pending() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pending = %d after cancel, want 0", cli.Pending())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCallBatchEmpty: a zero-length batch is a no-op.
+func TestCallBatchEmpty(t *testing.T) {
+	cli, _ := newPair(t, func(ep *Endpoint) {})
+	if err := cli.CallBatch(bg(), nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -222,6 +222,119 @@ func (ep *Endpoint) Call(ctx context.Context, method wire.Method, req wire.Msg, 
 	return nil
 }
 
+// BatchCall describes one call of a CallBatch. Reply may be nil to
+// discard the payload; Err receives the per-call outcome.
+type BatchCall struct {
+	Method wire.Method
+	Req    wire.Msg
+	Reply  wire.Msg
+	Err    error
+}
+
+// CallBatch issues several requests whose frames leave as one coalesced
+// transport batch (transport.SendBatch: one writev group commit on
+// tcpnet, one bandwidth charge on memnet) and waits for all replies —
+// the control-plane analogue of the windowed flush path. Each call's
+// outcome lands in calls[i].Err; the returned error is the first
+// failure, nil when every call succeeded. A fired context abandons the
+// not-yet-answered calls exactly like Call: entries are deregistered,
+// best-effort cancel frames are sent, and late replies are dropped.
+func (ep *Endpoint) CallBatch(ctx context.Context, calls []BatchCall) error {
+	if len(calls) == 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return wire.FromContext(err)
+	}
+	ids := make([]uint64, len(calls))
+	chs := make([]chan response, len(calls))
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		for i := range calls {
+			calls[i].Err = transport.ErrClosed
+		}
+		return transport.ErrClosed
+	}
+	for i := range calls {
+		ids[i] = ep.nextID.Add(1)
+		ch := chanPool.Get().(chan response)
+		chs[i] = ch
+		ep.pending[ids[i]] = ch
+	}
+	ep.mu.Unlock()
+
+	// Encode every frame, hand them to the transport as one batch, then
+	// recycle the encoders — transports must not retain frames after
+	// SendBatch returns (the transport.Conn ownership contract).
+	encs := make([]*wire.Encoder, len(calls))
+	frames := make([][]byte, len(calls))
+	for i := range calls {
+		enc := wire.GetEncoder(headerLen + 64)
+		enc.U8(kindRequest)
+		enc.U64(ids[i])
+		enc.U8(uint8(calls[i].Method))
+		enc.U8(statusOK)
+		if calls[i].Req != nil {
+			calls[i].Req.Encode(enc)
+		}
+		encs[i] = enc
+		frames[i] = enc.Bytes()
+	}
+	sendErr := transport.SendBatch(ctx, ep.conn, frames)
+	for _, enc := range encs {
+		wire.PutEncoder(enc)
+	}
+	if sendErr != nil {
+		// Deregister everything; frames that did go out may still be
+		// answered, and those late replies are dropped as stale — the
+		// same contract as a failed single Call.
+		for i := range calls {
+			ep.forget(ids[i])
+			calls[i].Err = sendErr
+		}
+		return sendErr
+	}
+
+	var firstErr error
+	for i := range calls {
+		var resp response
+		got := false
+		select {
+		case resp = <-chs[i]:
+			chanPool.Put(chs[i])
+			got = true
+		case <-ctx.Done():
+			ep.forget(ids[i])
+			// Prefer a reply that raced the cancellation (see Call).
+			select {
+			case resp = <-chs[i]:
+				chanPool.Put(chs[i])
+				got = true
+			default:
+				// Abandoned: cancel the server-side work. The channel is
+				// not recycled — a late complete may still send on it.
+				go ep.send(ep.baseCtx, kindCancel, ids[i], calls[i].Method, statusOK, nil)
+				calls[i].Err = wire.FromContext(ctx.Err())
+			}
+		}
+		if got {
+			switch {
+			case resp.err != nil:
+				calls[i].Err = resp.err
+			case calls[i].Reply != nil:
+				if err := wire.Unmarshal(resp.payload, calls[i].Reply); err != nil {
+					calls[i].Err = fmt.Errorf("rpc: decoding %T reply: %w", calls[i].Reply, err)
+				}
+			}
+		}
+		if calls[i].Err != nil && firstErr == nil {
+			firstErr = calls[i].Err
+		}
+	}
+	return firstErr
+}
+
 // forget deregisters a pending call entry.
 func (ep *Endpoint) forget(id uint64) {
 	ep.mu.Lock()

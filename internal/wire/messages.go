@@ -27,8 +27,9 @@ const (
 	// Session.
 	MHello Method = 30 // HelloRequest -> HelloReply
 	// Server→client callbacks.
-	MRevoke Method = 128 // RevokeRequest -> Ack
-	MReport Method = 129 // Ack -> LockReport (server recovery, §IV-C2)
+	MRevoke      Method = 128 // RevokeRequest -> Ack
+	MReport      Method = 129 // Ack -> LockReport (server recovery, §IV-C2)
+	MRevokeBatch Method = 130 // RevokeBatch -> RevokeBatchAck
 )
 
 // Msg is the interface all wire messages implement.
@@ -218,6 +219,73 @@ func (m *RevokeRequest) Encode(e *Encoder) {
 func (m *RevokeRequest) Decode(d *Decoder) {
 	m.Resource = d.U64()
 	m.LockID = d.U64()
+}
+
+// RevokeEntry identifies one lock inside a batched revocation.
+type RevokeEntry struct {
+	Resource uint64
+	LockID   uint64
+}
+
+// RevokeBatch is the server→client callback carrying every revocation
+// currently pending for one client in a single RPC: the lock server's
+// revocation batcher coalesces per destination, so a wide conflict
+// costs one callback per holder instead of one per lock (DESIGN.md §9).
+// The reply is a RevokeBatchAck listing the entries the client has
+// processed; each acked entry has the same meaning as an individual
+// RevokeRequest ack.
+type RevokeBatch struct {
+	Entries []RevokeEntry
+}
+
+// Encode implements Msg.
+func (m *RevokeBatch) Encode(e *Encoder) {
+	e.U32(uint32(len(m.Entries)))
+	for i := range m.Entries {
+		e.U64(m.Entries[i].Resource)
+		e.U64(m.Entries[i].LockID)
+	}
+}
+
+// Decode implements Msg.
+func (m *RevokeBatch) Decode(d *Decoder) {
+	n := d.Len32(16)
+	if n > 0 {
+		m.Entries = make([]RevokeEntry, n)
+		for i := range m.Entries {
+			m.Entries[i].Resource = d.U64()
+			m.Entries[i].LockID = d.U64()
+		}
+	}
+}
+
+// RevokeBatchAck is the reply to a RevokeBatch: the batched revocation
+// acks. Entries absent from Acked were not processed (the client is
+// shutting down mid-batch); the server treats them like a failed
+// individual revocation — ack and force-release on the holder's behalf.
+type RevokeBatchAck struct {
+	Acked []RevokeEntry
+}
+
+// Encode implements Msg.
+func (m *RevokeBatchAck) Encode(e *Encoder) {
+	e.U32(uint32(len(m.Acked)))
+	for i := range m.Acked {
+		e.U64(m.Acked[i].Resource)
+		e.U64(m.Acked[i].LockID)
+	}
+}
+
+// Decode implements Msg.
+func (m *RevokeBatchAck) Decode(d *Decoder) {
+	n := d.Len32(16)
+	if n > 0 {
+		m.Acked = make([]RevokeEntry, n)
+		for i := range m.Acked {
+			m.Acked[i].Resource = d.U64()
+			m.Acked[i].LockID = d.U64()
+		}
+	}
 }
 
 // Block is one SN-tagged extent of data in a flush or read message.
