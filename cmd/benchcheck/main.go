@@ -1,17 +1,27 @@
 // Command benchcheck is the CI regression gate for the DLM grant
-// engine. It re-runs the grant-path and revocation-storm benchmarks
-// in-process and fails (exit 1) when
+// engine and the observability layer. It re-runs the grant-path,
+// revocation-storm, and RPC round-trip benchmarks in-process and
+// fails (exit 1) when
 //
 //   - the interval index no longer beats the linear-scan baseline by
 //     the required floor (-minspeedup), or
+//   - the instrumented RPC round trip exceeds its overhead ceiling
+//     over the bare one, or
 //   - a benchmark pair ratio regressed by more than -threshold against
 //     the checked-in BENCH_dlm.json baseline.
 //
-// Only pair ratios (Linear/Indexed, Unbatched/Batched) are compared
-// against the baseline file: ratios measured on the same machine in
-// the same run are hardware-independent, so the gate is meaningful on
-// CI runners that are slower or faster than the machine that produced
-// the baseline. Absolute ns/op numbers are printed but never gated.
+// Only pair ratios (Linear/Indexed, Unbatched/Batched, Obs/bare) are
+// compared: ratios measured on the same machine in the same run are
+// hardware-independent, so the gate is meaningful on CI runners that
+// are slower or faster than the machine that produced the baseline.
+// Absolute ns/op numbers are printed but never gated.
+//
+// Each benchmark runs three times and the minimum ns/op is kept,
+// which filters scheduler noise out of the gated ratios. -update
+// re-measures the gated benchmarks the same way and writes them back
+// into the baseline file (leaving seqbench-only entries untouched),
+// so the recorded ratios are always produced by the same estimator
+// the gate reads them with.
 package main
 
 import (
@@ -29,6 +39,62 @@ type report struct {
 	Results []struct {
 		perfbench.Result
 	} `json:"results"`
+}
+
+// rawReport keeps entries benchcheck does not manage intact when
+// -update rewrites the baseline file in place.
+type rawReport struct {
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"num_cpu"`
+	Results    []json.RawMessage `json:"results"`
+}
+
+// updateBaseline merges the fresh results into the baseline file,
+// replacing entries with matching names and appending new ones. The
+// gated pair ratios in the baseline are then, by construction,
+// measured exactly the way the gate measures them (same rounds, same
+// estimator, same GOMAXPROCS) — a single-shot seqbench run that
+// catches a benchmark on a noisy interval cannot skew them.
+func updateBaseline(path string, fresh map[string]perfbench.Result, names []string) error {
+	var rep rawReport
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	seen := map[string]bool{}
+	for i, raw := range rep.Results {
+		var probe struct {
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			continue
+		}
+		if r, ok := fresh[probe.Name]; ok {
+			enc, err := json.Marshal(r)
+			if err != nil {
+				return err
+			}
+			rep.Results[i] = enc
+			seen[probe.Name] = true
+		}
+	}
+	for _, name := range names {
+		if r, ok := fresh[name]; ok && !seen[name] {
+			enc, err := json.Marshal(r)
+			if err != nil {
+				return err
+			}
+			rep.Results = append(rep.Results, enc)
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func loadBaseline(path string) (map[string]perfbench.Result, error) {
@@ -68,34 +134,72 @@ func main() {
 	threshold := flag.Float64("threshold", 0.25, "max tolerated fractional regression of a pair ratio vs baseline")
 	minSpeedup := flag.Float64("minspeedup", 5.0, "required floor for the LockGrant Linear/Indexed ratio")
 	procs := flag.Int("procs", 0, "GOMAXPROCS for the benchmark run (0 = leave as is)")
+	update := flag.Bool("update", false, "re-measure the gated benchmarks and write them into -baseline instead of gating")
 	flag.Parse()
 
-	baseline, err := loadBaseline(*baselinePath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
-		os.Exit(1)
+	baseline := map[string]perfbench.Result{}
+	if !*update {
+		var err error
+		baseline, err = loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
-	names := []string{"LockGrantIndexed", "LockGrantLinear", "RevokeStorm", "RevokeStormUnbatched"}
-	fmt.Printf("benchcheck: running %d DLM benchmarks...\n", len(names))
+	names := []string{
+		"LockGrantIndexed", "LockGrantLinear",
+		"RevokeStorm", "RevokeStormUnbatched",
+		"RpcRoundTrip", "RpcRoundTripObs",
+	}
+	// Each benchmark runs `rounds` times and the minimum ns/op is kept:
+	// the min is the run least disturbed by scheduler and VM noise, so
+	// the pair ratios gated below are far more stable than single-shot
+	// measurements (serial RPC round trips vary ±30% run to run on
+	// loaded machines; their minima vary a few percent).
+	const rounds = 3
+	fmt.Printf("benchcheck: running %d DLM benchmarks x%d (keeping per-name min ns/op)...\n", len(names), rounds)
 	fresh := map[string]perfbench.Result{}
 	failed := false
-	for _, r := range perfbench.RunNamed(*procs, names) {
-		if r.N == 0 {
-			fmt.Fprintf(os.Stderr, "FAIL: benchmark %s not registered in perfbench.All()\n", r.Name)
-			failed = true
-			continue
+	for round := 0; round < rounds; round++ {
+		for _, r := range perfbench.RunNamed(*procs, names) {
+			if r.N == 0 {
+				if round == 0 {
+					fmt.Fprintf(os.Stderr, "FAIL: benchmark %s not registered in perfbench.All()\n", r.Name)
+					failed = true
+				}
+				continue
+			}
+			if best, ok := fresh[r.Name]; !ok || r.NsPerOp < best.NsPerOp {
+				fresh[r.Name] = r
+			}
 		}
-		fresh[r.Name] = r
-		fmt.Printf("  %-24s %12.1f ns/op\n", r.Name, r.NsPerOp)
+	}
+	for _, name := range names {
+		if r, ok := fresh[name]; ok {
+			fmt.Printf("  %-24s %12.1f ns/op\n", r.Name, r.NsPerOp)
+		}
+	}
+
+	if *update {
+		if err := updateBaseline(*baselinePath, fresh, names); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: updating %s: %v\n", *baselinePath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchcheck: wrote %d results to %s\n", len(fresh), *baselinePath)
+		return
 	}
 
 	pairs := []struct {
 		label, slow, fast string
 		floor             float64 // required minimum for the fresh ratio; 0 = none
+		ceiling           float64 // required maximum for the fresh ratio; 0 = none
 	}{
-		{"grant-path index speedup", "LockGrantLinear", "LockGrantIndexed", *minSpeedup},
-		{"revoke-storm batching", "RevokeStormUnbatched", "RevokeStorm", 0},
+		{label: "grant-path index speedup", slow: "LockGrantLinear", fast: "LockGrantIndexed", floor: *minSpeedup},
+		{label: "revoke-storm batching", slow: "RevokeStormUnbatched", fast: "RevokeStorm"},
+		// Instrumentation overhead: the fully metered round trip may cost
+		// at most 5% over the bare one (ISSUE: allocation-free rule).
+		{label: "obs overhead (rpc)", slow: "RpcRoundTripObs", fast: "RpcRoundTrip", ceiling: 1.05},
 	}
 	for _, p := range pairs {
 		got := ratio(fresh, p.slow, p.fast)
@@ -111,16 +215,38 @@ func main() {
 			failed = true
 			continue
 		}
-		if base := ratio(baseline, p.slow, p.fast); base > 0 {
-			allowed := base * (1 - *threshold)
-			fmt.Printf("  baseline %.2fx, allowed >= %.2fx", base, allowed)
-			if got < allowed {
-				fmt.Println("  << REGRESSION")
-				fmt.Fprintf(os.Stderr, "FAIL: %s regressed: %.2fx vs baseline %.2fx (>%.0f%% drop)\n",
-					p.label, got, base, *threshold*100)
-				failed = true
-				continue
-			}
+		if p.ceiling > 0 && got > p.ceiling {
+			fmt.Printf("  >> ceiling %.2fx\n", p.ceiling)
+			fmt.Fprintf(os.Stderr, "FAIL: %s: %.2fx exceeds the %.2fx ceiling\n", p.label, got, p.ceiling)
+			failed = true
+			continue
+		}
+		if p.ceiling > 0 {
+			// A ceiling pair is gated absolutely; baseline drift on top of
+			// it would only re-test the same bound with extra noise.
+			fmt.Println()
+			continue
+		}
+		// A pair whose sides are absent from the baseline file is new
+		// since the baseline was recorded — warn and skip rather than
+		// failing (or worse, dividing by zero) so adding a benchmark does
+		// not require regenerating BENCH_dlm.json on the author's machine
+		// in the same commit.
+		base := ratio(baseline, p.slow, p.fast)
+		if base <= 0 {
+			fmt.Println()
+			fmt.Fprintf(os.Stderr, "WARN: %s: no baseline for %s/%s in %s; drift not gated (regenerate with seqbench -benchjson)\n",
+				p.label, p.slow, p.fast, *baselinePath)
+			continue
+		}
+		allowed := base * (1 - *threshold)
+		fmt.Printf("  baseline %.2fx, allowed >= %.2fx", base, allowed)
+		if got < allowed {
+			fmt.Println("  << REGRESSION")
+			fmt.Fprintf(os.Stderr, "FAIL: %s regressed: %.2fx vs baseline %.2fx (>%.0f%% drop)\n",
+				p.label, got, base, *threshold*100)
+			failed = true
+			continue
 		}
 		fmt.Println()
 	}

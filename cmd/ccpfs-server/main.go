@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os/signal"
 	"syscall"
 	"time"
@@ -47,6 +49,8 @@ func main() {
 	extentLog := flag.Bool("extent-log", false, "keep per-stripe extent logs for recovery")
 	cleanup := flag.Duration("cleanup", 100*time.Millisecond, "extent cache cleanup interval (0 disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget before a hard close (0 closes immediately)")
+	debug := flag.String("debug", "", "serve /debug/metrics, /debug/trace and pprof on this address (e.g. localhost:6060; off when empty)")
+	traceEvents := flag.Int("trace-events", 4096, "DLM protocol events kept for /debug/trace (with -debug)")
 	flag.Parse()
 
 	pol, err := policyByName(*policy)
@@ -59,6 +63,9 @@ func main() {
 		Policy:          pol,
 		ExtentLog:       *extentLog,
 		CleanupInterval: *cleanup,
+	}
+	if *debug != "" {
+		cfg.TraceEvents = *traceEvents
 	}
 	if *dataDir != "" {
 		fs, err := storage.NewFileStore(*dataDir)
@@ -86,10 +93,24 @@ func main() {
 	log.Printf("ccpfs-server: policy=%s meta=%v data=%q listening on %s",
 		pol.Name, *hostMeta, *dataDir, l.Addr())
 
+	var debugSrv *http.Server
+	if *debug != "" {
+		dl, err := net.Listen("tcp", *debug)
+		if err != nil {
+			log.Fatalf("debug listen: %v", err)
+		}
+		debugSrv = &http.Server{Handler: srv.DebugHandler()}
+		go debugSrv.Serve(dl)
+		log.Printf("ccpfs-server: debug endpoint on http://%s/debug/metrics", dl.Addr())
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
 	stop() // restore default signal handling: a second signal kills us
+	if debugSrv != nil {
+		debugSrv.Close()
+	}
 	if *drain <= 0 {
 		log.Printf("ccpfs-server: shutting down (immediate)")
 		srv.Close()

@@ -20,6 +20,7 @@ import (
 	"ccpfs/internal/dlm"
 	"ccpfs/internal/extent"
 	"ccpfs/internal/meta"
+	"ccpfs/internal/obs"
 	"ccpfs/internal/pagecache"
 	"ccpfs/internal/rpc"
 	"ccpfs/internal/wire"
@@ -92,6 +93,17 @@ type Stats struct {
 	// ReadRPCs and WriteOps count operations.
 	ReadRPCs atomic.Int64
 	WriteOps atomic.Int64
+
+	// ReadCacheHits/ReadCacheMisses count ReadAt segments served from
+	// the page cache vs fetched from a data server.
+	ReadCacheHits   obs.Counter
+	ReadCacheMisses obs.Counter
+	// FlushRPCHist observes per-chunk flush RPC round trips;
+	// FlushGroupHist observes whole windowed group flushes (collect +
+	// pipelined send), the flush-window latency on the cancel critical
+	// path.
+	FlushRPCHist   obs.Histogram
+	FlushGroupHist obs.Histogram
 }
 
 // Client is a ccPFS client node.
@@ -116,6 +128,11 @@ type Client struct {
 
 	// Stats aggregates client-side IO accounting.
 	Stats Stats
+
+	// obs is the client's metrics registry; rpcMetrics instruments all
+	// of the client's endpoints (shared, so the numbers aggregate).
+	obs        *obs.Registry
+	rpcMetrics *rpc.Metrics
 }
 
 // New builds a client over established connections. It registers the
@@ -143,10 +160,13 @@ func New(ctx context.Context, cfg Config, conns Conns) (*Client, error) {
 		cancelFn: cancel,
 	}
 	c.lc = dlm.NewLockClient(cfg.ID, cfg.Policy, c.route, dlm.FlusherFunc(c.flushForCancel))
+	c.rpcMetrics = rpc.NewMetrics()
+	c.obs = obs.NewRegistry()
+	c.registerObs()
 
-	// Endpoints arrive unstarted: register the revocation handler on
-	// every data connection first, then start the read loops, then
-	// announce the client identity to every server.
+	// Endpoints arrive unstarted: register the revocation handler and
+	// metrics on every data connection first, then start the read
+	// loops, then announce the client identity to every server.
 	for i, ep := range conns.Data {
 		ep.Handle(wire.MRevoke, c.handleRevoke)
 		ep.Handle(wire.MRevokeBatch, c.handleRevokeBatch)
@@ -156,6 +176,7 @@ func New(ctx context.Context, cfg Config, conns Conns) (*Client, error) {
 	start := func(ep *rpc.Endpoint) {
 		if ep != nil && !started[ep] {
 			started[ep] = true
+			ep.SetMetrics(c.rpcMetrics)
 			ep.Start()
 		}
 	}
@@ -184,6 +205,30 @@ func New(ctx context.Context, cfg Config, conns Conns) (*Client, error) {
 	}
 	return c, nil
 }
+
+// registerObs wires the client's instruments into its registry: page
+// cache occupancy as sampled gauges, lock-client protocol counters,
+// the IO/flush instruments, and the shared endpoint metrics.
+func (c *Client) registerObs() {
+	r := c.obs
+	r.Func("client.dirty_bytes", c.pc.DirtyBytes)
+	r.Func("client.cached_bytes", c.pc.CachedBytes)
+	r.Func("client.flushed_bytes", c.Stats.FlushedBytes.Load)
+	r.Func("client.read_rpcs", c.Stats.ReadRPCs.Load)
+	r.Func("client.write_ops", c.Stats.WriteOps.Load)
+	r.RegisterCounter("client.read_cache_hits", &c.Stats.ReadCacheHits)
+	r.RegisterCounter("client.read_cache_misses", &c.Stats.ReadCacheMisses)
+	r.RegisterHistogram("client.flush_rpc", &c.Stats.FlushRPCHist)
+	r.RegisterHistogram("client.flush_group", &c.Stats.FlushGroupHist)
+	r.Func("lockclient.cache_hits", c.lc.Stats.CacheHits.Load)
+	r.Func("lockclient.cache_misses", c.lc.Stats.CacheMisses.Load)
+	r.Func("lockclient.revocations", c.lc.Stats.Revocations.Load)
+	r.Func("lockclient.cancels", c.lc.Stats.Cancels.Load)
+	r.RegisterCollector(c.rpcMetrics)
+}
+
+// Obs exposes the client's metrics registry.
+func (c *Client) Obs() *obs.Registry { return c.obs }
 
 // Locks exposes the lock client (stats and tests).
 func (c *Client) Locks() *dlm.LockClient { return c.lc }
@@ -494,7 +539,9 @@ func (c *Client) flushGroup(ctx context.Context, rids []uint64, rng extent.Exten
 	if len(chunks) == 0 {
 		return nil
 	}
+	start := time.Now()
 	err := c.sendChunks(ctx, c.bulkFor(flushes[0].rid), chunks)
+	c.Stats.FlushGroupHist.Since(start)
 	if err != nil {
 		for _, sf := range flushes {
 			c.pc.Redirty(sf.rid, sf.blocks)
@@ -512,7 +559,10 @@ func (c *Client) sendChunks(ctx context.Context, ep *rpc.Endpoint, chunks []*wir
 		for i := range req.Blocks {
 			size += int64(len(req.Blocks[i].Data))
 		}
-		if err := ep.Call(ctx, wire.MFlush, req, nil); err != nil {
+		start := time.Now()
+		err := ep.Call(ctx, wire.MFlush, req, nil)
+		c.Stats.FlushRPCHist.Since(start)
+		if err != nil {
 			return err
 		}
 		c.Stats.FlushedBytes.Add(size)
@@ -891,9 +941,12 @@ func (f *File) ReadAtContext(ctx context.Context, p []byte, off int64) (int, err
 	for _, seg := range segs {
 		rid := uint64(f.Resource(seg.Stripe))
 		if !f.c.pc.Covered(rid, seg.Off, seg.Len) {
+			f.c.Stats.ReadCacheMisses.Inc()
 			if err := f.fetch(ctx, rid, seg, handles[seg.Stripe]); err != nil {
 				return 0, err
 			}
+		} else {
+			f.c.Stats.ReadCacheHits.Inc()
 		}
 		f.c.pc.Read(rid, seg.Off, p[seg.FileOff-off:seg.FileOff-off+seg.Len])
 	}

@@ -16,6 +16,7 @@ import (
 	"ccpfs/internal/extcache"
 	"ccpfs/internal/extent"
 	"ccpfs/internal/meta"
+	"ccpfs/internal/obs"
 	"ccpfs/internal/rpc"
 	"ccpfs/internal/sim"
 	"ccpfs/internal/storage"
@@ -50,6 +51,9 @@ type Config struct {
 	ExtentLogDir string
 	// CleanupInterval runs the extent-cache cleanup daemon when > 0.
 	CleanupInterval time.Duration
+	// TraceEvents, when > 0, attaches a DLM protocol tracer keeping the
+	// last TraceEvents events; the /debug/trace endpoint serves its dump.
+	TraceEvents int
 }
 
 // Server is a running data server.
@@ -82,6 +86,13 @@ type Server struct {
 	closeOnce sync.Once
 	logFile   *extcache.LogFile
 
+	// obs is the server's metrics registry: DLM stats, RPC per-method
+	// latencies (rpcMetrics is shared by every client endpoint), extent
+	// cache occupancy, and flush byte counters all report into it.
+	obs        *obs.Registry
+	rpcMetrics *rpc.Metrics
+	tracer     *dlm.Tracer
+
 	// FlushedBytes counts bytes actually written to the device (after
 	// stale-data discard).
 	FlushedBytes atomic.Int64
@@ -110,6 +121,11 @@ func New(cfg Config) *Server {
 		cancelFn: cancel,
 	}
 	s.DLM = dlm.NewServer(cfg.Policy, notifier{s})
+	if cfg.TraceEvents > 0 {
+		s.tracer = dlm.NewTracer(cfg.TraceEvents)
+		s.DLM.SetTracer(s.tracer)
+	}
+	s.registerObs()
 	if cfg.ExtentLog && cfg.ExtentLogDir != "" {
 		if lf, err := extcache.OpenLogFile(cfg.ExtentLogDir); err == nil {
 			s.Cache.ReplayLogFile(lf)
@@ -119,6 +135,40 @@ func New(cfg Config) *Server {
 	}
 	return s
 }
+
+// registerObs wires every instrument the server owns into its registry.
+// Funcs sample the existing atomics on Snapshot, so the hot paths pay
+// nothing beyond the counters they already maintain.
+func (s *Server) registerObs() {
+	reg := obs.NewRegistry()
+	s.obs = reg
+	s.rpcMetrics = rpc.NewMetrics()
+	reg.RegisterCollector(s.rpcMetrics)
+	// Transport batching counters are process-wide; the rule is one
+	// registry per process, and for a server binary this is it.
+	transport.RegisterMetrics(reg)
+	s.DLM.Stats.Register(reg)
+	reg.Func("extcache.entries", func() int64 { return int64(s.Cache.Entries()) })
+	reg.Func("extcache.bytes", func() int64 { return int64(s.Cache.Bytes()) })
+	reg.Func("extcache.pinned", s.Cache.Pinned)
+	reg.Func("extcache.inserts", func() int64 { i, _, _ := s.Cache.Stats(); return i })
+	reg.Func("extcache.cleaned", func() int64 { _, c, _ := s.Cache.Stats(); return c })
+	reg.Func("extcache.forced_syncs", func() int64 { _, _, f := s.Cache.Stats(); return f })
+	reg.Func("dataserver.flushed_bytes", s.FlushedBytes.Load)
+	reg.Func("dataserver.discarded_bytes", s.DiscardedBytes.Load)
+	reg.Func("dataserver.clients", func() int64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return int64(len(s.clients))
+	})
+}
+
+// Obs returns the server's metrics registry.
+func (s *Server) Obs() *obs.Registry { return s.obs }
+
+// Tracer returns the attached DLM protocol tracer (nil unless
+// Config.TraceEvents was set).
+func (s *Server) Tracer() *dlm.Tracer { return s.tracer }
 
 // Serve starts accepting RPC connections on l and, if configured, the
 // extent-cache cleanup daemon. It returns immediately.
@@ -330,6 +380,9 @@ func (s *Server) Recover(ctx context.Context) error {
 
 // setup registers the RPC handlers on a new endpoint.
 func (s *Server) setup(ep *rpc.Endpoint) {
+	// One shared Metrics across every client endpoint: per-method handle
+	// latencies aggregate server-wide.
+	ep.SetMetrics(s.rpcMetrics)
 	ep.Handle(wire.MHello, func(ctx context.Context, p []byte) (wire.Msg, error) {
 		var req wire.HelloRequest
 		if err := wire.Unmarshal(p, &req); err != nil {

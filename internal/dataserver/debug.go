@@ -1,0 +1,48 @@
+package dataserver
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the server's diagnostic HTTP surface:
+//
+//	/debug/metrics        registry snapshot as JSON (?format=text for a table)
+//	/debug/trace          DLM protocol-event dump (requires Config.TraceEvents)
+//	/debug/pprof/...      the standard runtime profiles
+//
+// The handler holds no locks across requests — /debug/metrics takes a
+// point-in-time Snapshot — so scraping a loaded server is safe. It is
+// opt-in: ccpfs-server only mounts it when -debug is set, and the
+// listener should stay on a loopback or otherwise trusted interface
+// (pprof exposes process internals).
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := s.obs.Snapshot()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			snap.WriteTable(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.tracer == nil {
+			http.Error(w, "tracing disabled: start the server with Config.TraceEvents > 0", http.StatusNotFound)
+			return
+		}
+		w.Write([]byte(s.tracer.Dump()))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

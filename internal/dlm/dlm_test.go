@@ -827,7 +827,7 @@ func TestWriteSNUniqueAcrossGrants(t *testing.T) {
 func TestStatsSnapshotSub(t *testing.T) {
 	var s Stats
 	s.Grants.Add(10)
-	s.CancelWaitNs.Add(int64(3 * time.Second))
+	s.CancelWaitHist.Record(int64(3 * time.Second))
 	a := s.Snapshot()
 	s.Grants.Add(5)
 	b := s.Snapshot()

@@ -73,6 +73,7 @@ func (s *Server) SetRevokeWorkers(n int) {
 // Workers are spawned on demand and exit when the queue is empty, so an
 // idle engine holds no revoker goroutines.
 func (r *revoker) enqueue(revs []Revocation) {
+	r.s.Stats.RevokeQueue.Add(int64(len(revs)))
 	r.mu.Lock()
 	for _, rv := range revs {
 		if len(r.pending[rv.Client]) == 0 && !r.inflight[rv.Client] {
@@ -107,6 +108,9 @@ func (r *revoker) work() {
 		r.inflight[client] = true
 		r.mu.Unlock()
 
+		// The batch leaves the backlog the moment a worker claims it;
+		// delivery time shows up in the notifier's RPC metrics instead.
+		r.s.Stats.RevokeQueue.Add(-int64(len(batch)))
 		r.deliver(client, batch)
 
 		r.mu.Lock()

@@ -704,14 +704,31 @@ func (s *Server) grant(res *resource, w *waiter, mode Mode, absorbed []*lock) {
 	// to all-conflicts-canceling is revocation wait; from there to grant
 	// is cancel (flush + release) wait.
 	s.Stats.Grants.Add(1)
-	s.Stats.GrantWaitNs.Add(now.Sub(w.enqAt).Nanoseconds())
+	s.Stats.GrantWaitHist.Record(now.Sub(w.enqAt).Nanoseconds())
 	if w.hadConflict {
 		cancelingAt := w.allCancelAt
-		if cancelingAt.IsZero() {
-			cancelingAt = now
+		switch {
+		case cancelingAt.IsZero():
+			// Early grant: the waiter became compatible before every
+			// conflict reached CANCELING, so there was no cancel phase.
+			// The whole wait is revocation wait; recording a fabricated
+			// zero cancel wait here would skew the ② distribution and
+			// (pre-histogram) double-attributed the window. Invariant:
+			// RevocationWait + CancelWait <= GrantWait per grant.
+			s.Stats.RevocationWaitHist.Record(now.Sub(w.enqAt).Nanoseconds())
+		default:
+			// Clamp against clock anomalies and late-arriving conflicts
+			// so neither component can go negative or overshoot the
+			// total wait.
+			if cancelingAt.Before(w.enqAt) {
+				cancelingAt = w.enqAt
+			}
+			if cancelingAt.After(now) {
+				cancelingAt = now
+			}
+			s.Stats.RevocationWaitHist.Record(cancelingAt.Sub(w.enqAt).Nanoseconds())
+			s.Stats.CancelWaitHist.Record(now.Sub(cancelingAt).Nanoseconds())
 		}
-		s.Stats.RevocationWaitNs.Add(cancelingAt.Sub(w.enqAt).Nanoseconds())
-		s.Stats.CancelWaitNs.Add(now.Sub(cancelingAt).Nanoseconds())
 	}
 
 	res.retire(w)

@@ -3,6 +3,8 @@ package dlm
 import (
 	"sync/atomic"
 	"time"
+
+	"ccpfs/internal/obs"
 )
 
 // Stats holds protocol counters for a lock server. The wait-time
@@ -12,22 +14,55 @@ import (
 // breakdown), and the remainder until grant is cancel wait — data
 // flushing plus lock release (part ②). Everything else in an operation
 // (lock request, grant reply, cache copy) is part ③.
+//
+// The wait components are full log-bucketed histograms (obs.Histogram)
+// rather than raw nanosecond sums, so percentiles are available through
+// a registry while Snapshot still reports the sums the experiment
+// tables were built on. Recording stays allocation-free: one histogram
+// record is a few atomic adds on preallocated buckets.
 type Stats struct {
-	Grants           atomic.Int64
-	Releases         atomic.Int64
-	Revocations      atomic.Int64
+	Grants      atomic.Int64
+	Releases    atomic.Int64
+	Revocations atomic.Int64
 	// RevokeBatches counts batched notifier deliveries: Revocations /
 	// RevokeBatches is the per-client coalescing factor the revoker
-	// achieved (DESIGN.md §9).
+	// achieved (DESIGN.md §9). Derive it via Snapshot.CoalescingFactor,
+	// which guards the zero-batch case.
 	RevokeBatches    atomic.Int64
 	EarlyGrants      atomic.Int64
 	EarlyRevocations atomic.Int64
 	Upgrades         atomic.Int64
 	Downgrades       atomic.Int64
 
-	GrantWaitNs      atomic.Int64
-	RevocationWaitNs atomic.Int64
-	CancelWaitNs     atomic.Int64
+	// GrantWaitHist records enqueue→grant for every grant;
+	// RevocationWaitHist and CancelWaitHist record the ①/② split for
+	// grants that resolved conflicts. Early grants that never saw all
+	// conflicts reach CANCELING contribute to RevocationWaitHist only —
+	// no zero-valued cancel-wait sample (see Server.grant).
+	GrantWaitHist      obs.Histogram
+	RevocationWaitHist obs.Histogram
+	CancelWaitHist     obs.Histogram
+
+	// RevokeQueue is the revoker pool's instantaneous backlog: the
+	// number of revocations enqueued for delivery but not yet handed to
+	// the notifier.
+	RevokeQueue obs.Gauge
+}
+
+// Register exposes the server's instruments in reg under dlm.*.
+func (s *Stats) Register(reg *obs.Registry) {
+	reg.Func("dlm.grants", s.Grants.Load)
+	reg.Func("dlm.releases", s.Releases.Load)
+	reg.Func("dlm.revocations", s.Revocations.Load)
+	reg.Func("dlm.revoke_batches", s.RevokeBatches.Load)
+	reg.Func("dlm.early_grants", s.EarlyGrants.Load)
+	reg.Func("dlm.early_revocations", s.EarlyRevocations.Load)
+	reg.Func("dlm.upgrades", s.Upgrades.Load)
+	reg.Func("dlm.downgrades", s.Downgrades.Load)
+	reg.RegisterHistogram("dlm.grant_wait", &s.GrantWaitHist)
+	reg.RegisterHistogram("dlm.revocation_wait", &s.RevocationWaitHist)
+	reg.RegisterHistogram("dlm.cancel_wait", &s.CancelWaitHist)
+	reg.RegisterGauge("dlm.revoke_queue", &s.RevokeQueue)
 }
 
 // Snapshot is a plain-value copy of Stats.
@@ -46,7 +81,8 @@ type Snapshot struct {
 	CancelWait     time.Duration
 }
 
-// Snapshot returns a consistent-enough copy for reporting.
+// Snapshot returns a consistent-enough copy for reporting. The wait
+// fields are the histogram sums, preserving the pre-histogram schema.
 func (s *Stats) Snapshot() Snapshot {
 	return Snapshot{
 		Grants:           s.Grants.Load(),
@@ -57,9 +93,9 @@ func (s *Stats) Snapshot() Snapshot {
 		EarlyRevocations: s.EarlyRevocations.Load(),
 		Upgrades:         s.Upgrades.Load(),
 		Downgrades:       s.Downgrades.Load(),
-		GrantWait:        time.Duration(s.GrantWaitNs.Load()),
-		RevocationWait:   time.Duration(s.RevocationWaitNs.Load()),
-		CancelWait:       time.Duration(s.CancelWaitNs.Load()),
+		GrantWait:        time.Duration(s.GrantWaitHist.Sum()),
+		RevocationWait:   time.Duration(s.RevocationWaitHist.Sum()),
+		CancelWait:       time.Duration(s.CancelWaitHist.Sum()),
 	}
 }
 
@@ -78,4 +114,14 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		RevocationWait:   s.RevocationWait - o.RevocationWait,
 		CancelWait:       s.CancelWait - o.CancelWait,
 	}
+}
+
+// CoalescingFactor returns the revocations-per-delivery ratio achieved
+// by the revoker pool, or 0 before any batch has been delivered — the
+// guarded form of Revocations / RevokeBatches.
+func (s Snapshot) CoalescingFactor() float64 {
+	if s.RevokeBatches <= 0 {
+		return 0
+	}
+	return float64(s.Revocations) / float64(s.RevokeBatches)
 }

@@ -64,6 +64,11 @@ type Cache struct {
 	inserts     atomic.Int64
 	cleaned     atomic.Int64
 	forcedSyncs atomic.Int64
+	// pinned is the number of entries the most recent cleanup round
+	// visited but could not remove because an unreleased write lock's
+	// mSN was below the entry's SN — the cache's cleanup lag behind the
+	// lock state. It is overwritten per round, so it reads as a gauge.
+	pinned atomic.Int64
 
 	// kick wakes the cleanup daemon ahead of its next tick; see Kick.
 	kick chan struct{}
@@ -239,6 +244,7 @@ func (c *Cache) CleanupRound(minSN MinSNFunc) int {
 	})
 
 	removed := 0
+	skipped := int64(0)
 	for _, j := range jobs {
 		// Query the mSN per entry outside the stripe lock (the DLM call
 		// can block behind lock traffic). An entry is removable when its
@@ -254,6 +260,7 @@ func (c *Cache) CleanupRound(minSN MinSNFunc) int {
 				limit = msn
 			}
 			if ent.SN > limit {
+				skipped++
 				continue
 			}
 			j.sc.mu.Lock()
@@ -263,8 +270,13 @@ func (c *Cache) CleanupRound(minSN MinSNFunc) int {
 	}
 	c.entries.Add(-int64(removed))
 	c.cleaned.Add(int64(removed))
+	c.pinned.Store(skipped)
 	return removed
 }
+
+// Pinned returns how many entries the most recent cleanup round could
+// not remove because they were pinned by unreleased write locks.
+func (c *Cache) Pinned() int64 { return c.pinned.Load() }
 
 // ForceSync runs the fallback of §IV-B when cleanup cannot keep the
 // cache under budget: for every stripe still over its share, it forces

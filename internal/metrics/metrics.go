@@ -8,16 +8,19 @@ import (
 	"time"
 )
 
-// Bandwidth formats bytes/second with a binary-ish scale matching how
-// the paper reports (MB/s, GB/s).
+// Bandwidth formats bytes/second on the same 1,024-based scale as Size,
+// matching how the paper quotes both write sizes and throughput (64KB,
+// 2.5 GB/s). Earlier versions used decimal (1e9) thresholds here while
+// Size used binary, so a rate and the size that produced it could
+// disagree by 7% in print.
 func Bandwidth(bps float64) string {
 	switch {
-	case bps >= 1e9:
-		return fmt.Sprintf("%.2f GB/s", bps/1e9)
-	case bps >= 1e6:
-		return fmt.Sprintf("%.2f MB/s", bps/1e6)
-	case bps >= 1e3:
-		return fmt.Sprintf("%.2f KB/s", bps/1e3)
+	case bps >= 1<<30:
+		return fmt.Sprintf("%.2f GB/s", bps/(1<<30))
+	case bps >= 1<<20:
+		return fmt.Sprintf("%.2f MB/s", bps/(1<<20))
+	case bps >= 1<<10:
+		return fmt.Sprintf("%.2f KB/s", bps/(1<<10))
 	}
 	return fmt.Sprintf("%.2f B/s", bps)
 }

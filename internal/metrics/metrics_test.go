@@ -8,10 +8,12 @@ import (
 
 func TestBandwidth(t *testing.T) {
 	cases := map[float64]string{
-		2.5e9: "2.50 GB/s",
-		33e6:  "33.00 MB/s",
-		1.5e3: "1.50 KB/s",
-		12:    "12.00 B/s",
+		2.5 * (1 << 30): "2.50 GB/s",
+		33 * (1 << 20):  "33.00 MB/s",
+		1.5 * (1 << 10): "1.50 KB/s",
+		12:              "12.00 B/s",
+		// The scale is binary, like Size: 1e9 B/s is still MB/s territory.
+		1e9: "953.67 MB/s",
 	}
 	for in, want := range cases {
 		if got := Bandwidth(in); got != want {

@@ -1,0 +1,39 @@
+// Primitive-cost benchmarks. These exist to keep the numbers behind
+// the instrumentation design honest on whatever hardware runs them:
+// Now vs time.Now shows what the monotonic-clock shortcut saves and
+// what a clock read still costs (the reason rpc latency timing is
+// sampled), Record and CounterAdd bound the per-instrument price.
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkNow(b *testing.B) {
+	var s int64
+	for i := 0; i < b.N; i++ {
+		s += Now()
+	}
+	_ = s
+}
+
+func BenchmarkTimeNow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = time.Now()
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i&1023) + 1000)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	var c Counter
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}

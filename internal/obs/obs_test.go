@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("hits") != c {
+		t.Fatal("Counter not idempotent by name")
+	}
+	g := r.Gauge("depth")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	r.Func("sampled", func() int64 { return 42 })
+	s := r.Snapshot()
+	if s.Counters["hits"] != 5 || s.Gauges["depth"] != 7 || s.Gauges["sampled"] != 42 {
+		t.Fatalf("snapshot mismatch: %+v", s)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// Uniform 1..1000: p50 should land near 500, p99 near 990,
+	// both within the 2x bound of a log2 bucket plus interpolation.
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum != 500500 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	if s.Max != 1000 {
+		t.Fatalf("max = %d", s.Max)
+	}
+	p50 := s.Quantile(0.50)
+	if p50 < 256 || p50 > 1000 {
+		t.Fatalf("p50 = %d, want within [256,1000]", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < 512 || p99 > 1000 {
+		t.Fatalf("p99 = %d, want within [512,1000]", p99)
+	}
+	if q := s.Quantile(1.0); q > s.Max {
+		t.Fatalf("p100 = %d beyond max %d", q, s.Max)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %d", got)
+	}
+	h.Record(-5) // clamps to 0
+	h.Record(0)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Sum != 0 || s.Buckets[0] != 2 {
+		t.Fatalf("zero handling: %+v", s)
+	}
+	if got := s.Quantile(0.99); got != 0 {
+		t.Fatalf("all-zero p99 = %d", got)
+	}
+	h.Observe(3 * time.Millisecond)
+	if got := h.Sum(); got != 3e6 {
+		t.Fatalf("Observe sum = %d", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Record(10)
+		b.Record(1000)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 200 {
+		t.Fatalf("merged count = %d", sa.Count)
+	}
+	if sa.Sum != 100*10+100*1000 {
+		t.Fatalf("merged sum = %d", sa.Sum)
+	}
+	if sa.Max != 1000 {
+		t.Fatalf("merged max = %d", sa.Max)
+	}
+	// Median of a 50/50 mix of 10s and 1000s sits at the boundary;
+	// p90 must come from the high population.
+	if p90 := sa.Quantile(0.90); p90 < 512 {
+		t.Fatalf("merged p90 = %d, want >= 512", p90)
+	}
+}
+
+func TestSnapshotMergeAndJSON(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.Counter("ops").Add(3)
+	r2.Counter("ops").Add(4)
+	r1.Gauge("depth").Set(1)
+	r2.Gauge("depth").Set(2)
+	r1.Histogram("lat").Record(100)
+	r2.Histogram("lat").Record(200)
+
+	s := NewSnapshot()
+	s.Merge(r1.Snapshot())
+	s.Merge(r2.Snapshot())
+	if s.Counters["ops"] != 7 || s.Gauges["depth"] != 3 {
+		t.Fatalf("merged scalars: %+v", s)
+	}
+	if h := s.Hist("lat"); h.Count != 2 || h.Sum != 300 {
+		t.Fatalf("merged hist: %+v", h)
+	}
+
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"p50_ns"`, `"p99_ns"`, `"max_ns"`, `"ops":7`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("JSON missing %s: %s", want, data)
+		}
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if h := back.Hist("lat"); h.Count != 2 || h.Sum != 300 || h.Max != 200 {
+		t.Fatalf("JSON round trip hist: %+v", h)
+	}
+
+	var buf strings.Builder
+	s.WriteTable(&buf)
+	if !strings.Contains(buf.String(), "lat") || !strings.Contains(buf.String(), "p99=") {
+		t.Fatalf("table output: %q", buf.String())
+	}
+}
+
+// TestHistogramRaceStress hammers a histogram and a registry from many
+// goroutines — concurrent record, snapshot, and merge — and checks the
+// final totals. Run under -race in CI.
+func TestHistogramRaceStress(t *testing.T) {
+	const (
+		writers    = 8
+		perWriter  = 5000
+		snapshoter = 4
+	)
+	r := NewRegistry()
+	h := r.Histogram("stress")
+	c := r.Counter("stress_ops")
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < snapshoter; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			merged := NewSnapshot()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := r.Snapshot()
+				merged.Merge(s)
+				// Quantiles over a torn-but-valid snapshot must not
+				// panic or exceed the recorded range.
+				if q := s.Hist("stress").Quantile(rng.Float64()); q < 0 {
+					panic("negative quantile")
+				}
+			}
+		}(int64(i))
+	}
+	var writerWG sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		writerWG.Add(1)
+		go func(seed int64) {
+			defer writerWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for j := 0; j < perWriter; j++ {
+				h.Record(rng.Int63n(1 << 30))
+				c.Inc()
+			}
+		}(int64(i) + 100)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	s := r.Snapshot()
+	if got := s.Hist("stress").Count; got != writers*perWriter {
+		t.Fatalf("final count = %d, want %d", got, writers*perWriter)
+	}
+	if got := s.Counters["stress_ops"]; got != writers*perWriter {
+		t.Fatalf("final counter = %d, want %d", got, writers*perWriter)
+	}
+	var total int64
+	for _, n := range s.Hist("stress").Buckets {
+		total += n
+	}
+	if total != writers*perWriter {
+		t.Fatalf("bucket total = %d, want %d", total, writers*perWriter)
+	}
+}

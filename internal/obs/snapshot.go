@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// HistSnapshot is a point-in-time copy of a Histogram. Snapshots from
+// different registries (one per data server) merge additively, which
+// is exact for count/sum/buckets and conservative (max of maxes) for
+// the maximum.
+type HistSnapshot struct {
+	Count   int64
+	Sum     int64
+	Max     int64
+	Buckets [numBuckets]int64
+}
+
+// Merge folds o into s.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by locating the
+// bucket containing the target rank and interpolating linearly within
+// its [2^(i-1), 2^i) range. Returns 0 for an empty snapshot. The
+// estimate never exceeds the observed Max.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	if target > s.Count {
+		target = s.Count
+	}
+	var cum int64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		if cum < target {
+			continue
+		}
+		if i == 0 {
+			return 0
+		}
+		lo := int64(1) << (i - 1)
+		hi := int64(1) << i
+		if i >= 63 {
+			hi = s.Max
+		}
+		// Position of the target rank inside this bucket.
+		frac := float64(target-(cum-n)) / float64(n)
+		v := lo + int64(frac*float64(hi-lo))
+		if v > s.Max && s.Max > 0 {
+			v = s.Max
+		}
+		return v
+	}
+	return s.Max
+}
+
+// Mean returns the average recorded value, or 0 when empty.
+func (s HistSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// histJSON is the wire shape of a histogram snapshot: summary
+// statistics plus the sparse non-empty buckets, so merged snapshots
+// can be reconstructed from JSON if needed.
+type histJSON struct {
+	Count   int64           `json:"count"`
+	SumNs   int64           `json:"sum_ns"`
+	AvgNs   int64           `json:"avg_ns"`
+	P50Ns   int64           `json:"p50_ns"`
+	P90Ns   int64           `json:"p90_ns"`
+	P99Ns   int64           `json:"p99_ns"`
+	MaxNs   int64           `json:"max_ns"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+// MarshalJSON emits summary statistics (percentiles in nanoseconds)
+// plus the sparse bucket counts.
+func (s HistSnapshot) MarshalJSON() ([]byte, error) {
+	j := histJSON{
+		Count: s.Count,
+		SumNs: s.Sum,
+		AvgNs: s.Mean(),
+		P50Ns: s.Quantile(0.50),
+		P90Ns: s.Quantile(0.90),
+		P99Ns: s.Quantile(0.99),
+		MaxNs: s.Max,
+	}
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if j.Buckets == nil {
+			j.Buckets = map[string]int64{}
+		}
+		j.Buckets[fmt.Sprintf("%d", i)] = n
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON restores a snapshot from its JSON form. Summary
+// fields other than count/sum/max are derived, so only the buckets
+// and totals are read back.
+func (s *HistSnapshot) UnmarshalJSON(data []byte) error {
+	var j histJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*s = HistSnapshot{Count: j.Count, Sum: j.SumNs, Max: j.MaxNs}
+	for k, n := range j.Buckets {
+		var i int
+		if _, err := fmt.Sscanf(k, "%d", &i); err != nil || i < 0 || i >= numBuckets {
+			continue
+		}
+		s.Buckets[i] = n
+	}
+	return nil
+}
+
+// Snapshot is a point-in-time copy of a whole registry. The zero
+// value is not usable; construct with NewSnapshot.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// NewSnapshot returns an empty snapshot ready for merging.
+func NewSnapshot() Snapshot {
+	return Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+}
+
+// Merge folds o into s: counters and gauges add (a summed gauge reads
+// as cluster-wide total, e.g. total dirty bytes), histograms merge
+// bucket-wise.
+func (s Snapshot) Merge(o Snapshot) {
+	for name, v := range o.Counters {
+		s.Counters[name] += v
+	}
+	for name, v := range o.Gauges {
+		s.Gauges[name] += v
+	}
+	for name, h := range o.Histograms {
+		cur := s.Histograms[name]
+		cur.Merge(h)
+		s.Histograms[name] = cur
+	}
+}
+
+// Hist returns the named histogram snapshot (zero-valued when absent).
+func (s Snapshot) Hist(name string) HistSnapshot { return s.Histograms[name] }
+
+// WriteTable renders the snapshot as aligned text, sorted by name
+// within each section — the human-facing form used by seqbench and
+// /debug/metrics?format=text.
+func (s Snapshot) WriteTable(w io.Writer) {
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%-40s %12d\n", name, s.Counters[name])
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%-40s %12d (gauge)\n", name, s.Gauges[name])
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		fmt.Fprintf(w, "%-40s n=%-9d p50=%-11s p90=%-11s p99=%-11s max=%s\n",
+			name, h.Count,
+			fmtNs(h.Quantile(0.50)), fmtNs(h.Quantile(0.90)),
+			fmtNs(h.Quantile(0.99)), fmtNs(h.Max))
+	}
+}
+
+// fmtNs renders nanoseconds at a human scale.
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,73 @@
+package perfbench
+
+// Observability overhead benchmarks. The instrumentation rule is that
+// every obs instrument on a hot path is allocation-free and a handful
+// of atomic operations; these benchmarks are the enforcement.
+// RpcRoundTripObs vs RpcRoundTrip is the pair benchcheck gates: the
+// fully instrumented round trip may cost at most a few percent over
+// the bare one.
+
+import (
+	"context"
+	"testing"
+
+	"ccpfs/internal/obs"
+	"ccpfs/internal/rpc"
+	"ccpfs/internal/sim"
+	"ccpfs/internal/transport/memnet"
+	"ccpfs/internal/wire"
+)
+
+// ObsHistogramRecordParallel: concurrent Record on one shared
+// histogram — the write side every instrumented call path pays.
+func ObsHistogramRecordParallel(b *testing.B) {
+	var h obs.Histogram
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.Record(v)
+			v = (v * 2654435761) % (1 << 30) // spread across buckets
+		}
+	})
+}
+
+// RpcRoundTripObs: RpcRoundTrip with rpc.Metrics attached on both
+// endpoints — per-call latency histogram, in-flight gauges, and byte
+// counters all live. Compare against RpcRoundTrip for the
+// instrumentation overhead.
+func RpcRoundTripObs(b *testing.B) {
+	net := memnet.New(sim.Hardware{})
+	l, err := net.Listen("srv")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srvMetrics := rpc.NewMetrics()
+	srv := rpc.NewServer(l, rpc.Options{}, func(ep *rpc.Endpoint) {
+		ep.SetMetrics(srvMetrics)
+		ep.Handle(wire.MRelease, func(context.Context, []byte) (wire.Msg, error) {
+			return &wire.Ack{}, nil
+		})
+	})
+	go srv.Serve()
+	conn, err := net.Dial("srv")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cli := rpc.NewEndpoint(conn, rpc.Options{Metrics: rpc.NewMetrics()})
+	cli.Start()
+	defer func() {
+		cli.Close()
+		srv.Close()
+	}()
+	ctx := context.Background()
+	req := &wire.ReleaseRequest{Resource: 7, LockID: 9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cli.Call(ctx, wire.MRelease, req, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -361,7 +361,9 @@ func All() []NamedBench {
 		{"LockClientCachedHitParallel", LockClientCachedHitParallel},
 		{"DLMGrantReleaseParallel", DLMGrantReleaseParallel},
 		{"RpcRoundTrip", RpcRoundTrip},
+		{"RpcRoundTripObs", RpcRoundTripObs},
 		{"RpcRoundTripParallel", RpcRoundTripParallel},
+		{"ObsHistogramRecordParallel", ObsHistogramRecordParallel},
 		{"FlushPipelineSequential", FlushPipelineSequential},
 		{"FlushPipelineWindowed", FlushPipelineWindowed},
 		{"LockGrantIndexed", LockGrantIndexed},

@@ -15,7 +15,9 @@ func BenchmarkPagecacheMixedParallel(b *testing.B)         { PagecacheMixedParal
 func BenchmarkLockClientCachedHitParallel(b *testing.B)    { LockClientCachedHitParallel(b) }
 func BenchmarkDLMGrantReleaseParallel(b *testing.B)        { DLMGrantReleaseParallel(b) }
 func BenchmarkRpcRoundTrip(b *testing.B)                   { RpcRoundTrip(b) }
+func BenchmarkRpcRoundTripObs(b *testing.B)                { RpcRoundTripObs(b) }
 func BenchmarkRpcRoundTripParallel(b *testing.B)           { RpcRoundTripParallel(b) }
+func BenchmarkObsHistogramRecordParallel(b *testing.B)     { ObsHistogramRecordParallel(b) }
 func BenchmarkFlushPipelineSequential(b *testing.B)        { FlushPipelineSequential(b) }
 func BenchmarkFlushPipelineWindowed(b *testing.B)          { FlushPipelineWindowed(b) }
 func BenchmarkLockGrantIndexed(b *testing.B)               { LockGrantIndexed(b) }

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ccpfs/internal/obs"
 	"ccpfs/internal/sim"
 	"ccpfs/internal/transport"
 	"ccpfs/internal/wire"
@@ -53,6 +54,10 @@ type Endpoint struct {
 	conn     transport.Conn
 	limiter  *sim.RateLimiter
 	handlers map[wire.Method]Handler
+	// metrics, when non-nil, instruments this endpoint (see Metrics).
+	// Written only before Start, so the read loop and callers see a
+	// stable pointer without synchronization.
+	metrics *Metrics
 
 	// baseCtx is the endpoint's lifecycle: handlers run under it and it
 	// is canceled when the read loop exits, aborting abandoned work.
@@ -97,13 +102,16 @@ type Options struct {
 	Limiter *sim.RateLimiter
 	// OnClose runs once when the endpoint's read loop exits.
 	OnClose func(*Endpoint)
+	// Metrics, when non-nil, instruments every endpoint built with these
+	// options. Safe to share across endpoints (all fields are atomic).
+	Metrics *Metrics
 }
 
 // NewEndpoint wraps conn. Register handlers with Handle, then call Start
 // to begin serving. Handle must not be called after Start.
 func NewEndpoint(conn transport.Conn, opts Options) *Endpoint {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Endpoint{
+	ep := &Endpoint{
 		conn:     conn,
 		limiter:  opts.Limiter,
 		handlers: make(map[wire.Method]Handler),
@@ -112,12 +120,24 @@ func NewEndpoint(conn transport.Conn, opts Options) *Endpoint {
 		pending:  make(map[uint64]chan response),
 		active:   make(map[uint64]context.CancelFunc),
 		onClose:  opts.OnClose,
+		metrics:  opts.Metrics,
 	}
+	if ep.metrics != nil {
+		ep.metrics.attach(ep)
+	}
+	return ep
 }
 
 // Handle registers a handler for method.
 func (ep *Endpoint) Handle(method wire.Method, h Handler) {
 	ep.handlers[method] = h
+}
+
+// SetMetrics attaches an instrument set. Like Handle, it must be
+// called before Start.
+func (ep *Endpoint) SetMetrics(m *Metrics) {
+	ep.metrics = m
+	m.attach(ep)
 }
 
 // Start launches the read loop. It is idempotent: extra calls are
@@ -165,6 +185,26 @@ func (ep *Endpoint) Drain(ctx context.Context) error {
 // wire.ErrCanceled and guarantees the pending-call entry is gone; the
 // eventual late reply, if any, is dropped as stale.
 func (ep *Endpoint) Call(ctx context.Context, method wire.Method, req wire.Msg, reply wire.Msg) error {
+	m := ep.metrics
+	if m == nil {
+		return ep.call(ctx, method, req, reply)
+	}
+	// Straight-line instrumentation (no defer). The sampling decision is
+	// a plain load — the count itself is bumped inside call, after the
+	// request frame is on the wire, where the atomic overlaps with the
+	// server working. Every sampleMask+1-th call per method — starting
+	// with the first, so a lightly used method still shows a latency —
+	// also pays two monotonic clock reads and a histogram record.
+	if (m.calls[method].Load()+1)&m.sampleMask != 1&m.sampleMask {
+		return ep.call(ctx, method, req, reply)
+	}
+	start := obs.Now()
+	err := ep.call(ctx, method, req, reply)
+	m.callLat[method].Record(obs.Now() - start)
+	return err
+}
+
+func (ep *Endpoint) call(ctx context.Context, method wire.Method, req wire.Msg, reply wire.Msg) error {
 	if err := ctx.Err(); err != nil {
 		return wire.FromContext(err)
 	}
@@ -180,13 +220,20 @@ func (ep *Endpoint) Call(ctx context.Context, method wire.Method, req wire.Msg, 
 	ep.pending[id] = ch
 	ep.mu.Unlock()
 
-	if err := ep.send(ctx, kindRequest, id, method, statusOK, req); err != nil {
+	sendErr := ep.send(ctx, kindRequest, id, method, statusOK, req)
+	if m := ep.metrics; m != nil {
+		// Counts attempts (send failures included), bumped after the
+		// request frame is handed off so the atomic overlaps with the
+		// server starting on it rather than delaying the wait.
+		m.calls[method].Inc()
+	}
+	if sendErr != nil {
 		// The send failed: deregister so the pending map cannot grow
 		// unboundedly under a flaky transport. The entry may already be
 		// gone if shutdown raced us (and a sender may then still hold
 		// the channel, so it is not recycled). Delete is idempotent.
 		ep.forget(id)
-		return err
+		return sendErr
 	}
 	var resp response
 	select {
@@ -240,6 +287,25 @@ type BatchCall struct {
 // not-yet-answered calls exactly like Call: entries are deregistered,
 // best-effort cancel frames are sent, and late replies are dropped.
 func (ep *Endpoint) CallBatch(ctx context.Context, calls []BatchCall) error {
+	m := ep.metrics
+	if m == nil {
+		return ep.callBatch(ctx, calls)
+	}
+	// Batches are already coalesced work, so the clock pair amortizes
+	// over the batch: count every call exactly, time the batch once,
+	// and record the shared round-trip for each sampled call.
+	start := obs.Now()
+	err := ep.callBatch(ctx, calls)
+	elapsed := obs.Now() - start
+	for i := range calls {
+		if m.calls[calls[i].Method].Inc()&m.sampleMask == 1&m.sampleMask {
+			m.callLat[calls[i].Method].Record(elapsed)
+		}
+	}
+	return err
+}
+
+func (ep *Endpoint) callBatch(ctx context.Context, calls []BatchCall) error {
 	if len(calls) == 0 {
 		return nil
 	}
@@ -282,6 +348,15 @@ func (ep *Endpoint) CallBatch(ctx context.Context, calls []BatchCall) error {
 		frames[i] = enc.Bytes()
 	}
 	sendErr := transport.SendBatch(ctx, ep.conn, frames)
+	if m := ep.metrics; m != nil {
+		// Attempted bytes, counted after the batch is handed to the
+		// transport (overlapping the peer's read) — errors still count.
+		var total int64
+		for _, f := range frames {
+			total += int64(len(f))
+		}
+		m.BytesOut.Add(total)
+	}
 	for _, enc := range encs {
 		wire.PutEncoder(enc)
 	}
@@ -353,8 +428,15 @@ func (ep *Endpoint) send(ctx context.Context, kind byte, id uint64, method wire.
 	if m != nil {
 		m.Encode(enc)
 	}
+	n := int64(len(enc.Bytes()))
 	err := ep.conn.Send(ctx, enc.Bytes())
 	wire.PutEncoder(enc)
+	if m := ep.metrics; m != nil {
+		// Counted after Send: the peer is already consuming the frame,
+		// so this atomic overlaps with remote work instead of stretching
+		// the round-trip chain. BytesOut lags the wire by one frame.
+		m.BytesOut.Add(n)
+	}
 	return err
 }
 
@@ -365,8 +447,12 @@ func (ep *Endpoint) sendErr(ctx context.Context, id uint64, method wire.Method, 
 	enc.U8(uint8(method))
 	enc.U8(statusErr)
 	wire.EncodeError(enc, err)
+	n := int64(len(enc.Bytes()))
 	serr := ep.conn.Send(ctx, enc.Bytes())
 	wire.PutEncoder(enc)
+	if m := ep.metrics; m != nil {
+		m.BytesOut.Add(n)
+	}
 	return serr
 }
 
@@ -399,6 +485,12 @@ func (ep *Endpoint) readLoop() {
 			ep.cancelInbound(id)
 		default:
 			err = fmt.Errorf("rpc: unknown frame kind %d", kind)
+		}
+		if m := ep.metrics; m != nil {
+			// Counted after the frame is acted on: delivering a response
+			// (or dispatching a request) wakes another goroutine, and the
+			// atomic add overlaps with that work instead of delaying it.
+			m.BytesIn.Add(int64(len(frame)))
 		}
 		if err != nil {
 			break
@@ -436,17 +528,38 @@ func (ep *Endpoint) dispatch(id uint64, method wire.Method, payload []byte) {
 			ep.mu.Unlock()
 			cancel()
 		}()
+		// The sampling decision reads the counter (a plain load) up front;
+		// the count itself is bumped after the reply frame is on the wire,
+		// where the atomic overlaps with the peer processing the reply.
+		// Under concurrent handlers the load-based decision may time a
+		// neighbor of the exact n-th run — sampling is statistical anyway.
+		m := ep.metrics
+		var start, elapsed int64
+		timed := false
+		if m != nil && (m.handles[method].Load()+1)&m.sampleMask == 1&m.sampleMask {
+			timed = true
+			start = obs.Now()
+		}
 		reply, err := h(ctx, payload)
+		if timed {
+			elapsed = obs.Now() - start
+		}
 		if err != nil {
 			ep.sendErr(ep.baseCtx, id, method, err)
-			return
+		} else {
+			ep.send(ep.baseCtx, kindResponse, id, method, statusOK, reply)
+			// A reply whose payload rides in a pooled buffer (e.g. a read
+			// served from a pooled block) is returned to its pool now that
+			// the encoded frame is on the wire.
+			if r, ok := reply.(wire.Recycler); ok {
+				r.Recycle()
+			}
 		}
-		ep.send(ep.baseCtx, kindResponse, id, method, statusOK, reply)
-		// A reply whose payload rides in a pooled buffer (e.g. a read
-		// served from a pooled block) is returned to its pool now that
-		// the encoded frame is on the wire.
-		if r, ok := reply.(wire.Recycler); ok {
-			r.Recycle()
+		if m != nil {
+			m.handles[method].Inc()
+			if timed {
+				m.handleLat[method].Record(elapsed)
+			}
 		}
 	}()
 }
@@ -497,6 +610,11 @@ func (ep *Endpoint) shutdown() {
 	// Cancel the lifecycle context so handlers still running for this
 	// connection observe the teardown and can abort.
 	ep.cancel()
+	if ep.metrics != nil {
+		// Stop contributing to the in-flight derivation; the scalar
+		// counters the endpoint already recorded stay in the Metrics.
+		ep.metrics.detach(ep)
+	}
 	if ep.onClose != nil {
 		ep.onClose(ep)
 	}

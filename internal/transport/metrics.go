@@ -1,0 +1,35 @@
+package transport
+
+import "ccpfs/internal/obs"
+
+// batchMetrics is the process-wide instrumentation for the coalesced
+// send path: the distribution of frames per batch (how well group
+// commit is working) and the total bytes handed to SendBatch. It is
+// package-level rather than per-Conn because batching happens below
+// the per-endpoint rpc layer; a process hosts one server (or one
+// in-process test cluster), so process scope is the natural unit.
+// Recording is two atomic-add bundles per batch — never per frame —
+// and counts attempts, not just successful sends.
+var batchMetrics struct {
+	frames obs.Histogram // frames per SendBatch call
+	bytes  obs.Counter   // payload bytes across all batches
+}
+
+// RegisterMetrics exposes the batch-path instruments in reg:
+//
+//	transport.batch_frames  histogram of frames per coalesced batch
+//	transport.batch_bytes   counter of payload bytes sent in batches
+//
+// Register into exactly one registry per process (the data server's,
+// or the cluster harness's) — merging two registries that both carry
+// these process-wide instruments would double count.
+func RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterHistogram("transport.batch_frames", &batchMetrics.frames)
+	reg.RegisterCounter("transport.batch_bytes", &batchMetrics.bytes)
+}
+
+// recordBatch notes one coalesced batch of n frames totaling bytes.
+func recordBatch(n int, bytes int64) {
+	batchMetrics.frames.Record(int64(n))
+	batchMetrics.bytes.Add(bytes)
+}

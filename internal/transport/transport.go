@@ -61,6 +61,11 @@ type BatchSender interface {
 // connection supports it, falling back to sequential Sends (stopping at
 // the first error) otherwise.
 func SendBatch(ctx context.Context, c Conn, msgs [][]byte) error {
+	var total int64
+	for _, m := range msgs {
+		total += int64(len(m))
+	}
+	recordBatch(len(msgs), total)
 	if bs, ok := c.(BatchSender); ok {
 		return bs.SendBatch(ctx, msgs)
 	}

@@ -32,6 +32,53 @@ const (
 	MRevokeBatch Method = 130 // RevokeBatch -> RevokeBatchAck
 )
 
+// methodNames maps methods to their metric/debug labels. Indexed by the
+// raw uint8 so lookups never allocate.
+var methodNames = [256]string{
+	MLock:        "Lock",
+	MRelease:     "Release",
+	MDowngrade:   "Downgrade",
+	MFlush:       "Flush",
+	MRead:        "Read",
+	MMinSN:       "MinSN",
+	MCreate:      "Create",
+	MOpen:        "Open",
+	MStat:        "Stat",
+	MSetSize:     "SetSize",
+	MRemove:      "Remove",
+	MReserve:     "Reserve",
+	MList:        "List",
+	MHello:       "Hello",
+	MRevoke:      "Revoke",
+	MReport:      "Report",
+	MRevokeBatch: "RevokeBatch",
+}
+
+// String returns the method's human-readable name, or "m<N>" for an
+// unknown method number.
+func (m Method) String() string {
+	if s := methodNames[m]; s != "" {
+		return s
+	}
+	return "m" + itoa(uint8(m))
+}
+
+// itoa formats a uint8 without pulling fmt into the wire package's
+// dependency graph.
+func itoa(v uint8) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [3]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = '0' + v%10
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
 // Msg is the interface all wire messages implement.
 type Msg interface {
 	Encode(e *Encoder)
