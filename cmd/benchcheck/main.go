@@ -7,6 +7,9 @@
 //     the required floor (-minspeedup), or
 //   - the instrumented RPC round trip exceeds its overhead ceiling
 //     over the bare one, or
+//   - the parallel RPC round trip is slower per op than the serial one
+//     (the lock-free pending-table scaling guarantee), or
+//   - the client's cached-lock hit path allocates, or
 //   - a benchmark pair ratio regressed by more than -threshold against
 //     the checked-in BENCH_dlm.json baseline.
 //
@@ -150,7 +153,8 @@ func main() {
 	names := []string{
 		"LockGrantIndexed", "LockGrantLinear",
 		"RevokeStorm", "RevokeStormUnbatched",
-		"RpcRoundTrip", "RpcRoundTripObs",
+		"RpcRoundTrip", "RpcRoundTripObs", "RpcRoundTripParallel",
+		"LockClientCachedHitParallel",
 	}
 	// Each benchmark runs `rounds` times and the minimum ns/op is kept:
 	// the min is the run least disturbed by scheduler and VM noise, so
@@ -200,6 +204,11 @@ func main() {
 		// Instrumentation overhead: the fully metered round trip may cost
 		// at most 5% over the bare one (ISSUE: allocation-free rule).
 		{label: "obs overhead (rpc)", slow: "RpcRoundTripObs", fast: "RpcRoundTrip", ceiling: 1.05},
+		// Parallel scaling: with the lock-free pending-call table, eight
+		// concurrent callers must be at least as fast per op as one —
+		// before it, contention on ep.mu made the parallel round trip
+		// *slower* than serial (the ISSUE 6 motivating number).
+		{label: "parallel rpc scaling", slow: "RpcRoundTripParallel", fast: "RpcRoundTrip", ceiling: 1.0},
 	}
 	for _, p := range pairs {
 		got := ratio(fresh, p.slow, p.fast)
@@ -249,6 +258,19 @@ func main() {
 			continue
 		}
 		fmt.Println()
+	}
+
+	// The client's cached-hit fast path (epoch pin + RCU snapshot scan +
+	// hot-word CAS) is allocation-free by construction; a single alloc
+	// per op here means a snapshot copy or pin leaked onto the hit path.
+	if r, ok := fresh["LockClientCachedHitParallel"]; !ok {
+		fmt.Fprintln(os.Stderr, "FAIL: cached-hit allocs: missing fresh result for LockClientCachedHitParallel")
+		failed = true
+	} else if r.AllocsPerOp != 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: LockClientCachedHitParallel allocates %d/op, want 0\n", r.AllocsPerOp)
+		failed = true
+	} else {
+		fmt.Printf("  %-24s %d allocs/op (required 0)\n", "cached-hit allocs", r.AllocsPerOp)
 	}
 
 	if failed {

@@ -17,6 +17,8 @@
 // internal/perfbench instead of the experiment suite and writes the
 // results to FILE (BENCH_dlm.json by convention); -benchbaseline FILE
 // folds per-benchmark baseline numbers and speedups into the report.
+// -mutexprofile FILE and -blockprofile FILE capture pprof contention
+// profiles covering the whole benchmark run (see EXPERIMENTS.md).
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -114,10 +117,12 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "run the parallel hot-path benchmarks and write results to this file")
 	benchBaseline := flag.String("benchbaseline", "", "baseline results file to compute speedups against (with -benchjson)")
 	benchProcs := flag.Int("benchprocs", 0, "GOMAXPROCS for -benchjson (0 = 8 or NumCPU, whichever is larger)")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile of the -benchjson run to this file")
+	blockProfile := flag.String("blockprofile", "", "write a blocking profile of the -benchjson run to this file")
 	flag.Parse()
 
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *benchBaseline, *benchProcs); err != nil {
+		if err := runBenchJSON(*benchJSON, *benchBaseline, *benchProcs, *mutexProfile, *blockProfile); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -180,13 +185,25 @@ type benchEntry struct {
 }
 
 // runBenchJSON runs the perfbench suite at the requested parallelism and
-// writes the report, printing a human-readable summary to stdout.
-func runBenchJSON(outPath, baselinePath string, procs int) error {
+// writes the report, printing a human-readable summary to stdout. When
+// mutexPath or blockPath is non-empty the corresponding runtime profiler
+// covers the whole suite and the pprof profile is written alongside the
+// report, so a contention regression spotted by the numbers can be
+// pinned to a stack without re-running anything.
+func runBenchJSON(outPath, baselinePath string, procs int, mutexPath, blockPath string) error {
 	if procs <= 0 {
 		procs = 8
 		if n := runtime.NumCPU(); n > procs {
 			procs = n
 		}
+	}
+	if mutexPath != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer runtime.SetMutexProfileFraction(0)
+	}
+	if blockPath != "" {
+		runtime.SetBlockProfileRate(1)
+		defer runtime.SetBlockProfileRate(0)
 	}
 	baseline := map[string]perfbench.Result{}
 	if baselinePath != "" {
@@ -211,8 +228,9 @@ func runBenchJSON(outPath, baselinePath string, procs int) error {
 	}
 
 	fmt.Printf("running %d parallel benchmarks at GOMAXPROCS=%d...\n", len(perfbench.All()), procs)
-	rep := benchReport{GOMAXPROCS: procs, NumCPU: runtime.NumCPU()}
-	for _, r := range perfbench.Run(procs) {
+	results, env := perfbench.Run(procs)
+	rep := benchReport{GOMAXPROCS: env.GOMAXPROCS, NumCPU: env.NumCPU}
+	for _, r := range results {
 		e := benchEntry{Result: r}
 		if b, ok := baseline[r.Name]; ok && r.NsPerOp > 0 {
 			e.BaselineNsPerOp = b.NsPerOp
@@ -231,5 +249,26 @@ func runBenchJSON(outPath, baselinePath string, procs int) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", outPath)
+	if err := writeProfile("mutex", mutexPath); err != nil {
+		return err
+	}
+	return writeProfile("block", blockPath)
+}
+
+// writeProfile dumps the named runtime profile in pprof format to path
+// (no-op when path is empty).
+func writeProfile(name, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		return fmt.Errorf("writing %s profile: %w", name, err)
+	}
+	fmt.Printf("wrote %s profile to %s\n", name, path)
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ccpfs/internal/epoch"
 	"ccpfs/internal/extent"
 	"ccpfs/internal/shard"
 	"ccpfs/internal/wire"
@@ -38,26 +39,66 @@ func (f FlusherFunc) FlushForCancel(ctx context.Context, res ResourceID, rng ext
 	return f(ctx, res, rng, sn)
 }
 
+// The mutable per-handle state lives in one packed atomic word so the
+// cached-hit fast path, revocation, absorption, and Unlock all race
+// through CAS transitions on a single cell — no per-handle or per-shard
+// mutex on the hit path. Layout (low to high):
+//
+//	bits  0–31  holds       active Acquire references
+//	bits 32–33  state       Granted / Canceling
+//	bit  34     canceling   the cancel goroutine has been claimed (set once)
+//	bit  35     wrote       a write-mode Acquire used this handle
+//	bit  36     absorbed    merged into an upgraded lock; merged ptr is set
+//	bit  37     releaseSent the Release RPC has been (or is being) issued
+//	bits 40–47  mode        current Mode (changes on downgrade)
+//
+// The combinations the word makes atomic are exactly the races the old
+// shard mutex serialized: a hit's holds++ vs. a revocation's
+// state=Canceling, an Unlock's holds-- vs. an upgrade's absorb-capture,
+// and the one-shot claim of the cancel path (the canceling bit). See
+// DESIGN.md §11.
+const (
+	hotHoldsMask   = uint64(1)<<32 - 1
+	hotStateShift  = 32
+	hotStateMask   = uint64(3) << hotStateShift
+	hotCanceling   = uint64(1) << 34
+	hotWrote       = uint64(1) << 35
+	hotAbsorbed    = uint64(1) << 36
+	hotReleaseSent = uint64(1) << 37
+	hotModeShift   = 40
+	hotModeMask    = uint64(0xFF) << hotModeShift
+)
+
+func hotHolds(w uint64) int   { return int(w & hotHoldsMask) }
+func hotState(w uint64) State { return State(w >> hotStateShift & 3) }
+func hotMode(w uint64) Mode   { return Mode(w >> hotModeShift & 0xFF) }
+
+func hotWord(holds int, st State, m Mode, wrote bool) uint64 {
+	w := uint64(holds) | uint64(st)<<hotStateShift | uint64(m)<<hotModeShift
+	if wrote {
+		w |= hotWrote
+	}
+	return w
+}
+
 // Handle is a client's reference to a granted lock. Handles are obtained
 // from Acquire and returned with Unlock; the client caches GRANTED
-// handles for reuse.
+// handles for reuse. res, id, sn, rng and released are immutable after
+// the grant; all mutable state is in hot (and merged, which is written
+// before hot's absorbed bit).
 type Handle struct {
 	c   *LockClient
 	res ResourceID
 	id  LockID
 	sn  extent.SN
+	rng extent.Extent
 
-	// Guarded by the shard mutex of res (all operations on one handle go
-	// through the same shard, since shards are keyed by resource).
-	mode        Mode
-	rng         extent.Extent
-	state       State
-	holds       int
-	wrote       bool
-	canceling   bool
-	releaseSent bool // the Release RPC has been (or is being) issued
-	merged      *Handle
-	released    chan struct{}
+	hot atomic.Uint64
+	// merged points to the handle that absorbed this one via lock
+	// upgrading. It is published before the absorbed bit is set in hot,
+	// so any reader that observes absorbed finds merged non-nil.
+	merged   atomic.Pointer[Handle]
+	released chan struct{}
 }
 
 // Resource returns the lock's resource.
@@ -70,32 +111,48 @@ func (h *Handle) ID() LockID { return h.id }
 func (h *Handle) SN() extent.SN { return h.sn }
 
 // Mode returns the current mode (it may change by conversion).
-func (h *Handle) Mode() Mode {
-	sh := h.c.shard(h.res)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return h.mode
-}
+func (h *Handle) Mode() Mode { return hotMode(h.hot.Load()) }
 
 // Range returns the granted (possibly expanded) range.
-func (h *Handle) Range() extent.Extent {
-	sh := h.c.shard(h.res)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return h.rng
-}
+func (h *Handle) Range() extent.Extent { return h.rng }
 
 // State returns the lock's client-side state.
-func (h *Handle) State() State {
-	sh := h.c.shard(h.res)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return h.state
-}
+func (h *Handle) State() State { return hotState(h.hot.Load()) }
 
 // Released returns a channel closed once the lock is fully canceled
 // (flushed and released).
 func (h *Handle) Released() <-chan struct{} { return h.released }
+
+// setMode swaps the mode bits, leaving the rest of the word to race on.
+func (h *Handle) setMode(m Mode) {
+	for {
+		w := h.hot.Load()
+		if h.hot.CompareAndSwap(w, w&^hotModeMask|uint64(m)<<hotModeShift) {
+			return
+		}
+	}
+}
+
+// tryHit attempts the wait-free cached-lock fast path: bump holds iff
+// the handle is still GRANTED, unclaimed by a cancel, unabsorbed, and
+// its mode covers need. The CAS makes the reuse check and the reference
+// count one atomic step, so a racing revocation either sees our hold
+// (and defers the cancel to our Unlock) or beats us (and we miss).
+func (h *Handle) tryHit(need Mode) bool {
+	for {
+		w := h.hot.Load()
+		if hotState(w) != Granted || w&(hotCanceling|hotAbsorbed) != 0 || !hotMode(w).Covers(need) {
+			return false
+		}
+		nw := w + 1
+		if need.IsWrite() {
+			nw |= hotWrote
+		}
+		if h.hot.CompareAndSwap(w, nw) {
+			return true
+		}
+	}
+}
 
 // ClientStats counts client-side lock activity.
 type ClientStats struct {
@@ -111,10 +168,13 @@ type ClientStats struct {
 // revocation callbacks, and runs the cancel path (downgrade → flush →
 // release) of §III-D2.
 //
-// Concurrency: all per-resource state (cached handles, the acquire
-// serialization mutex, racing-revocation bookkeeping) is sharded by
-// resource ID, so the cached-lock fast path of two clients touching
-// different stripes never shares a mutex. See DESIGN.md §6.
+// Concurrency: the cached-lock fast path is lock-free. Each shard
+// publishes its resource→handles map through an atomic pointer; readers
+// pin the shard's epoch domain, load the snapshot, and claim a handle
+// with one CAS on its packed state word — no mutex, no allocation.
+// Writers (grant installation, absorption, removal) serialize on the
+// shard mutex, publish copy-on-write, and retire displaced maps through
+// the epoch domain for reuse. See DESIGN.md §11.
 type LockClient struct {
 	id      ClientID
 	policy  Policy
@@ -134,11 +194,13 @@ type LockClient struct {
 }
 
 // clientShard carries the lock state of the resources hashing to one
-// shard. Every handle of a resource is guarded by its shard's mutex.
+// shard. snap is the RCU-published cache: the map and every slice in it
+// are immutable once stored; mutation copies and re-publishes under mu.
 type clientShard struct {
-	mu    sync.Mutex
-	cache map[ResourceID][]*Handle
-	acq   map[ResourceID]*sync.Mutex
+	mu   sync.Mutex
+	snap atomic.Pointer[map[ResourceID][]*Handle]
+	dom  epoch.Domain
+	acq  map[ResourceID]*sync.Mutex
 	// pendingRevokes records revocation callbacks that arrived before
 	// the corresponding grant reply was processed (the callback and the
 	// reply race on different goroutines); the handle is created
@@ -157,6 +219,38 @@ type lockKey struct {
 	id  LockID
 }
 
+// snapMapPool recycles displaced cache snapshots. A map freed here has
+// passed a grace period of its shard's epoch domain, so no pinned
+// reader can still be iterating it when a writer repopulates it.
+var snapMapPool = sync.Pool{
+	New: func() any { return make(map[ResourceID][]*Handle, 8) },
+}
+
+// cur returns the current snapshot for mutation under sh.mu.
+func (sh *clientShard) cur() map[ResourceID][]*Handle { return *sh.snap.Load() }
+
+// setList publishes a copy of the snapshot with res's handle list
+// replaced (nil deletes the entry) and retires the displaced map into
+// the pool after a grace period. Caller holds sh.mu; list must not be
+// mutated after this call.
+func (sh *clientShard) setList(res ResourceID, list []*Handle) {
+	old := sh.cur()
+	m := snapMapPool.Get().(map[ResourceID][]*Handle)
+	for k, v := range old {
+		m[k] = v
+	}
+	if list == nil {
+		delete(m, res)
+	} else {
+		m[res] = list
+	}
+	sh.snap.Store(&m)
+	sh.dom.Retire(func() {
+		clear(old)
+		snapMapPool.Put(old)
+	})
+}
+
 // NewLockClient returns a lock client. router maps a resource to the
 // connection of the server owning it; flusher is the data path used at
 // cancel time.
@@ -172,7 +266,8 @@ func NewLockClient(id ClientID, policy Policy, router func(ResourceID) ServerCon
 	}
 	for i := range c.shards {
 		sh := &c.shards[i]
-		sh.cache = make(map[ResourceID][]*Handle)
+		m := make(map[ResourceID][]*Handle)
+		sh.snap.Store(&m)
 		sh.acq = make(map[ResourceID]*sync.Mutex)
 		sh.pendingRevokes = make(map[lockKey]bool)
 		sh.tombstones = make(map[lockKey]bool)
@@ -220,24 +315,43 @@ func (c *LockClient) AcquireExtents(ctx context.Context, res ResourceID, need Mo
 	return c.acquire(ctx, res, need, b, set)
 }
 
+// fastHit scans the published snapshot for a reusable cached handle
+// without taking any lock. The epoch pin keeps the snapshot map alive
+// against writers recycling displaced versions; the per-handle CAS in
+// tryHit claims the reference.
+func (c *LockClient) fastHit(res ResourceID, need Mode, rng extent.Extent) *Handle {
+	if !c.policy.CacheLocks {
+		return nil
+	}
+	sh := c.shard(res)
+	g := sh.dom.Pin()
+	list := (*sh.snap.Load())[res]
+	for _, h := range list {
+		if h.rng.Contains(rng) && h.tryHit(need) {
+			g.Unpin()
+			return h
+		}
+	}
+	g.Unpin()
+	return nil
+}
+
 func (c *LockClient) acquire(ctx context.Context, res ResourceID, need Mode, rng extent.Extent, set extent.Set) (*Handle, error) {
 	need = c.policy.MapMode(need)
+	if h := c.fastHit(res, need, rng); h != nil {
+		c.Stats.CacheHits.Add(1)
+		return h, nil
+	}
 	am := c.acquireMu(res)
 	am.Lock()
 	defer am.Unlock()
 
-	sh := c.shard(res)
-	sh.mu.Lock()
-	if h := c.lookupLocked(sh, res, need, rng); h != nil {
-		h.holds++
-		if need.IsWrite() {
-			h.wrote = true
-		}
-		sh.mu.Unlock()
+	// Second chance under the acquire mutex: a racing acquire may have
+	// just installed a covering grant while we waited for it.
+	if h := c.fastHit(res, need, rng); h != nil {
 		c.Stats.CacheHits.Add(1)
 		return h, nil
 	}
-	sh.mu.Unlock()
 	c.Stats.CacheMisses.Add(1)
 
 	start := time.Now()
@@ -258,33 +372,41 @@ func (c *LockClient) acquire(ctx context.Context, res ResourceID, need Mode, rng
 		res:      res,
 		id:       g.LockID,
 		sn:       g.SN,
-		mode:     g.Mode,
 		rng:      g.Range,
-		state:    g.State,
-		holds:    1,
-		wrote:    need.IsWrite(),
 		released: make(chan struct{}),
 	}
+	st := g.State
+	sh := c.shard(res)
 	sh.mu.Lock()
 	// A revocation callback may have raced ahead of this grant reply;
 	// honour it now.
 	if k := (lockKey{res, g.LockID}); sh.pendingRevokes[k] {
 		delete(sh.pendingRevokes, k)
-		h.state = Canceling
+		st = Canceling
 	}
+	h.hot.Store(hotWord(1, st, g.Mode, need.IsWrite()))
+
+	list := sh.cur()[res]
+	nl := make([]*Handle, 0, len(list)+1)
+	nl = append(nl, list...)
 	// Merge locks the server absorbed during upgrading: transfer their
 	// active holds and dirty-write flags, and forward their handles.
 	for _, aid := range g.Absorbed {
-		old := sh.findByIDLocked(res, aid)
-		if old == nil || old.canceling {
+		var old *Handle
+		idx := -1
+		for i, x := range nl {
+			if x.id == aid {
+				old, idx = x, i
+				break
+			}
+		}
+		if old == nil || !h.absorb(old) {
 			continue
 		}
-		h.holds += old.holds
-		if old.wrote {
-			h.wrote = true
-		}
-		old.merged = h
-		sh.removeLocked(old)
+		k := lockKey{res, aid}
+		sh.tombstones[k] = true
+		delete(sh.pendingRevokes, k)
+		nl = append(nl[:idx], nl[idx+1:]...)
 		// The absorbed lock will never be canceled on its own; its
 		// users now hold h, and its released channel tracks h's.
 		go func(old *Handle) {
@@ -292,28 +414,42 @@ func (c *LockClient) acquire(ctx context.Context, res ResourceID, need Mode, rng
 			close(old.released)
 		}(old)
 	}
-	sh.cache[res] = append(sh.cache[res], h)
+	nl = append(nl, h)
+	sh.setList(res, nl)
 	sh.mu.Unlock()
 	return h, nil
 }
 
-// lookupLocked finds a reusable cached handle. Datatype-style policies
-// do not reuse cached locks. The caller holds sh.mu.
-func (c *LockClient) lookupLocked(sh *clientShard, res ResourceID, need Mode, rng extent.Extent) *Handle {
-	if !c.policy.CacheLocks {
-		return nil
-	}
-	for _, h := range sh.cache[res] {
-		if h.state == Granted && !h.canceling && h.merged == nil &&
-			h.mode.Covers(need) && h.rng.Contains(rng) {
-			return h
+// absorb folds old into h: one CAS sets old's absorbed bit while
+// capturing its holds and wrote flag at that instant. Unlock racers
+// either land their decrement before the capture (and are counted) or
+// observe absorbed and chase old.merged to h. Returns false when old is
+// already claimed by a cancel — then it must be left alone, matching
+// the server, which never absorbs a canceling lock.
+func (h *Handle) absorb(old *Handle) bool {
+	old.merged.Store(h)
+	for {
+		w := old.hot.Load()
+		if w&(hotCanceling|hotAbsorbed) != 0 {
+			return false
+		}
+		if old.hot.CompareAndSwap(w, w|hotAbsorbed) {
+			for {
+				hw := h.hot.Load()
+				nhw := hw + uint64(hotHolds(w))
+				if w&hotWrote != 0 {
+					nhw |= hotWrote
+				}
+				if h.hot.CompareAndSwap(hw, nhw) {
+					return true
+				}
+			}
 		}
 	}
-	return nil
 }
 
-func (sh *clientShard) findByIDLocked(res ResourceID, id LockID) *Handle {
-	for _, h := range sh.cache[res] {
+func findByID(list []*Handle, id LockID) *Handle {
+	for _, h := range list {
 		if h.id == id {
 			return h
 		}
@@ -321,14 +457,22 @@ func (sh *clientShard) findByIDLocked(res ResourceID, id LockID) *Handle {
 	return nil
 }
 
-func (sh *clientShard) removeLocked(h *Handle) {
+// remove unpublishes h from the cache and tombstones it. Caller holds
+// sh.mu.
+func (sh *clientShard) remove(h *Handle) {
 	k := lockKey{h.res, h.id}
 	sh.tombstones[k] = true
 	delete(sh.pendingRevokes, k)
-	list := sh.cache[h.res]
+	list := sh.cur()[h.res]
 	for i, x := range list {
 		if x == h {
-			sh.cache[h.res] = append(list[:i], list[i+1:]...)
+			var nl []*Handle
+			if len(list) > 1 {
+				nl = make([]*Handle, 0, len(list)-1)
+				nl = append(nl, list[:i]...)
+				nl = append(nl, list[i+1:]...)
+			}
+			sh.setList(h.res, nl)
 			return
 		}
 	}
@@ -338,26 +482,32 @@ func (sh *clientShard) removeLocked(h *Handle) {
 // policy does not cache locks) and this was the last user, the cancel
 // path starts in the background: downgrade, flush, release.
 func (c *LockClient) Unlock(h *Handle) {
-	sh := c.shard(h.res)
-	sh.mu.Lock()
-	for h.merged != nil {
-		h = h.merged
-	}
-	if h.holds <= 0 {
-		sh.mu.Unlock()
-		panic("dlm: Unlock without matching Acquire")
-	}
-	h.holds--
-	if h.holds == 0 && !c.policy.CacheLocks && h.state == Granted {
-		h.state = Canceling
-	}
-	start := h.holds == 0 && h.state == Canceling && !h.canceling
-	if start {
-		h.canceling = true
-	}
-	sh.mu.Unlock()
-	if start {
-		go c.cancel(h)
+	for {
+		w := h.hot.Load()
+		if w&hotAbsorbed != 0 {
+			h = h.merged.Load()
+			continue
+		}
+		if hotHolds(w) == 0 {
+			panic("dlm: Unlock without matching Acquire")
+		}
+		nw := w - 1
+		start := false
+		if hotHolds(nw) == 0 {
+			if !c.policy.CacheLocks && hotState(nw) == Granted {
+				nw = nw&^hotStateMask | uint64(Canceling)<<hotStateShift
+			}
+			if hotState(nw) == Canceling && nw&hotCanceling == 0 {
+				nw |= hotCanceling
+				start = true
+			}
+		}
+		if h.hot.CompareAndSwap(w, nw) {
+			if start {
+				go c.cancel(h)
+			}
+			return
+		}
 	}
 }
 
@@ -368,7 +518,7 @@ func (c *LockClient) OnRevoke(res ResourceID, id LockID) {
 	c.Stats.Revocations.Add(1)
 	sh := c.shard(res)
 	sh.mu.Lock()
-	h := sh.findByIDLocked(res, id)
+	h := findByID(sh.cur()[res], id)
 	if h == nil {
 		// Either the grant reply has not been processed yet (remember
 		// the revocation for when it is) or the lock is already gone
@@ -379,43 +529,45 @@ func (c *LockClient) OnRevoke(res ResourceID, id LockID) {
 		sh.mu.Unlock()
 		return
 	}
-	if h.merged != nil {
-		sh.mu.Unlock()
-		return // absorbed into an upgraded lock; nothing to cancel
-	}
-	h.state = Canceling
-	start := h.holds == 0 && !h.canceling
-	if start {
-		h.canceling = true
-	}
 	sh.mu.Unlock()
-	if start {
-		go c.cancel(h)
+	for {
+		w := h.hot.Load()
+		if w&hotAbsorbed != 0 {
+			return // absorbed into an upgraded lock; nothing to cancel
+		}
+		nw := w&^hotStateMask | uint64(Canceling)<<hotStateShift
+		start := hotHolds(w) == 0 && w&hotCanceling == 0
+		if start {
+			nw |= hotCanceling
+		}
+		if h.hot.CompareAndSwap(w, nw) {
+			if start {
+				go c.cancel(h)
+			}
+			return
+		}
 	}
 }
 
 // cancel runs the lock cancel path of §III-D2: automatic downgrade to
 // the least restrictive mode (re-enabling early grant for waiters), data
-// flushing tagged with the lock's SN, then release.
+// flushing tagged with the lock's SN, then release. Exactly one
+// goroutine runs it per handle: its caller won the canceling bit.
 func (c *LockClient) cancel(h *Handle) {
 	start := time.Now()
 	c.Stats.Cancels.Add(1)
 	ctx := c.baseCtx
 	conn := c.router(h.res)
-	sh := c.shard(h.res)
 
-	sh.mu.Lock()
-	mode, wrote, rng := h.mode, h.wrote, h.rng
-	sh.mu.Unlock()
+	w := h.hot.Load()
+	mode, wrote, rng := hotMode(w), w&hotWrote != 0, h.rng
 
 	flushed := false
 	if c.policy.Conversion {
 		switch d := Downgrade(mode, wrote); d {
 		case NBW:
 			if err := conn.Downgrade(ctx, h.res, h.id, NBW); err == nil {
-				sh.mu.Lock()
-				h.mode = NBW
-				sh.mu.Unlock()
+				h.setMode(NBW)
 			}
 		case PR:
 			// A PW held only by readers: flush first so readers granted
@@ -423,9 +575,7 @@ func (c *LockClient) cancel(h *Handle) {
 			c.flusher.FlushForCancel(ctx, h.res, rng, h.sn)
 			flushed = true
 			if err := conn.Downgrade(ctx, h.res, h.id, PR); err == nil {
-				sh.mu.Lock()
-				h.mode = PR
-				sh.mu.Unlock()
+				h.setMode(PR)
 			}
 		}
 	}
@@ -437,13 +587,12 @@ func (c *LockClient) cancel(h *Handle) {
 	// precedes release), so a recovering server that never hears about
 	// it loses nothing — while restoring it after the release landed
 	// would leave a zombie lock no one will ever release.
-	sh.mu.Lock()
-	h.releaseSent = true
-	sh.mu.Unlock()
+	h.hot.Or(hotReleaseSent)
 	conn.Release(ctx, h.res, h.id)
 
+	sh := c.shard(h.res)
 	sh.mu.Lock()
-	sh.removeLocked(h)
+	sh.remove(h)
 	sh.mu.Unlock()
 	close(h.released)
 	c.Stats.CancelNs.Add(time.Since(start).Nanoseconds())
@@ -452,9 +601,10 @@ func (c *LockClient) cancel(h *Handle) {
 // CachedLocks returns the number of cached handles for a resource.
 func (c *LockClient) CachedLocks(res ResourceID) int {
 	sh := c.shard(res)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return len(sh.cache[res])
+	g := sh.dom.Pin()
+	n := len((*sh.snap.Load())[res])
+	g.Unpin()
+	return n
 }
 
 // Close cancels the client's lifecycle context, aborting background
@@ -471,20 +621,27 @@ func (c *LockClient) ReleaseAll(ctx context.Context) error {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
-		for _, list := range sh.cache {
+		for _, list := range sh.cur() {
 			for _, h := range list {
-				if h.merged != nil {
-					continue
+				for {
+					w := h.hot.Load()
+					if w&hotAbsorbed != 0 {
+						break
+					}
+					nw := w&^hotStateMask | uint64(Canceling)<<hotStateShift
+					start := hotHolds(w) == 0 && w&hotCanceling == 0
+					if start {
+						nw |= hotCanceling
+					}
+					if !h.hot.CompareAndSwap(w, nw) {
+						continue
+					}
+					if start {
+						toStart = append(toStart, h)
+					}
+					toWait = append(toWait, h)
+					break
 				}
-				h.state = Canceling
-				if h.holds > 0 {
-					continue
-				}
-				if !h.canceling {
-					h.canceling = true
-					toStart = append(toStart, h)
-				}
-				toWait = append(toWait, h)
 			}
 		}
 		sh.mu.Unlock()

@@ -491,10 +491,7 @@ func TestPWDowngradesToPRForReaders(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Force wrote=false to model the only-readers case.
-	sh := c1.shard(hd.res)
-	sh.mu.Lock()
-	hd.wrote = false
-	sh.mu.Unlock()
+	hd.hot.And(^hotWrote)
 
 	gate := make(chan struct{})
 	h2.flusher.setGate(gate)

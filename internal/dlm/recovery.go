@@ -36,22 +36,23 @@ func (c *LockClient) Export(filter func(ResourceID) bool) []LockRecord {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
-		for res, list := range sh.cache {
+		for res, list := range sh.cur() {
 			if filter != nil && !filter(res) {
 				continue
 			}
 			for _, h := range list {
-				if h.merged != nil || h.releaseSent {
+				w := h.hot.Load()
+				if w&(hotAbsorbed|hotReleaseSent) != 0 {
 					continue
 				}
 				out = append(out, LockRecord{
 					Resource: res,
 					Client:   c.id,
 					LockID:   h.id,
-					Mode:     h.mode,
+					Mode:     hotMode(w),
 					Range:    h.rng,
 					SN:       h.sn,
-					State:    h.state,
+					State:    hotState(w),
 				})
 			}
 		}

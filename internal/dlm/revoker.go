@@ -2,7 +2,9 @@ package dlm
 
 import (
 	"context"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultRevokeWorkers caps how many revocation deliveries run
@@ -26,34 +28,195 @@ type BatchNotifier interface {
 	RevokeBatch(ctx context.Context, client ClientID, revs []Revocation)
 }
 
+// revNode carries one enqueue's revocations for one client through that
+// client's MPSC queue.
+type revNode struct {
+	next atomic.Pointer[revNode]
+	revs []Revocation
+}
+
+// revQueue is a Vyukov-style intrusive MPSC queue of revNodes: push is
+// lock-free from any goroutine (one Swap plus one Store), pop is owned
+// by at most one consumer at a time. A producer between its Swap and
+// its link Store leaves the queue transiently unreachable past the gap;
+// pop then returns nil and the producer's subsequent schedule check
+// (the status CAS in revoker.enqueue) guarantees the node is not lost.
+type revQueue struct {
+	head atomic.Pointer[revNode] // most recently pushed
+	// tail is written only by the owning consumer, but read by empty()
+	// from whichever goroutine just released ownership — hence atomic.
+	tail atomic.Pointer[revNode]
+	stub revNode
+}
+
+func (q *revQueue) init() {
+	q.tail.Store(&q.stub)
+	q.head.Store(&q.stub)
+}
+
+func (q *revQueue) push(n *revNode) {
+	n.next.Store(nil)
+	prev := q.head.Swap(n)
+	prev.next.Store(n) // linearization: n becomes reachable here
+}
+
+// pop returns the oldest node, or nil when the queue is empty or a
+// producer is mid-push. Single consumer only.
+func (q *revQueue) pop() *revNode {
+	tail := q.tail.Load()
+	next := tail.next.Load()
+	if tail == &q.stub {
+		if next == nil {
+			return nil
+		}
+		q.tail.Store(next)
+		tail = next
+		next = next.next.Load()
+	}
+	if next != nil {
+		q.tail.Store(next)
+		return tail
+	}
+	if tail != q.head.Load() {
+		return nil // a producer past tail is mid-push
+	}
+	// Exactly one node left: re-append the stub so tail can retire.
+	q.push(&q.stub)
+	if next = tail.next.Load(); next != nil {
+		q.tail.Store(next)
+		return tail
+	}
+	return nil // a producer swapped in between; its link is pending
+}
+
+// empty reports whether the queue holds no reachable node. It may
+// return false while a producer is mid-push — the safe direction: the
+// consumer re-schedules and finds the node once linked.
+func (q *revQueue) empty() bool {
+	t := q.tail.Load()
+	return t.next.Load() == nil && t == q.head.Load()
+}
+
+// revClient is one destination client's delivery state. status makes
+// scheduling exactly-once: a client is pushed onto a worker's ready
+// queue only by the winner of the idle→scheduled CAS, and returns to
+// idle only after a delivery drained its queue — so a client has at
+// most one delivery in flight and sits in at most one ready queue.
+type revClient struct {
+	id     ClientID
+	status atomic.Uint32 // revIdle / revScheduled
+	rnext  atomic.Pointer[revClient]
+	q      revQueue
+}
+
+const (
+	revIdle      = 0
+	revScheduled = 1
+)
+
+// readyQueue is the same MPSC shape as revQueue, intrusive over
+// revClients: producers are enqueuers scheduling a client, the consumer
+// is the worker owning the slot.
+type readyQueue struct {
+	head atomic.Pointer[revClient]
+	tail atomic.Pointer[revClient]
+	stub revClient
+}
+
+func (q *readyQueue) init() {
+	q.tail.Store(&q.stub)
+	q.head.Store(&q.stub)
+}
+
+func (q *readyQueue) push(c *revClient) {
+	c.rnext.Store(nil)
+	prev := q.head.Swap(c)
+	prev.rnext.Store(c)
+}
+
+func (q *readyQueue) pop() *revClient {
+	tail := q.tail.Load()
+	next := tail.rnext.Load()
+	if tail == &q.stub {
+		if next == nil {
+			return nil
+		}
+		q.tail.Store(next)
+		tail = next
+		next = next.rnext.Load()
+	}
+	if next != nil {
+		q.tail.Store(next)
+		return tail
+	}
+	if tail != q.head.Load() {
+		return nil
+	}
+	q.push(&q.stub)
+	if next = tail.rnext.Load(); next != nil {
+		q.tail.Store(next)
+		return tail
+	}
+	return nil
+}
+
+func (q *readyQueue) empty() bool {
+	t := q.tail.Load()
+	return t.rnext.Load() == nil && t == q.head.Load()
+}
+
+// revSlot is one worker's lane: a ready queue of clients to deliver to
+// and a running flag that spawns the worker goroutine on demand. An
+// idle engine holds no revoker goroutines.
+type revSlot struct {
+	ready   readyQueue
+	running atomic.Bool
+	_       [40]byte // keep slots off each other's cache line
+}
+
 // revoker coalesces revocations per destination client and delivers
-// them from a bounded, on-demand worker pool. Enqueueing never blocks
-// and takes no resource locks, so the grant engine can hand off
-// revocations while a delivery's reply (RevokeAck → scan → fire) is
-// re-entering the engine on another resource.
+// them from a bounded, on-demand worker pool. Enqueueing is lock-free
+// (per-client MPSC push + a schedule CAS) and never blocks, so the
+// grant engine can hand off revocations while a delivery's reply
+// (RevokeAck → scan → fire) is re-entering the engine on another
+// resource — without the handoff and the delivery contending on a
+// revoker mutex.
 //
 // Ordering: revocations for one client are delivered in enqueue order,
-// and a client has at most one delivery in flight at a time (inflight
-// bars a second worker from claiming it; revocations arriving while a
-// delivery runs wait for it to finish and ride the next batch), so
-// per-client callbacks are serialized. Distinct clients deliver
-// concurrently up to the pool bound.
+// and a client has at most one delivery in flight at a time (its status
+// word bars a second worker from claiming it; revocations arriving
+// while a delivery runs ride the next batch), so per-client callbacks
+// are serialized. Distinct clients spread round-robin over the slots
+// and deliver concurrently up to the pool bound. See DESIGN.md §11.
 type revoker struct {
 	s *Server
 
-	mu       sync.Mutex
-	pending  map[ClientID][]Revocation
-	inflight map[ClientID]bool
-	order    []ClientID // clients with pending revocations, FIFO
-	workers  int
-	bound    int
+	// clients is the RCU client registry: lookups are lock-free map
+	// reads; misses take regMu and publish a copy with the new entry.
+	// Clients are never removed, so no reclamation is needed.
+	clients atomic.Pointer[map[ClientID]*revClient]
+	regMu   sync.Mutex
+
+	// slots holds the worker lanes; its length is the pool bound. Reset
+	// only by SetRevokeWorkers, which the engine requires to run before
+	// conflicting traffic.
+	slots atomic.Pointer[[]revSlot]
+	next  atomic.Uint64 // round-robin lane assignment
 }
 
 func (r *revoker) init(s *Server, bound int) {
 	r.s = s
-	r.pending = make(map[ClientID][]Revocation)
-	r.inflight = make(map[ClientID]bool)
-	r.bound = bound
+	m := make(map[ClientID]*revClient)
+	r.clients.Store(&m)
+	r.setBound(bound)
+}
+
+func (r *revoker) setBound(n int) {
+	slots := make([]revSlot, n)
+	for i := range slots {
+		slots[i].ready.init()
+	}
+	r.slots.Store(&slots)
 }
 
 // SetRevokeWorkers adjusts the revocation worker-pool bound (default
@@ -63,64 +226,114 @@ func (s *Server) SetRevokeWorkers(n int) {
 	if n < 1 {
 		n = 1
 	}
-	s.revoker.mu.Lock()
-	s.revoker.bound = n
-	s.revoker.mu.Unlock()
+	s.revoker.setBound(n)
 }
 
-// enqueue coalesces revs into the per-client pending lists and makes
-// sure enough workers are running to drain them, up to the bound.
-// Workers are spawned on demand and exit when the queue is empty, so an
-// idle engine holds no revoker goroutines.
+// client returns the delivery state for id, creating it on first use.
+func (r *revoker) client(id ClientID) *revClient {
+	if rc := (*r.clients.Load())[id]; rc != nil {
+		return rc
+	}
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	m := *r.clients.Load()
+	if rc := m[id]; rc != nil {
+		return rc
+	}
+	nm := make(map[ClientID]*revClient, len(m)+1)
+	for k, v := range m {
+		nm[k] = v
+	}
+	rc := &revClient{id: id}
+	rc.q.init()
+	nm[id] = rc
+	r.clients.Store(&nm)
+	return rc
+}
+
+// enqueue hands one grant-scan's revocations to the delivery machinery:
+// group them per destination client, push one node per client onto its
+// queue, and schedule every client that was idle. No locks, no
+// blocking; workers spawn on demand up to the bound.
 func (r *revoker) enqueue(revs []Revocation) {
 	r.s.Stats.RevokeQueue.Add(int64(len(revs)))
-	r.mu.Lock()
+	byClient := make(map[ClientID][]Revocation, 4)
 	for _, rv := range revs {
-		if len(r.pending[rv.Client]) == 0 && !r.inflight[rv.Client] {
-			r.order = append(r.order, rv.Client)
+		byClient[rv.Client] = append(byClient[rv.Client], rv)
+	}
+	for cid, list := range byClient {
+		rc := r.client(cid)
+		rc.q.push(&revNode{revs: list})
+		// The push strictly precedes this CAS: if a delivery is draining
+		// rc right now (status already scheduled), its post-drain
+		// recheck sees our node; otherwise we win the transition and
+		// schedule rc ourselves.
+		if rc.status.CompareAndSwap(revIdle, revScheduled) {
+			r.schedule(rc)
 		}
-		r.pending[rv.Client] = append(r.pending[rv.Client], rv)
-	}
-	spawn := min(len(r.order), r.bound) - r.workers
-	if spawn < 0 {
-		spawn = 0
-	}
-	r.workers += spawn
-	r.mu.Unlock()
-	for i := 0; i < spawn; i++ {
-		go r.work()
 	}
 }
 
-// work drains client batches until none are claimable.
-func (r *revoker) work() {
-	for {
-		r.mu.Lock()
-		if len(r.order) == 0 {
-			r.workers--
-			r.mu.Unlock()
-			return
-		}
-		client := r.order[0]
-		r.order = r.order[1:]
-		batch := r.pending[client]
-		delete(r.pending, client)
-		r.inflight[client] = true
-		r.mu.Unlock()
+// schedule assigns rc to a lane round-robin and makes sure the lane's
+// worker is running. Callers own the idle→scheduled transition.
+func (r *revoker) schedule(rc *revClient) {
+	slots := *r.slots.Load()
+	sl := &slots[int(r.next.Add(1)%uint64(len(slots)))]
+	sl.ready.push(rc)
+	if sl.running.CompareAndSwap(false, true) {
+		go r.work(sl)
+	}
+}
 
+// work drains one lane's ready clients until none are claimable, then
+// retires — re-checking after clearing running so a push that raced the
+// retirement is never stranded (either this worker wins the flag back
+// or the pusher's CAS spawns a fresh one).
+func (r *revoker) work(sl *revSlot) {
+	for {
+		rc := sl.ready.pop()
+		if rc == nil {
+			sl.running.Store(false)
+			if sl.ready.empty() {
+				return
+			}
+			if !sl.running.CompareAndSwap(false, true) {
+				return // another worker took the lane
+			}
+			// pop saw a mid-push gap; yield so the producer can finish
+			// its link instead of spinning against it.
+			runtime.Gosched()
+			continue
+		}
+		r.deliverClient(rc)
+	}
+}
+
+// deliverClient drains everything queued for rc into one batch,
+// delivers it, and returns rc to idle — re-scheduling it if producers
+// queued more while the delivery ran.
+func (r *revoker) deliverClient(rc *revClient) {
+	var batch []Revocation
+	for {
+		n := rc.q.pop()
+		if n == nil {
+			break
+		}
+		if batch == nil {
+			batch = n.revs
+		} else {
+			batch = append(batch, n.revs...)
+		}
+	}
+	if len(batch) > 0 {
 		// The batch leaves the backlog the moment a worker claims it;
 		// delivery time shows up in the notifier's RPC metrics instead.
 		r.s.Stats.RevokeQueue.Add(-int64(len(batch)))
-		r.deliver(client, batch)
-
-		r.mu.Lock()
-		delete(r.inflight, client)
-		if len(r.pending[client]) > 0 {
-			// Revocations arrived while the delivery ran; put the client
-			// back at the tail for the next batch.
-			r.order = append(r.order, client)
-		}
-		r.mu.Unlock()
+		r.deliver(rc.id, batch)
+	}
+	rc.status.Store(revIdle)
+	if !rc.q.empty() && rc.status.CompareAndSwap(revIdle, revScheduled) {
+		r.schedule(rc)
 	}
 }
 

@@ -1,0 +1,231 @@
+// Package epoch implements epoch-based reclamation (EBR), the grace
+// period primitive behind the repo's lock-free hot paths: RCU snapshot
+// readers pin the current epoch before walking an atomically published
+// structure, and writers that unlink a node (or replace a slice) hand
+// it to Retire instead of a pool. The deferred free runs only after
+// every reader that could still hold a reference has unpinned, which is
+// what makes it safe to *reuse* retired memory — plain Go GC already
+// keeps stale snapshots alive, but it cannot stop a pool from handing a
+// slice to a writer while a reader is still iterating it.
+//
+// The scheme is the classic three-epoch design (Fraser; crossbeam): a
+// global epoch counter advances only when every pinned reader has
+// announced the current epoch, and an object retired in epoch E is
+// freed once the global epoch reaches E+2 — by then, every reader that
+// could have acquired a reference has unpinned.
+//
+//	g := d.Pin()          // announce: "I am reading at epoch e"
+//	node := root.Load()   // walk the published snapshot
+//	...
+//	g.Unpin()
+//
+//	// writer, after unlinking old from the published structure:
+//	d.Retire(func() { freelist.Put(old) })
+//
+// Reader slots are striped and cache-line padded, so Pin/Unpin is two
+// uncontended atomic operations in the common case; goroutines pick a
+// starting slot from a stack-address hash and probe on collision.
+// Retire appends to a mutex-guarded deferred list (writers are the slow
+// path by construction) and amortizes epoch advancement: every
+// reclaimEvery retirements it tries to advance the epoch twice and runs
+// the frees that have cleared their grace period.
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+const (
+	// slotCount is the number of striped reader slots per domain. It
+	// bounds concurrent pins only softly: Pin spins until a slot frees,
+	// which with slots ≫ GOMAXPROCS it effectively never does.
+	slotCount = 32
+	slotMask  = slotCount - 1
+
+	// reclaimEvery is how many Retire calls elapse between amortized
+	// advance+reap passes. It bounds deferred-list growth at roughly
+	// 2*reclaimEvery items when readers pin and unpin promptly.
+	reclaimEvery = 64
+)
+
+// slot is one reader announcement, alone on its cache line. The word is
+// 0 when inactive, otherwise (epoch<<1)|1.
+type slot struct {
+	word atomic.Uint64
+	_    [56]byte
+}
+
+type retired struct {
+	epoch uint64
+	free  func()
+}
+
+// Domain is one reclamation scope: a set of reader slots, a global
+// epoch, and the deferred free lists. Structures that retire
+// independently should use separate domains (a stalled reader in one
+// domain then cannot pin garbage in another). The zero value is ready
+// to use.
+type Domain struct {
+	global atomic.Uint64 // current epoch
+	slots  [slotCount]slot
+
+	// Deferred frees, guarded by mu. Retiring is the writer side of
+	// every structure built on this package, and writers are already
+	// serialized per shard/stripe, so a short critical section here is
+	// off the contended path by construction.
+	mu      sync.Mutex
+	defers  []retired
+	pending int // Retire calls since the last reclaim pass
+}
+
+// Guard is an active pin. It is returned by value and holds no heap
+// state, so pinning allocates nothing.
+type Guard struct {
+	s *slot
+}
+
+// gHint derives a per-goroutine starting slot from the address of a
+// stack variable: distinct goroutines run on distinct stacks, so their
+// hints scatter, and a collision only costs a probe step. The address
+// is degraded to an integer immediately and never dereferenced.
+//
+//go:nosplit
+func gHint() uint64 {
+	var x byte
+	p := uintptr(unsafe.Pointer(&x))
+	return uint64(p>>4) * 0x9E3779B97F4A7C15 >> 56
+}
+
+// Pin announces the caller as a reader at the current epoch and returns
+// the guard to Unpin when done. Objects reachable from snapshots loaded
+// between Pin and Unpin are not reused until after Unpin. Pins may
+// nest (each takes its own slot) but must not be held across blocking
+// operations — a parked reader stalls reclamation for its domain.
+func (d *Domain) Pin() Guard {
+	i := gHint()
+	for n := uint64(0); ; n++ {
+		s := &d.slots[(i+n)&slotMask]
+		w := s.word.Load()
+		if w&1 == 0 {
+			// Announce the epoch read *now*; if the global has already
+			// moved on, the stale announcement is merely conservative
+			// (it blocks advancement until this reader unpins).
+			if s.word.CompareAndSwap(w, d.global.Load()<<1|1) {
+				return Guard{s}
+			}
+		}
+	}
+}
+
+// Unpin releases the guard. It must be called exactly once.
+func (g Guard) Unpin() {
+	g.s.word.Store(0)
+}
+
+// Epoch returns the current global epoch (tests and introspection).
+func (d *Domain) Epoch() uint64 { return d.global.Load() }
+
+// Pinned returns the number of currently active reader slots
+// (introspection; inherently racy).
+func (d *Domain) Pinned() int {
+	n := 0
+	for i := range d.slots {
+		if d.slots[i].word.Load()&1 == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Retire schedules free to run once no reader pinned at or before the
+// current epoch can still hold a reference — i.e. after two epoch
+// advances. The caller must already have unlinked the object from every
+// published snapshot; Retire is the fence between "unreachable for new
+// readers" and "reusable". Reclamation is amortized: every
+// reclaimEvery retirements, Retire tries to advance the epoch and runs
+// the frees whose grace period has passed.
+func (d *Domain) Retire(free func()) {
+	d.mu.Lock()
+	d.defers = append(d.defers, retired{epoch: d.global.Load(), free: free})
+	d.pending++
+	reap := d.pending >= reclaimEvery
+	if reap {
+		d.pending = 0
+	}
+	d.mu.Unlock()
+	if reap {
+		d.TryAdvance()
+		d.TryAdvance()
+		d.Reap()
+	}
+}
+
+// TryAdvance moves the global epoch forward by one if every active
+// reader has announced the current epoch. It reports whether the epoch
+// advanced. A reader pinned at an older epoch blocks advancement — that
+// is the grace-period guarantee.
+func (d *Domain) TryAdvance() bool {
+	g := d.global.Load()
+	for i := range d.slots {
+		w := d.slots[i].word.Load()
+		if w&1 == 1 && w>>1 != g {
+			return false
+		}
+	}
+	return d.global.CompareAndSwap(g, g+1)
+}
+
+// Reap runs every deferred free whose grace period has passed (retired
+// at epoch ≤ global-2) and returns how many ran. The frees run outside
+// the domain lock.
+func (d *Domain) Reap() int {
+	g := d.global.Load()
+	if g < 2 {
+		return 0
+	}
+	limit := g - 2
+	var run []retired
+	d.mu.Lock()
+	keep := d.defers[:0]
+	for _, r := range d.defers {
+		if r.epoch <= limit {
+			run = append(run, r)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	// Clear the tail so freed closures do not linger in the backing
+	// array.
+	for i := len(keep); i < len(d.defers); i++ {
+		d.defers[i] = retired{}
+	}
+	d.defers = keep
+	d.mu.Unlock()
+	for _, r := range run {
+		r.free()
+	}
+	return len(run)
+}
+
+// Deferred returns the number of retirements still awaiting their grace
+// period (tests: bounded-growth property).
+func (d *Domain) Deferred() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.defers)
+}
+
+// Barrier advances the epoch past every retirement made so far and
+// reaps. It only completes while no reader stays pinned, so it is a
+// shutdown/test helper, not a hot-path operation: after Barrier
+// returns, every free retired before the call has run.
+func (d *Domain) Barrier() {
+	for i := 0; i < 2; {
+		if d.TryAdvance() {
+			i++
+		}
+	}
+	d.Reap()
+}

@@ -15,9 +15,15 @@
 // stripe carries its own mutex, so flushes to different stripes never
 // contend and the cleanup task only ever stalls the one stripe it is
 // scanning. Shard mutexes guard only the stripe map; stripe mutexes
-// guard that stripe's tree, log, and scan cursor; the global entry
-// count and activity counters are atomics. See DESIGN.md §6
-// (Concurrency model).
+// guard that stripe's mutators (tree writes, log, scan cursor); the
+// global entry count and activity counters are atomics. Reads are
+// lock-free: each stripe's tree is snapshot-enabled (extent.Tree
+// path-copying + atomic root publication), so MaxSN answers from the
+// last published snapshot under an epoch pin without touching the
+// stripe mutex — a conflict probe never waits behind an Apply batch.
+// Displaced tree nodes are reclaimed through the shard's epoch domain.
+// See DESIGN.md §6 (Concurrency model) and §11 (Memory ordering and
+// reclamation).
 package extcache
 
 import (
@@ -26,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ccpfs/internal/epoch"
 	"ccpfs/internal/extent"
 	"ccpfs/internal/shard"
 )
@@ -75,10 +82,14 @@ type Cache struct {
 }
 
 // cacheShard holds the stripe map of one shard. The RWMutex guards only
-// map lookup/insert; per-stripe state has its own lock.
+// map lookup/insert; per-stripe state has its own lock. The epoch
+// domain reclaims tree nodes displaced by this shard's stripes: readers
+// of any stripe in the shard pin it (inside extent.Tree's Snap* path),
+// and Apply batches retire into it.
 type cacheShard struct {
 	mu      sync.RWMutex
 	stripes map[uint64]*stripeCache
+	dom     epoch.Domain
 }
 
 type stripeCache struct {
@@ -121,6 +132,7 @@ func (c *Cache) stripe(id uint64) *stripeCache {
 	defer sh.mu.Unlock()
 	if sc = sh.stripes[id]; sc == nil {
 		sc = &stripeCache{}
+		sc.tree.EnableSnapshots(&sh.dom)
 		sh.stripes[id] = sc
 	}
 	return sc
@@ -154,21 +166,23 @@ func (c *Cache) Apply(stripe uint64, rng extent.Extent, sn extent.SN) []extent.S
 		c.logFile.Append(stripe, won)
 	}
 	delta := sc.tree.Len() - before
+	sc.tree.Publish()
 	sc.mu.Unlock()
 	c.entries.Add(int64(delta))
 	c.inserts.Add(1)
 	return won
 }
 
-// MaxSN returns the newest SN recorded for any byte of rng.
+// MaxSN returns the newest SN recorded for any byte of rng. It is
+// lock-free: the answer comes from the stripe tree's last published
+// snapshot under an epoch pin, so probes never queue behind an Apply
+// holding the stripe mutex.
 func (c *Cache) MaxSN(stripe uint64, rng extent.Extent) (extent.SN, bool) {
 	sc := c.lookup(stripe)
 	if sc == nil {
 		return 0, false
 	}
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	return sc.tree.MaxSNOverlapping(rng)
+	return sc.tree.SnapMaxSN(rng)
 }
 
 // Entries returns the total entry count across stripes.
@@ -265,6 +279,7 @@ func (c *Cache) CleanupRound(minSN MinSNFunc) int {
 			}
 			j.sc.mu.Lock()
 			removed += j.sc.tree.RemoveLE([]extent.SNExtent{ent}, limit)
+			j.sc.tree.Publish()
 			j.sc.mu.Unlock()
 		}
 	}
@@ -304,6 +319,7 @@ func (c *Cache) ForceSync(sync ForceSyncFunc) {
 		t.sc.mu.Lock()
 		dropped := t.sc.tree.Len()
 		t.sc.tree.Clear()
+		t.sc.tree.Publish()
 		t.sc.log = nil
 		t.sc.cursor = 0
 		t.sc.mu.Unlock()
@@ -345,6 +361,7 @@ func (c *Cache) Replay(stripe uint64, log []extent.SNExtent) {
 		}
 	}
 	delta := sc.tree.Len() - before
+	sc.tree.Publish()
 	sc.mu.Unlock()
 	c.entries.Add(int64(delta))
 }

@@ -1,0 +1,171 @@
+package extent
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ccpfs/internal/epoch"
+)
+
+// TestSnapshotEquivalence drives a snapshot-enabled tree through random
+// mutation batches and checks after every Publish that SnapMaxSN agrees
+// exactly with the locked MaxSNOverlapping for a spread of probe
+// ranges, including empty, point, spanning, and miss probes.
+func TestSnapshotEquivalence(t *testing.T) {
+	var dom epoch.Domain
+	var tr Tree
+	tr.EnableSnapshots(&dom)
+	rng := rand.New(rand.NewSource(42))
+
+	probe := func() {
+		for i := 0; i < 40; i++ {
+			start := rng.Int63n(4096) - 64
+			length := rng.Int63n(512)
+			e := Extent{start, start + length}
+			gotSN, gotOK := tr.SnapMaxSN(e)
+			wantSN, wantOK := tr.MaxSNOverlapping(e)
+			if gotSN != wantSN || gotOK != wantOK {
+				t.Fatalf("probe %v: SnapMaxSN = (%d,%v), MaxSNOverlapping = (%d,%v)",
+					e, gotSN, gotOK, wantSN, wantOK)
+			}
+		}
+	}
+
+	for batch := 0; batch < 300; batch++ {
+		// A batch of a few mutations, like one Apply round.
+		for m := 0; m < 1+rng.Intn(3); m++ {
+			start := rng.Int63n(4096)
+			e := Extent{start, start + 1 + rng.Int63n(256)}
+			switch rng.Intn(10) {
+			case 8:
+				if ents := tr.Overlapping(e); len(ents) > 0 {
+					tr.RemoveLE(ents[:1], ents[0].SN)
+				}
+			case 9:
+				if batch%97 == 0 {
+					tr.Clear()
+				}
+			default:
+				tr.Insert(e, SN(1+rng.Intn(64)))
+			}
+		}
+		tr.Publish()
+		if err := tr.check(); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		probe()
+	}
+}
+
+// TestSnapshotProbeAllocFree locks in the wait-free read's allocation
+// profile: the conflict probe on the flush hot path must not allocate.
+func TestSnapshotProbeAllocFree(t *testing.T) {
+	var dom epoch.Domain
+	var tr Tree
+	tr.EnableSnapshots(&dom)
+	for i := int64(0); i < 256; i++ {
+		tr.Insert(Extent{i * 8, i*8 + 8}, SN(i+1))
+	}
+	tr.Publish()
+	n := testing.AllocsPerRun(500, func() {
+		tr.SnapMaxSN(Extent{100, 900})
+	})
+	if n != 0 {
+		t.Fatalf("SnapMaxSN allocates %.1f times per op, want 0", n)
+	}
+}
+
+// TestSnapshotConcurrentChurn races SnapMaxSN readers against a
+// serialized writer that inserts, deletes, clears, and publishes —
+// with node recycling through the epoch domain, so a reclamation bug
+// shows up as a torn read, a bogus SN, or a race report. Two
+// invariants are checked from the readers' side:
+//
+//  1. A fixed "beacon" range is only ever rewritten with increasing
+//     SNs, so the SN a reader observes there must be non-decreasing
+//     over that reader's lifetime (snapshot ordering).
+//  2. Any SN observed anywhere must be one the writer has already
+//     handed out (no garbage from recycled nodes).
+//
+// Run with -race.
+func TestSnapshotConcurrentChurn(t *testing.T) {
+	var dom epoch.Domain
+	var tr Tree
+	tr.EnableSnapshots(&dom)
+
+	const beacon = int64(1 << 20) // far from the churn region
+	var mu sync.Mutex             // writer serialization, as extcache's stripe mutex
+	var issued atomic.Uint64      // highest SN the writer has published
+
+	mu.Lock()
+	tr.Insert(Extent{beacon, beacon + 64}, 1)
+	tr.Publish()
+	issued.Store(1)
+	mu.Unlock()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	const readers = 4
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var lastBeacon SN
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if sn, ok := tr.SnapMaxSN(Extent{beacon, beacon + 64}); ok {
+					if sn < lastBeacon {
+						t.Errorf("beacon SN went backwards: %d after %d", sn, lastBeacon)
+						return
+					}
+					lastBeacon = sn
+				}
+				start := rng.Int63n(8192)
+				if sn, ok := tr.SnapMaxSN(Extent{start, start + 1 + rng.Int63n(512)}); ok {
+					if hi := SN(issued.Load()); sn > hi {
+						t.Errorf("observed SN %d never issued (max %d) — recycled node leak", sn, hi)
+						return
+					}
+				}
+			}
+		}(int64(r) + 100)
+	}
+
+	wrng := rand.New(rand.NewSource(7))
+	for i := 0; i < 6000; i++ {
+		mu.Lock()
+		sn := SN(i + 2)
+		switch wrng.Intn(12) {
+		case 10:
+			if ents := tr.Overlapping(Extent{0, 8192}); len(ents) > 0 {
+				tr.RemoveLE(ents[:1], ents[0].SN)
+			}
+		case 11:
+			if i%997 == 0 {
+				tr.Clear()
+				tr.Insert(Extent{beacon, beacon + 64}, sn)
+			}
+		default:
+			start := wrng.Int63n(8192)
+			tr.Insert(Extent{start, start + 1 + wrng.Int63n(512)}, sn)
+			if i%5 == 0 {
+				tr.Insert(Extent{beacon, beacon + 64}, sn)
+			}
+		}
+		// Make the new SN "issued" before readers can see it: store
+		// before Publish.
+		issued.Store(uint64(sn))
+		tr.Publish()
+		mu.Unlock()
+	}
+	close(stop)
+	wg.Wait()
+	dom.Barrier()
+}

@@ -383,18 +383,30 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// Env records the machine facts a result file needs to be interpreted.
+// It is captured inside Run, after the GOMAXPROCS override is applied,
+// so the recorded values are exactly what the benchmarks saw — a report
+// assembled by the caller from its own environment can drift (the
+// original BENCH_dlm.json carried num_cpu from the wrong moment).
+type Env struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+}
+
 // Run executes every benchmark at the given GOMAXPROCS and returns the
-// results. The previous GOMAXPROCS is restored before returning.
-func Run(procs int) []Result {
+// results plus the environment they ran under. The previous GOMAXPROCS
+// is restored before returning.
+func Run(procs int) ([]Result, Env) {
 	if procs > 0 {
 		prev := runtime.GOMAXPROCS(procs)
 		defer runtime.GOMAXPROCS(prev)
 	}
+	env := Env{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 	var out []Result
 	for _, nb := range All() {
 		out = append(out, Measure(nb))
 	}
-	return out
+	return out, env
 }
 
 // Measure runs one benchmark via testing.Benchmark and converts the

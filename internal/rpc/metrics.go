@@ -100,10 +100,8 @@ func (m *Metrics) InFlight() (out, in int) {
 	}
 	m.mu.Unlock()
 	for _, ep := range eps {
-		ep.mu.Lock()
-		out += len(ep.pending)
-		in += len(ep.active)
-		ep.mu.Unlock()
+		out += ep.pending.length()
+		in += ep.active.length()
 	}
 	return out, in
 }

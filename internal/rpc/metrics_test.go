@@ -3,12 +3,30 @@ package rpc
 import (
 	"context"
 	"testing"
+	"time"
 
 	"ccpfs/internal/obs"
 	"ccpfs/internal/sim"
 	"ccpfs/internal/transport/memnet"
 	"ccpfs/internal/wire"
 )
+
+// waitForCount polls an asynchronously-updated instrument until it
+// reaches want (counters recorded after the reply frame is sent can
+// trail the client's view of the call).
+func waitForCount(t *testing.T, what string, want int64, get func() int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got := get(); got == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s = %d, want %d", what, get(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
 
 // TestMetricsRoundTrip drives instrumented endpoints on both sides and
 // checks the per-method counters, histograms, in-flight derivation,
@@ -75,21 +93,21 @@ func TestMetricsRoundTrip(t *testing.T) {
 	if got := cliM.CallHist(wire.MRelease).Count(); got != 2 {
 		t.Fatalf("client Release round trips timed = %d, want 2", got)
 	}
-	if got := srvM.Handles(wire.MHello); got != calls {
-		t.Fatalf("server Hello handles = %d, want %d", got, calls)
-	}
-	if got := srvM.HandleHist(wire.MHello).Count(); got != calls {
-		t.Fatalf("server Hello handles timed = %d, want %d", got, calls)
-	}
+	// Handler runs are counted after the reply frame is sent, so the
+	// last increment may still be in flight when the client's Call
+	// returns; wait for convergence rather than racing it.
+	waitForCount(t, "server Hello handles", calls, func() int64 { return srvM.Handles(wire.MHello) })
+	waitForCount(t, "server Hello handles timed", calls, func() int64 { return srvM.HandleHist(wire.MHello).Count() })
 	if cliM.BytesOut.Load() == 0 || cliM.BytesIn.Load() == 0 {
 		t.Fatalf("client bytes in/out = %d/%d, want > 0", cliM.BytesIn.Load(), cliM.BytesOut.Load())
 	}
 	if out, in := cliM.InFlight(); out != 0 || in != 0 {
 		t.Fatalf("client in-flight not back to zero: out=%d in=%d", out, in)
 	}
-	if out, in := srvM.InFlight(); out != 0 || in != 0 {
-		t.Fatalf("server in-flight not back to zero: out=%d in=%d", out, in)
-	}
+	// The server's active-table entry is dropped after the reply frame
+	// is sent, concurrently with the client processing the reply.
+	waitForCount(t, "server in-flight out", 0, func() int64 { out, _ := srvM.InFlight(); return int64(out) })
+	waitForCount(t, "server in-flight in", 0, func() int64 { _, in := srvM.InFlight(); return int64(in) })
 
 	// Collector output: only methods with traffic appear, named by the
 	// wire method, and two Metrics can feed one snapshot additively.

@@ -64,11 +64,13 @@ type Endpoint struct {
 	baseCtx context.Context
 	cancel  context.CancelFunc
 
-	nextID    atomic.Uint64
-	mu        sync.Mutex
-	pending   map[uint64]chan response
-	active    map[uint64]context.CancelFunc // inbound requests, for cancel frames
-	closed    bool
+	nextID atomic.Uint64
+	// pending (outbound calls awaiting replies) and active (inbound
+	// requests, for cancel frames) are lock-free call tables — see
+	// pending.go for the slot protocol. Issue/complete/forget/cancel
+	// never serialize on an endpoint-wide lock.
+	pending   callTable[chan response]
+	active    callTable[*callCtx]
 	onClose   func(*Endpoint)
 	startOnce sync.Once
 
@@ -87,12 +89,13 @@ type response struct {
 
 // chanPool recycles the single-slot reply channels Call blocks on.
 // Recycling is safe only on paths where Call has RECEIVED from the
-// channel: the pending-map entry is deleted under ep.mu before either
-// complete or shutdown sends, so each registered channel sees at most
-// one send, and a receive proves that send already happened. On the
-// abandon paths (context fired with no reply yet, send failure) a late
-// sender may still hold the channel, so it is leaked to the GC instead —
-// pooling it would let a stale reply surface on an unrelated call.
+// channel: the pending-table entry is claimed by a CAS that exactly one
+// of complete/forget/shutdown-drain wins before sending, so each
+// registered channel sees at most one send, and a receive proves that
+// send already happened. On the abandon paths (context fired with no
+// reply yet, send failure) a late sender may still hold the channel, so
+// it is leaked to the GC instead — pooling it would let a stale reply
+// surface on an unrelated call.
 var chanPool = sync.Pool{New: func() any { return make(chan response, 1) }}
 
 // Options configure an endpoint.
@@ -117,8 +120,6 @@ func NewEndpoint(conn transport.Conn, opts Options) *Endpoint {
 		handlers: make(map[wire.Method]Handler),
 		baseCtx:  ctx,
 		cancel:   cancel,
-		pending:  make(map[uint64]chan response),
-		active:   make(map[uint64]context.CancelFunc),
 		onClose:  opts.OnClose,
 		metrics:  opts.Metrics,
 	}
@@ -157,9 +158,7 @@ func (ep *Endpoint) Context() context.Context { return ep.baseCtx }
 // Pending returns the number of registered in-flight outbound calls
 // (tests and introspection: a canceled call must not leave an entry).
 func (ep *Endpoint) Pending() int {
-	ep.mu.Lock()
-	defer ep.mu.Unlock()
-	return len(ep.pending)
+	return ep.pending.length()
 }
 
 // Drain blocks until every dispatched inbound handler has completed, or
@@ -211,14 +210,10 @@ func (ep *Endpoint) call(ctx context.Context, method wire.Method, req wire.Msg, 
 	id := ep.nextID.Add(1)
 	ch := chanPool.Get().(chan response)
 
-	ep.mu.Lock()
-	if ep.closed {
-		ep.mu.Unlock()
+	if !ep.pending.register(id, ch) {
 		chanPool.Put(ch)
 		return transport.ErrClosed
 	}
-	ep.pending[id] = ch
-	ep.mu.Unlock()
 
 	sendErr := ep.send(ctx, kindRequest, id, method, statusOK, req)
 	if m := ep.metrics; m != nil {
@@ -314,21 +309,26 @@ func (ep *Endpoint) callBatch(ctx context.Context, calls []BatchCall) error {
 	}
 	ids := make([]uint64, len(calls))
 	chs := make([]chan response, len(calls))
-	ep.mu.Lock()
-	if ep.closed {
-		ep.mu.Unlock()
-		for i := range calls {
-			calls[i].Err = transport.ErrClosed
-		}
-		return transport.ErrClosed
-	}
 	for i := range calls {
 		ids[i] = ep.nextID.Add(1)
 		ch := chanPool.Get().(chan response)
+		if !ep.pending.register(ids[i], ch) {
+			// Closed mid-batch: withdraw what we registered (a drain may
+			// have claimed some — those channels are owned by it and not
+			// recycled) and fail the whole batch.
+			chanPool.Put(ch)
+			for j := 0; j < i; j++ {
+				if _, ok := ep.pending.take(ids[j]); ok {
+					chanPool.Put(chs[j])
+				}
+			}
+			for j := range calls {
+				calls[j].Err = transport.ErrClosed
+			}
+			return transport.ErrClosed
+		}
 		chs[i] = ch
-		ep.pending[ids[i]] = ch
 	}
-	ep.mu.Unlock()
 
 	// Encode every frame, hand them to the transport as one batch, then
 	// recycle the encoders — transports must not retain frames after
@@ -410,11 +410,11 @@ func (ep *Endpoint) callBatch(ctx context.Context, calls []BatchCall) error {
 	return firstErr
 }
 
-// forget deregisters a pending call entry.
+// forget deregisters a pending call entry. A miss is normal: complete
+// or the shutdown drain may have claimed the entry first (and then owns
+// the reply channel).
 func (ep *Endpoint) forget(id uint64) {
-	ep.mu.Lock()
-	delete(ep.pending, id)
-	ep.mu.Unlock()
+	ep.pending.take(id)
 }
 
 func (ep *Endpoint) send(ctx context.Context, kind byte, id uint64, method wire.Method, status byte, m wire.Msg) error {
@@ -514,20 +514,26 @@ func (ep *Endpoint) dispatch(id uint64, method wire.Method, payload []byte) {
 	}
 	// Each request gets its own cancelable context, registered before the
 	// next frame is read so a cancel frame can never race ahead of its
-	// request on this ordered connection.
-	ctx, cancel := context.WithCancel(ep.baseCtx)
-	ep.mu.Lock()
-	ep.active[id] = cancel
-	ep.mu.Unlock()
+	// request on this ordered connection. callCtx does not attach to
+	// baseCtx's child list (that registration is a mutex the old code
+	// took twice per request); teardown instead cancels it explicitly
+	// when the active table drains.
+	cc := &callCtx{base: ep.baseCtx}
+	if !ep.active.register(id, cc) {
+		// Teardown already drained the table; run the handler with the
+		// context pre-canceled so it aborts promptly.
+		cc.cancel()
+	}
 	ep.inflight.Add(1)
 	go func() {
 		defer ep.inflight.Done()
 		defer func() {
-			ep.mu.Lock()
-			delete(ep.active, id)
-			ep.mu.Unlock()
-			cancel()
+			// A miss means a cancel frame or the shutdown drain claimed
+			// the entry (and called cancel); either way the entry is gone.
+			ep.active.take(id)
+			cc.cancel()
 		}()
+		ctx := context.Context(cc)
 		// The sampling decision reads the counter (a plain load) up front;
 		// the count itself is bumped after the reply frame is on the wire,
 		// where the atomic overlaps with the peer processing the reply.
@@ -566,21 +572,18 @@ func (ep *Endpoint) dispatch(id uint64, method wire.Method, payload []byte) {
 
 // cancelInbound handles a peer's cancel frame: the named request's
 // context fires, unwedging whatever the handler is blocked on. A miss is
-// normal — the handler already completed.
+// normal — the handler already completed. The entry is taken, not
+// peeked: the claim CAS is what makes firing the context race-free
+// against the handler's own deregistration, and cancel frames are
+// one-shot per id so nothing is lost.
 func (ep *Endpoint) cancelInbound(id uint64) {
-	ep.mu.Lock()
-	cancel, ok := ep.active[id]
-	ep.mu.Unlock()
-	if ok {
-		cancel()
+	if cc, ok := ep.active.take(id); ok {
+		cc.cancel()
 	}
 }
 
 func (ep *Endpoint) complete(id uint64, status byte, payload []byte) {
-	ep.mu.Lock()
-	ch, ok := ep.pending[id]
-	delete(ep.pending, id)
-	ep.mu.Unlock()
+	ch, ok := ep.pending.take(id)
 	if !ok {
 		return // stale (canceled) or duplicate response
 	}
@@ -594,22 +597,23 @@ func (ep *Endpoint) complete(id uint64, status byte, payload []byte) {
 }
 
 func (ep *Endpoint) shutdown() {
-	ep.mu.Lock()
-	if ep.closed {
-		ep.mu.Unlock()
+	pend, first := ep.pending.closeAndDrain()
+	if !first {
 		return
 	}
-	ep.closed = true
-	pend := ep.pending
-	ep.pending = map[uint64]chan response{}
-	ep.mu.Unlock()
 	for _, ch := range pend {
 		ch <- response{err: transport.ErrClosed}
 	}
 	ep.conn.Close()
 	// Cancel the lifecycle context so handlers still running for this
-	// connection observe the teardown and can abort.
+	// connection observe the teardown and can abort, and fire every
+	// live per-call context (callCtx does not chain off baseCtx, so the
+	// drain is what delivers teardown to blocked handlers).
 	ep.cancel()
+	ccs, _ := ep.active.closeAndDrain()
+	for _, cc := range ccs {
+		cc.cancel()
+	}
 	if ep.metrics != nil {
 		// Stop contributing to the in-flight derivation; the scalar
 		// counters the endpoint already recorded stay in the Metrics.

@@ -647,6 +647,16 @@ func TestPooledReuseStressWithClose(t *testing.T) {
 	cli.Close()
 	wg.Wait()
 	if n := cli.Pending(); n != 0 {
-		t.Fatalf("%d pending entries leaked through close", n)
+		var ids []uint64
+		for i := range cli.pending.slots {
+			if w := cli.pending.slots[i].id.Load(); w != 0 {
+				ids = append(ids, w)
+			}
+		}
+		cli.pending.mu.Lock()
+		of := len(cli.pending.overflow)
+		cli.pending.mu.Unlock()
+		t.Fatalf("%d pending entries leaked through close (slots=%v overflow=%d count=%d closed=%v)",
+			n, ids, of, cli.pending.count.Load(), cli.pending.closed.Load())
 	}
 }

@@ -53,10 +53,23 @@ func (n *Network) Dial(addr string) (transport.Conn, error) {
 		return nil, errNoListener
 	}
 	a, b := n.pair()
+	// The listener's mutex serializes this send against Close closing the
+	// backlog channel: a dial that fetched l before Close removed it from
+	// the map would otherwise send on (or race the close of) a closed
+	// channel.
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		b.Close()
+		a.Close()
+		return nil, errNoListener
+	}
 	select {
 	case l.backlog <- b:
+		l.mu.Unlock()
 		return a, nil
 	default:
+		l.mu.Unlock()
 		b.Close()
 		a.Close()
 		return nil, errBacklogFull
