@@ -10,6 +10,8 @@
 //   - the parallel RPC round trip is slower per op than the serial one
 //     (the lock-free pending-table scaling guarantee), or
 //   - the client's cached-lock hit path allocates, or
+//   - four capacity-capped partitioned lock servers fail to carry the
+//     grant workload at least 2x faster per op than one server, or
 //   - a benchmark pair ratio regressed by more than -threshold against
 //     the checked-in BENCH_dlm.json baseline.
 //
@@ -155,6 +157,7 @@ func main() {
 		"RevokeStorm", "RevokeStormUnbatched",
 		"RpcRoundTrip", "RpcRoundTripObs", "RpcRoundTripParallel",
 		"LockClientCachedHitParallel",
+		"LockGrantScale1", "LockGrantScale2", "LockGrantScale4", "LockGrantScale8",
 	}
 	// Each benchmark runs `rounds` times and the minimum ns/op is kept:
 	// the min is the run least disturbed by scheduler and VM noise, so
@@ -209,6 +212,12 @@ func main() {
 		// before it, contention on ep.mu made the parallel round trip
 		// *slower* than serial (the ISSUE 6 motivating number).
 		{label: "parallel rpc scaling", slow: "RpcRoundTripParallel", fast: "RpcRoundTrip", ceiling: 1.0},
+		// Partition scaling: four capacity-capped lock servers must carry
+		// the grant workload at least twice as fast per op as one. The
+		// ideal ratio is 4x; the 2x floor leaves room for scheduler noise
+		// on small CI runners without letting partitioning silently stop
+		// scaling.
+		{label: "partition lock scaling", slow: "LockGrantScale1", fast: "LockGrantScale4", floor: 2.0},
 	}
 	for _, p := range pairs {
 		got := ratio(fresh, p.slow, p.fast)

@@ -7,6 +7,14 @@
 //	ccpfs-server -listen :9040 -meta -data /var/ccpfs0 &
 //	ccpfs-server -listen :9041 -data /var/ccpfs1 &
 //	ccpfs-cli -servers localhost:9040,localhost:9041 put /etc/hosts /hosts
+//
+// With -lock-servers N -lock-index I the node masters only its static
+// share of the lock space's hash slots (slot s belongs to server s % N;
+// DESIGN.md §12) and redirects lock RPCs for the rest with ErrNotOwner,
+// so N processes can split lock traffic N ways:
+//
+//	ccpfs-server -listen :9040 -meta -lock-servers 2 -lock-index 0 &
+//	ccpfs-server -listen :9041 -lock-servers 2 -lock-index 1 &
 package main
 
 import (
@@ -51,11 +59,16 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget before a hard close (0 closes immediately)")
 	debug := flag.String("debug", "", "serve /debug/metrics, /debug/trace and pprof on this address (e.g. localhost:6060; off when empty)")
 	traceEvents := flag.Int("trace-events", 4096, "DLM protocol events kept for /debug/trace (with -debug)")
+	lockServers := flag.Int("lock-servers", 0, "partition the lock space across this many lock servers (0 = unpartitioned)")
+	lockIndex := flag.Int("lock-index", 0, "this node's index in the static lock partition (with -lock-servers)")
 	flag.Parse()
 
 	pol, err := policyByName(*policy)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *lockServers < 0 || (*lockServers > 0 && (*lockIndex < 0 || *lockIndex >= *lockServers)) {
+		log.Fatalf("-lock-index %d out of range for -lock-servers %d", *lockIndex, *lockServers)
 	}
 
 	cfg := dataserver.Config{
@@ -66,6 +79,15 @@ func main() {
 	}
 	if *debug != "" {
 		cfg.TraceEvents = *traceEvents
+	}
+	if *lockServers > 0 {
+		// Static mastership: no coordinator, no leases — each node
+		// permanently masters slot s where s % lockServers == lockIndex,
+		// and serves the corresponding epoch-1 partition map to clients.
+		cfg.Partition = &dataserver.PartitionConfig{
+			Index:   int32(*lockIndex),
+			Servers: *lockServers,
+		}
 	}
 	if *dataDir != "" {
 		fs, err := storage.NewFileStore(*dataDir)
@@ -92,6 +114,10 @@ func main() {
 	srv.Serve(l)
 	log.Printf("ccpfs-server: policy=%s meta=%v data=%q listening on %s",
 		pol.Name, *hostMeta, *dataDir, l.Addr())
+	if *lockServers > 0 {
+		log.Printf("ccpfs-server: lock partition %d/%d (static, %d slots)",
+			*lockIndex, *lockServers, len(srv.DLM.OwnedSlots()))
+	}
 
 	var debugSrv *http.Server
 	if *debug != "" {

@@ -11,7 +11,9 @@
 //
 // Experiment IDs: fig4, fig5, model, fig17, fig18, fig19a, fig19b,
 // table3, fig20, fig21, fig23, fig24, ablation (fig22 and fig25 are the
-// time columns of fig21 and fig24).
+// time columns of fig21 and fig24), and partition — the lock-space
+// partitioning scaling curve (not in the paper; -lock-servers picks the
+// server counts).
 //
 // -benchjson FILE runs the parallel hot-path benchmarks of
 // internal/perfbench instead of the experiment suite and writes the
@@ -106,8 +108,37 @@ func suite() []experiment {
 			cfg.Hardware = hw
 			return ccpfs.RunAblation(cfg)
 		}},
+		{"partition", "lock-space partitioning: grant throughput vs lock servers", func(hw ccpfs.Hardware) (*ccpfs.Experiment, error) {
+			cfg := ccpfs.DefaultPartitionScale()
+			cfg.Hardware = hw
+			if counts := lockServerCounts(); counts != nil {
+				cfg.Servers = counts
+			}
+			return ccpfs.RunPartitionScale(cfg)
+		}},
 	}
 }
+
+// lockServerCounts parses the -lock-servers flag into the partition
+// experiment's server-count list; nil keeps the default curve.
+func lockServerCounts() []int {
+	if *lockServersFlag == "" {
+		return nil
+	}
+	var counts []int
+	for _, part := range strings.Split(*lockServersFlag, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bad -lock-servers element %q\n", part)
+			os.Exit(1)
+		}
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+var lockServersFlag = flag.String("lock-servers", "",
+	"comma-separated lock-server counts for the partition experiment (e.g. 1,2,4,8; default 1,2,4)")
 
 func main() {
 	expFlag := flag.String("exp", "", "run a single experiment (see -list)")

@@ -22,6 +22,7 @@ import (
 	"ccpfs/internal/meta"
 	"ccpfs/internal/obs"
 	"ccpfs/internal/pagecache"
+	"ccpfs/internal/partition"
 	"ccpfs/internal/rpc"
 	"ccpfs/internal/wire"
 )
@@ -68,6 +69,14 @@ type Config struct {
 	// data server at a time (DefaultFlushWindow when 0). 1 selects the
 	// strictly sequential flush path.
 	FlushWindow int
+	// Partitioned routes lock traffic by the cluster's partition map
+	// (hash slot → master) instead of stripe placement, refreshing the
+	// cached map on ErrNotOwner redirects (DESIGN.md §12); data
+	// placement is unaffected. Partitioned servers are also
+	// auto-detected at connect time; setting this additionally makes a
+	// missing map a mount-time error instead of a silent fallback to
+	// placement routing.
+	Partitioned bool
 }
 
 // Conns carries the client's established RPC endpoints. Meta may equal
@@ -104,6 +113,12 @@ type Stats struct {
 	// path.
 	FlushRPCHist   obs.Histogram
 	FlushGroupHist obs.Histogram
+
+	// LockRetries counts lock RPCs re-sent after a partition redirect
+	// (stale map or dead master); MapRefreshes counts partition-map
+	// fetches. Both stay zero in unpartitioned deployments.
+	LockRetries  obs.Counter
+	MapRefreshes obs.Counter
 }
 
 // Client is a ccPFS client node.
@@ -133,6 +148,14 @@ type Client struct {
 	// of the client's endpoints (shared, so the numbers aggregate).
 	obs        *obs.Registry
 	rpcMetrics *rpc.Metrics
+
+	// pmap is the RCU-cached partition map (nil when the servers are
+	// unpartitioned: the connect-time probe only installs a map a
+	// server actually served). pmMu serializes refreshes and guards
+	// pmLast, the stampede-collapse timestamp.
+	pmap   atomic.Pointer[partition.Map]
+	pmMu   sync.Mutex
+	pmLast time.Time
 }
 
 // New builds a client over established connections. It registers the
@@ -171,6 +194,7 @@ func New(ctx context.Context, cfg Config, conns Conns) (*Client, error) {
 		ep.Handle(wire.MRevoke, c.handleRevoke)
 		ep.Handle(wire.MRevokeBatch, c.handleRevokeBatch)
 		ep.Handle(wire.MReport, c.reportHandler(i))
+		ep.Handle(wire.MReportSlots, c.slotReportHandler)
 	}
 	started := make(map[*rpc.Endpoint]bool, 2*len(conns.Data)+1)
 	start := func(ep *rpc.Endpoint) {
@@ -199,6 +223,15 @@ func New(ctx context.Context, cfg Config, conns Conns) (*Client, error) {
 			return nil, fmt.Errorf("client: bulk hello: %w", err)
 		}
 	}
+	// Fetch the initial partition map so the first lock RPC routes
+	// correctly. With cfg.Partitioned a failure surfaces a
+	// misconfigured cluster at mount time; without it the probe
+	// auto-detects partitioned servers (cmd/ccpfs-server
+	// -lock-servers) — unpartitioned ones answer with an empty map,
+	// the probe errors, and routing stays placement-based.
+	if err := c.refreshMap(ctx); err != nil && cfg.Partitioned {
+		return nil, fmt.Errorf("client: partition map: %w", err)
+	}
 	if cfg.FlushInterval > 0 {
 		c.daemonWG.Add(1)
 		go c.flushDaemon()
@@ -220,6 +253,8 @@ func (c *Client) registerObs() {
 	r.RegisterCounter("client.read_cache_misses", &c.Stats.ReadCacheMisses)
 	r.RegisterHistogram("client.flush_rpc", &c.Stats.FlushRPCHist)
 	r.RegisterHistogram("client.flush_group", &c.Stats.FlushGroupHist)
+	r.RegisterCounter("client.lock_retries", &c.Stats.LockRetries)
+	r.RegisterCounter("client.map_refreshes", &c.Stats.MapRefreshes)
 	r.Func("lockclient.cache_hits", c.lc.Stats.CacheHits.Load)
 	r.Func("lockclient.cache_misses", c.lc.Stats.CacheMisses.Load)
 	r.Func("lockclient.revocations", c.lc.Stats.Revocations.Load)
@@ -364,8 +399,15 @@ func (c *Client) bulkFor(rid uint64) *rpc.Endpoint {
 	return c.endpointFor(rid)
 }
 
-// route implements the lock client's resource → server mapping.
+// route implements the lock client's resource → server mapping: the
+// static stripe placement, or — when the lock space is partitioned —
+// the map-routed, redirect-retrying connection.
 func (c *Client) route(res dlm.ResourceID) dlm.ServerConn {
+	// Partitioned explicitly, or a partition map was detected at
+	// connect time (the map only installs when a server served one).
+	if c.cfg.Partitioned || c.partitionMap() != nil {
+		return partConn{c: c}
+	}
 	return rpcConn{ep: c.endpointFor(uint64(res))}
 }
 

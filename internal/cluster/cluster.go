@@ -16,7 +16,9 @@ import (
 	"ccpfs/internal/dataserver"
 	"ccpfs/internal/dlm"
 	"ccpfs/internal/meta"
+	"ccpfs/internal/obs"
 	"ccpfs/internal/pagecache"
+	"ccpfs/internal/partition"
 	"ccpfs/internal/rpc"
 	"ccpfs/internal/sim"
 	"ccpfs/internal/transport/memnet"
@@ -47,7 +49,19 @@ type Options struct {
 	FlushWindow int
 	// MaxFlushRPC bounds the payload of one client flush RPC.
 	MaxFlushRPC int64
+	// Partition enables N-way lock-space partitioning (DESIGN.md §12):
+	// each server masters a lease-held share of the hash slots, clients
+	// route by the partition map, and surviving servers take over the
+	// slots of a dead peer.
+	Partition bool
+	// LeaseTTL is the slot lease duration (DefaultLeaseTTL when 0).
+	LeaseTTL time.Duration
 }
+
+// DefaultLeaseTTL is the default slot lease duration: long enough that
+// renewal (every TTL/3) is cheap, short enough that failover tests
+// complete quickly.
+const DefaultLeaseTTL = time.Second
 
 // Cluster is a running in-process deployment.
 type Cluster struct {
@@ -55,6 +69,12 @@ type Cluster struct {
 	net     *memnet.Network
 	Meta    *meta.Service
 	Servers []*dataserver.Server
+
+	// Coord arbitrates slot leases when the lock space is partitioned
+	// (nil otherwise); admin holds one RPC endpoint per server for the
+	// migration orchestrator (freeze/install round trips).
+	Coord *partition.Coordinator
+	admin []*rpc.Endpoint
 
 	nextClient atomic.Uint32
 }
@@ -69,6 +89,14 @@ func New(opts Options) (*Cluster, error) {
 		net:  memnet.New(opts.Hardware),
 		Meta: meta.NewService(),
 	}
+	if opts.Partition {
+		ttl := opts.LeaseTTL
+		if ttl == 0 {
+			ttl = DefaultLeaseTTL
+		}
+		c.Coord = partition.NewCoordinator(ttl)
+	}
+	slots := partition.Uniform(opts.Servers)
 	for i := 0; i < opts.Servers; i++ {
 		cfg := dataserver.Config{
 			Name:              fmt.Sprintf("server-%d", i),
@@ -81,6 +109,16 @@ func New(opts Options) (*Cluster, error) {
 		if i == 0 {
 			cfg.Meta = c.Meta
 		}
+		if opts.Partition {
+			cfg.Partition = &dataserver.PartitionConfig{
+				Coordinator:     c.Coord,
+				Index:           int32(i),
+				Slots:           slots[i],
+				Takeover:        true,
+				RemoteMinSN:     c.remoteMinSN,
+				RemoteForceSync: c.remoteForceSync,
+			}
+		}
 		srv := dataserver.New(cfg)
 		l, err := c.net.Listen(cfg.Name)
 		if err != nil {
@@ -88,6 +126,21 @@ func New(opts Options) (*Cluster, error) {
 		}
 		srv.Serve(l)
 		c.Servers = append(c.Servers, srv)
+	}
+	if opts.Partition {
+		// One admin connection per server carries the migration
+		// orchestrator's freeze/install RPCs (no Hello: admin endpoints
+		// must not appear in the servers' client tables, or takeover
+		// replay would gather from them).
+		for i := range c.Servers {
+			conn, err := c.net.Dial(fmt.Sprintf("server-%d", i))
+			if err != nil {
+				return nil, err
+			}
+			ep := rpc.NewEndpoint(conn, rpc.Options{})
+			ep.Start()
+			c.admin = append(c.admin, ep)
+		}
 	}
 	return c, nil
 }
@@ -127,6 +180,7 @@ func (c *Cluster) NewClient(name string) (*client.Client, error) {
 		LockAlign:     c.opts.LockAlign,
 		FlushWindow:   c.opts.FlushWindow,
 		MaxFlushRPC:   c.opts.MaxFlushRPC,
+		Partitioned:   c.opts.Partition,
 	}, conns)
 }
 
@@ -149,6 +203,9 @@ func (c *Cluster) Clients(n int, prefix string) ([]*client.Client, error) {
 // Close stops the servers immediately. Clients must be closed first by
 // their owners.
 func (c *Cluster) Close() {
+	for _, ep := range c.admin {
+		ep.Close()
+	}
 	for _, s := range c.Servers {
 		s.Close()
 	}
@@ -173,24 +230,64 @@ func (c *Cluster) Hardware() sim.Hardware { return c.opts.Hardware }
 // Policy returns the cluster's DLM policy.
 func (c *Cluster) Policy() dlm.Policy { return c.opts.Policy }
 
-// DLMStats aggregates lock-server statistics across servers.
-func (c *Cluster) DLMStats() dlm.Snapshot {
-	var total dlm.Snapshot
-	for _, s := range c.Servers {
+// ServerDLMStats is one server's contribution to the cluster's DLM
+// activity: its counter snapshot plus its wait-latency histograms.
+type ServerDLMStats struct {
+	Server int
+	Counts dlm.Snapshot
+
+	GrantWait      obs.HistSnapshot
+	RevocationWait obs.HistSnapshot
+	CancelWait     obs.HistSnapshot
+}
+
+// DLMAggregate is the cluster-wide DLM view: summed counters, merged
+// wait histograms (bucket-wise, so cluster percentiles are exact — a
+// sum of per-server p99s would be meaningless), and the per-server
+// breakdown the partition experiments use to see load balance.
+type DLMAggregate struct {
+	Total dlm.Snapshot
+
+	GrantWait      obs.HistSnapshot
+	RevocationWait obs.HistSnapshot
+	CancelWait     obs.HistSnapshot
+
+	PerServer []ServerDLMStats
+}
+
+// DLMStatsBreakdown aggregates lock-server statistics across servers:
+// scalar counters sum, wait histograms merge.
+func (c *Cluster) DLMStatsBreakdown() DLMAggregate {
+	var agg DLMAggregate
+	for i, s := range c.Servers {
 		snap := s.DLM.Stats.Snapshot()
-		total.Grants += snap.Grants
-		total.Releases += snap.Releases
-		total.Revocations += snap.Revocations
-		total.RevokeBatches += snap.RevokeBatches
-		total.EarlyGrants += snap.EarlyGrants
-		total.EarlyRevocations += snap.EarlyRevocations
-		total.Upgrades += snap.Upgrades
-		total.Downgrades += snap.Downgrades
-		total.GrantWait += snap.GrantWait
-		total.RevocationWait += snap.RevocationWait
-		total.CancelWait += snap.CancelWait
+		g, r, cw := s.DLM.Stats.WaitHists()
+		agg.PerServer = append(agg.PerServer, ServerDLMStats{
+			Server: i, Counts: snap,
+			GrantWait: g, RevocationWait: r, CancelWait: cw,
+		})
+		agg.Total.Grants += snap.Grants
+		agg.Total.Releases += snap.Releases
+		agg.Total.Revocations += snap.Revocations
+		agg.Total.RevokeBatches += snap.RevokeBatches
+		agg.Total.EarlyGrants += snap.EarlyGrants
+		agg.Total.EarlyRevocations += snap.EarlyRevocations
+		agg.Total.Upgrades += snap.Upgrades
+		agg.Total.Downgrades += snap.Downgrades
+		agg.GrantWait.Merge(g)
+		agg.RevocationWait.Merge(r)
+		agg.CancelWait.Merge(cw)
 	}
-	return total
+	agg.Total.GrantWait = time.Duration(agg.GrantWait.Sum)
+	agg.Total.RevocationWait = time.Duration(agg.RevocationWait.Sum)
+	agg.Total.CancelWait = time.Duration(agg.CancelWait.Sum)
+	return agg
+}
+
+// DLMStats aggregates lock-server statistics across servers. The wait
+// totals come from the merged histograms (see DLMStatsBreakdown).
+func (c *Cluster) DLMStats() dlm.Snapshot {
+	return c.DLMStatsBreakdown().Total
 }
 
 // FlushedBytes sums bytes landed on all server devices.

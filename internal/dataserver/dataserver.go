@@ -54,6 +54,10 @@ type Config struct {
 	// TraceEvents, when > 0, attaches a DLM protocol tracer keeping the
 	// last TraceEvents events; the /debug/trace endpoint serves its dump.
 	TraceEvents int
+	// Partition, when non-nil, restricts the node's DLM to a subset of
+	// the lock space's hash slots, with lease-based mastership and
+	// takeover when a Coordinator is attached (see partition.go).
+	Partition *PartitionConfig
 }
 
 // Server is a running data server.
@@ -73,8 +77,14 @@ type Server struct {
 
 	// gate quiesces state-mutating operations during recovery: Recover
 	// holds the write side while gathering and restoring lock records,
-	// so a racing release cannot land before its lock is restored.
+	// so a racing release cannot land before its lock is restored. Slot
+	// adoption and migration freeze/install hold it for the same reason.
 	gate sync.RWMutex
+
+	// partMu serializes the lease daemon with the migration handlers so
+	// a renewal never observes (and acts on) a half-transferred slot.
+	partMu    sync.Mutex
+	partState partState
 
 	// baseCtx is the server's lifecycle: the cleanup daemon, revocation
 	// callbacks, and recovery RPCs run under it. Shutdown cancels it
@@ -126,6 +136,9 @@ func New(cfg Config) *Server {
 		s.DLM.SetTracer(s.tracer)
 	}
 	s.registerObs()
+	if cfg.Partition != nil {
+		s.initPartition()
+	}
 	if cfg.ExtentLog && cfg.ExtentLogDir != "" {
 		if lf, err := extcache.OpenLogFile(cfg.ExtentLogDir); err == nil {
 			s.Cache.ReplayLogFile(lf)
@@ -161,6 +174,10 @@ func (s *Server) registerObs() {
 		defer s.mu.RUnlock()
 		return int64(len(s.clients))
 	})
+	if s.cfg.Partition != nil {
+		reg.Func("partition.epoch", func() int64 { return int64(s.DLM.PartitionEpoch()) })
+		reg.Func("partition.lease_takeovers", s.partState.takeovers.Load)
+	}
 }
 
 // Obs returns the server's metrics registry.
@@ -177,6 +194,9 @@ func (s *Server) Serve(l transport.Listener) {
 	go s.rpcSrv.Serve()
 	if s.cfg.CleanupInterval > 0 {
 		go s.Cache.Daemon(s.baseCtx, s.cfg.CleanupInterval, s.minSN, s.forceSync)
+	}
+	if p := s.cfg.Partition; p != nil && p.Coordinator != nil {
+		go s.leaseDaemon()
 	}
 }
 
@@ -319,14 +339,27 @@ func (n notifier) RevokeBatch(ctx context.Context, client dlm.ClientID, revs []d
 	}
 }
 
-// minSN is the extent-cache cleanup task's DLM query.
+// minSN is the extent-cache cleanup task's DLM query. Once the lock
+// space is partitioned, the stripes this node stores and the stripes
+// it masters are independent sets, so the query is routed to the
+// slot's current master when it is not local.
 func (s *Server) minSN(stripe uint64, rng extent.Extent) (extent.SN, bool) {
+	if p := s.cfg.Partition; p != nil && p.RemoteMinSN != nil &&
+		s.DLM.CheckMaster(dlm.ResourceID(stripe)) != nil {
+		return p.RemoteMinSN(stripe, rng)
+	}
 	return s.DLM.MinSN(dlm.ResourceID(stripe), rng)
 }
 
 // forceSync reclaims every outstanding write lock of a stripe by taking
-// (and releasing) a whole-range read lock as the server-local client 0.
+// (and releasing) a whole-range read lock as the server-local client 0,
+// routed like minSN when the stripe's slot is mastered elsewhere.
 func (s *Server) forceSync(stripe uint64) {
+	if p := s.cfg.Partition; p != nil && p.RemoteForceSync != nil &&
+		s.DLM.CheckMaster(dlm.ResourceID(stripe)) != nil {
+		p.RemoteForceSync(stripe)
+		return
+	}
 	mode := s.cfg.Policy.MapMode(dlm.PR)
 	g, err := s.DLM.Lock(s.baseCtx, dlm.Request{
 		Resource: dlm.ResourceID(stripe),
@@ -455,6 +488,14 @@ func (s *Server) setup(ep *rpc.Endpoint) {
 		if err := s.lockL.WaitCtx(ctx); err != nil {
 			return nil, wire.FromContext(err)
 		}
+		// A release for a slot this node no longer masters must be
+		// redirected, not swallowed: the lock record migrated with the
+		// slot, and a no-op "success" here would leave it held forever
+		// at the new master. The gate makes the check-then-release
+		// atomic with respect to migration.
+		if err := s.DLM.CheckMaster(dlm.ResourceID(req.Resource)); err != nil {
+			return nil, err
+		}
 		s.DLM.Release(dlm.ResourceID(req.Resource), dlm.LockID(req.LockID))
 		return &wire.Ack{}, nil
 	})
@@ -468,6 +509,9 @@ func (s *Server) setup(ep *rpc.Endpoint) {
 		defer s.gate.RUnlock()
 		if err := s.lockL.WaitCtx(ctx); err != nil {
 			return nil, wire.FromContext(err)
+		}
+		if err := s.DLM.CheckMaster(dlm.ResourceID(req.Resource)); err != nil {
+			return nil, err
 		}
 		if err := s.DLM.Downgrade(dlm.ResourceID(req.Resource), dlm.LockID(req.LockID), dlm.Mode(req.NewMode)); err != nil {
 			return nil, err
@@ -501,10 +545,11 @@ func (s *Server) setup(ep *rpc.Endpoint) {
 		if err := wire.Unmarshal(p, &req); err != nil {
 			return nil, err
 		}
-		sn, ok := s.DLM.MinSN(dlm.ResourceID(req.Resource), req.Range)
+		sn, ok := s.minSN(req.Resource, req.Range)
 		return &wire.MinSNReply{HasLocks: ok, MinSN: sn}, nil
 	})
 
+	s.setupPartition(ep)
 	if s.cfg.Meta != nil {
 		s.setupMeta(ep)
 	}

@@ -1,0 +1,282 @@
+package dataserver
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"ccpfs/internal/dlm"
+	"ccpfs/internal/extent"
+	"ccpfs/internal/partition"
+	"ccpfs/internal/rpc"
+	"ccpfs/internal/wire"
+)
+
+// PartitionConfig makes the node's DLM master only a subset of the
+// lock space's hash slots (DESIGN.md §12). With a Coordinator the node
+// acquires and renews time-bounded leases on its slots and may take
+// over the slots of a peer whose leases lapse, rebuilding them from
+// client replay; without one, mastership is static (the multi-process
+// deployment of cmd/ccpfs-server, where Servers/Index carve the slot
+// space with partition.Uniform).
+type PartitionConfig struct {
+	// Coordinator arbitrates leases. Nil selects static mastership.
+	Coordinator *partition.Coordinator
+	// Index is this node's position in the partition map — the value
+	// clients route by.
+	Index int32
+	// Servers is the total lock-server count (static mode only).
+	Servers int
+	// Slots overrides the initial claim; nil claims Uniform(n)[Index].
+	Slots []partition.Slot
+	// Takeover lets the node claim expired slots of dead peers.
+	Takeover bool
+	// RemoteMinSN and RemoteForceSync route the extent-cache cleanup
+	// daemon's lock queries to the slot's current master when this node
+	// stores a stripe it does not master (lock and data placement are
+	// independent once the lock space is partitioned). Nil leaves the
+	// daemon with local-only answers, which is only sound when it does
+	// not run or the node masters every stripe it stores.
+	RemoteMinSN     func(stripe uint64, rng extent.Extent) (extent.SN, bool)
+	RemoteForceSync func(stripe uint64)
+}
+
+// partState is the lease agent's runtime state.
+type partState struct {
+	takeovers atomic.Int64
+}
+
+// initPartition installs the node's initial slot view. Called from New.
+func (s *Server) initPartition() {
+	p := s.cfg.Partition
+	slots := p.Slots
+	if p.Coordinator != nil {
+		if slots == nil {
+			slots = partition.Uniform(int(p.Index) + 1)[p.Index] // degenerate default; cluster always passes Slots
+		}
+		granted, epoch, expiry := p.Coordinator.Acquire(p.Index, slots)
+		s.DLM.SetSlots(epoch, granted)
+		s.DLM.SetLeaseExpiry(expiry)
+		return
+	}
+	if slots == nil && p.Servers > 0 {
+		slots = partition.Uniform(p.Servers)[p.Index]
+	}
+	s.DLM.SetSlots(1, slots)
+}
+
+// leaseDaemon renews this node's slot leases at a third of the TTL and,
+// when Takeover is set, claims slots whose leases lapsed (a dead peer)
+// and rebuilds them via client replay. Renewal can only shrink the
+// owned set: slots are grown exclusively through adoptSlots or a
+// migration install, both of which put the lock tables in place before
+// the slot starts serving — a renewal that "discovered" a transferred
+// slot before its state arrived would serve grants from an empty table.
+func (s *Server) leaseDaemon() {
+	p := s.cfg.Partition
+	tick := p.Coordinator.TTL() / 3
+	if tick <= 0 {
+		tick = 50 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+		}
+		s.partMu.Lock()
+		held, expiry := p.Coordinator.Renew(p.Index)
+		s.DLM.SetLeaseExpiry(expiry)
+		in := make(map[partition.Slot]bool, len(held))
+		for _, sl := range held {
+			in[sl] = true
+		}
+		cur := s.DLM.OwnedSlots()
+		keep := cur[:0]
+		for _, sl := range cur {
+			if in[sl] {
+				keep = append(keep, sl)
+			}
+		}
+		if len(keep) != len(cur) {
+			s.DLM.SetSlots(p.Coordinator.Epoch(), keep)
+		}
+		if p.Takeover && !s.draining.Load() {
+			if expired := p.Coordinator.Expired(); len(expired) > 0 {
+				granted, epoch, exp := p.Coordinator.Acquire(p.Index, expired)
+				if len(granted) > 0 {
+					s.adoptSlots(epoch, granted)
+					s.DLM.SetLeaseExpiry(exp)
+					s.partState.takeovers.Add(1)
+				}
+			}
+		}
+		s.partMu.Unlock()
+	}
+}
+
+// adoptSlots rebuilds newly claimed slots from client replay (§IV-C2,
+// filtered by slot) and takes mastership of them. The handler gate is
+// held for the whole gather+restore, exactly like full-crash Recover:
+// a release racing the gather could otherwise land before its lock is
+// restored and leave a zombie lock at the new master.
+func (s *Server) adoptSlots(epoch uint64, slots []partition.Slot) {
+	s.gate.Lock()
+	defer s.gate.Unlock()
+	s.mu.RLock()
+	eps := make([]*rpc.Endpoint, 0, len(s.clients))
+	for _, ep := range s.clients {
+		eps = append(eps, ep)
+	}
+	s.mu.RUnlock()
+
+	req := &wire.SlotReportRequest{Epoch: epoch, Slots: make([]uint32, len(slots))}
+	for i, sl := range slots {
+		req.Slots[i] = uint32(sl)
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.Partition.Coordinator.TTL())
+	defer cancel()
+	var records []dlm.LockRecord
+	for _, ep := range eps {
+		var rep wire.LockReport
+		if err := ep.Call(ctx, wire.MReportSlots, req, &rep); err != nil {
+			// A vanished client loses its locks, like the paper's
+			// aborted-job convention (and full-crash Recover).
+			continue
+		}
+		for _, l := range rep.Locks {
+			records = append(records, dlm.LockRecord{
+				Resource: dlm.ResourceID(l.Resource),
+				Client:   dlm.ClientID(l.Client),
+				LockID:   dlm.LockID(l.LockID),
+				Mode:     dlm.Mode(l.Mode),
+				Range:    l.Range,
+				SN:       l.SN,
+				State:    dlm.State(l.State),
+			})
+		}
+	}
+	// Restore failures (a malformed record) drop the replay but still
+	// take the slots: an empty rebuilt table loses cached locks, a
+	// refused slot set wedges the whole lock space.
+	_ = s.DLM.AdoptSlots(epoch, slots, records)
+}
+
+// partitionMap answers a client's map-refresh request.
+func (s *Server) partitionMap() *wire.PartitionMapReply {
+	p := s.cfg.Partition
+	if p == nil {
+		return &wire.PartitionMapReply{} // unpartitioned: epoch 0, no owners
+	}
+	var m *partition.Map
+	if p.Coordinator != nil {
+		m = p.Coordinator.Snapshot()
+	} else {
+		n := p.Servers
+		if n <= 0 {
+			n = 1
+		}
+		m = partition.UniformMap(1, n)
+	}
+	rep := &wire.PartitionMapReply{Epoch: m.Epoch, Owners: make([]int32, partition.NumSlots)}
+	copy(rep.Owners, m.Owner[:])
+	return rep
+}
+
+// setupPartition registers the partition-service handlers: map refresh
+// for clients, freeze/install for the migration orchestrator.
+func (s *Server) setupPartition(ep *rpc.Endpoint) {
+	ep.Handle(wire.MPartitionMap, func(_ context.Context, p []byte) (wire.Msg, error) {
+		return s.partitionMap(), nil
+	})
+
+	ep.Handle(wire.MSlotFreeze, func(_ context.Context, p []byte) (wire.Msg, error) {
+		var req wire.SlotFreezeRequest
+		if err := wire.Unmarshal(p, &req); err != nil {
+			return nil, err
+		}
+		if s.cfg.Partition == nil {
+			return nil, wire.Errorf(wire.CodeInvalid, "dataserver: not partitioned")
+		}
+		s.partMu.Lock()
+		defer s.partMu.Unlock()
+		// The gate quiesces releases/acks so none can land between the
+		// export copying a lock and the new master installing it.
+		s.gate.Lock()
+		exp, err := s.DLM.FreezeExportSlot(partition.Slot(req.Slot))
+		s.gate.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return exportToWire(exp), nil
+	})
+
+	ep.Handle(wire.MSlotInstall, func(_ context.Context, p []byte) (wire.Msg, error) {
+		var req wire.SlotInstall
+		if err := wire.Unmarshal(p, &req); err != nil {
+			return nil, err
+		}
+		if s.cfg.Partition == nil {
+			return nil, wire.Errorf(wire.CodeInvalid, "dataserver: not partitioned")
+		}
+		s.partMu.Lock()
+		defer s.partMu.Unlock()
+		s.gate.Lock()
+		err := s.DLM.InstallSlot(wireToExport(&req.State), req.Epoch)
+		s.gate.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return &wire.Ack{}, nil
+	})
+}
+
+func exportToWire(exp dlm.SlotExport) *wire.SlotState {
+	st := &wire.SlotState{Slot: uint32(exp.Slot), Epoch: exp.Epoch}
+	for _, re := range exp.Resources {
+		wr := wire.SlotResource{
+			Resource: uint64(re.Resource),
+			NextSN:   uint64(re.NextSN),
+			Grants:   re.Grants,
+		}
+		for _, l := range re.Locks {
+			wr.Locks = append(wr.Locks, wire.LockRecord{
+				Resource: uint64(l.Resource),
+				Client:   uint32(l.Client),
+				LockID:   uint64(l.LockID),
+				Mode:     uint8(l.Mode),
+				Range:    l.Range,
+				SN:       uint64(l.SN),
+				State:    uint8(l.State),
+			})
+		}
+		st.Resources = append(st.Resources, wr)
+	}
+	return st
+}
+
+func wireToExport(st *wire.SlotState) dlm.SlotExport {
+	exp := dlm.SlotExport{Slot: partition.Slot(st.Slot), Epoch: st.Epoch}
+	for _, wr := range st.Resources {
+		re := dlm.ResourceExport{
+			Resource: dlm.ResourceID(wr.Resource),
+			NextSN:   extent.SN(wr.NextSN),
+			Grants:   wr.Grants,
+		}
+		for _, l := range wr.Locks {
+			re.Locks = append(re.Locks, dlm.LockRecord{
+				Resource: dlm.ResourceID(l.Resource),
+				Client:   dlm.ClientID(l.Client),
+				LockID:   dlm.LockID(l.LockID),
+				Mode:     dlm.Mode(l.Mode),
+				Range:    l.Range,
+				SN:       extent.SN(l.SN),
+				State:    dlm.State(l.State),
+			})
+		}
+		exp.Resources = append(exp.Resources, re)
+	}
+	return exp
+}

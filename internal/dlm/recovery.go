@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"ccpfs/internal/extent"
+	"ccpfs/internal/partition"
 )
 
 // This file implements the server-recovery half of §IV-C2: "the server
@@ -59,6 +60,24 @@ func (c *LockClient) Export(filter func(ResourceID) bool) []LockRecord {
 		sh.mu.Unlock()
 	}
 	return out
+}
+
+// ExportSlots returns records for the client's locks whose resources
+// hash into the given slots — the partial-replay form of Export a
+// recovering successor uses after claiming a dead master's slots.
+// Locks on slots still served by live masters are not reported (and
+// must not be: replaying them into the successor would double-master
+// them). Nil slots exports nothing.
+func (c *LockClient) ExportSlots(slots []partition.Slot) []LockRecord {
+	var in [partition.NumSlots]bool
+	for _, s := range slots {
+		if s >= 0 && s < partition.NumSlots {
+			in[s] = true
+		}
+	}
+	return c.Export(func(res ResourceID) bool {
+		return in[partition.SlotOf(uint64(res))]
+	})
 }
 
 // Reset drops all lock state. It models the state loss of a server

@@ -99,6 +99,12 @@ type Server struct {
 	shards   [shard.Count]srvShard
 	nextLock atomic.Uint64
 
+	// slots is the partition-mastership view (nil = unpartitioned,
+	// masters everything) and leaseExpiry the wall-clock bound on it;
+	// see partition.go.
+	slots       atomic.Pointer[slotView]
+	leaseExpiry atomic.Int64
+
 	// Stats accumulates protocol counters and wait-time attribution used
 	// by the Fig. 17 breakdown.
 	Stats Stats
@@ -195,8 +201,12 @@ func (res *resource) retire(w *waiter) {
 	res.wtree.Delete(w.req.Range.Start, w.key)
 }
 
-// resource returns id's resource, creating it if needed. Resources are
-// never removed, so the pointer stays valid without the shard lock.
+// resource returns id's resource, creating it if needed. A resource is
+// only ever removed when its whole slot is exported or purged
+// (partition.go), so the pointer stays valid without the shard lock —
+// holders racing an export at worst mutate an orphaned table whose
+// contents have already been copied out, which the export callers'
+// handler gate prevents from mattering (see FreezeExportSlot).
 func (s *Server) resource(id ResourceID) *resource {
 	sh := &s.shards[shard.Of(uint64(id))]
 	sh.mu.RLock()
@@ -211,6 +221,18 @@ func (s *Server) resource(id ResourceID) *resource {
 		r = &resource{id: id}
 		sh.resources[id] = r
 	}
+	return r
+}
+
+// lookup returns id's resource without creating it. The read-only and
+// teardown paths (release, ack, downgrade, mSN) use it so a straggler
+// arriving after a slot was exported cannot resurrect an empty
+// resource the engine no longer masters.
+func (s *Server) lookup(id ResourceID) *resource {
+	sh := &s.shards[shard.Of(uint64(id))]
+	sh.mu.RLock()
+	r := sh.resources[id]
+	sh.mu.RUnlock()
 	return r
 }
 
@@ -241,11 +263,24 @@ func (s *Server) Lock(ctx context.Context, req Request) (Grant, error) {
 	if s.draining.Load() {
 		return Grant{}, wire.ErrShuttingDown
 	}
+	if err := s.CheckMaster(req.Resource); err != nil {
+		return Grant{}, err
+	}
 	res := s.resource(req.Resource)
 	w := &waiter{req: req, ch: make(chan lockResult, 1), enqAt: time.Now()}
 	s.tracer.record(Event{Kind: EvRequest, Resource: req.Resource, Client: req.Client, Mode: req.Mode, Range: req.Range})
 
 	res.mu.Lock()
+	// Re-check under res.mu: FreezeExportSlot publishes the frozen view
+	// and then sweeps each resource's queue under its mutex, so a
+	// request that passed the check above either lands in the queue
+	// before the sweep (and is redirected by it) or re-checks here and
+	// sees the frozen slot. Either way no waiter survives on a slot the
+	// engine no longer masters.
+	if err := s.CheckMaster(req.Resource); err != nil {
+		res.mu.Unlock()
+		return Grant{}, err
+	}
 	w.key = res.wseq
 	res.wseq++
 	res.queue = append(res.queue, w)
@@ -313,7 +348,10 @@ func (s *Server) Shutdown() {
 // enters CANCELING on the server, which is the transition that enables
 // early grant. Unknown locks (already released or absorbed) are ignored.
 func (s *Server) RevokeAck(resID ResourceID, id LockID) {
-	res := s.resource(resID)
+	res := s.lookup(resID)
+	if res == nil {
+		return
+	}
 	s.tracer.record(Event{Kind: EvRevokeAck, Resource: resID, Lock: id})
 	res.mu.Lock()
 	if l := res.granted.get(id); l != nil && l.state == Granted {
@@ -327,7 +365,10 @@ func (s *Server) RevokeAck(resID ResourceID, id LockID) {
 // Release removes a fully canceled lock. The client must have flushed
 // all dirty data written under it before releasing.
 func (s *Server) Release(resID ResourceID, id LockID) {
-	res := s.resource(resID)
+	res := s.lookup(resID)
+	if res == nil {
+		return
+	}
 	s.tracer.record(Event{Kind: EvRelease, Resource: resID, Lock: id})
 	res.mu.Lock()
 	if l := res.granted.get(id); l != nil {
@@ -343,7 +384,10 @@ func (s *Server) Release(resID ResourceID, id LockID) {
 // enabling early grant for requests that were blocked by its blocking
 // feature. Invalid transitions are rejected.
 func (s *Server) Downgrade(resID ResourceID, id LockID, newMode Mode) error {
-	res := s.resource(resID)
+	res := s.lookup(resID)
+	if res == nil {
+		return fmt.Errorf("dlm: downgrade of unknown lock %d", id)
+	}
 	res.mu.Lock()
 	l := res.granted.get(id)
 	if l == nil {
@@ -369,7 +413,10 @@ func (s *Server) Downgrade(resID ResourceID, id LockID, newMode Mode) error {
 // overlapping rng — the mSN the extent-cache cleanup task queries
 // (§IV-B) — and whether any such lock exists.
 func (s *Server) MinSN(resID ResourceID, rng extent.Extent) (extent.SN, bool) {
-	res := s.resource(resID)
+	res := s.lookup(resID)
+	if res == nil {
+		return 0, false
+	}
 	res.mu.Lock()
 	defer res.mu.Unlock()
 	var msn extent.SN
@@ -389,7 +436,10 @@ func (s *Server) MinSN(resID ResourceID, rng extent.Extent) (extent.SN, bool) {
 // GrantedCount returns the number of unreleased locks on a resource
 // (tests and introspection).
 func (s *Server) GrantedCount(resID ResourceID) int {
-	res := s.resource(resID)
+	res := s.lookup(resID)
+	if res == nil {
+		return 0
+	}
 	res.mu.Lock()
 	defer res.mu.Unlock()
 	return res.granted.len()
@@ -397,7 +447,10 @@ func (s *Server) GrantedCount(resID ResourceID) int {
 
 // QueueLen returns the number of waiting requests on a resource.
 func (s *Server) QueueLen(resID ResourceID) int {
-	res := s.resource(resID)
+	res := s.lookup(resID)
+	if res == nil {
+		return 0
+	}
 	res.mu.Lock()
 	defer res.mu.Unlock()
 	n := 0

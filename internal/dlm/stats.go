@@ -47,6 +47,15 @@ type Stats struct {
 	// number of revocations enqueued for delivery but not yet handed to
 	// the notifier.
 	RevokeQueue obs.Gauge
+
+	// Partition-mastership instruments (partition.go): the number of
+	// slots this engine currently masters and the slots it has handed
+	// off / taken in through online migration. Zero SlotsOwned on an
+	// unpartitioned engine means "all of them" — the gauge is only
+	// written once a slot view is installed.
+	SlotsOwned        obs.Gauge
+	SlotMigrationsIn  atomic.Int64
+	SlotMigrationsOut atomic.Int64
 }
 
 // Register exposes the server's instruments in reg under dlm.*.
@@ -63,6 +72,18 @@ func (s *Stats) Register(reg *obs.Registry) {
 	reg.RegisterHistogram("dlm.revocation_wait", &s.RevocationWaitHist)
 	reg.RegisterHistogram("dlm.cancel_wait", &s.CancelWaitHist)
 	reg.RegisterGauge("dlm.revoke_queue", &s.RevokeQueue)
+	reg.RegisterGauge("dlm.slots_owned", &s.SlotsOwned)
+	reg.Func("dlm.slot_migrations_in", s.SlotMigrationsIn.Load)
+	reg.Func("dlm.slot_migrations_out", s.SlotMigrationsOut.Load)
+}
+
+// WaitHists returns point-in-time snapshots of the three wait
+// histograms. Cross-server aggregation merges these (obs.HistSnapshot
+// .Merge) instead of summing Snapshot's scalar fields, so percentiles
+// survive aggregation — summing two p99s is meaningless, merging two
+// bucket vectors is exact.
+func (s *Stats) WaitHists() (grant, revocation, cancel obs.HistSnapshot) {
+	return s.GrantWaitHist.Snapshot(), s.RevocationWaitHist.Snapshot(), s.CancelWaitHist.Snapshot()
 }
 
 // Snapshot is a plain-value copy of Stats.

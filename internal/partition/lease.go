@@ -1,0 +1,162 @@
+package partition
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Coordinator arbitrates slot mastership with diskless time-bounded
+// leases, in the style of PaxosLease: a server owns a slot only while
+// its lease is unexpired, renews well before expiry, and anything it
+// fails to renew may be claimed by a successor. In the paper's setting
+// the coordinator is a small quorum; here it is an in-process service
+// (the same stand-in the repo uses for the metadata service), so the
+// lease state machine, the epoch rules, and the failover dance are
+// real while the consensus transport is elided.
+//
+// Lease state machine, per slot:
+//
+//	unowned --Acquire--> held(server, expiry)
+//	held --Renew before expiry--> held(same server, new expiry)
+//	held --expiry passes--> expired (still recorded, not serving)
+//	expired --Acquire by anyone--> held(new server, expiry), epoch++
+//
+// Epoch rule: the epoch is bumped exactly when some slot's holder
+// changes (first acquire, takeover, transfer). Renewals never bump it.
+// Servers stamp their slot views with the epoch at grant time and
+// clients refresh any map older than the epoch a server rejects with.
+type Coordinator struct {
+	mu     sync.Mutex
+	ttl    time.Duration
+	now    func() time.Time // injectable for tests
+	epoch  uint64
+	holder [NumSlots]int32
+	expiry [NumSlots]time.Time
+}
+
+// NewCoordinator returns a coordinator granting leases of the given
+// TTL. All slots start unowned at epoch 0.
+func NewCoordinator(ttl time.Duration) *Coordinator {
+	c := &Coordinator{ttl: ttl, now: time.Now}
+	for s := range c.holder {
+		c.holder[s] = NoOwner
+	}
+	return c
+}
+
+// SetClock replaces the coordinator's time source (tests only).
+func (c *Coordinator) SetClock(now func() time.Time) {
+	c.mu.Lock()
+	c.now = now
+	c.mu.Unlock()
+}
+
+// TTL returns the lease duration.
+func (c *Coordinator) TTL() time.Duration { return c.ttl }
+
+// Acquire claims the given slots for server. A slot is granted when it
+// is unowned, already held by server, or held under an expired lease
+// (takeover). The granted subset, the resulting epoch, and the lease
+// expiry are returned; the epoch is bumped once if any slot changed
+// holder.
+func (c *Coordinator) Acquire(server int32, slots []Slot) (granted []Slot, epoch uint64, expiry time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	expiry = now.Add(c.ttl)
+	changed := false
+	for _, s := range slots {
+		if s < 0 || s >= NumSlots {
+			continue
+		}
+		switch {
+		case c.holder[s] == server:
+			// Already ours: treat as a renewal.
+		case c.holder[s] == NoOwner || now.After(c.expiry[s]):
+			c.holder[s] = server
+			changed = true
+		default:
+			continue // held by a live lease elsewhere
+		}
+		c.expiry[s] = expiry
+		granted = append(granted, s)
+	}
+	if changed {
+		c.epoch++
+	}
+	return granted, c.epoch, expiry
+}
+
+// Renew extends every slot server still holds under an unexpired
+// lease and returns that set with the new expiry. Slots whose lease
+// already lapsed are NOT renewed — once expired, mastership is up for
+// grabs and the previous holder must re-Acquire (which bumps the
+// epoch if a successor got there first... or even if it didn't, when
+// the coordinator already recorded the lapse via a takeover).
+func (c *Coordinator) Renew(server int32) (held []Slot, expiry time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	expiry = now.Add(c.ttl)
+	for s := range c.holder {
+		if c.holder[s] == server && !now.After(c.expiry[s]) {
+			c.expiry[s] = expiry
+			held = append(held, Slot(s))
+		}
+	}
+	return held, expiry
+}
+
+// Expired returns the slots whose lease has lapsed (or that were never
+// owned), i.e. the set a surviving server may try to Acquire.
+func (c *Coordinator) Expired() []Slot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	var out []Slot
+	for s := range c.holder {
+		if c.holder[s] == NoOwner || now.After(c.expiry[s]) {
+			out = append(out, Slot(s))
+		}
+	}
+	return out
+}
+
+// Transfer moves one slot's lease from one live holder to another
+// (online migration). Unlike takeover it requires the source to still
+// hold an unexpired lease: migration is a cooperative handoff, not a
+// failover. The epoch is bumped.
+func (c *Coordinator) Transfer(slot Slot, from, to int32) (epoch uint64, expiry time.Time, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if slot < 0 || slot >= NumSlots {
+		return 0, time.Time{}, fmt.Errorf("partition: transfer: bad slot %d", slot)
+	}
+	now := c.now()
+	if c.holder[slot] != from || now.After(c.expiry[slot]) {
+		return 0, time.Time{}, fmt.Errorf("partition: transfer slot %d: not held by server %d", slot, from)
+	}
+	c.holder[slot] = to
+	c.expiry[slot] = now.Add(c.ttl)
+	c.epoch++
+	return c.epoch, c.expiry[slot], nil
+}
+
+// Snapshot returns the current mastership view. Expired-but-unclaimed
+// slots are reported with their last holder: clients routing there
+// will be refused and retry, which is indistinguishable from (and
+// resolved by) the successor's takeover.
+func (c *Coordinator) Snapshot() *Map {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := &Map{Epoch: c.epoch, Owner: c.holder}
+	return m
+}
+
+// Epoch returns the current epoch.
+func (c *Coordinator) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}

@@ -1,0 +1,129 @@
+package partition
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSlotOfInRange(t *testing.T) {
+	seen := map[Slot]bool{}
+	for rid := uint64(0); rid < 1<<16; rid++ {
+		s := SlotOf(rid)
+		if s < 0 || s >= NumSlots {
+			t.Fatalf("SlotOf(%d) = %d out of range", rid, s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != NumSlots {
+		t.Fatalf("only %d/%d slots hit by 64k rids", len(seen), NumSlots)
+	}
+}
+
+func TestUniformCoversAllSlots(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		got := map[Slot]int{}
+		for i, slots := range Uniform(n) {
+			for _, s := range slots {
+				if prev, dup := got[s]; dup {
+					t.Fatalf("n=%d: slot %d assigned to both %d and %d", n, s, prev, i)
+				}
+				got[s] = i
+			}
+		}
+		if len(got) != NumSlots {
+			t.Fatalf("n=%d: %d slots assigned, want %d", n, len(got), NumSlots)
+		}
+		m := UniformMap(7, n)
+		if m.Epoch != 7 {
+			t.Fatalf("UniformMap epoch = %d", m.Epoch)
+		}
+		for s, o := range m.Owner {
+			if got[Slot(s)] != int(o) {
+				t.Fatalf("n=%d: UniformMap disagrees with Uniform at slot %d", n, s)
+			}
+		}
+	}
+}
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func TestLeaseLifecycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := NewCoordinator(time.Second)
+	c.SetClock(clk.now)
+
+	// First acquire: grants, bumps epoch to 1.
+	granted, epoch, _ := c.Acquire(0, []Slot{0, 1, 2})
+	if len(granted) != 3 || epoch != 1 {
+		t.Fatalf("acquire: granted=%v epoch=%d", granted, epoch)
+	}
+	// A second server cannot steal a live lease.
+	granted, epoch, _ = c.Acquire(1, []Slot{1, 3})
+	if len(granted) != 1 || granted[0] != 3 || epoch != 2 {
+		t.Fatalf("contended acquire: granted=%v epoch=%d", granted, epoch)
+	}
+	// Renew extends and does not bump the epoch.
+	clk.advance(900 * time.Millisecond)
+	held, _ := c.Renew(0)
+	if len(held) != 3 || c.Epoch() != 2 {
+		t.Fatalf("renew: held=%v epoch=%d", held, c.Epoch())
+	}
+	// Re-acquiring what you hold does not bump the epoch either.
+	if _, epoch, _ = c.Acquire(0, []Slot{0}); epoch != 2 {
+		t.Fatalf("self re-acquire bumped epoch to %d", epoch)
+	}
+
+	// Server 1 stops renewing; its lease on slot 3 lapses.
+	clk.advance(1100 * time.Millisecond)
+	if held, _ := c.Renew(1); held != nil {
+		t.Fatalf("expired renew returned %v", held)
+	}
+	exp := c.Expired()
+	if len(exp) != NumSlots-3 { // slots 0,1,2 were renewed 900ms ago... now expired too?
+		// 0,1,2 renewed at t+900ms with 1s TTL expire at t+1900ms; we are
+		// at t+2000ms, so they lapsed as well. Everything is expired.
+	}
+	if len(exp) != NumSlots {
+		t.Fatalf("expired: %d slots, want all %d", len(exp), NumSlots)
+	}
+
+	// Takeover: server 2 claims slot 3, epoch bumps.
+	granted, epoch, _ = c.Acquire(2, []Slot{3})
+	if len(granted) != 1 || epoch != 3 {
+		t.Fatalf("takeover: granted=%v epoch=%d", granted, epoch)
+	}
+	if m := c.Snapshot(); m.Owner[3] != 2 || m.Epoch != 3 {
+		t.Fatalf("snapshot after takeover: owner=%d epoch=%d", m.Owner[3], m.Epoch)
+	}
+}
+
+func TestLeaseTransfer(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := NewCoordinator(time.Second)
+	c.SetClock(clk.now)
+	c.Acquire(0, []Slot{5})
+
+	if _, _, err := c.Transfer(5, 1, 2); err == nil {
+		t.Fatal("transfer from non-holder succeeded")
+	}
+	epoch, _, err := c.Transfer(5, 0, 1)
+	if err != nil || epoch != 2 {
+		t.Fatalf("transfer: epoch=%d err=%v", epoch, err)
+	}
+	if m := c.Snapshot(); m.Owner[5] != 1 {
+		t.Fatalf("owner after transfer = %d", m.Owner[5])
+	}
+	// The previous holder lost the slot: its renew no longer covers it.
+	if held, _ := c.Renew(0); len(held) != 0 {
+		t.Fatalf("old holder still renews %v", held)
+	}
+	// An expired lease cannot be transferred (that is a takeover).
+	clk.advance(2 * time.Second)
+	if _, _, err := c.Transfer(5, 1, 0); err == nil {
+		t.Fatal("transfer of expired lease succeeded")
+	}
+}

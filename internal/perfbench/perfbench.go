@@ -370,6 +370,10 @@ func All() []NamedBench {
 		{"LockGrantLinear", LockGrantLinear},
 		{"RevokeStorm", RevokeStorm},
 		{"RevokeStormUnbatched", RevokeStormUnbatched},
+		{"LockGrantScale1", LockGrantScale1},
+		{"LockGrantScale2", LockGrantScale2},
+		{"LockGrantScale4", LockGrantScale4},
+		{"LockGrantScale8", LockGrantScale8},
 	}
 }
 

@@ -24,34 +24,43 @@ const (
 	MRemove  Method = 24 // OpenRequest -> Ack
 	MReserve Method = 25 // SetSizeRequest (Size = byte count) -> SizeReply (reserved offset)
 	MList    Method = 26 // Ack -> ListReply
+	// Partition service (slot mastership; DESIGN.md §12).
+	MPartitionMap Method = 4 // Ack -> PartitionMapReply (client map refresh)
+	MSlotFreeze   Method = 5 // SlotFreezeRequest -> SlotState (migration source)
+	MSlotInstall  Method = 6 // SlotInstall -> Ack (migration target)
 	// Session.
 	MHello Method = 30 // HelloRequest -> HelloReply
 	// Server→client callbacks.
 	MRevoke      Method = 128 // RevokeRequest -> Ack
 	MReport      Method = 129 // Ack -> LockReport (server recovery, §IV-C2)
 	MRevokeBatch Method = 130 // RevokeBatch -> RevokeBatchAck
+	MReportSlots Method = 131 // SlotReportRequest -> LockReport (slot takeover replay)
 )
 
 // methodNames maps methods to their metric/debug labels. Indexed by the
 // raw uint8 so lookups never allocate.
 var methodNames = [256]string{
-	MLock:        "Lock",
-	MRelease:     "Release",
-	MDowngrade:   "Downgrade",
-	MFlush:       "Flush",
-	MRead:        "Read",
-	MMinSN:       "MinSN",
-	MCreate:      "Create",
-	MOpen:        "Open",
-	MStat:        "Stat",
-	MSetSize:     "SetSize",
-	MRemove:      "Remove",
-	MReserve:     "Reserve",
-	MList:        "List",
-	MHello:       "Hello",
-	MRevoke:      "Revoke",
-	MReport:      "Report",
-	MRevokeBatch: "RevokeBatch",
+	MLock:         "Lock",
+	MRelease:      "Release",
+	MDowngrade:    "Downgrade",
+	MFlush:        "Flush",
+	MRead:         "Read",
+	MMinSN:        "MinSN",
+	MCreate:       "Create",
+	MOpen:         "Open",
+	MStat:         "Stat",
+	MSetSize:      "SetSize",
+	MRemove:       "Remove",
+	MReserve:      "Reserve",
+	MList:         "List",
+	MHello:        "Hello",
+	MRevoke:       "Revoke",
+	MReport:       "Report",
+	MRevokeBatch:  "RevokeBatch",
+	MPartitionMap: "PartitionMap",
+	MSlotFreeze:   "SlotFreeze",
+	MSlotInstall:  "SlotInstall",
+	MReportSlots:  "ReportSlots",
 }
 
 // String returns the method's human-readable name, or "m<N>" for an
@@ -666,3 +675,169 @@ func (m *HelloReply) Encode(e *Encoder) { e.U32(m.ClientID) }
 
 // Decode implements Msg.
 func (m *HelloReply) Decode(d *Decoder) { m.ClientID = d.U32() }
+
+// PartitionMapReply carries the versioned slot→lock-server routing
+// table (DESIGN.md §12). Owners[s] is the index of the server
+// mastering hash slot s, or -1 when the slot is currently masterless;
+// Epoch orders views — a client discards any reply older than the map
+// it already holds.
+type PartitionMapReply struct {
+	Epoch  uint64
+	Owners []int32
+}
+
+// Encode implements Msg.
+func (m *PartitionMapReply) Encode(e *Encoder) {
+	e.U64(m.Epoch)
+	e.U32(uint32(len(m.Owners)))
+	for _, o := range m.Owners {
+		e.U32(uint32(o))
+	}
+}
+
+// Decode implements Msg.
+func (m *PartitionMapReply) Decode(d *Decoder) {
+	m.Epoch = d.U64()
+	n := d.Len32(4)
+	if n > 0 {
+		m.Owners = make([]int32, n)
+		for i := range m.Owners {
+			m.Owners[i] = int32(d.U32())
+		}
+	}
+}
+
+// SlotFreezeRequest asks the migration source to freeze one slot and
+// return its exported lock tables.
+type SlotFreezeRequest struct {
+	Slot uint32
+}
+
+// Encode implements Msg.
+func (m *SlotFreezeRequest) Encode(e *Encoder) { e.U32(m.Slot) }
+
+// Decode implements Msg.
+func (m *SlotFreezeRequest) Decode(d *Decoder) { m.Slot = d.U32() }
+
+// SlotResource is one resource's transferable state inside a
+// SlotState: its unreleased locks, its sequencer position (NextSN),
+// and its lifetime grant count (which drives the DLM-Lustre expansion
+// threshold). Queued waiters are not transferred — they are redirected
+// at freeze time and re-request at the new master.
+type SlotResource struct {
+	Resource uint64
+	NextSN   uint64
+	Grants   uint64
+	Locks    []LockRecord
+}
+
+// SlotState is a frozen slot's full lock table — the payload a
+// migration moves from source to target.
+type SlotState struct {
+	Slot      uint32
+	Epoch     uint64 // the source's view epoch at freeze time
+	Resources []SlotResource
+}
+
+// Encode implements Msg.
+func (m *SlotState) Encode(e *Encoder) {
+	e.U32(m.Slot)
+	e.U64(m.Epoch)
+	e.U32(uint32(len(m.Resources)))
+	for i := range m.Resources {
+		r := &m.Resources[i]
+		e.U64(r.Resource)
+		e.U64(r.NextSN)
+		e.U64(r.Grants)
+		e.U32(uint32(len(r.Locks)))
+		for j := range r.Locks {
+			l := &r.Locks[j]
+			e.U64(l.Resource)
+			e.U32(l.Client)
+			e.U64(l.LockID)
+			e.U8(l.Mode)
+			encodeExtent(e, l.Range)
+			e.U64(l.SN)
+			e.U8(l.State)
+		}
+	}
+}
+
+// Decode implements Msg.
+func (m *SlotState) Decode(d *Decoder) {
+	m.Slot = d.U32()
+	m.Epoch = d.U64()
+	n := d.Len32(28) // 3 u64 + locks length per resource, minimum
+	if n > 0 {
+		m.Resources = make([]SlotResource, n)
+		for i := range m.Resources {
+			r := &m.Resources[i]
+			r.Resource = d.U64()
+			r.NextSN = d.U64()
+			r.Grants = d.U64()
+			k := d.Len32(46)
+			if k > 0 {
+				r.Locks = make([]LockRecord, k)
+				for j := range r.Locks {
+					l := &r.Locks[j]
+					l.Resource = d.U64()
+					l.Client = d.U32()
+					l.LockID = d.U64()
+					l.Mode = d.U8()
+					l.Range = decodeExtent(d)
+					l.SN = d.U64()
+					l.State = d.U8()
+				}
+			}
+		}
+	}
+}
+
+// SlotInstall hands a frozen slot's state to the migration target,
+// which takes mastership of the slot at the given post-transfer
+// epoch.
+type SlotInstall struct {
+	Epoch uint64
+	State SlotState
+}
+
+// Encode implements Msg.
+func (m *SlotInstall) Encode(e *Encoder) {
+	e.U64(m.Epoch)
+	m.State.Encode(e)
+}
+
+// Decode implements Msg.
+func (m *SlotInstall) Decode(d *Decoder) {
+	m.Epoch = d.U64()
+	m.State.Decode(d)
+}
+
+// SlotReportRequest asks a client to replay its held locks for the
+// given slots only (server recovery after a lease takeover; the
+// slot-filtered form of MReport). The reply is a LockReport.
+type SlotReportRequest struct {
+	Epoch uint64
+	Slots []uint32
+}
+
+// Encode implements Msg.
+func (m *SlotReportRequest) Encode(e *Encoder) {
+	e.U64(m.Epoch)
+	e.U32(uint32(len(m.Slots)))
+	for _, s := range m.Slots {
+		e.U32(s)
+	}
+}
+
+// Decode implements Msg.
+func (m *SlotReportRequest) Decode(d *Decoder) {
+	m.Epoch = d.U64()
+	n := d.Len32(4)
+	if n > 0 {
+		m.Slots = make([]uint32, n)
+		for i := range m.Slots {
+			m.Slots[i] = d.U32()
+		}
+	}
+}
