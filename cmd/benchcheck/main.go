@@ -12,6 +12,9 @@
 //   - the client's cached-lock hit path allocates, or
 //   - four capacity-capped partitioned lock servers fail to carry the
 //     grant workload at least 2x faster per op than one server, or
+//   - the ping-pong handoff benchmark spends more than ~1.2 server RPCs
+//     per lock exchange, or its server-path contrast drops below 1.5
+//     (meaning the revoke path stopped being exercised), or
 //   - a benchmark pair ratio regressed by more than -threshold against
 //     the checked-in BENCH_dlm.json baseline.
 //
@@ -158,6 +161,7 @@ func main() {
 		"RpcRoundTrip", "RpcRoundTripObs", "RpcRoundTripParallel",
 		"LockClientCachedHitParallel",
 		"LockGrantScale1", "LockGrantScale2", "LockGrantScale4", "LockGrantScale8",
+		"ServerPingPong", "HandoffPingPong",
 	}
 	// Each benchmark runs `rounds` times and the minimum ns/op is kept:
 	// the min is the run least disturbed by scheduler and VM noise, so
@@ -267,6 +271,50 @@ func main() {
 			continue
 		}
 		fmt.Println()
+	}
+
+	// Handoff protocol cost: server RPCs per ping-pong lock exchange,
+	// reported by the benchmarks as the "server_rpcs/exchange" extra
+	// metric. Like the pair ratios this is a protocol count, not a
+	// timing, so it is hardware-independent and gated absolutely: the
+	// classic revoke path costs 2 RPCs per exchange (Lock + Release;
+	// >= 1.5 proves the contrast benchmark still exercises it), the
+	// handoff path must stay at ~1 (the waiter's Lock, with the ack
+	// piggybacked; <= 1.2 per the ISSUE target).
+	rpcGates := []struct {
+		name    string
+		floor   float64
+		ceiling float64
+	}{
+		{name: "ServerPingPong", floor: 1.5},
+		{name: "HandoffPingPong", ceiling: 1.2},
+	}
+	for _, g := range rpcGates {
+		r, ok := fresh[g.name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "FAIL: handoff rpc gate: missing fresh result for %s\n", g.name)
+			failed = true
+			continue
+		}
+		got, ok := r.Extra["server_rpcs/exchange"]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "FAIL: %s did not report server_rpcs/exchange\n", g.name)
+			failed = true
+			continue
+		}
+		fmt.Printf("  %-24s %.3f server_rpcs/exchange", g.name, got)
+		switch {
+		case g.floor > 0 && got < g.floor:
+			fmt.Printf("  << floor %.1f\n", g.floor)
+			fmt.Fprintf(os.Stderr, "FAIL: %s: %.3f server_rpcs/exchange below the %.1f floor\n", g.name, got, g.floor)
+			failed = true
+		case g.ceiling > 0 && got > g.ceiling:
+			fmt.Printf("  >> ceiling %.1f\n", g.ceiling)
+			fmt.Fprintf(os.Stderr, "FAIL: %s: %.3f server_rpcs/exchange exceeds the %.1f ceiling\n", g.name, got, g.ceiling)
+			failed = true
+		default:
+			fmt.Println()
+		}
 	}
 
 	// The client's cached-hit fast path (epoch pin + RCU snapshot scan +

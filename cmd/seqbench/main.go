@@ -11,9 +11,10 @@
 //
 // Experiment IDs: fig4, fig5, model, fig17, fig18, fig19a, fig19b,
 // table3, fig20, fig21, fig23, fig24, ablation (fig22 and fig25 are the
-// time columns of fig21 and fig24), and partition — the lock-space
-// partitioning scaling curve (not in the paper; -lock-servers picks the
-// server counts).
+// time columns of fig21 and fig24), pingpong — the producer-consumer
+// exchange pattern with and without client-to-client lock handoff — and
+// partition — the lock-space partitioning scaling curve (not in the
+// paper; -lock-servers picks the server counts).
 //
 // -benchjson FILE runs the parallel hot-path benchmarks of
 // internal/perfbench instead of the experiment suite and writes the
@@ -107,6 +108,11 @@ func suite() []experiment {
 			cfg := ccpfs.DefaultAblation()
 			cfg.Hardware = hw
 			return ccpfs.RunAblation(cfg)
+		}},
+		{"pingpong", "producer-consumer exchanges: server revoke path vs handoff", func(hw ccpfs.Hardware) (*ccpfs.Experiment, error) {
+			cfg := ccpfs.DefaultPingPong()
+			cfg.Hardware = hw
+			return ccpfs.RunPingPong(cfg)
 		}},
 		{"partition", "lock-space partitioning: grant throughput vs lock servers", func(hw ccpfs.Hardware) (*ccpfs.Experiment, error) {
 			cfg := ccpfs.DefaultPartitionScale()

@@ -944,6 +944,83 @@ func RunAblation(cfg AblationConfig) (*Experiment, error) {
 	return exp, nil
 }
 
+// ---------------------------------------------------------------------
+// Ping-pong — not a paper figure: the producer-consumer exchange
+// pattern DESIGN.md §13's handoff fast path targets, with and without
+// handoff. Two clients alternate whole-stripe writes over one stripe
+// set; the server path pays Lock + Release per lock exchange (~2 server
+// RPCs), handoff delegates the transfer client-to-client (~1). The
+// grant-wait percentiles give the Fig. 17-style wait picture before and
+// after.
+
+// PingPongExpConfig parameterizes the handoff before/after experiment.
+type PingPongExpConfig struct {
+	Hardware    Hardware
+	Exchanges   int
+	WriteSize   int64
+	StripeCount uint32
+}
+
+// DefaultPingPong returns the scaled-down configuration.
+func DefaultPingPong() PingPongExpConfig {
+	return PingPongExpConfig{
+		Hardware:    BenchHardware(),
+		Exchanges:   64,
+		WriteSize:   64 << 10,
+		StripeCount: 2,
+	}
+}
+
+// RunPingPong measures the exchange pattern with handoff off and on.
+func RunPingPong(cfg PingPongExpConfig) (*Experiment, error) {
+	exp := &Experiment{ID: "PingPong", Title: "Producer-consumer exchanges: server revoke path vs client-to-client handoff"}
+	tb := metrics.NewTable("variant", "bandwidth (PIO)", "server RPCs/exchange", "handoffs", "reclaims",
+		"grant wait p50", "grant wait p99")
+	for _, v := range []struct {
+		name    string
+		handoff bool
+	}{
+		{"server path", false},
+		{"handoff", true},
+	} {
+		c, err := cluster.New(cluster.Options{
+			Servers:  1,
+			Policy:   dlm.SeqDLM(),
+			Hardware: cfg.Hardware,
+			Handoff:  v.handoff,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st, err := workload.RunPingPong(c, workload.PingPongConfig{
+			Exchanges:   cfg.Exchanges,
+			WriteSize:   cfg.WriteSize,
+			StripeSize:  1 << 20,
+			StripeCount: cfg.StripeCount,
+		})
+		c.Close()
+		if err != nil {
+			return nil, err
+		}
+		exp.Rows = append(exp.Rows, Row{
+			Variant:    v.name,
+			WriteSize:  cfg.WriteSize,
+			Stripes:    cfg.StripeCount,
+			Bandwidth:  st.BandwidthPIO(),
+			PIO:        st.PIO,
+			Flush:      st.Flush,
+			Throughput: st.Throughput(),
+		})
+		tb.Row(v.name, metrics.Bandwidth(st.BandwidthPIO()),
+			fmt.Sprintf("%.2f", st.ServerRPCsPerExchange),
+			st.DLM.Handoffs, st.DLM.HandoffReclaims,
+			time.Duration(st.GrantWait.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(st.GrantWait.Quantile(0.99)).Round(time.Microsecond))
+	}
+	exp.Text = tb.String()
+	return exp, nil
+}
+
 // CSV renders the experiment's rows as comma-separated values with a
 // header, for plotting outside Go. Duration columns are in seconds,
 // bandwidth in bytes/second.

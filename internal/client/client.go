@@ -156,6 +156,16 @@ type Client struct {
 	pmap   atomic.Pointer[partition.Map]
 	pmMu   sync.Mutex
 	pmLast time.Time
+
+	// Peer transport for client-to-client lock handoff (DESIGN.md §13):
+	// peerSrv accepts inbound transfers, peerEps caches one outbound
+	// endpoint per peer, peerDial resolves a lock client ID to a dialed
+	// endpoint (nil disables the fast path — stamped cancels then fall
+	// back to releasing through the server).
+	peerSrv  *rpc.Server
+	peerMu   sync.Mutex
+	peerEps  map[dlm.ClientID]*rpc.Endpoint
+	peerDial PeerDialer
 }
 
 // New builds a client over established connections. It registers the
@@ -193,6 +203,7 @@ func New(ctx context.Context, cfg Config, conns Conns) (*Client, error) {
 	for i, ep := range conns.Data {
 		ep.Handle(wire.MRevoke, c.handleRevoke)
 		ep.Handle(wire.MRevokeBatch, c.handleRevokeBatch)
+		ep.Handle(wire.MHandoff, c.handleHandoff)
 		ep.Handle(wire.MReport, c.reportHandler(i))
 		ep.Handle(wire.MReportSlots, c.slotReportHandler)
 	}
@@ -315,6 +326,7 @@ func (c *Client) Kill() {
 }
 
 func (c *Client) closeConns() {
+	c.closePeers()
 	for _, ep := range c.conns.Data {
 		ep.Close()
 	}
@@ -340,7 +352,7 @@ func (c *Client) handleRevoke(_ context.Context, p []byte) (wire.Msg, error) {
 	if err := wire.Unmarshal(p, &req); err != nil {
 		return nil, err
 	}
-	c.lc.OnRevoke(dlm.ResourceID(req.Resource), dlm.LockID(req.LockID))
+	c.lc.OnRevokeStamped(dlm.ResourceID(req.Resource), dlm.LockID(req.LockID), stampOf(req.Handoff))
 	return &wire.Ack{}, nil
 }
 
@@ -354,10 +366,24 @@ func (c *Client) handleRevokeBatch(_ context.Context, p []byte) (wire.Msg, error
 	}
 	ack := &wire.RevokeBatchAck{Acked: make([]wire.RevokeEntry, 0, len(req.Entries))}
 	for _, e := range req.Entries {
-		c.lc.OnRevoke(dlm.ResourceID(e.Resource), dlm.LockID(e.LockID))
+		c.lc.OnRevokeStamped(dlm.ResourceID(e.Resource), dlm.LockID(e.LockID), stampOf(e.Handoff))
 		ack.Acked = append(ack.Acked, e)
 	}
 	return ack, nil
+}
+
+// stampOf converts a wire handoff stamp to the lock client's form.
+func stampOf(w *wire.HandoffStamp) *dlm.HandoffStamp {
+	if w == nil {
+		return nil
+	}
+	return &dlm.HandoffStamp{
+		NextOwner: dlm.ClientID(w.NextOwner),
+		NewLockID: dlm.LockID(w.NewLockID),
+		Mode:      dlm.Mode(w.Mode),
+		SN:        extent.SN(w.SN),
+		MustFlush: w.MustFlush,
+	}
 }
 
 // reportHandler answers a recovering server's lock-state gather
@@ -423,16 +449,20 @@ func (c rpcConn) Lock(ctx context.Context, req dlm.Request) (dlm.Grant, error) {
 		Range:    req.Range,
 		Extents:  req.Extents,
 	}
+	for _, id := range req.HandoffAcks {
+		w.HandoffAcks = append(w.HandoffAcks, uint64(id))
+	}
 	var rep wire.LockGrant
 	if err := c.ep.Call(ctx, wire.MLock, w, &rep); err != nil {
 		return dlm.Grant{}, err
 	}
 	g := dlm.Grant{
-		LockID: dlm.LockID(rep.LockID),
-		Mode:   dlm.Mode(rep.Mode),
-		Range:  rep.Range,
-		SN:     rep.SN,
-		State:  dlm.State(rep.State),
+		LockID:    dlm.LockID(rep.LockID),
+		Mode:      dlm.Mode(rep.Mode),
+		Range:     rep.Range,
+		SN:        rep.SN,
+		State:     dlm.State(rep.State),
+		Delegated: rep.Delegated,
 	}
 	for _, id := range rep.Absorbed {
 		g.Absorbed = append(g.Absorbed, dlm.LockID(id))
@@ -448,6 +478,13 @@ func (c rpcConn) Release(ctx context.Context, res dlm.ResourceID, id dlm.LockID)
 // Downgrade implements dlm.ServerConn.
 func (c rpcConn) Downgrade(ctx context.Context, res dlm.ResourceID, id dlm.LockID, m dlm.Mode) error {
 	return c.ep.Call(ctx, wire.MDowngrade, &wire.DowngradeRequest{Resource: uint64(res), LockID: uint64(id), NewMode: uint8(m)}, nil)
+}
+
+// HandoffAck implements dlm.HandoffAcker: a standalone delegation
+// confirmation, sent when no lock request comes soon enough to
+// piggyback it.
+func (c rpcConn) HandoffAck(ctx context.Context, res dlm.ResourceID, id dlm.LockID) error {
+	return c.ep.Call(ctx, wire.MHandoffAck, &wire.HandoffAckRequest{Resource: uint64(res), LockID: uint64(id)}, nil)
 }
 
 // flushForCancel is the lock client's data path: flush dirty data under

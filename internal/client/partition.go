@@ -156,6 +156,15 @@ func (p partConn) Downgrade(ctx context.Context, res dlm.ResourceID, id dlm.Lock
 	})
 }
 
+// HandoffAck implements dlm.HandoffAcker against the slot's current
+// master, so a delegation confirmed after a migration still lands at
+// the server that now carries the delegated lock.
+func (p partConn) HandoffAck(ctx context.Context, res dlm.ResourceID, id dlm.LockID) error {
+	return p.c.withMaster(ctx, uint64(res), func(ep *rpc.Endpoint) error {
+		return rpcConn{ep: ep}.HandoffAck(ctx, res, id)
+	})
+}
+
 // slotReportHandler answers a successor master's slot-filtered lock
 // gather (§IV-C2 replay, restricted to the slots it just claimed).
 func (c *Client) slotReportHandler(_ context.Context, p []byte) (wire.Msg, error) {

@@ -49,6 +49,10 @@ type Options struct {
 	FlushWindow int
 	// MaxFlushRPC bounds the payload of one client flush RPC.
 	MaxFlushRPC int64
+	// Handoff enables the client-to-client lock handoff fast path
+	// (DESIGN.md §13) on every server and wires a peer listener and
+	// dialer into every client.
+	Handoff bool
 	// Partition enables N-way lock-space partitioning (DESIGN.md §12):
 	// each server masters a lease-held share of the hash slots, clients
 	// route by the partition map, and surviving servers take over the
@@ -83,6 +87,9 @@ type Cluster struct {
 func New(opts Options) (*Cluster, error) {
 	if opts.Servers <= 0 {
 		opts.Servers = 1
+	}
+	if opts.Handoff {
+		opts.Policy.Handoff = true
 	}
 	c := &Cluster{
 		opts: opts,
@@ -171,7 +178,7 @@ func (c *Cluster) NewClient(name string) (*client.Client, error) {
 	if pcCfg.CacheBandwidth == 0 {
 		pcCfg.CacheBandwidth = c.opts.Hardware.CacheBandwidth
 	}
-	return client.New(context.Background(), client.Config{
+	cl, err := client.New(context.Background(), client.Config{
 		Name:          name,
 		ID:            id,
 		Policy:        c.opts.Policy,
@@ -182,7 +189,31 @@ func (c *Cluster) NewClient(name string) (*client.Client, error) {
 		MaxFlushRPC:   c.opts.MaxFlushRPC,
 		Partitioned:   c.opts.Partition,
 	}, conns)
+	if err != nil || !c.opts.Handoff {
+		return cl, err
+	}
+	// The handoff fast path needs a client-to-client wire: each client
+	// listens at peer-<id> and dials its peers by lock client ID.
+	pl, err := c.net.Listen(peerAddr(id))
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	cl.ServePeers(pl)
+	cl.SetPeerDialer(func(peer dlm.ClientID) (*rpc.Endpoint, error) {
+		conn, err := c.net.Dial(peerAddr(peer))
+		if err != nil {
+			return nil, err
+		}
+		ep := rpc.NewEndpoint(conn, rpc.Options{})
+		ep.Start()
+		return ep, nil
+	})
+	return cl, nil
 }
+
+// peerAddr is the memnet address of a client's handoff listener.
+func peerAddr(id dlm.ClientID) string { return fmt.Sprintf("peer-%d", id) }
 
 // Clients builds n clients named with a prefix.
 func (c *Cluster) Clients(n int, prefix string) ([]*client.Client, error) {
@@ -274,6 +305,10 @@ func (c *Cluster) DLMStatsBreakdown() DLMAggregate {
 		agg.Total.EarlyRevocations += snap.EarlyRevocations
 		agg.Total.Upgrades += snap.Upgrades
 		agg.Total.Downgrades += snap.Downgrades
+		agg.Total.LockOps += snap.LockOps
+		agg.Total.Handoffs += snap.Handoffs
+		agg.Total.HandoffAcks += snap.HandoffAcks
+		agg.Total.HandoffReclaims += snap.HandoffReclaims
 		agg.GrantWait.Merge(g)
 		agg.RevocationWait.Merge(r)
 		agg.CancelWait.Merge(cw)

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"ccpfs/internal/client"
+	"ccpfs/internal/dlm"
+	"ccpfs/internal/extent"
+	"ccpfs/internal/partition"
+)
+
+// TestClusterHandoffMigrationRace races the handoff fast path against
+// online slot migration: two clients ping-pong a hot lock (so nearly
+// every exchange delegates client-to-client) while the slot's
+// mastership moves between servers. The freeze must reclaim any
+// delegation outstanding at the cut, no acquire may be lost or fail,
+// and SNs must stay globally unique across both masters. Run under
+// -race in CI.
+func TestClusterHandoffMigrationRace(t *testing.T) {
+	c := newCluster(t, Options{
+		Servers:   2,
+		Policy:    dlm.SeqDLM(),
+		Partition: true,
+		Handoff:   true,
+		LeaseTTL:  time.Second,
+	})
+	cls := newClients(t, c, 2)
+	ctx := context.Background()
+
+	hot := dlm.ResourceID(findResourceOwnedBy(t, c, 0, 0))
+	slot := partition.SlotOf(uint64(hot))
+
+	type rec struct {
+		id dlm.LockID
+		sn extent.SN
+	}
+	var mu sync.Mutex
+	var recs []rec
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, cl := range cls {
+		wg.Add(1)
+		go func(cl *client.Client) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h, err := cl.Locks().Acquire(ctx, hot, dlm.NBW, extent.New(0, 4096))
+				if err != nil {
+					t.Errorf("client op failed during migration: %v", err)
+					return
+				}
+				mu.Lock()
+				recs = append(recs, rec{h.ID(), h.SN()})
+				mu.Unlock()
+				cl.Locks().Unlock(h)
+			}
+		}(cl)
+	}
+
+	handoffs := func() int64 {
+		var n int64
+		for _, s := range c.Servers {
+			n += s.DLM.Stats.Handoffs.Load()
+		}
+		return n
+	}
+	distinctGrants := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		seen := make(map[extent.SN]bool)
+		n := 0
+		for _, r := range recs {
+			if !seen[r.sn] {
+				seen[r.sn] = true
+				n++
+			}
+		}
+		return n
+	}
+	waitProgress := func(minGrants int, minHandoffs int64) {
+		deadline := time.Now().Add(15 * time.Second)
+		for (distinctGrants() < minGrants || handoffs() < minHandoffs) && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	migrate := func(from, to int) {
+		mctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+		if err := c.MigrateSlot(mctx, slot, from, to); err != nil {
+			t.Fatalf("migrate slot %d %d->%d: %v", slot, from, to, err)
+		}
+	}
+
+	// Each migration cuts in with delegation traffic demonstrably in
+	// flight, so the freeze races real outstanding handoffs.
+	waitProgress(5, 2)
+	migrate(0, 1)
+	waitProgress(12, 4)
+	migrate(1, 0)
+	waitProgress(20, 6)
+	close(stop)
+	wg.Wait()
+
+	// No op was lost and no SN was issued twice across the two masters
+	// (same lock ID re-reporting an SN is a client cache hit).
+	byID := make(map[extent.SN]dlm.LockID)
+	for _, r := range recs {
+		if prev, ok := byID[r.sn]; ok && prev != r.id {
+			t.Fatalf("SN %d issued to two locks (%d and %d)", r.sn, prev, r.id)
+		}
+		byID[r.sn] = r.id
+	}
+	if grants := distinctGrants(); grants < 20 {
+		t.Fatalf("only %d distinct grants recorded; workers were starved", grants)
+	}
+	if handoffs() < 6 {
+		t.Fatalf("only %d handoffs across the run; the fast path never engaged", handoffs())
+	}
+
+	// Drain the clients, then every delegation must be resolved: each
+	// engine consistent, the slot home, and no delegated residue (a
+	// single granted lock at most on the hot resource).
+	for _, cl := range cls {
+		if err := cl.Shutdown(ctx); err != nil {
+			t.Fatalf("client shutdown: %v", err)
+		}
+	}
+	for i, s := range c.Servers {
+		if s.DLM.Stats.SlotMigrationsOut.Load() < 1 || s.DLM.Stats.SlotMigrationsIn.Load() < 1 {
+			t.Fatalf("server %d migrations in/out = %d/%d, want >= 1 each",
+				i, s.DLM.Stats.SlotMigrationsIn.Load(), s.DLM.Stats.SlotMigrationsOut.Load())
+		}
+		if err := s.DLM.CheckInvariants(); err != nil {
+			t.Fatalf("server %d: %v", i, err)
+		}
+	}
+	if err := c.Servers[0].DLM.CheckMaster(hot); err != nil {
+		t.Fatalf("slot %d not back home on server 0: %v", slot, err)
+	}
+}

@@ -258,6 +258,20 @@ func (s *Server) dropEndpoint(ep *rpc.Endpoint) {
 // on a dead holder.
 type notifier struct{ s *Server }
 
+// wireStamp converts a handoff stamp to its wire form.
+func wireStamp(h *dlm.HandoffStamp) *wire.HandoffStamp {
+	if h == nil {
+		return nil
+	}
+	return &wire.HandoffStamp{
+		NextOwner: uint32(h.NextOwner),
+		NewLockID: uint64(h.NewLockID),
+		Mode:      uint8(h.Mode),
+		SN:        uint64(h.SN),
+		MustFlush: h.MustFlush,
+	}
+}
+
 // Revoke implements dlm.Notifier.
 func (n notifier) Revoke(ctx context.Context, rv dlm.Revocation) {
 	n.s.mu.RLock()
@@ -265,15 +279,39 @@ func (n notifier) Revoke(ctx context.Context, rv dlm.Revocation) {
 	n.s.mu.RUnlock()
 	if ep == nil {
 		n.s.DLM.RevokeAck(rv.Resource, rv.Lock)
+		// For a stamped revocation this release also resolves the
+		// delegation: the engine activates the successor itself.
 		n.s.DLM.Release(rv.Resource, rv.Lock)
 		return
 	}
-	err := ep.Call(ctx, wire.MRevoke, &wire.RevokeRequest{Resource: uint64(rv.Resource), LockID: uint64(rv.Lock)}, nil)
+	err := ep.Call(ctx, wire.MRevoke, &wire.RevokeRequest{
+		Resource: uint64(rv.Resource),
+		LockID:   uint64(rv.Lock),
+		Handoff:  wireStamp(rv.Handoff),
+	}, nil)
 	n.s.DLM.RevokeAck(rv.Resource, rv.Lock)
 	if err != nil {
 		// The holder is gone; its dirty data is lost by the client-cache
 		// durability convention (§IV-C1). Release so waiters proceed.
 		n.s.DLM.Release(rv.Resource, rv.Lock)
+	}
+}
+
+// Handoff implements dlm.HandoffNotifier: the server-sent activation of
+// a delegated lock, used when the previous holder released instead of
+// transferring or the reclaimer force-resolved the delegation.
+func (n notifier) Handoff(ctx context.Context, client dlm.ClientID, res dlm.ResourceID, id dlm.LockID) {
+	n.s.mu.RLock()
+	ep := n.s.clients[client]
+	n.s.mu.RUnlock()
+	if ep == nil {
+		// The new owner is gone too; release the resolved lock so
+		// waiters proceed.
+		n.s.DLM.Release(res, id)
+		return
+	}
+	if err := ep.Call(ctx, wire.MHandoff, &wire.HandoffRequest{Resource: uint64(res), LockID: uint64(id)}, nil); err != nil {
+		n.s.DLM.Release(res, id)
 	}
 }
 
@@ -311,7 +349,11 @@ func (n notifier) RevokeBatch(ctx context.Context, client dlm.ClientID, revs []d
 		part := chunk(i)
 		req := &wire.RevokeBatch{Entries: make([]wire.RevokeEntry, len(part))}
 		for j, rv := range part {
-			req.Entries[j] = wire.RevokeEntry{Resource: uint64(rv.Resource), LockID: uint64(rv.Lock)}
+			req.Entries[j] = wire.RevokeEntry{
+				Resource: uint64(rv.Resource),
+				LockID:   uint64(rv.Lock),
+				Handoff:  wireStamp(rv.Handoff),
+			}
 		}
 		calls[i] = rpc.BatchCall{Method: wire.MRevokeBatch, Req: req, Reply: &wire.RevokeBatchAck{}}
 	}
@@ -455,22 +497,28 @@ func (s *Server) setup(ep *rpc.Endpoint) {
 		if len(req.Extents) > 0 {
 			set = extent.NewSet(req.Extents...)
 		}
+		var acks []dlm.LockID
+		for _, id := range req.HandoffAcks {
+			acks = append(acks, dlm.LockID(id))
+		}
 		g, err := s.DLM.Lock(ctx, dlm.Request{
-			Resource: dlm.ResourceID(req.Resource),
-			Client:   dlm.ClientID(req.Client),
-			Mode:     dlm.Mode(req.Mode),
-			Range:    req.Range,
-			Extents:  set,
+			Resource:    dlm.ResourceID(req.Resource),
+			Client:      dlm.ClientID(req.Client),
+			Mode:        dlm.Mode(req.Mode),
+			Range:       req.Range,
+			Extents:     set,
+			HandoffAcks: acks,
 		})
 		if err != nil {
 			return nil, err
 		}
 		reply := &wire.LockGrant{
-			LockID: uint64(g.LockID),
-			Mode:   uint8(g.Mode),
-			Range:  g.Range,
-			SN:     g.SN,
-			State:  uint8(g.State),
+			LockID:    uint64(g.LockID),
+			Mode:      uint8(g.Mode),
+			Range:     g.Range,
+			SN:        g.SN,
+			State:     uint8(g.State),
+			Delegated: g.Delegated,
 		}
 		for _, id := range g.Absorbed {
 			reply.Absorbed = append(reply.Absorbed, uint64(id))
@@ -516,6 +564,26 @@ func (s *Server) setup(ep *rpc.Endpoint) {
 		if err := s.DLM.Downgrade(dlm.ResourceID(req.Resource), dlm.LockID(req.LockID), dlm.Mode(req.NewMode)); err != nil {
 			return nil, err
 		}
+		return &wire.Ack{}, nil
+	})
+
+	ep.Handle(wire.MHandoffAck, func(ctx context.Context, p []byte) (wire.Msg, error) {
+		var req wire.HandoffAckRequest
+		if err := wire.Unmarshal(p, &req); err != nil {
+			return nil, err
+		}
+		s.gate.RLock()
+		defer s.gate.RUnlock()
+		if err := s.lockL.WaitCtx(ctx); err != nil {
+			return nil, wire.FromContext(err)
+		}
+		// Like a release, an ack for a migrated slot must be redirected:
+		// the freeze already resolved the delegation, and the new master
+		// treats the late ack as a duplicate.
+		if err := s.DLM.CheckMaster(dlm.ResourceID(req.Resource)); err != nil {
+			return nil, err
+		}
+		s.DLM.HandoffAck(dlm.ResourceID(req.Resource), dlm.LockID(req.LockID))
 		return &wire.Ack{}, nil
 	})
 

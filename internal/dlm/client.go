@@ -99,6 +99,12 @@ type Handle struct {
 	// so any reader that observes absorbed finds merged non-nil.
 	merged   atomic.Pointer[Handle]
 	released chan struct{}
+	// stamp carries a handoff delegation received with a stamped
+	// revocation (DESIGN.md §13). It is published before the state word
+	// flips to CANCELING, so the cancel goroutine — claimed only after
+	// that flip — always observes it and transfers the lock to the
+	// stamped next owner instead of releasing it.
+	stamp atomic.Pointer[HandoffStamp]
 }
 
 // Resource returns the lock's resource.
@@ -162,6 +168,11 @@ type ClientStats struct {
 	Cancels     atomic.Int64
 	LockWaitNs  atomic.Int64 // time blocked in Acquire RPCs
 	CancelNs    atomic.Int64 // time spent flushing + releasing
+	// HandoffsSent counts locks this client transferred directly to a
+	// peer; HandoffsRecv counts delegated grants this client activated
+	// (peer transfer or server-sent activation).
+	HandoffsSent atomic.Int64
+	HandoffsRecv atomic.Int64
 }
 
 // LockClient is the client half of the DLM: it caches grants, answers
@@ -189,6 +200,11 @@ type LockClient struct {
 
 	shards [shard.Count]clientShard
 
+	// peer, when set, is the client-to-client transport handoff
+	// transfers are sent over; nil falls back to releasing through the
+	// server (clienthandoff.go).
+	peer atomic.Pointer[peerSenderBox]
+
 	// Stats counts client-side lock activity.
 	Stats ClientStats
 }
@@ -204,12 +220,21 @@ type clientShard struct {
 	// pendingRevokes records revocation callbacks that arrived before
 	// the corresponding grant reply was processed (the callback and the
 	// reply race on different goroutines); the handle is created
-	// directly in CANCELING state. tombstones records locks already
-	// released or absorbed so late revocations for them are ignored.
-	// Both are keyed by (resource, lock ID): lock IDs are unique only
-	// within one server, and a client talks to many servers.
-	pendingRevokes map[lockKey]bool
+	// directly in CANCELING state, carrying the revocation's handoff
+	// stamp when it had one (nil for a plain revoke). tombstones
+	// records locks already released or absorbed so late revocations
+	// for them are ignored. Both are keyed by (resource, lock ID): lock
+	// IDs are unique only within one server, and a client talks to many
+	// servers.
+	pendingRevokes map[lockKey]*HandoffStamp
 	tombstones     map[lockKey]bool
+	// Handoff reception state (clienthandoff.go): transfers that
+	// arrived before their delegated grant reply was processed, waiters
+	// blocked on a transfer, and delegation acks queued for the server.
+	arrivedHandoffs map[lockKey]bool
+	pendingHandoffs map[lockKey]chan struct{}
+	pendingAcks     map[ResourceID][]LockID
+	ackTimer        *time.Timer
 }
 
 // lockKey globally identifies a lock: IDs are per-server, resources map
@@ -269,8 +294,11 @@ func NewLockClient(id ClientID, policy Policy, router func(ResourceID) ServerCon
 		m := make(map[ResourceID][]*Handle)
 		sh.snap.Store(&m)
 		sh.acq = make(map[ResourceID]*sync.Mutex)
-		sh.pendingRevokes = make(map[lockKey]bool)
+		sh.pendingRevokes = make(map[lockKey]*HandoffStamp)
 		sh.tombstones = make(map[lockKey]bool)
+		sh.arrivedHandoffs = make(map[lockKey]bool)
+		sh.pendingHandoffs = make(map[lockKey]chan struct{})
+		sh.pendingAcks = make(map[ResourceID][]LockID)
 	}
 	return c
 }
@@ -355,16 +383,32 @@ func (c *LockClient) acquire(ctx context.Context, res ResourceID, need Mode, rng
 	c.Stats.CacheMisses.Add(1)
 
 	start := time.Now()
+	acks := c.takeAcks(res)
 	g, err := c.router(res).Lock(ctx, Request{
-		Resource: res,
-		Client:   c.id,
-		Mode:     need,
-		Range:    rng,
-		Extents:  set,
+		Resource:    res,
+		Client:      c.id,
+		Mode:        need,
+		Range:       rng,
+		Extents:     set,
+		HandoffAcks: acks,
 	})
 	c.Stats.LockWaitNs.Add(time.Since(start).Nanoseconds())
 	if err != nil {
+		// The acks may not have reached the server; re-queue them —
+		// duplicate acks are idempotent server-side.
+		c.requeueAcks(res, acks)
 		return nil, err
+	}
+	if g.Delegated {
+		// The lock arrives from the previous holder, not from server
+		// state: block until the transfer (or a server-sent activation)
+		// lands, then confirm the delegation asynchronously.
+		if err := c.waitTransfer(ctx, res, g.LockID); err != nil {
+			c.router(res).Release(c.baseCtx, res, g.LockID)
+			return nil, err
+		}
+		c.Stats.HandoffsRecv.Add(1)
+		c.queueAck(res, g.LockID)
 	}
 
 	h := &Handle{
@@ -379,11 +423,19 @@ func (c *LockClient) acquire(ctx context.Context, res ResourceID, need Mode, rng
 	sh := c.shard(res)
 	sh.mu.Lock()
 	// A revocation callback may have raced ahead of this grant reply;
-	// honour it now.
-	if k := (lockKey{res, g.LockID}); sh.pendingRevokes[k] {
+	// honour it now (including its handoff stamp, for chained
+	// delegations revoked before this reply was processed).
+	k := lockKey{res, g.LockID}
+	if stamp, ok := sh.pendingRevokes[k]; ok {
 		delete(sh.pendingRevokes, k)
+		if stamp != nil {
+			h.stamp.Store(stamp)
+		}
 		st = Canceling
 	}
+	// A duplicate activation racing this install would otherwise leave
+	// a stale arrival behind.
+	delete(sh.arrivedHandoffs, k)
 	h.hot.Store(hotWord(1, st, g.Mode, need.IsWrite()))
 
 	list := sh.cur()[res]
@@ -515,21 +567,35 @@ func (c *LockClient) Unlock(h *Handle) {
 // CANCELING immediately (blocking reuse); returning from OnRevoke is the
 // revocation reply. The cancel path runs once ongoing operations finish.
 func (c *LockClient) OnRevoke(res ResourceID, id LockID) {
+	c.OnRevokeStamped(res, id, nil)
+}
+
+// OnRevokeStamped handles a revocation carrying an optional handoff
+// stamp (DESIGN.md §13): a stamped lock is canceled like any other,
+// but its cancel path transfers the lock to the stamped next owner
+// instead of releasing it back to the server.
+func (c *LockClient) OnRevokeStamped(res ResourceID, id LockID, stamp *HandoffStamp) {
 	c.Stats.Revocations.Add(1)
 	sh := c.shard(res)
 	sh.mu.Lock()
 	h := findByID(sh.cur()[res], id)
 	if h == nil {
 		// Either the grant reply has not been processed yet (remember
-		// the revocation for when it is) or the lock is already gone
-		// (tombstoned: ignore). Acking both cases is correct.
+		// the revocation — and its stamp — for when it is) or the lock
+		// is already gone (tombstoned: ignore). Acking both cases is
+		// correct.
 		if k := (lockKey{res, id}); !sh.tombstones[k] {
-			sh.pendingRevokes[k] = true
+			sh.pendingRevokes[k] = stamp
 		}
 		sh.mu.Unlock()
 		return
 	}
 	sh.mu.Unlock()
+	if stamp != nil {
+		// Published before the CANCELING flip below, so the cancel
+		// goroutine always sees it.
+		h.stamp.Store(stamp)
+	}
 	for {
 		w := h.hot.Load()
 		if w&hotAbsorbed != 0 {
@@ -561,6 +627,51 @@ func (c *LockClient) cancel(h *Handle) {
 
 	w := h.hot.Load()
 	mode, wrote, rng := hotMode(w), w&hotWrote != 0, h.rng
+
+	if stamp := h.stamp.Load(); stamp != nil {
+		// Handoff transfer (DESIGN.md §13): the lock leaves this client
+		// entirely, so there is no downgrade to run — flush the dirty
+		// data written under it, then hand it to the next owner
+		// directly. Only if no peer path exists (or the send fails)
+		// release through the server, which resolves the delegation and
+		// activates the new owner itself.
+		// Flush-vs-transfer ordering mirrors early grant (§III-A1): a
+		// write-only successor (no implicit read) may own the lock while
+		// this holder's dirty data is still in flight — its writes carry
+		// a higher SN, so the extent cache resolves the overlap — which
+		// keeps the flush off the successor's critical path. A reading
+		// successor (PR/PW) must find the data on the data servers, so
+		// for it the flush completes before the transfer. Either way the
+		// flush obligation runs exactly once, here.
+		deferFlush := !stamp.Mode.CanRead()
+		if !deferFlush {
+			c.flusher.FlushForCancel(ctx, h.res, rng, h.sn)
+		}
+		h.hot.Or(hotReleaseSent)
+		sent := false
+		if box := c.peer.Load(); box != nil && box.s != nil {
+			if err := box.s.SendHandoff(ctx, stamp.NextOwner, h.res, stamp.NewLockID); err == nil {
+				sent = true
+				c.Stats.HandoffsSent.Add(1)
+			}
+		}
+		if deferFlush {
+			// The release fallback below must stay behind the flush:
+			// a fully released write lock's data is on the data
+			// servers by the time the server may grant readers.
+			c.flusher.FlushForCancel(ctx, h.res, rng, h.sn)
+		}
+		if !sent {
+			conn.Release(ctx, h.res, h.id)
+		}
+		sh := c.shard(h.res)
+		sh.mu.Lock()
+		sh.remove(h)
+		sh.mu.Unlock()
+		close(h.released)
+		c.Stats.CancelNs.Add(time.Since(start).Nanoseconds())
+		return
+	}
 
 	flushed := false
 	if c.policy.Conversion {
@@ -617,6 +728,7 @@ func (c *LockClient) Close() { c.cancelFn() }
 // active holds are marked CANCELING and will cancel at their final
 // Unlock.
 func (c *LockClient) ReleaseAll(ctx context.Context) error {
+	c.FlushHandoffAcks(ctx)
 	var toStart, toWait []*Handle
 	for i := range c.shards {
 		sh := &c.shards[i]

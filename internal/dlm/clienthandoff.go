@@ -1,0 +1,200 @@
+package dlm
+
+import (
+	"context"
+	"time"
+
+	"ccpfs/internal/wire"
+)
+
+// Client side of the handoff fast path (DESIGN.md §13). The holder of
+// a stamped revocation transfers the lock to the next owner over the
+// PeerSender; the recipient blocks its delegated acquire on the
+// transfer's arrival (OnHandoff) and confirms the delegation back to
+// the server asynchronously — piggybacked on its next lock request
+// for the resource when one comes soon enough, or flushed standalone
+// by a short timer otherwise.
+
+// handoffAckDelay bounds how long a delegation ack may sit queued
+// before it is flushed standalone: long enough that a busy ping-pong
+// pattern always piggybacks, short enough that the server's reclaim
+// timer never fires for a healthy client.
+const handoffAckDelay = 20 * time.Millisecond
+
+// PeerSender is the client-to-client transport for handoff transfers.
+// SendHandoff delivers "lock id on res is now yours" to the peer and
+// returns once the peer accepted it; an error makes the holder fall
+// back to releasing through the server.
+type PeerSender interface {
+	SendHandoff(ctx context.Context, peer ClientID, res ResourceID, id LockID) error
+}
+
+// PeerSenderFunc adapts a function to PeerSender.
+type PeerSenderFunc func(ctx context.Context, peer ClientID, res ResourceID, id LockID) error
+
+// SendHandoff implements PeerSender.
+func (f PeerSenderFunc) SendHandoff(ctx context.Context, peer ClientID, res ResourceID, id LockID) error {
+	return f(ctx, peer, res, id)
+}
+
+// HandoffAcker is the optional ServerConn extension for standalone
+// delegation acks. Connections that do not implement it leave acks
+// queued for piggybacking on the next lock request.
+type HandoffAcker interface {
+	HandoffAck(ctx context.Context, res ResourceID, id LockID) error
+}
+
+// peerSenderBox wraps the PeerSender interface for atomic publication.
+type peerSenderBox struct{ s PeerSender }
+
+// SetPeerSender installs (or, with nil, removes) the client-to-client
+// transport. Without one, stamped cancels fall back to releasing
+// through the server.
+func (c *LockClient) SetPeerSender(s PeerSender) {
+	if s == nil {
+		c.peer.Store(nil)
+		return
+	}
+	c.peer.Store(&peerSenderBox{s: s})
+}
+
+// OnHandoff records the arrival of a transferred lock — from the
+// previous holder over the peer transport, or as a server-sent
+// activation after a fallback release or reclaim. Duplicates (the two
+// paths racing) are idempotent: a transfer for a lock already
+// installed or already gone is dropped.
+func (c *LockClient) OnHandoff(res ResourceID, id LockID) {
+	k := lockKey{res, id}
+	sh := c.shard(res)
+	sh.mu.Lock()
+	if ch, ok := sh.pendingHandoffs[k]; ok {
+		delete(sh.pendingHandoffs, k)
+		close(ch)
+	} else if !sh.tombstones[k] && findByID(sh.cur()[res], id) == nil {
+		sh.arrivedHandoffs[k] = true
+	}
+	sh.mu.Unlock()
+}
+
+// waitTransfer blocks a delegated acquire until its lock's transfer
+// arrives. The transfer may already have landed (it raced ahead of the
+// grant reply); otherwise park on a channel OnHandoff closes.
+func (c *LockClient) waitTransfer(ctx context.Context, res ResourceID, id LockID) error {
+	k := lockKey{res, id}
+	sh := c.shard(res)
+	sh.mu.Lock()
+	if sh.arrivedHandoffs[k] {
+		delete(sh.arrivedHandoffs, k)
+		sh.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	sh.pendingHandoffs[k] = ch
+	sh.mu.Unlock()
+
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+	case <-c.baseCtx.Done():
+	}
+	sh.mu.Lock()
+	if _, ok := sh.pendingHandoffs[k]; ok {
+		delete(sh.pendingHandoffs, k)
+		sh.mu.Unlock()
+		if err := ctx.Err(); err != nil {
+			return wire.FromContext(err)
+		}
+		return wire.ErrShuttingDown
+	}
+	sh.mu.Unlock()
+	// The transfer raced the abort and won; use the lock.
+	return nil
+}
+
+// queueAck queues a delegation confirmation for the server mastering
+// res and arms the shard's flush timer if no lock request drains it
+// first.
+func (c *LockClient) queueAck(res ResourceID, id LockID) {
+	sh := c.shard(res)
+	sh.mu.Lock()
+	sh.pendingAcks[res] = append(sh.pendingAcks[res], id)
+	if sh.ackTimer == nil {
+		sh.ackTimer = time.AfterFunc(handoffAckDelay, func() { c.flushShardAcks(sh) })
+	}
+	sh.mu.Unlock()
+}
+
+// takeAcks pops the queued acks for res, to piggyback on a lock
+// request. The caller must re-queue them if the request fails.
+func (c *LockClient) takeAcks(res ResourceID) []LockID {
+	sh := c.shard(res)
+	sh.mu.Lock()
+	acks := sh.pendingAcks[res]
+	if len(acks) > 0 {
+		delete(sh.pendingAcks, res)
+	}
+	sh.mu.Unlock()
+	return acks
+}
+
+// requeueAcks returns acks taken by a lock request that failed, or
+// whose connection cannot send them standalone; they wait for the next
+// lock request (no timer re-arm — a connection without a HandoffAck
+// path would otherwise spin the timer forever). Duplicate delivery is
+// harmless: the server ignores acks for already-confirmed delegations.
+func (c *LockClient) requeueAcks(res ResourceID, acks []LockID) {
+	if len(acks) == 0 {
+		return
+	}
+	sh := c.shard(res)
+	sh.mu.Lock()
+	sh.pendingAcks[res] = append(sh.pendingAcks[res], acks...)
+	sh.mu.Unlock()
+}
+
+// flushShardAcks sends every queued ack in the shard standalone. Acks
+// whose connection has no HandoffAck path stay queued for the next
+// lock request; the server's reclaim timer covers the pathological
+// case where none ever comes.
+func (c *LockClient) flushShardAcks(sh *clientShard) {
+	sh.mu.Lock()
+	pending := sh.pendingAcks
+	sh.pendingAcks = make(map[ResourceID][]LockID)
+	sh.ackTimer = nil
+	sh.mu.Unlock()
+	for res, ids := range pending {
+		ha, ok := c.router(res).(HandoffAcker)
+		if !ok {
+			c.requeueAcks(res, ids)
+			continue
+		}
+		for _, id := range ids {
+			ha.HandoffAck(c.baseCtx, res, id)
+		}
+	}
+}
+
+// FlushHandoffAcks synchronously drains every queued delegation ack —
+// the shutdown barrier runs it so the server confirms outstanding
+// delegations before the client goes quiet.
+func (c *LockClient) FlushHandoffAcks(ctx context.Context) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		pending := sh.pendingAcks
+		sh.pendingAcks = make(map[ResourceID][]LockID)
+		if sh.ackTimer != nil {
+			sh.ackTimer.Stop()
+			sh.ackTimer = nil
+		}
+		sh.mu.Unlock()
+		for res, ids := range pending {
+			if ha, ok := c.router(res).(HandoffAcker); ok {
+				for _, id := range ids {
+					ha.HandoffAck(ctx, res, id)
+				}
+			}
+		}
+	}
+}

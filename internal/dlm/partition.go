@@ -236,9 +236,16 @@ func (s *Server) FreezeExportSlot(sl partition.Slot) (SlotExport, error) {
 		}
 	}
 	exp := SlotExport{Slot: sl, Epoch: s.PartitionEpoch()}
+	var acts []activationMsg
 	for _, res := range s.takeSlotResources(sl) {
 		res.mu.Lock()
 		s.failWaiters(res)
+		// Outstanding handoff delegations are force-resolved before the
+		// copy (DESIGN.md §13): predecessor chains are retired here and
+		// successors export as plain granted locks, so the importing
+		// master never holds delegation state it cannot reclaim. The
+		// activations are delivered once the freeze completes.
+		acts = append(acts, s.resolveSlotDelegations(res)...)
 		re := ResourceExport{
 			Resource: res.id,
 			NextSN:   res.nextSN,
@@ -272,6 +279,9 @@ func (s *Server) FreezeExportSlot(sl partition.Slot) (SlotExport, error) {
 		}
 	}
 	s.Stats.SlotMigrationsOut.Add(1)
+	for _, a := range acts {
+		s.sendActivation(a)
+	}
 	return exp, nil
 }
 

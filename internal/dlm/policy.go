@@ -52,6 +52,13 @@ type Policy struct {
 	// DLM-datatype acquires exact-range locks per atomic operation and
 	// releases them after use.
 	CacheLocks bool
+	// Handoff enables client-to-client lock handoff (DESIGN.md §13):
+	// when a revocation's conflict queue is headed by a single waiter,
+	// the server stamps the revoke with a delegation grant and the
+	// holder transfers the lock directly to the next owner, cutting the
+	// server out of stable conflict patterns. Off by default — the
+	// revoke path is then byte-identical to the pre-handoff engine.
+	Handoff bool
 }
 
 // SeqDLM returns the paper's proposed policy.

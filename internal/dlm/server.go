@@ -32,6 +32,11 @@ type Request struct {
 	// DLM-datatype baseline. When set, Range must be its bounds and no
 	// expansion is performed.
 	Extents extent.Set
+	// HandoffAcks piggybacks client-to-client handoff confirmations on a
+	// lock request (DESIGN.md §13): each entry is a delegated lock on
+	// the same resource whose transfer the requesting client received.
+	// Piggybacked acks cost no extra server RPC.
+	HandoffAcks []LockID
 }
 
 // Grant is the server's reply: the lock as granted, after range
@@ -46,6 +51,11 @@ type Grant struct {
 	// Absorbed lists same-client locks this grant replaced via lock
 	// upgrading; the client merges its cached locks accordingly.
 	Absorbed []LockID
+	// Delegated marks a grant issued through a handoff stamp: the lock
+	// arrives from the previous holder over a client-to-client transfer
+	// rather than being usable immediately, and the new owner must ack
+	// it back to the server (DESIGN.md §13).
+	Delegated bool
 }
 
 // Revocation identifies a callback the server wants delivered to a lock
@@ -54,6 +64,11 @@ type Revocation struct {
 	Client   ClientID
 	Resource ResourceID
 	Lock     LockID
+	// Handoff, when non-nil, stamps the revocation with a delegation
+	// grant: instead of flushing and releasing back to the server, the
+	// holder transfers the lock directly to the stamped next owner
+	// (DESIGN.md §13).
+	Handoff *HandoffStamp
 }
 
 // Notifier delivers revocation callbacks to clients. Implementations
@@ -96,6 +111,17 @@ type Server struct {
 	// fan-out (DESIGN.md §9).
 	revoker revoker
 
+	// handoffOn gates the client-to-client handoff fast path at
+	// runtime; seeded from Policy.Handoff, toggled by SetHandoff. Off,
+	// the revoke path is byte-identical to the pre-handoff engine.
+	handoffOn atomic.Bool
+	// handoffTimeout (nanoseconds) bounds how long a delegation may
+	// stay unconfirmed before the reclaimer intervenes.
+	handoffTimeout atomic.Int64
+	// reclaim tracks outstanding delegations for timeout recovery
+	// (handoff.go).
+	reclaim handoffReclaimer
+
 	shards   [shard.Count]srvShard
 	nextLock atomic.Uint64
 
@@ -134,9 +160,22 @@ func NewServer(policy Policy, notifier Notifier) *Server {
 		s.shards[i].resources = make(map[ResourceID]*resource)
 	}
 	s.indexed.Store(true)
+	s.handoffOn.Store(policy.Handoff)
+	s.handoffTimeout.Store(int64(DefaultHandoffTimeout))
 	s.revoker.init(s, DefaultRevokeWorkers)
 	return s
 }
+
+// SetHandoff toggles the client-to-client handoff fast path
+// (DESIGN.md §13) at runtime. Off — the default unless the policy
+// enables it — revocations are never stamped and the engine behaves
+// byte-identically to the pre-handoff protocol.
+func (s *Server) SetHandoff(on bool) { s.handoffOn.Store(on) }
+
+// SetHandoffTimeout bounds how long a delegation may stay unconfirmed
+// before the reclaimer nudges the previous holder and, one period
+// later, force-resolves the transfer. Tests shorten it.
+func (s *Server) SetHandoffTimeout(d time.Duration) { s.handoffTimeout.Store(int64(d)) }
 
 // SetNotifier installs the revocation callback sink.
 func (s *Server) SetNotifier(n Notifier) { s.notifier = n }
@@ -160,7 +199,17 @@ type lock struct {
 	state      State
 	sn         extent.SN
 	revokeSent bool
-	tblIdx     int // position in the lockTable slice (swap-remove)
+	// Handoff delegation state (DESIGN.md §13). A handed-off lock was
+	// stamped for client-to-client transfer: its holder will hand it to
+	// the successor instead of releasing, so it behaves as CANCELING
+	// until the successor's ack removes it. A delegated lock was
+	// granted through a handoff stamp and stays unconfirmed until the
+	// new owner acks. pred/succ link the delegation chain.
+	handedOff bool
+	delegated bool
+	pred      *lock
+	succ      *lock
+	tblIdx    int // position in the lockTable slice (swap-remove)
 }
 
 // lockResult is what a waiter receives: a grant, or the typed error the
@@ -266,6 +315,10 @@ func (s *Server) Lock(ctx context.Context, req Request) (Grant, error) {
 	if err := s.CheckMaster(req.Resource); err != nil {
 		return Grant{}, err
 	}
+	s.Stats.LockOps.Add(1)
+	for _, id := range req.HandoffAcks {
+		s.handoffAck(req.Resource, id)
+	}
 	res := s.resource(req.Resource)
 	w := &waiter{req: req, ch: make(chan lockResult, 1), enqAt: time.Now()}
 	s.tracer.record(Event{Kind: EvRequest, Resource: req.Resource, Client: req.Client, Mode: req.Mode, Range: req.Range})
@@ -369,15 +422,29 @@ func (s *Server) Release(resID ResourceID, id LockID) {
 	if res == nil {
 		return
 	}
+	s.Stats.LockOps.Add(1)
 	s.tracer.record(Event{Kind: EvRelease, Resource: resID, Lock: id})
+	var act activationMsg
+	haveAct := false
 	res.mu.Lock()
 	if l := res.granted.get(id); l != nil {
-		res.granted.remove(l)
-		s.Stats.Releases.Add(1)
+		succ := l.succ
+		s.removeWithPreds(res, l)
+		if succ != nil {
+			// The holder released instead of transferring (handoff
+			// refused, peer send failed, or the holder vanished):
+			// resolve the delegation server-side and activate the
+			// successor directly.
+			act = s.resolveDelegation(res, succ)
+			haveAct = true
+		}
 	}
 	revs := s.scan(res)
 	res.mu.Unlock()
 	s.fire(revs)
+	if haveAct {
+		s.sendActivation(act)
+	}
 }
 
 // Downgrade converts a granted lock to a less restrictive mode (§III-D2),
@@ -388,6 +455,7 @@ func (s *Server) Downgrade(resID ResourceID, id LockID, newMode Mode) error {
 	if res == nil {
 		return fmt.Errorf("dlm: downgrade of unknown lock %d", id)
 	}
+	s.Stats.LockOps.Add(1)
 	res.mu.Lock()
 	l := res.granted.get(id)
 	if l == nil {
@@ -480,11 +548,28 @@ func (l *lock) overlapsReq(req *Request) bool {
 }
 
 // compatible applies the LCM plus the EarlyGrant policy switch: with
-// early grant disabled, the N/Y cells of Table II behave as N.
+// early grant disabled, the N/Y cells of Table II behave as N. A
+// handed-off lock behaves as CANCELING: its holder has been told to
+// transfer it, so — exactly like an acked revocation — the early-grant
+// cells apply and the successor chain can keep growing.
 func (s *Server) compatible(reqMode Mode, l *lock) bool {
-	ok := Compatible(reqMode, l.mode, l.state)
-	if ok && l.state == Canceling && !s.policy.EarlyGrant &&
-		!Compatible(reqMode, l.mode, Granted) {
+	st := l.state
+	m := l.mode
+	if l.handedOff {
+		// A handed-off lock behaves as if its cancel already ran: the
+		// holder will flush and transfer, so it is checked as Canceling
+		// at its post-cancel downgraded mode — a handed-off PW writer
+		// has exactly a canceling NBW's remaining obligations. This is
+		// what lets a chain of NBW delegations keep stamping while the
+		// predecessors' acks are still in flight.
+		st = Canceling
+		if d := Downgrade(m, m.IsWrite()); d != ModeNone {
+			m = d
+		}
+	}
+	ok := Compatible(reqMode, m, st)
+	if ok && st == Canceling && !s.policy.EarlyGrant &&
+		!Compatible(reqMode, m, Granted) {
 		return false
 	}
 	return ok
@@ -661,6 +746,10 @@ func (s *Server) tryGrant(res *resource, w *waiter, revs *[]Revocation) bool {
 	}
 
 	if len(confs) > 0 {
+		if len(confs) == 1 && len(absorbed) == 0 &&
+			s.stampHandoff(res, w, mode, confs[0], revs) {
+			return true
+		}
 		w.hadConflict = true
 		allCanceling := true
 		for _, c := range confs {
@@ -911,6 +1000,9 @@ func (s *Server) CheckInvariants() error {
 			for _, b := range res.granted.list[i+1:] {
 				if a.client == b.client {
 					continue // same-client coexistence is managed by upgrade/merge
+				}
+				if a.handedOff || b.handedOff {
+					continue // delegation pairs coexist until the successor's ack
 				}
 				overlap := a.rng.Overlaps(b.rng)
 				if len(a.set) > 0 && len(b.set) > 0 {

@@ -34,6 +34,21 @@ type Stats struct {
 	Upgrades         atomic.Int64
 	Downgrades       atomic.Int64
 
+	// LockOps counts client-initiated lock-service operations (Lock,
+	// Release, Downgrade, standalone HandoffAck) — the server-RPC cost
+	// of the locking protocol. Piggybacked handoff acks ride inside a
+	// Lock and are not counted separately, so LockOps per exchange is
+	// exactly the round-trip metric the handoff fast path optimizes:
+	// ~2 per ping-pong exchange on the server path, ~1 with handoff.
+	LockOps atomic.Int64
+	// Handoff delegation counters (DESIGN.md §13): stamps issued,
+	// delegations confirmed by the new owner, and delegations the
+	// server reclaimed after a timeout (holder vanished or transfer
+	// lost).
+	Handoffs        atomic.Int64
+	HandoffAcks     atomic.Int64
+	HandoffReclaims atomic.Int64
+
 	// GrantWaitHist records enqueue→grant for every grant;
 	// RevocationWaitHist and CancelWaitHist record the ①/② split for
 	// grants that resolved conflicts. Early grants that never saw all
@@ -68,6 +83,10 @@ func (s *Stats) Register(reg *obs.Registry) {
 	reg.Func("dlm.early_revocations", s.EarlyRevocations.Load)
 	reg.Func("dlm.upgrades", s.Upgrades.Load)
 	reg.Func("dlm.downgrades", s.Downgrades.Load)
+	reg.Func("dlm.lock_ops", s.LockOps.Load)
+	reg.Func("dlm.handoffs", s.Handoffs.Load)
+	reg.Func("dlm.handoff_acks", s.HandoffAcks.Load)
+	reg.Func("dlm.handoff_reclaims", s.HandoffReclaims.Load)
 	reg.RegisterHistogram("dlm.grant_wait", &s.GrantWaitHist)
 	reg.RegisterHistogram("dlm.revocation_wait", &s.RevocationWaitHist)
 	reg.RegisterHistogram("dlm.cancel_wait", &s.CancelWaitHist)
@@ -96,6 +115,10 @@ type Snapshot struct {
 	EarlyRevocations int64
 	Upgrades         int64
 	Downgrades       int64
+	LockOps          int64
+	Handoffs         int64
+	HandoffAcks      int64
+	HandoffReclaims  int64
 
 	GrantWait      time.Duration
 	RevocationWait time.Duration
@@ -114,6 +137,10 @@ func (s *Stats) Snapshot() Snapshot {
 		EarlyRevocations: s.EarlyRevocations.Load(),
 		Upgrades:         s.Upgrades.Load(),
 		Downgrades:       s.Downgrades.Load(),
+		LockOps:          s.LockOps.Load(),
+		Handoffs:         s.Handoffs.Load(),
+		HandoffAcks:      s.HandoffAcks.Load(),
+		HandoffReclaims:  s.HandoffReclaims.Load(),
 		GrantWait:        time.Duration(s.GrantWaitHist.Sum()),
 		RevocationWait:   time.Duration(s.RevocationWaitHist.Sum()),
 		CancelWait:       time.Duration(s.CancelWaitHist.Sum()),
@@ -131,6 +158,10 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		EarlyRevocations: s.EarlyRevocations - o.EarlyRevocations,
 		Upgrades:         s.Upgrades - o.Upgrades,
 		Downgrades:       s.Downgrades - o.Downgrades,
+		LockOps:          s.LockOps - o.LockOps,
+		Handoffs:         s.Handoffs - o.Handoffs,
+		HandoffAcks:      s.HandoffAcks - o.HandoffAcks,
+		HandoffReclaims:  s.HandoffReclaims - o.HandoffReclaims,
 		GrantWait:        s.GrantWait - o.GrantWait,
 		RevocationWait:   s.RevocationWait - o.RevocationWait,
 		CancelWait:       s.CancelWait - o.CancelWait,

@@ -1,0 +1,67 @@
+package perfbench
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// numCPU reports how many CPUs the process is actually allowed to run
+// on right now. runtime.NumCPU caches the affinity mask once at process
+// start, so a harness that re-pins the process (or a container whose
+// cpuset is resized) after startup leaves it stale — which is how a
+// BENCH_dlm.json could record num_cpu 1 next to gomaxprocs 8 and make
+// every parallel result uninterpretable. Re-read the live mask from
+// /proc/self/status and fall back to runtime.NumCPU where the file (or
+// the field) is unavailable.
+func numCPU() int {
+	if n := affinityCPUs(); n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// affinityCPUs parses the Cpus_allowed_list line of /proc/self/status,
+// returning 0 if it cannot.
+func affinityCPUs() int {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		rest, ok := strings.CutPrefix(line, "Cpus_allowed_list:")
+		if !ok {
+			continue
+		}
+		return countCPUList(strings.TrimSpace(rest))
+	}
+	return 0
+}
+
+// countCPUList counts the CPUs named by a kernel cpulist string such as
+// "0-3,8,10-11". Returns 0 on malformed input.
+func countCPUList(s string) int {
+	n := 0
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		lo, hi, ranged := strings.Cut(part, "-")
+		a, err := strconv.Atoi(lo)
+		if err != nil || a < 0 {
+			return 0
+		}
+		if !ranged {
+			n++
+			continue
+		}
+		z, err := strconv.Atoi(hi)
+		if err != nil || z < a {
+			return 0
+		}
+		n += z - a + 1
+	}
+	return n
+}

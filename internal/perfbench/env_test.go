@@ -1,0 +1,33 @@
+package perfbench
+
+import "testing"
+
+func TestCountCPUList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"0", 1},
+		{"0-7", 8},
+		{"0-3,8,10-11", 7},
+		{" 0-1 ", 2},
+		{"", 0},
+		{"0-", 0},
+		{"3-1", 0},
+		{"x", 0},
+	}
+	for _, c := range cases {
+		if got := countCPUList(c.in); got != c.want {
+			t.Errorf("countCPUList(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// The live affinity mask can never exceed what the runtime saw at
+// startup by more than the machine has, and numCPU must always return
+// something positive for Env to be meaningful.
+func TestNumCPUPositive(t *testing.T) {
+	if n := numCPU(); n < 1 {
+		t.Fatalf("numCPU() = %d, want >= 1", n)
+	}
+}

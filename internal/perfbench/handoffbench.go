@@ -1,0 +1,134 @@
+package perfbench
+
+import (
+	"context"
+	"testing"
+
+	"ccpfs/internal/dlm"
+	"ccpfs/internal/extent"
+)
+
+// The ping-pong benchmarks measure the stable producer-consumer
+// conflict pattern of DESIGN.md §13: two clients alternate whole-range
+// NBW acquires on one resource, so every acquire after warm-up
+// conflicts with the peer's cached lock. The interesting number is not
+// ns/op (the in-process conn has no wire latency) but how many server
+// RPCs each ownership exchange costs, reported as the custom metric
+// server_rpcs/exchange from the engine's LockOps counter: the classic
+// revoke path pays Lock + Release = 2 per exchange, while the handoff
+// fast path stamps the revoke with a delegation and the transfer runs
+// client-to-client, leaving only the Lock itself (delegation acks
+// piggyback on it) — about 1 per exchange. Protocol counts are
+// hardware-independent, so cmd/benchcheck gates them absolutely.
+
+// ppHarness is an in-process server plus two lock clients with direct
+// (function-call) notifier, conn, and peer-transport paths.
+type ppHarness struct {
+	srv     *dlm.Server
+	clients map[dlm.ClientID]*dlm.LockClient
+}
+
+// ppNotifier delivers revocations (stamped or not) and server-sent
+// activations straight to the in-process clients, acking each revoke
+// once delivered.
+type ppNotifier struct{ h *ppHarness }
+
+func (n ppNotifier) Revoke(_ context.Context, rv dlm.Revocation) {
+	if c, ok := n.h.clients[rv.Client]; ok {
+		c.OnRevokeStamped(rv.Resource, rv.Lock, rv.Handoff)
+	}
+	n.h.srv.RevokeAck(rv.Resource, rv.Lock)
+}
+
+func (n ppNotifier) Handoff(_ context.Context, cl dlm.ClientID, res dlm.ResourceID, id dlm.LockID) {
+	if c, ok := n.h.clients[cl]; ok {
+		c.OnHandoff(res, id)
+	}
+}
+
+// ppConn is directConn plus the standalone delegation ack, giving the
+// benchmark clients the same two ack paths (piggyback and standalone)
+// as a wire-connected client.
+type ppConn struct{ srv *dlm.Server }
+
+func (p ppConn) Lock(ctx context.Context, req dlm.Request) (dlm.Grant, error) {
+	return p.srv.Lock(ctx, req)
+}
+func (p ppConn) Release(_ context.Context, res dlm.ResourceID, id dlm.LockID) error {
+	p.srv.Release(res, id)
+	return nil
+}
+func (p ppConn) Downgrade(_ context.Context, res dlm.ResourceID, id dlm.LockID, m dlm.Mode) error {
+	return p.srv.Downgrade(res, id, m)
+}
+func (p ppConn) HandoffAck(_ context.Context, res dlm.ResourceID, id dlm.LockID) error {
+	p.srv.HandoffAck(res, id)
+	return nil
+}
+
+func newPingPong(policy dlm.Policy) *ppHarness {
+	h := &ppHarness{clients: make(map[dlm.ClientID]*dlm.LockClient)}
+	h.srv = dlm.NewServer(policy, ppNotifier{h})
+	noFlush := dlm.FlusherFunc(func(context.Context, dlm.ResourceID, extent.Extent, extent.SN) error { return nil })
+	router := func(dlm.ResourceID) dlm.ServerConn { return ppConn{srv: h.srv} }
+	for id := dlm.ClientID(1); id <= 2; id++ {
+		h.clients[id] = dlm.NewLockClient(id, policy, router, noFlush)
+	}
+	if policy.Handoff {
+		for _, c := range h.clients {
+			c.SetPeerSender(dlm.PeerSenderFunc(func(_ context.Context, peer dlm.ClientID, res dlm.ResourceID, id dlm.LockID) error {
+				h.clients[peer].OnHandoff(res, id)
+				return nil
+			}))
+		}
+	}
+	return h
+}
+
+func pingPong(b *testing.B, policy dlm.Policy) {
+	h := newPingPong(policy)
+	ctx := context.Background()
+	res := dlm.ResourceID(1)
+	rng := extent.New(0, window*blockSize)
+	step := func(i int) {
+		c := h.clients[dlm.ClientID(1+i%2)]
+		hd, err := c.Acquire(ctx, res, dlm.NBW, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Unlock(hd)
+	}
+	// Two warm-up exchanges so the measured loop starts mid-pattern:
+	// every measured acquire conflicts with the peer's cached lock.
+	step(0)
+	step(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := h.srv.Stats.LockOps.Load()
+	for i := 0; i < b.N; i++ {
+		step(i)
+	}
+	b.StopTimer()
+	ops := h.srv.Stats.LockOps.Load() - start
+	b.ReportMetric(float64(ops)/float64(b.N), "server_rpcs/exchange")
+	for _, c := range h.clients {
+		c.FlushHandoffAcks(ctx)
+		c.Close()
+	}
+	h.srv.Shutdown()
+}
+
+// ServerPingPong: the exchange pattern through the classic revoke path
+// (handoff off) — the 2 server-RPCs-per-exchange baseline.
+func ServerPingPong(b *testing.B) {
+	pingPong(b, dlm.SeqDLM())
+}
+
+// HandoffPingPong: the same pattern with the handoff fast path on —
+// transfers run client-to-client and the per-exchange server cost drops
+// to the Lock RPC alone.
+func HandoffPingPong(b *testing.B) {
+	policy := dlm.SeqDLM()
+	policy.Handoff = true
+	pingPong(b, policy)
+}

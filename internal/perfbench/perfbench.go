@@ -374,6 +374,8 @@ func All() []NamedBench {
 		{"LockGrantScale2", LockGrantScale2},
 		{"LockGrantScale4", LockGrantScale4},
 		{"LockGrantScale8", LockGrantScale8},
+		{"ServerPingPong", ServerPingPong},
+		{"HandoffPingPong", HandoffPingPong},
 	}
 }
 
@@ -385,6 +387,11 @@ type Result struct {
 	OpsPerSec   float64 `json:"ops_per_sec"`
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Extra carries custom b.ReportMetric values (e.g. the ping-pong
+	// benchmarks' server_rpcs/exchange). Unlike ns/op these are
+	// protocol counts, hardware-independent and safe to gate on
+	// absolute thresholds.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Env records the machine facts a result file needs to be interpreted.
@@ -405,7 +412,7 @@ func Run(procs int) ([]Result, Env) {
 		prev := runtime.GOMAXPROCS(procs)
 		defer runtime.GOMAXPROCS(prev)
 	}
-	env := Env{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	env := Env{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: numCPU()}
 	var out []Result
 	for _, nb := range All() {
 		out = append(out, Measure(nb))
@@ -427,6 +434,12 @@ func Measure(nb NamedBench) Result {
 	}
 	if r.Bytes > 0 {
 		res.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+	}
+	if len(r.Extra) > 0 {
+		res.Extra = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			res.Extra[k] = v
+		}
 	}
 	return res
 }

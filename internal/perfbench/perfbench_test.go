@@ -24,3 +24,5 @@ func BenchmarkLockGrantIndexed(b *testing.B)               { LockGrantIndexed(b)
 func BenchmarkLockGrantLinear(b *testing.B)                { LockGrantLinear(b) }
 func BenchmarkRevokeStorm(b *testing.B)                    { RevokeStorm(b) }
 func BenchmarkRevokeStormUnbatched(b *testing.B)           { RevokeStormUnbatched(b) }
+func BenchmarkServerPingPong(b *testing.B)                 { ServerPingPong(b) }
+func BenchmarkHandoffPingPong(b *testing.B)                { HandoffPingPong(b) }

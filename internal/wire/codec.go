@@ -139,6 +139,18 @@ func (d *Decoder) I64() int64 { return int64(d.U64()) }
 // Bool reads a boolean byte.
 func (d *Decoder) Bool() bool { return d.U8() != 0 }
 
+// StrictBool reads a boolean byte, rejecting values other than 0 and 1.
+// Messages whose frames must re-encode byte-identically (the batched
+// revocation path re-marshals decoded entries) use it so a non-canonical
+// encoding cannot survive a round trip.
+func (d *Decoder) StrictBool() bool {
+	v := d.U8()
+	if v > 1 && d.err == nil {
+		d.err = fmt.Errorf("wire: invalid bool byte %d", v)
+	}
+	return v == 1
+}
+
 // Bytes32 reads a length-prefixed byte slice. The result aliases the
 // frame; callers that retain it past the frame's lifetime must copy.
 func (d *Decoder) Bytes32() []byte {

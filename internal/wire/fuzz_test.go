@@ -19,6 +19,8 @@ func allMessages() []Msg {
 		&RevokeRequest{},
 		&RevokeBatch{},
 		&RevokeBatchAck{},
+		&HandoffRequest{},
+		&HandoffAckRequest{},
 		&FlushRequest{},
 		&ReadRequest{},
 		&ReadReply{},
@@ -152,6 +154,9 @@ func FuzzRevokeBatchDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(Marshal(&RevokeBatch{}))
 	f.Add(Marshal(&RevokeBatch{Entries: []RevokeEntry{{Resource: 1, LockID: 2}, {Resource: 3, LockID: 4}}}))
+	f.Add(Marshal(&RevokeBatch{Entries: []RevokeEntry{{Resource: 1, LockID: 2, Handoff: &HandoffStamp{
+		NextOwner: 3, NewLockID: 9, Mode: 2, SN: 4, MustFlush: true,
+	}}}}))
 	f.Add(Marshal(&RevokeBatchAck{Acked: []RevokeEntry{{Resource: 5, LockID: 6}}}))
 	f.Fuzz(func(t *testing.T, frame []byte) {
 		var b RevokeBatch

@@ -9,9 +9,10 @@ type Method uint8
 // RPC methods.
 const (
 	// Lock service.
-	MLock      Method = 1 // LockRequest -> LockGrant
-	MRelease   Method = 2 // ReleaseRequest -> Ack
-	MDowngrade Method = 3 // DowngradeRequest -> Ack
+	MLock       Method = 1 // LockRequest -> LockGrant
+	MRelease    Method = 2 // ReleaseRequest -> Ack
+	MDowngrade  Method = 3 // DowngradeRequest -> Ack
+	MHandoffAck Method = 7 // HandoffAckRequest -> Ack (new owner confirms a delegated lock)
 	// IO service.
 	MFlush Method = 10 // FlushRequest -> Ack
 	MRead  Method = 11 // ReadRequest -> ReadReply
@@ -35,6 +36,12 @@ const (
 	MReport      Method = 129 // Ack -> LockReport (server recovery, §IV-C2)
 	MRevokeBatch Method = 130 // RevokeBatch -> RevokeBatchAck
 	MReportSlots Method = 131 // SlotReportRequest -> LockReport (slot takeover replay)
+	// MHandoff activates a delegated lock at its new owner. It travels
+	// client→client when the previous holder transfers the lock directly,
+	// and server→client when the server resolves the delegation itself
+	// (holder vanished, handoff refused, or reclaim timeout). Duplicate
+	// activations are idempotent at the receiver.
+	MHandoff Method = 132 // HandoffRequest -> Ack
 )
 
 // methodNames maps methods to their metric/debug labels. Indexed by the
@@ -57,6 +64,8 @@ var methodNames = [256]string{
 	MRevoke:       "Revoke",
 	MReport:       "Report",
 	MRevokeBatch:  "RevokeBatch",
+	MHandoff:      "Handoff",
+	MHandoffAck:   "HandoffAck",
 	MPartitionMap: "PartitionMap",
 	MSlotFreeze:   "SlotFreeze",
 	MSlotInstall:  "SlotInstall",
@@ -145,6 +154,11 @@ type LockRequest struct {
 	// Extents carries the non-contiguous lock range of the DLM-datatype
 	// baseline; empty for interval-based policies.
 	Extents []extent.Extent
+	// HandoffAcks piggybacks delegation acknowledgements for locks on
+	// this resource: the client received them via direct client-to-client
+	// handoff and confirms ownership on its next lock RPC, saving the
+	// standalone MHandoffAck round trip in steady ping-pong traffic.
+	HandoffAcks []uint64
 }
 
 // Encode implements Msg.
@@ -156,6 +170,10 @@ func (m *LockRequest) Encode(e *Encoder) {
 	e.U32(uint32(len(m.Extents)))
 	for _, x := range m.Extents {
 		encodeExtent(e, x)
+	}
+	e.U32(uint32(len(m.HandoffAcks)))
+	for _, id := range m.HandoffAcks {
+		e.U64(id)
 	}
 }
 
@@ -172,6 +190,13 @@ func (m *LockRequest) Decode(d *Decoder) {
 			m.Extents[i] = decodeExtent(d)
 		}
 	}
+	n = d.Len32(8)
+	if n > 0 {
+		m.HandoffAcks = make([]uint64, n)
+		for i := range m.HandoffAcks {
+			m.HandoffAcks[i] = d.U64()
+		}
+	}
 }
 
 // LockGrant is the reply to a LockRequest. The server may expand the
@@ -185,6 +210,11 @@ type LockGrant struct {
 	SN       uint64
 	State    uint8
 	Absorbed []uint64
+	// Delegated marks a handoff grant: the lock exists in the server's
+	// table but ownership arrives via a direct transfer from the previous
+	// holder (MHandoff). The client must wait for that activation before
+	// using the lock, and must ack the server once it owns it.
+	Delegated bool
 }
 
 // Encode implements Msg.
@@ -198,6 +228,7 @@ func (m *LockGrant) Encode(e *Encoder) {
 	for _, id := range m.Absorbed {
 		e.U64(id)
 	}
+	e.Bool(m.Delegated)
 }
 
 // Decode implements Msg.
@@ -214,6 +245,7 @@ func (m *LockGrant) Decode(d *Decoder) {
 			m.Absorbed[i] = d.U64()
 		}
 	}
+	m.Delegated = d.Bool()
 }
 
 // ReleaseRequest returns a fully canceled lock to the server.
@@ -257,30 +289,80 @@ func (m *DowngradeRequest) Decode(d *Decoder) {
 	m.NewMode = d.U8()
 }
 
+// HandoffStamp is the delegation grant a lock server may attach to a
+// revocation: instead of canceling back to the server, the holder
+// transfers the lock directly to NextOwner over MHandoff. NewLockID and
+// SN are the successor lock's identity in the server's table (the SN is
+// assigned by the server at stamp time, so sequencer ordering is fixed
+// before any client acts); MustFlush carries the dirty-flush obligation
+// — the holder must flush its writes before transferring, exactly as it
+// would before a release.
+type HandoffStamp struct {
+	NextOwner uint32
+	NewLockID uint64
+	Mode      uint8
+	SN        uint64
+	MustFlush bool
+}
+
+func encodeHandoffStamp(e *Encoder, h *HandoffStamp) {
+	if h == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	e.U32(h.NextOwner)
+	e.U64(h.NewLockID)
+	e.U8(h.Mode)
+	e.U64(h.SN)
+	e.Bool(h.MustFlush)
+}
+
+func decodeHandoffStamp(d *Decoder) *HandoffStamp {
+	if !d.StrictBool() {
+		return nil
+	}
+	h := &HandoffStamp{}
+	h.NextOwner = d.U32()
+	h.NewLockID = d.U64()
+	h.Mode = d.U8()
+	h.SN = d.U64()
+	h.MustFlush = d.StrictBool()
+	return h
+}
+
 // RevokeRequest is the server→client callback asking the holder to
 // cancel a cached lock. The reply (Ack) is the revocation reply that
 // moves the lock to CANCELING on the server and unlocks early grant.
+// A non-nil Handoff turns the revocation into a transfer order: after
+// flushing (per the stamp), the holder hands the lock directly to the
+// stamped next owner instead of releasing it back to the server.
 type RevokeRequest struct {
 	Resource uint64
 	LockID   uint64
+	Handoff  *HandoffStamp
 }
 
 // Encode implements Msg.
 func (m *RevokeRequest) Encode(e *Encoder) {
 	e.U64(m.Resource)
 	e.U64(m.LockID)
+	encodeHandoffStamp(e, m.Handoff)
 }
 
 // Decode implements Msg.
 func (m *RevokeRequest) Decode(d *Decoder) {
 	m.Resource = d.U64()
 	m.LockID = d.U64()
+	m.Handoff = decodeHandoffStamp(d)
 }
 
-// RevokeEntry identifies one lock inside a batched revocation.
+// RevokeEntry identifies one lock inside a batched revocation, with its
+// optional handoff stamp.
 type RevokeEntry struct {
 	Resource uint64
 	LockID   uint64
+	Handoff  *HandoffStamp
 }
 
 // RevokeBatch is the server→client callback carrying every revocation
@@ -300,17 +382,19 @@ func (m *RevokeBatch) Encode(e *Encoder) {
 	for i := range m.Entries {
 		e.U64(m.Entries[i].Resource)
 		e.U64(m.Entries[i].LockID)
+		encodeHandoffStamp(e, m.Entries[i].Handoff)
 	}
 }
 
 // Decode implements Msg.
 func (m *RevokeBatch) Decode(d *Decoder) {
-	n := d.Len32(16)
+	n := d.Len32(17)
 	if n > 0 {
 		m.Entries = make([]RevokeEntry, n)
 		for i := range m.Entries {
 			m.Entries[i].Resource = d.U64()
 			m.Entries[i].LockID = d.U64()
+			m.Entries[i].Handoff = decodeHandoffStamp(d)
 		}
 	}
 }
@@ -342,6 +426,49 @@ func (m *RevokeBatchAck) Decode(d *Decoder) {
 			m.Acked[i].LockID = d.U64()
 		}
 	}
+}
+
+// HandoffRequest activates a delegated lock at its new owner: LockID is
+// the successor lock's server-assigned identity (HandoffStamp.NewLockID
+// / the Delegated grant's LockID). Sent client→client by the previous
+// holder after its flush, or server→client when the server resolves the
+// delegation itself.
+type HandoffRequest struct {
+	Resource uint64
+	LockID   uint64
+}
+
+// Encode implements Msg.
+func (m *HandoffRequest) Encode(e *Encoder) {
+	e.U64(m.Resource)
+	e.U64(m.LockID)
+}
+
+// Decode implements Msg.
+func (m *HandoffRequest) Decode(d *Decoder) {
+	m.Resource = d.U64()
+	m.LockID = d.U64()
+}
+
+// HandoffAckRequest is the new owner's asynchronous confirmation that a
+// delegated lock arrived: the server retires the predecessor's table
+// entry and cancels the reclaim timer. Acks for already-resolved
+// delegations are idempotent no-ops.
+type HandoffAckRequest struct {
+	Resource uint64
+	LockID   uint64
+}
+
+// Encode implements Msg.
+func (m *HandoffAckRequest) Encode(e *Encoder) {
+	e.U64(m.Resource)
+	e.U64(m.LockID)
+}
+
+// Decode implements Msg.
+func (m *HandoffAckRequest) Decode(d *Decoder) {
+	m.Resource = d.U64()
+	m.LockID = d.U64()
 }
 
 // Block is one SN-tagged extent of data in a flush or read message.
