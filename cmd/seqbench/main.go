@@ -12,7 +12,9 @@
 // Experiment IDs: fig4, fig5, model, fig17, fig18, fig19a, fig19b,
 // table3, fig20, fig21, fig23, fig24, ablation (fig22 and fig25 are the
 // time columns of fig21 and fig24), pingpong — the producer-consumer
-// exchange pattern with and without client-to-client lock handoff — and
+// exchange pattern with and without client-to-client lock handoff —
+// readfan — the write-then-fan-out rotation with and without batched
+// shared-mode grants and peer-to-peer read-lease propagation — and
 // partition — the lock-space partitioning scaling curve (not in the
 // paper; -lock-servers picks the server counts).
 //
@@ -114,6 +116,11 @@ func suite() []experiment {
 			cfg.Hardware = hw
 			return ccpfs.RunPingPong(cfg)
 		}},
+		{"readfan", "write-then-fan-out rotation: server grants vs batched fan-out + lease propagation", func(hw ccpfs.Hardware) (*ccpfs.Experiment, error) {
+			cfg := ccpfs.DefaultReaderFan()
+			cfg.Hardware = hw
+			return ccpfs.RunReaderFan(cfg)
+		}},
 		{"partition", "lock-space partitioning: grant throughput vs lock servers", func(hw ccpfs.Hardware) (*ccpfs.Experiment, error) {
 			cfg := ccpfs.DefaultPartitionScale()
 			cfg.Hardware = hw
@@ -210,6 +217,7 @@ func main() {
 type benchReport struct {
 	GOMAXPROCS int          `json:"gomaxprocs"`
 	NumCPU     int          `json:"num_cpu"`
+	Warn       string       `json:"warn,omitempty"`
 	Results    []benchEntry `json:"results"`
 }
 
@@ -266,7 +274,10 @@ func runBenchJSON(outPath, baselinePath string, procs int, mutexPath, blockPath 
 
 	fmt.Printf("running %d parallel benchmarks at GOMAXPROCS=%d...\n", len(perfbench.All()), procs)
 	results, env := perfbench.Run(procs)
-	rep := benchReport{GOMAXPROCS: env.GOMAXPROCS, NumCPU: env.NumCPU}
+	if env.Warn != "" {
+		fmt.Fprintf(os.Stderr, "WARN: %s\n", env.Warn)
+	}
+	rep := benchReport{GOMAXPROCS: env.GOMAXPROCS, NumCPU: env.NumCPU, Warn: env.Warn}
 	for _, r := range results {
 		e := benchEntry{Result: r}
 		if b, ok := baseline[r.Name]; ok && r.NsPerOp > 0 {

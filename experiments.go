@@ -1021,6 +1021,87 @@ func RunPingPong(cfg PingPongExpConfig) (*Experiment, error) {
 	return exp, nil
 }
 
+// ---------------------------------------------------------------------
+// Reader fan — not a paper figure: the write-then-fan-out rotation
+// DESIGN.md §14's batched grants and lease propagation trees target.
+// One writer updates a shared stripe, N readers re-read it, round after
+// round; the server path pays at least one lock RPC per reader-round,
+// the fan-out path amortizes the writer's single lock RPC over the
+// whole cohort.
+
+// ReaderFanExpConfig parameterizes the fan-out before/after experiment.
+type ReaderFanExpConfig struct {
+	Hardware  Hardware
+	Rounds    int
+	WriteSize int64
+	// Readers lists the fan-out widths measured (a scaling curve per
+	// variant).
+	Readers []int
+}
+
+// DefaultReaderFan returns the scaled-down configuration.
+func DefaultReaderFan() ReaderFanExpConfig {
+	return ReaderFanExpConfig{
+		Hardware:  BenchHardware(),
+		Rounds:    32,
+		WriteSize: 64 << 10,
+		Readers:   []int{2, 4, 8},
+	}
+}
+
+// RunReaderFan measures the rotation with the reader fan-out off and on
+// at each fan width.
+func RunReaderFan(cfg ReaderFanExpConfig) (*Experiment, error) {
+	exp := &Experiment{ID: "ReaderFan", Title: "Write-then-fan-out rotation: server grant path vs batched fan-out + lease propagation"}
+	tb := metrics.NewTable("variant", "readers", "read bandwidth (PIO)", "server RPCs/reader",
+		"broadcasts", "gathers", "lease grants", "reclaims")
+	for _, v := range []struct {
+		name string
+		fan  bool
+	}{
+		{"server path", false},
+		{"fan-out", true},
+	} {
+		for _, n := range cfg.Readers {
+			c, err := cluster.New(cluster.Options{
+				Servers:      1,
+				Policy:       dlm.SeqDLM(),
+				Hardware:     cfg.Hardware,
+				Handoff:      v.fan,
+				ReaderFanout: v.fan,
+			})
+			if err != nil {
+				return nil, err
+			}
+			st, err := workload.RunReaderFan(c, workload.ReaderFanConfig{
+				Readers:    n,
+				Rounds:     cfg.Rounds,
+				WriteSize:  cfg.WriteSize,
+				StripeSize: 1 << 20,
+			})
+			c.Close()
+			if err != nil {
+				return nil, err
+			}
+			exp.Rows = append(exp.Rows, Row{
+				Variant:    v.name,
+				Pattern:    fmt.Sprintf("N=%d", n),
+				WriteSize:  cfg.WriteSize,
+				Bandwidth:  st.BandwidthPIO(),
+				PIO:        st.PIO,
+				Flush:      st.Flush,
+				Throughput: st.Throughput(),
+				LockRatio:  st.ServerRPCsPerReader,
+			})
+			tb.Row(v.name, n, metrics.Bandwidth(st.BandwidthPIO()),
+				fmt.Sprintf("%.2f", st.ServerRPCsPerReader),
+				st.DLM.Broadcasts, st.DLM.Gathers, st.DLM.LeaseGrants, st.DLM.HandoffReclaims)
+		}
+	}
+	exp.Text = tb.String()
+	return exp, nil
+}
+
 // CSV renders the experiment's rows as comma-separated values with a
 // header, for plotting outside Go. Duration columns are in seconds,
 // bandwidth in bytes/second.

@@ -383,6 +383,7 @@ func stampOf(w *wire.HandoffStamp) *dlm.HandoffStamp {
 		Mode:      dlm.Mode(w.Mode),
 		SN:        extent.SN(w.SN),
 		MustFlush: w.MustFlush,
+		Broadcast: stampFromWire(w.Broadcast),
 	}
 }
 
@@ -457,12 +458,14 @@ func (c rpcConn) Lock(ctx context.Context, req dlm.Request) (dlm.Grant, error) {
 		return dlm.Grant{}, err
 	}
 	g := dlm.Grant{
-		LockID:    dlm.LockID(rep.LockID),
-		Mode:      dlm.Mode(rep.Mode),
-		Range:     rep.Range,
-		SN:        rep.SN,
-		State:     dlm.State(rep.State),
-		Delegated: rep.Delegated,
+		LockID:      dlm.LockID(rep.LockID),
+		Mode:        dlm.Mode(rep.Mode),
+		Range:       rep.Range,
+		SN:          rep.SN,
+		State:       dlm.State(rep.State),
+		Delegated:   rep.Delegated,
+		GatherParts: int(rep.GatherParts),
+		HandBack:    stampFromWire(rep.HandBack),
 	}
 	for _, id := range rep.Absorbed {
 		g.Absorbed = append(g.Absorbed, dlm.LockID(id))
@@ -485,6 +488,20 @@ func (c rpcConn) Downgrade(ctx context.Context, res dlm.ResourceID, id dlm.LockI
 // piggyback it.
 func (c rpcConn) HandoffAck(ctx context.Context, res dlm.ResourceID, id dlm.LockID) error {
 	return c.ep.Call(ctx, wire.MHandoffAck, &wire.HandoffAckRequest{Resource: uint64(res), LockID: uint64(id)}, nil)
+}
+
+// HandoffAckBatch implements dlm.HandoffAckBatcher: several queued
+// confirmations for one resource go out as a single RPC, the extras
+// riding in the request's More list.
+func (c rpcConn) HandoffAckBatch(ctx context.Context, res dlm.ResourceID, ids []dlm.LockID) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	req := &wire.HandoffAckRequest{Resource: uint64(res), LockID: uint64(ids[0])}
+	for _, id := range ids[1:] {
+		req.More = append(req.More, uint64(id))
+	}
+	return c.ep.Call(ctx, wire.MHandoffAck, req, nil)
 }
 
 // flushForCancel is the lock client's data path: flush dirty data under

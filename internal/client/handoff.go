@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"ccpfs/internal/dlm"
+	"ccpfs/internal/extent"
 	"ccpfs/internal/rpc"
 	"ccpfs/internal/transport"
 	"ccpfs/internal/wire"
@@ -27,6 +28,7 @@ type PeerDialer func(peer dlm.ClientID) (*rpc.Endpoint, error)
 func (c *Client) ServePeers(l transport.Listener) {
 	c.peerSrv = rpc.NewServer(l, rpc.Options{}, func(ep *rpc.Endpoint) {
 		ep.Handle(wire.MHandoff, c.handleHandoff)
+		ep.Handle(wire.MLeasePropagate, c.handleLeasePropagate)
 	})
 	go c.peerSrv.Serve()
 }
@@ -50,30 +52,114 @@ func (c *Client) SetPeerDialer(d PeerDialer) {
 }
 
 // handleHandoff processes an inbound transfer: the named lock is now
-// this client's. Duplicates (peer transfer racing the server's
-// activation) are dropped inside the lock client.
+// this client's — a single lock, one part of a gather, or (with a
+// broadcast payload) the lead lease of a cohort to propagate.
+// Duplicates (peer transfer racing the server's activation) are
+// dropped inside the lock client.
 func (c *Client) handleHandoff(_ context.Context, p []byte) (wire.Msg, error) {
 	var req wire.HandoffRequest
 	if err := wire.Unmarshal(p, &req); err != nil {
 		return nil, err
 	}
-	c.lc.OnHandoff(dlm.ResourceID(req.Resource), dlm.LockID(req.LockID))
+	acks := make([]dlm.LockID, 0, len(req.Acks))
+	for _, a := range req.Acks {
+		acks = append(acks, dlm.LockID(a))
+	}
+	c.lc.OnHandoffMsg(dlm.ResourceID(req.Resource), dlm.LockID(req.LockID),
+		req.Final, acks, stampFromWire(req.Broadcast))
+	return &wire.Ack{}, nil
+}
+
+// handleLeasePropagate receives a propagation-tree subtree: the first
+// lease is this client's own, the rest is forwarded down the tree.
+func (c *Client) handleLeasePropagate(_ context.Context, p []byte) (wire.Msg, error) {
+	var req wire.LeasePropagate
+	if err := wire.Unmarshal(p, &req); err != nil {
+		return nil, err
+	}
+	grant := stampFromWire(&wire.BroadcastGrant{
+		Mode: req.Mode, Range: req.Range, Fanout: req.Fanout, Leases: req.Leases,
+	})
+	c.lc.OnLeasePropagate(dlm.ResourceID(req.Resource), grant)
 	return &wire.Ack{}, nil
 }
 
 // SendHandoff implements dlm.PeerSender: deliver "this lock is yours"
-// to the stamped next owner. An error (no dialer, dead peer) makes the
-// lock client fall back to releasing through the server.
-func (c *Client) SendHandoff(ctx context.Context, peer dlm.ClientID, res dlm.ResourceID, id dlm.LockID) error {
+// to the stamped next owner, with piggybacked delegation acks and, for
+// a broadcast, the cohort payload. An error (no dialer, dead peer)
+// makes the lock client fall back to releasing through the server.
+func (c *Client) SendHandoff(ctx context.Context, peer dlm.ClientID, res dlm.ResourceID, id dlm.LockID, acks []dlm.LockID, bcast *dlm.BroadcastStamp) error {
 	ep, err := c.peerEndpoint(peer)
 	if err != nil {
 		return err
 	}
-	err = ep.Call(ctx, wire.MHandoff, &wire.HandoffRequest{Resource: uint64(res), LockID: uint64(id)}, nil)
+	req := &wire.HandoffRequest{Resource: uint64(res), LockID: uint64(id), Broadcast: stampToWire(bcast)}
+	for _, a := range acks {
+		req.Acks = append(req.Acks, uint64(a))
+	}
+	err = ep.Call(ctx, wire.MHandoff, req, nil)
 	if err != nil {
 		c.dropPeer(peer, ep)
 	}
 	return err
+}
+
+// SendLease implements dlm.LeaseSender: ship a cohort subtree to the
+// peer owning its first lease.
+func (c *Client) SendLease(ctx context.Context, peer dlm.ClientID, res dlm.ResourceID, grant *dlm.BroadcastStamp) error {
+	ep, err := c.peerEndpoint(peer)
+	if err != nil {
+		return err
+	}
+	w := stampToWire(grant)
+	req := &wire.LeasePropagate{
+		Resource: uint64(res), Mode: w.Mode, Range: w.Range, Fanout: w.Fanout, Leases: w.Leases,
+	}
+	err = ep.Call(ctx, wire.MLeasePropagate, req, nil)
+	if err != nil {
+		c.dropPeer(peer, ep)
+	}
+	return err
+}
+
+// stampToWire converts a dlm broadcast payload to its wire form (nil
+// maps to nil).
+func stampToWire(b *dlm.BroadcastStamp) *wire.BroadcastGrant {
+	if b == nil {
+		return nil
+	}
+	g := &wire.BroadcastGrant{
+		Mode:   uint8(b.Mode),
+		Range:  b.Range,
+		Fanout: uint8(b.Fanout),
+		Leases: make([]wire.LeaseEntry, 0, len(b.Leases)),
+	}
+	for _, l := range b.Leases {
+		g.Leases = append(g.Leases, wire.LeaseEntry{
+			Owner: uint32(l.Owner), LockID: uint64(l.LockID), SN: uint64(l.SN),
+		})
+	}
+	return g
+}
+
+// stampFromWire converts a wire broadcast payload to its dlm form (nil
+// maps to nil).
+func stampFromWire(g *wire.BroadcastGrant) *dlm.BroadcastStamp {
+	if g == nil {
+		return nil
+	}
+	b := &dlm.BroadcastStamp{
+		Mode:   dlm.Mode(g.Mode),
+		Range:  g.Range,
+		Fanout: int(g.Fanout),
+		Leases: make([]dlm.Lease, 0, len(g.Leases)),
+	}
+	for _, l := range g.Leases {
+		b.Leases = append(b.Leases, dlm.Lease{
+			Owner: dlm.ClientID(l.Owner), LockID: dlm.LockID(l.LockID), SN: extent.SN(l.SN),
+		})
+	}
+	return b
 }
 
 // peerEndpoint returns the cached endpoint for a peer, dialing on the

@@ -165,6 +165,14 @@ func (p partConn) HandoffAck(ctx context.Context, res dlm.ResourceID, id dlm.Loc
 	})
 }
 
+// HandoffAckBatch implements dlm.HandoffAckBatcher against the slot's
+// current master.
+func (p partConn) HandoffAckBatch(ctx context.Context, res dlm.ResourceID, ids []dlm.LockID) error {
+	return p.c.withMaster(ctx, uint64(res), func(ep *rpc.Endpoint) error {
+		return rpcConn{ep: ep}.HandoffAckBatch(ctx, res, ids)
+	})
+}
+
 // slotReportHandler answers a successor master's slot-filtered lock
 // gather (§IV-C2 replay, restricted to the slots it just claimed).
 func (c *Client) slotReportHandler(_ context.Context, p []byte) (wire.Msg, error) {

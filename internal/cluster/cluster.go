@@ -53,6 +53,11 @@ type Options struct {
 	// (DESIGN.md §13) on every server and wires a peer listener and
 	// dialer into every client.
 	Handoff bool
+	// ReaderFanout enables the batched shared-mode fan-out path
+	// (DESIGN.md §14): broadcast delegations toward reader cohorts and
+	// peer-to-peer read-lease propagation trees. It implies Handoff's
+	// peer transport.
+	ReaderFanout bool
 	// Partition enables N-way lock-space partitioning (DESIGN.md §12):
 	// each server masters a lease-held share of the hash slots, clients
 	// route by the partition map, and surviving servers take over the
@@ -90,6 +95,9 @@ func New(opts Options) (*Cluster, error) {
 	}
 	if opts.Handoff {
 		opts.Policy.Handoff = true
+	}
+	if opts.ReaderFanout {
+		opts.Policy.ReaderFanout = true
 	}
 	c := &Cluster{
 		opts: opts,
@@ -189,7 +197,7 @@ func (c *Cluster) NewClient(name string) (*client.Client, error) {
 		MaxFlushRPC:   c.opts.MaxFlushRPC,
 		Partitioned:   c.opts.Partition,
 	}, conns)
-	if err != nil || !c.opts.Handoff {
+	if err != nil || !(c.opts.Handoff || c.opts.ReaderFanout) {
 		return cl, err
 	}
 	// The handoff fast path needs a client-to-client wire: each client
@@ -309,6 +317,11 @@ func (c *Cluster) DLMStatsBreakdown() DLMAggregate {
 		agg.Total.Handoffs += snap.Handoffs
 		agg.Total.HandoffAcks += snap.HandoffAcks
 		agg.Total.HandoffReclaims += snap.HandoffReclaims
+		agg.Total.FanRuns += snap.FanRuns
+		agg.Total.FanGrants += snap.FanGrants
+		agg.Total.Broadcasts += snap.Broadcasts
+		agg.Total.Gathers += snap.Gathers
+		agg.Total.LeaseGrants += snap.LeaseGrants
 		agg.GrantWait.Merge(g)
 		agg.RevocationWait.Merge(r)
 		agg.CancelWait.Merge(cw)

@@ -269,7 +269,27 @@ func wireStamp(h *dlm.HandoffStamp) *wire.HandoffStamp {
 		Mode:      uint8(h.Mode),
 		SN:        uint64(h.SN),
 		MustFlush: h.MustFlush,
+		Broadcast: wireBroadcast(h.Broadcast),
 	}
+}
+
+// wireBroadcast converts a broadcast cohort payload to its wire form.
+func wireBroadcast(b *dlm.BroadcastStamp) *wire.BroadcastGrant {
+	if b == nil {
+		return nil
+	}
+	g := &wire.BroadcastGrant{
+		Mode:   uint8(b.Mode),
+		Range:  b.Range,
+		Fanout: uint8(b.Fanout),
+		Leases: make([]wire.LeaseEntry, 0, len(b.Leases)),
+	}
+	for _, l := range b.Leases {
+		g.Leases = append(g.Leases, wire.LeaseEntry{
+			Owner: uint32(l.Owner), LockID: uint64(l.LockID), SN: uint64(l.SN),
+		})
+	}
+	return g
 }
 
 // Revoke implements dlm.Notifier.
@@ -310,7 +330,7 @@ func (n notifier) Handoff(ctx context.Context, client dlm.ClientID, res dlm.Reso
 		n.s.DLM.Release(res, id)
 		return
 	}
-	if err := ep.Call(ctx, wire.MHandoff, &wire.HandoffRequest{Resource: uint64(res), LockID: uint64(id)}, nil); err != nil {
+	if err := ep.Call(ctx, wire.MHandoff, &wire.HandoffRequest{Resource: uint64(res), LockID: uint64(id), Final: true}, nil); err != nil {
 		n.s.DLM.Release(res, id)
 	}
 }
@@ -513,12 +533,14 @@ func (s *Server) setup(ep *rpc.Endpoint) {
 			return nil, err
 		}
 		reply := &wire.LockGrant{
-			LockID:    uint64(g.LockID),
-			Mode:      uint8(g.Mode),
-			Range:     g.Range,
-			SN:        g.SN,
-			State:     uint8(g.State),
-			Delegated: g.Delegated,
+			LockID:      uint64(g.LockID),
+			Mode:        uint8(g.Mode),
+			Range:       g.Range,
+			SN:          g.SN,
+			State:       uint8(g.State),
+			Delegated:   g.Delegated,
+			GatherParts: uint32(g.GatherParts),
+			HandBack:    wireBroadcast(g.HandBack),
 		}
 		for _, id := range g.Absorbed {
 			reply.Absorbed = append(reply.Absorbed, uint64(id))
@@ -583,7 +605,16 @@ func (s *Server) setup(ep *rpc.Endpoint) {
 		if err := s.DLM.CheckMaster(dlm.ResourceID(req.Resource)); err != nil {
 			return nil, err
 		}
-		s.DLM.HandoffAck(dlm.ResourceID(req.Resource), dlm.LockID(req.LockID))
+		if len(req.More) > 0 {
+			ids := make([]dlm.LockID, 0, len(req.More)+1)
+			ids = append(ids, dlm.LockID(req.LockID))
+			for _, id := range req.More {
+				ids = append(ids, dlm.LockID(id))
+			}
+			s.DLM.HandoffAckBatch(dlm.ResourceID(req.Resource), ids)
+		} else {
+			s.DLM.HandoffAck(dlm.ResourceID(req.Resource), dlm.LockID(req.LockID))
+		}
 		return &wire.Ack{}, nil
 	})
 

@@ -173,6 +173,11 @@ type ClientStats struct {
 	// (peer transfer or server-sent activation).
 	HandoffsSent atomic.Int64
 	HandoffsRecv atomic.Int64
+	// LeasesSent counts propagation-tree subtrees this client forwarded
+	// to peers; LeasesRecv counts read leases installed from a
+	// broadcast transfer or peer propagation (DESIGN.md §14).
+	LeasesSent atomic.Int64
+	LeasesRecv atomic.Int64
 }
 
 // LockClient is the client half of the DLM: it caches grants, answers
@@ -228,13 +233,21 @@ type clientShard struct {
 	// servers.
 	pendingRevokes map[lockKey]*HandoffStamp
 	tombstones     map[lockKey]bool
-	// Handoff reception state (clienthandoff.go): transfers that
-	// arrived before their delegated grant reply was processed, waiters
-	// blocked on a transfer, and delegation acks queued for the server.
-	arrivedHandoffs map[lockKey]bool
-	pendingHandoffs map[lockKey]chan struct{}
+	// Handoff reception state (clienthandoff.go): transfer parts that
+	// arrived before their delegated grant reply was processed (a
+	// gather collects several; a server-sent activation counts as all
+	// of them), waiters blocked on a transfer, and delegation acks
+	// queued for the server.
+	arrivedHandoffs map[lockKey]int
+	pendingHandoffs map[lockKey]*transferWaiter
 	pendingAcks     map[ResourceID][]LockID
 	ackTimer        *time.Timer
+	// Reader fan-out state (clientfan.go): resources in a fan rotation
+	// — a write-mode stamped revocation displaced this client's read
+	// lease, so the next lease arrives peer-to-peer — and shared-mode
+	// acquires parked on that arrival instead of going to the server.
+	fanStanding map[ResourceID]bool
+	fanWaiters  map[ResourceID][]chan struct{}
 }
 
 // lockKey globally identifies a lock: IDs are per-server, resources map
@@ -296,9 +309,11 @@ func NewLockClient(id ClientID, policy Policy, router func(ResourceID) ServerCon
 		sh.acq = make(map[ResourceID]*sync.Mutex)
 		sh.pendingRevokes = make(map[lockKey]*HandoffStamp)
 		sh.tombstones = make(map[lockKey]bool)
-		sh.arrivedHandoffs = make(map[lockKey]bool)
-		sh.pendingHandoffs = make(map[lockKey]chan struct{})
+		sh.arrivedHandoffs = make(map[lockKey]int)
+		sh.pendingHandoffs = make(map[lockKey]*transferWaiter)
 		sh.pendingAcks = make(map[ResourceID][]LockID)
+		sh.fanStanding = make(map[ResourceID]bool)
+		sh.fanWaiters = make(map[ResourceID][]chan struct{})
 	}
 	return c
 }
@@ -364,6 +379,37 @@ func (c *LockClient) fastHit(res ResourceID, need Mode, rng extent.Extent) *Hand
 	return nil
 }
 
+// adoptLease claims a hold on the cached handle a racing broadcast
+// lease install created for a delegated grant. Returns nil when the
+// lease is already CANCELING or gone — the lock left this client and
+// the caller must re-request from the server.
+func (c *LockClient) adoptLease(res ResourceID, id LockID, need Mode) *Handle {
+	sh := c.shard(res)
+	sh.mu.Lock()
+	h := findByID(sh.cur()[res], id)
+	sh.mu.Unlock()
+	if h == nil {
+		return nil
+	}
+	for {
+		w := h.hot.Load()
+		if w&hotAbsorbed != 0 {
+			h = h.merged.Load()
+			continue
+		}
+		if hotState(w) != Granted || w&hotCanceling != 0 {
+			return nil
+		}
+		nw := w + 1
+		if need.IsWrite() {
+			nw |= hotWrote
+		}
+		if h.hot.CompareAndSwap(w, nw) {
+			return h
+		}
+	}
+}
+
 func (c *LockClient) acquire(ctx context.Context, res ResourceID, need Mode, rng extent.Extent, set extent.Set) (*Handle, error) {
 	need = c.policy.MapMode(need)
 	if h := c.fastHit(res, need, rng); h != nil {
@@ -382,33 +428,62 @@ func (c *LockClient) acquire(ctx context.Context, res ResourceID, need Mode, rng
 	}
 	c.Stats.CacheMisses.Add(1)
 
-	start := time.Now()
-	acks := c.takeAcks(res)
-	g, err := c.router(res).Lock(ctx, Request{
-		Resource:    res,
-		Client:      c.id,
-		Mode:        need,
-		Range:       rng,
-		Extents:     set,
-		HandoffAcks: acks,
-	})
-	c.Stats.LockWaitNs.Add(time.Since(start).Nanoseconds())
-	if err != nil {
-		// The acks may not have reached the server; re-queue them —
-		// duplicate acks are idempotent server-side.
-		c.requeueAcks(res, acks)
-		return nil, err
+	// In a fan rotation the next read lease arrives peer-to-peer; park
+	// briefly on its arrival instead of paying a server round trip. A
+	// timeout (the reclaim interval) falls back to the server, which
+	// self-heals any lease that was lost in flight.
+	if c.policy.ReaderFanout && !need.IsWrite() && len(set) == 0 {
+		if h := c.waitStanding(ctx, res, need, rng); h != nil {
+			c.Stats.CacheHits.Add(1)
+			return h, nil
+		}
 	}
-	if g.Delegated {
+
+	var g Grant
+	for {
+		start := time.Now()
+		acks := c.takeAcks(res)
+		var err error
+		g, err = c.router(res).Lock(ctx, Request{
+			Resource:    res,
+			Client:      c.id,
+			Mode:        need,
+			Range:       rng,
+			Extents:     set,
+			HandoffAcks: acks,
+		})
+		c.Stats.LockWaitNs.Add(time.Since(start).Nanoseconds())
+		if err != nil {
+			// The acks may not have reached the server; re-queue them —
+			// duplicate acks are idempotent server-side.
+			c.requeueAcks(res, acks)
+			return nil, err
+		}
+		if !g.Delegated {
+			break
+		}
 		// The lock arrives from the previous holder, not from server
-		// state: block until the transfer (or a server-sent activation)
-		// lands, then confirm the delegation asynchronously.
-		if err := c.waitTransfer(ctx, res, g.LockID); err != nil {
+		// state: block until the transfer — every part of it, for a
+		// gather — or a server-sent activation lands, then confirm the
+		// delegation asynchronously.
+		cached, err := c.waitTransfer(ctx, res, g.LockID, g.GatherParts)
+		if err != nil {
 			c.router(res).Release(c.baseCtx, res, g.LockID)
 			return nil, err
 		}
+		if cached {
+			// A broadcast lease install raced ahead of this grant reply
+			// and already cached (and confirmed) the lock; adopt it. If
+			// the lease was revoked and canceled before it could be
+			// claimed, the lock left this client — request again.
+			if h := c.adoptLease(res, g.LockID, need); h != nil {
+				return h, nil
+			}
+			continue
+		}
 		c.Stats.HandoffsRecv.Add(1)
 		c.queueAck(res, g.LockID)
+		break
 	}
 
 	h := &Handle{
@@ -431,6 +506,22 @@ func (c *LockClient) acquire(ctx context.Context, res ResourceID, need Mode, rng
 		if stamp != nil {
 			h.stamp.Store(stamp)
 		}
+		st = Canceling
+	}
+	if hb := g.HandBack; hb != nil && len(hb.Leases) > 0 {
+		// The grant pre-armed the next fan-out (DESIGN.md §14): this
+		// lock is born CANCELING with a broadcast transfer obligation
+		// toward the displaced reader cohort's fresh leases. The stamp
+		// overrides any plain pending revoke — a nudge for a lock that
+		// already owes a transfer adds nothing.
+		h.stamp.Store(&HandoffStamp{
+			NextOwner: hb.Leases[0].Owner,
+			NewLockID: hb.Leases[0].LockID,
+			Mode:      hb.Mode,
+			SN:        hb.Leases[0].SN,
+			MustFlush: true,
+			Broadcast: hb,
+		})
 		st = Canceling
 	}
 	// A duplicate activation racing this install would otherwise leave
@@ -578,6 +669,13 @@ func (c *LockClient) OnRevokeStamped(res ResourceID, id LockID, stamp *HandoffSt
 	c.Stats.Revocations.Add(1)
 	sh := c.shard(res)
 	sh.mu.Lock()
+	if c.policy.ReaderFanout && stamp != nil && stamp.Mode.IsWrite() {
+		// A writer is displacing this client's lock: the resource is in
+		// a fan rotation, and the next read lease — pre-armed by the
+		// writer's gather — will arrive peer-to-peer. Subsequent shared
+		// acquires park on it instead of going to the server.
+		sh.fanStanding[res] = true
+	}
 	h := findByID(sh.cur()[res], id)
 	if h == nil {
 		// Either the grant reply has not been processed yet (remember
@@ -648,9 +746,21 @@ func (c *LockClient) cancel(h *Handle) {
 			c.flusher.FlushForCancel(ctx, h.res, rng, h.sn)
 		}
 		h.hot.Or(hotReleaseSent)
+		var fwd []LockID
+		if c.policy.ReaderFanout && stamp.Broadcast == nil {
+			// Transferring toward a gathering writer: piggyback the
+			// queued delegation acks on the part — the writer forwards
+			// them on its next lock request, so reader acks cost no
+			// server RPC (DESIGN.md §14).
+			fwd = c.takeAcks(h.res)
+		}
 		sent := false
 		if box := c.peer.Load(); box != nil && box.s != nil {
-			if err := box.s.SendHandoff(ctx, stamp.NextOwner, h.res, stamp.NewLockID); err == nil {
+			if err := box.s.SendHandoff(ctx, stamp.NextOwner, h.res, stamp.NewLockID, fwd, stamp.Broadcast); err == nil {
+				// Confirmation is the receiver's job: every lease
+				// owner (the lead included) acks its own delegation on
+				// install, so the server's reclaim entry stays live
+				// until the lease has demonstrably landed.
 				sent = true
 				c.Stats.HandoffsSent.Add(1)
 			}
@@ -662,6 +772,7 @@ func (c *LockClient) cancel(h *Handle) {
 			c.flusher.FlushForCancel(ctx, h.res, rng, h.sn)
 		}
 		if !sent {
+			c.requeueAcks(h.res, fwd)
 			conn.Release(ctx, h.res, h.id)
 		}
 		sh := c.shard(h.res)

@@ -15,26 +15,48 @@ import (
 // for the resource when one comes soon enough, or flushed standalone
 // by a short timer otherwise.
 
-// handoffAckDelay bounds how long a delegation ack may sit queued
-// before it is flushed standalone: long enough that a busy ping-pong
-// pattern always piggybacks, short enough that the server's reclaim
-// timer never fires for a healthy client.
-const handoffAckDelay = 20 * time.Millisecond
+// ackFlushDelay bounds how long a delegation ack may sit queued before
+// it is flushed standalone: long enough that a busy exchange pattern
+// always piggybacks — on the next lock request, or on the next peer
+// transfer when a fan rotation keeps the client off the server
+// entirely — short enough that the server's reclaimer (which nudges at
+// half the reclaim interval) never fires for a healthy client. A
+// quarter of the reclaim interval sits between those bounds at every
+// interval the policy picks.
+func (c *LockClient) ackFlushDelay() time.Duration {
+	iv := c.policy.HandoffReclaimInterval
+	if iv <= 0 {
+		iv = DefaultHandoffTimeout
+	}
+	return iv / 4
+}
 
 // PeerSender is the client-to-client transport for handoff transfers.
 // SendHandoff delivers "lock id on res is now yours" to the peer and
 // returns once the peer accepted it; an error makes the holder fall
-// back to releasing through the server.
+// back to releasing through the server. acks piggybacks delegation
+// confirmations for the receiver to forward to the server on its next
+// lock request, and bcast, when non-nil, turns the transfer into a
+// broadcast: the receiver owns the lead lease and propagates the rest
+// of the cohort (DESIGN.md §14). Both are nil for plain transfers.
 type PeerSender interface {
-	SendHandoff(ctx context.Context, peer ClientID, res ResourceID, id LockID) error
+	SendHandoff(ctx context.Context, peer ClientID, res ResourceID, id LockID, acks []LockID, bcast *BroadcastStamp) error
 }
 
 // PeerSenderFunc adapts a function to PeerSender.
-type PeerSenderFunc func(ctx context.Context, peer ClientID, res ResourceID, id LockID) error
+type PeerSenderFunc func(ctx context.Context, peer ClientID, res ResourceID, id LockID, acks []LockID, bcast *BroadcastStamp) error
 
 // SendHandoff implements PeerSender.
-func (f PeerSenderFunc) SendHandoff(ctx context.Context, peer ClientID, res ResourceID, id LockID) error {
-	return f(ctx, peer, res, id)
+func (f PeerSenderFunc) SendHandoff(ctx context.Context, peer ClientID, res ResourceID, id LockID, acks []LockID, bcast *BroadcastStamp) error {
+	return f(ctx, peer, res, id, acks, bcast)
+}
+
+// LeaseSender is the optional PeerSender extension the propagation
+// tree requires: SendLease ships a cohort subtree to the peer owning
+// its first lease. Without it, only the lead receives its lease
+// peer-to-peer and the server's reclaimer resolves the rest.
+type LeaseSender interface {
+	SendLease(ctx context.Context, peer ClientID, res ResourceID, grant *BroadcastStamp) error
 }
 
 // HandoffAcker is the optional ServerConn extension for standalone
@@ -42,6 +64,14 @@ func (f PeerSenderFunc) SendHandoff(ctx context.Context, peer ClientID, res Reso
 // queued for piggybacking on the next lock request.
 type HandoffAcker interface {
 	HandoffAck(ctx context.Context, res ResourceID, id LockID) error
+}
+
+// HandoffAckBatcher is the further extension that confirms several
+// delegations of one resource in a single RPC — the flush path prefers
+// it when more than one ack is queued (a propagation-tree cohort
+// confirms this way when no lock request drains the acks first).
+type HandoffAckBatcher interface {
+	HandoffAckBatch(ctx context.Context, res ResourceID, ids []LockID) error
 }
 
 // peerSenderBox wraps the PeerSender interface for atomic publication.
@@ -58,43 +88,96 @@ func (c *LockClient) SetPeerSender(s PeerSender) {
 	c.peer.Store(&peerSenderBox{s: s})
 }
 
+// transferWaiter parks a delegated acquire until enough transfer
+// parts arrive: one for a plain handoff, one per cohort member for a
+// gather. A server-sent activation (final) completes the wait
+// outright — the server already resolved whatever parts were missing.
+type transferWaiter struct {
+	need int
+	ch   chan struct{}
+}
+
+// finalParts marks a server-sent activation in the arrival count: it
+// satisfies any part requirement.
+const finalParts = int(1) << 30
+
 // OnHandoff records the arrival of a transferred lock — from the
 // previous holder over the peer transport, or as a server-sent
 // activation after a fallback release or reclaim. Duplicates (the two
 // paths racing) are idempotent: a transfer for a lock already
 // installed or already gone is dropped.
 func (c *LockClient) OnHandoff(res ResourceID, id LockID) {
+	c.OnHandoffMsg(res, id, true, nil, nil)
+}
+
+// OnHandoffMsg is the full-form transfer arrival: final marks a
+// server-sent activation (completes a multi-part gather outright,
+// where a peer part counts once); acks carries delegation
+// confirmations a transferring reader piggybacked for this client to
+// forward to the server; bcast, when non-nil, makes this a broadcast
+// transfer — the lead lease plus the cohort to propagate.
+func (c *LockClient) OnHandoffMsg(res ResourceID, id LockID, final bool, acks []LockID, bcast *BroadcastStamp) {
+	if len(acks) > 0 {
+		c.requeueAcks(res, acks)
+	}
+	if bcast != nil && c.policy.ReaderFanout {
+		c.receiveCohort(res, bcast)
+		return
+	}
 	k := lockKey{res, id}
 	sh := c.shard(res)
 	sh.mu.Lock()
-	if ch, ok := sh.pendingHandoffs[k]; ok {
-		delete(sh.pendingHandoffs, k)
-		close(ch)
+	if tw, ok := sh.pendingHandoffs[k]; ok {
+		if final {
+			tw.need = 0
+		} else {
+			tw.need--
+		}
+		if tw.need <= 0 {
+			delete(sh.pendingHandoffs, k)
+			close(tw.ch)
+		}
 	} else if !sh.tombstones[k] && findByID(sh.cur()[res], id) == nil {
-		sh.arrivedHandoffs[k] = true
+		if final {
+			sh.arrivedHandoffs[k] = finalParts
+		} else {
+			sh.arrivedHandoffs[k]++
+		}
 	}
 	sh.mu.Unlock()
 }
 
 // waitTransfer blocks a delegated acquire until its lock's transfer
-// arrives. The transfer may already have landed (it raced ahead of the
-// grant reply); otherwise park on a channel OnHandoff closes.
-func (c *LockClient) waitTransfer(ctx context.Context, res ResourceID, id LockID) error {
+// arrives — all parts of it, for a gather. Parts may already have
+// landed (they raced ahead of the grant reply); otherwise park on a
+// channel OnHandoffMsg closes once the count is met. cached reports
+// that a broadcast lease install raced ahead of the grant reply and
+// the lock is already in the cache — the caller must adopt that
+// handle instead of building its own.
+func (c *LockClient) waitTransfer(ctx context.Context, res ResourceID, id LockID, parts int) (cached bool, err error) {
+	if parts < 1 {
+		parts = 1
+	}
 	k := lockKey{res, id}
 	sh := c.shard(res)
 	sh.mu.Lock()
-	if sh.arrivedHandoffs[k] {
-		delete(sh.arrivedHandoffs, k)
+	if findByID(sh.cur()[res], id) != nil {
 		sh.mu.Unlock()
-		return nil
+		return true, nil
 	}
-	ch := make(chan struct{})
-	sh.pendingHandoffs[k] = ch
+	got := sh.arrivedHandoffs[k]
+	delete(sh.arrivedHandoffs, k)
+	if got >= parts {
+		sh.mu.Unlock()
+		return false, nil
+	}
+	tw := &transferWaiter{need: parts - got, ch: make(chan struct{})}
+	sh.pendingHandoffs[k] = tw
 	sh.mu.Unlock()
 
 	select {
-	case <-ch:
-		return nil
+	case <-tw.ch:
+		return false, nil
 	case <-ctx.Done():
 	case <-c.baseCtx.Done():
 	}
@@ -103,13 +186,13 @@ func (c *LockClient) waitTransfer(ctx context.Context, res ResourceID, id LockID
 		delete(sh.pendingHandoffs, k)
 		sh.mu.Unlock()
 		if err := ctx.Err(); err != nil {
-			return wire.FromContext(err)
+			return false, wire.FromContext(err)
 		}
-		return wire.ErrShuttingDown
+		return false, wire.ErrShuttingDown
 	}
 	sh.mu.Unlock()
 	// The transfer raced the abort and won; use the lock.
-	return nil
+	return false, nil
 }
 
 // queueAck queues a delegation confirmation for the server mastering
@@ -120,19 +203,27 @@ func (c *LockClient) queueAck(res ResourceID, id LockID) {
 	sh.mu.Lock()
 	sh.pendingAcks[res] = append(sh.pendingAcks[res], id)
 	if sh.ackTimer == nil {
-		sh.ackTimer = time.AfterFunc(handoffAckDelay, func() { c.flushShardAcks(sh) })
+		sh.ackTimer = time.AfterFunc(c.ackFlushDelay(), func() { c.flushShardAcks(sh) })
 	}
 	sh.mu.Unlock()
 }
 
 // takeAcks pops the queued acks for res, to piggyback on a lock
-// request. The caller must re-queue them if the request fails.
+// request. The caller must re-queue them if the request fails. When
+// the take drains the shard, the flush timer is disarmed: leaving it
+// running would fire it mid-way into the next batch's window and flush
+// acks standalone that the next request or transfer was about to carry
+// for free.
 func (c *LockClient) takeAcks(res ResourceID) []LockID {
 	sh := c.shard(res)
 	sh.mu.Lock()
 	acks := sh.pendingAcks[res]
 	if len(acks) > 0 {
 		delete(sh.pendingAcks, res)
+	}
+	if len(sh.pendingAcks) == 0 && sh.ackTimer != nil {
+		sh.ackTimer.Stop()
+		sh.ackTimer = nil
 	}
 	sh.mu.Unlock()
 	return acks
@@ -164,7 +255,12 @@ func (c *LockClient) flushShardAcks(sh *clientShard) {
 	sh.ackTimer = nil
 	sh.mu.Unlock()
 	for res, ids := range pending {
-		ha, ok := c.router(res).(HandoffAcker)
+		conn := c.router(res)
+		if hb, ok := conn.(HandoffAckBatcher); ok && len(ids) > 1 {
+			hb.HandoffAckBatch(c.baseCtx, res, ids)
+			continue
+		}
+		ha, ok := conn.(HandoffAcker)
 		if !ok {
 			c.requeueAcks(res, ids)
 			continue
@@ -190,7 +286,12 @@ func (c *LockClient) FlushHandoffAcks(ctx context.Context) {
 		}
 		sh.mu.Unlock()
 		for res, ids := range pending {
-			if ha, ok := c.router(res).(HandoffAcker); ok {
+			conn := c.router(res)
+			if hb, ok := conn.(HandoffAckBatcher); ok && len(ids) > 1 {
+				hb.HandoffAckBatch(ctx, res, ids)
+				continue
+			}
+			if ha, ok := conn.(HandoffAcker); ok {
 				for _, id := range ids {
 					ha.HandoffAck(ctx, res, id)
 				}

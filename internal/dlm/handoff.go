@@ -34,6 +34,11 @@ type HandoffStamp struct {
 	Mode      Mode
 	SN        extent.SN
 	MustFlush bool
+	// Broadcast, when non-nil, turns the transfer into a read fan-out
+	// (DESIGN.md §14): NextOwner/NewLockID name the lead reader's lease,
+	// and the holder ships the whole ordered cohort to the lead, which
+	// propagates the remaining leases peer-to-peer.
+	Broadcast *BroadcastStamp
 }
 
 // HandoffNotifier is the optional Notifier extension the handoff fast
@@ -61,7 +66,7 @@ type activationMsg struct {
 // and SN stays monotonic), the waiter's grant reply is marked
 // Delegated, and the revocation appended to revs carries the stamp.
 // Called from tryGrant with res.mu held; reports whether it stamped.
-func (s *Server) stampHandoff(res *resource, w *waiter, mode Mode, c *lock, revs *[]Revocation) bool {
+func (s *Server) stampHandoff(res *resource, w *waiter, mode Mode, c *lock, fx *effects) bool {
 	if !s.handoffOn.Load() {
 		return false
 	}
@@ -73,7 +78,7 @@ func (s *Server) stampHandoff(res *resource, w *waiter, mode Mode, c *lock, revs
 	// already being revoked or handed off follows the normal path), on
 	// another client, and both sides must be plain ranges — datatype
 	// extent sets release after every operation and gain nothing.
-	if c.state != Granted || c.revokeSent || c.handedOff ||
+	if c.state != Granted || c.revokeSent || c.handedOff || c.succ != nil ||
 		c.client == w.req.Client || len(c.set) > 0 || len(w.req.Extents) > 0 {
 		return false
 	}
@@ -107,7 +112,7 @@ func (s *Server) stampHandoff(res *resource, w *waiter, mode Mode, c *lock, revs
 	res.granted.insert(l)
 	res.grants++
 
-	*revs = append(*revs, Revocation{
+	fx.revs = append(fx.revs, Revocation{
 		Client:   c.client,
 		Resource: res.id,
 		Lock:     c.id,
@@ -135,14 +140,14 @@ func (s *Server) stampHandoff(res *resource, w *waiter, mode Mode, c *lock, revs
 	s.reclaim.register(s, res, c, l)
 
 	res.retire(w)
-	w.ch <- lockResult{g: Grant{
+	fx.sends = append(fx.sends, grantSend{w: w, r: lockResult{g: Grant{
 		LockID:    l.id,
 		Mode:      mode,
 		Range:     rng,
 		SN:        sn,
 		State:     Granted,
 		Delegated: true,
-	}}
+	}}})
 	return true
 }
 
@@ -182,24 +187,42 @@ func (s *Server) ackDelegation(res *resource, id LockID) {
 	s.reclaim.deregister(res.id, id)
 	s.Stats.HandoffAcks.Add(1)
 	s.tracer.record(Event{Kind: EvRelease, Resource: res.id, Lock: id})
-	revs := s.scan(res)
+	var fx effects
+	s.scan(res, &fx)
 	res.mu.Unlock()
-	s.fire(revs)
+	s.apply(fx)
 }
 
-// removePreds retires l's whole predecessor chain: every chain member
-// transferred its lock away, so each removal counts as a release.
-// Called with res.mu held.
+// removePreds retires l's whole predecessor closure — the single-pred
+// chain plus, for a gathering write lock, its displaced cohort: every
+// member transferred its lock away, so each removal counts as a
+// release. Predecessors may be shared between ack paths (a cohort
+// member's own ack and the gathering writer's, for instance), so
+// retirement is idempotent: a lock is only retired while it is still
+// the table's entry for its ID. Called with res.mu held.
 func (s *Server) removePreds(res *resource, l *lock) {
-	for p := l.pred; p != nil; {
+	var retire func(p *lock)
+	retire = func(p *lock) {
+		if p == nil || res.granted.get(p.id) != p {
+			return
+		}
 		next := p.pred
+		preds := p.preds
 		res.granted.remove(p)
 		s.Stats.Releases.Add(1)
 		s.reclaim.deregister(res.id, p.id)
-		p.pred, p.succ = nil, nil
-		p = next
+		p.pred, p.succ, p.preds, p.bcast = nil, nil, nil, nil
+		retire(next)
+		for _, q := range preds {
+			retire(q)
+		}
+	}
+	retire(l.pred)
+	for _, q := range l.preds {
+		retire(q)
 	}
 	l.pred = nil
+	l.preds = nil
 }
 
 // removeWithPreds removes l and its predecessor chain. Called with
@@ -371,22 +394,30 @@ func (s *Server) reclaimForce(e *delegationEntry) {
 		s.reclaim.deregister(res.id, e.succID)
 		return
 	}
-	var act activationMsg
+	var fx effects
 	found := false
 	res.mu.Lock()
 	l := res.granted.get(e.succID)
 	if l != nil && l.delegated {
+		if p := res.granted.get(e.predID); p != nil && !p.handedOff {
+			// The provider of this delegation is still a legitimately
+			// active holder — a pre-armed lease whose writer has not
+			// finished (DESIGN.md §14). Force-resolving would activate
+			// a reader behind a live writer, so demote to another
+			// nudge; the transfer resolves when the writer hands over.
+			res.mu.Unlock()
+			s.fire([]Revocation{{Client: e.predCli, Resource: res.id, Lock: e.predID}})
+			return
+		}
 		s.removePreds(res, l)
-		act = s.resolveDelegation(res, l)
+		fx.acts = append(fx.acts, s.resolveDelegation(res, l))
 		found = true
 		s.Stats.HandoffReclaims.Add(1)
 	}
-	revs := s.scan(res)
+	s.scan(res, &fx)
 	res.mu.Unlock()
-	s.fire(revs)
-	if found {
-		s.sendActivation(act)
-	} else {
+	s.apply(fx)
+	if !found {
 		s.reclaim.deregister(res.id, e.succID)
 	}
 }

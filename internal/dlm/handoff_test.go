@@ -23,6 +23,7 @@ type hoHarness struct {
 	mu            sync.Mutex
 	dropRevokes   bool // swallow revocations (vanished holder)
 	dropTransfers bool // swallow peer transfers (lost handoff message)
+	dropLeases    bool // swallow lease propagations (lost tree edges)
 }
 
 type hoNotifier struct{ h *hoHarness }
@@ -79,14 +80,14 @@ func newHOHarness(t *testing.T, policy Policy, nclients int, peers bool) *hoHarn
 		id := ClientID(i)
 		c := NewLockClient(id, policy, router, h.flusher)
 		if peers {
-			c.SetPeerSender(PeerSenderFunc(func(_ context.Context, peer ClientID, res ResourceID, lid LockID) error {
+			c.SetPeerSender(PeerSenderFunc(func(_ context.Context, peer ClientID, res ResourceID, lid LockID, acks []LockID, bcast *BroadcastStamp) error {
 				h.mu.Lock()
 				drop := h.dropTransfers
 				h.mu.Unlock()
 				if drop {
 					return nil // accepted, then lost in flight
 				}
-				h.clients[peer].OnHandoff(res, lid)
+				h.clients[peer].OnHandoffMsg(res, lid, false, acks, bcast)
 				return nil
 			}))
 		}

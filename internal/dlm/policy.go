@@ -1,5 +1,7 @@
 package dlm
 
+import "time"
+
 // ExpandRule selects how a lock server expands the range of a lock it is
 // about to grant (lock range expanding, §II-A). Only the end of a range
 // is ever expanded, per the Lustre convention the paper adheres to.
@@ -59,6 +61,31 @@ type Policy struct {
 	// server out of stable conflict patterns. Off by default — the
 	// revoke path is then byte-identical to the pre-handoff engine.
 	Handoff bool
+	// ReaderFanout extends handoff to reader cohorts (DESIGN.md §14):
+	// a writer's revocation owed to a run of k compatible shared-mode
+	// waiters is stamped with a broadcast grant, the holder transfers to
+	// a lead reader, and the lead propagates read leases peer-to-peer
+	// down a bounded-fanout tree; the reverse edge gathers the cohort
+	// back to a waiting writer with a pre-armed handback. Implies the
+	// handoff transport. Off by default — the grant/revoke path is then
+	// byte-identical to the single-successor handoff engine.
+	ReaderFanout bool
+	// ReaderFanoutWidth bounds the propagation tree's fan-out (children
+	// per node). Zero means the default (2).
+	ReaderFanoutWidth int
+	// HandoffReclaimInterval is the deadline after which the server
+	// force-resolves an unacked delegation (nudging first at half the
+	// interval). Zero means DefaultHandoffTimeout (250 ms); tests and
+	// experiments tighten it instead of sleeping real time.
+	HandoffReclaimInterval time.Duration
+}
+
+// FanoutWidth returns the effective propagation-tree fan-out bound.
+func (p Policy) FanoutWidth() int {
+	if p.ReaderFanoutWidth > 0 {
+		return p.ReaderFanoutWidth
+	}
+	return 2
 }
 
 // SeqDLM returns the paper's proposed policy.

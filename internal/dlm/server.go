@@ -56,6 +56,16 @@ type Grant struct {
 	// rather than being usable immediately, and the new owner must ack
 	// it back to the server (DESIGN.md §13).
 	Delegated bool
+	// GatherParts is the number of client-to-client transfers a
+	// delegated write grant collects before activating: one per member
+	// of the reader cohort it displaced (DESIGN.md §14). Zero for
+	// single-transfer delegations.
+	GatherParts int
+	// HandBack pre-arms the next read fan-out: the server has already
+	// installed delegated leases for the displaced reader cohort; the
+	// grantee owes them a broadcast transfer when it finishes, without
+	// another server round trip (DESIGN.md §14).
+	HandBack *BroadcastStamp
 }
 
 // Revocation identifies a callback the server wants delivered to a lock
@@ -115,6 +125,11 @@ type Server struct {
 	// runtime; seeded from Policy.Handoff, toggled by SetHandoff. Off,
 	// the revoke path is byte-identical to the pre-handoff engine.
 	handoffOn atomic.Bool
+	// fanOn gates the reader fan-out paths — broadcast stamping and
+	// cohort gathering (DESIGN.md §14); seeded from Policy.ReaderFanout,
+	// toggled by SetReaderFanout. Off, the grant/revoke path is
+	// byte-identical to the single-successor handoff engine.
+	fanOn atomic.Bool
 	// handoffTimeout (nanoseconds) bounds how long a delegation may
 	// stay unconfirmed before the reclaimer intervenes.
 	handoffTimeout atomic.Int64
@@ -160,8 +175,13 @@ func NewServer(policy Policy, notifier Notifier) *Server {
 		s.shards[i].resources = make(map[ResourceID]*resource)
 	}
 	s.indexed.Store(true)
-	s.handoffOn.Store(policy.Handoff)
-	s.handoffTimeout.Store(int64(DefaultHandoffTimeout))
+	s.handoffOn.Store(policy.Handoff || policy.ReaderFanout)
+	s.fanOn.Store(policy.ReaderFanout)
+	timeout := DefaultHandoffTimeout
+	if policy.HandoffReclaimInterval > 0 {
+		timeout = policy.HandoffReclaimInterval
+	}
+	s.handoffTimeout.Store(int64(timeout))
 	s.revoker.init(s, DefaultRevokeWorkers)
 	return s
 }
@@ -171,6 +191,19 @@ func NewServer(policy Policy, notifier Notifier) *Server {
 // enables it — revocations are never stamped and the engine behaves
 // byte-identically to the pre-handoff protocol.
 func (s *Server) SetHandoff(on bool) { s.handoffOn.Store(on) }
+
+// SetReaderFanout toggles the reader fan-out paths (DESIGN.md §14) at
+// runtime: broadcast-stamped revocations toward reader cohorts and
+// gather stamping back toward writers. Implies the handoff transport,
+// so enabling it also enables handoff. Off — the default unless the
+// policy enables it — the engine behaves byte-identically to the
+// single-successor handoff protocol.
+func (s *Server) SetReaderFanout(on bool) {
+	s.fanOn.Store(on)
+	if on {
+		s.handoffOn.Store(true)
+	}
+}
 
 // SetHandoffTimeout bounds how long a delegation may stay unconfirmed
 // before the reclaimer nudges the previous holder and, one period
@@ -209,7 +242,16 @@ type lock struct {
 	delegated bool
 	pred      *lock
 	succ      *lock
-	tblIdx    int // position in the lockTable slice (swap-remove)
+	// Reader fan-out state (DESIGN.md §14). preds lists a gathering
+	// write lock's whole displaced cohort (each member also links back
+	// through succ); bcast lists the delegated leases a holder owes a
+	// broadcast transfer to (succ points at the lead, bcast[0]);
+	// gatherLeft counts cohort members that have not resolved
+	// server-side, for the release-fallback path.
+	preds      []*lock
+	bcast      []*lock
+	gatherLeft int
+	tblIdx     int // position in the lockTable slice (swap-remove)
 }
 
 // lockResult is what a waiter receives: a grant, or the typed error the
@@ -338,9 +380,10 @@ func (s *Server) Lock(ctx context.Context, req Request) (Grant, error) {
 	res.wseq++
 	res.queue = append(res.queue, w)
 	res.wtree.Insert(w.req.Range, w.key, w)
-	revs := s.scan(res)
+	var fx effects
+	s.scan(res, &fx)
 	res.mu.Unlock()
-	s.fire(revs)
+	s.apply(fx)
 
 	select {
 	case r := <-w.ch:
@@ -360,9 +403,10 @@ func (s *Server) Lock(ctx context.Context, req Request) (Grant, error) {
 		return Grant{}, wire.FromContext(ctx.Err())
 	}
 	res.retire(w)
-	revs = s.scan(res) // the withdrawn entry may have blocked later waiters
+	fx = effects{}
+	s.scan(res, &fx) // the withdrawn entry may have blocked later waiters
 	res.mu.Unlock()
-	s.fire(revs)
+	s.apply(fx)
 	return Grant{}, wire.FromContext(ctx.Err())
 }
 
@@ -410,9 +454,10 @@ func (s *Server) RevokeAck(resID ResourceID, id LockID) {
 	if l := res.granted.get(id); l != nil && l.state == Granted {
 		l.state = Canceling
 	}
-	revs := s.scan(res)
+	var fx effects
+	s.scan(res, &fx)
 	res.mu.Unlock()
-	s.fire(revs)
+	s.apply(fx)
 }
 
 // Release removes a fully canceled lock. The client must have flushed
@@ -424,27 +469,43 @@ func (s *Server) Release(resID ResourceID, id LockID) {
 	}
 	s.Stats.LockOps.Add(1)
 	s.tracer.record(Event{Kind: EvRelease, Resource: resID, Lock: id})
-	var act activationMsg
-	haveAct := false
+	var fx effects
 	res.mu.Lock()
 	if l := res.granted.get(id); l != nil {
 		succ := l.succ
+		bcast := l.bcast
 		s.removeWithPreds(res, l)
-		if succ != nil {
+		switch {
+		case len(bcast) > 0:
+			// A holder owing a broadcast transfer released instead
+			// (peer send failed or the holder vanished): resolve every
+			// still-delegated lease server-side and activate the cohort
+			// directly (DESIGN.md §14).
+			for _, lease := range bcast {
+				if res.granted.get(lease.id) == lease && lease.delegated {
+					fx.acts = append(fx.acts, s.resolveDelegation(res, lease))
+				}
+			}
+		case succ != nil && succ.gatherLeft > 0:
+			// A gather-cohort member released instead of transferring
+			// its part: the server covers that part, and the gathering
+			// writer activates once every part is covered one way or
+			// the other.
+			succ.gatherLeft--
+			if succ.gatherLeft == 0 && succ.delegated && res.granted.get(succ.id) == succ {
+				fx.acts = append(fx.acts, s.resolveDelegation(res, succ))
+			}
+		case succ != nil:
 			// The holder released instead of transferring (handoff
 			// refused, peer send failed, or the holder vanished):
 			// resolve the delegation server-side and activate the
 			// successor directly.
-			act = s.resolveDelegation(res, succ)
-			haveAct = true
+			fx.acts = append(fx.acts, s.resolveDelegation(res, succ))
 		}
 	}
-	revs := s.scan(res)
+	s.scan(res, &fx)
 	res.mu.Unlock()
-	s.fire(revs)
-	if haveAct {
-		s.sendActivation(act)
-	}
+	s.apply(fx)
 }
 
 // Downgrade converts a granted lock to a less restrictive mode (§III-D2),
@@ -471,9 +532,10 @@ func (s *Server) Downgrade(resID ResourceID, id LockID, newMode Mode) error {
 	l.mode = newMode
 	s.Stats.Downgrades.Add(1)
 	s.tracer.record(Event{Kind: EvDowngrade, Resource: resID, Lock: id, Mode: newMode})
-	revs := s.scan(res)
+	var fx effects
+	s.scan(res, &fx)
 	res.mu.Unlock()
-	s.fire(revs)
+	s.apply(fx)
 	return nil
 }
 
@@ -555,13 +617,19 @@ func (l *lock) overlapsReq(req *Request) bool {
 func (s *Server) compatible(reqMode Mode, l *lock) bool {
 	st := l.state
 	m := l.mode
-	if l.handedOff {
+	if l.handedOff || len(l.bcast) > 0 {
 		// A handed-off lock behaves as if its cancel already ran: the
 		// holder will flush and transfer, so it is checked as Canceling
 		// at its post-cancel downgraded mode — a handed-off PW writer
 		// has exactly a canceling NBW's remaining obligations. This is
 		// what lets a chain of NBW delegations keep stamping while the
-		// predecessors' acks are still in flight.
+		// predecessors' acks are still in flight. A lock with a
+		// pre-armed handback (bcast) is in the same position before its
+		// revocation even fires: its handle was born CANCELING with the
+		// transfer obligation, so it can only ever be used once and then
+		// handed to the cohort. Without this a fan rotation's previous
+		// writer lock — retired only by the next cohort's acks, a full
+		// round later — would block the next gather.
 		st = Canceling
 		if d := Downgrade(m, m.IsWrite()); d != ModeNone {
 			m = d
@@ -611,14 +679,47 @@ type blockEntry struct {
 	req  *Request
 }
 
+// grantSend is a deferred waiter reply: grants are decided under res.mu
+// (so SN stamping stays in queue order) but delivered only after it
+// drops, letting one scan pass retire a whole run of compatible
+// shared-mode waiters before any reply goes out. The replies then drain
+// back-to-back onto their connections, where the transport's send
+// batching coalesces per-client traffic (DESIGN.md §14).
+type grantSend struct {
+	w *waiter
+	r lockResult
+}
+
+// effects collects everything a scan pass decided under res.mu that
+// must happen after it drops: grant replies, revocations, and
+// server-sent activations.
+type effects struct {
+	revs  []Revocation
+	sends []grantSend
+	acts  []activationMsg
+}
+
+// apply delivers deferred effects outside res.mu. Grant replies go
+// first so a run of fan-out grants reaches the waiters in one burst
+// before any revocation round trip starts.
+func (s *Server) apply(fx effects) {
+	for _, g := range fx.sends {
+		g.w.ch <- g.r
+	}
+	s.fire(fx.revs)
+	for _, a := range fx.acts {
+		s.sendActivation(a)
+	}
+}
+
 // scan drives the grant state machine for a resource. It is called with
 // res.mu held after every state transition (new request, revocation
 // reply, downgrade, release) and keeps granting until no further waiter
-// can proceed. It returns the revocations to send once the lock drops.
-func (s *Server) scan(res *resource) []Revocation {
-	var revs []Revocation
+// can proceed, accumulating the deferred effects into fx.
+func (s *Server) scan(res *resource, fx *effects) {
 	for {
 		granted := false
+		passShared := 0
 		var blocked []blockEntry
 		for _, w := range res.queue {
 			if w.done {
@@ -628,11 +729,21 @@ func (s *Server) scan(res *resource) []Revocation {
 				blocked = append(blocked, blockEntry{mode: w.req.Mode, req: &w.req})
 				continue
 			}
-			if s.tryGrant(res, w, &revs) {
+			if s.tryGrant(res, w, fx) {
 				granted = true
+				if !w.req.Mode.IsWrite() {
+					passShared++
+				}
 			} else {
 				blocked = append(blocked, blockEntry{mode: w.req.Mode, req: &w.req})
 			}
+		}
+		// A single pass that granted a run of shared-mode waiters is a
+		// fan-out grant: the run was stamped in queue order under one
+		// res.mu hold and its replies are delivered in one burst.
+		if passShared >= 2 {
+			s.Stats.FanRuns.Add(1)
+			s.Stats.FanGrants.Add(int64(passShared))
 		}
 		// Compact the queue.
 		live := res.queue[:0]
@@ -643,7 +754,7 @@ func (s *Server) scan(res *resource) []Revocation {
 		}
 		res.queue = live
 		if !granted {
-			return revs
+			return
 		}
 	}
 }
@@ -676,9 +787,9 @@ func reqsOverlap(a, b *Request) bool {
 }
 
 // tryGrant attempts to grant one waiter, handling lock upgrading. It
-// appends any new revocations to revs and reports whether a grant
-// happened.
-func (s *Server) tryGrant(res *resource, w *waiter, revs *[]Revocation) bool {
+// appends any new revocations and deferred replies to fx and reports
+// whether a grant happened.
+func (s *Server) tryGrant(res *resource, w *waiter, fx *effects) bool {
 	mode := w.req.Mode
 	confs := s.conflicts(res, w, mode)
 
@@ -746,18 +857,42 @@ func (s *Server) tryGrant(res *resource, w *waiter, revs *[]Revocation) bool {
 	}
 
 	if len(confs) > 0 {
-		if len(confs) == 1 && len(absorbed) == 0 &&
-			s.stampHandoff(res, w, mode, confs[0], revs) {
-			return true
+		if len(absorbed) == 0 {
+			if len(confs) == 1 {
+				if s.stampBroadcast(res, w, mode, confs[0], fx) {
+					return true
+				}
+				if s.stampHandoff(res, w, mode, confs[0], fx) {
+					return true
+				}
+			} else if s.stampGather(res, w, mode, confs, fx) {
+				return true
+			}
 		}
 		w.hadConflict = true
 		allCanceling := true
+		// A delegated lock's owner has not confirmed the transfer yet;
+		// revoking it mid-flight would waste the handoff and permanently
+		// disqualify the lock from broadcast stamping once it settles.
+		// While any conflicting delegation is in flight, hold fire on the
+		// quiet conflicts too: their acks arrive one by one, and revoking
+		// each member the moment it settles would destroy, piecemeal, a
+		// cohort the gather stamp collects whole once the last ack lands.
+		// Every resolution path (ack, release, reclaim) re-scans, so the
+		// waiter's revocations are only deferred, never lost.
+		inFlight := false
+		for _, c := range confs {
+			if c.state == Granted && c.delegated {
+				inFlight = true
+				break
+			}
+		}
 		for _, c := range confs {
 			if c.state == Granted {
 				allCanceling = false
-				if !c.revokeSent {
+				if !c.revokeSent && !inFlight {
 					c.revokeSent = true
-					*revs = append(*revs, Revocation{Client: c.client, Resource: res.id, Lock: c.id})
+					fx.revs = append(fx.revs, Revocation{Client: c.client, Resource: res.id, Lock: c.id})
 				}
 			}
 		}
@@ -767,13 +902,13 @@ func (s *Server) tryGrant(res *resource, w *waiter, revs *[]Revocation) bool {
 		return false
 	}
 
-	s.grant(res, w, mode, absorbed)
+	s.grant(res, w, mode, absorbed, fx)
 	return true
 }
 
 // grant installs the lock, expands its range, decides early revocation,
-// assigns the sequence number, and delivers the reply.
-func (s *Server) grant(res *resource, w *waiter, mode Mode, absorbed []*lock) {
+// assigns the sequence number, and defers the reply into fx.
+func (s *Server) grant(res *resource, w *waiter, mode Mode, absorbed []*lock, fx *effects) {
 	now := time.Now()
 	rng := w.req.Range
 	for _, a := range absorbed {
@@ -874,14 +1009,14 @@ func (s *Server) grant(res *resource, w *waiter, mode Mode, absorbed []*lock) {
 	}
 
 	res.retire(w)
-	w.ch <- lockResult{g: Grant{
+	fx.sends = append(fx.sends, grantSend{w: w, r: lockResult{g: Grant{
 		LockID:   l.id,
 		Mode:     mode,
 		Range:    rng,
 		SN:       sn,
 		State:    state,
 		Absorbed: absorbedIDs,
-	}}
+	}}})
 }
 
 // expandEnd implements lock range expanding: grow the end of the range
@@ -1001,8 +1136,18 @@ func (s *Server) CheckInvariants() error {
 				if a.client == b.client {
 					continue // same-client coexistence is managed by upgrade/merge
 				}
-				if a.handedOff || b.handedOff {
-					continue // delegation pairs coexist until the successor's ack
+				if a.handedOff || b.handedOff || len(a.bcast) > 0 || len(b.bcast) > 0 {
+					// Delegation pairs — including a writer owing a
+					// pre-armed handback — coexist until the successor's
+					// ack retires the predecessor.
+					continue
+				}
+				if a.delegated || b.delegated {
+					// A delegated lock (single successor, gathering
+					// writer, or pre-armed lease) is not usable until
+					// its transfer arrives; it legally overlaps the
+					// active holder it will replace.
+					continue
 				}
 				overlap := a.rng.Overlaps(b.rng)
 				if len(a.set) > 0 && len(b.set) > 0 {

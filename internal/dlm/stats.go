@@ -49,6 +49,18 @@ type Stats struct {
 	HandoffAcks     atomic.Int64
 	HandoffReclaims atomic.Int64
 
+	// Reader fan-out counters (DESIGN.md §14): scan passes that granted
+	// a run of ≥2 shared-mode waiters in one hold of the resource lock
+	// (and the grants those runs produced), broadcast stamps issued
+	// toward reader cohorts, cohort gathers stamped back toward writers,
+	// and delegated read leases installed (broadcast members plus
+	// pre-armed handbacks).
+	FanRuns     atomic.Int64
+	FanGrants   atomic.Int64
+	Broadcasts  atomic.Int64
+	Gathers     atomic.Int64
+	LeaseGrants atomic.Int64
+
 	// GrantWaitHist records enqueue→grant for every grant;
 	// RevocationWaitHist and CancelWaitHist record the ①/② split for
 	// grants that resolved conflicts. Early grants that never saw all
@@ -87,6 +99,11 @@ func (s *Stats) Register(reg *obs.Registry) {
 	reg.Func("dlm.handoffs", s.Handoffs.Load)
 	reg.Func("dlm.handoff_acks", s.HandoffAcks.Load)
 	reg.Func("dlm.handoff_reclaims", s.HandoffReclaims.Load)
+	reg.Func("dlm.fan_runs", s.FanRuns.Load)
+	reg.Func("dlm.fan_grants", s.FanGrants.Load)
+	reg.Func("dlm.broadcasts", s.Broadcasts.Load)
+	reg.Func("dlm.gathers", s.Gathers.Load)
+	reg.Func("dlm.lease_grants", s.LeaseGrants.Load)
 	reg.RegisterHistogram("dlm.grant_wait", &s.GrantWaitHist)
 	reg.RegisterHistogram("dlm.revocation_wait", &s.RevocationWaitHist)
 	reg.RegisterHistogram("dlm.cancel_wait", &s.CancelWaitHist)
@@ -119,6 +136,11 @@ type Snapshot struct {
 	Handoffs         int64
 	HandoffAcks      int64
 	HandoffReclaims  int64
+	FanRuns          int64
+	FanGrants        int64
+	Broadcasts       int64
+	Gathers          int64
+	LeaseGrants      int64
 
 	GrantWait      time.Duration
 	RevocationWait time.Duration
@@ -141,6 +163,11 @@ func (s *Stats) Snapshot() Snapshot {
 		Handoffs:         s.Handoffs.Load(),
 		HandoffAcks:      s.HandoffAcks.Load(),
 		HandoffReclaims:  s.HandoffReclaims.Load(),
+		FanRuns:          s.FanRuns.Load(),
+		FanGrants:        s.FanGrants.Load(),
+		Broadcasts:       s.Broadcasts.Load(),
+		Gathers:          s.Gathers.Load(),
+		LeaseGrants:      s.LeaseGrants.Load(),
 		GrantWait:        time.Duration(s.GrantWaitHist.Sum()),
 		RevocationWait:   time.Duration(s.RevocationWaitHist.Sum()),
 		CancelWait:       time.Duration(s.CancelWaitHist.Sum()),
@@ -162,6 +189,11 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		Handoffs:         s.Handoffs - o.Handoffs,
 		HandoffAcks:      s.HandoffAcks - o.HandoffAcks,
 		HandoffReclaims:  s.HandoffReclaims - o.HandoffReclaims,
+		FanRuns:          s.FanRuns - o.FanRuns,
+		FanGrants:        s.FanGrants - o.FanGrants,
+		Broadcasts:       s.Broadcasts - o.Broadcasts,
+		Gathers:          s.Gathers - o.Gathers,
+		LeaseGrants:      s.LeaseGrants - o.LeaseGrants,
 		GrantWait:        s.GrantWait - o.GrantWait,
 		RevocationWait:   s.RevocationWait - o.RevocationWait,
 		CancelWait:       s.CancelWait - o.CancelWait,

@@ -76,8 +76,8 @@ func newPingPong(policy dlm.Policy) *ppHarness {
 	}
 	if policy.Handoff {
 		for _, c := range h.clients {
-			c.SetPeerSender(dlm.PeerSenderFunc(func(_ context.Context, peer dlm.ClientID, res dlm.ResourceID, id dlm.LockID) error {
-				h.clients[peer].OnHandoff(res, id)
+			c.SetPeerSender(dlm.PeerSenderFunc(func(_ context.Context, peer dlm.ClientID, res dlm.ResourceID, id dlm.LockID, acks []dlm.LockID, bcast *dlm.BroadcastStamp) error {
+				h.clients[peer].OnHandoffMsg(res, id, false, acks, bcast)
 				return nil
 			}))
 		}

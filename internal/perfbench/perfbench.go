@@ -376,6 +376,8 @@ func All() []NamedBench {
 		{"LockGrantScale8", LockGrantScale8},
 		{"ServerPingPong", ServerPingPong},
 		{"HandoffPingPong", HandoffPingPong},
+		{"ReaderFanServer", ReaderFanServer},
+		{"ReaderFanDelegated", ReaderFanDelegated},
 	}
 }
 
@@ -402,6 +404,12 @@ type Result struct {
 type Env struct {
 	GOMAXPROCS int `json:"gomaxprocs"`
 	NumCPU     int `json:"num_cpu"`
+	// Warn flags an environment that distorts parallel results: fewer
+	// schedulable CPUs than GOMAXPROCS means the runtime multiplexes
+	// benchmark workers onto shared cores and contention numbers
+	// measure the scheduler, not the code. Recorded in the report so a
+	// reviewer of BENCH_dlm.json sees the caveat next to the numbers.
+	Warn string `json:"warn,omitempty"`
 }
 
 // Run executes every benchmark at the given GOMAXPROCS and returns the
@@ -413,6 +421,10 @@ func Run(procs int) ([]Result, Env) {
 		defer runtime.GOMAXPROCS(prev)
 	}
 	env := Env{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: numCPU()}
+	if env.NumCPU < env.GOMAXPROCS {
+		env.Warn = fmt.Sprintf("only %d schedulable CPUs for GOMAXPROCS=%d: parallel results are scheduler-bound",
+			env.NumCPU, env.GOMAXPROCS)
+	}
 	var out []Result
 	for _, nb := range All() {
 		out = append(out, Measure(nb))

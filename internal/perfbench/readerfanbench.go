@@ -1,0 +1,134 @@
+package perfbench
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"ccpfs/internal/dlm"
+	"ccpfs/internal/extent"
+)
+
+// The reader-fan benchmarks measure the write-then-fan-out rotation of
+// DESIGN.md §14: one writer displaces a cohort of eight readers, which
+// then re-acquire, round after round. The interesting number is
+// server_rpcs/reader — the server lock RPCs each reader-round costs.
+// The server path pays at least one Lock per reader per round; with
+// ReaderFanout on, the cohort's leases are pre-armed by the writer's
+// gather grant and propagate peer-to-peer, so the round's server cost
+// collapses to the writer's single Lock, amortized over the cohort.
+// Protocol counts are hardware-independent, so cmd/benchcheck gates
+// them absolutely.
+
+const fanReaders = 8
+
+// fanHarness is an in-process server plus one writer and fanReaders
+// reader clients wired with direct notifier, conn, transfer, and lease
+// propagation paths.
+type fanHarness struct {
+	srv     *dlm.Server
+	clients map[dlm.ClientID]*dlm.LockClient
+}
+
+func (h *fanHarness) Revoke(_ context.Context, rv dlm.Revocation) {
+	if c, ok := h.clients[rv.Client]; ok {
+		c.OnRevokeStamped(rv.Resource, rv.Lock, rv.Handoff)
+	}
+	h.srv.RevokeAck(rv.Resource, rv.Lock)
+}
+
+func (h *fanHarness) Handoff(_ context.Context, cl dlm.ClientID, res dlm.ResourceID, id dlm.LockID) {
+	if c, ok := h.clients[cl]; ok {
+		c.OnHandoff(res, id)
+	}
+}
+
+// SendHandoff and SendLease make fanHarness the peer transport of every
+// client: transfers and propagations are direct calls.
+func (h *fanHarness) SendHandoff(_ context.Context, peer dlm.ClientID, res dlm.ResourceID, id dlm.LockID, acks []dlm.LockID, bcast *dlm.BroadcastStamp) error {
+	h.clients[peer].OnHandoffMsg(res, id, false, acks, bcast)
+	return nil
+}
+
+func (h *fanHarness) SendLease(_ context.Context, peer dlm.ClientID, res dlm.ResourceID, grant *dlm.BroadcastStamp) error {
+	h.clients[peer].OnLeasePropagate(res, grant)
+	return nil
+}
+
+func newFanHarness(policy dlm.Policy) *fanHarness {
+	h := &fanHarness{clients: make(map[dlm.ClientID]*dlm.LockClient)}
+	h.srv = dlm.NewServer(policy, nil)
+	h.srv.SetNotifier(h)
+	noFlush := dlm.FlusherFunc(func(context.Context, dlm.ResourceID, extent.Extent, extent.SN) error { return nil })
+	router := func(dlm.ResourceID) dlm.ServerConn { return ppConn{srv: h.srv} }
+	for id := dlm.ClientID(1); id <= 1+fanReaders; id++ {
+		c := dlm.NewLockClient(id, policy, router, noFlush)
+		c.SetPeerSender(h)
+		h.clients[id] = c
+	}
+	return h
+}
+
+func readerFan(b *testing.B, policy dlm.Policy) {
+	h := newFanHarness(policy)
+	ctx := context.Background()
+	res := dlm.ResourceID(1)
+	rng := extent.New(0, window*blockSize)
+	round := func() {
+		w, err := h.clients[1].Acquire(ctx, res, dlm.NBW, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.clients[1].Unlock(w)
+		var wg sync.WaitGroup
+		for i := 0; i < fanReaders; i++ {
+			c := h.clients[dlm.ClientID(2+i)]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				hd, err := c.Acquire(ctx, res, dlm.PR, rng)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				c.Unlock(hd)
+			}()
+		}
+		wg.Wait()
+	}
+	// Two warm-up rounds so the measured loop starts mid-rotation: the
+	// first broadcast has formed and every later round runs on gathers
+	// and pre-armed handback leases.
+	round()
+	round()
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := h.srv.Stats.LockOps.Load()
+	for i := 0; i < b.N; i++ {
+		round()
+	}
+	b.StopTimer()
+	ops := h.srv.Stats.LockOps.Load() - start
+	b.ReportMetric(float64(ops)/float64(b.N*fanReaders), "server_rpcs/reader")
+	for _, c := range h.clients {
+		c.FlushHandoffAcks(ctx)
+		c.Close()
+	}
+	h.srv.Shutdown()
+}
+
+// ReaderFanServer: the rotation through the server grant path (fan-out
+// off) — every reader-round pays its own lock RPC, the ≥1 baseline.
+func ReaderFanServer(b *testing.B) {
+	readerFan(b, dlm.SeqDLM())
+}
+
+// ReaderFanDelegated: the same rotation with the reader fan-out on —
+// leases ride batched grants and peer-to-peer propagation, and the
+// per-reader server cost collapses toward 1/N of the writer's lock RPC.
+func ReaderFanDelegated(b *testing.B) {
+	policy := dlm.SeqDLM()
+	policy.Handoff = true
+	policy.ReaderFanout = true
+	readerFan(b, policy)
+}

@@ -21,6 +21,7 @@ func allMessages() []Msg {
 		&RevokeBatchAck{},
 		&HandoffRequest{},
 		&HandoffAckRequest{},
+		&LeasePropagate{},
 		&FlushRequest{},
 		&ReadRequest{},
 		&ReadReply{},
@@ -157,6 +158,12 @@ func FuzzRevokeBatchDecode(f *testing.F) {
 	f.Add(Marshal(&RevokeBatch{Entries: []RevokeEntry{{Resource: 1, LockID: 2, Handoff: &HandoffStamp{
 		NextOwner: 3, NewLockID: 9, Mode: 2, SN: 4, MustFlush: true,
 	}}}}))
+	f.Add(Marshal(&RevokeBatch{Entries: []RevokeEntry{{Resource: 1, LockID: 2, Handoff: &HandoffStamp{
+		NextOwner: 3, NewLockID: 9, Mode: 1, SN: 4, MustFlush: true,
+		Broadcast: &BroadcastGrant{Mode: 1, Range: extent.New(0, 64), Fanout: 2, Leases: []LeaseEntry{
+			{Owner: 3, LockID: 9, SN: 4}, {Owner: 5, LockID: 10, SN: 4},
+		}},
+	}}}}))
 	f.Add(Marshal(&RevokeBatchAck{Acked: []RevokeEntry{{Resource: 5, LockID: 6}}}))
 	f.Fuzz(func(t *testing.T, frame []byte) {
 		var b RevokeBatch
@@ -236,6 +243,15 @@ func FuzzMessageDecode(f *testing.F) {
 	f.Add(Marshal(&LockRequest{Resource: 1, Client: 2, Mode: 3, Range: extent.New(10, 20)}))
 	f.Add(Marshal(&FlushRequest{Resource: 9, Blocks: []Block{{Range: extent.New(0, 4), SN: 7, Data: []byte{1, 2, 3, 4}}}}))
 	f.Add(Marshal(&HelloReply{}))
+	cohort := &BroadcastGrant{Mode: 1, Range: extent.New(0, 1<<20), Fanout: 2, Leases: []LeaseEntry{
+		{Owner: 5, LockID: 80, SN: 200}, {Owner: 6, LockID: 81, SN: 200}, {Owner: 7, LockID: 82, SN: 200},
+	}}
+	f.Add(Marshal(&LeasePropagate{Resource: 9, Mode: 1, Range: extent.New(0, 1<<20), Fanout: 2, Leases: cohort.Leases}))
+	f.Add(Marshal(&HandoffRequest{Resource: 9, LockID: 80, Acks: []uint64{70, 71}, Broadcast: cohort}))
+	f.Add(Marshal(&LockGrant{LockID: 90, Mode: 4, Range: extent.New(0, 1<<20), SN: 201, Delegated: true, GatherParts: 3, HandBack: cohort}))
+	f.Add(Marshal(&RevokeRequest{Resource: 9, LockID: 5, Handoff: &HandoffStamp{
+		NextOwner: 5, NewLockID: 80, Mode: 1, SN: 200, MustFlush: true, Broadcast: cohort,
+	}}))
 	f.Fuzz(func(t *testing.T, frame []byte) {
 		for _, m := range allMessages() {
 			if err := Unmarshal(frame, m); err != nil {

@@ -42,34 +42,41 @@ const (
 	// (holder vanished, handoff refused, or reclaim timeout). Duplicate
 	// activations are idempotent at the receiver.
 	MHandoff Method = 132 // HandoffRequest -> Ack
+	// MLeasePropagate pushes read leases peer-to-peer down a
+	// bounded-fanout tree: the lead reader of a broadcast delegation
+	// installs its own lease and forwards the remaining subtrees to the
+	// first member of each, which recurses. Travels client→client only;
+	// the server resolves stragglers through MHandoff as usual.
+	MLeasePropagate Method = 133 // LeasePropagate -> Ack
 )
 
 // methodNames maps methods to their metric/debug labels. Indexed by the
 // raw uint8 so lookups never allocate.
 var methodNames = [256]string{
-	MLock:         "Lock",
-	MRelease:      "Release",
-	MDowngrade:    "Downgrade",
-	MFlush:        "Flush",
-	MRead:         "Read",
-	MMinSN:        "MinSN",
-	MCreate:       "Create",
-	MOpen:         "Open",
-	MStat:         "Stat",
-	MSetSize:      "SetSize",
-	MRemove:       "Remove",
-	MReserve:      "Reserve",
-	MList:         "List",
-	MHello:        "Hello",
-	MRevoke:       "Revoke",
-	MReport:       "Report",
-	MRevokeBatch:  "RevokeBatch",
-	MHandoff:      "Handoff",
-	MHandoffAck:   "HandoffAck",
-	MPartitionMap: "PartitionMap",
-	MSlotFreeze:   "SlotFreeze",
-	MSlotInstall:  "SlotInstall",
-	MReportSlots:  "ReportSlots",
+	MLock:           "Lock",
+	MRelease:        "Release",
+	MDowngrade:      "Downgrade",
+	MFlush:          "Flush",
+	MRead:           "Read",
+	MMinSN:          "MinSN",
+	MCreate:         "Create",
+	MOpen:           "Open",
+	MStat:           "Stat",
+	MSetSize:        "SetSize",
+	MRemove:         "Remove",
+	MReserve:        "Reserve",
+	MList:           "List",
+	MHello:          "Hello",
+	MRevoke:         "Revoke",
+	MReport:         "Report",
+	MRevokeBatch:    "RevokeBatch",
+	MHandoff:        "Handoff",
+	MHandoffAck:     "HandoffAck",
+	MLeasePropagate: "LeasePropagate",
+	MPartitionMap:   "PartitionMap",
+	MSlotFreeze:     "SlotFreeze",
+	MSlotInstall:    "SlotInstall",
+	MReportSlots:    "ReportSlots",
 }
 
 // String returns the method's human-readable name, or "m<N>" for an
@@ -215,6 +222,17 @@ type LockGrant struct {
 	// holder (MHandoff). The client must wait for that activation before
 	// using the lock, and must ack the server once it owns it.
 	Delegated bool
+	// GatherParts is the number of client-to-client transfer parts a
+	// delegated write grant must collect before activating: a writer
+	// taking over from a reader cohort receives one MHandoff part per
+	// cohort member instead of a single transfer. Zero for ordinary
+	// delegations (one transfer activates the lock).
+	GatherParts uint32
+	// HandBack pre-arms the next read fan-out: the server has already
+	// installed delegated leases for the displaced reader cohort, and
+	// the grantee (a writer) owes them a broadcast transfer when it
+	// finishes — without another server round trip.
+	HandBack *BroadcastGrant
 }
 
 // Encode implements Msg.
@@ -229,6 +247,8 @@ func (m *LockGrant) Encode(e *Encoder) {
 		e.U64(id)
 	}
 	e.Bool(m.Delegated)
+	e.U32(m.GatherParts)
+	encodeBroadcastGrant(e, m.HandBack)
 }
 
 // Decode implements Msg.
@@ -246,6 +266,8 @@ func (m *LockGrant) Decode(d *Decoder) {
 		}
 	}
 	m.Delegated = d.Bool()
+	m.GatherParts = d.U32()
+	m.HandBack = decodeBroadcastGrant(d)
 }
 
 // ReleaseRequest returns a fully canceled lock to the server.
@@ -303,6 +325,69 @@ type HandoffStamp struct {
 	Mode      uint8
 	SN        uint64
 	MustFlush bool
+	// Broadcast widens the delegation to a reader cohort: the holder
+	// transfers to the lead (NextOwner, also Leases[0].Owner) and the
+	// lead propagates the remaining leases peer-to-peer down a
+	// bounded-fanout tree. Nil for single-successor handoffs.
+	Broadcast *BroadcastGrant
+}
+
+// LeaseEntry is one reader's delegated lease inside a broadcast grant:
+// its owner, the successor lock's server-assigned identity, and the SN
+// fixed by the sequencer at stamp time.
+type LeaseEntry struct {
+	Owner  uint32
+	LockID uint64
+	SN     uint64
+}
+
+// BroadcastGrant is the ordered reader cohort of a fan-out delegation.
+// Leases are listed in queue order — entry 0 is the lead reader that
+// receives the direct transfer; the rest form the propagation subtrees.
+// All leases share Mode and Range (the server expands once for the
+// whole run, like a batched grant).
+type BroadcastGrant struct {
+	Mode   uint8
+	Range  extent.Extent
+	Fanout uint8
+	Leases []LeaseEntry
+}
+
+func encodeBroadcastGrant(e *Encoder, b *BroadcastGrant) {
+	if b == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	e.U8(b.Mode)
+	encodeExtent(e, b.Range)
+	e.U8(b.Fanout)
+	e.U32(uint32(len(b.Leases)))
+	for i := range b.Leases {
+		e.U32(b.Leases[i].Owner)
+		e.U64(b.Leases[i].LockID)
+		e.U64(b.Leases[i].SN)
+	}
+}
+
+func decodeBroadcastGrant(d *Decoder) *BroadcastGrant {
+	if !d.StrictBool() {
+		return nil
+	}
+	b := &BroadcastGrant{}
+	b.Mode = d.U8()
+	b.Range = decodeExtent(d)
+	b.Fanout = d.U8()
+	n := d.Len32(20)
+	if n > 0 {
+		b.Leases = make([]LeaseEntry, n)
+		for i := range b.Leases {
+			b.Leases[i].Owner = d.U32()
+			b.Leases[i].LockID = d.U64()
+			b.Leases[i].SN = d.U64()
+		}
+	}
+	return b
 }
 
 func encodeHandoffStamp(e *Encoder, h *HandoffStamp) {
@@ -316,6 +401,7 @@ func encodeHandoffStamp(e *Encoder, h *HandoffStamp) {
 	e.U8(h.Mode)
 	e.U64(h.SN)
 	e.Bool(h.MustFlush)
+	encodeBroadcastGrant(e, h.Broadcast)
 }
 
 func decodeHandoffStamp(d *Decoder) *HandoffStamp {
@@ -328,6 +414,7 @@ func decodeHandoffStamp(d *Decoder) *HandoffStamp {
 	h.Mode = d.U8()
 	h.SN = d.U64()
 	h.MustFlush = d.StrictBool()
+	h.Broadcast = decodeBroadcastGrant(d)
 	return h
 }
 
@@ -436,18 +523,47 @@ func (m *RevokeBatchAck) Decode(d *Decoder) {
 type HandoffRequest struct {
 	Resource uint64
 	LockID   uint64
+	// Acks piggybacks the sender's queued delegation acknowledgements
+	// for this resource: a reader transferring to a gathering writer
+	// forwards its pending acks so the writer can batch them onto its
+	// next server RPC instead of each reader paying a standalone
+	// MHandoffAck.
+	Acks []uint64
+	// Broadcast forwards the remaining reader cohort to the lead: the
+	// receiver installs Leases[0] as its own lease and propagates the
+	// rest down the tree via MLeasePropagate.
+	Broadcast *BroadcastGrant
+	// Final marks a server-sent activation: the delegation was resolved
+	// server-side, so the receiver activates immediately even if it was
+	// collecting multiple gather parts. Peer transfers leave it false.
+	Final bool
 }
 
 // Encode implements Msg.
 func (m *HandoffRequest) Encode(e *Encoder) {
 	e.U64(m.Resource)
 	e.U64(m.LockID)
+	e.U32(uint32(len(m.Acks)))
+	for _, id := range m.Acks {
+		e.U64(id)
+	}
+	encodeBroadcastGrant(e, m.Broadcast)
+	e.Bool(m.Final)
 }
 
 // Decode implements Msg.
 func (m *HandoffRequest) Decode(d *Decoder) {
 	m.Resource = d.U64()
 	m.LockID = d.U64()
+	n := d.Len32(8)
+	if n > 0 {
+		m.Acks = make([]uint64, n)
+		for i := range m.Acks {
+			m.Acks[i] = d.U64()
+		}
+	}
+	m.Broadcast = decodeBroadcastGrant(d)
+	m.Final = d.Bool()
 }
 
 // HandoffAckRequest is the new owner's asynchronous confirmation that a
@@ -457,18 +573,78 @@ func (m *HandoffRequest) Decode(d *Decoder) {
 type HandoffAckRequest struct {
 	Resource uint64
 	LockID   uint64
+	// More batches additional lock IDs acked in the same request: a
+	// reader cohort's acks gathered by a writer, or a client draining a
+	// backlog, confirm in one RPC instead of one per lock.
+	More []uint64
 }
 
 // Encode implements Msg.
 func (m *HandoffAckRequest) Encode(e *Encoder) {
 	e.U64(m.Resource)
 	e.U64(m.LockID)
+	e.U32(uint32(len(m.More)))
+	for _, id := range m.More {
+		e.U64(id)
+	}
 }
 
 // Decode implements Msg.
 func (m *HandoffAckRequest) Decode(d *Decoder) {
 	m.Resource = d.U64()
 	m.LockID = d.U64()
+	n := d.Len32(8)
+	if n > 0 {
+		m.More = make([]uint64, n)
+		for i := range m.More {
+			m.More[i] = d.U64()
+		}
+	}
+}
+
+// LeasePropagate pushes a subtree of a broadcast read delegation to its
+// next member: Leases[0] is the receiver's own lease; the receiver
+// splits the remainder into up to Fanout subtrees and forwards each to
+// its first entry's owner. Mode and Range are shared by the whole
+// cohort. Duplicate deliveries are idempotent at the receiver (the
+// reclaimer may race the tree and resolve a lease through MHandoff).
+type LeasePropagate struct {
+	Resource uint64
+	Mode     uint8
+	Range    extent.Extent
+	Fanout   uint8
+	Leases   []LeaseEntry
+}
+
+// Encode implements Msg.
+func (m *LeasePropagate) Encode(e *Encoder) {
+	e.U64(m.Resource)
+	e.U8(m.Mode)
+	encodeExtent(e, m.Range)
+	e.U8(m.Fanout)
+	e.U32(uint32(len(m.Leases)))
+	for i := range m.Leases {
+		e.U32(m.Leases[i].Owner)
+		e.U64(m.Leases[i].LockID)
+		e.U64(m.Leases[i].SN)
+	}
+}
+
+// Decode implements Msg.
+func (m *LeasePropagate) Decode(d *Decoder) {
+	m.Resource = d.U64()
+	m.Mode = d.U8()
+	m.Range = decodeExtent(d)
+	m.Fanout = d.U8()
+	n := d.Len32(20)
+	if n > 0 {
+		m.Leases = make([]LeaseEntry, n)
+		for i := range m.Leases {
+			m.Leases[i].Owner = d.U32()
+			m.Leases[i].LockID = d.U64()
+			m.Leases[i].SN = d.U64()
+		}
+	}
 }
 
 // Block is one SN-tagged extent of data in a flush or read message.

@@ -246,6 +246,68 @@ func TestHandoffMessagesRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFanMessagesRoundTrip covers the reader fan-out extensions: the
+// broadcast-widened revocation stamp, the gather grant with a pre-armed
+// handback cohort, the broadcast-forwarding peer transfer, and the
+// propagation-tree message itself.
+func TestFanMessagesRoundTrip(t *testing.T) {
+	cohort := &BroadcastGrant{
+		Mode:   1,
+		Range:  extent.New(0, 1<<20),
+		Fanout: 2,
+		Leases: []LeaseEntry{
+			{Owner: 5, LockID: 80, SN: 200},
+			{Owner: 6, LockID: 81, SN: 200},
+			{Owner: 7, LockID: 82, SN: 200},
+		},
+	}
+
+	rv := &RevokeRequest{Resource: 9, LockID: 5, Handoff: &HandoffStamp{
+		NextOwner: 5, NewLockID: 80, Mode: 1, SN: 200, MustFlush: true, Broadcast: cohort,
+	}}
+	var rvOut RevokeRequest
+	roundTrip(t, rv, &rvOut)
+	if rvOut.Handoff == nil || !reflect.DeepEqual(rvOut.Handoff.Broadcast, cohort) {
+		t.Fatalf("broadcast-stamped revoke round trip = %+v", rvOut)
+	}
+
+	g := &LockGrant{
+		LockID: 90, Mode: 4, Range: extent.New(0, 1<<20), SN: 201,
+		Delegated: true, GatherParts: 3, HandBack: cohort,
+	}
+	var gOut LockGrant
+	roundTrip(t, g, &gOut)
+	if !reflect.DeepEqual(*g, gOut) {
+		t.Fatalf("gather grant round trip: got %+v, want %+v", gOut, *g)
+	}
+
+	ho := &HandoffRequest{Resource: 9, LockID: 80, Acks: []uint64{70, 71}, Broadcast: cohort}
+	var hoOut HandoffRequest
+	roundTrip(t, ho, &hoOut)
+	if !reflect.DeepEqual(*ho, hoOut) {
+		t.Fatalf("broadcast transfer round trip: got %+v, want %+v", hoOut, *ho)
+	}
+
+	lp := &LeasePropagate{
+		Resource: 9, Mode: 1, Range: extent.New(0, 1<<20), Fanout: 2,
+		Leases: []LeaseEntry{{Owner: 6, LockID: 81, SN: 200}, {Owner: 7, LockID: 82, SN: 200}},
+	}
+	var lpOut LeasePropagate
+	roundTrip(t, lp, &lpOut)
+	if !reflect.DeepEqual(*lp, lpOut) {
+		t.Fatalf("lease propagate round trip: got %+v, want %+v", lpOut, *lp)
+	}
+
+	// A non-canonical cohort-present byte must not survive: the batch
+	// and forwarding paths re-marshal decoded messages.
+	frame := Marshal(&HandoffRequest{Resource: 9, LockID: 80})
+	frame[len(frame)-2] = 2 // cohort-present byte sits just before Final
+	var bad HandoffRequest
+	if err := Unmarshal(frame, &bad); err == nil {
+		t.Fatal("non-canonical cohort-present byte accepted")
+	}
+}
+
 func TestUnmarshalRejectsGarbage(t *testing.T) {
 	var g LockGrant
 	if err := Unmarshal([]byte{1, 2, 3}, &g); err == nil {
