@@ -40,7 +40,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"ccpfs"
 	"ccpfs/internal/perfbench"
 )
 
@@ -145,6 +147,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0.25, "max tolerated fractional regression of a pair ratio vs baseline")
 	minSpeedup := flag.Float64("minspeedup", 5.0, "required floor for the LockGrant Linear/Indexed ratio")
 	procs := flag.Int("procs", 0, "GOMAXPROCS for the benchmark run (0 = leave as is)")
+	virtualBudget := flag.Duration("virtualbudget", 10*time.Second, "wall-clock budget for the 64-exchange virtual-mode pingpong gate (0 disables)")
 	update := flag.Bool("update", false, "re-measure the gated benchmarks and write them into -baseline instead of gating")
 	flag.Parse()
 
@@ -341,6 +344,35 @@ func main() {
 		failed = true
 	} else {
 		fmt.Printf("  %-24s %d allocs/op (required 0)\n", "cached-hit allocs", r.AllocsPerOp)
+	}
+
+	// Virtual-time wall budget: the discrete-event mode exists so that
+	// simulated seconds cost wall milliseconds. A 64-exchange ping-pong
+	// (both variants, full client/flush/revocation stack) measures tens
+	// of milliseconds of wall time when the event heap is healthy; if it
+	// approaches the budget, either a raw wall-clock sleep slipped back
+	// into a simulated path (the run degrades to real time) or the
+	// scheduler is spinning instead of advancing the clock. Gated on
+	// wall time, not virtual time — virtual durations are exact and
+	// covered by the determinism tests.
+	if *virtualBudget > 0 {
+		cfg := ccpfs.DefaultPingPong()
+		cfg.Exchanges = 64
+		cfg.Virtual = ccpfs.VirtualOpts{Enabled: true, Seed: 1}
+		start := time.Now()
+		exp, err := ccpfs.RunPingPong(cfg)
+		wall := time.Since(start)
+		switch {
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "FAIL: virtual pingpong gate: %v\n", err)
+			failed = true
+		case wall > *virtualBudget:
+			fmt.Fprintf(os.Stderr, "FAIL: virtual pingpong (64 exchanges) took %v wall, budget %v\n", wall, *virtualBudget)
+			failed = true
+		default:
+			fmt.Printf("  %-24s %v wall for %d variants (budget %v)\n",
+				"virtual pingpong", wall.Round(time.Millisecond), len(exp.Rows), *virtualBudget)
+		}
 	}
 
 	if failed {

@@ -114,16 +114,22 @@ func suite() []experiment {
 		{"pingpong", "producer-consumer exchanges: server revoke path vs handoff", func(hw ccpfs.Hardware) (*ccpfs.Experiment, error) {
 			cfg := ccpfs.DefaultPingPong()
 			cfg.Hardware = hw
+			cfg.Virtual = virtualOpts()
 			return ccpfs.RunPingPong(cfg)
 		}},
 		{"readfan", "write-then-fan-out rotation: server grants vs batched fan-out + lease propagation", func(hw ccpfs.Hardware) (*ccpfs.Experiment, error) {
 			cfg := ccpfs.DefaultReaderFan()
 			cfg.Hardware = hw
+			cfg.Virtual = virtualOpts()
+			if widths := readerCounts(); widths != nil {
+				cfg.Readers = widths
+			}
 			return ccpfs.RunReaderFan(cfg)
 		}},
 		{"partition", "lock-space partitioning: grant throughput vs lock servers", func(hw ccpfs.Hardware) (*ccpfs.Experiment, error) {
 			cfg := ccpfs.DefaultPartitionScale()
 			cfg.Hardware = hw
+			cfg.Virtual = virtualOpts()
 			if counts := lockServerCounts(); counts != nil {
 				cfg.Servers = counts
 			}
@@ -152,6 +158,37 @@ func lockServerCounts() []int {
 
 var lockServersFlag = flag.String("lock-servers", "",
 	"comma-separated lock-server counts for the partition experiment (e.g. 1,2,4,8; default 1,2,4)")
+
+var readersFlag = flag.String("readers", "",
+	"comma-separated fan-out widths for the readfan experiment (e.g. 64,256,1024; default 2,4,8)")
+
+var virtualFlag = flag.Bool("virtual", false,
+	"run supporting experiments (pingpong, readfan, partition) in deterministic discrete-event mode: simulated delays advance virtual time instead of sleeping, so large client counts finish in seconds and the same -seed reproduces the numbers exactly")
+
+var seedFlag = flag.Int64("seed", 1, "virtual-mode random seed (with -virtual)")
+
+// virtualOpts folds the -virtual/-seed flags into experiment configs.
+func virtualOpts() ccpfs.VirtualOpts {
+	return ccpfs.VirtualOpts{Enabled: *virtualFlag, Seed: *seedFlag}
+}
+
+// readerCounts parses -readers into the readfan experiment's width
+// list; nil keeps the default curve.
+func readerCounts() []int {
+	if *readersFlag == "" {
+		return nil
+	}
+	var widths []int
+	for _, part := range strings.Split(*readersFlag, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bad -readers element %q\n", part)
+			os.Exit(1)
+		}
+		widths = append(widths, n)
+	}
+	return widths
+}
 
 func main() {
 	expFlag := flag.String("exp", "", "run a single experiment (see -list)")

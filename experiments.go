@@ -89,6 +89,32 @@ func BenchHardware() Hardware {
 	}
 }
 
+// VirtualOpts selects discrete-event mode for the experiments that
+// support it (pingpong, readfan, partition). Each measured point then
+// runs inside its own seeded virtual clock: simulated delays advance
+// logical time instead of sleeping, so hundreds of clients finish in
+// seconds of wall time, and the same seed reproduces the run — timings,
+// SNs, stats — byte for byte.
+type VirtualOpts struct {
+	Enabled bool
+	Seed    int64
+}
+
+// runPoint executes one measured point (cluster build + workload +
+// teardown) on the wall clock, or inside a fresh virtual run seeded
+// with vo.Seed. A fresh clock per point keeps points independent:
+// variant A's event order can never leak into variant B's timeline.
+func runPoint(vo VirtualOpts, hw Hardware, f func(hw Hardware) error) error {
+	if !vo.Enabled {
+		return f(hw)
+	}
+	v := sim.NewVClock(vo.Seed)
+	hw.Clock = sim.Virtual(v)
+	var err error
+	v.Run(func() { err = f(hw) })
+	return err
+}
+
 func newCluster(pol Policy, hw Hardware, servers int) (*Cluster, error) {
 	return cluster.New(cluster.Options{
 		Servers:  servers,
@@ -959,6 +985,8 @@ type PingPongExpConfig struct {
 	Exchanges   int
 	WriteSize   int64
 	StripeCount uint32
+	// Virtual runs each variant in discrete-event mode.
+	Virtual VirtualOpts
 }
 
 // DefaultPingPong returns the scaled-down configuration.
@@ -983,22 +1011,26 @@ func RunPingPong(cfg PingPongExpConfig) (*Experiment, error) {
 		{"server path", false},
 		{"handoff", true},
 	} {
-		c, err := cluster.New(cluster.Options{
-			Servers:  1,
-			Policy:   dlm.SeqDLM(),
-			Hardware: cfg.Hardware,
-			Handoff:  v.handoff,
+		var st workload.PingPongStats
+		err := runPoint(cfg.Virtual, cfg.Hardware, func(hw Hardware) error {
+			c, err := cluster.New(cluster.Options{
+				Servers:  1,
+				Policy:   dlm.SeqDLM(),
+				Hardware: hw,
+				Handoff:  v.handoff,
+			})
+			if err != nil {
+				return err
+			}
+			st, err = workload.RunPingPong(c, workload.PingPongConfig{
+				Exchanges:   cfg.Exchanges,
+				WriteSize:   cfg.WriteSize,
+				StripeSize:  1 << 20,
+				StripeCount: cfg.StripeCount,
+			})
+			c.Close()
+			return err
 		})
-		if err != nil {
-			return nil, err
-		}
-		st, err := workload.RunPingPong(c, workload.PingPongConfig{
-			Exchanges:   cfg.Exchanges,
-			WriteSize:   cfg.WriteSize,
-			StripeSize:  1 << 20,
-			StripeCount: cfg.StripeCount,
-		})
-		c.Close()
 		if err != nil {
 			return nil, err
 		}
@@ -1037,6 +1069,9 @@ type ReaderFanExpConfig struct {
 	// Readers lists the fan-out widths measured (a scaling curve per
 	// variant).
 	Readers []int
+	// Virtual runs each point in discrete-event mode — the only way
+	// fan widths in the hundreds finish in seconds.
+	Virtual VirtualOpts
 }
 
 // DefaultReaderFan returns the scaled-down configuration.
@@ -1063,23 +1098,27 @@ func RunReaderFan(cfg ReaderFanExpConfig) (*Experiment, error) {
 		{"fan-out", true},
 	} {
 		for _, n := range cfg.Readers {
-			c, err := cluster.New(cluster.Options{
-				Servers:      1,
-				Policy:       dlm.SeqDLM(),
-				Hardware:     cfg.Hardware,
-				Handoff:      v.fan,
-				ReaderFanout: v.fan,
+			var st workload.ReaderFanStats
+			err := runPoint(cfg.Virtual, cfg.Hardware, func(hw Hardware) error {
+				c, err := cluster.New(cluster.Options{
+					Servers:      1,
+					Policy:       dlm.SeqDLM(),
+					Hardware:     hw,
+					Handoff:      v.fan,
+					ReaderFanout: v.fan,
+				})
+				if err != nil {
+					return err
+				}
+				st, err = workload.RunReaderFan(c, workload.ReaderFanConfig{
+					Readers:    n,
+					Rounds:     cfg.Rounds,
+					WriteSize:  cfg.WriteSize,
+					StripeSize: 1 << 20,
+				})
+				c.Close()
+				return err
 			})
-			if err != nil {
-				return nil, err
-			}
-			st, err := workload.RunReaderFan(c, workload.ReaderFanConfig{
-				Readers:    n,
-				Rounds:     cfg.Rounds,
-				WriteSize:  cfg.WriteSize,
-				StripeSize: 1 << 20,
-			})
-			c.Close()
 			if err != nil {
 				return nil, err
 			}

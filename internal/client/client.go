@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"ccpfs/internal/pagecache"
 	"ccpfs/internal/partition"
 	"ccpfs/internal/rpc"
+	"ccpfs/internal/sim"
 	"ccpfs/internal/wire"
 )
 
@@ -69,6 +71,11 @@ type Config struct {
 	// data server at a time (DefaultFlushWindow when 0). 1 selects the
 	// strictly sequential flush path.
 	FlushWindow int
+	// Clock is the client's time source: the flush daemon, stats
+	// timing, redirect backoff, and background goroutines run on it.
+	// The zero value is the wall clock; a virtual run sets a VClock so
+	// a whole simulated cluster advances one logical timeline.
+	Clock sim.Clock
 	// Partitioned routes lock traffic by the cluster's partition map
 	// (hash slot → master) instead of stripe placement, refreshing the
 	// cached map on ErrNotOwner redirects (DESIGN.md §12); data
@@ -124,6 +131,7 @@ type Stats struct {
 // Client is a ccPFS client node.
 type Client struct {
 	cfg   Config
+	clk   sim.Clock
 	conns Conns
 	lc    *dlm.LockClient
 	pc    *pagecache.Cache
@@ -139,7 +147,7 @@ type Client struct {
 	baseCtx  context.Context
 	cancelFn context.CancelFunc
 	stopOnce sync.Once
-	daemonWG sync.WaitGroup
+	daemonWG *sim.Group
 
 	// Stats aggregates client-side IO accounting.
 	Stats Stats
@@ -187,12 +195,16 @@ func New(ctx context.Context, cfg Config, conns Conns) (*Client, error) {
 	lifeCtx, cancel := context.WithCancel(context.Background())
 	c := &Client{
 		cfg:      cfg,
+		clk:      cfg.Clock,
 		conns:    conns,
 		pc:       pagecache.New(cfg.PageCache),
 		baseCtx:  lifeCtx,
 		cancelFn: cancel,
 	}
+	c.daemonWG = sim.NewGroup(c.clk)
+	c.pc.SetClock(c.clk)
 	c.lc = dlm.NewLockClient(cfg.ID, cfg.Policy, c.route, dlm.FlusherFunc(c.flushForCancel))
+	c.lc.SetClock(c.clk)
 	c.rpcMetrics = rpc.NewMetrics()
 	c.obs = obs.NewRegistry()
 	c.registerObs()
@@ -244,8 +256,7 @@ func New(ctx context.Context, cfg Config, conns Conns) (*Client, error) {
 		return nil, fmt.Errorf("client: partition map: %w", err)
 	}
 	if cfg.FlushInterval > 0 {
-		c.daemonWG.Add(1)
-		go c.flushDaemon()
+		c.daemonWG.Go(c.flushDaemon)
 	}
 	return c, nil
 }
@@ -394,20 +405,34 @@ func (c *Client) reportHandler(serverIdx int) rpc.Handler {
 		records := c.lc.Export(func(res dlm.ResourceID) bool {
 			return meta.PlaceStripe(uint64(res), len(c.conns.Data)) == serverIdx
 		})
-		rep := &wire.LockReport{}
-		for _, r := range records {
-			rep.Locks = append(rep.Locks, wire.LockRecord{
-				Resource: uint64(r.Resource),
-				Client:   uint32(r.Client),
-				LockID:   uint64(r.LockID),
-				Mode:     uint8(r.Mode),
-				Range:    r.Range,
-				SN:       r.SN,
-				State:    uint8(r.State),
-			})
-		}
-		return rep, nil
+		return reportFromRecords(records), nil
 	}
+}
+
+// reportFromRecords maps engine lock records to the wire replay form,
+// carrying the delegation flags crash takeover force-resolves.
+func reportFromRecords(records []dlm.LockRecord) *wire.LockReport {
+	rep := &wire.LockReport{}
+	for _, r := range records {
+		var flags uint8
+		if r.Delegated {
+			flags |= wire.LockFlagDelegated
+		}
+		if r.HandedOff {
+			flags |= wire.LockFlagHandedOff
+		}
+		rep.Locks = append(rep.Locks, wire.LockRecord{
+			Resource: uint64(r.Resource),
+			Client:   uint32(r.Client),
+			LockID:   uint64(r.LockID),
+			Mode:     uint8(r.Mode),
+			Range:    r.Range,
+			SN:       r.SN,
+			State:    uint8(r.State),
+			Flags:    flags,
+		})
+	}
+	return rep
 }
 
 // endpointFor returns the control endpoint of the server owning a
@@ -566,17 +591,24 @@ func (c *Client) flushStripes(ctx context.Context, rids []uint64, rng extent.Ext
 			cancel()
 		})
 	}
-	var wg sync.WaitGroup
-	for _, g := range groups {
-		wg.Add(1)
-		go func(g []uint64) {
-			defer wg.Done()
+	// Fan out in sorted server order: map iteration order is the one
+	// nondeterminism a seeded virtual run cannot absorb, since it decides
+	// which group's RPCs enqueue first on the shared timeline.
+	order := make([]int, 0, len(groups))
+	for si := range groups {
+		order = append(order, si)
+	}
+	sort.Ints(order)
+	grp := sim.NewGroup(c.clk)
+	for _, si := range order {
+		g := groups[si]
+		grp.Go(func() {
 			if err := c.flushGroup(gctx, g, rng, sn); err != nil {
 				fail(err)
 			}
-		}(g)
+		})
 	}
-	wg.Wait()
+	grp.Wait()
 	return first
 }
 
@@ -635,9 +667,9 @@ func (c *Client) flushGroup(ctx context.Context, rids []uint64, rng extent.Exten
 	if len(chunks) == 0 {
 		return nil
 	}
-	start := time.Now()
+	start := c.clk.Now()
 	err := c.sendChunks(ctx, c.bulkFor(flushes[0].rid), chunks)
-	c.Stats.FlushGroupHist.Since(start)
+	c.Stats.FlushGroupHist.Observe(c.clk.Since(start))
 	if err != nil {
 		for _, sf := range flushes {
 			c.pc.Redirty(sf.rid, sf.blocks)
@@ -655,9 +687,9 @@ func (c *Client) sendChunks(ctx context.Context, ep *rpc.Endpoint, chunks []*wir
 		for i := range req.Blocks {
 			size += int64(len(req.Blocks[i].Data))
 		}
-		start := time.Now()
+		start := c.clk.Now()
 		err := ep.Call(ctx, wire.MFlush, req, nil)
-		c.Stats.FlushRPCHist.Since(start)
+		c.Stats.FlushRPCHist.Observe(c.clk.Since(start))
 		if err != nil {
 			return err
 		}
@@ -689,11 +721,9 @@ func (c *Client) sendChunks(ctx context.Context, ep *rpc.Endpoint, chunks []*wir
 		})
 	}
 	var next atomic.Int64
-	var wg sync.WaitGroup
+	grp := sim.NewGroup(c.clk)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		grp.Go(func() {
 			for wctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(chunks) {
@@ -704,9 +734,9 @@ func (c *Client) sendChunks(ctx context.Context, ep *rpc.Endpoint, chunks []*wir
 					return
 				}
 			}
-		}()
+		})
 	}
-	wg.Wait()
+	grp.Wait()
 	if first == nil && ctx.Err() != nil {
 		// The caller's context fired between chunks: no worker pushed an
 		// error, but the flush did not complete.
@@ -719,15 +749,7 @@ func (c *Client) sendChunks(ctx context.Context, ep *rpc.Endpoint, chunks []*wir
 // crosses the MinDirty threshold, it is pushed to data servers in the
 // background without releasing any lock.
 func (c *Client) flushDaemon() {
-	defer c.daemonWG.Done()
-	ticker := time.NewTicker(c.cfg.FlushInterval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-c.baseCtx.Done():
-			return
-		case <-ticker.C:
-		}
+	for c.clk.SleepCtx(c.baseCtx, c.cfg.FlushInterval) {
 		if !c.pc.NeedsFlush() {
 			continue
 		}
@@ -928,9 +950,9 @@ func (f *File) WriteAtOpts(ctx context.Context, p []byte, off int64, o WriteOpti
 	if len(p) == 0 {
 		return 0, nil
 	}
-	start := time.Now()
+	start := f.c.clk.Now()
 	defer func() {
-		f.c.Stats.IONs.Add(time.Since(start).Nanoseconds())
+		f.c.Stats.IONs.Add(f.c.clk.Since(start).Nanoseconds())
 		f.c.Stats.WriteOps.Add(1)
 	}()
 
@@ -957,8 +979,8 @@ func (f *File) WriteAtOpts(ctx context.Context, p []byte, off int64, o WriteOpti
 // acquireStripes obtains one lock per touched stripe in ascending stripe
 // order, timing the locking part.
 func (f *File) acquireStripes(ctx context.Context, stripes []uint32, segs []meta.Segment, mode dlm.Mode, whole bool) (map[uint32]*dlm.Handle, error) {
-	lockStart := time.Now()
-	defer func() { f.c.Stats.LockNs.Add(time.Since(lockStart).Nanoseconds()) }()
+	lockStart := f.c.clk.Now()
+	defer func() { f.c.Stats.LockNs.Add(f.c.clk.Since(lockStart).Nanoseconds()) }()
 	handles := make(map[uint32]*dlm.Handle, len(stripes))
 	for _, st := range stripes {
 		lo, hi, _ := meta.StripeRange(segs, st)
@@ -1005,8 +1027,8 @@ func (f *File) ReadAtContext(ctx context.Context, p []byte, off int64) (int, err
 	if len(p) == 0 {
 		return 0, nil
 	}
-	start := time.Now()
-	defer func() { f.c.Stats.IONs.Add(time.Since(start).Nanoseconds()) }()
+	start := f.c.clk.Now()
+	defer func() { f.c.Stats.IONs.Add(f.c.clk.Since(start).Nanoseconds()) }()
 
 	// Lock the full requested range first: acquiring the PR locks is
 	// what forces conflicting writers to flush their data *and* publish
@@ -1186,9 +1208,9 @@ func (f *File) WriteMultiContext(ctx context.Context, ops []WriteOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
-	start := time.Now()
+	start := f.c.clk.Now()
 	defer func() {
-		f.c.Stats.IONs.Add(time.Since(start).Nanoseconds())
+		f.c.Stats.IONs.Add(f.c.clk.Since(start).Nanoseconds())
 		f.c.Stats.WriteOps.Add(1)
 	}()
 
@@ -1219,7 +1241,7 @@ func (f *File) WriteMultiContext(ctx context.Context, ops []WriteOp) error {
 	}
 
 	mode := dlm.SelectMode(false, false, len(stripes) > 1)
-	lockStart := time.Now()
+	lockStart := f.c.clk.Now()
 	handles := make(map[uint32]*dlm.Handle, len(stripes))
 	for _, st := range stripes {
 		var h *dlm.Handle
@@ -1246,12 +1268,12 @@ func (f *File) WriteMultiContext(ctx context.Context, ops []WriteOp) error {
 		}
 		if err != nil {
 			f.unlockAll(handles)
-			f.c.Stats.LockNs.Add(time.Since(lockStart).Nanoseconds())
+			f.c.Stats.LockNs.Add(f.c.clk.Since(lockStart).Nanoseconds())
 			return err
 		}
 		handles[st] = h
 	}
-	f.c.Stats.LockNs.Add(time.Since(lockStart).Nanoseconds())
+	f.c.Stats.LockNs.Add(f.c.clk.Since(lockStart).Nanoseconds())
 
 	for _, st := range stripes {
 		h := handles[st]

@@ -26,11 +26,11 @@ type PeerDialer func(peer dlm.ClientID) (*rpc.Endpoint, error)
 // inbound endpoint only answers MHandoff; the accept loop runs until l
 // closes (Close/Shutdown close it with the other connections).
 func (c *Client) ServePeers(l transport.Listener) {
-	c.peerSrv = rpc.NewServer(l, rpc.Options{}, func(ep *rpc.Endpoint) {
+	c.peerSrv = rpc.NewServer(l, rpc.Options{Clock: c.clk}, func(ep *rpc.Endpoint) {
 		ep.Handle(wire.MHandoff, c.handleHandoff)
 		ep.Handle(wire.MLeasePropagate, c.handleLeasePropagate)
 	})
-	go c.peerSrv.Serve()
+	c.clk.Go(c.peerSrv.Serve)
 }
 
 // SetPeerDialer installs the peer address book and enables the

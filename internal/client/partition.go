@@ -40,7 +40,7 @@ func (c *Client) partitionMap() *partition.Map { return c.pmap.Load() }
 func (c *Client) refreshMap(ctx context.Context) error {
 	c.pmMu.Lock()
 	defer c.pmMu.Unlock()
-	if time.Since(c.pmLast) < refreshCollapse {
+	if c.clk.Since(c.pmLast) < refreshCollapse {
 		return nil // a concurrent caller just refreshed
 	}
 	var lastErr error
@@ -62,7 +62,7 @@ func (c *Client) refreshMap(ctx context.Context) error {
 		if cur := c.pmap.Load(); cur == nil || m.Epoch >= cur.Epoch {
 			c.pmap.Store(m)
 		}
-		c.pmLast = time.Now()
+		c.pmLast = c.clk.Now()
 		c.Stats.MapRefreshes.Inc()
 		return nil
 	}
@@ -114,10 +114,8 @@ func (c *Client) withMaster(ctx context.Context, rid uint64, fn func(ep *rpc.End
 		if rerr := c.refreshMap(ctx); rerr != nil && ctx.Err() != nil {
 			return err
 		}
-		select {
-		case <-ctx.Done():
+		if !c.clk.SleepCtx(ctx, backoff) {
 			return err
-		case <-time.After(backoff):
 		}
 		if backoff < 64*time.Millisecond {
 			backoff *= 2
@@ -184,17 +182,5 @@ func (c *Client) slotReportHandler(_ context.Context, p []byte) (wire.Msg, error
 	for i, s := range req.Slots {
 		slots[i] = partition.Slot(s)
 	}
-	rep := &wire.LockReport{}
-	for _, r := range c.lc.ExportSlots(slots) {
-		rep.Locks = append(rep.Locks, wire.LockRecord{
-			Resource: uint64(r.Resource),
-			Client:   uint32(r.Client),
-			LockID:   uint64(r.LockID),
-			Mode:     uint8(r.Mode),
-			Range:    r.Range,
-			SN:       r.SN,
-			State:    uint8(r.State),
-		})
-	}
-	return rep, nil
+	return reportFromRecords(c.lc.ExportSlots(slots)), nil
 }

@@ -110,6 +110,7 @@ func New(opts Options) (*Cluster, error) {
 			ttl = DefaultLeaseTTL
 		}
 		c.Coord = partition.NewCoordinator(ttl)
+		c.Coord.SetClock(opts.Hardware.Clock.Now)
 	}
 	slots := partition.Uniform(opts.Servers)
 	for i := 0; i < opts.Servers; i++ {
@@ -152,7 +153,7 @@ func New(opts Options) (*Cluster, error) {
 			if err != nil {
 				return nil, err
 			}
-			ep := rpc.NewEndpoint(conn, rpc.Options{})
+			ep := rpc.NewEndpoint(conn, rpc.Options{Clock: opts.Hardware.Clock})
 			ep.Start()
 			c.admin = append(c.admin, ep)
 		}
@@ -169,7 +170,7 @@ func (c *Cluster) NewClient(name string) (*client.Client, error) {
 		if err != nil {
 			return nil, err
 		}
-		ep := rpc.NewEndpoint(conn, rpc.Options{})
+		ep := rpc.NewEndpoint(conn, rpc.Options{Clock: c.opts.Hardware.Clock})
 		conns.Data = append(conns.Data, ep)
 		if i == 0 {
 			conns.Meta = ep
@@ -180,7 +181,7 @@ func (c *Cluster) NewClient(name string) (*client.Client, error) {
 		if err != nil {
 			return nil, err
 		}
-		conns.Bulk = append(conns.Bulk, rpc.NewEndpoint(bconn, rpc.Options{}))
+		conns.Bulk = append(conns.Bulk, rpc.NewEndpoint(bconn, rpc.Options{Clock: c.opts.Hardware.Clock}))
 	}
 	pcCfg := c.opts.PageCache
 	if pcCfg.CacheBandwidth == 0 {
@@ -192,6 +193,7 @@ func (c *Cluster) NewClient(name string) (*client.Client, error) {
 		Policy:        c.opts.Policy,
 		PageCache:     pcCfg,
 		FlushInterval: c.opts.FlushInterval,
+		Clock:         c.opts.Hardware.Clock,
 		LockAlign:     c.opts.LockAlign,
 		FlushWindow:   c.opts.FlushWindow,
 		MaxFlushRPC:   c.opts.MaxFlushRPC,
@@ -213,7 +215,7 @@ func (c *Cluster) NewClient(name string) (*client.Client, error) {
 		if err != nil {
 			return nil, err
 		}
-		ep := rpc.NewEndpoint(conn, rpc.Options{})
+		ep := rpc.NewEndpoint(conn, rpc.Options{Clock: c.opts.Hardware.Clock})
 		ep.Start()
 		return ep, nil
 	})
@@ -265,6 +267,10 @@ func (c *Cluster) Shutdown(ctx context.Context) error {
 
 // Hardware returns the cluster's hardware model.
 func (c *Cluster) Hardware() sim.Hardware { return c.opts.Hardware }
+
+// Clock returns the cluster's time source (the hardware clock every
+// node was built on; the zero value is the wall clock).
+func (c *Cluster) Clock() sim.Clock { return c.opts.Hardware.Clock }
 
 // Policy returns the cluster's DLM policy.
 func (c *Cluster) Policy() dlm.Policy { return c.opts.Policy }

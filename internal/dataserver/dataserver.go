@@ -8,6 +8,7 @@ package dataserver
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,6 +64,7 @@ type Config struct {
 // Server is a running data server.
 type Server struct {
 	cfg   Config
+	clk   sim.Clock
 	DLM   *dlm.Server
 	Cache *extcache.Cache
 	store storage.Store
@@ -123,6 +125,7 @@ func New(cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,
+		clk:      cfg.Hardware.Clock,
 		store:    st,
 		Cache:    extcache.New(cfg.ExtCacheThreshold, cfg.ExtentLog),
 		lockL:    sim.NewRateLimiter(cfg.Hardware.ServerOPS),
@@ -130,7 +133,10 @@ func New(cfg Config) *Server {
 		baseCtx:  ctx,
 		cancelFn: cancel,
 	}
+	s.lockL.SetClock(s.clk)
+	s.Cache.SetClock(s.clk)
 	s.DLM = dlm.NewServer(cfg.Policy, notifier{s})
+	s.DLM.SetClock(s.clk)
 	if cfg.TraceEvents > 0 {
 		s.tracer = dlm.NewTracer(cfg.TraceEvents)
 		s.DLM.SetTracer(s.tracer)
@@ -190,13 +196,13 @@ func (s *Server) Tracer() *dlm.Tracer { return s.tracer }
 // Serve starts accepting RPC connections on l and, if configured, the
 // extent-cache cleanup daemon. It returns immediately.
 func (s *Server) Serve(l transport.Listener) {
-	s.rpcSrv = rpc.NewServer(l, rpc.Options{OnClose: s.dropEndpoint}, s.setup)
-	go s.rpcSrv.Serve()
+	s.rpcSrv = rpc.NewServer(l, rpc.Options{OnClose: s.dropEndpoint, Clock: s.clk}, s.setup)
+	s.clk.Go(s.rpcSrv.Serve)
 	if s.cfg.CleanupInterval > 0 {
-		go s.Cache.Daemon(s.baseCtx, s.cfg.CleanupInterval, s.minSN, s.forceSync)
+		s.clk.Go(func() { s.Cache.Daemon(s.baseCtx, s.cfg.CleanupInterval, s.minSN, s.forceSync) })
 	}
 	if p := s.cfg.Partition; p != nil && p.Coordinator != nil {
-		go s.leaseDaemon()
+		s.clk.Go(s.leaseDaemon)
 	}
 }
 
@@ -443,34 +449,60 @@ func (s *Server) forceSync(stripe uint64) {
 func (s *Server) Recover(ctx context.Context) error {
 	s.gate.Lock()
 	defer s.gate.Unlock()
-	s.mu.RLock()
-	eps := make([]*rpc.Endpoint, 0, len(s.clients))
-	for _, ep := range s.clients {
-		eps = append(eps, ep)
-	}
-	s.mu.RUnlock()
 
 	var records []dlm.LockRecord
-	for _, ep := range eps {
+	for _, ep := range s.clientEndpoints() {
 		var rep wire.LockReport
 		if err := ep.Call(ctx, wire.MReport, &wire.Ack{}, &rep); err != nil {
 			// A client that vanished since the crash simply loses its
 			// locks, like the paper's aborted-job convention.
 			continue
 		}
-		for _, l := range rep.Locks {
-			records = append(records, dlm.LockRecord{
-				Resource: dlm.ResourceID(l.Resource),
-				Client:   dlm.ClientID(l.Client),
-				LockID:   dlm.LockID(l.LockID),
-				Mode:     dlm.Mode(l.Mode),
-				Range:    l.Range,
-				SN:       l.SN,
-				State:    dlm.State(l.State),
-			})
+		records = append(records, recordsFromWire(rep.Locks)...)
+	}
+	return s.DLM.RestoreReplay(records)
+}
+
+// clientEndpoints snapshots the registered control endpoints in client-ID
+// order. The registry is a map; gathering in its iteration order would
+// make replay RPC timing differ run to run under a virtual clock.
+func (s *Server) clientEndpoints() []*rpc.Endpoint {
+	s.mu.RLock()
+	ids := make([]dlm.ClientID, 0, len(s.clients))
+	for id := range s.clients {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	eps := make([]*rpc.Endpoint, 0, len(ids))
+	s.mu.RLock()
+	for _, id := range ids {
+		if ep := s.clients[id]; ep != nil {
+			eps = append(eps, ep)
 		}
 	}
-	return s.DLM.Restore(records)
+	s.mu.RUnlock()
+	return eps
+}
+
+// recordsFromWire maps wire lock records into engine records, including
+// the delegation flags crash takeover resolves.
+func recordsFromWire(locks []wire.LockRecord) []dlm.LockRecord {
+	out := make([]dlm.LockRecord, 0, len(locks))
+	for _, l := range locks {
+		out = append(out, dlm.LockRecord{
+			Resource:  dlm.ResourceID(l.Resource),
+			Client:    dlm.ClientID(l.Client),
+			LockID:    dlm.LockID(l.LockID),
+			Mode:      dlm.Mode(l.Mode),
+			Range:     l.Range,
+			SN:        l.SN,
+			State:     dlm.State(l.State),
+			Delegated: l.Flags&wire.LockFlagDelegated != 0,
+			HandedOff: l.Flags&wire.LockFlagHandedOff != 0,
+		})
+	}
+	return out
 }
 
 // setup registers the RPC handlers on a new endpoint.

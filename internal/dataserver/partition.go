@@ -78,14 +78,7 @@ func (s *Server) leaseDaemon() {
 	if tick <= 0 {
 		tick = 50 * time.Millisecond
 	}
-	t := time.NewTicker(tick)
-	defer t.Stop()
-	for {
-		select {
-		case <-s.baseCtx.Done():
-			return
-		case <-t.C:
-		}
+	for s.clk.SleepCtx(s.baseCtx, tick) {
 		s.partMu.Lock()
 		held, expiry := p.Coordinator.Renew(p.Index)
 		s.DLM.SetLeaseExpiry(expiry)
@@ -125,12 +118,6 @@ func (s *Server) leaseDaemon() {
 func (s *Server) adoptSlots(epoch uint64, slots []partition.Slot) {
 	s.gate.Lock()
 	defer s.gate.Unlock()
-	s.mu.RLock()
-	eps := make([]*rpc.Endpoint, 0, len(s.clients))
-	for _, ep := range s.clients {
-		eps = append(eps, ep)
-	}
-	s.mu.RUnlock()
 
 	req := &wire.SlotReportRequest{Epoch: epoch, Slots: make([]uint32, len(slots))}
 	for i, sl := range slots {
@@ -139,24 +126,14 @@ func (s *Server) adoptSlots(epoch uint64, slots []partition.Slot) {
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.Partition.Coordinator.TTL())
 	defer cancel()
 	var records []dlm.LockRecord
-	for _, ep := range eps {
+	for _, ep := range s.clientEndpoints() {
 		var rep wire.LockReport
 		if err := ep.Call(ctx, wire.MReportSlots, req, &rep); err != nil {
 			// A vanished client loses its locks, like the paper's
 			// aborted-job convention (and full-crash Recover).
 			continue
 		}
-		for _, l := range rep.Locks {
-			records = append(records, dlm.LockRecord{
-				Resource: dlm.ResourceID(l.Resource),
-				Client:   dlm.ClientID(l.Client),
-				LockID:   dlm.LockID(l.LockID),
-				Mode:     dlm.Mode(l.Mode),
-				Range:    l.Range,
-				SN:       l.SN,
-				State:    dlm.State(l.State),
-			})
-		}
+		records = append(records, recordsFromWire(rep.Locks)...)
 	}
 	// Restore failures (a malformed record) drop the replay but still
 	// take the slots: an empty rebuilt table loses cached locks, a
@@ -250,6 +227,7 @@ func exportToWire(exp dlm.SlotExport) *wire.SlotState {
 				Range:    l.Range,
 				SN:       uint64(l.SN),
 				State:    uint8(l.State),
+				Flags:    lockFlags(l),
 			})
 		}
 		st.Resources = append(st.Resources, wr)
@@ -267,16 +245,30 @@ func wireToExport(st *wire.SlotState) dlm.SlotExport {
 		}
 		for _, l := range wr.Locks {
 			re.Locks = append(re.Locks, dlm.LockRecord{
-				Resource: dlm.ResourceID(l.Resource),
-				Client:   dlm.ClientID(l.Client),
-				LockID:   dlm.LockID(l.LockID),
-				Mode:     dlm.Mode(l.Mode),
-				Range:    l.Range,
-				SN:       extent.SN(l.SN),
-				State:    dlm.State(l.State),
+				Resource:  dlm.ResourceID(l.Resource),
+				Client:    dlm.ClientID(l.Client),
+				LockID:    dlm.LockID(l.LockID),
+				Mode:      dlm.Mode(l.Mode),
+				Range:     l.Range,
+				SN:        extent.SN(l.SN),
+				State:     dlm.State(l.State),
+				Delegated: l.Flags&wire.LockFlagDelegated != 0,
+				HandedOff: l.Flags&wire.LockFlagHandedOff != 0,
 			})
 		}
 		exp.Resources = append(exp.Resources, re)
 	}
 	return exp
+}
+
+// lockFlags packs a record's delegation bits into the wire flag byte.
+func lockFlags(l dlm.LockRecord) uint8 {
+	var f uint8
+	if l.Delegated {
+		f |= wire.LockFlagDelegated
+	}
+	if l.HandedOff {
+		f |= wire.LockFlagHandedOff
+	}
+	return f
 }

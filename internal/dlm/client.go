@@ -2,13 +2,14 @@ package dlm
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"ccpfs/internal/epoch"
 	"ccpfs/internal/extent"
 	"ccpfs/internal/shard"
+	"ccpfs/internal/sim"
 	"ccpfs/internal/wire"
 )
 
@@ -210,6 +211,11 @@ type LockClient struct {
 	// server (clienthandoff.go).
 	peer atomic.Pointer[peerSenderBox]
 
+	// clk is the client's time source: wait-time stats, ack flush
+	// timers, and background cancel goroutines run on it. The zero
+	// value is the wall clock.
+	clk sim.Clock
+
 	// Stats counts client-side lock activity.
 	Stats ClientStats
 }
@@ -241,7 +247,7 @@ type clientShard struct {
 	arrivedHandoffs map[lockKey]int
 	pendingHandoffs map[lockKey]*transferWaiter
 	pendingAcks     map[ResourceID][]LockID
-	ackTimer        *time.Timer
+	ackTimer        *sim.ClockTimer
 	// Reader fan-out state (clientfan.go): resources in a fan rotation
 	// — a write-mode stamped revocation displaced this client's read
 	// lease, so the next lease arrives peer-to-peer — and shared-mode
@@ -325,6 +331,38 @@ func (c *LockClient) shard(res ResourceID) *clientShard {
 
 // ID returns the client identifier.
 func (c *LockClient) ID() ClientID { return c.id }
+
+// SetClock points the client at a (virtual) clock. Call before first
+// use; the zero clock is the wall clock.
+func (c *LockClient) SetClock(clk sim.Clock) { c.clk = clk }
+
+// waitReleased blocks until h's released channel closes or ctx fires.
+// Under a virtual clock it parks on the channel — every close site
+// wakes it — and checks ctx at each wake; a run that exits mid-wait
+// falls back to the real select.
+func (c *LockClient) waitReleased(ctx context.Context, h *Handle) error {
+	if v := c.clk.V(); v != nil {
+		for {
+			select {
+			case <-h.released:
+				return nil
+			default:
+			}
+			if err := ctx.Err(); err != nil {
+				return wire.FromContext(err)
+			}
+			if v.WaitOn(h.released) == sim.WakeExited {
+				break
+			}
+		}
+	}
+	select {
+	case <-h.released:
+		return nil
+	case <-ctx.Done():
+		return wire.FromContext(ctx.Err())
+	}
+}
 
 // Policy returns the client's policy.
 func (c *LockClient) Policy() Policy { return c.policy }
@@ -441,7 +479,7 @@ func (c *LockClient) acquire(ctx context.Context, res ResourceID, need Mode, rng
 
 	var g Grant
 	for {
-		start := time.Now()
+		start := c.clk.Now()
 		acks := c.takeAcks(res)
 		var err error
 		g, err = c.router(res).Lock(ctx, Request{
@@ -452,7 +490,7 @@ func (c *LockClient) acquire(ctx context.Context, res ResourceID, need Mode, rng
 			Extents:     set,
 			HandoffAcks: acks,
 		})
-		c.Stats.LockWaitNs.Add(time.Since(start).Nanoseconds())
+		c.Stats.LockWaitNs.Add(c.clk.Since(start).Nanoseconds())
 		if err != nil {
 			// The acks may not have reached the server; re-queue them —
 			// duplicate acks are idempotent server-side.
@@ -466,7 +504,7 @@ func (c *LockClient) acquire(ctx context.Context, res ResourceID, need Mode, rng
 		// state: block until the transfer — every part of it, for a
 		// gather — or a server-sent activation lands, then confirm the
 		// delegation asynchronously.
-		cached, err := c.waitTransfer(ctx, res, g.LockID, g.GatherParts)
+		cached, err := c.waitTransfer(ctx, res, g)
 		if err != nil {
 			c.router(res).Release(c.baseCtx, res, g.LockID)
 			return nil, err
@@ -552,10 +590,11 @@ func (c *LockClient) acquire(ctx context.Context, res ResourceID, need Mode, rng
 		nl = append(nl[:idx], nl[idx+1:]...)
 		// The absorbed lock will never be canceled on its own; its
 		// users now hold h, and its released channel tracks h's.
-		go func(old *Handle) {
-			<-h.released
+		c.clk.Go(func() {
+			c.waitReleased(context.Background(), h)
 			close(old.released)
-		}(old)
+			c.clk.Wakeup(old.released)
+		})
 	}
 	nl = append(nl, h)
 	sh.setList(res, nl)
@@ -647,7 +686,12 @@ func (c *LockClient) Unlock(h *Handle) {
 		}
 		if h.hot.CompareAndSwap(w, nw) {
 			if start {
-				go c.cancel(h)
+				// Copy h into a branch-local before capturing: h is
+				// reassigned in the loop above, so capturing it directly
+				// would heap-allocate the variable on EVERY Unlock — one
+				// alloc per cached hit (see TestClientCachedHitAllocFree).
+				hh := h
+				c.clk.Go(func() { c.cancel(hh) })
 			}
 			return
 		}
@@ -706,7 +750,7 @@ func (c *LockClient) OnRevokeStamped(res ResourceID, id LockID, stamp *HandoffSt
 		}
 		if h.hot.CompareAndSwap(w, nw) {
 			if start {
-				go c.cancel(h)
+				c.clk.Go(func() { c.cancel(h) })
 			}
 			return
 		}
@@ -718,7 +762,7 @@ func (c *LockClient) OnRevokeStamped(res ResourceID, id LockID, stamp *HandoffSt
 // flushing tagged with the lock's SN, then release. Exactly one
 // goroutine runs it per handle: its caller won the canceling bit.
 func (c *LockClient) cancel(h *Handle) {
-	start := time.Now()
+	start := c.clk.Now()
 	c.Stats.Cancels.Add(1)
 	ctx := c.baseCtx
 	conn := c.router(h.res)
@@ -780,7 +824,8 @@ func (c *LockClient) cancel(h *Handle) {
 		sh.remove(h)
 		sh.mu.Unlock()
 		close(h.released)
-		c.Stats.CancelNs.Add(time.Since(start).Nanoseconds())
+		c.clk.Wakeup(h.released)
+		c.Stats.CancelNs.Add(c.clk.Since(start).Nanoseconds())
 		return
 	}
 
@@ -817,7 +862,8 @@ func (c *LockClient) cancel(h *Handle) {
 	sh.remove(h)
 	sh.mu.Unlock()
 	close(h.released)
-	c.Stats.CancelNs.Add(time.Since(start).Nanoseconds())
+	c.clk.Wakeup(h.released)
+	c.Stats.CancelNs.Add(c.clk.Since(start).Nanoseconds())
 }
 
 // CachedLocks returns the number of cached handles for a resource.
@@ -869,14 +915,23 @@ func (c *LockClient) ReleaseAll(ctx context.Context) error {
 		}
 		sh.mu.Unlock()
 	}
+	// The shard maps iterate in random order; fix the cancel spawn and
+	// wait order for deterministic virtual runs.
+	sort.Slice(toStart, func(i, j int) bool {
+		return toStart[i].res < toStart[j].res ||
+			(toStart[i].res == toStart[j].res && toStart[i].id < toStart[j].id)
+	})
+	sort.Slice(toWait, func(i, j int) bool {
+		return toWait[i].res < toWait[j].res ||
+			(toWait[i].res == toWait[j].res && toWait[i].id < toWait[j].id)
+	})
 	for _, h := range toStart {
-		go c.cancel(h)
+		h := h
+		c.clk.Go(func() { c.cancel(h) })
 	}
 	for _, h := range toWait {
-		select {
-		case <-h.released:
-		case <-ctx.Done():
-			return wire.FromContext(ctx.Err())
+		if err := c.waitReleased(ctx, h); err != nil {
+			return err
 		}
 	}
 	return nil

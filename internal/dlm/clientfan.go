@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ccpfs/internal/extent"
+	"ccpfs/internal/sim"
 )
 
 // Client side of the read-lease propagation tree (DESIGN.md §14). A
@@ -26,6 +27,37 @@ func (c *LockClient) waitStanding(ctx context.Context, res ResourceID, need Mode
 	timeout := DefaultHandoffTimeout
 	if c.policy.HandoffReclaimInterval > 0 {
 		timeout = c.policy.HandoffReclaimInterval
+	}
+	if v := c.clk.V(); v != nil {
+		// Virtual time: park on the per-waiter channel with the reclaim
+		// deadline on the event heap; wakeStanding wakes the key.
+		end := c.clk.Now().Add(timeout)
+		for {
+			sh.mu.Lock()
+			if !sh.fanStanding[res] {
+				sh.mu.Unlock()
+				return nil
+			}
+			if h := c.fastHit(res, need, rng); h != nil {
+				sh.mu.Unlock()
+				return h
+			}
+			ch := make(chan struct{})
+			sh.fanWaiters[res] = append(sh.fanWaiters[res], ch)
+			sh.mu.Unlock()
+			switch c.clk.V().WaitOnUntil(ch, end) {
+			case sim.WakeTimeout:
+				sh.mu.Lock()
+				delete(sh.fanStanding, res)
+				sh.mu.Unlock()
+				return nil
+			case sim.WakeExited:
+				return nil // run over; callers finish on the server path
+			}
+			if ctx.Err() != nil || c.baseCtx.Err() != nil {
+				return nil
+			}
+		}
 	}
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
@@ -65,13 +97,14 @@ func (c *LockClient) waitStanding(ctx context.Context, res ResourceID, need Mode
 
 // wakeStanding releases every acquire parked on res. Caller holds
 // sh.mu; woken waiters re-probe the cache and re-park on a miss.
-func (sh *clientShard) wakeStanding(res ResourceID) {
+func (sh *clientShard) wakeStanding(res ResourceID, clk sim.Clock) {
 	ws := sh.fanWaiters[res]
 	if len(ws) == 0 {
 		return
 	}
 	for _, ch := range ws {
 		close(ch)
+		clk.Wakeup(ch)
 	}
 	delete(sh.fanWaiters, res)
 }
@@ -113,13 +146,14 @@ func (c *LockClient) receiveCohort(res ResourceID, g *BroadcastStamp) {
 	}
 	for _, chunk := range splitLeases(rest, fanout) {
 		sub := &BroadcastStamp{Mode: g.Mode, Range: g.Range, Fanout: g.Fanout, Leases: chunk}
-		go func(owner ClientID, sub *BroadcastStamp) {
+		owner := chunk[0].Owner
+		c.clk.Go(func() {
 			if err := ls.SendLease(c.baseCtx, owner, res, sub); err == nil {
 				c.Stats.LeasesSent.Add(1)
 			}
 			// On error the subtree's leases stay delegated server-side
 			// and the reclaimer resolves them; nothing to do here.
-		}(chunk[0].Owner, sub)
+		})
 	}
 }
 
@@ -162,6 +196,7 @@ func (c *LockClient) installLease(res ResourceID, g *BroadcastStamp, mine Lease)
 	if tw, ok := sh.pendingHandoffs[k]; ok {
 		delete(sh.pendingHandoffs, k)
 		close(tw.ch)
+		c.clk.Wakeup(tw.ch)
 		sh.mu.Unlock()
 		return
 	}
@@ -197,13 +232,13 @@ func (c *LockClient) installLease(res ResourceID, g *BroadcastStamp, mine Lease)
 	nl = append(nl, list...)
 	nl = append(nl, h)
 	sh.setList(res, nl)
-	sh.wakeStanding(res)
+	sh.wakeStanding(res, c.clk)
 	sh.mu.Unlock()
 
 	c.Stats.HandoffsRecv.Add(1)
 	c.Stats.LeasesRecv.Add(1)
 	c.queueAck(res, mine.LockID)
 	if spawnCancel {
-		go c.cancel(h)
+		c.clk.Go(func() { c.cancel(h) })
 	}
 }

@@ -2,8 +2,11 @@ package dlm
 
 import (
 	"context"
+	"sort"
 	"time"
 
+	"ccpfs/internal/extent"
+	"ccpfs/internal/sim"
 	"ccpfs/internal/wire"
 )
 
@@ -95,6 +98,13 @@ func (c *LockClient) SetPeerSender(s PeerSender) {
 type transferWaiter struct {
 	need int
 	ch   chan struct{}
+	// The delegated grant being waited on, retained so Export can
+	// report the promised lock during crash takeover: the waiter has no
+	// Handle yet, and without the record the successor master would
+	// never learn the lock exists.
+	mode Mode
+	rng  extent.Extent
+	sn   extent.SN
 }
 
 // finalParts marks a server-sent activation in the arrival count: it
@@ -136,6 +146,7 @@ func (c *LockClient) OnHandoffMsg(res ResourceID, id LockID, final bool, acks []
 		if tw.need <= 0 {
 			delete(sh.pendingHandoffs, k)
 			close(tw.ch)
+			c.clk.Wakeup(tw.ch)
 		}
 	} else if !sh.tombstones[k] && findByID(sh.cur()[res], id) == nil {
 		if final {
@@ -154,14 +165,15 @@ func (c *LockClient) OnHandoffMsg(res ResourceID, id LockID, final bool, acks []
 // that a broadcast lease install raced ahead of the grant reply and
 // the lock is already in the cache — the caller must adopt that
 // handle instead of building its own.
-func (c *LockClient) waitTransfer(ctx context.Context, res ResourceID, id LockID, parts int) (cached bool, err error) {
+func (c *LockClient) waitTransfer(ctx context.Context, res ResourceID, g Grant) (cached bool, err error) {
+	parts := g.GatherParts
 	if parts < 1 {
 		parts = 1
 	}
-	k := lockKey{res, id}
+	k := lockKey{res, g.LockID}
 	sh := c.shard(res)
 	sh.mu.Lock()
-	if findByID(sh.cur()[res], id) != nil {
+	if findByID(sh.cur()[res], g.LockID) != nil {
 		sh.mu.Unlock()
 		return true, nil
 	}
@@ -171,15 +183,18 @@ func (c *LockClient) waitTransfer(ctx context.Context, res ResourceID, id LockID
 		sh.mu.Unlock()
 		return false, nil
 	}
-	tw := &transferWaiter{need: parts - got, ch: make(chan struct{})}
+	tw := &transferWaiter{
+		need: parts - got,
+		ch:   make(chan struct{}),
+		mode: g.Mode,
+		rng:  g.Range,
+		sn:   g.SN,
+	}
 	sh.pendingHandoffs[k] = tw
 	sh.mu.Unlock()
 
-	select {
-	case <-tw.ch:
+	if c.waitTransferCh(ctx, tw) {
 		return false, nil
-	case <-ctx.Done():
-	case <-c.baseCtx.Done():
 	}
 	sh.mu.Lock()
 	if _, ok := sh.pendingHandoffs[k]; ok {
@@ -195,6 +210,36 @@ func (c *LockClient) waitTransfer(ctx context.Context, res ResourceID, id LockID
 	return false, nil
 }
 
+// waitTransferCh waits for the transfer channel to close, reporting
+// whether the transfer completed (false means ctx or the client's
+// lifecycle fired first). Under a virtual clock it parks on the channel
+// — OnHandoffMsg wakes it at close — checking cancellation at each
+// wake; a run that exits mid-wait falls back to the real select.
+func (c *LockClient) waitTransferCh(ctx context.Context, tw *transferWaiter) bool {
+	if v := c.clk.V(); v != nil {
+		for {
+			select {
+			case <-tw.ch:
+				return true
+			default:
+			}
+			if ctx.Err() != nil || c.baseCtx.Err() != nil {
+				return false
+			}
+			if v.WaitOn(tw.ch) == sim.WakeExited {
+				break
+			}
+		}
+	}
+	select {
+	case <-tw.ch:
+		return true
+	case <-ctx.Done():
+	case <-c.baseCtx.Done():
+	}
+	return false
+}
+
 // queueAck queues a delegation confirmation for the server mastering
 // res and arms the shard's flush timer if no lock request drains it
 // first.
@@ -203,7 +248,7 @@ func (c *LockClient) queueAck(res ResourceID, id LockID) {
 	sh.mu.Lock()
 	sh.pendingAcks[res] = append(sh.pendingAcks[res], id)
 	if sh.ackTimer == nil {
-		sh.ackTimer = time.AfterFunc(c.ackFlushDelay(), func() { c.flushShardAcks(sh) })
+		sh.ackTimer = c.clk.AfterFunc(c.ackFlushDelay(), func() { c.flushShardAcks(sh) })
 	}
 	sh.mu.Unlock()
 }
@@ -254,7 +299,8 @@ func (c *LockClient) flushShardAcks(sh *clientShard) {
 	sh.pendingAcks = make(map[ResourceID][]LockID)
 	sh.ackTimer = nil
 	sh.mu.Unlock()
-	for res, ids := range pending {
+	for _, res := range sortedAckKeys(pending) {
+		ids := pending[res]
 		conn := c.router(res)
 		if hb, ok := conn.(HandoffAckBatcher); ok && len(ids) > 1 {
 			hb.HandoffAckBatch(c.baseCtx, res, ids)
@@ -271,6 +317,18 @@ func (c *LockClient) flushShardAcks(sh *clientShard) {
 	}
 }
 
+// sortedAckKeys fixes the flush order of a pending-ack map: its
+// iteration order is random, and each flush is an RPC whose timing
+// deterministic virtual runs must not depend on.
+func sortedAckKeys(pending map[ResourceID][]LockID) []ResourceID {
+	keys := make([]ResourceID, 0, len(pending))
+	for res := range pending {
+		keys = append(keys, res)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
 // FlushHandoffAcks synchronously drains every queued delegation ack —
 // the shutdown barrier runs it so the server confirms outstanding
 // delegations before the client goes quiet.
@@ -285,7 +343,8 @@ func (c *LockClient) FlushHandoffAcks(ctx context.Context) {
 			sh.ackTimer = nil
 		}
 		sh.mu.Unlock()
-		for res, ids := range pending {
+		for _, res := range sortedAckKeys(pending) {
+			ids := pending[res]
 			conn := c.router(res)
 			if hb, ok := conn.(HandoffAckBatcher); ok && len(ids) > 1 {
 				hb.HandoffAckBatch(ctx, res, ids)

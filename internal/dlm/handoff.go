@@ -2,6 +2,7 @@ package dlm
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"time"
 
@@ -125,7 +126,7 @@ func (s *Server) stampHandoff(res *resource, w *waiter, mode Mode, c *lock, fx *
 		},
 	})
 
-	now := time.Now()
+	now := s.clk.Now()
 	s.Stats.Handoffs.Add(1)
 	s.Stats.Grants.Add(1)
 	s.Stats.GrantWaitHist.Record(now.Sub(w.enqAt).Nanoseconds())
@@ -255,7 +256,7 @@ func (s *Server) sendActivation(a activationMsg) {
 	if !ok || hn == nil {
 		return
 	}
-	go hn.Handoff(s.baseCtx, a.client, a.res, a.id)
+	s.clk.Go(func() { hn.Handoff(s.baseCtx, a.client, a.res, a.id) })
 }
 
 // delegationEntry tracks one outstanding delegation for the
@@ -287,7 +288,7 @@ type handoffReclaimer struct {
 }
 
 func (r *handoffReclaimer) register(s *Server, res *resource, pred, succ *lock) {
-	deadline := time.Now().Add(time.Duration(s.handoffTimeout.Load()))
+	deadline := s.clk.Now().Add(time.Duration(s.handoffTimeout.Load()))
 	r.mu.Lock()
 	if r.entries == nil {
 		r.entries = make(map[lockKey]*delegationEntry)
@@ -298,7 +299,7 @@ func (r *handoffReclaimer) register(s *Server, res *resource, pred, succ *lock) 
 	}
 	if !r.running {
 		r.running = true
-		go r.loop(s)
+		s.clk.Go(func() { r.loop(s) })
 	}
 	r.mu.Unlock()
 }
@@ -314,18 +315,8 @@ func (r *handoffReclaimer) loop(s *Server) {
 	if period <= 0 {
 		period = time.Millisecond
 	}
-	t := time.NewTicker(period)
-	defer t.Stop()
-	for {
-		select {
-		case <-s.baseCtx.Done():
-			r.mu.Lock()
-			r.running = false
-			r.mu.Unlock()
-			return
-		case <-t.C:
-		}
-		now := time.Now()
+	for s.clk.SleepCtx(s.baseCtx, period) {
+		now := s.clk.Now()
 		type action struct {
 			e     delegationEntry
 			phase int
@@ -346,6 +337,14 @@ func (r *handoffReclaimer) loop(s *Server) {
 			return
 		}
 		r.mu.Unlock()
+		// Deterministic reclaim order regardless of registry-map
+		// iteration order.
+		sort.Slice(acts, func(i, j int) bool {
+			if acts[i].e.res.id != acts[j].e.res.id {
+				return acts[i].e.res.id < acts[j].e.res.id
+			}
+			return acts[i].e.succID < acts[j].e.succID
+		})
 		for _, a := range acts {
 			if a.phase == 0 {
 				s.reclaimNudge(&a.e)
@@ -354,6 +353,9 @@ func (r *handoffReclaimer) loop(s *Server) {
 			}
 		}
 	}
+	r.mu.Lock()
+	r.running = false
+	r.mu.Unlock()
 }
 
 // reclaimNudge re-sends a plain (unstamped) revocation to the

@@ -41,7 +41,7 @@ func (s *Server) CheckMaster(id ResourceID) error {
 	if !v.owned[slot] || v.frozen[slot] {
 		return wire.ErrNotOwner
 	}
-	if exp := s.leaseExpiry.Load(); exp != 0 && time.Now().UnixNano() > exp {
+	if exp := s.leaseExpiry.Load(); exp != 0 && s.clk.Now().UnixNano() > exp {
 		return wire.ErrNotOwner
 	}
 	return nil
@@ -159,6 +159,7 @@ func (s *Server) failWaiters(res *resource) {
 		if !w.done {
 			res.retire(w)
 			w.ch <- lockResult{err: wire.ErrNotOwner}
+			s.clk.Wakeup(w.ch)
 		}
 	}
 	res.queue = res.queue[:0]
@@ -352,20 +353,35 @@ func (s *Server) InstallSlot(exp SlotExport, epoch uint64) error {
 // recovery.go path, filtered by slot). Records outside the adopted
 // slots are dropped — a client replaying concurrently with two
 // takeovers must not hand slot A's locks to slot B's new master.
+//
+// Delegations outstanding at the old master's death are force-resolved
+// here, mirroring what FreezeExportSlot does for migration. A HandedOff
+// record is a lock its holder owes (or already sent) to a successor:
+// the holder will never release it through the server, so restoring it
+// would wedge the resource — it is dropped. A Delegated record is the
+// successor's promised lock; it is installed as a plain grant and
+// re-activated with a server-sent activation, which either completes
+// the successor's parked transfer wait (if the peer transfer died with
+// the old epoch) or lands as a harmless duplicate.
 func (s *Server) AdoptSlots(epoch uint64, slots []partition.Slot, records []LockRecord) error {
 	in := make(map[partition.Slot]bool, len(slots))
 	for _, sl := range slots {
 		in[sl] = true
 	}
-	kept := records[:0]
+	filtered := records[:0]
 	for _, r := range records {
 		if in[partition.SlotOf(uint64(r.Resource))] {
-			kept = append(kept, r)
+			filtered = append(filtered, r)
 		}
 	}
+	kept, resolved := resolveReplay(filtered)
 	if err := s.Restore(kept); err != nil {
 		return err
 	}
 	s.addSlots(epoch, slots)
+	for _, a := range resolved {
+		s.Stats.HandoffReclaims.Add(1)
+		s.sendActivation(a)
+	}
 	return nil
 }

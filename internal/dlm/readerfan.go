@@ -1,8 +1,6 @@
 package dlm
 
 import (
-	"time"
-
 	"ccpfs/internal/extent"
 )
 
@@ -115,7 +113,7 @@ func (s *Server) stampBroadcast(res *resource, w *waiter, mode Mode, c *lock, fx
 	sn := res.nextSN // shared mode: no SN bump
 
 	leases := make([]*lock, 0, len(run))
-	now := time.Now()
+	now := s.clk.Now()
 	for _, q := range run {
 		l := &lock{
 			id:        s.newLockID(),
@@ -277,7 +275,7 @@ func (s *Server) stampGather(res *resource, w *waiter, mode Mode, confs []*lock,
 		})
 	}
 
-	now := time.Now()
+	now := s.clk.Now()
 	s.Stats.Handoffs.Add(1)
 	s.Stats.Gathers.Add(1)
 	s.Stats.Grants.Add(1)

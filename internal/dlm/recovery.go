@@ -26,6 +26,15 @@ type LockRecord struct {
 	Range    extent.Extent
 	SN       extent.SN
 	State    State
+	// Delegated marks a delegated grant whose client-to-client transfer
+	// has not arrived yet: the reporting client holds no usable lock,
+	// only the server's promise of one. A taking-over master
+	// force-resolves it (AdoptSlots) the way a freeze would.
+	Delegated bool
+	// HandedOff marks a lock its holder owes (or already sent) to a
+	// delegation successor: the holder will never release it to the
+	// server, so restoring it would wedge the resource forever.
+	HandedOff bool
 }
 
 // Export returns records for every lock the client currently holds or
@@ -54,8 +63,31 @@ func (c *LockClient) Export(filter func(ResourceID) bool) []LockRecord {
 					Range:    h.rng,
 					SN:       h.sn,
 					State:    hotState(w),
+					// A stamped handle owes its lock to a successor: its
+					// cancel path transfers instead of releasing, so the
+					// server must never wait for this lock's release.
+					HandedOff: h.stamp.Load() != nil,
 				})
 			}
+		}
+		// Delegated grants still waiting for their transfer have no
+		// handle yet; report them from the wait registry so a
+		// taking-over master can force-resolve them instead of leaving
+		// the waiter parked on a transfer that died with the old master.
+		for k, tw := range sh.pendingHandoffs {
+			if filter != nil && !filter(k.res) {
+				continue
+			}
+			out = append(out, LockRecord{
+				Resource:  k.res,
+				Client:    c.id,
+				LockID:    k.id,
+				Mode:      tw.mode,
+				Range:     tw.rng,
+				SN:        tw.sn,
+				State:     Granted,
+				Delegated: true,
+			})
 		}
 		sh.mu.Unlock()
 	}
@@ -78,6 +110,46 @@ func (c *LockClient) ExportSlots(slots []partition.Slot) []LockRecord {
 	return c.Export(func(res ResourceID) bool {
 		return in[partition.SlotOf(uint64(res))]
 	})
+}
+
+// resolveReplay force-resolves the delegation state carried in
+// client-replayed records, mirroring what FreezeExportSlot does for
+// migration. HandedOff records are dropped: the holder owes the lock to
+// a successor and will never release it through the server, so
+// restoring it would wedge the resource forever. Delegated records —
+// the successor's promised lock — become plain grants; the returned
+// activations must be delivered once the restored state is serving, so
+// a successor whose peer transfer died with the old master is unparked
+// (duplicates are idempotent client-side).
+func resolveReplay(records []LockRecord) (kept []LockRecord, acts []activationMsg) {
+	kept = records[:0]
+	for _, r := range records {
+		if r.HandedOff {
+			continue
+		}
+		if r.Delegated {
+			r.Delegated = false
+			r.State = Granted
+			acts = append(acts, activationMsg{client: r.Client, res: r.Resource, id: r.LockID})
+		}
+		kept = append(kept, r)
+	}
+	return kept, acts
+}
+
+// RestoreReplay is Restore for client-replayed records after a full
+// crash: delegation state is force-resolved (see resolveReplay) and the
+// corresponding activations sent once the records are installed.
+func (s *Server) RestoreReplay(records []LockRecord) error {
+	kept, acts := resolveReplay(records)
+	if err := s.Restore(kept); err != nil {
+		return err
+	}
+	for _, a := range acts {
+		s.Stats.HandoffReclaims.Add(1)
+		s.sendActivation(a)
+	}
+	return nil
 }
 
 // Reset drops all lock state. It models the state loss of a server

@@ -258,10 +258,18 @@ func (r *revoker) client(id ClientID) *revClient {
 func (r *revoker) enqueue(revs []Revocation) {
 	r.s.Stats.RevokeQueue.Add(int64(len(revs)))
 	byClient := make(map[ClientID][]Revocation, 4)
+	order := make([]ClientID, 0, 4)
 	for _, rv := range revs {
+		if _, ok := byClient[rv.Client]; !ok {
+			order = append(order, rv.Client)
+		}
 		byClient[rv.Client] = append(byClient[rv.Client], rv)
 	}
-	for cid, list := range byClient {
+	// First-appearance order, not map order: lane assignment below is a
+	// shared round-robin counter, so iteration order must be stable for
+	// deterministic virtual runs.
+	for _, cid := range order {
+		list := byClient[cid]
 		rc := r.client(cid)
 		rc.q.push(&revNode{revs: list})
 		// The push strictly precedes this CAS: if a delivery is draining
@@ -281,7 +289,7 @@ func (r *revoker) schedule(rc *revClient) {
 	sl := &slots[int(r.next.Add(1)%uint64(len(slots)))]
 	sl.ready.push(rc)
 	if sl.running.CompareAndSwap(false, true) {
-		go r.work(sl)
+		r.s.clk.Go(func() { r.work(sl) })
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"ccpfs/internal/extent"
 	"ccpfs/internal/shard"
+	"ccpfs/internal/sim"
 	"ccpfs/internal/wire"
 )
 
@@ -152,6 +153,12 @@ type Server struct {
 
 	// tracer, when attached, records protocol events for debugging.
 	tracer *Tracer
+
+	// clk is the engine's time source: waiter enqueue stamps, wait-time
+	// histograms, handoff deadlines, and the reclaimer loop all run on
+	// it. The zero value is the wall clock; virtual runs inject a VClock
+	// via SetClock before serving.
+	clk sim.Clock
 }
 
 // srvShard holds one shard of the resource map; its RWMutex guards only
@@ -212,6 +219,10 @@ func (s *Server) SetHandoffTimeout(d time.Duration) { s.handoffTimeout.Store(int
 
 // SetNotifier installs the revocation callback sink.
 func (s *Server) SetNotifier(n Notifier) { s.notifier = n }
+
+// SetClock points the engine at a (virtual) clock. Call before serving;
+// the zero clock is the wall clock.
+func (s *Server) SetClock(c sim.Clock) { s.clk = c }
 
 // SetIndexed toggles the interval-indexed grant paths (on by default).
 // Off, the engine answers every conflict, expansion, and mSN query with
@@ -362,7 +373,7 @@ func (s *Server) Lock(ctx context.Context, req Request) (Grant, error) {
 		s.handoffAck(req.Resource, id)
 	}
 	res := s.resource(req.Resource)
-	w := &waiter{req: req, ch: make(chan lockResult, 1), enqAt: time.Now()}
+	w := &waiter{req: req, ch: make(chan lockResult, 1), enqAt: s.clk.Now()}
 	s.tracer.record(Event{Kind: EvRequest, Resource: req.Resource, Client: req.Client, Mode: req.Mode, Range: req.Range})
 
 	res.mu.Lock()
@@ -385,10 +396,8 @@ func (s *Server) Lock(ctx context.Context, req Request) (Grant, error) {
 	res.mu.Unlock()
 	s.apply(fx)
 
-	select {
-	case r := <-w.ch:
+	if r, ok := s.waitGrant(ctx, w); ok {
 		return r.g, r.err
-	case <-ctx.Done():
 	}
 	// Withdraw the waiter. The grant may have raced the cancellation:
 	// grant() marks done and buffers the result before we take res.mu,
@@ -408,6 +417,36 @@ func (s *Server) Lock(ctx context.Context, req Request) (Grant, error) {
 	res.mu.Unlock()
 	s.apply(fx)
 	return Grant{}, wire.FromContext(ctx.Err())
+}
+
+// waitGrant blocks until the waiter's reply arrives or ctx fires,
+// returning (result, true) on a reply and (_, false) on cancellation.
+// Under a virtual clock it parks on w.ch — every resolution path (grant,
+// shutdown, freeze redirect) sends the reply and then wakes the key —
+// and checks ctx at each wake; a run that exits mid-wait falls back to
+// the real select.
+func (s *Server) waitGrant(ctx context.Context, w *waiter) (lockResult, bool) {
+	if v := s.clk.V(); v != nil {
+		for {
+			select {
+			case r := <-w.ch:
+				return r, true
+			default:
+			}
+			if ctx.Err() != nil {
+				return lockResult{}, false
+			}
+			if v.WaitOn(w.ch) == sim.WakeExited {
+				break
+			}
+		}
+	}
+	select {
+	case r := <-w.ch:
+		return r, true
+	case <-ctx.Done():
+		return lockResult{}, false
+	}
 }
 
 // Shutdown drains the engine: new and queued Lock waits fail with
@@ -432,6 +471,7 @@ func (s *Server) Shutdown() {
 				if !w.done {
 					res.retire(w)
 					w.ch <- lockResult{err: wire.ErrShuttingDown}
+					s.clk.Wakeup(w.ch)
 				}
 			}
 			res.queue = res.queue[:0]
@@ -705,6 +745,7 @@ type effects struct {
 func (s *Server) apply(fx effects) {
 	for _, g := range fx.sends {
 		g.w.ch <- g.r
+		s.clk.Wakeup(g.w.ch)
 	}
 	s.fire(fx.revs)
 	for _, a := range fx.acts {
@@ -897,7 +938,7 @@ func (s *Server) tryGrant(res *resource, w *waiter, fx *effects) bool {
 			}
 		}
 		if allCanceling && w.allCancelAt.IsZero() {
-			w.allCancelAt = time.Now()
+			w.allCancelAt = s.clk.Now()
 		}
 		return false
 	}
@@ -909,7 +950,7 @@ func (s *Server) tryGrant(res *resource, w *waiter, fx *effects) bool {
 // grant installs the lock, expands its range, decides early revocation,
 // assigns the sequence number, and defers the reply into fx.
 func (s *Server) grant(res *resource, w *waiter, mode Mode, absorbed []*lock, fx *effects) {
-	now := time.Now()
+	now := s.clk.Now()
 	rng := w.req.Range
 	for _, a := range absorbed {
 		rng = rng.Union(a.rng)

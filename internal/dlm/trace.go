@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ccpfs/internal/extent"
+	"ccpfs/internal/sim"
 )
 
 // EventKind labels a protocol event recorded by the Tracer.
@@ -71,6 +72,7 @@ type Tracer struct {
 	ring  []Event
 	next  int
 	total int
+	clk   sim.Clock
 }
 
 // NewTracer returns a tracer keeping the last n events (n >= 1).
@@ -85,7 +87,7 @@ func (t *Tracer) record(ev Event) {
 	if t == nil {
 		return
 	}
-	ev.At = time.Now()
+	ev.At = t.clk.Now()
 	t.mu.Lock()
 	t.ring[t.next] = ev
 	t.next = (t.next + 1) % len(t.ring)
@@ -147,4 +149,9 @@ func (t *Tracer) Kinds() []EventKind {
 // SetTracer attaches a tracer to the server (nil detaches). Attach
 // before traffic; the pointer is read without synchronization on hot
 // paths.
-func (s *Server) SetTracer(t *Tracer) { s.tracer = t }
+func (s *Server) SetTracer(t *Tracer) {
+	if t != nil {
+		t.clk = s.clk
+	}
+	s.tracer = t
+}

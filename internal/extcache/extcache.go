@@ -35,6 +35,7 @@ import (
 	"ccpfs/internal/epoch"
 	"ccpfs/internal/extent"
 	"ccpfs/internal/shard"
+	"ccpfs/internal/sim"
 )
 
 // Defaults from the paper.
@@ -79,7 +80,14 @@ type Cache struct {
 
 	// kick wakes the cleanup daemon ahead of its next tick; see Kick.
 	kick chan struct{}
+
+	// clk is the daemon's time source (zero value: wall clock).
+	clk sim.Clock
 }
+
+// SetClock points the cleanup daemon at a (virtual) clock. Call before
+// Daemon starts.
+func (c *Cache) SetClock(clk sim.Clock) { c.clk = clk }
 
 // cacheShard holds the stripe map of one shard. The RWMutex guards only
 // map lookup/insert; per-stripe state has its own lock. The epoch
@@ -382,6 +390,7 @@ func (c *Cache) Kick() {
 	case c.kick <- struct{}{}:
 	default:
 	}
+	c.clk.Wakeup(c.kick)
 }
 
 // Daemon runs the periodic cleanup task until ctx is canceled: each
@@ -389,6 +398,23 @@ func (c *Cache) Kick() {
 // and falls back to forced synchronization when a full sweep cannot get
 // it under.
 func (c *Cache) Daemon(ctx context.Context, interval time.Duration, minSN MinSNFunc, force ForceSyncFunc) {
+	if v := c.clk.V(); v != nil {
+		// Virtual time: park on the kick channel with the tick as an
+		// event-heap deadline; Kick wakes the key.
+		for {
+			if v.WaitOnUntil(c.kick, c.clk.Now().Add(interval)) == sim.WakeExited {
+				return
+			}
+			select {
+			case <-c.kick:
+			default:
+			}
+			if ctx.Err() != nil {
+				return
+			}
+			c.daemonPass(minSN, force)
+		}
+	}
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for {
@@ -398,18 +424,24 @@ func (c *Cache) Daemon(ctx context.Context, interval time.Duration, minSN MinSNF
 		case <-ticker.C:
 		case <-c.kick:
 		}
-		if !c.NeedsCleanup() {
-			continue
-		}
-		// A full sweep is at most Entries/BatchLimit rounds; if the
-		// cache is still over budget afterwards, the remaining entries
-		// are pinned by unreleased early-granted locks — force flushing.
-		rounds := c.Entries()/BatchLimit + 1
-		for i := 0; i < rounds && c.NeedsCleanup(); i++ {
-			c.CleanupRound(minSN)
-		}
-		if c.NeedsCleanup() && force != nil {
-			c.ForceSync(force)
-		}
+		c.daemonPass(minSN, force)
+	}
+}
+
+// daemonPass is one tick of the cleanup daemon: cleanup rounds while
+// the cache is over budget, then the forced-synchronization fallback.
+func (c *Cache) daemonPass(minSN MinSNFunc, force ForceSyncFunc) {
+	if !c.NeedsCleanup() {
+		return
+	}
+	// A full sweep is at most Entries/BatchLimit rounds; if the
+	// cache is still over budget afterwards, the remaining entries
+	// are pinned by unreleased early-granted locks — force flushing.
+	rounds := c.Entries()/BatchLimit + 1
+	for i := 0; i < rounds && c.NeedsCleanup(); i++ {
+		c.CleanupRound(minSN)
+	}
+	if c.NeedsCleanup() && force != nil {
+		c.ForceSync(force)
 	}
 }

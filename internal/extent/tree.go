@@ -36,7 +36,7 @@ type Tree struct {
 
 	// Snapshot state; zero/nil until EnableSnapshots.
 	cow     bool
-	ver     uint64             // current mutation batch, stamped into new/copied nodes
+	ver     uint64 // current mutation batch, stamped into new/copied nodes
 	snap    atomic.Pointer[node]
 	dom     *epoch.Domain
 	scratch []*node // published nodes displaced since the last retire handoff

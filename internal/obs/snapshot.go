@@ -85,13 +85,13 @@ func (s HistSnapshot) Mean() int64 {
 // statistics plus the sparse non-empty buckets, so merged snapshots
 // can be reconstructed from JSON if needed.
 type histJSON struct {
-	Count   int64           `json:"count"`
-	SumNs   int64           `json:"sum_ns"`
-	AvgNs   int64           `json:"avg_ns"`
-	P50Ns   int64           `json:"p50_ns"`
-	P90Ns   int64           `json:"p90_ns"`
-	P99Ns   int64           `json:"p99_ns"`
-	MaxNs   int64           `json:"max_ns"`
+	Count   int64            `json:"count"`
+	SumNs   int64            `json:"sum_ns"`
+	AvgNs   int64            `json:"avg_ns"`
+	P50Ns   int64            `json:"p50_ns"`
+	P90Ns   int64            `json:"p90_ns"`
+	P99Ns   int64            `json:"p99_ns"`
+	MaxNs   int64            `json:"max_ns"`
 	Buckets map[string]int64 `json:"buckets,omitempty"`
 }
 

@@ -85,6 +85,7 @@ type pcShard struct {
 // Ranges are stripe-local byte offsets keyed by lock resource.
 type Cache struct {
 	cfg Config
+	clk sim.Clock
 	mem sim.Device // serializes simulated cache-copy time
 
 	shards [shard.Count]pcShard
@@ -113,6 +114,15 @@ func New(cfg Config) *Cache {
 	}
 	c.flowCond = sync.NewCond(&c.flowMu)
 	return c
+}
+
+// SetClock moves the cache onto clk: simulated copy time is charged on
+// it and the MaxDirty admission gate parks virtually instead of blocking
+// a real condition variable (which would wedge a virtual run — the
+// flusher could never be scheduled to drain). Call before first use.
+func (c *Cache) SetClock(clk sim.Clock) {
+	c.clk = clk
+	c.mem.SetClock(clk)
 }
 
 // PageSize returns the configured page size.
@@ -171,6 +181,7 @@ func (c *Cache) signalFlow() {
 	c.flowMu.Lock()
 	c.flowCond.Broadcast()
 	c.flowMu.Unlock()
+	c.clk.Wakeup(c.flowCond)
 }
 
 // Write copies data into the cache at off within stripe, tagged with sn.
@@ -188,6 +199,19 @@ func (c *Cache) Write(stripe uint64, off int64, data []byte, sn extent.SN) {
 		// cannot collectively overshoot it.
 		c.flowMu.Lock()
 		for c.dirty.Load()+c.pending+need > c.cfg.MaxDirty {
+			if v := c.clk.V(); v != nil {
+				// Park on the virtual clock instead of the cond: a cond
+				// wait would hold the scheduler token and the flusher
+				// could never run to drain. WakeExited means the run is
+				// over — admit and let teardown proceed.
+				c.flowMu.Unlock()
+				exited := v.WaitOn(c.flowCond) == sim.WakeExited
+				c.flowMu.Lock()
+				if exited {
+					break
+				}
+				continue
+			}
 			c.flowCond.Wait()
 		}
 		c.pending += need
@@ -204,6 +228,7 @@ func (c *Cache) Write(stripe uint64, off int64, data []byte, sn extent.SN) {
 		// (overwrites), so releasing it can free admission space.
 		c.flowCond.Broadcast()
 		c.flowMu.Unlock()
+		c.clk.Wakeup(c.flowCond)
 	}
 }
 

@@ -52,6 +52,7 @@ const (
 // Endpoint is one end of an RPC connection.
 type Endpoint struct {
 	conn     transport.Conn
+	clk      sim.Clock
 	limiter  *sim.RateLimiter
 	handlers map[wire.Method]Handler
 	// metrics, when non-nil, instruments this endpoint (see Metrics).
@@ -74,8 +75,11 @@ type Endpoint struct {
 	onClose   func(*Endpoint)
 	startOnce sync.Once
 
-	// inflight tracks dispatched handler goroutines for Drain.
-	inflight sync.WaitGroup
+	// inflight tracks dispatched handler goroutines for Drain;
+	// inflightN mirrors its count so a virtual-time Drain can park on
+	// it instead of blocking in WaitGroup.Wait.
+	inflight  sync.WaitGroup
+	inflightN atomic.Int64
 
 	// Tag carries endpoint-scoped state for handlers, e.g. the client
 	// session a server associates with this connection.
@@ -108,6 +112,10 @@ type Options struct {
 	// Metrics, when non-nil, instruments every endpoint built with these
 	// options. Safe to share across endpoints (all fields are atomic).
 	Metrics *Metrics
+	// Clock is the endpoint's time source. Virtual clocks serialize the
+	// read loop, handlers, and reply waits deterministically; the zero
+	// value is ordinary wall-clock execution.
+	Clock sim.Clock
 }
 
 // NewEndpoint wraps conn. Register handlers with Handle, then call Start
@@ -116,6 +124,7 @@ func NewEndpoint(conn transport.Conn, opts Options) *Endpoint {
 	ctx, cancel := context.WithCancel(context.Background())
 	ep := &Endpoint{
 		conn:     conn,
+		clk:      opts.Clock,
 		limiter:  opts.Limiter,
 		handlers: make(map[wire.Method]Handler),
 		baseCtx:  ctx,
@@ -145,7 +154,7 @@ func (ep *Endpoint) SetMetrics(m *Metrics) {
 // no-ops, so a setup callback and its server can both call it safely
 // without racing two read loops on one connection.
 func (ep *Endpoint) Start() {
-	ep.startOnce.Do(func() { go ep.readLoop() })
+	ep.startOnce.Do(func() { ep.clk.Go(ep.readLoop) })
 }
 
 // Close tears down the connection; in-flight calls fail with ErrClosed.
@@ -165,6 +174,18 @@ func (ep *Endpoint) Pending() int {
 // ctx fires. It does not stop new requests from arriving; callers stop
 // admission first (close the listener, set a draining flag), then drain.
 func (ep *Endpoint) Drain(ctx context.Context) error {
+	if v := ep.clk.V(); v != nil {
+		for ep.inflightN.Load() > 0 {
+			if err := ctx.Err(); err != nil {
+				return wire.FromContext(err)
+			}
+			if v.WaitOn(&ep.inflightN) == sim.WakeExited {
+				goto real
+			}
+		}
+		return nil
+	}
+real:
 	done := make(chan struct{})
 	go func() {
 		ep.inflight.Wait()
@@ -176,6 +197,19 @@ func (ep *Endpoint) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		return wire.FromContext(ctx.Err())
 	}
+}
+
+// handlerStart/handlerDone bracket a dispatched handler for Drain.
+func (ep *Endpoint) handlerStart() {
+	ep.inflight.Add(1)
+	ep.inflightN.Add(1)
+}
+
+func (ep *Endpoint) handlerDone() {
+	if ep.inflightN.Add(-1) == 0 {
+		ep.clk.Wakeup(&ep.inflightN)
+	}
+	ep.inflight.Done()
 }
 
 // Call sends a request and blocks until the reply arrives, ctx fires, or
@@ -231,25 +265,35 @@ func (ep *Endpoint) call(ctx context.Context, method wire.Method, req wire.Msg, 
 		return sendErr
 	}
 	var resp response
-	select {
-	case resp = <-ch:
-		chanPool.Put(ch)
-	case <-ctx.Done():
-		ep.forget(id)
-		// The response may have been delivered between the ctx firing
-		// and the forget; prefer it — the call did complete.
+	gotV := false
+	if v := ep.clk.V(); v != nil {
+		r, got, handled := ep.waitReplyVirtual(v, ctx, id, method, ch)
+		if handled && !got {
+			return wire.FromContext(ctx.Err())
+		}
+		resp, gotV = r, handled
+	}
+	if !gotV {
 		select {
 		case resp = <-ch:
 			chanPool.Put(ch)
-		default:
-			// Abandoned for good: tell the peer so it withdraws the
-			// server-side work (a queued lock waiter, a stalled flush).
-			// Best effort under the endpoint's lifecycle context — if
-			// the frame is lost to teardown, teardown cancels the
-			// handler anyway. The channel is NOT recycled: complete may
-			// have claimed it before forget and be about to send.
-			go ep.send(ep.baseCtx, kindCancel, id, method, statusOK, nil)
-			return wire.FromContext(ctx.Err())
+		case <-ctx.Done():
+			ep.forget(id)
+			// The response may have been delivered between the ctx firing
+			// and the forget; prefer it — the call did complete.
+			select {
+			case resp = <-ch:
+				chanPool.Put(ch)
+			default:
+				// Abandoned for good: tell the peer so it withdraws the
+				// server-side work (a queued lock waiter, a stalled flush).
+				// Best effort under the endpoint's lifecycle context — if
+				// the frame is lost to teardown, teardown cancels the
+				// handler anyway. The channel is NOT recycled: complete may
+				// have claimed it before forget and be about to send.
+				go ep.send(ep.baseCtx, kindCancel, id, method, statusOK, nil)
+				return wire.FromContext(ctx.Err())
+			}
 		}
 	}
 	if resp.err != nil {
@@ -375,22 +419,33 @@ func (ep *Endpoint) callBatch(ctx context.Context, calls []BatchCall) error {
 	for i := range calls {
 		var resp response
 		got := false
-		select {
-		case resp = <-chs[i]:
-			chanPool.Put(chs[i])
-			got = true
-		case <-ctx.Done():
-			ep.forget(ids[i])
-			// Prefer a reply that raced the cancellation (see Call).
+		handledV := false
+		if v := ep.clk.V(); v != nil {
+			if r, g, handled := ep.waitReplyVirtual(v, ctx, ids[i], calls[i].Method, chs[i]); handled {
+				resp, got, handledV = r, g, true
+				if !g {
+					calls[i].Err = wire.FromContext(ctx.Err())
+				}
+			}
+		}
+		if !handledV {
 			select {
 			case resp = <-chs[i]:
 				chanPool.Put(chs[i])
 				got = true
-			default:
-				// Abandoned: cancel the server-side work. The channel is
-				// not recycled — a late complete may still send on it.
-				go ep.send(ep.baseCtx, kindCancel, ids[i], calls[i].Method, statusOK, nil)
-				calls[i].Err = wire.FromContext(ctx.Err())
+			case <-ctx.Done():
+				ep.forget(ids[i])
+				// Prefer a reply that raced the cancellation (see Call).
+				select {
+				case resp = <-chs[i]:
+					chanPool.Put(chs[i])
+					got = true
+				default:
+					// Abandoned: cancel the server-side work. The channel is
+					// not recycled — a late complete may still send on it.
+					go ep.send(ep.baseCtx, kindCancel, ids[i], calls[i].Method, statusOK, nil)
+					calls[i].Err = wire.FromContext(ctx.Err())
+				}
 			}
 		}
 		if got {
@@ -408,6 +463,37 @@ func (ep *Endpoint) callBatch(ctx context.Context, calls []BatchCall) error {
 		}
 	}
 	return firstErr
+}
+
+// waitReplyVirtual blocks for one reply under a virtual clock, parked
+// on the reply channel until complete (or the shutdown drain) wakes
+// it. handled=false means the virtual run ended mid-wait and the
+// caller must fall back to its real-time select; got=false (with
+// handled=true) means ctx fired and the call was abandoned — the
+// pending entry is forgotten and a cancel frame is on its way.
+func (ep *Endpoint) waitReplyVirtual(v *sim.VClock, ctx context.Context, id uint64, method wire.Method, ch chan response) (resp response, got, handled bool) {
+	for {
+		select {
+		case resp = <-ch:
+			chanPool.Put(ch)
+			return resp, true, true
+		default:
+		}
+		if ctx.Err() != nil {
+			ep.forget(id)
+			select {
+			case resp = <-ch:
+				chanPool.Put(ch)
+				return resp, true, true
+			default:
+			}
+			ep.clk.Go(func() { ep.send(ep.baseCtx, kindCancel, id, method, statusOK, nil) })
+			return response{}, false, true
+		}
+		if v.WaitOn(ch) == sim.WakeExited {
+			return response{}, false, false
+		}
+	}
 }
 
 // forget deregisters a pending call entry. A miss is normal: complete
@@ -502,11 +588,11 @@ func (ep *Endpoint) readLoop() {
 func (ep *Endpoint) dispatch(id uint64, method wire.Method, payload []byte) {
 	h, ok := ep.handlers[method]
 	if !ok {
-		ep.inflight.Add(1)
-		go func() {
-			defer ep.inflight.Done()
+		ep.handlerStart()
+		ep.clk.Go(func() {
+			defer ep.handlerDone()
 			ep.sendErr(ep.baseCtx, id, method, wire.Errorf(wire.CodeInvalid, "rpc: no handler for method %d", method))
-		}()
+		})
 		return
 	}
 	if ep.limiter != nil {
@@ -524,9 +610,9 @@ func (ep *Endpoint) dispatch(id uint64, method wire.Method, payload []byte) {
 		// context pre-canceled so it aborts promptly.
 		cc.cancel()
 	}
-	ep.inflight.Add(1)
-	go func() {
-		defer ep.inflight.Done()
+	ep.handlerStart()
+	ep.clk.Go(func() {
+		defer ep.handlerDone()
 		defer func() {
 			// A miss means a cancel frame or the shutdown drain claimed
 			// the entry (and called cancel); either way the entry is gone.
@@ -567,7 +653,7 @@ func (ep *Endpoint) dispatch(id uint64, method wire.Method, payload []byte) {
 				m.handleLat[method].Record(elapsed)
 			}
 		}
-	}()
+	})
 }
 
 // cancelInbound handles a peer's cancel frame: the named request's
@@ -589,11 +675,13 @@ func (ep *Endpoint) complete(id uint64, status byte, payload []byte) {
 	}
 	if status == statusErr {
 		ch <- response{err: wire.DecodeError(wire.NewDecoder(payload))}
+		ep.clk.Wakeup(ch)
 		return
 	}
 	// The payload aliases the frame, which is private to this endpoint
 	// after Recv; handing it to the caller is safe.
 	ch <- response{payload: payload}
+	ep.clk.Wakeup(ch)
 }
 
 func (ep *Endpoint) shutdown() {
@@ -603,6 +691,7 @@ func (ep *Endpoint) shutdown() {
 	}
 	for _, ch := range pend {
 		ch <- response{err: transport.ErrClosed}
+		ep.clk.Wakeup(ch)
 	}
 	ep.conn.Close()
 	// Cancel the lifecycle context so handlers still running for this
@@ -649,9 +738,30 @@ func NewServer(l transport.Listener, opts Options, setup func(*Endpoint)) *Serve
 	}
 }
 
+// waitDone blocks until the accept loop has exited, mediated when the
+// server runs on a virtual clock.
+func (s *Server) waitDone() {
+	if v := s.opts.Clock.V(); v != nil {
+		for {
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+			if v.WaitOn(s.done) == sim.WakeExited {
+				break
+			}
+		}
+	}
+	<-s.done
+}
+
 // Serve accepts connections until the listener closes.
 func (s *Server) Serve() {
-	defer close(s.done)
+	defer func() {
+		close(s.done)
+		s.opts.Clock.Wakeup(s.done)
+	}()
 	for {
 		conn, err := s.listener.Accept()
 		if err != nil {
@@ -704,7 +814,7 @@ func (s *Server) snapshot() []*Endpoint {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.listener.Close()
 	eps := s.snapshot()
-	<-s.done // the accept loop has exited; no new endpoints can appear
+	s.waitDone() // the accept loop has exited; no new endpoints can appear
 	var err error
 	for _, ep := range eps {
 		if e := ep.Drain(ctx); e != nil && err == nil {
@@ -725,7 +835,7 @@ func (s *Server) Close() {
 	for _, ep := range eps {
 		ep.Close()
 	}
-	<-s.done
+	s.waitDone()
 }
 
 // Addr returns the listener address.

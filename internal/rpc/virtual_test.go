@@ -1,0 +1,87 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"ccpfs/internal/sim"
+	"ccpfs/internal/transport/memnet"
+	"ccpfs/internal/wire"
+)
+
+// virtualEcho runs a seeded client/server exchange under a virtual
+// clock and returns a trace of (caller, virtual-time) completions.
+func virtualEcho(t *testing.T, seed int64, callers, calls int) (trace string, virtualElapsed, wallElapsed time.Duration) {
+	t.Helper()
+	v := sim.NewVClock(seed)
+	clk := sim.Virtual(v)
+	hw := sim.Hardware{RTT: 10 * time.Microsecond, NetBandwidth: 12.5e9, Clock: clk}
+	wallStart := time.Now()
+	v.Run(func() {
+		start := clk.Now()
+		net := memnet.New(hw)
+		l, err := net.Listen("srv")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		srv := NewServer(l, Options{Clock: clk}, func(ep *Endpoint) {
+			ep.Handle(wire.MHello, func(ctx context.Context, payload []byte) (wire.Msg, error) {
+				return &wire.HelloReply{}, nil
+			})
+		})
+		clk.Go(srv.Serve)
+		defer srv.Close()
+
+		g := sim.NewGroup(clk)
+		results := make([]string, callers)
+		for i := 0; i < callers; i++ {
+			i := i
+			g.Go(func() {
+				conn, err := net.Dial("srv")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ep := NewEndpoint(conn, Options{Clock: clk})
+				ep.Start()
+				defer ep.Close()
+				for j := 0; j < calls; j++ {
+					if err := ep.Call(context.Background(), wire.MHello, &wire.HelloRequest{}, &wire.HelloReply{}); err != nil {
+						t.Errorf("caller %d call %d: %v", i, j, err)
+						return
+					}
+				}
+				results[i] = fmt.Sprintf("%d@%v;", i, clk.Since(start))
+			})
+		}
+		g.Wait()
+		for _, r := range results {
+			trace += r
+		}
+		virtualElapsed = clk.Since(start)
+	})
+	return trace, virtualElapsed, time.Since(wallStart)
+}
+
+// TestVirtualRPCRoundTrips: a full client/server RPC exchange runs on
+// the virtual clock: round trips cost RTT in virtual time, near zero
+// wall time, and identical seeds give identical traces.
+func TestVirtualRPCRoundTrips(t *testing.T) {
+	trace1, virt, wall := virtualEcho(t, 42, 4, 50)
+	if virt < 50*10*time.Microsecond {
+		t.Errorf("virtual elapsed %v, want >= 50 RTTs (500µs)", virt)
+	}
+	if virt > 200*50*10*time.Microsecond {
+		t.Errorf("virtual elapsed %v, implausibly large", virt)
+	}
+	if wall > 30*time.Second {
+		t.Errorf("wall time %v for a virtual exchange", wall)
+	}
+	trace2, _, _ := virtualEcho(t, 42, 4, 50)
+	if trace1 != trace2 {
+		t.Fatalf("same-seed runs diverged:\n%s\nvs\n%s", trace1, trace2)
+	}
+}

@@ -1,0 +1,618 @@
+// Discrete-event virtual time (DESIGN.md §15). A VClock replaces the
+// wall clock for a whole simulated cluster: every sleep, timer, and
+// device reservation becomes an event on a min-heap keyed by
+// (virtual time, creation sequence), and the logical clock jumps to
+// the next event's timestamp only when no simulation goroutine is
+// runnable — the goroutine-quiescence rule. Runs are deterministic:
+// the scheduler is cooperative and token-serialized, so exactly one
+// simulation goroutine executes at any instant and every interleaving
+// is a pure function of the event order, which is itself a pure
+// function of the seed and the workload.
+//
+// The contract call sites must keep:
+//
+//   - every goroutine that participates in virtual time is spawned
+//     through Clock.Go (or transitively from one that was);
+//   - every blocking operation is mediated: block via WaitOn/
+//     WaitOnUntil/Sleep/SleepUntil, and every state change another
+//     goroutine may be parked on is followed by Clock.Wakeup(key);
+//   - nothing reads the wall clock on a simulated path (time.Now,
+//     time.Sleep, raw time.Timer) — Clock.Now and friends only.
+//
+// Check-then-park is atomic for free: a running goroutine holds the
+// token, so between testing a condition and parking on its key no
+// other simulation goroutine can slip in a wakeup.
+package sim
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock is a value handle over either the wall clock (zero value) or
+// a shared virtual clock. Components embed one by value; the zero
+// value behaves exactly like the pre-virtual-time code did.
+type Clock struct{ v *VClock }
+
+// Virtual reports whether the clock is a virtual one.
+func (c Clock) Virtual() bool { return c.v != nil }
+
+// V returns the underlying virtual clock, or nil on a wall clock.
+func (c Clock) V() *VClock { return c.v }
+
+// Now returns the current (virtual or wall) time.
+func (c Clock) Now() time.Time {
+	if c.v != nil {
+		return c.v.Now()
+	}
+	return time.Now()
+}
+
+// Since returns the time elapsed since t on this clock.
+func (c Clock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+// Until returns the duration until t on this clock.
+func (c Clock) Until(t time.Time) time.Duration { return t.Sub(c.Now()) }
+
+// Sleep pauses the calling goroutine for d of clock time.
+func (c Clock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if c.v != nil && c.v.sleep(d) {
+		return
+	}
+	time.Sleep(d)
+}
+
+// SleepUntil blocks until deadline or until ctx fires, returning ctx's
+// error in the latter case. On a virtual clock the wait is an event:
+// cancellation cannot interrupt it mid-wait (the wait costs no wall
+// time), but a context already canceled on entry returns immediately.
+func (c Clock) SleepUntil(ctx context.Context, deadline time.Time) error {
+	if c.v != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if c.v.sleepUntil(deadline) {
+			return nil
+		}
+	}
+	return SleepUntil(ctx, deadline)
+}
+
+// SleepCtx sleeps d and reports whether ctx is still live — the shape
+// every periodic daemon loop wants: `for clk.SleepCtx(ctx, iv) { tick }`.
+func (c Clock) SleepCtx(ctx context.Context, d time.Duration) bool {
+	if c.v != nil {
+		if ctx.Err() != nil {
+			return false
+		}
+		if c.v.sleep(d) {
+			return ctx.Err() == nil
+		}
+	}
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Go runs f in a new goroutine tracked by the clock. On a wall clock
+// (or after the virtual run ended) it is a plain `go f()`.
+func (c Clock) Go(f func()) {
+	if c.v != nil && c.v.Go(f) {
+		return
+	}
+	go f()
+}
+
+// Wakeup readies every goroutine parked on key. A no-op on a wall
+// clock, so wake sites can call it unconditionally.
+func (c Clock) Wakeup(key any) {
+	if c.v != nil {
+		c.v.Wakeup(key)
+	}
+}
+
+// AfterFunc runs f after d of clock time, in its own goroutine.
+func (c Clock) AfterFunc(d time.Duration, f func()) *ClockTimer {
+	if c.v != nil {
+		if t := c.v.afterFunc(d, f); t != nil {
+			return t
+		}
+	}
+	return &ClockTimer{realT: time.AfterFunc(d, f)}
+}
+
+// ClockTimer is the AfterFunc handle for either clock flavor.
+type ClockTimer struct {
+	v     *VClock
+	ev    *event
+	realT *time.Timer
+}
+
+// Stop cancels the timer; it reports whether the timer was still
+// pending. A fired virtual callback is never un-run.
+func (t *ClockTimer) Stop() bool {
+	if t == nil {
+		return false
+	}
+	if t.realT != nil {
+		return t.realT.Stop()
+	}
+	t.v.mu.Lock()
+	defer t.v.mu.Unlock()
+	live := !t.ev.dead && !t.ev.fired
+	t.ev.dead = true
+	return live
+}
+
+// WakeReason says why a virtual wait returned.
+type WakeReason uint8
+
+const (
+	// WakeKey: a Wakeup on the wait's key.
+	WakeKey WakeReason = iota
+	// WakeTimeout: the wait's deadline arrived.
+	WakeTimeout
+	// WakeExited: the virtual run ended (Exit); the caller must fall
+	// back to its real-time blocking path.
+	WakeExited
+)
+
+const (
+	stateParked = iota
+	stateReady
+	stateRun
+)
+
+// vg is one parked-or-ready continuation. A fresh one is allocated per
+// park (and per spawned goroutine), so no state survives a wake.
+type vg struct {
+	wake   chan struct{}
+	state  uint8
+	reason WakeReason
+	key    any    // set while parked on a key
+	ev     *event // set while parked with a deadline
+}
+
+// event is a heap entry: wake g (a sleeper/timed wait) or spawn fn (an
+// AfterFunc) at virtual time at. seq breaks timestamp ties in creation
+// order, which keeps simultaneous events deterministic.
+type event struct {
+	at    int64
+	seq   uint64
+	g     *vg
+	fn    func()
+	dead  bool
+	fired bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// VClock is a deterministic discrete-event scheduler. Construct with
+// NewVClock, wrap components' Clock fields via Virtual(), drive the
+// whole simulation inside Run.
+type VClock struct {
+	base  time.Time
+	nowNs atomic.Int64
+
+	mu     sync.Mutex
+	seq    uint64
+	evq    eventQueue
+	runq   []*vg
+	parked map[any][]*vg
+	ngo    int
+	exited bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewVClock returns a virtual clock seeded for deterministic
+// randomness. The virtual epoch is fixed (not wall-derived) so that
+// absolute timestamps are reproducible across runs.
+func NewVClock(seed int64) *VClock {
+	return &VClock{
+		base:   time.Unix(1_000_000_000, 0),
+		parked: make(map[any][]*vg),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Virtual wraps v as a Clock handle (nil gives the wall clock).
+func Virtual(v *VClock) Clock { return Clock{v: v} }
+
+// Now returns the current virtual time.
+func (v *VClock) Now() time.Time { return v.base.Add(time.Duration(v.nowNs.Load())) }
+
+// Rand returns the run's seeded random source. Callers must only use
+// it from simulation goroutines (it is mutex-guarded, but draw order
+// is only deterministic under the run token).
+func (v *VClock) Rand() *rand.Rand { return v.rng }
+
+// Int63n draws from the seeded source.
+func (v *VClock) Int63n(n int64) int64 {
+	v.rngMu.Lock()
+	defer v.rngMu.Unlock()
+	return v.rng.Int63n(n)
+}
+
+// Run executes f as the root simulation goroutine and blocks until it
+// returns, then ends the virtual run: the clock flips to passthrough
+// mode and every still-parked goroutine is released to real time, so
+// ordinary teardown (Close/Shutdown) needs no mediation. Everything
+// the run's output depends on must be captured inside f.
+func (v *VClock) Run(f func()) {
+	done := make(chan struct{})
+	v.mu.Lock()
+	v.ngo++
+	g := &vg{wake: make(chan struct{}, 1), state: stateReady}
+	v.runq = append(v.runq, g)
+	go func() {
+		<-g.wake
+		f()
+		v.exitAll()
+		close(done)
+	}()
+	v.yieldLocked()
+	<-done
+}
+
+// Exited reports whether the virtual run has ended.
+func (v *VClock) Exited() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.exited
+}
+
+// exitAll ends the run: wake every parked and ready goroutine into
+// real-time execution. Called by the root when f returns, with the
+// root still holding the run token, so no further virtual events fire
+// and the end of the run is deterministic.
+func (v *VClock) exitAll() {
+	v.mu.Lock()
+	v.exited = true
+	var wake []*vg
+	wake = append(wake, v.runq...)
+	v.runq = nil
+	for _, gs := range v.parked {
+		for _, g := range gs {
+			g.state = stateReady
+			wake = append(wake, g)
+		}
+	}
+	v.parked = make(map[any][]*vg)
+	for _, ev := range v.evq {
+		if g := ev.g; g != nil && g.state == stateParked {
+			g.state = stateReady
+			wake = append(wake, g)
+		}
+		ev.dead = true
+	}
+	v.evq = nil
+	v.mu.Unlock()
+	for _, g := range wake {
+		g.reason = WakeExited
+		select {
+		case g.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Go spawns f as a tracked simulation goroutine, runnable after the
+// spawner next yields. Reports false once the run has ended (the
+// caller falls back to `go f()`).
+func (v *VClock) Go(f func()) bool {
+	v.mu.Lock()
+	if v.exited {
+		v.mu.Unlock()
+		return false
+	}
+	v.spawnLocked(f)
+	v.mu.Unlock()
+	return true
+}
+
+func (v *VClock) spawnLocked(f func()) {
+	v.ngo++
+	g := &vg{wake: make(chan struct{}, 1), state: stateReady}
+	v.runq = append(v.runq, g)
+	go func() {
+		<-g.wake
+		f()
+		v.goDone() // no-op once the run has ended
+	}()
+}
+
+// goDone retires a tracked goroutine and hands the token on.
+func (v *VClock) goDone() {
+	v.mu.Lock()
+	if v.exited {
+		v.mu.Unlock()
+		return
+	}
+	v.ngo--
+	v.yieldLocked()
+}
+
+// WaitOn parks the caller until Wakeup(key) or the end of the run.
+func (v *VClock) WaitOn(key any) WakeReason { return v.waitOn(key, -1) }
+
+// WaitOnUntil is WaitOn bounded by a deadline in virtual time.
+func (v *VClock) WaitOnUntil(key any, deadline time.Time) WakeReason {
+	return v.waitOn(key, deadline.Sub(v.base).Nanoseconds())
+}
+
+func (v *VClock) waitOn(key any, deadlineNs int64) WakeReason {
+	v.mu.Lock()
+	if v.exited {
+		v.mu.Unlock()
+		return WakeExited
+	}
+	if deadlineNs >= 0 && deadlineNs <= v.nowNs.Load() {
+		v.mu.Unlock()
+		return WakeTimeout
+	}
+	g := &vg{wake: make(chan struct{}, 1), state: stateParked, key: key}
+	if key != nil {
+		v.parked[key] = append(v.parked[key], g)
+	}
+	if deadlineNs >= 0 {
+		g.ev = v.pushEventLocked(deadlineNs, g, nil)
+	}
+	v.yieldLocked()
+	<-g.wake
+	return g.reason
+}
+
+// sleep parks the caller for d of virtual time; false once exited.
+func (v *VClock) sleep(d time.Duration) bool {
+	v.mu.Lock()
+	if v.exited {
+		v.mu.Unlock()
+		return false
+	}
+	if d <= 0 {
+		v.mu.Unlock()
+		return true
+	}
+	g := &vg{wake: make(chan struct{}, 1), state: stateParked}
+	g.ev = v.pushEventLocked(v.nowNs.Load()+d.Nanoseconds(), g, nil)
+	v.yieldLocked()
+	<-g.wake
+	return true
+}
+
+func (v *VClock) sleepUntil(deadline time.Time) bool {
+	v.mu.Lock()
+	if v.exited {
+		v.mu.Unlock()
+		return false
+	}
+	ns := deadline.Sub(v.base).Nanoseconds()
+	if ns <= v.nowNs.Load() {
+		v.mu.Unlock()
+		return true
+	}
+	g := &vg{wake: make(chan struct{}, 1), state: stateParked}
+	g.ev = v.pushEventLocked(ns, g, nil)
+	v.yieldLocked()
+	<-g.wake
+	return true
+}
+
+func (v *VClock) afterFunc(d time.Duration, f func()) *ClockTimer {
+	v.mu.Lock()
+	if v.exited {
+		v.mu.Unlock()
+		return nil
+	}
+	if d < 0 {
+		d = 0
+	}
+	ev := v.pushEventLocked(v.nowNs.Load()+d.Nanoseconds(), nil, f)
+	v.mu.Unlock()
+	return &ClockTimer{v: v, ev: ev}
+}
+
+// Wakeup readies every goroutine parked on key, in park order. The
+// caller keeps running; the woken goroutines queue behind it.
+func (v *VClock) Wakeup(key any) {
+	v.mu.Lock()
+	gs := v.parked[key]
+	if len(gs) > 0 {
+		delete(v.parked, key)
+		for _, g := range gs {
+			if g.state == stateParked {
+				v.readyLocked(g, WakeKey)
+			}
+		}
+	}
+	v.mu.Unlock()
+}
+
+func (v *VClock) readyLocked(g *vg, why WakeReason) {
+	g.state = stateReady
+	g.reason = why
+	g.key = nil
+	if g.ev != nil {
+		g.ev.dead = true
+		g.ev = nil
+	}
+	v.runq = append(v.runq, g)
+}
+
+func (v *VClock) pushEventLocked(at int64, g *vg, fn func()) *event {
+	v.seq++
+	ev := &event{at: at, seq: v.seq, g: g, fn: fn}
+	heap.Push(&v.evq, ev)
+	return ev
+}
+
+// yieldLocked hands the run token to the next runnable goroutine,
+// advancing virtual time over the event heap when none is ready.
+// Called with v.mu held; releases it.
+func (v *VClock) yieldLocked() {
+	for {
+		if len(v.runq) > 0 {
+			g := v.runq[0]
+			copy(v.runq, v.runq[1:])
+			v.runq = v.runq[:len(v.runq)-1]
+			g.state = stateRun
+			g.wake <- struct{}{}
+			v.mu.Unlock()
+			return
+		}
+		ev := v.popEventLocked()
+		if ev == nil {
+			v.stallLocked() // unlocks
+			return
+		}
+		if ev.at > v.nowNs.Load() {
+			v.nowNs.Store(ev.at)
+		}
+		ev.fired = true
+		if ev.g != nil {
+			if ev.g.state == stateParked {
+				if ev.g.key != nil {
+					v.dropParkedLocked(ev.g)
+				}
+				ev.g.ev = nil
+				v.readyLocked(ev.g, WakeTimeout)
+			}
+		} else if ev.fn != nil {
+			v.spawnLocked(ev.fn)
+		}
+	}
+}
+
+func (v *VClock) popEventLocked() *event {
+	for len(v.evq) > 0 {
+		ev := heap.Pop(&v.evq).(*event)
+		if ev.dead {
+			continue
+		}
+		return ev
+	}
+	return nil
+}
+
+func (v *VClock) dropParkedLocked(g *vg) {
+	gs := v.parked[g.key]
+	for i, p := range gs {
+		if p == g {
+			gs = append(gs[:i], gs[i+1:]...)
+			break
+		}
+	}
+	if len(gs) == 0 {
+		delete(v.parked, g.key)
+	} else {
+		v.parked[g.key] = gs
+	}
+}
+
+// stallLocked fires when no goroutine is runnable and no event is
+// pending while tracked goroutines still exist — a lost wakeup or an
+// unmediated block. Deadlocking silently would be worse: dump state.
+func (v *VClock) stallLocked() {
+	if v.ngo == 0 {
+		// Every tracked goroutine finished; the run is idle (the root
+		// has returned or is about to). Nothing to schedule.
+		v.mu.Unlock()
+		return
+	}
+	keys := make(map[string]int)
+	parked := 0
+	for k, gs := range v.parked {
+		keys[fmt.Sprintf("%T", k)] += len(gs)
+		parked += len(gs)
+	}
+	msg := fmt.Sprintf("sim: virtual clock stalled at %v: %d tracked goroutines, %d parked on keys %v, empty event heap — an unmediated block or a missing Wakeup",
+		time.Duration(v.nowNs.Load()), v.ngo, parked, keys)
+	v.mu.Unlock()
+	panic(msg)
+}
+
+// Group is a clock-aware fan-out barrier: sync.WaitGroup semantics
+// that a virtual run can mediate. On a wall clock it is exactly
+// Add/go/Wait.
+type Group struct {
+	clk Clock
+	mu  sync.Mutex
+	n   int
+	wg  sync.WaitGroup
+}
+
+// NewGroup returns a barrier on clk.
+func NewGroup(clk Clock) *Group { return &Group{clk: clk} }
+
+// Go runs f in a tracked goroutine counted by the barrier.
+func (g *Group) Go(f func()) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	g.wg.Add(1)
+	g.clk.Go(func() {
+		defer g.wg.Done()
+		f()
+		g.mu.Lock()
+		g.n--
+		last := g.n == 0
+		g.mu.Unlock()
+		if last {
+			g.clk.Wakeup(g)
+		}
+	})
+}
+
+// Wait blocks until every spawned f returned.
+func (g *Group) Wait() {
+	if v := g.clk.V(); v != nil {
+		for {
+			g.mu.Lock()
+			n := g.n
+			g.mu.Unlock()
+			if n == 0 {
+				return
+			}
+			if v.WaitOn(g) == WakeExited {
+				break
+			}
+		}
+	}
+	g.wg.Wait()
+}

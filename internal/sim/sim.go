@@ -33,6 +33,10 @@ type Hardware struct {
 	// CacheBandwidth is the client memory-cache copy speed in
 	// bytes/second; it bounds how fast writes land in the client cache.
 	CacheBandwidth float64
+	// Clock is the time source every simulated delay runs on. The zero
+	// value is the wall clock; a virtual run sets a VClock here and the
+	// whole fabric (NICs, disks, limiters, daemons) inherits it.
+	Clock Clock
 }
 
 // TableI returns the paper's Table I parameters scaled down by factor
@@ -49,7 +53,7 @@ func TableI(scale float64) Hardware {
 		scale = 1
 	}
 	return Hardware{
-		RTT:            time.Duration(10e3 * scale * float64(time.Nanosecond) * 10), // 100 µs at scale 1
+		RTT:            time.Duration(10e3 * scale * float64(time.Nanosecond)), // 10 µs at scale 1
 		NetBandwidth:   12.5e9 / scale,
 		DiskBandwidth:  3e9 / scale,
 		DiskLatency:    time.Duration(20e3 * scale * float64(time.Nanosecond)),
@@ -78,6 +82,29 @@ func TransferTime(bytes int64, bw float64) time.Duration {
 type Device struct {
 	mu   sync.Mutex
 	next time.Time
+	clk  Clock
+}
+
+// SetClock points the device at a (virtual) clock. Call before first
+// use; the zero clock is the wall clock.
+func (dev *Device) SetClock(c Clock) { dev.clk = c }
+
+// reserve books d of device time starting no earlier than now and
+// returns the completion time. The reservation is unconditional: once
+// made, the device stays busy through it whether or not the caller
+// waits it out (§II-C — a transmission committed to the link occupies
+// the link even if the sender gives up on it).
+func (dev *Device) reserve(d time.Duration) time.Time {
+	now := dev.clk.Now()
+	dev.mu.Lock()
+	start := dev.next
+	if start.Before(now) {
+		start = now
+	}
+	done := start.Add(d)
+	dev.next = done
+	dev.mu.Unlock()
+	return done
 }
 
 // Use occupies the device for d of service time, queueing behind any
@@ -87,35 +114,26 @@ func (dev *Device) Use(d time.Duration) {
 	if dev == nil || d <= 0 {
 		return
 	}
-	now := time.Now()
-	dev.mu.Lock()
-	start := dev.next
-	if start.Before(now) {
-		start = now
-	}
-	done := start.Add(d)
-	dev.next = done
-	dev.mu.Unlock()
-	time.Sleep(time.Until(done))
+	done := dev.reserve(d)
+	dev.clk.SleepUntil(context.Background(), done)
 }
 
-// UseCtx is Use bounded by ctx: the device time is reserved either way
-// (the transmission is already committed to the link), but the caller
-// stops waiting and gets ctx's error when it fires first.
+// UseCtx is Use bounded by ctx. Reservation-vs-cancel semantics,
+// explicitly: the device time is reserved either way — even when ctx
+// is already canceled on entry — because the transmission is already
+// committed to the link, and reserved-but-abandoned time still delays
+// later users. Only the *wait* is cancelable: the caller stops waiting
+// and gets ctx's error as soon as it fires, including before any
+// sleep when the cancel raced ahead of the call.
 func (dev *Device) UseCtx(ctx context.Context, d time.Duration) error {
 	if dev == nil || d <= 0 {
 		return ctx.Err()
 	}
-	now := time.Now()
-	dev.mu.Lock()
-	start := dev.next
-	if start.Before(now) {
-		start = now
+	done := dev.reserve(d)
+	if err := ctx.Err(); err != nil {
+		return err
 	}
-	done := start.Add(d)
-	dev.next = done
-	dev.mu.Unlock()
-	return SleepUntil(ctx, done)
+	return dev.clk.SleepUntil(ctx, done)
 }
 
 // UseBytes occupies the device for bytes at bw bytes/second plus fixed
@@ -157,9 +175,10 @@ func (dev *Device) Busy() time.Duration {
 	if dev == nil {
 		return 0
 	}
+	now := dev.clk.Now()
 	dev.mu.Lock()
 	defer dev.mu.Unlock()
-	return time.Until(dev.next)
+	return dev.next.Sub(now)
 }
 
 // RateLimiter enforces an operations-per-second cap, modelling the lock
@@ -168,6 +187,15 @@ type RateLimiter struct {
 	mu       sync.Mutex
 	interval time.Duration
 	next     time.Time
+	clk      Clock
+}
+
+// SetClock points the limiter at a (virtual) clock. Call before first
+// use; the zero clock is the wall clock.
+func (r *RateLimiter) SetClock(c Clock) {
+	if r != nil {
+		r.clk = c
+	}
 }
 
 // NewRateLimiter returns a limiter admitting ops operations per second,
@@ -184,7 +212,7 @@ func (r *RateLimiter) Wait() {
 	if r == nil || r.interval == 0 {
 		return
 	}
-	now := time.Now()
+	now := r.clk.Now()
 	r.mu.Lock()
 	start := r.next
 	if start.Before(now) {
@@ -192,7 +220,7 @@ func (r *RateLimiter) Wait() {
 	}
 	r.next = start.Add(r.interval)
 	r.mu.Unlock()
-	time.Sleep(time.Until(start))
+	r.clk.SleepUntil(context.Background(), start)
 }
 
 // WaitCtx is Wait bounded by ctx: the slot is consumed either way, but
@@ -201,7 +229,7 @@ func (r *RateLimiter) WaitCtx(ctx context.Context) error {
 	if r == nil || r.interval == 0 {
 		return ctx.Err()
 	}
-	now := time.Now()
+	now := r.clk.Now()
 	r.mu.Lock()
 	start := r.next
 	if start.Before(now) {
@@ -209,5 +237,5 @@ func (r *RateLimiter) WaitCtx(ctx context.Context) error {
 	}
 	r.next = start.Add(r.interval)
 	r.mu.Unlock()
-	return SleepUntil(ctx, start)
+	return r.clk.SleepUntil(ctx, start)
 }

@@ -149,7 +149,9 @@ type SimStore struct {
 // NewSimStore wraps inner with a device of hw.DiskBandwidth and
 // hw.DiskLatency.
 func NewSimStore(inner Store, hw sim.Hardware) *SimStore {
-	return &SimStore{inner: inner, bw: hw.DiskBandwidth, lat: hw.DiskLatency}
+	s := &SimStore{inner: inner, bw: hw.DiskBandwidth, lat: hw.DiskLatency}
+	s.dev.SetClock(hw.Clock)
+	return s
 }
 
 // WriteAt implements Store, charging simulated device time.

@@ -39,7 +39,7 @@ func (n *Network) Listen(addr string) (transport.Listener, error) {
 	if _, ok := n.listeners[addr]; ok {
 		return nil, errAddrInUse
 	}
-	l := &listener{net: n, addr: addr, backlog: make(chan *conn, 128)}
+	l := &listener{net: n, addr: addr, clk: n.hw.Clock, backlog: make(chan *conn, 128)}
 	n.listeners[addr] = l
 	return l, nil
 }
@@ -67,6 +67,7 @@ func (n *Network) Dial(addr string) (transport.Conn, error) {
 	select {
 	case l.backlog <- b:
 		l.mu.Unlock()
+		l.clk.Wakeup(l)
 		return a, nil
 	default:
 		l.mu.Unlock()
@@ -98,12 +99,30 @@ const (
 type listener struct {
 	net     *Network
 	addr    string
+	clk     sim.Clock
 	backlog chan *conn
 	mu      sync.Mutex
 	closed  bool
 }
 
 func (l *listener) Accept() (transport.Conn, error) {
+	if v := l.clk.V(); v != nil {
+		// Virtual time: poll the backlog under the run token, parking on
+		// the listener until a Dial (or Close) wakes us.
+		for {
+			select {
+			case c, ok := <-l.backlog:
+				if !ok {
+					return nil, transport.ErrClosed
+				}
+				return c, nil
+			default:
+			}
+			if v.WaitOn(l) == sim.WakeExited {
+				break
+			}
+		}
+	}
 	c, ok := <-l.backlog
 	if !ok {
 		return nil, transport.ErrClosed
@@ -122,6 +141,7 @@ func (l *listener) Close() error {
 	delete(l.net.listeners, l.addr)
 	l.net.mu.Unlock()
 	close(l.backlog)
+	l.clk.Wakeup(l)
 	return nil
 }
 
@@ -131,6 +151,7 @@ func (l *listener) Addr() string { return l.addr }
 // simulated transmission (bandwidth) and propagation (latency) delays.
 type pipe struct {
 	hw     sim.Hardware
+	clk    sim.Clock
 	nic    sim.Device // serializes this direction's transmissions
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -145,9 +166,27 @@ type timedMsg struct {
 }
 
 func newPipe(hw sim.Hardware) *pipe {
-	p := &pipe{hw: hw}
+	p := &pipe{hw: hw, clk: hw.Clock}
+	p.nic.SetClock(hw.Clock)
 	p.cond = sync.NewCond(&p.mu)
 	return p
+}
+
+// deliveryTime returns when a message queued now arrives: half an RTT
+// of propagation plus, in virtual mode, a small seeded jitter (up to
+// RTT/16). The jitter is what makes a virtual run's seed meaningful —
+// it perturbs message arrival interleavings, and through them grant
+// orders, revocation timing, and every downstream duration — without
+// changing what any message carries. Wall-clock runs get equivalent
+// variance for free from the OS scheduler, so they draw nothing.
+func (p *pipe) deliveryTime() time.Time {
+	at := p.clk.Now().Add(p.hw.RTT / 2)
+	if v := p.clk.V(); v != nil {
+		if j := int64(p.hw.RTT / 16); j > 0 {
+			at = at.Add(time.Duration(v.Int63n(j)))
+		}
+	}
+	return at
 }
 
 func (p *pipe) send(ctx context.Context, msg []byte) error {
@@ -161,14 +200,16 @@ func (p *pipe) send(ctx context.Context, msg []byte) error {
 	}
 	cp := make([]byte, len(msg))
 	copy(cp, msg)
-	deliverAt := time.Now().Add(p.hw.RTT / 2)
+	deliverAt := p.deliveryTime()
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return transport.ErrClosed
 	}
 	p.push(timedMsg{deliverAt: deliverAt, data: cp})
 	p.cond.Signal()
+	p.mu.Unlock()
+	p.clk.Wakeup(p)
 	return nil
 }
 
@@ -183,10 +224,10 @@ func (p *pipe) sendBatch(ctx context.Context, msgs [][]byte) error {
 	if err := p.nic.UseBytesCtx(ctx, total, p.hw.NetBandwidth, 0); err != nil {
 		return err
 	}
-	deliverAt := time.Now().Add(p.hw.RTT / 2)
+	deliverAt := p.deliveryTime()
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return transport.ErrClosed
 	}
 	for _, m := range msgs {
@@ -195,6 +236,8 @@ func (p *pipe) sendBatch(ctx context.Context, msgs [][]byte) error {
 		p.push(timedMsg{deliverAt: deliverAt, data: cp})
 	}
 	p.cond.Signal()
+	p.mu.Unlock()
+	p.clk.Wakeup(p)
 	return nil
 }
 
@@ -217,6 +260,12 @@ func (p *pipe) push(m timedMsg) {
 func (p *pipe) pending() int { return len(p.queue) - p.head }
 
 func (p *pipe) recv(ctx context.Context) ([]byte, error) {
+	if v := p.clk.V(); v != nil {
+		if data, err, done := p.recvVirtual(ctx, v); done {
+			return data, err
+		}
+		// The virtual run ended mid-wait; finish on the real path.
+	}
 	if ctx.Done() != nil {
 		// Wake the cond wait below when the context fires; cond.Wait
 		// cannot select on a channel, so the watcher broadcasts instead.
@@ -267,13 +316,57 @@ func (p *pipe) recv(ctx context.Context) ([]byte, error) {
 	return m.data, nil
 }
 
+// recvVirtual is recv under a virtual clock: park on the pipe until a
+// sender (or close) wakes us, and ride the event heap to the head
+// message's delivery time instead of sleeping. done=false means the
+// virtual run ended and the caller must fall back to the real path.
+func (p *pipe) recvVirtual(ctx context.Context, v *sim.VClock) (data []byte, err error, done bool) {
+	for {
+		p.mu.Lock()
+		if err := ctx.Err(); err != nil {
+			p.mu.Unlock()
+			return nil, err, true
+		}
+		if p.pending() > 0 {
+			m := p.queue[p.head]
+			if !m.deliverAt.After(p.clk.Now()) {
+				p.queue[p.head] = timedMsg{}
+				p.head++
+				if p.head == len(p.queue) {
+					p.queue = p.queue[:0]
+					p.head = 0
+				}
+				p.mu.Unlock()
+				return m.data, nil, true
+			}
+			deliverAt := m.deliverAt
+			p.mu.Unlock()
+			// Holding the run token between the check above and parking
+			// here makes check-then-park atomic: no wakeup can be lost.
+			if v.WaitOnUntil(p, deliverAt) == sim.WakeExited {
+				return nil, nil, false
+			}
+			continue
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return nil, transport.ErrClosed, true
+		}
+		p.mu.Unlock()
+		if v.WaitOn(p) == sim.WakeExited {
+			return nil, nil, false
+		}
+	}
+}
+
 func (p *pipe) close() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if !p.closed {
 		p.closed = true
 		p.cond.Broadcast()
 	}
+	p.mu.Unlock()
+	p.clk.Wakeup(p)
 }
 
 type conn struct {

@@ -901,7 +901,23 @@ type LockRecord struct {
 	Range    extent.Extent
 	SN       uint64
 	State    uint8
+	// Flags carries handoff-delegation state across a takeover replay
+	// (DESIGN.md §13): the adopting master force-resolves reported
+	// delegations the way a freeze would, instead of restoring
+	// handed-off pairs it has no delegation state for.
+	Flags uint8
 }
+
+// LockRecord flags.
+const (
+	// LockFlagDelegated marks a delegated grant whose transfer the
+	// reporting client is still waiting for.
+	LockFlagDelegated uint8 = 1 << iota
+	// LockFlagHandedOff marks a lock its holder owes (or has already
+	// sent) to a successor; the holder will never release it to the
+	// server.
+	LockFlagHandedOff
+)
 
 // LockReport is the client's reply to a recovery gather request.
 type LockReport struct {
@@ -920,12 +936,13 @@ func (m *LockReport) Encode(e *Encoder) {
 		encodeExtent(e, l.Range)
 		e.U64(l.SN)
 		e.U8(l.State)
+		e.U8(l.Flags)
 	}
 }
 
 // Decode implements Msg.
 func (m *LockReport) Decode(d *Decoder) {
-	n := d.Len32(46)
+	n := d.Len32(47)
 	if n > 0 {
 		m.Locks = make([]LockRecord, n)
 		for i := range m.Locks {
@@ -937,6 +954,7 @@ func (m *LockReport) Decode(d *Decoder) {
 			l.Range = decodeExtent(d)
 			l.SN = d.U64()
 			l.State = d.U8()
+			l.Flags = d.U8()
 		}
 	}
 }
@@ -1062,6 +1080,7 @@ func (m *SlotState) Encode(e *Encoder) {
 			encodeExtent(e, l.Range)
 			e.U64(l.SN)
 			e.U8(l.State)
+			e.U8(l.Flags)
 		}
 	}
 }
@@ -1078,7 +1097,7 @@ func (m *SlotState) Decode(d *Decoder) {
 			r.Resource = d.U64()
 			r.NextSN = d.U64()
 			r.Grants = d.U64()
-			k := d.Len32(46)
+			k := d.Len32(47)
 			if k > 0 {
 				r.Locks = make([]LockRecord, k)
 				for j := range r.Locks {
@@ -1090,6 +1109,7 @@ func (m *SlotState) Decode(d *Decoder) {
 					l.Range = decodeExtent(d)
 					l.SN = d.U64()
 					l.State = d.U8()
+					l.Flags = d.U8()
 				}
 			}
 		}

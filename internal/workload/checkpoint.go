@@ -4,11 +4,11 @@ import (
 	"bytes"
 	"fmt"
 	"io"
-	"sync"
 	"time"
 
 	"ccpfs/internal/client"
 	"ccpfs/internal/cluster"
+	"ccpfs/internal/sim"
 )
 
 // CheckpointConfig parameterizes a checkpoint/restart cycle — the
@@ -76,12 +76,11 @@ func RunCheckpoint(c *cluster.Cluster, cfg CheckpointConfig) (CheckpointResult, 
 	errs := make(chan error, cfg.Ranks)
 
 	// Phase 1: N-1 strided checkpoint write.
-	var wg sync.WaitGroup
-	start := time.Now()
+	clk := c.Clock()
+	grp := sim.NewGroup(clk)
+	start := clk.Now()
 	for r := 0; r < cfg.Ranks; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
+		grp.Go(func() {
 			for b := 0; b < cfg.BlocksEach; b++ {
 				off := int64(b*cfg.Ranks+r) * cfg.BlockSize
 				if _, err := files[r].WriteAt(rankBlock(r, b, cfg.BlockSize), off); err != nil {
@@ -89,10 +88,10 @@ func RunCheckpoint(c *cluster.Cluster, cfg CheckpointConfig) (CheckpointResult, 
 					return
 				}
 			}
-		}(r)
+		})
 	}
-	wg.Wait()
-	res.Write = time.Since(start)
+	grp.Wait()
+	res.Write = clk.Since(start)
 	select {
 	case err := <-errs:
 		return res, err
@@ -101,7 +100,7 @@ func RunCheckpoint(c *cluster.Cluster, cfg CheckpointConfig) (CheckpointResult, 
 
 	// Phase 2: drain to the data servers (the checkpoint must be durable
 	// before the job exits).
-	res.Drain = drain(clients, files)
+	res.Drain = drain(clk, clients, files)
 
 	if !cfg.Restart {
 		return res, nil
@@ -109,11 +108,10 @@ func RunCheckpoint(c *cluster.Cluster, cfg CheckpointConfig) (CheckpointResult, 
 
 	// Phase 3: restart — every rank reads blocks written by OTHER ranks
 	// (shifted mapping) and verifies them.
-	start = time.Now()
+	start = clk.Now()
+	rgrp := sim.NewGroup(clk)
 	for r := 0; r < cfg.Ranks; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
+		rgrp.Go(func() {
 			buf := make([]byte, cfg.BlockSize)
 			src := (r + 1) % cfg.Ranks // different decomposition on restart
 			for b := 0; b < cfg.BlocksEach; b++ {
@@ -127,10 +125,10 @@ func RunCheckpoint(c *cluster.Cluster, cfg CheckpointConfig) (CheckpointResult, 
 					return
 				}
 			}
-		}(r)
+		})
 	}
-	wg.Wait()
-	res.Restart = time.Since(start)
+	rgrp.Wait()
+	res.Restart = clk.Since(start)
 	select {
 	case err := <-errs:
 		return res, err

@@ -2,7 +2,6 @@ package workload
 
 import (
 	"context"
-	"time"
 
 	"ccpfs/internal/client"
 	"ccpfs/internal/cluster"
@@ -71,9 +70,10 @@ func RunPingPong(c *cluster.Cluster, cfg PingPongConfig) (PingPongStats, error) 
 		files[i] = f
 	}
 
+	clk := c.Clock()
 	before := c.DLMStats()
 	buf := make([]byte, cfg.WriteSize)
-	start := time.Now()
+	start := clk.Now()
 	// The producer/consumer token ring: the active side writes every
 	// stripe of the set, then ownership swaps — as with the paper's
 	// MPI_Send/MPI_Recv sequential test, the turn-taking itself is the
@@ -89,8 +89,8 @@ func RunPingPong(c *cluster.Cluster, cfg PingPongConfig) (PingPongStats, error) 
 			}
 		}
 	}
-	pio := time.Since(start)
-	flush := drain(clients, files)
+	pio := clk.Since(start)
+	flush := drain(clk, clients, files)
 
 	st := PingPongStats{Result: Result{
 		PIO:   pio,

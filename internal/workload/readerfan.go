@@ -3,11 +3,11 @@ package workload
 import (
 	"context"
 	"sync"
-	"time"
 
 	"ccpfs/internal/client"
 	"ccpfs/internal/cluster"
 	"ccpfs/internal/dlm"
+	"ccpfs/internal/sim"
 )
 
 // ReaderFanConfig parameterizes the write-then-fan-out rotation
@@ -77,8 +77,9 @@ func RunReaderFan(c *cluster.Cluster, cfg ReaderFanConfig) (ReaderFanStats, erro
 	for i := range rbufs {
 		rbufs[i] = make([]byte, cfg.WriteSize)
 	}
+	clk := c.Clock()
 	ctx := context.Background()
-	start := time.Now()
+	start := clk.Now()
 	for r := 0; r < cfg.Rounds; r++ {
 		// The writer locks the whole stripe in NBW so its lock conflicts
 		// with every reader lease — the displacement that arms the next
@@ -89,13 +90,11 @@ func RunReaderFan(c *cluster.Cluster, cfg ReaderFanConfig) (ReaderFanStats, erro
 		}); err != nil {
 			return ReaderFanStats{}, err
 		}
-		var wg sync.WaitGroup
+		grp := sim.NewGroup(clk)
 		var errMu sync.Mutex
 		var readErr error
 		for i := 0; i < cfg.Readers; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
+			grp.Go(func() {
 				if _, err := files[1+i].ReadAtContext(ctx, rbufs[i], 0); err != nil {
 					errMu.Lock()
 					if readErr == nil {
@@ -103,15 +102,15 @@ func RunReaderFan(c *cluster.Cluster, cfg ReaderFanConfig) (ReaderFanStats, erro
 					}
 					errMu.Unlock()
 				}
-			}(i)
+			})
 		}
-		wg.Wait()
+		grp.Wait()
 		if readErr != nil {
 			return ReaderFanStats{}, readErr
 		}
 	}
-	pio := time.Since(start)
-	flush := drain(clients, files)
+	pio := clk.Since(start)
+	flush := drain(clk, clients, files)
 
 	st := ReaderFanStats{Result: Result{
 		PIO:   pio,

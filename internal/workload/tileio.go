@@ -2,11 +2,10 @@ package workload
 
 import (
 	"fmt"
-	"sync"
-	"time"
 
 	"ccpfs/internal/client"
 	"ccpfs/internal/cluster"
+	"ccpfs/internal/sim"
 )
 
 // TileConfig parameterizes the Tile-IO workload (§V-D): a grid of
@@ -85,27 +84,26 @@ func RunTileIO(c *cluster.Cluster, cfg TileConfig) (Result, error) {
 		files[i] = f
 	}
 
+	clk := c.Clock()
 	errs := make(chan error, n)
-	var wg sync.WaitGroup
-	start := time.Now()
+	grp := sim.NewGroup(clk)
+	start := clk.Now()
 	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
+		grp.Go(func() {
 			ops := cfg.tileOps(i%cfg.TilesX, i/cfg.TilesX, byte(i+1))
 			if err := files[i].WriteMulti(ops); err != nil {
 				errs <- fmt.Errorf("tile %d: %w", i, err)
 			}
-		}(i)
+		})
 	}
-	wg.Wait()
-	pio := time.Since(start)
+	grp.Wait()
+	pio := clk.Since(start)
 	select {
 	case err := <-errs:
 		return Result{}, err
 	default:
 	}
-	flush := drain(clients, files)
+	flush := drain(clk, clients, files)
 	return Result{
 		PIO:   pio,
 		Flush: flush,

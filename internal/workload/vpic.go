@@ -2,11 +2,10 @@ package workload
 
 import (
 	"fmt"
-	"sync"
-	"time"
 
 	"ccpfs/internal/client"
 	"ccpfs/internal/cluster"
+	"ccpfs/internal/sim"
 )
 
 // VPICConfig parameterizes the VPIC-IO / h5bench workload (§V-E):
@@ -75,14 +74,13 @@ func RunVPIC(c *cluster.Cluster, cfg VPICConfig) (Result, error) {
 		files[i] = f
 	}
 
+	clk := c.Clock()
 	errs := make(chan error, cfg.ClientNodes*cfg.ProcsPerNode)
-	var wg sync.WaitGroup
-	start := time.Now()
+	grp := sim.NewGroup(clk)
+	start := clk.Now()
 	for node := 0; node < cfg.ClientNodes; node++ {
 		for p := 0; p < cfg.ProcsPerNode; p++ {
-			wg.Add(1)
-			go func(node, p int) {
-				defer wg.Done()
+			grp.Go(func() {
 				proc := node*cfg.ProcsPerNode + p
 				buf := make([]byte, cfg.chunkBytes())
 				for i := range buf {
@@ -97,17 +95,17 @@ func RunVPIC(c *cluster.Cluster, cfg VPICConfig) (Result, error) {
 						}
 					}
 				}
-			}(node, p)
+			})
 		}
 	}
-	wg.Wait()
-	pio := time.Since(start)
+	grp.Wait()
+	pio := clk.Since(start)
 	select {
 	case err := <-errs:
 		return Result{}, err
 	default:
 	}
-	flush := drain(clients, files)
+	flush := drain(clk, clients, files)
 	procs := int64(cfg.ClientNodes * cfg.ProcsPerNode)
 	return Result{
 		PIO:   pio,

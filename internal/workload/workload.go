@@ -11,12 +11,12 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"sync"
 	"time"
 
 	"ccpfs/internal/client"
 	"ccpfs/internal/cluster"
 	"ccpfs/internal/dlm"
+	"ccpfs/internal/sim"
 )
 
 // Pattern is a parallel IO access pattern (Fig. 2).
@@ -153,13 +153,12 @@ func RunIOR(c *cluster.Cluster, cfg IORConfig) (Result, error) {
 	res.Ops = int64(cfg.Clients * cfg.WritesPerClient)
 	res.Bytes = res.Ops * cfg.WriteSize
 
+	clk := c.Clock()
 	errs := make(chan error, cfg.Clients)
-	var wg sync.WaitGroup
-	start := time.Now()
+	grp := sim.NewGroup(clk)
+	start := clk.Now()
 	for i := range clients {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
+		grp.Go(func() {
 			buf := make([]byte, cfg.WriteSize)
 			for b := range buf {
 				buf[b] = byte(i + b)
@@ -171,17 +170,17 @@ func RunIOR(c *cluster.Cluster, cfg IORConfig) (Result, error) {
 					return
 				}
 			}
-		}(i)
+		})
 	}
-	wg.Wait()
-	res.PIO = time.Since(start)
+	grp.Wait()
+	res.PIO = clk.Since(start)
 	select {
 	case err := <-errs:
 		return res, err
 	default:
 	}
 
-	res.Flush = drain(clients, files)
+	res.Flush = drain(clk, clients, files)
 	if cfg.Verify {
 		if err := verifyIOR(c, cfg); err != nil {
 			return res, err
@@ -230,21 +229,19 @@ func verifyIOR(c *cluster.Cluster, cfg IORConfig) error {
 
 // drain flushes every client's dirty data and releases all locks,
 // returning the wall time — the paper's F time.
-func drain(clients []*client.Client, files []*client.File) time.Duration {
-	start := time.Now()
-	var wg sync.WaitGroup
+func drain(clk sim.Clock, clients []*client.Client, files []*client.File) time.Duration {
+	start := clk.Now()
+	grp := sim.NewGroup(clk)
 	for i := range clients {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
+		grp.Go(func() {
 			if files[i] != nil {
 				files[i].Fsync()
 			}
 			clients[i].Locks().ReleaseAll(context.Background())
-		}(i)
+		})
 	}
-	wg.Wait()
-	return time.Since(start)
+	grp.Wait()
+	return clk.Since(start)
 }
 
 // SequentialConfig parameterizes the totally-conflicting sequential
@@ -290,9 +287,10 @@ func RunSequential(c *cluster.Cluster, cfg SequentialConfig) (Result, Breakdown,
 		files[i] = f
 	}
 
+	clk := c.Clock()
 	before := c.DLMStats()
 	buf := make([]byte, cfg.WriteSize)
-	start := time.Now()
+	start := clk.Now()
 	// The MPI_Send/MPI_Recv token ring of the paper, as a channel chain.
 	for k := 0; k < cfg.Writes; k++ {
 		i := k % cfg.Clients
@@ -303,8 +301,8 @@ func RunSequential(c *cluster.Cluster, cfg SequentialConfig) (Result, Breakdown,
 			return Result{}, Breakdown{}, err
 		}
 	}
-	pio := time.Since(start)
-	flush := drain(clients, files)
+	pio := clk.Since(start)
+	flush := drain(clk, clients, files)
 
 	res := Result{
 		PIO:   pio,
@@ -366,13 +364,12 @@ func RunParallel(c *cluster.Cluster, cfg ParallelConfig) (ParallelStats, error) 
 		files[i] = f
 	}
 
+	clk := c.Clock()
 	errs := make(chan error, cfg.Clients)
-	var wg sync.WaitGroup
-	start := time.Now()
+	grp := sim.NewGroup(clk)
+	start := clk.Now()
 	for i := range clients {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
+		grp.Go(func() {
 			buf := make([]byte, cfg.WriteSize)
 			for k := 0; k < cfg.WritesPerClient; k++ {
 				if _, err := files[i].WriteAtOpts(context.Background(), buf, 0, client.WriteOptions{
@@ -383,16 +380,16 @@ func RunParallel(c *cluster.Cluster, cfg ParallelConfig) (ParallelStats, error) 
 					return
 				}
 			}
-		}(i)
+		})
 	}
-	wg.Wait()
-	pio := time.Since(start)
+	grp.Wait()
+	pio := clk.Since(start)
 	select {
 	case err := <-errs:
 		return ParallelStats{}, err
 	default:
 	}
-	flush := drain(clients, files)
+	flush := drain(clk, clients, files)
 
 	st := ParallelStats{Result: Result{
 		PIO:   pio,
@@ -434,7 +431,8 @@ func RunMixed(c *cluster.Cluster, cfg MixedConfig) (Result, error) {
 	if _, err := f.WriteAtOpts(context.Background(), buf, 0, client.WriteOptions{Mode: cfg.WriteMode}); err != nil {
 		return Result{}, err
 	}
-	start := time.Now()
+	clk := c.Clock()
+	start := clk.Now()
 	for k := 0; k < cfg.Ops; k++ {
 		if k%2 == 0 {
 			if _, err := f.WriteAtOpts(context.Background(), buf, 0, client.WriteOptions{Mode: cfg.WriteMode}); err != nil {
@@ -446,8 +444,8 @@ func RunMixed(c *cluster.Cluster, cfg MixedConfig) (Result, error) {
 			}
 		}
 	}
-	pio := time.Since(start)
-	flush := drain([]*client.Client{cl}, []*client.File{f})
+	pio := clk.Since(start)
+	flush := drain(clk, []*client.Client{cl}, []*client.File{f})
 	return Result{PIO: pio, Flush: flush, Ops: int64(cfg.Ops), Bytes: int64(cfg.Ops/2) * cfg.Size}, nil
 }
 
@@ -487,13 +485,12 @@ func RunSpan(c *cluster.Cluster, cfg SpanConfig) (Result, error) {
 		off = 0
 	}
 
+	clk := c.Clock()
 	errs := make(chan error, cfg.Clients)
-	var wg sync.WaitGroup
-	start := time.Now()
+	grp := sim.NewGroup(clk)
+	start := clk.Now()
 	for i := range clients {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
+		grp.Go(func() {
 			buf := make([]byte, cfg.WriteSize)
 			for k := 0; k < cfg.WritesPerClient; k++ {
 				if _, err := files[i].WriteAtOpts(context.Background(), buf, off, client.WriteOptions{Mode: cfg.Mode}); err != nil {
@@ -501,16 +498,16 @@ func RunSpan(c *cluster.Cluster, cfg SpanConfig) (Result, error) {
 					return
 				}
 			}
-		}(i)
+		})
 	}
-	wg.Wait()
-	pio := time.Since(start)
+	grp.Wait()
+	pio := clk.Since(start)
 	select {
 	case err := <-errs:
 		return Result{}, err
 	default:
 	}
-	flush := drain(clients, files)
+	flush := drain(clk, clients, files)
 	return Result{
 		PIO:   pio,
 		Flush: flush,

@@ -3,7 +3,6 @@ package ccpfs
 import (
 	"context"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -11,6 +10,7 @@ import (
 	"ccpfs/internal/dlm"
 	"ccpfs/internal/extent"
 	"ccpfs/internal/metrics"
+	"ccpfs/internal/sim"
 )
 
 // Partition-scaling experiment (DESIGN.md §12): the same lock-acquire
@@ -35,6 +35,8 @@ type PartitionScaleConfig struct {
 	// op targets a fresh resource, so none is absorbed by the client
 	// lock cache and each one pays a server admission.
 	Ops int
+	// Virtual runs each server-count point in discrete-event mode.
+	Virtual VirtualOpts
 }
 
 // DefaultPartitionScale returns the scaled-down configuration.
@@ -67,7 +69,13 @@ func RunPartitionScale(cfg PartitionScaleConfig) (*Experiment, error) {
 	tb := metrics.NewTable("lock servers", "grants", "time", "throughput (grants/s)", "vs N=1")
 	base := 0.0
 	for _, n := range cfg.Servers {
-		ops, elapsed, err := runPartitionPoint(hw, n, cfg.Workers, cfg.Ops)
+		var ops int
+		var elapsed time.Duration
+		err := runPoint(cfg.Virtual, hw, func(hw Hardware) error {
+			var err error
+			ops, elapsed, err = runPartitionPoint(hw, n, cfg.Workers, cfg.Ops)
+			return err
+		})
 		if err != nil {
 			return nil, fmt.Errorf("partition scale N=%d: %w", n, err)
 		}
@@ -115,15 +123,14 @@ func runPartitionPoint(hw Hardware, servers, workers, ops int) (int, time.Durati
 		clients[i] = cl
 	}
 
+	clk := c.Clock()
 	var next atomic.Int64
 	var firstErr atomic.Value
-	var wg sync.WaitGroup
+	grp := sim.NewGroup(clk)
 	ctx := context.Background()
-	start := time.Now()
+	start := clk.Now()
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
+		grp.Go(func() {
 			locks := clients[w%nclients].Locks()
 			for {
 				i := next.Add(1)
@@ -140,10 +147,10 @@ func runPartitionPoint(hw Hardware, servers, workers, ops int) (int, time.Durati
 				}
 				locks.Unlock(h)
 			}
-		}(w)
+		})
 	}
-	wg.Wait()
-	elapsed := time.Since(start)
+	grp.Wait()
+	elapsed := clk.Since(start)
 	if err, _ := firstErr.Load().(error); err != nil {
 		return 0, 0, err
 	}

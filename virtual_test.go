@@ -1,0 +1,192 @@
+package ccpfs
+
+import (
+	"strings"
+	"testing"
+
+	"ccpfs/internal/cluster"
+	"ccpfs/internal/dlm"
+	"ccpfs/internal/sim"
+	"ccpfs/internal/workload"
+)
+
+// These tests pin the discrete-event mode's two contracts: the same
+// seed reproduces a run byte for byte (every duration, SN, and counter
+// — not just "roughly the same numbers"), and a virtual run computes
+// the same results as the identical workload on the wall clock. The
+// first is what makes virtual experiments diffable across machines and
+// CI runs; the second is what makes them trustworthy.
+
+// virtualPingPong runs the pingpong experiment in virtual mode at a
+// fixed small scale and returns the full rendered table.
+func virtualPingPong(t *testing.T, seed int64) (*Experiment, string) {
+	t.Helper()
+	cfg := DefaultPingPong()
+	cfg.Exchanges = 24
+	cfg.Virtual = VirtualOpts{Enabled: true, Seed: seed}
+	exp, err := RunPingPong(cfg)
+	if err != nil {
+		t.Fatalf("virtual pingpong (seed %d): %v", seed, err)
+	}
+	return exp, exp.String()
+}
+
+func TestVirtualPingPongDeterministic(t *testing.T) {
+	exp1, text1 := virtualPingPong(t, 42)
+	exp2, text2 := virtualPingPong(t, 42)
+	if text1 != text2 {
+		t.Fatalf("same seed, different output:\n--- run 1\n%s\n--- run 2\n%s", text1, text2)
+	}
+	if len(exp1.Rows) != len(exp2.Rows) {
+		t.Fatalf("row count differs: %d vs %d", len(exp1.Rows), len(exp2.Rows))
+	}
+	for i := range exp1.Rows {
+		if exp1.Rows[i] != exp2.Rows[i] {
+			t.Fatalf("row %d differs:\n%+v\n%+v", i, exp1.Rows[i], exp2.Rows[i])
+		}
+	}
+	// PIO must be a virtual quantity, not a wall measurement: a 24-
+	// exchange run over a 40µs-RTT fabric takes real simulated time,
+	// which a wall clock on this in-process cluster would never show.
+	if exp1.Rows[0].PIO <= 0 {
+		t.Fatalf("virtual PIO not positive: %v", exp1.Rows[0].PIO)
+	}
+}
+
+// TestVirtualReaderFanDeterministic covers the fan-out path, which
+// exercises the broadcast/lease machinery, peer-to-peer propagation,
+// and much larger goroutine counts than pingpong.
+func TestVirtualReaderFanDeterministic(t *testing.T) {
+	run := func() string {
+		cfg := DefaultReaderFan()
+		cfg.Rounds = 8
+		cfg.Readers = []int{16}
+		cfg.Virtual = VirtualOpts{Enabled: true, Seed: 7}
+		exp, err := RunReaderFan(cfg)
+		if err != nil {
+			t.Fatalf("virtual readfan: %v", err)
+		}
+		return exp.String()
+	}
+	t1, t2 := run(), run()
+	if t1 != t2 {
+		t.Fatalf("same seed, different output:\n--- run 1\n%s\n--- run 2\n%s", t1, t2)
+	}
+}
+
+// ppCounts runs a small pingpong workload on c and returns the
+// timing-independent outcomes: ops, bytes, and flushed data.
+func ppCounts(t *testing.T, c *cluster.Cluster) (ops, bytes, flushed int64) {
+	t.Helper()
+	st, err := workload.RunPingPong(c, workload.PingPongConfig{
+		Exchanges:   16,
+		WriteSize:   32 << 10,
+		StripeSize:  1 << 20,
+		StripeCount: 2,
+	})
+	if err != nil {
+		t.Fatalf("pingpong: %v", err)
+	}
+	return st.Ops, st.Bytes, c.FlushedBytes()
+}
+
+// TestVirtualRealEquivalence runs the identical workload on the wall
+// clock and under a virtual clock and asserts the timing-independent
+// results agree: the virtual mode must change WHEN things happen, never
+// WHAT happens.
+func TestVirtualRealEquivalence(t *testing.T) {
+	build := func(hw Hardware) *cluster.Cluster {
+		c, err := cluster.New(cluster.Options{
+			Servers:  1,
+			Policy:   dlm.SeqDLM(),
+			Hardware: hw,
+			Handoff:  true,
+		})
+		if err != nil {
+			t.Fatalf("cluster: %v", err)
+		}
+		return c
+	}
+	hw := quickHW()
+
+	realC := build(hw)
+	rOps, rBytes, rFlushed := ppCounts(t, realC)
+	realC.Close()
+
+	var vOps, vBytes, vFlushed int64
+	v := sim.NewVClock(1)
+	hw.Clock = sim.Virtual(v)
+	v.Run(func() {
+		c := build(hw)
+		vOps, vBytes, vFlushed = ppCounts(t, c)
+		c.Close()
+	})
+
+	if rOps != vOps || rBytes != vBytes {
+		t.Fatalf("virtual run diverged: real ops=%d bytes=%d, virtual ops=%d bytes=%d",
+			rOps, rBytes, vOps, vBytes)
+	}
+	// The drain lands every dirty byte in both modes. Flushed totals can
+	// include revocation-driven flushes whose count is schedule-dependent,
+	// so assert the floor, not equality.
+	if vFlushed < vBytes || rFlushed < rBytes {
+		t.Fatalf("drain incomplete: real flushed=%d/%d, virtual flushed=%d/%d",
+			rFlushed, rBytes, vFlushed, vBytes)
+	}
+}
+
+// TestVirtualIORVerified runs a verified strided IOR inside a virtual
+// clock: the read-back pass proves locking, caching, flushing, and SN
+// resolution all work when every delay is an event on the heap.
+func TestVirtualIORVerified(t *testing.T) {
+	v := sim.NewVClock(99)
+	hw := quickHW()
+	hw.Clock = sim.Virtual(v)
+	var res workload.Result
+	var err error
+	v.Run(func() {
+		var c *cluster.Cluster
+		c, err = cluster.New(cluster.Options{
+			Servers:  2,
+			Policy:   dlm.SeqDLM(),
+			Hardware: hw,
+		})
+		if err != nil {
+			return
+		}
+		res, err = workload.RunIOR(c, workload.IORConfig{
+			Pattern:         workload.N1Strided,
+			Clients:         4,
+			WriteSize:       16 << 10,
+			WritesPerClient: 8,
+			StripeSize:      256 << 10,
+			StripeCount:     2,
+			Verify:          true,
+		})
+		c.Close()
+	})
+	if err != nil {
+		t.Fatalf("virtual IOR: %v", err)
+	}
+	if res.PIO <= 0 || res.Ops != 32 {
+		t.Fatalf("virtual IOR result: PIO=%v ops=%d", res.PIO, res.Ops)
+	}
+}
+
+// TestVirtualSeedsDiffer guards against the opposite failure: if two
+// different seeds produce identical grant-wait tables, the seed is not
+// actually feeding the run and "deterministic" would be vacuous. Only
+// the timing columns must differ; ops and bytes stay fixed.
+func TestVirtualSeedsDiffer(t *testing.T) {
+	_, t1 := virtualPingPong(t, 1)
+	_, t2 := virtualPingPong(t, 2)
+	if t1 == t2 {
+		// Not fatal: with a workload this regular the seeded jitter may
+		// legitimately cancel out. But it usually should not, so flag it
+		// loudly when it happens.
+		t.Logf("warning: seeds 1 and 2 produced identical tables:\n%s", t1)
+	}
+	if !strings.Contains(t1, "handoff") {
+		t.Fatalf("table missing handoff variant:\n%s", t1)
+	}
+}
